@@ -1,0 +1,117 @@
+// Experiment E3 — Section 2.3's processing claim: a continuous query is
+// evaluated ONCE into Answer(CQ); displaying the per-tick answer is then a
+// lookup. Re-evaluation happens only on explicit updates.
+//
+//  * BM_PerTickReevaluation — the strawman: run the instantaneous query at
+//    every clock tick.
+//  * BM_AnswerCqLookup — evaluate once, then per-tick interval lookups.
+//  * BM_AnswerCqWithUpdates — same, but a trickle of motion updates forces
+//    occasional re-evaluation (the realistic middle case).
+
+#include <benchmark/benchmark.h>
+
+#include "ftl/parser.h"
+#include "ftl/query_manager.h"
+#include "workload/fleet.h"
+
+namespace most {
+namespace {
+
+constexpr Tick kHorizon = 256;
+
+std::unique_ptr<MostDatabase> MakeWorld(size_t vehicles) {
+  auto db = std::make_unique<MostDatabase>();
+  FleetGenerator fleet({.num_vehicles = vehicles, .area = 1000.0,
+                        .change_probability = 0.0, .seed = 1997});
+  (void)fleet.Populate(db.get(), "CARS");
+  (void)db->DefineRegion("P", Polygon::Rectangle({400, 400}, {600, 600}));
+  return db;
+}
+
+FtlQuery TheQuery() {
+  auto q = ParseQuery("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  return *q;
+}
+
+void BM_PerTickReevaluation(benchmark::State& state) {
+  size_t vehicles = static_cast<size_t>(state.range(0));
+  auto db = MakeWorld(vehicles);
+  QueryManager qm(db.get(), {.horizon = kHorizon});
+  FtlQuery query = TheQuery();
+  for (auto _ : state) {
+    state.PauseTiming();
+    db->clock().AdvanceTo(db->Now());  // No-op; keep clock monotone.
+    state.ResumeTiming();
+    size_t total = 0;
+    for (Tick t = 0; t < 64; ++t) {
+      db->clock().Advance();
+      auto answer = qm.Instantaneous(query);
+      total += answer->size();
+    }
+    benchmark::DoNotOptimize(total);
+    state.counters["evaluations"] = 64;
+  }
+  state.counters["vehicles"] = static_cast<double>(vehicles);
+}
+BENCHMARK(BM_PerTickReevaluation)->Arg(100)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AnswerCqLookup(benchmark::State& state) {
+  size_t vehicles = static_cast<size_t>(state.range(0));
+  auto db = MakeWorld(vehicles);
+  QueryManager qm(db.get(), {.horizon = kHorizon});
+  FtlQuery query = TheQuery();
+  for (auto _ : state) {
+    auto cq = qm.RegisterContinuous(query);
+    size_t total = 0;
+    for (Tick t = 0; t < 64; ++t) {
+      db->clock().Advance();
+      auto answer = qm.CurrentAnswer(*cq);
+      total += answer->size();
+    }
+    state.counters["evaluations"] =
+        static_cast<double>(qm.EvaluationCount(*cq).value());
+    (void)qm.Cancel(*cq);
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["vehicles"] = static_cast<double>(vehicles);
+}
+BENCHMARK(BM_AnswerCqLookup)->Arg(100)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AnswerCqWithUpdates(benchmark::State& state) {
+  size_t vehicles = 1000;
+  // Updates per 64-tick window.
+  size_t updates = static_cast<size_t>(state.range(0));
+  auto db = MakeWorld(vehicles);
+  QueryManager qm(db.get(), {.horizon = kHorizon});
+  FtlQuery query = TheQuery();
+  Rng rng(7);
+  for (auto _ : state) {
+    auto cq = qm.RegisterContinuous(query);
+    size_t total = 0;
+    for (Tick t = 0; t < 64; ++t) {
+      db->clock().Advance();
+      if (updates > 0 && t % std::max<Tick>(1, 64 / updates) == 0) {
+        ObjectId id = static_cast<ObjectId>(rng.UniformInt(0, vehicles - 1));
+        (void)db->SetMotion("CARS", id,
+                            {rng.UniformDouble(0, 1000),
+                             rng.UniformDouble(0, 1000)},
+                            {rng.UniformDouble(-2, 2),
+                             rng.UniformDouble(-2, 2)});
+      }
+      auto answer = qm.CurrentAnswer(*cq);
+      total += answer->size();
+    }
+    state.counters["evaluations"] =
+        static_cast<double>(qm.EvaluationCount(*cq).value());
+    (void)qm.Cancel(*cq);
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["updates_per_window"] = static_cast<double>(updates);
+}
+BENCHMARK(BM_AnswerCqWithUpdates)->Arg(0)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace most

@@ -1,0 +1,144 @@
+// Experiment E7 — Section 5.3's distributed processing strategies.
+//
+//  * BM_ObjectQueryStrategies — one-shot object query: strategy 1
+//    (collect all objects at the issuer) vs strategy 2 (broadcast the
+//    query, nodes filter). Expected: strategy 2 sends fewer bytes when
+//    the predicate is selective.
+//  * BM_ContinuousStrategies — the continuous case: strategy 1 re-ships
+//    the object on EVERY motion change; strategy 2 transmits only when a
+//    node's answer changes.
+//  * Selectivity sweep shows the crossover: with a predicate matching
+//    everything, broadcast replies approach collect volume.
+
+#include <benchmark/benchmark.h>
+
+#include "distributed/coordinator.h"
+#include "distributed/mobile_node.h"
+#include "ftl/parser.h"
+#include "workload/fleet.h"
+
+namespace most {
+namespace {
+
+struct Sim {
+  Clock clock;
+  SimNetwork net{&clock, SimNetwork::Options{.latency = 1}};
+  std::map<std::string, Polygon> regions;
+  std::unique_ptr<Coordinator> coordinator;
+  std::vector<std::unique_ptr<MobileNode>> nodes;
+  FleetGenerator fleet;
+
+  Sim(size_t vehicles, double region_fraction)
+      : fleet({.num_vehicles = vehicles, .area = 1000.0, .seed = 1997}) {
+    double side = 1000.0 * std::sqrt(region_fraction);
+    regions["P"] = Polygon::Rectangle({500 - side / 2, 500 - side / 2},
+                                      {500 + side / 2, 500 + side / 2});
+    coordinator = std::make_unique<Coordinator>(&net, &clock, regions);
+    for (const ObjectState& s : fleet.initial_states()) {
+      nodes.push_back(
+          std::make_unique<MobileNode>(&net, &clock, s, regions));
+    }
+  }
+
+  void Run(Tick until) {
+    while (clock.Now() < until) {
+      clock.Advance();
+      net.DeliverDue();
+    }
+  }
+};
+
+void BM_ObjectQueryStrategies(benchmark::State& state) {
+  size_t vehicles = static_cast<size_t>(state.range(0));
+  bool broadcast = state.range(1) == 1;
+  double fraction = static_cast<double>(state.range(2)) / 100.0;
+  auto query = ParseQuery(
+      "RETRIEVE o FROM FLEET o WHERE EVENTUALLY WITHIN 100 INSIDE(o, P)");
+  SimNetwork::Stats stats;
+  size_t matches = 0;
+  for (auto _ : state) {
+    Sim sim(vehicles, fraction);
+    sim.net.ResetStats();
+    uint64_t qid = sim.coordinator->IssueObjectQuery(
+        *query,
+        broadcast ? DistStrategy::kBroadcastFilter : DistStrategy::kCollect,
+        /*continuous=*/false, 256);
+    sim.Run(3);
+    if (broadcast) {
+      matches = sim.coordinator->ReportedMatches(qid)->size();
+    } else {
+      matches = sim.coordinator->EvaluateCollected(qid)->rows.size();
+    }
+    stats = sim.net.stats();
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["messages"] = static_cast<double>(stats.messages_sent);
+  state.counters["bytes"] = static_cast<double>(stats.bytes_sent);
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["strategy2_broadcast"] = broadcast ? 1 : 0;
+  state.counters["region_pct"] = static_cast<double>(state.range(2));
+}
+BENCHMARK(BM_ObjectQueryStrategies)
+    ->ArgsProduct({{100, 400}, {0, 1}, {1, 25, 100}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ContinuousStrategies(benchmark::State& state) {
+  size_t vehicles = 100;
+  bool broadcast = state.range(0) == 1;
+  auto query = ParseQuery(
+      "RETRIEVE o FROM FLEET o WHERE EVENTUALLY WITHIN 50 INSIDE(o, P)");
+  SimNetwork::Stats stats;
+  uint64_t motion_updates = 0;
+  for (auto _ : state) {
+    Sim sim(vehicles, 0.05);
+    (void)sim.coordinator->IssueObjectQuery(
+        *query,
+        broadcast ? DistStrategy::kBroadcastFilter : DistStrategy::kCollect,
+        /*continuous=*/true, 512);
+    sim.Run(3);
+    sim.net.ResetStats();
+    motion_updates = 0;
+    auto updates = sim.fleet.GenerateUpdates(300);
+    for (const MotionUpdate& u : updates) {
+      if (u.at <= sim.clock.Now()) continue;
+      sim.Run(u.at);
+      sim.nodes[u.id]->UpdateMotion(u.position, u.velocity);
+      ++motion_updates;
+    }
+    sim.Run(sim.clock.Now() + 2);
+    stats = sim.net.stats();
+  }
+  state.counters["motion_updates"] = static_cast<double>(motion_updates);
+  state.counters["push_messages"] = static_cast<double>(stats.messages_sent);
+  state.counters["push_bytes"] = static_cast<double>(stats.bytes_sent);
+  state.counters["strategy2_broadcast"] = broadcast ? 1 : 0;
+}
+BENCHMARK(BM_ContinuousStrategies)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Relationship queries centralize: everything is pulled to the issuer once.
+void BM_RelationshipQuery(benchmark::State& state) {
+  size_t vehicles = static_cast<size_t>(state.range(0));
+  auto query = ParseQuery(
+      "RETRIEVE o, n FROM FLEET o, FLEET n "
+      "WHERE ALWAYS FOR 5 DIST(o, n) <= 30");
+  SimNetwork::Stats stats;
+  size_t pairs = 0;
+  for (auto _ : state) {
+    Sim sim(vehicles, 0.05);
+    sim.net.ResetStats();
+    uint64_t qid = sim.coordinator->IssueRelationshipQuery(*query, 128);
+    sim.Run(3);
+    auto rel = sim.coordinator->EvaluateCollected(qid);
+    pairs = rel->rows.size();
+    stats = sim.net.stats();
+    benchmark::DoNotOptimize(rel);
+  }
+  state.counters["messages"] = static_cast<double>(stats.messages_sent);
+  state.counters["pairs_found"] = static_cast<double>(pairs);
+}
+BENCHMARK(BM_RelationshipQuery)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace most

@@ -1,0 +1,152 @@
+// Experiment E4 — Section 3.5 / appendix: the interval-relation algorithm
+// evaluates an FTL query once, versus the naive semantics that would check
+// the formula at every state of the history.
+//
+// Workload: the paper's example queries I, II, III (Section 3.4) over a
+// moving fleet, for growing fleet sizes and history lengths. Expected
+// shape: the interval evaluator is roughly independent of the history
+// length H, while the naive evaluator grows superlinearly with H.
+
+#include <benchmark/benchmark.h>
+
+#include "ftl/eval.h"
+#include "ftl/naive_eval.h"
+#include "ftl/parser.h"
+#include "workload/fleet.h"
+
+namespace most {
+namespace {
+
+std::unique_ptr<MostDatabase> MakeWorld(size_t vehicles) {
+  auto db = std::make_unique<MostDatabase>();
+  FleetGenerator fleet({.num_vehicles = vehicles, .area = 600.0,
+                        .change_probability = 0.0, .seed = 1997});
+  (void)fleet.Populate(db.get(), "CARS");
+  (void)db->DefineRegion("P", Polygon::Rectangle({200, 200}, {400, 400}));
+  (void)db->DefineRegion("Q", Polygon::Rectangle({450, 450}, {600, 600}));
+  return db;
+}
+
+const char* kQueries[] = {
+    // Paper query I.
+    "RETRIEVE o FROM CARS o WHERE EVENTUALLY WITHIN 30 INSIDE(o, P)",
+    // Paper query II.
+    "RETRIEVE o FROM CARS o WHERE EVENTUALLY WITHIN 30 "
+    "(INSIDE(o, P) AND ALWAYS FOR 20 INSIDE(o, P))",
+    // Paper query III.
+    "RETRIEVE o FROM CARS o WHERE EVENTUALLY WITHIN 30 (INSIDE(o, P) AND "
+    "ALWAYS FOR 20 INSIDE(o, P) AND EVENTUALLY AFTER 50 INSIDE(o, Q))",
+};
+
+void BM_IntervalEvaluator(benchmark::State& state) {
+  size_t vehicles = static_cast<size_t>(state.range(0));
+  Tick horizon = state.range(1);
+  int query_idx = static_cast<int>(state.range(2));
+  auto db = MakeWorld(vehicles);
+  auto query = ParseQuery(kQueries[query_idx]);
+  FtlEvaluator eval(*db);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto rel = eval.EvaluateQuery(*query, Interval(0, horizon));
+    rows = rel->rows.size();
+    benchmark::DoNotOptimize(rel);
+  }
+  state.counters["answer_rows"] = static_cast<double>(rows);
+  state.counters["H"] = static_cast<double>(horizon);
+}
+BENCHMARK(BM_IntervalEvaluator)
+    ->ArgsProduct({{200, 1000}, {64, 256, 1024}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NaiveEvaluator(benchmark::State& state) {
+  size_t vehicles = static_cast<size_t>(state.range(0));
+  Tick horizon = state.range(1);
+  int query_idx = static_cast<int>(state.range(2));
+  auto db = MakeWorld(vehicles);
+  auto query = ParseQuery(kQueries[query_idx]);
+  NaiveFtlEvaluator eval(*db);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto rel = eval.EvaluateQuery(*query, Interval(0, horizon));
+    rows = rel->rows.size();
+    benchmark::DoNotOptimize(rel);
+  }
+  state.counters["answer_rows"] = static_cast<double>(rows);
+  state.counters["H"] = static_cast<double>(horizon);
+}
+// The naive evaluator is O(N * H^2)-ish; keep the sweep smaller.
+BENCHMARK(BM_NaiveEvaluator)
+    ->ArgsProduct({{200}, {64, 256}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+// Section 4 + Section 3.5 combined: the same FTL query with the motion
+// index pruning INSIDE candidates. The region covers ~11% of the area;
+// trajectories that never sweep near it are skipped without any geometry.
+void BM_IntervalEvaluatorWithIndex(benchmark::State& state) {
+  size_t vehicles = static_cast<size_t>(state.range(0));
+  bool use_index = state.range(1) == 1;
+  auto db = MakeWorld(vehicles);
+  MotionIndexManager manager(db.get(), {.horizon = 2048});
+  if (use_index) {
+    (void)manager.IndexClass("CARS");
+  }
+  auto query = ParseQuery(kQueries[0]);
+  FtlEvaluator::Options opts;
+  opts.motion_indexes = use_index ? &manager : nullptr;
+  FtlEvaluator eval(*db, opts);
+  for (auto _ : state) {
+    eval.ResetStats();
+    auto rel = eval.EvaluateQuery(*query, Interval(0, 256));
+    benchmark::DoNotOptimize(rel);
+    state.counters["pruned"] =
+        static_cast<double>(eval.stats().index_pruned);
+    state.counters["atomic_evals"] =
+        static_cast<double>(eval.stats().atomic_evaluations);
+  }
+  state.counters["indexed"] = use_index ? 1 : 0;
+}
+BENCHMARK(BM_IntervalEvaluatorWithIndex)
+    ->ArgsProduct({{1000, 10000}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation: the AND semi-join (evaluate the selective INSIDE side first,
+// restrict the expensive all-pairs DIST side to joinable objects).
+void BM_SemijoinAblation(benchmark::State& state) {
+  bool semijoin = state.range(0) == 1;
+  auto db = MakeWorld(400);
+  auto query = ParseQuery(
+      "RETRIEVE o, n FROM CARS o, CARS n "
+      "WHERE EVENTUALLY WITHIN 30 INSIDE(o, P) AND DIST(o, n) <= 40");
+  FtlEvaluator eval(*db, {.enable_semijoin = semijoin});
+  for (auto _ : state) {
+    eval.ResetStats();
+    auto rel = eval.EvaluateQuery(*query, Interval(0, 256));
+    benchmark::DoNotOptimize(rel);
+    state.counters["atomic_evals"] =
+        static_cast<double>(eval.stats().atomic_evaluations);
+  }
+  state.counters["semijoin"] = semijoin ? 1 : 0;
+}
+BENCHMARK(BM_SemijoinAblation)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Two-variable query Q from Section 3.2 (the DIST Until pair query):
+// exercises the join machinery of the interval algorithm.
+void BM_IntervalEvaluatorPairQuery(benchmark::State& state) {
+  size_t vehicles = static_cast<size_t>(state.range(0));
+  auto db = MakeWorld(vehicles);
+  auto query = ParseQuery(
+      "RETRIEVE o, n FROM CARS o, CARS n "
+      "WHERE DIST(o, n) <= 50 UNTIL (INSIDE(o, P) AND INSIDE(n, P))");
+  FtlEvaluator eval(*db);
+  for (auto _ : state) {
+    auto rel = eval.EvaluateQuery(*query, Interval(0, 256));
+    benchmark::DoNotOptimize(rel);
+  }
+  state.counters["pairs"] = static_cast<double>(vehicles * vehicles);
+}
+BENCHMARK(BM_IntervalEvaluatorPairQuery)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace most

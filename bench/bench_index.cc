@@ -1,0 +1,270 @@
+// Experiment E2 — Section 4's claim: the trajectory index answers
+// "retrieve the objects for which currently lo < A < hi" with logarithmic
+// access instead of examining all objects, and — unlike a plain spatial
+// index over positions — never needs updating as time passes.
+//
+// Benchmarks:
+//  * BM_IndexQuery vs BM_FullScanQuery — instantaneous range query cost as
+//    the object count grows (shape: ~log n + answer vs ~n).
+//  * BM_IndexMaintenance vs BM_NaiveReindexPerTick — cost of keeping the
+//    structure usable over H ticks under a trickle of motion updates.
+//  * BM_HorizonRebuild — the T ablation: smaller horizons mean more
+//    frequent reconstruction (DESIGN.md's open question).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "index/trajectory_index.h"
+#include "index/velocity_index.h"
+
+namespace most {
+namespace {
+
+std::vector<DynamicAttribute> MakeAttributes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DynamicAttribute> attrs;
+  attrs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    attrs.emplace_back(rng.UniformDouble(-1000, 1000), 0,
+                       TimeFunction::Linear(rng.UniformDouble(-2, 2)));
+  }
+  return attrs;
+}
+
+void BM_IndexQuery(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto attrs = MakeAttributes(n, 1997);
+  TrajectoryIndex index(0, {.horizon = 1024, .rtree_fanout = 16});
+  for (size_t i = 0; i < n; ++i) {
+    index.Upsert(static_cast<ObjectId>(i), attrs[i]);
+  }
+  Rng rng(7);
+  size_t found = 0;
+  size_t nodes = 0;
+  size_t queries = 0;
+  for (auto _ : state) {
+    double lo = rng.UniformDouble(-1000, 990);
+    Tick t = rng.UniformInt(0, 1023);
+    auto result = index.QueryExact(lo, lo + 10, t);
+    found += result.size();
+    nodes += index.last_search_nodes();
+    ++queries;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["avg_matches"] =
+      static_cast<double>(found) / static_cast<double>(queries);
+  state.counters["avg_rtree_nodes"] =
+      static_cast<double>(nodes) / static_cast<double>(queries);
+  state.counters["objects"] = static_cast<double>(n);
+}
+BENCHMARK(BM_IndexQuery)->RangeMultiplier(4)->Range(1024, 262144);
+
+void BM_FullScanQuery(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto attrs = MakeAttributes(n, 1997);
+  Rng rng(7);
+  size_t found = 0;
+  for (auto _ : state) {
+    double lo = rng.UniformDouble(-1000, 990);
+    double hi = lo + 10;
+    Tick t = rng.UniformInt(0, 1023);
+    std::vector<ObjectId> result;
+    for (size_t i = 0; i < n; ++i) {
+      double v = attrs[i].ValueAt(t);
+      if (lo <= v && v <= hi) result.push_back(static_cast<ObjectId>(i));
+    }
+    found += result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["objects"] = static_cast<double>(n);
+  benchmark::DoNotOptimize(found);
+}
+BENCHMARK(BM_FullScanQuery)->RangeMultiplier(4)->Range(1024, 262144);
+
+// The paper's stated future work: "experimentally compare various
+// mechanisms for indexing dynamic attributes". Mechanism 2: slope-bucketed
+// B+-trees with query-range expansion. Same workload as BM_IndexQuery;
+// the `dt` argument controls how far from the reference time queries land
+// (expansion, and therefore candidate count, grows with dt).
+void BM_VelocityIndexQuery(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Tick dt = state.range(1);
+  auto attrs = MakeAttributes(n, 1997);
+  VelocityBucketIndex index(0, {.bucket_width = 0.5, .horizon = 1024});
+  for (size_t i = 0; i < n; ++i) {
+    index.Upsert(static_cast<ObjectId>(i), attrs[i]);
+  }
+  Rng rng(7);
+  size_t found = 0, probed = 0, queries = 0;
+  for (auto _ : state) {
+    double lo = rng.UniformDouble(-1000, 990);
+    auto result = index.QueryExact(lo, lo + 10, dt);
+    found += result.size();
+    probed += index.last_entries_probed();
+    ++queries;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["avg_matches"] =
+      static_cast<double>(found) / static_cast<double>(queries);
+  state.counters["avg_entries_probed"] =
+      static_cast<double>(probed) / static_cast<double>(queries);
+  state.counters["dt"] = static_cast<double>(dt);
+}
+BENCHMARK(BM_VelocityIndexQuery)
+    ->ArgsProduct({{65536, 262144}, {8, 128, 1023}});
+
+// Maintenance over H ticks: the trajectory index is touched only by the
+// motion updates (fraction `update_rate` of objects per tick).
+void BM_IndexMaintenance(benchmark::State& state) {
+  size_t n = 10000;
+  double update_fraction =
+      static_cast<double>(state.range(0)) / 10000.0;  // Per tick.
+  auto attrs = MakeAttributes(n, 1997);
+  for (auto _ : state) {
+    state.PauseTiming();
+    TrajectoryIndex index(0, {.horizon = 1024, .rtree_fanout = 16});
+    for (size_t i = 0; i < n; ++i) {
+      index.Upsert(static_cast<ObjectId>(i), attrs[i]);
+    }
+    Rng rng(13);
+    state.ResumeTiming();
+    uint64_t touches = 0;
+    for (Tick t = 0; t < 256; ++t) {
+      size_t updates = static_cast<size_t>(update_fraction * n);
+      for (size_t u = 0; u < updates; ++u) {
+        ObjectId id = static_cast<ObjectId>(rng.UniformInt(0, n - 1));
+        index.Upsert(id, DynamicAttribute(rng.UniformDouble(-1000, 1000), t,
+                                          TimeFunction::Linear(
+                                              rng.UniformDouble(-2, 2))));
+        ++touches;
+      }
+    }
+    state.counters["index_touches"] = static_cast<double>(touches);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_IndexMaintenance)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// The strawman the paper rejects: a spatial index over current values must
+// be rebuilt (or fully re-inserted) every tick because every value moved.
+void BM_NaiveReindexPerTick(benchmark::State& state) {
+  size_t n = 10000;
+  auto attrs = MakeAttributes(n, 1997);
+  for (auto _ : state) {
+    uint64_t touches = 0;
+    for (Tick t = 0; t < 8; ++t) {  // 8 ticks is already painful.
+      TrajectoryIndex snapshot(t, {.horizon = 1, .rtree_fanout = 16});
+      for (size_t i = 0; i < n; ++i) {
+        // Index the *current position* only: value v at tick t, horizon 1.
+        snapshot.Upsert(static_cast<ObjectId>(i),
+                        DynamicAttribute(attrs[i].ValueAt(t), t,
+                                         TimeFunction()));
+        ++touches;
+      }
+      benchmark::DoNotOptimize(snapshot);
+    }
+    state.counters["index_touches_per_tick"] =
+        static_cast<double>(touches) / 8.0;
+  }
+}
+BENCHMARK(BM_NaiveReindexPerTick)->Unit(benchmark::kMillisecond);
+
+// Ablation: time-slab width. slab = horizon reproduces the naive
+// one-box-per-piece plot whose dead space makes the index useless; smaller
+// slabs hug the trajectory line at the cost of more segments.
+void BM_SlabAblation(benchmark::State& state) {
+  Tick slab = state.range(0);
+  size_t n = 65536;
+  auto attrs = MakeAttributes(n, 1997);
+  TrajectoryIndex index(0,
+                        {.horizon = 1024, .rtree_fanout = 16,
+                         .time_slab = slab});
+  for (size_t i = 0; i < n; ++i) {
+    index.Upsert(static_cast<ObjectId>(i), attrs[i]);
+  }
+  Rng rng(7);
+  size_t nodes = 0, queries = 0;
+  for (auto _ : state) {
+    double lo = rng.UniformDouble(-1000, 990);
+    Tick t = rng.UniformInt(0, 1023);
+    auto result = index.QueryExact(lo, lo + 10, t);
+    nodes += index.last_search_nodes();
+    ++queries;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["slab"] = static_cast<double>(slab);
+  state.counters["segments"] = static_cast<double>(index.num_segments());
+  state.counters["avg_rtree_nodes"] =
+      static_cast<double>(nodes) / static_cast<double>(queries);
+}
+BENCHMARK(BM_SlabAblation)->Arg(1024)->Arg(256)->Arg(64)->Arg(16);
+
+// Construction strategy for the periodic horizon rebuild: one-at-a-time
+// insertion (Guttman) vs. Sort-Tile-Recursive bulk loading.
+void BM_RTreeConstruction(benchmark::State& state) {
+  bool bulk = state.range(0) == 1;
+  size_t n = static_cast<size_t>(state.range(1));
+  Rng rng(1997);
+  std::vector<std::pair<RTreeBox<2>, ObjectId>> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double t = rng.UniformDouble(0, 1024);
+    double v = rng.UniformDouble(-1000, 1000);
+    RTreeBox<2> box;
+    box.min = {t, v};
+    box.max = {t + 64, v + rng.UniformDouble(0, 128)};
+    entries.emplace_back(box, static_cast<ObjectId>(i));
+  }
+  size_t nodes = 0;
+  for (auto _ : state) {
+    RTree<2, ObjectId> tree(16);
+    if (bulk) {
+      tree.BulkLoad(entries);
+    } else {
+      for (const auto& [box, id] : entries) tree.Insert(box, id);
+    }
+    // Probe query quality: packed trees should touch fewer nodes.
+    tree.last_search_nodes = 0;
+    RTreeBox<2> probe;
+    probe.min = {512, 0};
+    probe.max = {512, 10};
+    tree.Search(probe, [](const RTreeBox<2>&, const ObjectId&) {});
+    nodes = tree.last_search_nodes;
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["bulk"] = bulk ? 1 : 0;
+  state.counters["probe_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_RTreeConstruction)
+    ->ArgsProduct({{0, 1}, {100000}})
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation: horizon T trades rebuild frequency against segment count.
+void BM_HorizonRebuild(benchmark::State& state) {
+  Tick horizon = state.range(0);
+  size_t n = 10000;
+  auto attrs = MakeAttributes(n, 1997);
+  for (auto _ : state) {
+    TrajectoryIndex index(0, {.horizon = horizon, .rtree_fanout = 16});
+    for (size_t i = 0; i < n; ++i) {
+      index.Upsert(static_cast<ObjectId>(i), attrs[i]);
+    }
+    uint64_t rebuilds = 0;
+    for (Tick t = 0; t < 2048; t += 64) {
+      if (index.NeedsRebuild(t)) {
+        index.Rebuild(t);
+        ++rebuilds;
+      }
+      auto r = index.QueryExact(0, 10, t);
+      benchmark::DoNotOptimize(r);
+    }
+    state.counters["rebuilds"] = static_cast<double>(rebuilds);
+    state.counters["segments"] = static_cast<double>(index.num_segments());
+  }
+}
+BENCHMARK(BM_HorizonRebuild)->Arg(128)->Arg(512)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace most

@@ -1,0 +1,73 @@
+// Extension experiment: the paper's opening query ("...from the nearest
+// hospital?") answered over a future window. Compares the exact
+// lower-envelope computation (one evaluation, interval answers — the MOST
+// philosophy applied to nearest-neighbor) against re-running the
+// instantaneous nearest-neighbor query at every tick.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ftl/nearest.h"
+
+namespace most {
+namespace {
+
+std::unique_ptr<MostDatabase> MakeWorld(size_t hospitals, uint64_t seed) {
+  auto db = std::make_unique<MostDatabase>();
+  (void)db->CreateClass("HOSPITALS", {}, true);
+  (void)db->CreateClass("CARS", {}, true);
+  Rng rng(seed);
+  for (size_t i = 0; i < hospitals; ++i) {
+    auto obj = db->CreateObject("HOSPITALS");
+    (void)db->SetMotion("HOSPITALS", (*obj)->id(),
+                        {rng.UniformDouble(-1000, 1000),
+                         rng.UniformDouble(-1000, 1000)},
+                        {0, 0});
+  }
+  auto car = db->CreateObject("CARS");
+  (void)db->SetMotion("CARS", (*car)->id(), {0, 0}, {2, 1});
+  return db;
+}
+
+void BM_NearestOverWindowEnvelope(benchmark::State& state) {
+  size_t hospitals = static_cast<size_t>(state.range(0));
+  auto db = MakeWorld(hospitals, 1997);
+  auto cars = db->GetClass("CARS");
+  const MostObject* car = &cars.value()->objects().begin()->second;
+  size_t segments = 0;
+  for (auto _ : state) {
+    auto result = NearestOverWindow(*db, "HOSPITALS", *car, Interval(0, 512));
+    segments = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["distinct_winners"] = static_cast<double>(segments);
+  state.counters["hospitals"] = static_cast<double>(hospitals);
+}
+BENCHMARK(BM_NearestOverWindowEnvelope)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NearestPerTickRescan(benchmark::State& state) {
+  size_t hospitals = static_cast<size_t>(state.range(0));
+  auto db = MakeWorld(hospitals, 1997);
+  auto cars = db->GetClass("CARS");
+  const MostObject* car = &cars.value()->objects().begin()->second;
+  for (auto _ : state) {
+    ObjectId previous = kInvalidObjectId;
+    size_t handovers = 0;
+    for (Tick t = 0; t <= 512; ++t) {
+      auto nearest = NearestNeighbor(*db, "HOSPITALS", *car, t);
+      if (nearest->id != previous) {
+        ++handovers;
+        previous = nearest->id;
+      }
+      benchmark::DoNotOptimize(nearest);
+    }
+    state.counters["handovers"] = static_cast<double>(handovers);
+  }
+  state.counters["hospitals"] = static_cast<double>(hospitals);
+}
+BENCHMARK(BM_NearestPerTickRescan)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace most

@@ -1,0 +1,122 @@
+// Experiment E8 — Section 5.2: immediate vs delayed transmission of
+// Answer(CQ) to a mobile client, under client memory limits B and
+// disconnection.
+//
+// Shape expectations from the paper's discussion:
+//  * immediate/unlimited: 1 message, whole set; client buffers everything.
+//  * immediate with memory B: ceil(|Answer|/B) block messages; client
+//    buffer bounded by B.
+//  * delayed: one message per tuple, each arriving exactly at its begin
+//    time; minimal client memory, most messages, and the most exposure to
+//    disconnection (a tuple missed while disconnected is simply never
+//    displayed).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "distributed/transmission.h"
+
+namespace most {
+namespace {
+
+std::vector<AnswerTuple> MakeAnswer(size_t tuples, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AnswerTuple> answer;
+  for (size_t i = 0; i < tuples; ++i) {
+    Tick begin = rng.UniformInt(1, 400);
+    answer.push_back(
+        {{static_cast<ObjectId>(i)},
+         Interval(begin, begin + rng.UniformInt(2, 40))});
+  }
+  return answer;
+}
+
+struct RunResult {
+  SimNetwork::Stats net;
+  size_t peak_buffer = 0;
+  uint64_t displayed_tuple_ticks = 0;
+};
+
+RunResult RunTransmission(TransmissionMode mode, size_t memory_limit,
+                          size_t tuples, double disconnect_prob) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  NodeId server = net.AddNode(nullptr);
+  AnswerClient client(&clock);
+  NodeId client_node = net.AddNode(nullptr);
+  client.Attach(&net, client_node);
+  AnswerTransmitter tx(&net, &clock, server, client_node, 1,
+                       {mode, memory_limit, 1});
+  tx.SetAnswer(MakeAnswer(tuples, 1997));
+  Rng rng(13);
+  RunResult result;
+  for (Tick t = 0; t <= 460; ++t) {
+    clock.AdvanceTo(t);
+    if (disconnect_prob > 0.0) {
+      net.SetConnected(client_node, !rng.Bernoulli(disconnect_prob));
+    }
+    tx.Step();
+    net.DeliverDue();
+    client.Compact();
+    result.displayed_tuple_ticks += client.Display().size();
+  }
+  result.net = net.stats();
+  result.peak_buffer = client.peak_buffered();
+  return result;
+}
+
+void BM_TransmissionModes(benchmark::State& state) {
+  TransmissionMode mode = state.range(0) == 0 ? TransmissionMode::kImmediate
+                                              : TransmissionMode::kDelayed;
+  size_t memory_limit = static_cast<size_t>(state.range(1));
+  size_t tuples = static_cast<size_t>(state.range(2));
+  RunResult result;
+  for (auto _ : state) {
+    result = RunTransmission(mode, memory_limit, tuples, 0.0);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["messages"] =
+      static_cast<double>(result.net.messages_sent);
+  state.counters["bytes"] = static_cast<double>(result.net.bytes_sent);
+  state.counters["client_peak_tuples"] =
+      static_cast<double>(result.peak_buffer);
+  state.counters["displayed_tuple_ticks"] =
+      static_cast<double>(result.displayed_tuple_ticks);
+  state.counters["mode_delayed"] = state.range(0);
+  state.counters["memory_limit"] = static_cast<double>(memory_limit);
+}
+BENCHMARK(BM_TransmissionModes)
+    ->ArgsProduct({{0, 1}, {0, 8, 64}, {64, 512}})
+    ->Unit(benchmark::kMillisecond);
+
+// Disconnection sensitivity: the delayed mode silently loses tuples whose
+// transmission instant falls in a disconnected window; the immediate mode
+// only risks the single bulk transfer.
+void BM_TransmissionUnderDisconnection(benchmark::State& state) {
+  TransmissionMode mode = state.range(0) == 0 ? TransmissionMode::kImmediate
+                                              : TransmissionMode::kDelayed;
+  double disconnect_prob = static_cast<double>(state.range(1)) / 100.0;
+  RunResult result;
+  for (auto _ : state) {
+    result = RunTransmission(mode, 0, 256, disconnect_prob);
+    benchmark::DoNotOptimize(result);
+  }
+  // Compare against the perfectly-connected run to expose display loss.
+  RunResult clean = RunTransmission(mode, 0, 256, 0.0);
+  state.counters["displayed_tuple_ticks"] =
+      static_cast<double>(result.displayed_tuple_ticks);
+  state.counters["display_loss_pct"] =
+      100.0 *
+      (1.0 - static_cast<double>(result.displayed_tuple_ticks) /
+                 std::max<double>(1.0, static_cast<double>(
+                                           clean.displayed_tuple_ticks)));
+  state.counters["dropped_messages"] =
+      static_cast<double>(result.net.messages_dropped);
+  state.counters["mode_delayed"] = state.range(0);
+}
+BENCHMARK(BM_TransmissionUnderDisconnection)
+    ->ArgsProduct({{0, 1}, {0, 10, 30}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace most

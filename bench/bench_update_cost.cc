@@ -1,0 +1,102 @@
+// Experiment E1 — the paper's motivating claim (Section 1): representing
+// position as a motion vector needs far fewer updates (wireless messages)
+// than keeping the position current by explicit updates.
+//
+// Three reporting policies over the same fleet trace:
+//  * per_tick   — position transmitted every tick (the strawman).
+//  * deadband   — dead-reckoning: position re-transmitted only when the
+//                 true position deviates more than `threshold` from the
+//                 last transmitted linear prediction (a common practical
+//                 middle ground).
+//  * motion_vec — the MOST policy: transmit only motion-vector changes.
+//
+// Expected shape: per_tick = N * H messages; motion_vec proportional to
+// the number of velocity changes; deadband in between, approaching
+// motion_vec as the threshold grows.
+
+#include <benchmark/benchmark.h>
+
+#include "workload/fleet.h"
+
+namespace most {
+namespace {
+
+struct Policy {
+  uint64_t messages = 0;
+};
+
+// Simulates H ticks of the fleet trace and counts messages per policy.
+void SimulateUpdateCost(size_t vehicles, double change_prob, Tick horizon,
+                        double deadband_threshold, uint64_t* per_tick,
+                        uint64_t* deadband, uint64_t* motion_vec) {
+  FleetGenerator fleet({.num_vehicles = vehicles,
+                        .area = 2000.0,
+                        .change_probability = change_prob,
+                        .seed = 1997});
+  auto updates = fleet.GenerateUpdates(horizon);
+
+  *per_tick = static_cast<uint64_t>(vehicles) * static_cast<uint64_t>(horizon);
+  *motion_vec = updates.size();
+
+  // Deadband: per vehicle, walk the true piecewise trajectory and compare
+  // against the last report's linear prediction.
+  *deadband = 0;
+  std::vector<std::vector<MotionUpdate>> per_vehicle(vehicles);
+  for (const MotionUpdate& u : updates) {
+    per_vehicle[u.id].push_back(u);
+  }
+  for (const ObjectState& start : fleet.initial_states()) {
+    Point2 true_pos = start.position;
+    Vec2 true_vel = start.velocity;
+    Tick seg_at = 0;
+    Point2 report_pos = start.position;
+    Vec2 report_vel = start.velocity;
+    Tick report_at = 0;
+    *deadband += 1;  // Initial report.
+    size_t next_update = 0;
+    const auto& mine = per_vehicle[start.id];
+    for (Tick t = 1; t <= horizon; ++t) {
+      while (next_update < mine.size() && mine[next_update].at <= t) {
+        true_pos = mine[next_update].position;
+        true_vel = mine[next_update].velocity;
+        seg_at = mine[next_update].at;
+        ++next_update;
+      }
+      Point2 actual = true_pos + true_vel * static_cast<double>(t - seg_at);
+      Point2 predicted =
+          report_pos + report_vel * static_cast<double>(t - report_at);
+      if (actual.DistanceTo(predicted) > deadband_threshold) {
+        *deadband += 1;
+        report_pos = actual;
+        report_vel = true_vel;
+        report_at = t;
+      }
+    }
+  }
+}
+
+void BM_UpdateCost(benchmark::State& state) {
+  size_t vehicles = static_cast<size_t>(state.range(0));
+  double change_prob = static_cast<double>(state.range(1)) / 1000.0;
+  Tick horizon = 1000;
+  uint64_t per_tick = 0, deadband = 0, motion_vec = 0;
+  for (auto _ : state) {
+    SimulateUpdateCost(vehicles, change_prob, horizon, /*threshold=*/5.0,
+                       &per_tick, &deadband, &motion_vec);
+    benchmark::DoNotOptimize(motion_vec);
+  }
+  state.counters["msgs_per_tick_policy"] = static_cast<double>(per_tick);
+  state.counters["msgs_deadband"] = static_cast<double>(deadband);
+  state.counters["msgs_motion_vector"] = static_cast<double>(motion_vec);
+  state.counters["savings_factor"] =
+      static_cast<double>(per_tick) /
+      std::max<double>(1.0, static_cast<double>(motion_vec));
+}
+
+// Sweep fleet size and motion-change probability (per mille per tick).
+BENCHMARK(BM_UpdateCost)
+    ->ArgsProduct({{100, 1000}, {2, 10, 50, 200}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace most

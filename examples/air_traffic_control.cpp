@@ -1,0 +1,100 @@
+// Air-traffic control (paper, Section 1): "retrieve all the airplanes that
+// will come within 30 miles of the airport in the next 10 minutes".
+//
+// Demonstrates the paper's flagship future query Q, its tentative nature
+// (a later motion-vector update changes the answer), and a temporal
+// trigger that raises an alert the moment a plane's approach interval
+// begins.
+
+#include <iostream>
+
+#include "core/object_model.h"
+#include "ftl/parser.h"
+#include "ftl/query_manager.h"
+
+using namespace most;
+
+int main() {
+  MostDatabase db;
+  (void)db.CreateClass("PLANES", {{"FLIGHT", false, ValueType::kString}},
+                       /*spatial=*/true);
+
+  // The airport is a stationary spatial object; DIST works on any pair of
+  // spatial objects.
+  (void)db.CreateClass("AIRPORTS", {{"CODE", false, ValueType::kString}},
+                       /*spatial=*/true);
+  auto airport = db.CreateObject("AIRPORTS");
+  (void)db.UpdateStatic("AIRPORTS", (*airport)->id(), "CODE", Value("ORD"));
+  (void)db.SetMotion("AIRPORTS", (*airport)->id(), {0, 0}, {0, 0});
+
+  struct Flight {
+    const char* name;
+    Point2 pos;
+    Vec2 vel;
+  };
+  // One tick = one minute; distances in miles.
+  Flight flights[] = {
+      {"UA101", {-120, 0}, {10, 0}},   // Inbound: reaches 30mi at t=9.
+      {"AA202", {200, 50}, {-2, 0}},   // Too far to arrive within 10 min.
+      {"DL303", {-25, 10}, {0.5, 0}},  // Already within 30 miles.
+      {"SW404", {80, -60}, {-9, 7}},   // Inbound fast from the southeast.
+  };
+  for (const Flight& f : flights) {
+    auto plane = db.CreateObject("PLANES");
+    (void)db.UpdateStatic("PLANES", (*plane)->id(), "FLIGHT", Value(f.name));
+    (void)db.SetMotion("PLANES", (*plane)->id(), f.pos, f.vel);
+  }
+
+  QueryManager qm(&db, {.horizon = 600});
+  auto query = ParseQuery(
+      "RETRIEVE p FROM PLANES p, AIRPORTS a "
+      "WHERE EVENTUALLY WITHIN 10 DIST(p, a) <= 30");
+  if (!query.ok()) {
+    std::cerr << query.status() << "\n";
+    return 1;
+  }
+
+  auto name_of = [&](ObjectId id) {
+    auto cls = db.GetClass("PLANES");
+    auto obj = (*cls)->Get(id);
+    return (*obj)->GetStatic("FLIGHT")->string_value();
+  };
+
+  std::cout << "Query Q: planes within 30 miles of ORD in the next 10 "
+               "minutes\n";
+  auto answer = qm.Instantaneous(*query);
+  for (const auto& binding : *answer) {
+    std::cout << "  -> " << name_of(binding[0]) << "\n";
+  }
+
+  // The answer is TENTATIVE: UA101 goes around, and the database update
+  // steers it out of the answer.
+  std::cout << "\nUA101 reports a go-around (new heading away from ORD)\n";
+  (void)db.SetMotion("PLANES", 1, {-120, 0}, {0, -12});
+  answer = qm.Instantaneous(*query);
+  std::cout << "re-asked at t=0 after the update:\n";
+  for (const auto& binding : *answer) {
+    std::cout << "  -> " << name_of(binding[0]) << "\n";
+  }
+
+  // A temporal trigger: alert when a plane ENTERS the 30-mile zone (the
+  // moment its approach interval begins).
+  auto enter_zone = ParseQuery(
+      "RETRIEVE p FROM PLANES p, AIRPORTS a WHERE DIST(p, a) <= 30");
+  auto trigger = qm.RegisterTrigger(
+      *enter_zone, [&](const std::vector<ObjectId>& binding, Tick at) {
+        // The binding carries exactly the RETRIEVE variables (here: p).
+        std::cout << "  [ALERT t=" << at << "] " << name_of(binding[0])
+                  << " entered the 30-mile zone\n";
+      });
+  if (!trigger.ok()) {
+    std::cerr << trigger.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nRunning the clock with the approach trigger armed:\n";
+  for (Tick t = 1; t <= 12; ++t) {
+    db.clock().AdvanceTo(t);
+    (void)qm.Poll();
+  }
+  return 0;
+}

@@ -1,0 +1,277 @@
+// An interactive shell for the MOST database: build a world of moving
+// objects, advance the clock, and run FTL queries against it. Designed to
+// be equally usable from a pipe, so scenarios can be scripted:
+//
+//   echo 'demo
+//   query RETRIEVE o FROM CARS o WHERE EVENTUALLY WITHIN 30 INSIDE(o, P)
+//   tick 25
+//   query RETRIEVE o FROM CARS o WHERE INSIDE(o, P)' | ./most_shell
+//
+// Type `help` for the command list.
+
+#include <iostream>
+#include <sstream>
+
+#include "core/object_model.h"
+#include "ftl/nearest.h"
+#include "ftl/parser.h"
+#include "ftl/query_manager.h"
+
+using namespace most;
+
+namespace {
+
+constexpr const char* kHelp = R"(Commands:
+  class <name> [spatial] [attr:double|int|string|dyn ...]
+                                 declare an object class
+  object <class>                 create an object (prints its id)
+  motion <class> <id> <x> <y> <vx> <vy>
+                                 set position + velocity at the current time
+  static <class> <id> <attr> <value>
+                                 set a static attribute
+  dynamic <class> <id> <attr> <value> <slope>
+                                 set a dynamic attribute (value + per-tick slope)
+  region <name> rect <x0> <y0> <x1> <y1>
+  region <name> circle <cx> <cy> <radius>
+                                 define a named region
+  tick [n]                       advance the clock (default 1)
+  now                            print the current time
+  query <FTL query>              instantaneous query at the current time
+  answer <FTL query>             full Answer relation with time intervals
+  continuous <FTL query>         register a continuous query (prints handle)
+  show <handle>                  current display of a continuous query
+  cancel <handle>                cancel a continuous query
+  nearest <from-class> <id> <target-class>
+                                 nearest target object, now and over time
+  demo                           load a small ready-made world
+  help                           this text
+  quit                           exit
+)";
+
+class Shell {
+ public:
+  Shell() : qm_(&db_, {.horizon = 512}) {}
+
+  int Run() {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!Dispatch(line)) break;
+    }
+    return 0;
+  }
+
+ private:
+  static std::vector<std::string> Tokens(const std::string& line) {
+    std::istringstream is(line);
+    std::vector<std::string> out;
+    std::string tok;
+    while (is >> tok) out.push_back(tok);
+    return out;
+  }
+
+  void Report(const Status& status) {
+    if (!status.ok()) std::cout << "error: " << status.ToString() << "\n";
+  }
+
+  // Returns false to quit.
+  bool Dispatch(const std::string& line) {
+    std::vector<std::string> t = Tokens(line);
+    if (t.empty() || t[0][0] == '#') return true;
+    const std::string& cmd = t[0];
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::cout << kHelp;
+    } else if (cmd == "class" && t.size() >= 2) {
+      bool spatial = false;
+      std::vector<AttributeDecl> attrs;
+      for (size_t i = 2; i < t.size(); ++i) {
+        if (t[i] == "spatial") {
+          spatial = true;
+          continue;
+        }
+        size_t colon = t[i].rfind(':');
+        if (colon == std::string::npos) {
+          std::cout << "error: attribute must be name:type\n";
+          return true;
+        }
+        std::string name = t[i].substr(0, colon);
+        std::string type = t[i].substr(colon + 1);
+        if (type == "dyn") {
+          attrs.push_back({name, true, ValueType::kNull});
+        } else if (type == "double") {
+          attrs.push_back({name, false, ValueType::kDouble});
+        } else if (type == "int") {
+          attrs.push_back({name, false, ValueType::kInt});
+        } else if (type == "string") {
+          attrs.push_back({name, false, ValueType::kString});
+        } else {
+          std::cout << "error: unknown type '" << type << "'\n";
+          return true;
+        }
+      }
+      Report(db_.CreateClass(t[1], attrs, spatial).status());
+    } else if (cmd == "object" && t.size() == 2) {
+      auto obj = db_.CreateObject(t[1]);
+      if (obj.ok()) {
+        std::cout << "object " << (*obj)->id() << "\n";
+      } else {
+        Report(obj.status());
+      }
+    } else if (cmd == "motion" && t.size() == 7) {
+      Report(db_.SetMotion(t[1], std::stoull(t[2]),
+                           {std::stod(t[3]), std::stod(t[4])},
+                           {std::stod(t[5]), std::stod(t[6])}));
+    } else if (cmd == "static" && t.size() == 5) {
+      // Numbers become doubles, everything else a string.
+      char* end = nullptr;
+      double v = std::strtod(t[4].c_str(), &end);
+      Value value = (*end == '\0') ? Value(v) : Value(t[4]);
+      Report(db_.UpdateStatic(t[1], std::stoull(t[2]), t[3], value));
+    } else if (cmd == "dynamic" && t.size() == 6) {
+      Report(db_.UpdateDynamic(t[1], std::stoull(t[2]), t[3],
+                               std::stod(t[4]),
+                               TimeFunction::Linear(std::stod(t[5]))));
+    } else if (cmd == "region" && t.size() >= 3 && t[2] == "rect" &&
+               t.size() == 7) {
+      Report(db_.DefineRegion(
+          t[1], Polygon::Rectangle({std::stod(t[3]), std::stod(t[4])},
+                                   {std::stod(t[5]), std::stod(t[6])})));
+    } else if (cmd == "region" && t.size() >= 3 && t[2] == "circle" &&
+               t.size() == 6) {
+      Report(db_.DefineRegion(
+          t[1], Polygon::RegularApprox({std::stod(t[3]), std::stod(t[4])},
+                                       std::stod(t[5]), 32)));
+    } else if (cmd == "tick") {
+      db_.clock().Advance(t.size() > 1 ? std::stoll(t[1]) : 1);
+      std::cout << "t=" << db_.Now() << "\n";
+    } else if (cmd == "now") {
+      std::cout << "t=" << db_.Now() << "\n";
+    } else if (cmd == "query" || cmd == "answer" || cmd == "continuous") {
+      std::string text = line.substr(line.find(cmd) + cmd.size());
+      auto query = ParseQuery(text);
+      if (!query.ok()) {
+        Report(query.status());
+        return true;
+      }
+      if (cmd == "query") {
+        auto result = qm_.Instantaneous(*query);
+        if (!result.ok()) {
+          Report(result.status());
+          return true;
+        }
+        for (const auto& binding : *result) {
+          std::cout << " ";
+          for (size_t i = 0; i < binding.size(); ++i) {
+            std::cout << (i ? "," : "") << binding[i];
+          }
+          std::cout << "\n";
+        }
+        std::cout << result->size() << " result(s) at t=" << db_.Now()
+                  << "\n";
+      } else if (cmd == "answer") {
+        auto rel = qm_.Evaluate(*query);
+        if (!rel.ok()) {
+          Report(rel.status());
+          return true;
+        }
+        for (const auto& [binding, when] : rel->rows) {
+          std::cout << " (";
+          for (size_t i = 0; i < binding.size(); ++i) {
+            std::cout << (i ? "," : "") << binding[i];
+          }
+          std::cout << ") during " << when.ToString() << "\n";
+        }
+        std::cout << rel->rows.size() << " tuple(s)\n";
+      } else {
+        auto handle = qm_.RegisterContinuous(*query);
+        if (handle.ok()) {
+          std::cout << "continuous query " << *handle << " registered\n";
+        } else {
+          Report(handle.status());
+        }
+      }
+    } else if (cmd == "show" && t.size() == 2) {
+      auto result = qm_.CurrentAnswer(std::stoull(t[1]));
+      if (!result.ok()) {
+        Report(result.status());
+        return true;
+      }
+      for (const auto& binding : *result) {
+        std::cout << " ";
+        for (size_t i = 0; i < binding.size(); ++i) {
+          std::cout << (i ? "," : "") << binding[i];
+        }
+        std::cout << "\n";
+      }
+      std::cout << result->size() << " on display at t=" << db_.Now() << "\n";
+    } else if (cmd == "cancel" && t.size() == 2) {
+      Report(qm_.Cancel(std::stoull(t[1])));
+    } else if (cmd == "nearest" && t.size() == 4) {
+      auto cls = db_.GetClass(t[1]);
+      if (!cls.ok()) {
+        Report(cls.status());
+        return true;
+      }
+      auto obj = (*cls)->Get(std::stoull(t[2]));
+      if (!obj.ok()) {
+        Report(obj.status());
+        return true;
+      }
+      auto now_result = NearestNeighbor(db_, t[3], **obj, db_.Now());
+      if (!now_result.ok()) {
+        Report(now_result.status());
+        return true;
+      }
+      std::cout << "nearest now: object " << now_result->id << " at distance "
+                << now_result->distance << "\n";
+      auto envelope = NearestOverWindow(
+          db_, t[3], **obj, Interval(db_.Now(), db_.Now() + 100));
+      if (envelope.ok()) {
+        for (const auto& [id, when] : *envelope) {
+          std::cout << "  object " << id << " nearest during "
+                    << when.ToString() << "\n";
+        }
+      }
+    } else if (cmd == "demo") {
+      LoadDemo();
+    } else {
+      std::cout << "error: unrecognized command (try `help`)\n";
+    }
+    return true;
+  }
+
+  void LoadDemo() {
+    const char* script[] = {
+        "class CARS spatial PLATE:string",
+        "class HOSPITALS spatial",
+        "region P rect 0 0 20 20",
+        "object CARS",
+        "motion CARS 0 -30 10 1 0",
+        "static CARS 0 PLATE RWW860",
+        "object CARS",
+        "motion CARS 1 100 100 0 0",
+        "object HOSPITALS",
+        "motion HOSPITALS 2 5 5 0 0",
+        "object HOSPITALS",
+        "motion HOSPITALS 3 200 0 0 0",
+    };
+    for (const char* line : script) {
+      std::cout << "> " << line << "\n";
+      Dispatch(line);
+    }
+    std::cout << "demo world loaded; try:\n"
+              << "  query RETRIEVE o FROM CARS o WHERE EVENTUALLY WITHIN 40 "
+                 "INSIDE(o, P)\n"
+              << "  nearest CARS 0 HOSPITALS\n";
+  }
+
+  MostDatabase db_;
+  QueryManager qm_;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "MOST shell — moving-objects database (type `help`)\n";
+  return Shell().Run();
+}

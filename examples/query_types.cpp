@@ -1,0 +1,76 @@
+// Figure 1 of the paper, executable: the SAME query text entered as an
+// instantaneous, a continuous, and a persistent query produces three
+// different results.
+//
+// The query is the paper's R (Section 2.3): "retrieve the objects whose
+// speed in the direction of the X-axis doubles within 10 minutes". The
+// scenario is the paper's own: speed 5 at time 0, explicitly updated to 7
+// at time 1 and to 10 at time 2.
+
+#include <iostream>
+
+#include "core/object_model.h"
+#include "ftl/parser.h"
+#include "ftl/query_manager.h"
+
+using namespace most;
+
+int main() {
+  MostDatabase db;
+  (void)db.CreateClass("OBJECTS", {}, /*spatial=*/true);
+  auto obj = db.CreateObject("OBJECTS");
+  ObjectId id = (*obj)->id();
+  (void)db.SetMotion("OBJECTS", id, {0, 0}, {5, 0});
+
+  QueryManager qm(&db, {.horizon = 100});
+  auto r = ParseQuery(
+      "RETRIEVE o FROM OBJECTS o "
+      "WHERE [x := SPEED(o.X.POSITION)] EVENTUALLY WITHIN 10 "
+      "SPEED(o.X.POSITION) >= x * 2");
+  if (!r.ok()) {
+    std::cerr << r.status() << "\n";
+    return 1;
+  }
+  std::cout << "Query R: " << r->ToString() << "\n\n";
+
+  // Enter R in all three modes at time 0.
+  auto continuous = qm.RegisterContinuous(*r);
+  auto persistent = qm.RegisterPersistent(*r);
+
+  auto report = [&](Tick t) {
+    db.clock().AdvanceTo(t);
+    auto inst = qm.Instantaneous(*r);
+    auto cont = qm.CurrentAnswer(*continuous);
+    auto pers = qm.PersistentAnswer(*persistent);
+    bool pers_hit = false;
+    for (const AnswerTuple& tuple : *pers) {
+      if (tuple.interval.Contains(0)) pers_hit = true;  // At the anchor.
+    }
+    std::cout << "t=" << t << ":  instantaneous=" << inst->size()
+              << "  continuous=" << cont->size()
+              << "  persistent=" << (pers_hit ? 1 : 0) << "\n";
+  };
+
+  std::cout << "speed is 5; no future state doubles it:\n";
+  report(0);
+
+  std::cout << "\nupdate at t=1: function becomes 7t\n";
+  db.clock().AdvanceTo(1);
+  (void)db.UpdateDynamic("OBJECTS", id, kAttrX, 5.0,
+                         TimeFunction::Linear(7.0));
+  report(1);
+
+  std::cout << "\nupdate at t=2: function becomes 10t\n";
+  db.clock().AdvanceTo(2);
+  (void)db.UpdateDynamic("OBJECTS", id, kAttrX, 12.0,
+                         TimeFunction::Linear(10.0));
+  report(2);
+
+  std::cout << "\nAs the paper observes: the instantaneous and continuous "
+               "readings never\nretrieve the object (starting anywhere, the "
+               "future history has constant\nspeed), while the persistent "
+               "query — anchored at t=0 and refined by the\nrecorded "
+               "updates — sees the speed go from 5 to 10 within 2 ticks and\n"
+               "retrieves it.\n";
+  return 0;
+}

@@ -1,0 +1,205 @@
+#include "common/interval.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace most {
+
+std::string Interval::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  os << "[";
+  if (iv.begin <= kTickMin) {
+    os << "-inf";
+  } else {
+    os << iv.begin;
+  }
+  os << ", ";
+  if (iv.end >= kTickMax) {
+    os << "+inf";
+  } else {
+    os << iv.end;
+  }
+  os << "]";
+  return os;
+}
+
+IntervalSet IntervalSet::FromIntervals(std::vector<Interval> ivs) {
+  IntervalSet out;
+  std::erase_if(ivs, [](const Interval& iv) { return !iv.valid(); });
+  std::sort(ivs.begin(), ivs.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin || (a.begin == b.begin && a.end < b.end);
+            });
+  for (const Interval& iv : ivs) {
+    if (!out.intervals_.empty() &&
+        out.intervals_.back().OverlapsOrAdjacent(iv)) {
+      out.intervals_.back().end = std::max(out.intervals_.back().end, iv.end);
+    } else {
+      out.intervals_.push_back(iv);
+    }
+  }
+  return out;
+}
+
+bool IntervalSet::Contains(Tick t) const {
+  // First interval with begin > t; the candidate is its predecessor.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](Tick v, const Interval& iv) { return v < iv.begin; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return it->Contains(t);
+}
+
+bool IntervalSet::FirstAtOrAfter(Tick t, Tick* out) const {
+  for (const Interval& iv : intervals_) {
+    if (iv.end < t) continue;
+    *out = std::max(iv.begin, t);
+    return true;
+  }
+  return false;
+}
+
+Tick IntervalSet::Cardinality() const {
+  Tick total = 0;
+  for (const Interval& iv : intervals_) {
+    total = TickSaturatingAdd(total, iv.length());
+  }
+  return total;
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& o) const {
+  std::vector<Interval> all = intervals_;
+  all.insert(all.end(), o.intervals_.begin(), o.intervals_.end());
+  return FromIntervals(std::move(all));
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& o) const {
+  IntervalSet out;
+  size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < o.intervals_.size()) {
+    const Interval& a = intervals_[i];
+    const Interval& b = o.intervals_[j];
+    Tick lo = std::max(a.begin, b.begin);
+    Tick hi = std::min(a.end, b.end);
+    if (lo <= hi) out.intervals_.push_back(Interval(lo, hi));
+    // Advance whichever interval ends first.
+    if (a.end < b.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::Difference(const IntervalSet& o) const {
+  return Intersect(o.Complement(Interval(kTickMin, kTickMax)));
+}
+
+IntervalSet IntervalSet::Complement(Interval universe) const {
+  IntervalSet out;
+  if (!universe.valid()) return out;
+  Tick cursor = universe.begin;
+  for (const Interval& iv : intervals_) {
+    if (iv.end < universe.begin) continue;
+    if (iv.begin > universe.end) break;
+    if (iv.begin > cursor) {
+      out.intervals_.push_back(Interval(cursor, iv.begin - 1));
+    }
+    cursor = std::max(cursor, TickSaturatingAdd(iv.end, 1));
+    if (cursor > universe.end) return out;
+  }
+  if (cursor <= universe.end) {
+    out.intervals_.push_back(Interval(cursor, universe.end));
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::Clamp(Interval universe) const {
+  return Intersect(IntervalSet(universe));
+}
+
+IntervalSet IntervalSet::Shift(Tick d) const {
+  IntervalSet out;
+  for (const Interval& iv : intervals_) {
+    Interval shifted(TickSaturatingAdd(iv.begin, d),
+                     TickSaturatingAdd(iv.end, d));
+    if (shifted.valid()) out.intervals_.push_back(shifted);
+  }
+  // Saturation can make intervals touch; renormalize.
+  return FromIntervals(std::move(out.intervals_));
+}
+
+IntervalSet IntervalSet::DilateLeft(Tick c) const {
+  std::vector<Interval> out;
+  out.reserve(intervals_.size());
+  for (const Interval& iv : intervals_) {
+    out.push_back(Interval(TickSaturatingAdd(iv.begin, -c), iv.end));
+  }
+  return FromIntervals(std::move(out));
+}
+
+IntervalSet IntervalSet::ErodeRight(Tick c) const {
+  std::vector<Interval> out;
+  for (const Interval& iv : intervals_) {
+    Interval eroded(iv.begin, TickSaturatingAdd(iv.end, -c));
+    if (eroded.valid()) out.push_back(eroded);
+  }
+  return FromIntervals(std::move(out));
+}
+
+IntervalSet IntervalSet::UntilWith(const IntervalSet& g1, Tick bound) const {
+  // Sat(g1 Until g2), `this` = Sat(g2). For each interval [m, n] of g2:
+  // satisfaction extends left from m through any g1 interval covering m-1.
+  // Coalescing the extended intervals reproduces the appendix's maximal
+  // chains: if [m_i, n_i] extended-left reaches into the extension of the
+  // previous pair, FromIntervals merges them into one chain interval.
+  //
+  // With a finite `bound`, a tick t can only use a g2 witness at most
+  // `bound` ticks away, so the leftward extension below interval [m, n] is
+  // additionally floored at m - bound. (Ticks inside [m, n] witness
+  // themselves, at distance 0.)
+  std::vector<Interval> out;
+  out.reserve(intervals_.size());
+  size_t j = 0;  // Cursor into g1's intervals (both sets are sorted).
+  for (const Interval& g2iv : intervals_) {
+    Tick start = g2iv.begin;
+    Tick prev = TickSaturatingAdd(g2iv.begin, -1);
+    while (j < g1.intervals_.size() && g1.intervals_[j].end < prev) ++j;
+    if (j < g1.intervals_.size()) {
+      const Interval& g1iv = g1.intervals_[j];
+      if (g1iv.begin <= prev && prev <= g1iv.end) {
+        start = std::min(start, g1iv.begin);
+      }
+    }
+    start = std::max(start, TickSaturatingAdd(g2iv.begin, -bound));
+    out.push_back(Interval(start, g2iv.end));
+  }
+  return FromIntervals(std::move(out));
+}
+
+std::string IntervalSet::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& s) {
+  os << "{";
+  bool first = true;
+  for (const Interval& iv : s.intervals()) {
+    if (!first) os << ", ";
+    first = false;
+    os << iv;
+  }
+  os << "}";
+  return os;
+}
+
+}  // namespace most

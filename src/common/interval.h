@@ -1,0 +1,144 @@
+#ifndef MOST_COMMON_INTERVAL_H_
+#define MOST_COMMON_INTERVAL_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace most {
+
+/// A closed interval of ticks [begin, end], begin <= end.
+///
+/// The FTL evaluation algorithm (paper appendix) represents, for every
+/// subformula g and variable instantiation, the set of ticks at which g is
+/// satisfied as a list of such intervals.
+struct Interval {
+  Tick begin = 0;
+  Tick end = 0;
+
+  Interval() = default;
+  Interval(Tick b, Tick e) : begin(b), end(e) {}
+
+  bool valid() const { return begin <= end; }
+  Tick length() const { return end - begin + 1; }
+  bool Contains(Tick t) const { return begin <= t && t <= end; }
+  bool Overlaps(const Interval& o) const {
+    return begin <= o.end && o.begin <= end;
+  }
+  /// Overlapping or touching with no gap: [1,3] and [4,6] are consecutive.
+  /// The appendix calls two such intervals "consecutive" and requires
+  /// normalized relations to contain none.
+  bool OverlapsOrAdjacent(const Interval& o) const {
+    return TickSaturatingAdd(begin, -1) <= o.end &&
+           o.begin <= TickSaturatingAdd(end, 1);
+  }
+
+  /// The appendix's compatibility test: [l,u] is compatible with [m,n] iff
+  /// m <= u+1 and n >= u — the two intervals overlap or [m,n] starts right
+  /// after [l,u] ends, and [m,n] extends at least to u.
+  bool CompatibleWith(const Interval& o) const {
+    return o.begin <= TickSaturatingAdd(end, 1) && o.end >= end;
+  }
+
+  bool operator==(const Interval& o) const = default;
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv);
+
+/// A set of ticks stored as sorted, pairwise non-overlapping,
+/// non-consecutive closed intervals (every gap between stored intervals is
+/// at least one tick). This is exactly the normal form the paper's appendix
+/// requires of the relations R_g before the Until chain merge.
+///
+/// All operations produce normalized results. Endpoint arithmetic saturates
+/// at kTickMin/kTickMax, so "unbounded future" intervals ([t, kTickMax])
+/// behave correctly under shifting and dilation.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Singleton set.
+  explicit IntervalSet(Interval iv) {
+    if (iv.valid()) intervals_.push_back(iv);
+  }
+
+  /// Normalizes an arbitrary collection of intervals (invalid ones are
+  /// dropped; overlapping/consecutive ones are coalesced).
+  static IntervalSet FromIntervals(std::vector<Interval> ivs);
+
+  /// The set of all ticks, [kTickMin, kTickMax].
+  static IntervalSet All() {
+    return IntervalSet(Interval(kTickMin, kTickMax));
+  }
+
+  bool empty() const { return intervals_.empty(); }
+  size_t size() const { return intervals_.size(); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  bool Contains(Tick t) const;
+
+  /// First tick in the set at or after t, or kTickMax+... nothing: returns
+  /// false if no member >= t exists.
+  bool FirstAtOrAfter(Tick t, Tick* out) const;
+
+  /// Smallest begin across intervals; precondition: !empty().
+  Tick Min() const { return intervals_.front().begin; }
+  /// Largest end across intervals; precondition: !empty().
+  Tick Max() const { return intervals_.back().end; }
+
+  /// Total number of ticks covered (saturating).
+  Tick Cardinality() const;
+
+  IntervalSet Union(const IntervalSet& o) const;
+  IntervalSet Intersect(const IntervalSet& o) const;
+  /// Ticks in this set but not in o.
+  IntervalSet Difference(const IntervalSet& o) const;
+  /// Ticks of `universe` not in this set.
+  IntervalSet Complement(Interval universe) const;
+  /// Intersection with a single interval.
+  IntervalSet Clamp(Interval universe) const;
+
+  /// Shifts every tick by d (saturating): t in result iff t-d in this.
+  IntervalSet Shift(Tick d) const;
+
+  /// Dilation to the left: each [m,n] becomes [m-c, n]. Result contains t
+  /// iff some tick of this set lies within [t, t+c]. This implements the
+  /// bounded operator `Eventually within c`.
+  IntervalSet DilateLeft(Tick c) const;
+
+  /// Erosion from the right: each [m,n] becomes [m, n-c] (dropped if
+  /// empty). Result contains t iff this set contains all of [t, t+c].
+  /// Implements `Always for c`.
+  IntervalSet ErodeRight(Tick c) const;
+
+  /// The Until merge from the paper's appendix. `this` is Sat(g2) — the
+  /// ticks where the right operand holds; `g1` is Sat(g1). Returns the set
+  /// of ticks t such that g2 holds at some t' >= t and g1 holds at every
+  /// tick in [t, t'-1] — i.e. Sat(g1 Until g2). Equivalent to the paper's
+  /// maximal-chain construction over compatible intervals; linear in the
+  /// number of intervals of both sets.
+  ///
+  /// `bound` limits how far in the future the g2 witness may be: with
+  /// bound = c this computes Sat(g1 until_within_c g2), the paper's
+  /// bounded operator (the witness t' must satisfy t' - t <= c).
+  IntervalSet UntilWith(const IntervalSet& g1, Tick bound = kTickMax) const;
+
+  bool operator==(const IntervalSet& o) const = default;
+
+  std::string ToString() const;
+
+ private:
+  // Invariant: sorted by begin; for consecutive entries a, b:
+  // a.end + 1 < b.begin.
+  std::vector<Interval> intervals_;
+};
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& s);
+
+}  // namespace most
+
+#endif  // MOST_COMMON_INTERVAL_H_

@@ -1,0 +1,62 @@
+#ifndef MOST_COMMON_LOGGING_H_
+#define MOST_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace most {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define MOST_LOG(level)                                                   \
+  (::most::LogLevel::k##level < ::most::GetLogLevel())                    \
+      ? (void)0                                                           \
+      : (void)::most::internal_logging::LogMessage(                       \
+            ::most::LogLevel::k##level, __FILE__, __LINE__)               \
+            .stream()
+
+/// Internal-invariant check; aborts with a message on failure. Active in
+/// all build modes (database code: silent corruption is worse than a
+/// crash).
+#define MOST_CHECK(cond)                                                  \
+  while (!(cond))                                                         \
+  ::most::internal_logging::LogMessage(::most::LogLevel::kFatal,          \
+                                       __FILE__, __LINE__)                \
+      .stream()                                                           \
+      << "Check failed: " #cond " "
+
+#define MOST_DCHECK(cond) MOST_CHECK(cond)
+
+}  // namespace most
+
+#endif  // MOST_COMMON_LOGGING_H_

@@ -1,0 +1,90 @@
+#ifndef MOST_COMMON_RESULT_H_
+#define MOST_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace most {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. The MOST analogue of absl::StatusOr / arrow::Result.
+///
+///   Result<Table*> r = catalog.GetTable("MOTELS");
+///   if (!r.ok()) return r.status();
+///   Table* t = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return my_table;`
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status: `return Status::NotFound(...)`.
+  /// Constructing a Result from an OK status is a programming error and
+  /// aborts.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(rep_).ok()) {
+      std::abort();  // A Result must hold a value or a real error.
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error, or OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  /// Precondition: ok(). Aborts otherwise.
+  const T& value() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    if (!ok()) std::abort();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    if (!ok()) std::abort();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(rep_);
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating the error or binding the
+/// value to `lhs`.
+#define MOST_ASSIGN_OR_RETURN(lhs, expr)          \
+  MOST_ASSIGN_OR_RETURN_IMPL_(                    \
+      MOST_CONCAT_(_most_result_, __LINE__), lhs, expr)
+
+#define MOST_CONCAT_INNER_(a, b) a##b
+#define MOST_CONCAT_(a, b) MOST_CONCAT_INNER_(a, b)
+#define MOST_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+}  // namespace most
+
+#endif  // MOST_COMMON_RESULT_H_

@@ -1,0 +1,63 @@
+#ifndef MOST_COMMON_RNG_H_
+#define MOST_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace most {
+
+/// Deterministic pseudo-random generator (xoshiro256**). Every workload
+/// generator and benchmark takes an explicit seed so experiments are
+/// reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<int64_t>(Next());  // Full 64-bit range.
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    double u = static_cast<double>(Next() >> 11) * 0x1.0p-53;
+    return lo + u * (hi - lo);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return UniformDouble(0.0, 1.0) < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace most
+
+#endif  // MOST_COMMON_RNG_H_

@@ -1,0 +1,35 @@
+#ifndef MOST_COMMON_TYPES_H_
+#define MOST_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace most {
+
+/// Discrete time. The MOST model assumes a global clock whose value
+/// "increases by one in each clock tick" (paper, Section 2); all temporal
+/// semantics are defined over ticks.
+using Tick = int64_t;
+
+/// Sentinels. kTickMax plays the role of "infinity" for unbounded future
+/// intervals; arithmetic on interval endpoints saturates at these bounds.
+inline constexpr Tick kTickMin = std::numeric_limits<Tick>::min() / 4;
+inline constexpr Tick kTickMax = std::numeric_limits<Tick>::max() / 4;
+
+/// Saturating addition on ticks, so that e.g. kTickMax + 5 stays kTickMax.
+inline Tick TickSaturatingAdd(Tick a, Tick b) {
+  if (a >= 0 && b > kTickMax - a) return kTickMax;
+  if (a < 0 && b < kTickMin - a) return kTickMin;
+  Tick s = a + b;
+  if (s > kTickMax) return kTickMax;
+  if (s < kTickMin) return kTickMin;
+  return s;
+}
+
+/// Unique id of a database object (a row of an object class).
+using ObjectId = uint64_t;
+inline constexpr ObjectId kInvalidObjectId = ~ObjectId{0};
+
+}  // namespace most
+
+#endif  // MOST_COMMON_TYPES_H_

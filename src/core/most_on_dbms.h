@@ -1,0 +1,142 @@
+#ifndef MOST_CORE_MOST_ON_DBMS_H_
+#define MOST_CORE_MOST_ON_DBMS_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/trajectory_index.h"
+#include "storage/database.h"
+#include "temporal/clock.h"
+#include "temporal/dynamic_attribute.h"
+
+namespace most {
+
+/// Declares one column of a MOST table: static (ordinary DBMS column) or
+/// dynamic (stored as the three sub-attribute columns).
+struct MostColumnSpec {
+  std::string name;
+  bool dynamic = false;
+  ValueType static_type = ValueType::kNull;  ///< For static columns.
+};
+
+/// Encodes a TimeFunction as a string so the `A.function` sub-attribute
+/// can live in an ordinary DBMS column ("the MOST system stores each
+/// dynamic attribute A as three DBMS attributes", Section 5.1).
+std::string EncodeTimeFunction(const TimeFunction& f);
+Result<TimeFunction> DecodeTimeFunction(const std::string& encoded);
+
+/// The Section 5.1 software layer: MOST implemented on top of an existing
+/// (here: most_storage) DBMS.
+///
+/// * Every dynamic attribute A becomes three host columns A.value,
+///   A.updatetime, A.function.
+/// * Queries are written against the *logical* schema (referencing A
+///   directly). ExecuteSelect intercepts them, eliminates dynamic atoms
+///   with the F = (F' AND p) OR (F'' AND NOT p) decomposition (up to 2^k
+///   host queries for k dynamic atoms), post-filters with current values
+///   computed from the sub-attributes, and re-assembles the result.
+/// * Optionally, a Section 4 trajectory index on a dynamic attribute
+///   answers `A cmp const` atoms without examining every row.
+class MostOnDbms {
+ public:
+  MostOnDbms(Database* db, Clock* clock) : db_(db), clock_(clock) {}
+
+  MostOnDbms(const MostOnDbms&) = delete;
+  MostOnDbms& operator=(const MostOnDbms&) = delete;
+
+  Status CreateTable(const std::string& name,
+                     std::vector<MostColumnSpec> columns);
+
+  /// Inserts a row given logical values.
+  Result<RowId> Insert(const std::string& table,
+                       const std::map<std::string, Value>& statics,
+                       const std::map<std::string, DynamicAttribute>& dynamics);
+
+  Status Delete(const std::string& table, RowId rid);
+
+  Status UpdateStatic(const std::string& table, RowId rid,
+                      const std::string& column, Value value);
+
+  /// Explicit update of a dynamic attribute (sub-attributes are stamped
+  /// with the clock's current time).
+  Status UpdateDynamic(const std::string& table, RowId rid,
+                       const std::string& column, double value,
+                       TimeFunction function);
+
+  /// Reads the current (time-dependent) value of a dynamic attribute.
+  Result<double> ReadDynamic(const std::string& table, RowId rid,
+                             const std::string& column) const;
+
+  /// Builds a Section 4 trajectory index over a dynamic column.
+  Status CreateDynamicIndex(const std::string& table,
+                            const std::string& column,
+                            TrajectoryIndex::Options options = {1024, 16});
+
+  struct ExecOptions {
+    /// Use a trajectory index for `A cmp const` conjuncts when available.
+    bool use_dynamic_index = false;
+    /// Constant-fold each decomposition branch's WHERE clause and skip
+    /// branches that fold to FALSE. Off by default to reproduce the
+    /// paper's "up to 2^k queries" cost model faithfully; the E6c
+    /// ablation in bench_decomposition measures the saving.
+    bool prune_trivial_branches = false;
+  };
+
+  /// Executes a SELECT against the logical schema. `query.where` may
+  /// reference dynamic attributes by name; `query.project` may list them.
+  Result<ResultSet> ExecuteSelect(const SelectQuery& query,
+                                  QueryStats* stats, ExecOptions options) const;
+  Result<ResultSet> ExecuteSelect(const SelectQuery& query,
+                                  QueryStats* stats = nullptr) const {
+    return ExecuteSelect(query, stats, ExecOptions());
+  }
+
+  /// Exposed for tests / benchmarks: the number of dynamic atoms the
+  /// decomposition would eliminate for this WHERE clause.
+  Result<size_t> CountDynamicAtoms(const std::string& table,
+                                   const ExprPtr& where) const;
+
+  Database* host() { return db_; }
+  const Database* host() const { return db_; }
+
+  /// The table's logical column declarations (used by the hybrid FTL
+  /// executor to reconstruct objects from host rows).
+  Result<std::vector<MostColumnSpec>> GetLogicalColumns(
+      const std::string& table) const;
+
+ private:
+  struct TableMeta {
+    std::set<std::string> dynamic_columns;
+    std::vector<MostColumnSpec> logical_columns;
+    // Section 4 index per indexed dynamic column.
+    std::map<std::string, std::unique_ptr<TrajectoryIndex>> indexes;
+  };
+
+  Result<const TableMeta*> GetMeta(const std::string& table) const;
+
+  /// Collects atoms (maximal non-boolean subexpressions) of `where` that
+  /// reference at least one dynamic column.
+  static void CollectDynamicAtoms(const ExprPtr& where,
+                                  const std::set<std::string>& dynamic_columns,
+                                  std::vector<ExprPtr>* atoms);
+
+  /// Evaluates a dynamic atom on a host row by substituting the current
+  /// values of its dynamic attributes (computed from sub-columns).
+  Result<bool> EvalDynamicAtom(const ExprPtr& atom, const TableMeta& meta,
+                               const Schema& schema, const Row& row) const;
+
+  Result<double> CurrentValueFromRow(const Schema& schema, const Row& row,
+                                     const std::string& column) const;
+
+  Database* db_;
+  Clock* clock_;
+  std::map<std::string, TableMeta> tables_;
+};
+
+}  // namespace most
+
+#endif  // MOST_CORE_MOST_ON_DBMS_H_

@@ -1,0 +1,207 @@
+#ifndef MOST_CORE_OBJECT_MODEL_H_
+#define MOST_CORE_OBJECT_MODEL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+#include "storage/value.h"
+#include "temporal/clock.h"
+#include "temporal/dynamic_attribute.h"
+
+namespace most {
+
+/// Declaration of one attribute of an object class: either static (a
+/// traditional value, constant between explicit updates) or dynamic (the
+/// paper's (value, updatetime, function) triple).
+struct AttributeDecl {
+  std::string name;
+  bool dynamic = false;
+  ValueType static_type = ValueType::kNull;  ///< Only for static attributes.
+};
+
+/// Names of the position attributes every spatial object class carries.
+/// (The paper uses X.POSITION / Y.POSITION / Z.POSITION; this library
+/// models planar motion.)
+inline constexpr const char* kAttrX = "X.POSITION";
+inline constexpr const char* kAttrY = "Y.POSITION";
+
+/// One maximal stretch of jointly-linear planar motion of an object.
+struct MotionSegment {
+  Interval ticks;
+  MovingPoint2 motion;  ///< Parameterized by absolute tick time.
+};
+
+/// An object (a "tuple" of an object class) with static and dynamic
+/// attributes.
+class MostObject {
+ public:
+  MostObject() = default;
+  MostObject(ObjectId id, std::string class_name)
+      : id_(id), class_name_(std::move(class_name)) {}
+
+  ObjectId id() const { return id_; }
+  const std::string& class_name() const { return class_name_; }
+
+  const std::map<std::string, Value>& statics() const { return statics_; }
+  const std::map<std::string, DynamicAttribute>& dynamics() const {
+    return dynamics_;
+  }
+
+  Result<Value> GetStatic(const std::string& name) const;
+  Result<const DynamicAttribute*> GetDynamic(const std::string& name) const;
+  bool HasDynamic(const std::string& name) const {
+    return dynamics_.count(name) > 0;
+  }
+
+  void SetStatic(const std::string& name, Value v) {
+    statics_[name] = std::move(v);
+  }
+  void SetDynamic(const std::string& name, DynamicAttribute a) {
+    dynamics_[name] = std::move(a);
+  }
+
+  /// True if the object carries both position attributes.
+  bool IsSpatial() const {
+    return HasDynamic(kAttrX) && HasDynamic(kAttrY);
+  }
+
+  /// Instantaneous position (requires IsSpatial()).
+  Point2 PositionAt(Tick t) const;
+
+  /// Decomposes the planar trajectory over `window` into jointly-linear
+  /// segments (the form the kinematic solvers consume). Requires
+  /// IsSpatial().
+  std::vector<MotionSegment> MotionSegments(Interval window) const;
+
+ private:
+  ObjectId id_ = kInvalidObjectId;
+  std::string class_name_;
+  std::map<std::string, Value> statics_;
+  std::map<std::string, DynamicAttribute> dynamics_;
+};
+
+/// An object class: attribute declarations plus the set of live objects.
+class ObjectClass {
+ public:
+  ObjectClass() = default;
+  ObjectClass(std::string name, std::vector<AttributeDecl> attributes,
+              bool spatial);
+
+  const std::string& name() const { return name_; }
+  bool spatial() const { return spatial_; }
+  const std::vector<AttributeDecl>& attributes() const { return attributes_; }
+  size_t size() const { return objects_.size(); }
+
+  const std::map<ObjectId, MostObject>& objects() const { return objects_; }
+
+  Result<MostObject*> Get(ObjectId id);
+  Result<const MostObject*> Get(ObjectId id) const;
+
+ private:
+  friend class MostDatabase;
+
+  std::string name_;
+  std::vector<AttributeDecl> attributes_;
+  bool spatial_ = false;
+  std::map<ObjectId, MostObject> objects_;
+};
+
+/// The MOST database: object classes, named spatial regions (polygons that
+/// queries reference by name), and the global clock. All mutations go
+/// through this class so that updates are clock-stamped and update
+/// listeners (continuous-query re-evaluation, Section 2.3) fire.
+class MostDatabase {
+ public:
+  MostDatabase() = default;
+  explicit MostDatabase(Tick start_time) : clock_(start_time) {}
+
+  MostDatabase(const MostDatabase&) = delete;
+  MostDatabase& operator=(const MostDatabase&) = delete;
+
+  Clock& clock() { return clock_; }
+  const Clock& clock() const { return clock_; }
+  Tick Now() const { return clock_.Now(); }
+
+  /// Declares an object class. `spatial` classes implicitly receive the
+  /// X.POSITION / Y.POSITION dynamic attributes.
+  Result<ObjectClass*> CreateClass(const std::string& name,
+                                   std::vector<AttributeDecl> attributes,
+                                   bool spatial = false);
+
+  Result<ObjectClass*> GetClass(const std::string& name);
+  Result<const ObjectClass*> GetClass(const std::string& name) const;
+  bool HasClass(const std::string& name) const {
+    return classes_.count(name) > 0;
+  }
+
+  /// Registers a named region usable in spatial predicates (INSIDE etc.).
+  Status DefineRegion(const std::string& name, Polygon polygon);
+  Result<const Polygon*> GetRegion(const std::string& name) const;
+  const std::map<std::string, Polygon>& regions() const { return regions_; }
+
+  /// All object classes (catalog iteration for shadow databases).
+  const std::map<std::string, ObjectClass>& classes() const {
+    return classes_;
+  }
+
+  /// Creates an object of a class. Static attribute defaults are NULL;
+  /// dynamic attributes start at value 0 with the zero function at the
+  /// current time.
+  Result<MostObject*> CreateObject(const std::string& class_name);
+
+  /// Creates an object with a caller-chosen id (used when mirroring
+  /// another database, e.g. persistent-query history shadows and
+  /// distributed replicas, where bindings must stay comparable).
+  Result<MostObject*> RestoreObject(const std::string& class_name,
+                                    ObjectId id);
+
+  Status DeleteObject(const std::string& class_name, ObjectId id);
+
+  /// Explicit update of a static attribute, stamped with the current time.
+  Status UpdateStatic(const std::string& class_name, ObjectId id,
+                      const std::string& attr, Value value);
+
+  /// Explicit update of a dynamic attribute: installs (value, now,
+  /// function). This is "the motion vector changed" in the paper.
+  Status UpdateDynamic(const std::string& class_name, ObjectId id,
+                       const std::string& attr, double value,
+                       TimeFunction function);
+
+  /// Convenience: sets position and velocity of a spatial object at `now`.
+  Status SetMotion(const std::string& class_name, ObjectId id, Point2 position,
+                   Vec2 velocity);
+
+  /// Update listeners run after every explicit update (object creation,
+  /// deletion, attribute update). Used for continuous-query maintenance
+  /// and temporal triggers.
+  using UpdateListener = std::function<void(const std::string& class_name,
+                                            ObjectId id)>;
+  void AddUpdateListener(UpdateListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  /// Total explicit updates performed (experiment E1 counts these).
+  uint64_t update_count() const { return update_count_; }
+
+ private:
+  void NotifyUpdate(const std::string& class_name, ObjectId id);
+
+  Clock clock_;
+  std::map<std::string, ObjectClass> classes_;
+  std::map<std::string, Polygon> regions_;
+  std::vector<UpdateListener> listeners_;
+  ObjectId next_id_ = 0;
+  uint64_t update_count_ = 0;
+};
+
+}  // namespace most
+
+#endif  // MOST_CORE_OBJECT_MODEL_H_

@@ -1,0 +1,169 @@
+#include "distributed/coordinator.h"
+
+namespace most {
+
+namespace {
+
+/// Counts the largest number of distinct object variables used by a
+/// single atom of the formula.
+size_t MaxVarsPerAtom(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case FtlFormula::Kind::kCompare: {
+      std::set<std::string> vars;
+      f->lhs_term()->CollectObjectVars(&vars);
+      f->rhs_term()->CollectObjectVars(&vars);
+      return vars.size();
+    }
+    case FtlFormula::Kind::kInside:
+    case FtlFormula::Kind::kOutside:
+      return 1;
+    case FtlFormula::Kind::kWithinSphere: {
+      std::set<std::string> vars(f->sphere_vars().begin(),
+                                 f->sphere_vars().end());
+      return vars.size();
+    }
+    default: {
+      size_t max_vars = 0;
+      if (f->kind() == FtlFormula::Kind::kAssign) {
+        std::set<std::string> vars;
+        f->assign_term()->CollectObjectVars(&vars);
+        max_vars = vars.size();
+      }
+      for (const FormulaPtr& c : f->children()) {
+        max_vars = std::max(max_vars, MaxVarsPerAtom(c));
+      }
+      return max_vars;
+    }
+  }
+}
+
+}  // namespace
+
+Coordinator::Coordinator(SimNetwork* network, Clock* clock,
+                         std::map<std::string, Polygon> regions)
+    : network_(network), clock_(clock), regions_(std::move(regions)) {
+  node_id_ = network_->AddNode(
+      [this](const Message& m) { HandleMessage(m); });
+}
+
+DistQueryClass Coordinator::Classify(const FtlQuery& query,
+                                     const std::string& self_class) {
+  if (query.where != nullptr && MaxVarsPerAtom(query.where) >= 2) {
+    return DistQueryClass::kRelationship;
+  }
+  std::set<std::string> distinct_vars;
+  for (const FromBinding& fb : query.from) distinct_vars.insert(fb.var);
+  if (distinct_vars.size() >= 2) return DistQueryClass::kRelationship;
+  bool all_self = !query.from.empty();
+  for (const FromBinding& fb : query.from) {
+    if (fb.class_name != self_class) all_self = false;
+  }
+  return all_self ? DistQueryClass::kSelfReferencing
+                  : DistQueryClass::kObject;
+}
+
+uint64_t Coordinator::IssueObjectQuery(const FtlQuery& query,
+                                       DistStrategy strategy, bool continuous,
+                                       Tick horizon) {
+  uint64_t qid = next_qid_++;
+  QueryState state;
+  state.query = query;
+  state.strategy = strategy;
+  state.continuous = continuous;
+  state.horizon = horizon;
+  queries_.emplace(qid, std::move(state));
+
+  QueryRequest request;
+  request.qid = qid;
+  request.strategy = strategy;
+  request.continuous = continuous;
+  request.query = query;
+  request.horizon = horizon;
+  network_->Broadcast(node_id_, request);
+  return qid;
+}
+
+uint64_t Coordinator::IssueRelationshipQuery(const FtlQuery& query,
+                                             Tick horizon) {
+  uint64_t qid = next_qid_++;
+  QueryState state;
+  state.query = query;
+  state.strategy = DistStrategy::kCollect;
+  state.horizon = horizon;
+  queries_.emplace(qid, std::move(state));
+
+  QueryRequest request;
+  request.qid = qid;
+  request.strategy = DistStrategy::kCollect;
+  request.query = query;
+  request.horizon = horizon;
+  network_->Broadcast(node_id_, request);
+  return qid;
+}
+
+Status Coordinator::CancelQuerySubscription(uint64_t qid) {
+  if (queries_.count(qid) == 0) {
+    return Status::NotFound("query " + std::to_string(qid));
+  }
+  network_->Broadcast(node_id_, CancelQuery{qid});
+  return Status::OK();
+}
+
+Result<const Coordinator::QueryState*> Coordinator::GetState(
+    uint64_t qid) const {
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(qid));
+  }
+  return &it->second;
+}
+
+Result<TemporalRelation> Coordinator::EvaluateCollected(uint64_t qid) const {
+  MOST_ASSIGN_OR_RETURN(const QueryState* state, GetState(qid));
+  if (state->query.from.empty()) {
+    return Status::InvalidArgument("query has no FROM bindings");
+  }
+  std::vector<ObjectState> states;
+  states.reserve(state->states.size());
+  for (const auto& [id, s] : state->states) states.push_back(s);
+  // All FROM variables range over the same fleet class.
+  const std::string& class_name = state->query.from[0].class_name;
+  for (const FromBinding& fb : state->query.from) {
+    if (fb.class_name != class_name) {
+      return Status::InvalidArgument(
+          "distributed evaluation supports a single object class");
+    }
+  }
+  MOST_ASSIGN_OR_RETURN(
+      std::unique_ptr<MostDatabase> db,
+      BuildDatabaseFromStates(class_name, states, regions_, clock_->Now()));
+  FtlEvaluator eval(*db);
+  Tick now = clock_->Now();
+  return eval.EvaluateQuery(
+      state->query, Interval(now, TickSaturatingAdd(now, state->horizon)));
+}
+
+Result<std::map<ObjectId, IntervalSet>> Coordinator::ReportedMatches(
+    uint64_t qid) const {
+  MOST_ASSIGN_OR_RETURN(const QueryState* state, GetState(qid));
+  return state->matches;
+}
+
+void Coordinator::HandleMessage(const Message& message) {
+  const auto* report = std::get_if<ObjectReport>(&message.payload);
+  if (report == nullptr) return;
+  auto it = queries_.find(report->qid);
+  if (it == queries_.end()) return;
+  QueryState& state = it->second;
+  state.replies += 1;
+  state.states[report->state.id] = report->state;
+  if (state.strategy == DistStrategy::kBroadcastFilter) {
+    if (report->when.empty()) {
+      state.matches.erase(report->state.id);
+    } else {
+      state.matches[report->state.id] = report->when;
+    }
+  }
+}
+
+}  // namespace most

@@ -1,0 +1,94 @@
+#ifndef MOST_DISTRIBUTED_COORDINATOR_H_
+#define MOST_DISTRIBUTED_COORDINATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distributed/mobile_node.h"
+#include "distributed/network.h"
+#include "ftl/eval.h"
+
+namespace most {
+
+/// The paper's taxonomy of MOST queries issued at a mobile computer
+/// (Section 5.3).
+enum class DistQueryClass {
+  kSelfReferencing,  ///< Decidable from the issuer's own attributes.
+  kObject,           ///< Per-object predicate, independent of other objects.
+  kRelationship,     ///< Needs two or more objects at once.
+};
+
+/// The query-issuing mobile computer M. Implements the paper's processing
+/// strategies:
+/// * self-referencing: no communication;
+/// * object queries: strategy 1 (collect every object, evaluate at M) or
+///   strategy 2 (broadcast the query, nodes filter locally and only
+///   matches reply);
+/// * relationship queries: collect every object at M (the paper's "most
+///   efficient way") and evaluate the multi-variable query centrally.
+///
+/// The coordinator is asynchronous: issue a query, advance the clock and
+/// call SimNetwork::DeliverDue(), then read results.
+class Coordinator {
+ public:
+  Coordinator(SimNetwork* network, Clock* clock,
+              std::map<std::string, Polygon> regions);
+
+  NodeId node_id() const { return node_id_; }
+
+  /// Classifies a query. Atoms mentioning two or more object variables
+  /// (DIST, WITHIN_SPHERE, cross-variable comparisons) make it a
+  /// relationship query; otherwise a single FROM variable over
+  /// `self_class` is self-referencing and anything else is an object
+  /// query.
+  static DistQueryClass Classify(const FtlQuery& query,
+                                 const std::string& self_class = "SELF");
+
+  /// Issues an object query (single-variable). Returns the query id.
+  uint64_t IssueObjectQuery(const FtlQuery& query, DistStrategy strategy,
+                            bool continuous, Tick horizon);
+
+  /// Issues a relationship query: requests every object, evaluation
+  /// happens at the coordinator once replies arrive.
+  uint64_t IssueRelationshipQuery(const FtlQuery& query, Tick horizon);
+
+  Status CancelQuerySubscription(uint64_t qid);
+
+  /// Accumulated per-query state.
+  struct QueryState {
+    FtlQuery query;
+    DistStrategy strategy = DistStrategy::kBroadcastFilter;
+    bool continuous = false;
+    Tick horizon = 256;
+    size_t replies = 0;
+    /// Latest object states received (collect strategy / relationship).
+    std::map<ObjectId, ObjectState> states;
+    /// Matches reported by nodes (broadcast strategy).
+    std::map<ObjectId, IntervalSet> matches;
+  };
+
+  Result<const QueryState*> GetState(uint64_t qid) const;
+
+  /// For collect-strategy object queries and relationship queries:
+  /// evaluates the query centrally over the gathered object states.
+  Result<TemporalRelation> EvaluateCollected(uint64_t qid) const;
+
+  /// For broadcast-strategy queries: the matches reported so far.
+  Result<std::map<ObjectId, IntervalSet>> ReportedMatches(uint64_t qid) const;
+
+ private:
+  void HandleMessage(const Message& message);
+
+  SimNetwork* network_;
+  Clock* clock_;
+  std::map<std::string, Polygon> regions_;
+  NodeId node_id_ = kInvalidNodeId;
+  uint64_t next_qid_ = 1;
+  std::map<uint64_t, QueryState> queries_;
+};
+
+}  // namespace most
+
+#endif  // MOST_DISTRIBUTED_COORDINATOR_H_

@@ -1,0 +1,159 @@
+#include "distributed/mobile_node.h"
+
+#include "ftl/eval.h"
+
+namespace most {
+
+Result<std::unique_ptr<MostDatabase>> BuildDatabaseFromStates(
+    const std::string& class_name, const std::vector<ObjectState>& states,
+    const std::map<std::string, Polygon>& regions, Tick now) {
+  auto db = std::make_unique<MostDatabase>(now);
+  for (const auto& [name, polygon] : regions) {
+    MOST_RETURN_IF_ERROR(db->DefineRegion(name, polygon));
+  }
+  // Declare scalar attributes from the union of attr names (dynamic
+  // constants so updatetime semantics stay meaningful).
+  std::set<std::string> attr_names;
+  for (const ObjectState& s : states) {
+    for (const auto& [name, value] : s.attrs) attr_names.insert(name);
+  }
+  std::vector<AttributeDecl> decls;
+  for (const std::string& name : attr_names) {
+    decls.push_back({name, /*dynamic=*/true, ValueType::kNull});
+  }
+  MOST_RETURN_IF_ERROR(
+      db->CreateClass(class_name, decls, /*spatial=*/true).status());
+  for (const ObjectState& s : states) {
+    MOST_ASSIGN_OR_RETURN(MostObject * obj,
+                          db->RestoreObject(class_name, s.id));
+    // The motion vector is anchored at the state's timestamp.
+    obj->SetDynamic(kAttrX, DynamicAttribute(s.position.x, s.at,
+                                             TimeFunction::Linear(
+                                                 s.velocity.x)));
+    obj->SetDynamic(kAttrY, DynamicAttribute(s.position.y, s.at,
+                                             TimeFunction::Linear(
+                                                 s.velocity.y)));
+    for (const auto& [name, value] : s.attrs) {
+      obj->SetDynamic(name, DynamicAttribute(value, s.at, TimeFunction()));
+    }
+  }
+  return db;
+}
+
+MobileNode::MobileNode(SimNetwork* network, Clock* clock, ObjectState initial,
+                       std::map<std::string, Polygon> regions)
+    : network_(network),
+      clock_(clock),
+      state_(std::move(initial)),
+      regions_(std::move(regions)) {
+  node_id_ = network_->AddNode(
+      [this](const Message& m) { HandleMessage(m); });
+}
+
+void MobileNode::UpdateMotion(Point2 position, Vec2 velocity) {
+  state_.position = position;
+  state_.velocity = velocity;
+  state_.at = clock_->Now();
+  ServiceSubscriptions();
+}
+
+void MobileNode::UpdateAttr(const std::string& name, double value) {
+  state_.attrs[name] = value;
+  state_.at = clock_->Now();
+  ServiceSubscriptions();
+}
+
+Result<IntervalSet> MobileNode::EvaluateSelf(const FtlQuery& query,
+                                             Tick horizon) const {
+  if (query.from.size() != 1) {
+    return Status::InvalidArgument(
+        "node-local evaluation needs a single-variable query");
+  }
+  ++predicate_evaluations_;
+  MOST_ASSIGN_OR_RETURN(
+      std::unique_ptr<MostDatabase> db,
+      BuildDatabaseFromStates(query.from[0].class_name, {state_}, regions_,
+                              clock_->Now()));
+  FtlEvaluator eval(*db);
+  Tick now = clock_->Now();
+  MOST_ASSIGN_OR_RETURN(
+      TemporalRelation rel,
+      eval.EvaluateQuery(query,
+                         Interval(now, TickSaturatingAdd(now, horizon))));
+  auto it = rel.rows.find({state_.id});
+  if (it == rel.rows.end()) return IntervalSet();
+  return it->second;
+}
+
+void MobileNode::HandleMessage(const Message& message) {
+  if (const auto* request = std::get_if<QueryRequest>(&message.payload)) {
+    if (request->strategy == DistStrategy::kCollect) {
+      // Strategy 1: just ship the object to the issuer. A continuous
+      // collect-query keeps shipping on every change (see
+      // ServiceSubscriptions).
+      ObjectReport report;
+      report.qid = request->qid;
+      report.state = state_;
+      network_->Send(node_id_, message.from, report);
+      if (request->continuous) {
+        subscriptions_[request->qid] = {*request, message.from, false, {}};
+      }
+      return;
+    }
+    // Strategy 2: evaluate locally; reply only when satisfied.
+    Result<IntervalSet> when = EvaluateSelf(request->query, request->horizon);
+    if (!when.ok()) return;  // Malformed query: stay silent.
+    if (request->continuous) {
+      Subscription sub{*request, message.from, true, *when};
+      if (!when->empty()) {
+        ObjectReport report;
+        report.qid = request->qid;
+        report.state = state_;
+        report.satisfies = true;
+        report.when = *when;
+        network_->Send(node_id_, message.from, report);
+      }
+      subscriptions_[request->qid] = std::move(sub);
+    } else if (!when->empty()) {
+      ObjectReport report;
+      report.qid = request->qid;
+      report.state = state_;
+      report.satisfies = true;
+      report.when = *when;
+      network_->Send(node_id_, message.from, report);
+    }
+    return;
+  }
+  if (const auto* cancel = std::get_if<CancelQuery>(&message.payload)) {
+    subscriptions_.erase(cancel->qid);
+    return;
+  }
+}
+
+void MobileNode::ServiceSubscriptions() {
+  for (auto& [qid, sub] : subscriptions_) {
+    if (sub.request.strategy == DistStrategy::kCollect) {
+      // Strategy 1 continuous: transmit the object on every change.
+      ObjectReport report;
+      report.qid = qid;
+      report.state = state_;
+      network_->Send(node_id_, sub.issuer, report);
+      continue;
+    }
+    // Strategy 2 continuous: transmit only when the local answer changed.
+    Result<IntervalSet> when =
+        EvaluateSelf(sub.request.query, sub.request.horizon);
+    if (!when.ok()) continue;
+    if (sub.has_last && *when == sub.last_sent) continue;
+    sub.has_last = true;
+    sub.last_sent = *when;
+    ObjectReport report;
+    report.qid = qid;
+    report.state = state_;
+    report.satisfies = !when->empty();
+    report.when = *when;
+    network_->Send(node_id_, sub.issuer, report);
+  }
+}
+
+}  // namespace most

@@ -1,0 +1,77 @@
+#ifndef MOST_DISTRIBUTED_MOBILE_NODE_H_
+#define MOST_DISTRIBUTED_MOBILE_NODE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/object_model.h"
+#include "distributed/network.h"
+
+namespace most {
+
+/// Builds a MostDatabase holding the given object states as spatial
+/// objects of `class_name` (scalar attrs become dynamic constants), with
+/// the shared region catalog. Both node-local filtering and the
+/// coordinator's central evaluation funnel through this, so distributed
+/// answers are bit-identical to centralized ones.
+Result<std::unique_ptr<MostDatabase>> BuildDatabaseFromStates(
+    const std::string& class_name, const std::vector<ObjectState>& states,
+    const std::map<std::string, Polygon>& regions, Tick now);
+
+/// A mobile computer carrying one moving object (Section 5.3's
+/// architecture: "each object resides in the computer on the moving
+/// vehicle it represents, but nowhere else").
+///
+/// The node answers the two distributed strategies:
+/// * kCollect: replies with its object state so the issuer can evaluate.
+/// * kBroadcastFilter: evaluates the (single-variable) predicate against
+///   its own object and replies only when satisfied.
+/// For continuous queries it keeps the subscription and, on each local
+/// motion change, re-evaluates and transmits only if its answer changed.
+class MobileNode {
+ public:
+  MobileNode(SimNetwork* network, Clock* clock, ObjectState initial,
+             std::map<std::string, Polygon> regions);
+
+  NodeId node_id() const { return node_id_; }
+  ObjectId object_id() const { return state_.id; }
+  const ObjectState& state() const { return state_; }
+
+  /// Local sensor update: the vehicle changed speed or direction. Updates
+  /// the onboard object and services continuous subscriptions.
+  void UpdateMotion(Point2 position, Vec2 velocity);
+
+  /// Updates a scalar attribute (e.g. fuel level).
+  void UpdateAttr(const std::string& name, double value);
+
+  /// Evaluates a single-variable query against the onboard object only —
+  /// a *self-referencing* query ("Will I reach the point (a,b) in 3
+  /// minutes?") needs no communication at all.
+  Result<IntervalSet> EvaluateSelf(const FtlQuery& query, Tick horizon) const;
+
+  uint64_t predicate_evaluations() const { return predicate_evaluations_; }
+
+ private:
+  void HandleMessage(const Message& message);
+  void ServiceSubscriptions();
+
+  struct Subscription {
+    QueryRequest request;
+    NodeId issuer = kInvalidNodeId;
+    bool has_last = false;
+    IntervalSet last_sent;
+  };
+
+  SimNetwork* network_;
+  Clock* clock_;
+  ObjectState state_;
+  std::map<std::string, Polygon> regions_;
+  NodeId node_id_ = kInvalidNodeId;
+  std::map<uint64_t, Subscription> subscriptions_;
+  mutable uint64_t predicate_evaluations_ = 0;
+};
+
+}  // namespace most
+
+#endif  // MOST_DISTRIBUTED_MOBILE_NODE_H_

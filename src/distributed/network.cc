@@ -1,0 +1,117 @@
+#include "distributed/network.h"
+
+#include <algorithm>
+
+namespace most {
+
+namespace {
+
+size_t QueryBytes(const FtlQuery& query) {
+  // Proxy: the printed query's length.
+  return query.ToString().size();
+}
+
+}  // namespace
+
+size_t EstimateBytes(const MessagePayload& payload) {
+  struct Visitor {
+    size_t operator()(const ObjectState& s) const {
+      // id + timestamp + position + velocity + attrs.
+      return 8 + 8 + 16 + 16 + s.attrs.size() * 16;
+    }
+    size_t operator()(const QueryRequest& q) const {
+      return 8 + 1 + 1 + 8 + QueryBytes(q.query);
+    }
+    size_t operator()(const ObjectReport& r) const {
+      return 8 + 1 + (*this)(r.state) + r.when.size() * 16;
+    }
+    size_t operator()(const AnswerBlock& b) const {
+      size_t total = 8;
+      for (const AnswerTuple& t : b.tuples) {
+        total += t.binding.size() * 8 + 16;
+      }
+      return total;
+    }
+    size_t operator()(const CancelQuery&) const { return 8; }
+  };
+  return std::visit(Visitor(), payload);
+}
+
+NodeId SimNetwork::AddNode(Handler handler) {
+  NodeId id = next_id_++;
+  nodes_[id] = Node{std::move(handler), true};
+  return id;
+}
+
+void SimNetwork::SetHandler(NodeId node, Handler handler) {
+  auto it = nodes_.find(node);
+  if (it != nodes_.end()) it->second.handler = std::move(handler);
+}
+
+void SimNetwork::SetConnected(NodeId node, bool connected) {
+  auto it = nodes_.find(node);
+  if (it != nodes_.end()) it->second.connected = connected;
+}
+
+bool SimNetwork::IsConnected(NodeId node) const {
+  auto it = nodes_.find(node);
+  return it != nodes_.end() && it->second.connected;
+}
+
+void SimNetwork::Send(NodeId from, NodeId to, MessagePayload payload) {
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += EstimateBytes(payload);
+  if (!IsConnected(from) || !IsConnected(to) ||
+      (options_.loss_probability > 0.0 &&
+       rng_.Bernoulli(options_.loss_probability))) {
+    stats_.messages_dropped += 1;
+    return;
+  }
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.sent_at = clock_->Now();
+  m.deliver_at = TickSaturatingAdd(clock_->Now(), options_.latency);
+  m.payload = std::move(payload);
+  in_flight_.push_back(std::move(m));
+}
+
+void SimNetwork::Broadcast(NodeId from, MessagePayload payload) {
+  for (const auto& [id, node] : nodes_) {
+    if (id == from) continue;
+    Send(from, id, payload);
+  }
+}
+
+void SimNetwork::DeliverDue() {
+  Tick now = clock_->Now();
+  // Deliveries can trigger new sends; iterate until stable for this tick.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    std::deque<Message> pending;
+    std::vector<Message> due;
+    while (!in_flight_.empty()) {
+      Message m = std::move(in_flight_.front());
+      in_flight_.pop_front();
+      if (m.deliver_at <= now) {
+        due.push_back(std::move(m));
+      } else {
+        pending.push_back(std::move(m));
+      }
+    }
+    in_flight_ = std::move(pending);
+    for (Message& m : due) {
+      progressed = true;
+      auto it = nodes_.find(m.to);
+      if (it == nodes_.end() || !it->second.connected || !it->second.handler) {
+        stats_.messages_dropped += 1;
+        continue;
+      }
+      stats_.messages_delivered += 1;
+      it->second.handler(m);
+    }
+  }
+}
+
+}  // namespace most

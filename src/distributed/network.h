@@ -1,0 +1,146 @@
+#ifndef MOST_DISTRIBUTED_NETWORK_H_
+#define MOST_DISTRIBUTED_NETWORK_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "ftl/ast.h"
+#include "ftl/query_manager.h"
+#include "geometry/point.h"
+#include "temporal/clock.h"
+
+namespace most {
+
+using NodeId = uint64_t;
+inline constexpr NodeId kInvalidNodeId = ~NodeId{0};
+
+/// Snapshot of one moving object as transmitted between mobile computers:
+/// id, motion vector (position at `at` plus velocity) and scalar
+/// attributes. This is "the object" the paper sends in its distributed
+/// processing strategies (Section 5.3).
+struct ObjectState {
+  ObjectId id = kInvalidObjectId;
+  Tick at = 0;
+  Point2 position;
+  Vec2 velocity;
+  std::map<std::string, double> attrs;
+};
+
+/// Processing strategy for distributed object queries (Section 5.3): pull
+/// every object to the issuer, or push the query to every node and let
+/// each filter locally.
+enum class DistStrategy { kCollect, kBroadcastFilter };
+
+struct QueryRequest {
+  uint64_t qid = 0;
+  DistStrategy strategy = DistStrategy::kBroadcastFilter;
+  bool continuous = false;
+  FtlQuery query;        ///< Single-variable query evaluated per object.
+  Tick horizon = 256;
+};
+
+/// A node's reply: its object state, and (for broadcast-filter queries)
+/// whether/when its object satisfies the predicate.
+struct ObjectReport {
+  uint64_t qid = 0;
+  ObjectState state;
+  bool satisfies = false;
+  IntervalSet when;
+};
+
+/// A block of Answer(CQ) tuples pushed to a mobile client (Section 5.2).
+struct AnswerBlock {
+  uint64_t qid = 0;
+  std::vector<AnswerTuple> tuples;
+};
+
+struct CancelQuery {
+  uint64_t qid = 0;
+};
+
+using MessagePayload =
+    std::variant<ObjectState, QueryRequest, ObjectReport, AnswerBlock,
+                 CancelQuery>;
+
+/// Approximate wire size of a payload, for the bandwidth accounting the
+/// paper's motivation rests on ("serious performance and
+/// wireless-bandwidth overhead").
+size_t EstimateBytes(const MessagePayload& payload);
+
+struct Message {
+  NodeId from = kInvalidNodeId;
+  NodeId to = kInvalidNodeId;
+  Tick sent_at = 0;
+  Tick deliver_at = 0;
+  MessagePayload payload;
+};
+
+/// Discrete-event wireless network simulator. Nodes register handlers;
+/// messages are delivered `latency` ticks after sending when both
+/// endpoints are connected. Per-node and global message/byte counters feed
+/// experiments E7/E8.
+class SimNetwork {
+ public:
+  struct Options {
+    Tick latency = 1;
+    /// Probability a message is lost in transit (per message).
+    double loss_probability = 0.0;
+    uint64_t seed = 1997;
+  };
+
+  explicit SimNetwork(Clock* clock) : SimNetwork(clock, Options()) {}
+  SimNetwork(Clock* clock, Options options)
+      : clock_(clock), options_(options), rng_(options.seed) {}
+
+  using Handler = std::function<void(const Message&)>;
+
+  NodeId AddNode(Handler handler);
+  void SetHandler(NodeId node, Handler handler);
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Disconnected nodes neither send nor receive; messages involving them
+  /// are dropped (the paper's disconnection scenario).
+  void SetConnected(NodeId node, bool connected);
+  bool IsConnected(NodeId node) const;
+
+  void Send(NodeId from, NodeId to, MessagePayload payload);
+  /// Sends to every other node (the broadcast step of strategy 2).
+  void Broadcast(NodeId from, MessagePayload payload);
+
+  /// Delivers every message whose delivery time has arrived. Call after
+  /// each clock advance.
+  void DeliverDue();
+
+  struct Stats {
+    uint64_t messages_sent = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t messages_delivered = 0;
+    uint64_t messages_dropped = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  struct Node {
+    Handler handler;
+    bool connected = true;
+  };
+
+  Clock* clock_;
+  Options options_;
+  Rng rng_;
+  std::map<NodeId, Node> nodes_;
+  NodeId next_id_ = 0;
+  std::deque<Message> in_flight_;
+  Stats stats_;
+};
+
+}  // namespace most
+
+#endif  // MOST_DISTRIBUTED_NETWORK_H_

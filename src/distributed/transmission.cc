@@ -1,0 +1,110 @@
+#include "distributed/transmission.h"
+
+#include <algorithm>
+
+namespace most {
+
+AnswerTransmitter::AnswerTransmitter(SimNetwork* network, Clock* clock,
+                                     NodeId server, NodeId client,
+                                     uint64_t qid,
+                                     TransmissionOptions options)
+    : network_(network),
+      clock_(clock),
+      server_(server),
+      client_(client),
+      qid_(qid),
+      options_(options) {}
+
+void AnswerTransmitter::SetAnswer(std::vector<AnswerTuple> answer) {
+  std::sort(answer.begin(), answer.end(),
+            [](const AnswerTuple& a, const AnswerTuple& b) {
+              if (a.interval.begin != b.interval.begin) {
+                return a.interval.begin < b.interval.begin;
+              }
+              return a.binding < b.binding;
+            });
+  pending_ = std::move(answer);
+  outstanding_block_.clear();
+  Step();
+}
+
+void AnswerTransmitter::SendBlock(std::vector<AnswerTuple> tuples) {
+  if (tuples.empty()) return;
+  AnswerBlock block;
+  block.qid = qid_;
+  block.tuples = tuples;
+  network_->Send(server_, client_, std::move(block));
+  outstanding_block_ = std::move(tuples);
+}
+
+void AnswerTransmitter::Step() {
+  Tick now = clock_->Now();
+  if (options_.mode == TransmissionMode::kDelayed) {
+    // Transmit each tuple so that it arrives at its begin time.
+    std::vector<AnswerTuple> due;
+    auto it = pending_.begin();
+    while (it != pending_.end()) {
+      if (it->interval.begin - options_.network_latency <= now) {
+        due.push_back(*it);
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (AnswerTuple& tuple : due) {
+      AnswerBlock block;
+      block.qid = qid_;
+      block.tuples = {std::move(tuple)};
+      network_->Send(server_, client_, std::move(block));
+    }
+    return;
+  }
+  // Immediate mode.
+  if (pending_.empty()) return;
+  if (options_.memory_limit == 0) {
+    SendBlock(std::move(pending_));
+    pending_.clear();
+    outstanding_block_.clear();  // Unlimited memory: no flow control.
+    return;
+  }
+  // Blocked transfer: wait until every tuple of the previous block has
+  // expired before shipping the next B tuples.
+  bool block_live = false;
+  for (const AnswerTuple& t : outstanding_block_) {
+    if (t.interval.end >= now) block_live = true;
+  }
+  if (block_live) return;
+  size_t count = std::min(options_.memory_limit, pending_.size());
+  std::vector<AnswerTuple> block(pending_.begin(), pending_.begin() + count);
+  pending_.erase(pending_.begin(), pending_.begin() + count);
+  SendBlock(std::move(block));
+}
+
+void AnswerClient::Attach(SimNetwork* network, NodeId node) {
+  network->SetHandler(node, [this](const Message& m) {
+    const auto* block = std::get_if<AnswerBlock>(&m.payload);
+    if (block == nullptr) return;
+    ++blocks_received_;
+    for (const AnswerTuple& t : block->tuples) {
+      buffer_.push_back(t);
+    }
+    peak_ = std::max(peak_, buffer_.size());
+  });
+}
+
+std::vector<std::vector<ObjectId>> AnswerClient::Display() const {
+  Tick now = clock_->Now();
+  std::vector<std::vector<ObjectId>> out;
+  for (const AnswerTuple& t : buffer_) {
+    if (t.interval.Contains(now)) out.push_back(t.binding);
+  }
+  return out;
+}
+
+void AnswerClient::Compact() {
+  Tick now = clock_->Now();
+  std::erase_if(buffer_,
+                [now](const AnswerTuple& t) { return t.interval.end < now; });
+}
+
+}  // namespace most

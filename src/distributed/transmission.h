@@ -1,0 +1,89 @@
+#ifndef MOST_DISTRIBUTED_TRANSMISSION_H_
+#define MOST_DISTRIBUTED_TRANSMISSION_H_
+
+#include <vector>
+
+#include "distributed/network.h"
+
+namespace most {
+
+/// How a server pushes Answer(CQ) to a mobile client (Section 5.2):
+/// * kImmediate — the whole set right after computation; if the client can
+///   only hold B tuples, the set is sorted by `begin` and shipped in
+///   blocks of B, the next block going out once every tuple of the
+///   previous block has expired.
+/// * kDelayed — each tuple is transmitted so it arrives at its `begin`
+///   time and the client displays it until `end`.
+enum class TransmissionMode { kImmediate, kDelayed };
+
+struct TransmissionOptions {
+  TransmissionMode mode = TransmissionMode::kImmediate;
+  /// Client memory limit in tuples (immediate mode). 0 = unlimited.
+  size_t memory_limit = 0;
+  Tick network_latency = 1;  ///< Used to lead delayed sends.
+};
+
+/// Server side: schedules AnswerBlock messages for one continuous query's
+/// answer set. Call Step() once per tick after advancing the clock.
+/// SetAnswer() replaces the schedule outright (an explicit database update
+/// changed Answer(CQ)); tuples the client already received are not
+/// retracted — they age out at their interval's end, the same
+/// eventual-consistency the paper accepts when "the relevant changes are
+/// transmitted to M" race against the display.
+class AnswerTransmitter {
+ public:
+  AnswerTransmitter(SimNetwork* network, Clock* clock, NodeId server,
+                    NodeId client, uint64_t qid, TransmissionOptions options);
+
+  void SetAnswer(std::vector<AnswerTuple> answer);
+
+  /// Emits whatever is due at the current tick.
+  void Step();
+
+  size_t tuples_pending() const { return pending_.size(); }
+
+ private:
+  void SendBlock(std::vector<AnswerTuple> tuples);
+
+  SimNetwork* network_;
+  Clock* clock_;
+  NodeId server_;
+  NodeId client_;
+  uint64_t qid_;
+  TransmissionOptions options_;
+  /// Tuples not yet transmitted, sorted by interval.begin.
+  std::vector<AnswerTuple> pending_;
+  /// Immediate mode: the last block sent (next block waits for expiry).
+  std::vector<AnswerTuple> outstanding_block_;
+};
+
+/// Client side: buffers received tuples and renders the display of the
+/// current tick. Tracks the peak buffer occupancy so tests can check the
+/// memory-limit contract.
+class AnswerClient {
+ public:
+  explicit AnswerClient(Clock* clock) : clock_(clock) {}
+
+  /// Installs this client's handler on an existing network node id.
+  void Attach(SimNetwork* network, NodeId node);
+
+  /// Bindings whose interval contains the current tick.
+  std::vector<std::vector<ObjectId>> Display() const;
+
+  /// Frees expired tuples; call once per tick.
+  void Compact();
+
+  size_t buffered() const { return buffer_.size(); }
+  size_t peak_buffered() const { return peak_; }
+  uint64_t blocks_received() const { return blocks_received_; }
+
+ private:
+  Clock* clock_;
+  std::vector<AnswerTuple> buffer_;
+  size_t peak_ = 0;
+  uint64_t blocks_received_ = 0;
+};
+
+}  // namespace most
+
+#endif  // MOST_DISTRIBUTED_TRANSMISSION_H_

@@ -1,0 +1,521 @@
+#include "ftl/ast.h"
+
+#include <sstream>
+
+namespace most {
+
+// ---------------------------------------------------------------------------
+// Term factories
+// ---------------------------------------------------------------------------
+
+TermPtr FtlTerm::Literal(Value v) {
+  auto t = std::make_shared<FtlTerm>(FtlTerm());
+  t->kind_ = Kind::kLiteral;
+  t->literal_ = std::move(v);
+  return t;
+}
+
+TermPtr FtlTerm::VarRef(std::string name) {
+  auto t = std::make_shared<FtlTerm>(FtlTerm());
+  t->kind_ = Kind::kVarRef;
+  t->var_ = std::move(name);
+  return t;
+}
+
+TermPtr FtlTerm::AttrRef(std::string object_var, std::string attr,
+                         AttrSub sub) {
+  auto t = std::make_shared<FtlTerm>(FtlTerm());
+  t->kind_ = Kind::kAttrRef;
+  t->var_ = std::move(object_var);
+  t->attr_ = std::move(attr);
+  t->sub_ = sub;
+  return t;
+}
+
+TermPtr FtlTerm::Time() {
+  auto t = std::make_shared<FtlTerm>(FtlTerm());
+  t->kind_ = Kind::kTime;
+  return t;
+}
+
+TermPtr FtlTerm::Arith(ArithOp op, TermPtr lhs, TermPtr rhs) {
+  auto t = std::make_shared<FtlTerm>(FtlTerm());
+  t->kind_ = Kind::kArith;
+  t->arith_op_ = op;
+  t->children_ = {std::move(lhs), std::move(rhs)};
+  return t;
+}
+
+TermPtr FtlTerm::Dist(std::string var1, std::string var2) {
+  auto t = std::make_shared<FtlTerm>(FtlTerm());
+  t->kind_ = Kind::kDist;
+  t->var_ = std::move(var1);
+  t->var2_ = std::move(var2);
+  return t;
+}
+
+void FtlTerm::CollectObjectVars(std::set<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kAttrRef:
+      out->insert(var_);
+      break;
+    case Kind::kDist:
+      out->insert(var_);
+      out->insert(var2_);
+      break;
+    default:
+      break;
+  }
+  for (const TermPtr& c : children_) c->CollectObjectVars(out);
+}
+
+void FtlTerm::CollectValueVars(std::set<std::string>* out) const {
+  if (kind_ == Kind::kVarRef) out->insert(var_);
+  for (const TermPtr& c : children_) c->CollectValueVars(out);
+}
+
+std::string FtlTerm::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kLiteral:
+      os << literal_;
+      break;
+    case Kind::kVarRef:
+      os << var_;
+      break;
+    case Kind::kAttrRef:
+      switch (sub_) {
+        case AttrSub::kCurrent:
+          os << var_ << "." << attr_;
+          break;
+        case AttrSub::kValue:
+          os << var_ << "." << attr_ << ".value";
+          break;
+        case AttrSub::kUpdatetime:
+          os << var_ << "." << attr_ << ".updatetime";
+          break;
+        case AttrSub::kSpeed:
+          os << "SPEED(" << var_ << "." << attr_ << ")";
+          break;
+      }
+      break;
+    case Kind::kTime:
+      os << "time";
+      break;
+    case Kind::kArith: {
+      const char* op = "?";
+      switch (arith_op_) {
+        case ArithOp::kAdd:
+          op = "+";
+          break;
+        case ArithOp::kSub:
+          op = "-";
+          break;
+        case ArithOp::kMul:
+          op = "*";
+          break;
+        case ArithOp::kDiv:
+          op = "/";
+          break;
+      }
+      os << "(" << children_[0]->ToString() << " " << op << " "
+         << children_[1]->ToString() << ")";
+      break;
+    }
+    case Kind::kDist:
+      os << "DIST(" << var_ << ", " << var2_ << ")";
+      break;
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Formula factories
+// ---------------------------------------------------------------------------
+
+FormulaPtr FtlFormula::BoolLit(bool value) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kBoolLit;
+  f->bool_value_ = value;
+  return f;
+}
+
+FormulaPtr FtlFormula::Compare(CmpOp op, TermPtr lhs, TermPtr rhs) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kCompare;
+  f->cmp_op_ = op;
+  f->lhs_term_ = std::move(lhs);
+  f->rhs_term_ = std::move(rhs);
+  return f;
+}
+
+FormulaPtr FtlFormula::Inside(std::string var, std::string region,
+                              std::string anchor) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kInside;
+  f->var_ = std::move(var);
+  f->region_ = std::move(region);
+  f->anchor_ = std::move(anchor);
+  return f;
+}
+
+FormulaPtr FtlFormula::Outside(std::string var, std::string region,
+                               std::string anchor) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kOutside;
+  f->var_ = std::move(var);
+  f->region_ = std::move(region);
+  f->anchor_ = std::move(anchor);
+  return f;
+}
+
+FormulaPtr FtlFormula::WithinSphere(double radius,
+                                    std::vector<std::string> vars) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kWithinSphere;
+  f->radius_ = radius;
+  f->sphere_vars_ = std::move(vars);
+  return f;
+}
+
+FormulaPtr FtlFormula::And(FormulaPtr lhs, FormulaPtr rhs) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kAnd;
+  f->children_ = {std::move(lhs), std::move(rhs)};
+  return f;
+}
+
+FormulaPtr FtlFormula::Or(FormulaPtr lhs, FormulaPtr rhs) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kOr;
+  f->children_ = {std::move(lhs), std::move(rhs)};
+  return f;
+}
+
+FormulaPtr FtlFormula::Not(FormulaPtr inner) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kNot;
+  f->children_ = {std::move(inner)};
+  return f;
+}
+
+FormulaPtr FtlFormula::Until(FormulaPtr lhs, FormulaPtr rhs) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kUntil;
+  f->children_ = {std::move(lhs), std::move(rhs)};
+  return f;
+}
+
+FormulaPtr FtlFormula::UntilWithin(Tick bound, FormulaPtr lhs,
+                                   FormulaPtr rhs) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kUntilWithin;
+  f->bound_ = bound;
+  f->children_ = {std::move(lhs), std::move(rhs)};
+  return f;
+}
+
+FormulaPtr FtlFormula::Nexttime(FormulaPtr inner) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kNexttime;
+  f->children_ = {std::move(inner)};
+  return f;
+}
+
+FormulaPtr FtlFormula::Eventually(FormulaPtr inner) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kEventually;
+  f->children_ = {std::move(inner)};
+  return f;
+}
+
+FormulaPtr FtlFormula::EventuallyWithin(Tick bound, FormulaPtr inner) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kEventuallyWithin;
+  f->bound_ = bound;
+  f->children_ = {std::move(inner)};
+  return f;
+}
+
+FormulaPtr FtlFormula::EventuallyAfter(Tick bound, FormulaPtr inner) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kEventuallyAfter;
+  f->bound_ = bound;
+  f->children_ = {std::move(inner)};
+  return f;
+}
+
+FormulaPtr FtlFormula::Always(FormulaPtr inner) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kAlways;
+  f->children_ = {std::move(inner)};
+  return f;
+}
+
+FormulaPtr FtlFormula::AlwaysFor(Tick bound, FormulaPtr inner) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kAlwaysFor;
+  f->bound_ = bound;
+  f->children_ = {std::move(inner)};
+  return f;
+}
+
+FormulaPtr FtlFormula::Assign(std::string var, TermPtr term,
+                              FormulaPtr body) {
+  auto f = std::make_shared<FtlFormula>(FtlFormula());
+  f->kind_ = Kind::kAssign;
+  f->var_ = std::move(var);
+  f->assign_term_ = std::move(term);
+  f->children_ = {std::move(body)};
+  return f;
+}
+
+void FtlFormula::CollectObjectVars(std::set<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kCompare:
+      lhs_term_->CollectObjectVars(out);
+      rhs_term_->CollectObjectVars(out);
+      break;
+    case Kind::kInside:
+    case Kind::kOutside:
+      out->insert(var_);
+      if (!anchor_.empty()) out->insert(anchor_);
+      break;
+    case Kind::kWithinSphere:
+      for (const std::string& v : sphere_vars_) out->insert(v);
+      break;
+    case Kind::kAssign:
+      assign_term_->CollectObjectVars(out);
+      break;
+    default:
+      break;
+  }
+  for (const FormulaPtr& c : children_) c->CollectObjectVars(out);
+}
+
+void FtlFormula::CollectFreeValueVars(std::set<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kCompare: {
+      lhs_term_->CollectValueVars(out);
+      rhs_term_->CollectValueVars(out);
+      break;
+    }
+    case Kind::kAssign: {
+      assign_term_->CollectValueVars(out);
+      std::set<std::string> body;
+      children_[0]->CollectFreeValueVars(&body);
+      body.erase(var_);
+      out->insert(body.begin(), body.end());
+      return;
+    }
+    default:
+      break;
+  }
+  for (const FormulaPtr& c : children_) c->CollectFreeValueVars(out);
+}
+
+bool FtlFormula::IsConjunctive() const {
+  if (kind_ == Kind::kNot) return false;
+  for (const FormulaPtr& c : children_) {
+    if (!c->IsConjunctive()) return false;
+  }
+  return true;
+}
+
+bool FtlFormula::IsNonTemporal() const {
+  switch (kind_) {
+    case Kind::kUntil:
+    case Kind::kUntilWithin:
+    case Kind::kNexttime:
+    case Kind::kEventually:
+    case Kind::kEventuallyWithin:
+    case Kind::kEventuallyAfter:
+    case Kind::kAlways:
+    case Kind::kAlwaysFor:
+      return false;
+    default:
+      break;
+  }
+  for (const FormulaPtr& c : children_) {
+    if (!c->IsNonTemporal()) return false;
+  }
+  return true;
+}
+
+std::string_view CmpOpToString(FtlFormula::CmpOp op) {
+  switch (op) {
+    case FtlFormula::CmpOp::kEq:
+      return "=";
+    case FtlFormula::CmpOp::kNe:
+      return "!=";
+    case FtlFormula::CmpOp::kLt:
+      return "<";
+    case FtlFormula::CmpOp::kLe:
+      return "<=";
+    case FtlFormula::CmpOp::kGt:
+      return ">";
+    case FtlFormula::CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string FtlFormula::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kBoolLit:
+      os << (bool_value_ ? "TRUE" : "FALSE");
+      break;
+    case Kind::kCompare:
+      os << lhs_term_->ToString() << " " << CmpOpToString(cmp_op_) << " "
+         << rhs_term_->ToString();
+      break;
+    case Kind::kInside:
+    case Kind::kOutside:
+      os << (kind_ == Kind::kInside ? "INSIDE(" : "OUTSIDE(") << var_
+         << ", " << region_;
+      if (!anchor_.empty()) os << ", " << anchor_;
+      os << ")";
+      break;
+    case Kind::kWithinSphere: {
+      os << "WITHIN_SPHERE(" << radius_;
+      for (const std::string& v : sphere_vars_) os << ", " << v;
+      os << ")";
+      break;
+    }
+    case Kind::kAnd:
+      os << "(" << children_[0]->ToString() << " AND "
+         << children_[1]->ToString() << ")";
+      break;
+    case Kind::kOr:
+      os << "(" << children_[0]->ToString() << " OR "
+         << children_[1]->ToString() << ")";
+      break;
+    case Kind::kNot:
+      os << "(NOT " << children_[0]->ToString() << ")";
+      break;
+    case Kind::kUntil:
+      os << "(" << children_[0]->ToString() << " UNTIL "
+         << children_[1]->ToString() << ")";
+      break;
+    case Kind::kUntilWithin:
+      os << "(" << children_[0]->ToString() << " UNTIL WITHIN " << bound_
+         << " " << children_[1]->ToString() << ")";
+      break;
+    case Kind::kNexttime:
+      os << "NEXTTIME (" << children_[0]->ToString() << ")";
+      break;
+    case Kind::kEventually:
+      os << "EVENTUALLY (" << children_[0]->ToString() << ")";
+      break;
+    case Kind::kEventuallyWithin:
+      os << "EVENTUALLY WITHIN " << bound_ << " ("
+         << children_[0]->ToString() << ")";
+      break;
+    case Kind::kEventuallyAfter:
+      os << "EVENTUALLY AFTER " << bound_ << " ("
+         << children_[0]->ToString() << ")";
+      break;
+    case Kind::kAlways:
+      os << "ALWAYS (" << children_[0]->ToString() << ")";
+      break;
+    case Kind::kAlwaysFor:
+      os << "ALWAYS FOR " << bound_ << " (" << children_[0]->ToString()
+         << ")";
+      break;
+    case Kind::kAssign:
+      os << "[" << var_ << " := " << assign_term_->ToString() << "] ("
+         << children_[0]->ToString() << ")";
+      break;
+  }
+  return os.str();
+}
+
+TermPtr SubstituteValueVar(const TermPtr& term, const std::string& var,
+                           const Value& v) {
+  switch (term->kind()) {
+    case FtlTerm::Kind::kVarRef:
+      if (term->var() == var) return FtlTerm::Literal(v);
+      return term;
+    case FtlTerm::Kind::kArith:
+      return FtlTerm::Arith(
+          term->arith_op(),
+          SubstituteValueVar(term->children()[0], var, v),
+          SubstituteValueVar(term->children()[1], var, v));
+    default:
+      return term;
+  }
+}
+
+FormulaPtr SubstituteValueVar(const FormulaPtr& f, const std::string& var,
+                              const Value& v) {
+  switch (f->kind()) {
+    case FtlFormula::Kind::kCompare:
+      return FtlFormula::Compare(f->cmp_op(),
+                                 SubstituteValueVar(f->lhs_term(), var, v),
+                                 SubstituteValueVar(f->rhs_term(), var, v));
+    case FtlFormula::Kind::kAssign: {
+      TermPtr term = SubstituteValueVar(f->assign_term(), var, v);
+      if (f->var() == var) {
+        // Inner binding shadows; only the assignment term sees `var`.
+        return FtlFormula::Assign(f->var(), term, f->children()[0]);
+      }
+      return FtlFormula::Assign(f->var(), term,
+                                SubstituteValueVar(f->children()[0], var, v));
+    }
+    case FtlFormula::Kind::kAnd:
+      return FtlFormula::And(SubstituteValueVar(f->children()[0], var, v),
+                             SubstituteValueVar(f->children()[1], var, v));
+    case FtlFormula::Kind::kOr:
+      return FtlFormula::Or(SubstituteValueVar(f->children()[0], var, v),
+                            SubstituteValueVar(f->children()[1], var, v));
+    case FtlFormula::Kind::kNot:
+      return FtlFormula::Not(SubstituteValueVar(f->children()[0], var, v));
+    case FtlFormula::Kind::kUntil:
+      return FtlFormula::Until(SubstituteValueVar(f->children()[0], var, v),
+                               SubstituteValueVar(f->children()[1], var, v));
+    case FtlFormula::Kind::kUntilWithin:
+      return FtlFormula::UntilWithin(
+          f->bound(), SubstituteValueVar(f->children()[0], var, v),
+          SubstituteValueVar(f->children()[1], var, v));
+    case FtlFormula::Kind::kNexttime:
+      return FtlFormula::Nexttime(
+          SubstituteValueVar(f->children()[0], var, v));
+    case FtlFormula::Kind::kEventually:
+      return FtlFormula::Eventually(
+          SubstituteValueVar(f->children()[0], var, v));
+    case FtlFormula::Kind::kEventuallyWithin:
+      return FtlFormula::EventuallyWithin(
+          f->bound(), SubstituteValueVar(f->children()[0], var, v));
+    case FtlFormula::Kind::kEventuallyAfter:
+      return FtlFormula::EventuallyAfter(
+          f->bound(), SubstituteValueVar(f->children()[0], var, v));
+    case FtlFormula::Kind::kAlways:
+      return FtlFormula::Always(SubstituteValueVar(f->children()[0], var, v));
+    case FtlFormula::Kind::kAlwaysFor:
+      return FtlFormula::AlwaysFor(
+          f->bound(), SubstituteValueVar(f->children()[0], var, v));
+    default:
+      return f;  // Atomic formulas without value-variable terms.
+  }
+}
+
+std::string FtlQuery::ToString() const {
+  std::ostringstream os;
+  os << "RETRIEVE ";
+  for (size_t i = 0; i < retrieve.size(); ++i) {
+    if (i) os << ", ";
+    os << retrieve[i];
+  }
+  os << " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i) os << ", ";
+    os << from[i].class_name << " " << from[i].var;
+  }
+  if (where != nullptr) {
+    os << " WHERE " << where->ToString();
+  }
+  return os.str();
+}
+
+}  // namespace most

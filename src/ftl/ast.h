@@ -1,0 +1,208 @@
+#ifndef MOST_FTL_AST_H_
+#define MOST_FTL_AST_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/value.h"
+
+namespace most {
+
+class FtlTerm;
+using TermPtr = std::shared_ptr<const FtlTerm>;
+
+/// A term of the FTL logic: something with a value at each database state.
+/// Terms appear inside comparisons and assignment quantifiers.
+class FtlTerm {
+ public:
+  enum class Kind {
+    kLiteral,   ///< A constant.
+    kVarRef,    ///< A value variable bound by an assignment quantifier.
+    kAttrRef,   ///< object_var.ATTRIBUTE (with optional sub-attribute).
+    kTime,      ///< The special database object `time`.
+    kArith,     ///< Binary arithmetic over two terms.
+    kDist,      ///< DIST(o1, o2): distance between two spatial objects.
+  };
+
+  /// Which view of an attribute a kAttrRef denotes. A dynamic attribute A
+  /// can be queried as its (time-varying) current value, or by its
+  /// sub-attributes A.value / A.updatetime, or by its instantaneous rate of
+  /// change SPEED(A) (the paper's "speed in the X direction").
+  enum class AttrSub { kCurrent, kValue, kUpdatetime, kSpeed };
+
+  enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+  static TermPtr Literal(Value v);
+  static TermPtr VarRef(std::string name);
+  static TermPtr AttrRef(std::string object_var, std::string attr,
+                         AttrSub sub = AttrSub::kCurrent);
+  static TermPtr Time();
+  static TermPtr Arith(ArithOp op, TermPtr lhs, TermPtr rhs);
+  static TermPtr Dist(std::string var1, std::string var2);
+
+  Kind kind() const { return kind_; }
+  const Value& literal() const { return literal_; }
+  const std::string& var() const { return var_; }
+  const std::string& var2() const { return var2_; }
+  const std::string& attr() const { return attr_; }
+  AttrSub sub() const { return sub_; }
+  ArithOp arith_op() const { return arith_op_; }
+  const std::vector<TermPtr>& children() const { return children_; }
+
+  /// Adds the object variables referenced by this term to `out`.
+  void CollectObjectVars(std::set<std::string>* out) const;
+  /// Adds assignment-bound value variables referenced by this term.
+  void CollectValueVars(std::set<std::string>* out) const;
+
+  std::string ToString() const;
+
+ private:
+  FtlTerm() = default;
+
+  Kind kind_ = Kind::kLiteral;
+  Value literal_;
+  std::string var_;
+  std::string var2_;
+  std::string attr_;
+  AttrSub sub_ = AttrSub::kCurrent;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  std::vector<TermPtr> children_;
+};
+
+class FtlFormula;
+using FormulaPtr = std::shared_ptr<const FtlFormula>;
+
+/// A well-formed formula of FTL (paper, Section 3.2): atomic predicates
+/// (comparisons and spatial relations), boolean connectives, the basic
+/// temporal operators Until and Nexttime, the derived operators Eventually
+/// and Always, the bounded real-time operators of Section 3.4, and the
+/// assignment quantifier [x <- term].
+class FtlFormula {
+ public:
+  enum class Kind {
+    kBoolLit,
+    kCompare,
+    kInside,            ///< INSIDE(o, Region)
+    kOutside,           ///< OUTSIDE(o, Region)
+    kWithinSphere,      ///< WITHIN_SPHERE(r, o1, ..., ok)
+    kAnd,
+    kOr,
+    kNot,
+    kUntil,             ///< f Until g
+    kUntilWithin,       ///< f until_within_c g
+    kNexttime,
+    kEventually,
+    kEventuallyWithin,  ///< Eventually within c
+    kEventuallyAfter,   ///< Eventually after c
+    kAlways,
+    kAlwaysFor,         ///< Always for c
+    kAssign,            ///< [x <- term] f
+  };
+
+  enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  static FormulaPtr BoolLit(bool value);
+  static FormulaPtr Compare(CmpOp op, TermPtr lhs, TermPtr rhs);
+  /// INSIDE(var, Region): var's position is inside the (stationary)
+  /// region. The anchored form INSIDE(var, Region, anchor) interprets the
+  /// region's coordinates relative to `anchor`'s position — a region that
+  /// "moves as a rigid body having the motion vector" of the anchor
+  /// object (the paper's moving circle C around the car).
+  static FormulaPtr Inside(std::string var, std::string region,
+                           std::string anchor = "");
+  static FormulaPtr Outside(std::string var, std::string region,
+                            std::string anchor = "");
+  static FormulaPtr WithinSphere(double radius, std::vector<std::string> vars);
+  static FormulaPtr And(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr Or(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr Not(FormulaPtr f);
+  static FormulaPtr Until(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr UntilWithin(Tick bound, FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr Nexttime(FormulaPtr f);
+  static FormulaPtr Eventually(FormulaPtr f);
+  static FormulaPtr EventuallyWithin(Tick bound, FormulaPtr f);
+  static FormulaPtr EventuallyAfter(Tick bound, FormulaPtr f);
+  static FormulaPtr Always(FormulaPtr f);
+  static FormulaPtr AlwaysFor(Tick bound, FormulaPtr f);
+  static FormulaPtr Assign(std::string var, TermPtr term, FormulaPtr body);
+
+  Kind kind() const { return kind_; }
+  bool bool_value() const { return bool_value_; }
+  CmpOp cmp_op() const { return cmp_op_; }
+  const TermPtr& lhs_term() const { return lhs_term_; }
+  const TermPtr& rhs_term() const { return rhs_term_; }
+  const std::string& var() const { return var_; }
+  const std::string& region() const { return region_; }
+  /// Anchor object variable of a moving region ("" = stationary region).
+  const std::string& anchor() const { return anchor_; }
+  double radius() const { return radius_; }
+  const std::vector<std::string>& sphere_vars() const { return sphere_vars_; }
+  Tick bound() const { return bound_; }
+  const TermPtr& assign_term() const { return assign_term_; }
+  const std::vector<FormulaPtr>& children() const { return children_; }
+
+  /// Free object variables (those bound by the query's FROM clause).
+  void CollectObjectVars(std::set<std::string>* out) const;
+  /// Free value variables (not bound by an enclosing assignment).
+  void CollectFreeValueVars(std::set<std::string>* out) const;
+
+  /// True if the formula contains no negation (other than inside the
+  /// OUTSIDE predicate, which is its own atomic relation) — the
+  /// "conjunctive formula" subset the paper's algorithm targets.
+  bool IsConjunctive() const;
+
+  /// True if the formula contains no temporal operator (a "maximal
+  /// non-temporal subformula" candidate, Section 5.1).
+  bool IsNonTemporal() const;
+
+  std::string ToString() const;
+
+ private:
+  FtlFormula() = default;
+
+  Kind kind_ = Kind::kBoolLit;
+  bool bool_value_ = true;
+  CmpOp cmp_op_ = CmpOp::kEq;
+  TermPtr lhs_term_;
+  TermPtr rhs_term_;
+  std::string var_;
+  std::string region_;
+  std::string anchor_;
+  double radius_ = 0.0;
+  std::vector<std::string> sphere_vars_;
+  Tick bound_ = 0;
+  TermPtr assign_term_;
+  std::vector<FormulaPtr> children_;
+};
+
+/// Substitutes a literal for a value variable throughout a term / formula
+/// (used to evaluate the assignment quantifier).
+TermPtr SubstituteValueVar(const TermPtr& term, const std::string& var,
+                           const Value& v);
+FormulaPtr SubstituteValueVar(const FormulaPtr& f, const std::string& var,
+                              const Value& v);
+
+/// Binding of an object variable to an object class in a query's FROM
+/// clause.
+struct FromBinding {
+  std::string class_name;
+  std::string var;
+};
+
+/// RETRIEVE <vars> FROM <class bindings> WHERE <formula>.
+struct FtlQuery {
+  std::vector<std::string> retrieve;
+  std::vector<FromBinding> from;
+  FormulaPtr where;
+
+  std::string ToString() const;
+};
+
+std::string_view CmpOpToString(FtlFormula::CmpOp op);
+
+}  // namespace most
+
+#endif  // MOST_FTL_AST_H_

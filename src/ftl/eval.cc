@@ -1,0 +1,869 @@
+#include "ftl/eval.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ftl/spatial_eval.h"
+#include "ftl/term_eval.h"
+
+namespace most {
+
+struct FtlEvaluator::Domains {
+  /// Object class extent for each object variable.
+  std::map<std::string, const ObjectClass*> classes;
+  /// Optional per-variable candidate restriction installed by the AND
+  /// semi-join: only these ids can contribute to the enclosing join, so
+  /// enumeration skips everything else. Soundness: every relation row is
+  /// computed per binding independently, and rows outside the filter
+  /// cannot match the already-evaluated sibling.
+  std::map<std::string, std::shared_ptr<const std::set<ObjectId>>> filters;
+};
+
+namespace {
+
+constexpr double kCmpEps = 1e-9;
+
+std::vector<std::string> SortedVars(const std::set<std::string>& s) {
+  return std::vector<std::string>(s.begin(), s.end());
+}
+
+/// Shared numeric/ordinal comparison semantics for both evaluators:
+/// numeric comparisons absorb float noise with a small epsilon, everything
+/// else compares exactly.
+Result<bool> CompareFtlValues(FtlFormula::CmpOp op, const Value& lhs,
+                              const Value& rhs) {
+  if (lhs.is_numeric() && rhs.is_numeric()) {
+    double diff = lhs.AsDouble().value() - rhs.AsDouble().value();
+    switch (op) {
+      case FtlFormula::CmpOp::kLe:
+        return diff <= kCmpEps;
+      case FtlFormula::CmpOp::kLt:
+        return diff < -kCmpEps;
+      case FtlFormula::CmpOp::kGe:
+        return diff >= -kCmpEps;
+      case FtlFormula::CmpOp::kGt:
+        return diff > kCmpEps;
+      case FtlFormula::CmpOp::kEq:
+        return std::abs(diff) <= kCmpEps;
+      case FtlFormula::CmpOp::kNe:
+        return std::abs(diff) > kCmpEps;
+    }
+    return Status::Internal("bad cmp op");
+  }
+  if (lhs.type() != rhs.type()) {
+    return Status::TypeError("comparison between " +
+                             std::string(ValueTypeToString(lhs.type())) +
+                             " and " +
+                             std::string(ValueTypeToString(rhs.type())));
+  }
+  int c = lhs.Compare(rhs);
+  switch (op) {
+    case FtlFormula::CmpOp::kLe:
+      return c <= 0;
+    case FtlFormula::CmpOp::kLt:
+      return c < 0;
+    case FtlFormula::CmpOp::kGe:
+      return c >= 0;
+    case FtlFormula::CmpOp::kGt:
+      return c > 0;
+    case FtlFormula::CmpOp::kEq:
+      return c == 0;
+    case FtlFormula::CmpOp::kNe:
+      return c != 0;
+  }
+  return Status::Internal("bad cmp op");
+}
+
+using ClassMap = std::map<std::string, const ObjectClass*>;
+using FilterMap =
+    std::map<std::string, std::shared_ptr<const std::set<ObjectId>>>;
+
+/// Calls fn(binding, instantiation) for every tuple in the cross product of
+/// the variables' class extents (restricted per-variable by `filters`).
+/// Bindings are parallel to `vars`.
+Status EnumerateInstantiations(
+    const std::vector<std::string>& vars, const ClassMap& classes,
+    const FilterMap& filters, size_t max_count, size_t* counter,
+    const std::function<Status(const std::vector<ObjectId>&,
+                               const Instantiation&)>& fn) {
+  if (vars.empty()) {
+    ++*counter;
+    return fn({}, {});
+  }
+  // Materialize per-variable candidate lists (filtered).
+  std::vector<std::vector<std::pair<ObjectId, const MostObject*>>> extents(
+      vars.size());
+  for (size_t i = 0; i < vars.size(); ++i) {
+    auto it = classes.find(vars[i]);
+    if (it == classes.end()) {
+      return Status::InvalidArgument("object variable '" + vars[i] +
+                                     "' is not bound by the FROM clause");
+    }
+    auto filter_it = filters.find(vars[i]);
+    if (filter_it != filters.end() && filter_it->second != nullptr) {
+      for (ObjectId id : *filter_it->second) {
+        auto obj = it->second->Get(id);
+        if (obj.ok()) extents[i].emplace_back(id, *obj);
+      }
+    } else {
+      for (const auto& [id, obj] : it->second->objects()) {
+        extents[i].emplace_back(id, &obj);
+      }
+    }
+    if (extents[i].empty()) return Status::OK();  // Empty cross product.
+  }
+  std::vector<size_t> odometer(vars.size(), 0);
+  std::vector<ObjectId> binding(vars.size());
+  Instantiation inst;
+  while (true) {
+    if (++*counter > max_count) {
+      return Status::OutOfRange("instantiation limit exceeded (" +
+                                std::to_string(max_count) + ")");
+    }
+    for (size_t i = 0; i < vars.size(); ++i) {
+      binding[i] = extents[i][odometer[i]].first;
+      inst[vars[i]] = extents[i][odometer[i]].second;
+    }
+    MOST_RETURN_IF_ERROR(fn(binding, inst));
+    // Advance odometer.
+    size_t d = vars.size();
+    while (d > 0) {
+      --d;
+      if (++odometer[d] < extents[d].size()) break;
+      odometer[d] = 0;
+      if (d == 0) return Status::OK();
+    }
+  }
+}
+
+/// Expands a relation to a superset of variables: missing variables range
+/// over their full class extents (cross product).
+Result<TemporalRelation> ExpandToVars(const TemporalRelation& rel,
+                                      const std::vector<std::string>& target,
+                                      const ClassMap& classes,
+                                      const FilterMap& filters,
+                                      size_t max_count, size_t* counter) {
+  if (rel.vars == target) return rel;
+  std::vector<std::string> missing;
+  for (const std::string& v : target) {
+    if (std::find(rel.vars.begin(), rel.vars.end(), v) == rel.vars.end()) {
+      missing.push_back(v);
+    }
+  }
+  // Positions of the original columns within the target layout.
+  std::vector<size_t> orig_pos(rel.vars.size());
+  std::vector<size_t> miss_pos(missing.size());
+  for (size_t i = 0; i < rel.vars.size(); ++i) {
+    orig_pos[i] = std::find(target.begin(), target.end(), rel.vars[i]) -
+                  target.begin();
+  }
+  for (size_t i = 0; i < missing.size(); ++i) {
+    miss_pos[i] = std::find(target.begin(), target.end(), missing[i]) -
+                  target.begin();
+  }
+  TemporalRelation out;
+  out.vars = target;
+  Status status = EnumerateInstantiations(
+      missing, classes, filters, max_count, counter,
+      [&](const std::vector<ObjectId>& mbinding, const Instantiation&) {
+        for (const auto& [binding, when] : rel.rows) {
+          std::vector<ObjectId> full(target.size());
+          for (size_t i = 0; i < binding.size(); ++i) {
+            full[orig_pos[i]] = binding[i];
+          }
+          for (size_t i = 0; i < mbinding.size(); ++i) {
+            full[miss_pos[i]] = mbinding[i];
+          }
+          out.rows.emplace(std::move(full), when);
+        }
+        return Status::OK();
+      });
+  MOST_RETURN_IF_ERROR(status);
+  return out;
+}
+
+std::vector<std::string> UnionVars(const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b) {
+  std::set<std::string> s(a.begin(), a.end());
+  s.insert(b.begin(), b.end());
+  return SortedVars(s);
+}
+
+/// Natural join on shared variables with per-row interval intersection
+/// (the appendix's AND rule).
+TemporalRelation JoinAnd(const TemporalRelation& r1,
+                         const TemporalRelation& r2, FtlEvalStats* stats) {
+  TemporalRelation out;
+  out.vars = UnionVars(r1.vars, r2.vars);
+
+  // Shared variable positions in each input.
+  std::vector<size_t> shared1, shared2;
+  for (size_t i = 0; i < r1.vars.size(); ++i) {
+    auto it = std::find(r2.vars.begin(), r2.vars.end(), r1.vars[i]);
+    if (it != r2.vars.end()) {
+      shared1.push_back(i);
+      shared2.push_back(it - r2.vars.begin());
+    }
+  }
+  // Column positions in the output layout.
+  std::vector<size_t> pos1(r1.vars.size()), pos2(r2.vars.size());
+  for (size_t i = 0; i < r1.vars.size(); ++i) {
+    pos1[i] = std::find(out.vars.begin(), out.vars.end(), r1.vars[i]) -
+              out.vars.begin();
+  }
+  for (size_t i = 0; i < r2.vars.size(); ++i) {
+    pos2[i] = std::find(out.vars.begin(), out.vars.end(), r2.vars[i]) -
+              out.vars.begin();
+  }
+
+  // Hash r2 by its shared-variable key.
+  std::map<std::vector<ObjectId>, std::vector<const std::pair<
+      const std::vector<ObjectId>, IntervalSet>*>> index;
+  for (const auto& row : r2.rows) {
+    std::vector<ObjectId> key(shared2.size());
+    for (size_t i = 0; i < shared2.size(); ++i) key[i] = row.first[shared2[i]];
+    index[key].push_back(&row);
+  }
+  for (const auto& [b1, when1] : r1.rows) {
+    std::vector<ObjectId> key(shared1.size());
+    for (size_t i = 0; i < shared1.size(); ++i) key[i] = b1[shared1[i]];
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (const auto* row2 : it->second) {
+      ++stats->join_pairs;
+      IntervalSet when = when1.Intersect(row2->second);
+      if (when.empty()) continue;
+      std::vector<ObjectId> merged(out.vars.size());
+      for (size_t i = 0; i < b1.size(); ++i) merged[pos1[i]] = b1[i];
+      for (size_t i = 0; i < row2->first.size(); ++i) {
+        merged[pos2[i]] = row2->first[i];
+      }
+      auto [pos, inserted] = out.rows.emplace(std::move(merged), when);
+      if (!inserted) pos->second = pos->second.Union(when);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TemporalRelation TemporalRelation::Project(
+    const std::vector<std::string>& keep) const {
+  TemporalRelation out;
+  std::set<std::string> keep_set(keep.begin(), keep.end());
+  out.vars = SortedVars(keep_set);
+  std::vector<size_t> positions;
+  for (const std::string& v : out.vars) {
+    positions.push_back(std::find(vars.begin(), vars.end(), v) - vars.begin());
+  }
+  for (const auto& [binding, when] : rows) {
+    std::vector<ObjectId> projected;
+    projected.reserve(positions.size());
+    for (size_t p : positions) projected.push_back(binding[p]);
+    auto [pos, inserted] = out.rows.emplace(std::move(projected), when);
+    if (!inserted) pos->second = pos->second.Union(when);
+  }
+  return out;
+}
+
+std::string TemporalRelation::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i) os << ", ";
+    os << vars[i];
+  }
+  os << ") {";
+  bool first = true;
+  for (const auto& [binding, when] : rows) {
+    if (!first) os << "; ";
+    first = false;
+    os << "[";
+    for (size_t i = 0; i < binding.size(); ++i) {
+      if (i) os << ",";
+      os << binding[i];
+    }
+    os << "] -> " << when.ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+Result<TemporalRelation> FtlEvaluator::EvaluateQuery(const FtlQuery& query,
+                                                     Interval window) {
+  if (!window.valid()) {
+    return Status::InvalidArgument("invalid evaluation window");
+  }
+  Domains domains;
+  std::map<std::string, std::string> var_classes;
+  for (const FromBinding& fb : query.from) {
+    if (var_classes.count(fb.var) > 0) {
+      return Status::InvalidArgument("duplicate FROM variable '" + fb.var +
+                                     "'");
+    }
+    var_classes[fb.var] = fb.class_name;
+  }
+  for (auto& [var, cls] : var_classes) {
+    MOST_ASSIGN_OR_RETURN(const ObjectClass* oc, db_.GetClass(cls));
+    domains.classes[var] = oc;
+  }
+  if (query.where == nullptr) {
+    return Status::InvalidArgument("query has no WHERE formula");
+  }
+  std::set<std::string> free_vars;
+  query.where->CollectObjectVars(&free_vars);
+  for (const std::string& v : free_vars) {
+    if (domains.classes.count(v) == 0) {
+      return Status::InvalidArgument("object variable '" + v +
+                                     "' is not bound by the FROM clause");
+    }
+  }
+  std::set<std::string> free_value_vars;
+  query.where->CollectFreeValueVars(&free_value_vars);
+  if (!free_value_vars.empty()) {
+    return Status::InvalidArgument("free value variable '" +
+                                   *free_value_vars.begin() + "'");
+  }
+  for (const std::string& v : query.retrieve) {
+    if (domains.classes.count(v) == 0) {
+      return Status::InvalidArgument("RETRIEVE variable '" + v +
+                                     "' is not bound by the FROM clause");
+    }
+  }
+
+  MOST_ASSIGN_OR_RETURN(TemporalRelation rel,
+                        Eval(query.where, domains, window));
+  // Variables mentioned in RETRIEVE but not constrained by the formula
+  // range over their whole class.
+  std::set<std::string> target_set(rel.vars.begin(), rel.vars.end());
+  target_set.insert(query.retrieve.begin(), query.retrieve.end());
+  MOST_ASSIGN_OR_RETURN(
+      rel, ExpandToVars(rel, SortedVars(target_set), domains.classes,
+                        domains.filters, options_.max_instantiations,
+                        &stats_.instantiations));
+  return rel.Project(query.retrieve);
+}
+
+Result<TemporalRelation> FtlEvaluator::EvalFormula(
+    const FormulaPtr& formula,
+    const std::map<std::string, std::string>& var_classes, Interval window) {
+  Domains domains;
+  for (const auto& [var, cls] : var_classes) {
+    MOST_ASSIGN_OR_RETURN(const ObjectClass* oc, db_.GetClass(cls));
+    domains.classes[var] = oc;
+  }
+  return Eval(formula, domains, window);
+}
+
+Result<TemporalRelation> FtlEvaluator::Eval(const FormulaPtr& f,
+                                            const Domains& domains,
+                                            Interval window) {
+  switch (f->kind()) {
+    case FtlFormula::Kind::kBoolLit: {
+      TemporalRelation out;
+      if (f->bool_value()) {
+        out.rows.emplace(std::vector<ObjectId>{}, IntervalSet(window));
+      }
+      return out;
+    }
+
+    case FtlFormula::Kind::kCompare:
+      return EvalCompare(*f, domains, window);
+
+    case FtlFormula::Kind::kInside:
+    case FtlFormula::Kind::kOutside: {
+      MOST_ASSIGN_OR_RETURN(const Polygon* region, db_.GetRegion(f->region()));
+      // Anchored (moving) region with a distinct anchor variable: a
+      // two-variable atomic relation over the exact relative motion.
+      if (!f->anchor().empty() && f->anchor() != f->var()) {
+        TemporalRelation out;
+        std::set<std::string> var_set = {f->var(), f->anchor()};
+        out.vars = SortedVars(var_set);
+        Status status = EnumerateInstantiations(
+            out.vars, domains.classes, domains.filters,
+            options_.max_instantiations, &stats_.instantiations,
+            [&](const std::vector<ObjectId>& binding,
+                const Instantiation& inst) {
+              const MostObject* obj = inst.at(f->var());
+              const MostObject* anchor = inst.at(f->anchor());
+              if (!obj->IsSpatial() || !anchor->IsSpatial()) {
+                return Status::TypeError(
+                    "INSIDE/OUTSIDE over non-spatial object");
+              }
+              ++stats_.atomic_evaluations;
+              IntervalSet inside =
+                  InsideTicksRelative(*obj, *anchor, *region, window);
+              IntervalSet when = (f->kind() == FtlFormula::Kind::kInside)
+                                     ? inside
+                                     : inside.Complement(window);
+              if (!when.empty()) out.rows.emplace(binding, std::move(when));
+              return Status::OK();
+            });
+        MOST_RETURN_IF_ERROR(status);
+        return out;
+      }
+      const bool self_anchored = !f->anchor().empty();
+      TemporalRelation out;
+      out.vars = {f->var()};
+      auto domain_it = domains.classes.find(f->var());
+      if (domain_it == domains.classes.end()) {
+        return Status::InvalidArgument("object variable '" + f->var() +
+                                       "' is not bound by the FROM clause");
+      }
+      const ObjectClass* cls = domain_it->second;
+
+      auto eval_object = [&](const MostObject& obj) -> Status {
+        if (!obj.IsSpatial()) {
+          return Status::TypeError("INSIDE/OUTSIDE over non-spatial object");
+        }
+        ++stats_.atomic_evaluations;
+        IntervalSet inside =
+            self_anchored ? InsideTicksRelative(obj, obj, *region, window)
+                          : InsideTicks(obj, *region, window);
+        IntervalSet when = (f->kind() == FtlFormula::Kind::kInside)
+                               ? inside
+                               : inside.Complement(window);
+        if (!when.empty()) out.rows.emplace(std::vector{obj.id()}, when);
+        return Status::OK();
+      };
+
+      // INSIDE over an indexed class: only the index's candidates can
+      // intersect the region during the window; everyone else is
+      // trivially outside. (OUTSIDE needs the complement, so the index
+      // cannot prune it; neither can it prune a self-anchored region,
+      // which never depends on absolute position.)
+      MotionIndex* index =
+          (f->kind() == FtlFormula::Kind::kInside && !self_anchored &&
+           options_.motion_indexes != nullptr)
+              ? options_.motion_indexes->Get(cls->name())
+              : nullptr;
+      if (index != nullptr) {
+        BoundingBox query_box{region->bounding_box().min,
+                              region->bounding_box().max};
+        std::vector<ObjectId> candidates =
+            index->QueryRegionCandidates(query_box, window);
+        stats_.index_pruned += cls->size() - candidates.size();
+        for (ObjectId id : candidates) {
+          ++stats_.instantiations;
+          MOST_ASSIGN_OR_RETURN(const MostObject* obj, cls->Get(id));
+          MOST_RETURN_IF_ERROR(eval_object(*obj));
+        }
+        return out;
+      }
+
+      Status status = EnumerateInstantiations(
+          out.vars, domains.classes, domains.filters,
+          options_.max_instantiations, &stats_.instantiations,
+          [&](const std::vector<ObjectId>& binding,
+              const Instantiation& inst) {
+            return eval_object(*inst.at(f->var()));
+          });
+      MOST_RETURN_IF_ERROR(status);
+      return out;
+    }
+
+    case FtlFormula::Kind::kWithinSphere: {
+      std::set<std::string> var_set(f->sphere_vars().begin(),
+                                    f->sphere_vars().end());
+      TemporalRelation out;
+      out.vars = SortedVars(var_set);
+      Status status = EnumerateInstantiations(
+          out.vars, domains.classes, domains.filters,
+          options_.max_instantiations, &stats_.instantiations,
+          [&](const std::vector<ObjectId>& binding, const Instantiation& inst) {
+            std::vector<const MostObject*> objects;
+            for (const std::string& v : f->sphere_vars()) {
+              const MostObject* obj = inst.at(v);
+              if (!obj->IsSpatial()) {
+                return Status::TypeError(
+                    "WITHIN_SPHERE over non-spatial object");
+              }
+              objects.push_back(obj);
+            }
+            ++stats_.atomic_evaluations;
+            IntervalSet when = SphereTicks(objects, f->radius(), window);
+            if (!when.empty()) out.rows.emplace(binding, std::move(when));
+            return Status::OK();
+          });
+      MOST_RETURN_IF_ERROR(status);
+      return out;
+    }
+
+    case FtlFormula::Kind::kAnd: {
+      if (!options_.enable_semijoin) {
+        MOST_ASSIGN_OR_RETURN(TemporalRelation r1,
+                              Eval(f->children()[0], domains, window));
+        MOST_ASSIGN_OR_RETURN(TemporalRelation r2,
+                              Eval(f->children()[1], domains, window));
+        return JoinAnd(r1, r2, &stats_);
+      }
+      // Semi-join: evaluate the side with fewer free variables first and
+      // restrict the other side's domains to bindings that can still
+      // join. Rows outside the restriction cannot survive the AND.
+      std::set<std::string> lhs_vars, rhs_vars;
+      f->children()[0]->CollectObjectVars(&lhs_vars);
+      f->children()[1]->CollectObjectVars(&rhs_vars);
+      FormulaPtr first = f->children()[0];
+      FormulaPtr second = f->children()[1];
+      if (rhs_vars.size() < lhs_vars.size()) std::swap(first, second);
+      MOST_ASSIGN_OR_RETURN(TemporalRelation r1, Eval(first, domains, window));
+      Domains restricted = domains;
+      for (size_t col = 0; col < r1.vars.size(); ++col) {
+        auto ids = std::make_shared<std::set<ObjectId>>();
+        for (const auto& [binding, when] : r1.rows) ids->insert(binding[col]);
+        auto existing = restricted.filters.find(r1.vars[col]);
+        if (existing != restricted.filters.end() &&
+            existing->second != nullptr) {
+          // Intersect with an enclosing restriction.
+          auto narrowed = std::make_shared<std::set<ObjectId>>();
+          for (ObjectId id : *ids) {
+            if (existing->second->count(id)) narrowed->insert(id);
+          }
+          ids = narrowed;
+        }
+        restricted.filters[r1.vars[col]] = std::move(ids);
+      }
+      MOST_ASSIGN_OR_RETURN(TemporalRelation r2,
+                            Eval(second, restricted, window));
+      return JoinAnd(r1, r2, &stats_);
+    }
+
+    case FtlFormula::Kind::kOr: {
+      MOST_ASSIGN_OR_RETURN(TemporalRelation r1,
+                            Eval(f->children()[0], domains, window));
+      MOST_ASSIGN_OR_RETURN(TemporalRelation r2,
+                            Eval(f->children()[1], domains, window));
+      std::vector<std::string> target = UnionVars(r1.vars, r2.vars);
+      MOST_ASSIGN_OR_RETURN(
+          TemporalRelation e1,
+          ExpandToVars(r1, target, domains.classes, domains.filters,
+                       options_.max_instantiations, &stats_.instantiations));
+      MOST_ASSIGN_OR_RETURN(
+          TemporalRelation e2,
+          ExpandToVars(r2, target, domains.classes, domains.filters,
+                       options_.max_instantiations, &stats_.instantiations));
+      TemporalRelation out = std::move(e1);
+      for (const auto& [binding, when] : e2.rows) {
+        auto [pos, inserted] = out.rows.emplace(binding, when);
+        if (!inserted) pos->second = pos->second.Union(when);
+      }
+      return out;
+    }
+
+    case FtlFormula::Kind::kNot: {
+      if (!options_.allow_negation) {
+        return Status::InvalidArgument(
+            "negation is outside the conjunctive subset (enable "
+            "allow_negation to evaluate it by domain complementation)");
+      }
+      MOST_ASSIGN_OR_RETURN(TemporalRelation r,
+                            Eval(f->children()[0], domains, window));
+      TemporalRelation out;
+      out.vars = r.vars;
+      Status status = EnumerateInstantiations(
+          r.vars, domains.classes, domains.filters,
+          options_.max_instantiations, &stats_.instantiations,
+          [&](const std::vector<ObjectId>& binding, const Instantiation&) {
+            auto it = r.rows.find(binding);
+            IntervalSet when = (it == r.rows.end())
+                                   ? IntervalSet(window)
+                                   : it->second.Complement(window);
+            if (!when.empty()) out.rows.emplace(binding, std::move(when));
+            return Status::OK();
+          });
+      MOST_RETURN_IF_ERROR(status);
+      return out;
+    }
+
+    case FtlFormula::Kind::kUntil:
+    case FtlFormula::Kind::kUntilWithin: {
+      Tick bound = f->kind() == FtlFormula::Kind::kUntilWithin ? f->bound()
+                                                               : kTickMax;
+      MOST_ASSIGN_OR_RETURN(TemporalRelation r1,
+                            Eval(f->children()[0], domains, window));
+      MOST_ASSIGN_OR_RETURN(TemporalRelation r2,
+                            Eval(f->children()[1], domains, window));
+      // Every satisfaction needs a g2 witness, so the result's rows come
+      // from r2 (expanded to the union variables); the matching g1 tick
+      // set (empty if r1 has no such row) feeds the chain merge.
+      std::vector<std::string> target = UnionVars(r1.vars, r2.vars);
+      MOST_ASSIGN_OR_RETURN(
+          TemporalRelation e2,
+          ExpandToVars(r2, target, domains.classes, domains.filters,
+                       options_.max_instantiations, &stats_.instantiations));
+      std::vector<size_t> r1_positions;
+      for (const std::string& v : r1.vars) {
+        r1_positions.push_back(
+            std::find(target.begin(), target.end(), v) - target.begin());
+      }
+      TemporalRelation out;
+      out.vars = target;
+      for (const auto& [binding, g2_when] : e2.rows) {
+        std::vector<ObjectId> key(r1_positions.size());
+        for (size_t i = 0; i < r1_positions.size(); ++i) {
+          key[i] = binding[r1_positions[i]];
+        }
+        auto it = r1.rows.find(key);
+        ++stats_.join_pairs;
+        IntervalSet g1_when =
+            (it == r1.rows.end()) ? IntervalSet() : it->second;
+        IntervalSet when = g2_when.UntilWith(g1_when, bound).Clamp(window);
+        if (!when.empty()) out.rows.emplace(binding, std::move(when));
+      }
+      return out;
+    }
+
+    case FtlFormula::Kind::kNexttime:
+    case FtlFormula::Kind::kEventually:
+    case FtlFormula::Kind::kEventuallyWithin:
+    case FtlFormula::Kind::kEventuallyAfter:
+    case FtlFormula::Kind::kAlways:
+    case FtlFormula::Kind::kAlwaysFor: {
+      MOST_ASSIGN_OR_RETURN(TemporalRelation r,
+                            Eval(f->children()[0], domains, window));
+      Tick window_len = window.end - window.begin;
+      TemporalRelation out;
+      out.vars = r.vars;
+      for (const auto& [binding, when] : r.rows) {
+        IntervalSet transformed;
+        switch (f->kind()) {
+          case FtlFormula::Kind::kNexttime:
+            transformed = when.Shift(-1).Clamp(window);
+            break;
+          case FtlFormula::Kind::kEventually:
+            transformed = when.DilateLeft(window_len).Clamp(window);
+            break;
+          case FtlFormula::Kind::kEventuallyWithin:
+            transformed = when.DilateLeft(f->bound()).Clamp(window);
+            break;
+          case FtlFormula::Kind::kEventuallyAfter:
+            transformed = when.DilateLeft(window_len)
+                              .Shift(-f->bound())
+                              .Clamp(window);
+            break;
+          case FtlFormula::Kind::kAlways: {
+            // Satisfied from t to the end of the evaluated history.
+            if (!when.empty() && when.Max() >= window.end) {
+              transformed =
+                  IntervalSet(Interval(when.intervals().back().begin,
+                                       window.end));
+            }
+            break;
+          }
+          case FtlFormula::Kind::kAlwaysFor:
+            transformed = when.ErodeRight(f->bound()).Clamp(window);
+            break;
+          default:
+            break;
+        }
+        if (!transformed.empty()) {
+          out.rows.emplace(binding, std::move(transformed));
+        }
+      }
+      return out;
+    }
+
+    case FtlFormula::Kind::kAssign:
+      return EvalAssign(*f, domains, window);
+  }
+  return Status::Internal("bad formula kind");
+}
+
+Result<TemporalRelation> FtlEvaluator::EvalCompare(const FtlFormula& f,
+                                                   const Domains& domains,
+                                                   Interval window) {
+  std::set<std::string> var_set;
+  f.lhs_term()->CollectObjectVars(&var_set);
+  f.rhs_term()->CollectObjectVars(&var_set);
+  TemporalRelation out;
+  out.vars = SortedVars(var_set);
+
+  // Direct DIST(o1,o2) `op` constant pattern -> exact quadratic solver.
+  const FtlTerm* dist = nullptr;
+  TermPtr other;
+  FtlFormula::CmpOp op = f.cmp_op();
+  if (f.lhs_term()->kind() == FtlTerm::Kind::kDist &&
+      IsTimeInvariant(f.rhs_term())) {
+    dist = f.lhs_term().get();
+    other = f.rhs_term();
+  } else if (f.rhs_term()->kind() == FtlTerm::Kind::kDist &&
+             IsTimeInvariant(f.lhs_term())) {
+    dist = f.rhs_term().get();
+    other = f.lhs_term();
+    // c op DIST  ==  DIST op' c with the inequality mirrored.
+    switch (op) {
+      case FtlFormula::CmpOp::kLt:
+        op = FtlFormula::CmpOp::kGt;
+        break;
+      case FtlFormula::CmpOp::kLe:
+        op = FtlFormula::CmpOp::kGe;
+        break;
+      case FtlFormula::CmpOp::kGt:
+        op = FtlFormula::CmpOp::kLt;
+        break;
+      case FtlFormula::CmpOp::kGe:
+        op = FtlFormula::CmpOp::kLe;
+        break;
+      default:
+        break;
+    }
+  }
+
+  bool lhs_dist = ContainsDist(f.lhs_term());
+  bool rhs_dist = ContainsDist(f.rhs_term());
+  bool invariant =
+      IsTimeInvariant(f.lhs_term()) && IsTimeInvariant(f.rhs_term());
+
+  Status status = EnumerateInstantiations(
+      out.vars, domains.classes, domains.filters,
+      options_.max_instantiations, &stats_.instantiations,
+      [&](const std::vector<ObjectId>& binding, const Instantiation& inst) {
+        ++stats_.atomic_evaluations;
+        IntervalSet when;
+        if (dist != nullptr) {
+          MOST_ASSIGN_OR_RETURN(Value bound_v,
+                                EvalTermAt(other, inst, window.begin));
+          MOST_ASSIGN_OR_RETURN(double bound, bound_v.AsDouble());
+          const MostObject* a = inst.at(dist->var());
+          const MostObject* b = inst.at(dist->var2());
+          if (!a->IsSpatial() || !b->IsSpatial()) {
+            return Status::TypeError("DIST over non-spatial objects");
+          }
+          when = DistCmpTicks(*a, *b, op, bound, window);
+        } else if (invariant) {
+          MOST_ASSIGN_OR_RETURN(Value lhs,
+                                EvalTermAt(f.lhs_term(), inst, window.begin));
+          MOST_ASSIGN_OR_RETURN(Value rhs,
+                                EvalTermAt(f.rhs_term(), inst, window.begin));
+          MOST_ASSIGN_OR_RETURN(bool holds,
+                                CompareFtlValues(f.cmp_op(), lhs, rhs));
+          if (holds) when = IntervalSet(window);
+        } else if (lhs_dist || rhs_dist) {
+          // Nested DIST arithmetic: per-tick fallback.
+          std::vector<Interval> ticks;
+          for (Tick t = window.begin; t <= window.end; ++t) {
+            MOST_ASSIGN_OR_RETURN(Value lhs, EvalTermAt(f.lhs_term(), inst, t));
+            MOST_ASSIGN_OR_RETURN(Value rhs, EvalTermAt(f.rhs_term(), inst, t));
+            MOST_ASSIGN_OR_RETURN(bool holds,
+                                  CompareFtlValues(f.cmp_op(), lhs, rhs));
+            if (holds) ticks.push_back(Interval(t, t));
+          }
+          when = IntervalSet::FromIntervals(std::move(ticks));
+        } else {
+          MOST_ASSIGN_OR_RETURN(Plf lhs,
+                                BuildTermPlf(f.lhs_term(), inst, window));
+          MOST_ASSIGN_OR_RETURN(Plf rhs,
+                                BuildTermPlf(f.rhs_term(), inst, window));
+          switch (f.cmp_op()) {
+            case FtlFormula::CmpOp::kLe:
+              when = lhs.TicksLe(rhs);
+              break;
+            case FtlFormula::CmpOp::kGe:
+              when = lhs.TicksGe(rhs);
+              break;
+            case FtlFormula::CmpOp::kLt:
+              when = lhs.TicksGe(rhs).Complement(window);
+              break;
+            case FtlFormula::CmpOp::kGt:
+              when = lhs.TicksLe(rhs).Complement(window);
+              break;
+            case FtlFormula::CmpOp::kEq:
+              when = lhs.TicksEq(rhs);
+              break;
+            case FtlFormula::CmpOp::kNe:
+              when = lhs.TicksEq(rhs).Complement(window);
+              break;
+          }
+          when = when.Clamp(window);
+        }
+        if (!when.empty()) out.rows.emplace(binding, std::move(when));
+        return Status::OK();
+      });
+  MOST_RETURN_IF_ERROR(status);
+  return out;
+}
+
+Result<TemporalRelation> FtlEvaluator::EvalAssign(const FtlFormula& f,
+                                                  const Domains& domains,
+                                                  Interval window) {
+  const TermPtr& q = f.assign_term();
+  const FormulaPtr& body = f.children()[0];
+  std::set<std::string> q_var_set;
+  q->CollectObjectVars(&q_var_set);
+  std::vector<std::string> q_vars = SortedVars(q_var_set);
+
+  TemporalRelation result;
+  bool result_initialized = false;
+  // Body evaluations are cached per distinct assigned value.
+  std::map<Value, TemporalRelation> body_cache;
+
+  Status status = EnumerateInstantiations(
+      q_vars, domains.classes, domains.filters,
+      options_.max_instantiations, &stats_.instantiations,
+      [&](const std::vector<ObjectId>& binding, const Instantiation& inst) {
+        // Decompose the term's value over the window into
+        // (value, tick-interval) tuples: the relation Q of the appendix.
+        std::vector<std::pair<Value, IntervalSet>> tuples;
+        if (IsTimeInvariant(q)) {
+          MOST_ASSIGN_OR_RETURN(Value v, EvalTermAt(q, inst, window.begin));
+          tuples.emplace_back(std::move(v), IntervalSet(window));
+        } else if (!ContainsDist(q)) {
+          MOST_ASSIGN_OR_RETURN(Plf plf, BuildTermPlf(q, inst, window));
+          for (const Plf::Piece& piece : plf.pieces()) {
+            if (piece.slope == 0.0) {
+              tuples.emplace_back(Value(piece.value_at_begin),
+                                  IntervalSet(piece.ticks));
+            } else {
+              for (Tick t = piece.ticks.begin; t <= piece.ticks.end; ++t) {
+                tuples.emplace_back(Value(piece.At(t)),
+                                    IntervalSet(Interval(t, t)));
+              }
+            }
+          }
+        } else {
+          for (Tick t = window.begin; t <= window.end; ++t) {
+            MOST_ASSIGN_OR_RETURN(Value v, EvalTermAt(q, inst, t));
+            tuples.emplace_back(std::move(v), IntervalSet(Interval(t, t)));
+          }
+        }
+
+        TemporalRelation q_row;
+        q_row.vars = q_vars;
+
+        for (auto& [v, valid_when] : tuples) {
+          auto cache_it = body_cache.find(v);
+          if (cache_it == body_cache.end()) {
+            ++stats_.assign_subevals;
+            FormulaPtr substituted = SubstituteValueVar(body, f.var(), v);
+            MOST_ASSIGN_OR_RETURN(TemporalRelation body_rel,
+                                  Eval(substituted, domains, window));
+            cache_it = body_cache.emplace(v, std::move(body_rel)).first;
+          }
+          // Constrain the body relation to this q-instantiation and to the
+          // ticks where the term has this value.
+          q_row.rows.clear();
+          q_row.rows.emplace(binding, valid_when);
+          TemporalRelation joined = JoinAnd(cache_it->second, q_row, &stats_);
+          if (!result_initialized) {
+            result.vars = joined.vars;
+            result_initialized = true;
+          }
+          for (auto& [b, when] : joined.rows) {
+            auto [pos, inserted] = result.rows.emplace(b, when);
+            if (!inserted) pos->second = pos->second.Union(when);
+          }
+        }
+        return Status::OK();
+      });
+  MOST_RETURN_IF_ERROR(status);
+  if (!result_initialized) {
+    // Determine the output arity even when empty.
+    std::set<std::string> body_vars;
+    body->CollectObjectVars(&body_vars);
+    body_vars.insert(q_var_set.begin(), q_var_set.end());
+    result.vars = SortedVars(body_vars);
+  }
+  return result;
+}
+
+}  // namespace most

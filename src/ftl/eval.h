@@ -1,0 +1,105 @@
+#ifndef MOST_FTL_EVAL_H_
+#define MOST_FTL_EVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/result.h"
+#include "core/motion_index_manager.h"
+#include "core/object_model.h"
+#include "ftl/ast.h"
+
+namespace most {
+
+/// The relation R_g the appendix associates with a subformula g: one row
+/// per instantiation of g's free object variables, carrying the set of
+/// ticks at which g is satisfied under that instantiation. Rows with empty
+/// tick sets are not stored. The interval sets are normalized (sorted,
+/// non-overlapping, non-consecutive), exactly the appendix's invariant.
+struct TemporalRelation {
+  std::vector<std::string> vars;  ///< Sorted variable names (columns).
+  std::map<std::vector<ObjectId>, IntervalSet> rows;
+
+  /// Projects onto a subset of columns, unioning tick sets of rows that
+  /// collapse together.
+  TemporalRelation Project(const std::vector<std::string>& keep) const;
+
+  std::string ToString() const;
+};
+
+/// Counters exposed for the benchmarks (experiments E4/E5).
+struct FtlEvalStats {
+  size_t atomic_evaluations = 0;  ///< Atomic predicate solves.
+  size_t instantiations = 0;      ///< Object tuples enumerated.
+  size_t join_pairs = 0;          ///< Row pairs examined by joins.
+  size_t assign_subevals = 0;     ///< Body evaluations for [x := q].
+  size_t index_pruned = 0;        ///< Objects skipped thanks to an index.
+};
+
+/// Evaluates FTL formulas over the implicit future history of a MOST
+/// database, per the paper's appendix: bottom-up computation of interval
+/// relations with interval-intersection joins (AND), maximal-chain merges
+/// (UNTIL), and substitution joins (assignment quantifier).
+///
+/// The evaluation window is the finite prefix [window.begin, window.end]
+/// of the infinite future history (the paper: "a continuous query expires
+/// after a predefined (but very large) amount of time"). Temporal
+/// operators treat window.end as the end of history.
+class FtlEvaluator {
+ public:
+  struct Options {
+    /// Negation is outside the paper's conjunctive subset; when allowed it
+    /// is evaluated by complementation over the full variable domain.
+    bool allow_negation = true;
+    /// Safety valve on domain enumeration (cross products).
+    size_t max_instantiations = 4u << 20;
+    /// AND evaluates its cheaper side first and restricts the other
+    /// side's variable domains to joinable bindings (a semi-join).
+    bool enable_semijoin = true;
+    /// Optional Section 4 motion indexes: INSIDE atoms over indexed
+    /// classes examine only the index's candidates instead of every
+    /// object (the paper's combination of the index with the FTL
+    /// algorithm). Not owned; may be null.
+    const MotionIndexManager* motion_indexes = nullptr;
+  };
+
+  explicit FtlEvaluator(const MostDatabase& db) : FtlEvaluator(db, Options()) {}
+  FtlEvaluator(const MostDatabase& db, Options options)
+      : db_(db), options_(options) {}
+
+  /// Evaluates a full query over the window, returning the Answer relation
+  /// projected onto the RETRIEVE variables.
+  Result<TemporalRelation> EvaluateQuery(const FtlQuery& query,
+                                         Interval window);
+
+  /// Evaluates a formula whose object variables are bound to classes by
+  /// `var_classes`. Exposed for tests and for the query manager.
+  Result<TemporalRelation> EvalFormula(
+      const FormulaPtr& formula,
+      const std::map<std::string, std::string>& var_classes, Interval window);
+
+  const FtlEvalStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FtlEvalStats(); }
+
+ private:
+  struct Domains;  // Resolved per-variable object class extents.
+
+  Result<TemporalRelation> Eval(const FormulaPtr& f, const Domains& domains,
+                                Interval window);
+  Result<TemporalRelation> EvalCompare(const FtlFormula& f,
+                                       const Domains& domains,
+                                       Interval window);
+  Result<TemporalRelation> EvalAssign(const FtlFormula& f,
+                                      const Domains& domains,
+                                      Interval window);
+
+  const MostDatabase& db_;
+  Options options_;
+  FtlEvalStats stats_;
+};
+
+}  // namespace most
+
+#endif  // MOST_FTL_EVAL_H_

@@ -1,0 +1,216 @@
+#include "ftl/hybrid_executor.h"
+
+namespace most {
+
+namespace {
+
+void SplitFtlConjuncts(const FormulaPtr& f, std::vector<FormulaPtr>* out) {
+  if (f == nullptr) return;
+  if (f->kind() == FtlFormula::Kind::kAnd) {
+    SplitFtlConjuncts(f->children()[0], out);
+    SplitFtlConjuncts(f->children()[1], out);
+    return;
+  }
+  out->push_back(f);
+}
+
+Expr::CmpOp TranslateCmp(FtlFormula::CmpOp op) {
+  switch (op) {
+    case FtlFormula::CmpOp::kEq:
+      return Expr::CmpOp::kEq;
+    case FtlFormula::CmpOp::kNe:
+      return Expr::CmpOp::kNe;
+    case FtlFormula::CmpOp::kLt:
+      return Expr::CmpOp::kLt;
+    case FtlFormula::CmpOp::kLe:
+      return Expr::CmpOp::kLe;
+    case FtlFormula::CmpOp::kGt:
+      return Expr::CmpOp::kGt;
+    case FtlFormula::CmpOp::kGe:
+      return Expr::CmpOp::kGe;
+  }
+  return Expr::CmpOp::kEq;
+}
+
+/// Translates an FTL term over static attributes (or time-invariant
+/// sub-attributes) of `var` into a host expression; nullptr if not
+/// translatable. Only time-invariant terms may be pushed down — their
+/// truth now equals their truth at every state of the history.
+ExprPtr TranslateTerm(const TermPtr& term, const std::string& var,
+                      const std::set<std::string>& static_columns) {
+  switch (term->kind()) {
+    case FtlTerm::Kind::kLiteral:
+      return Expr::Literal(term->literal());
+    case FtlTerm::Kind::kAttrRef: {
+      if (term->var() != var) return nullptr;
+      switch (term->sub()) {
+        case FtlTerm::AttrSub::kCurrent:
+          // A plain attribute reference is time-invariant only when the
+          // attribute is a static column of the table.
+          if (static_columns.count(term->attr()) == 0) return nullptr;
+          return Expr::Column(term->attr());
+        case FtlTerm::AttrSub::kValue:
+          return Expr::Column(term->attr() + ".value");
+        case FtlTerm::AttrSub::kUpdatetime:
+          return Expr::Column(term->attr() + ".updatetime");
+        case FtlTerm::AttrSub::kSpeed:
+          return nullptr;  // Speed can change with piecewise functions.
+      }
+      return nullptr;
+    }
+    case FtlTerm::Kind::kArith: {
+      ExprPtr lhs = TranslateTerm(term->children()[0], var, static_columns);
+      ExprPtr rhs = TranslateTerm(term->children()[1], var, static_columns);
+      if (lhs == nullptr || rhs == nullptr) return nullptr;
+      Expr::ArithOp op = Expr::ArithOp::kAdd;
+      switch (term->arith_op()) {
+        case FtlTerm::ArithOp::kAdd:
+          op = Expr::ArithOp::kAdd;
+          break;
+        case FtlTerm::ArithOp::kSub:
+          op = Expr::ArithOp::kSub;
+          break;
+        case FtlTerm::ArithOp::kMul:
+          op = Expr::ArithOp::kMul;
+          break;
+        case FtlTerm::ArithOp::kDiv:
+          op = Expr::ArithOp::kDiv;
+          break;
+      }
+      return Expr::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    default:
+      return nullptr;  // time, DIST, value variables: not pushable.
+  }
+}
+
+}  // namespace
+
+ExprPtr HybridFtlExecutor::TranslateStaticConjunct(
+    const FormulaPtr& f, const std::string& var,
+    const std::set<std::string>& static_columns) {
+  if (f->kind() != FtlFormula::Kind::kCompare) return nullptr;
+  ExprPtr lhs = TranslateTerm(f->lhs_term(), var, static_columns);
+  ExprPtr rhs = TranslateTerm(f->rhs_term(), var, static_columns);
+  if (lhs == nullptr || rhs == nullptr) return nullptr;
+  return Expr::Compare(TranslateCmp(f->cmp_op()), std::move(lhs),
+                       std::move(rhs));
+}
+
+Result<TemporalRelation> HybridFtlExecutor::Evaluate(const FtlQuery& query,
+                                                     Interval window,
+                                                     ExecStats* stats) {
+  if (query.from.size() != 1) {
+    return Status::InvalidArgument(
+        "the hybrid executor handles single-variable queries");
+  }
+  const std::string& table = query.from[0].class_name;
+  const std::string& var = query.from[0].var;
+  if (query.where == nullptr) {
+    return Status::InvalidArgument("query has no WHERE formula");
+  }
+  MOST_ASSIGN_OR_RETURN(std::vector<MostColumnSpec> columns,
+                        most_->GetLogicalColumns(table));
+  MOST_ASSIGN_OR_RETURN(const Table* host_table,
+                        most_->host()->GetTable(table));
+  const Schema& host_schema = host_table->schema();
+
+  ExecStats local;
+  ExecStats* st = stats != nullptr ? stats : &local;
+  st->table_rows = host_table->size();
+
+  // 1. Partition the top-level conjuncts.
+  std::vector<FormulaPtr> conjuncts;
+  SplitFtlConjuncts(query.where, &conjuncts);
+  ExprPtr host_where;
+  FormulaPtr residual;
+  std::set<std::string> static_columns;
+  for (const MostColumnSpec& spec : columns) {
+    if (!spec.dynamic) static_columns.insert(spec.name);
+  }
+  for (const FormulaPtr& conjunct : conjuncts) {
+    ExprPtr translated =
+        TranslateStaticConjunct(conjunct, var, static_columns);
+    bool pushable = translated != nullptr;
+    if (pushable) {
+      // Every referenced column must exist in the host schema (a plain
+      // reference to a dynamic attribute does not, and must stay in the
+      // residual — though IsTimeInvariant already excludes it).
+      std::set<std::string> cols;
+      translated->CollectColumns(&cols);
+      for (const std::string& c : cols) {
+        if (!host_schema.HasColumn(c)) pushable = false;
+      }
+    }
+    if (pushable) {
+      ++st->pushed_conjuncts;
+      host_where = host_where == nullptr
+                       ? translated
+                       : Expr::And(std::move(host_where), translated);
+    } else {
+      residual = residual == nullptr
+                     ? conjunct
+                     : FtlFormula::And(std::move(residual), conjunct);
+    }
+  }
+  if (residual == nullptr) residual = FtlFormula::BoolLit(true);
+
+  // 2. The DBMS computes the qualifying rows (indexes and the Section 5.1
+  // machinery apply here).
+  SelectQuery host_query{table, host_where, {}};
+  MOST_ASSIGN_OR_RETURN(
+      ResultSet qualifying,
+      most_->host()->ExecuteSelect(host_query, &st->host_stats));
+  st->host_rows_qualifying = qualifying.rows.size();
+
+  // 3. Materialize the qualifying rows as MOST objects.
+  MostDatabase view(clock_->Now());
+  for (const auto& [name, polygon] : regions_) {
+    MOST_RETURN_IF_ERROR(view.DefineRegion(name, polygon));
+  }
+  bool spatial = false;
+  std::vector<AttributeDecl> decls;
+  for (const MostColumnSpec& spec : columns) {
+    if (spec.name == kAttrX || spec.name == kAttrY) {
+      if (spec.dynamic) spatial = true;
+      continue;
+    }
+    decls.push_back({spec.name, spec.dynamic, spec.static_type});
+  }
+  MOST_RETURN_IF_ERROR(view.CreateClass(table, decls, spatial).status());
+  for (size_t r = 0; r < qualifying.rows.size(); ++r) {
+    const Row& row = qualifying.rows[r];
+    MOST_ASSIGN_OR_RETURN(MostObject * obj,
+                          view.RestoreObject(table, qualifying.row_ids[r]));
+    for (const MostColumnSpec& spec : columns) {
+      if (spec.dynamic) {
+        MOST_ASSIGN_OR_RETURN(size_t vi,
+                              host_schema.IndexOf(spec.name + ".value"));
+        MOST_ASSIGN_OR_RETURN(size_t ui,
+                              host_schema.IndexOf(spec.name + ".updatetime"));
+        MOST_ASSIGN_OR_RETURN(size_t fi,
+                              host_schema.IndexOf(spec.name + ".function"));
+        MOST_ASSIGN_OR_RETURN(TimeFunction f,
+                              DecodeTimeFunction(row[fi].string_value()));
+        MOST_ASSIGN_OR_RETURN(double base, row[vi].AsDouble());
+        obj->SetDynamic(spec.name,
+                        DynamicAttribute(base, row[ui].int_value(),
+                                         std::move(f)));
+      } else {
+        MOST_ASSIGN_OR_RETURN(size_t idx, host_schema.IndexOf(spec.name));
+        obj->SetStatic(spec.name, row[idx]);
+      }
+    }
+  }
+
+  // 4. The interval algorithm evaluates the residual (temporal) formula
+  // over the reduced object set.
+  FtlQuery residual_query;
+  residual_query.retrieve = query.retrieve;
+  residual_query.from = query.from;
+  residual_query.where = residual;
+  FtlEvaluator eval(view);
+  return eval.EvaluateQuery(residual_query, window);
+}
+
+}  // namespace most

@@ -1,0 +1,67 @@
+#ifndef MOST_FTL_HYBRID_EXECUTOR_H_
+#define MOST_FTL_HYBRID_EXECUTOR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/most_on_dbms.h"
+#include "ftl/ast.h"
+#include "ftl/eval.h"
+
+namespace most {
+
+/// Section 5.1, final paragraph: processing FTL formulas when the objects
+/// live in a MOST table on top of the host DBMS. "In the given FTL formula
+/// f, we identify the maximal non-temporal subformulas ... we compute this
+/// relation by using the decomposition method for non-temporal queries
+/// described above. All the relations computed in this fashion are
+/// combined using the procedure in the appendix."
+///
+/// This executor handles single-variable queries over one MOST table:
+///  1. Top-level conjuncts of the WHERE formula that are non-temporal and
+///     time-invariant (static attribute comparisons) are translated into a
+///     host WHERE clause and evaluated by the DBMS — using its indexes and
+///     the Section 5.1 machinery.
+///  2. Only the qualifying rows are materialized as MOST objects, and the
+///     residual (temporal) formula runs through the appendix's interval
+///     algorithm on that reduced object set.
+///
+/// Dynamic columns named X.POSITION / Y.POSITION become the object's
+/// position; other dynamic columns become dynamic attributes; statics stay
+/// static. Row ids become object ids, so results are directly comparable
+/// with a full in-memory evaluation.
+class HybridFtlExecutor {
+ public:
+  HybridFtlExecutor(MostOnDbms* most, Clock* clock,
+                    std::map<std::string, Polygon> regions)
+      : most_(most), clock_(clock), regions_(std::move(regions)) {}
+
+  struct ExecStats {
+    size_t host_rows_qualifying = 0;  ///< Rows surviving the pushdown.
+    size_t table_rows = 0;
+    size_t pushed_conjuncts = 0;      ///< Conjuncts answered by the DBMS.
+    QueryStats host_stats;            ///< Host-side execution counters.
+  };
+
+  /// Evaluates a single-variable FTL query whose FROM class names a MOST
+  /// table of `most_`.
+  Result<TemporalRelation> Evaluate(const FtlQuery& query, Interval window,
+                                    ExecStats* stats = nullptr);
+
+ private:
+  /// Translates an FTL atomic comparison over time-invariant terms of
+  /// `var` (static attributes, value/updatetime sub-attributes) into a
+  /// host expression; returns null if not translatable.
+  static ExprPtr TranslateStaticConjunct(
+      const FormulaPtr& f, const std::string& var,
+      const std::set<std::string>& static_columns);
+
+  MostOnDbms* most_;
+  Clock* clock_;
+  std::map<std::string, Polygon> regions_;
+};
+
+}  // namespace most
+
+#endif  // MOST_FTL_HYBRID_EXECUTOR_H_

@@ -1,0 +1,178 @@
+#include "ftl/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace most {
+
+bool Token::IsKeyword(std::string_view keyword) const {
+  if (kind != TokenKind::kIdent) return false;
+  if (text.size() != keyword.size()) return false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = source.size();
+  auto push = [&](TokenKind kind, size_t offset, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.offset = offset;
+    tokens.push_back(std::move(t));
+  };
+  while (i < n) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '_')) {
+        ++j;
+      }
+      push(TokenKind::kIdent, start, source.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t j = i;
+      bool seen_dot = false;
+      while (j < n &&
+             (std::isdigit(static_cast<unsigned char>(source[j])) ||
+              (source[j] == '.' && !seen_dot && j + 1 < n &&
+               std::isdigit(static_cast<unsigned char>(source[j + 1]))))) {
+        if (source[j] == '.') seen_dot = true;
+        ++j;
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = source.substr(i, j - i);
+      t.number = std::strtod(t.text.c_str(), nullptr);
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      size_t j = i + 1;
+      while (j < n && source[j] != c) ++j;
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenKind::kString, start, source.substr(i + 1, j - i - 1));
+      i = j + 1;
+      continue;
+    }
+    auto two = [&](char next) { return i + 1 < n && source[i + 1] == next; };
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, start);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen, start);
+        ++i;
+        break;
+      case '[':
+        push(TokenKind::kLBracket, start);
+        ++i;
+        break;
+      case ']':
+        push(TokenKind::kRBracket, start);
+        ++i;
+        break;
+      case ',':
+        push(TokenKind::kComma, start);
+        ++i;
+        break;
+      case '.':
+        push(TokenKind::kDot, start);
+        ++i;
+        break;
+      case ':':
+        if (two('=')) {
+          push(TokenKind::kAssignOp, start);
+          i += 2;
+        } else {
+          return Status::ParseError("stray ':' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else if (two('-')) {
+          // The paper writes the assignment quantifier [x <- q].
+          push(TokenKind::kAssignOp, start);
+          i += 2;
+        } else if (two('>')) {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        break;
+      case '=':
+        push(TokenKind::kEq, start);
+        ++i;
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          return Status::ParseError("stray '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '+':
+        push(TokenKind::kPlus, start);
+        ++i;
+        break;
+      case '-':
+        push(TokenKind::kMinus, start);
+        ++i;
+        break;
+      case '*':
+        push(TokenKind::kStar, start);
+        ++i;
+        break;
+      case '/':
+        push(TokenKind::kSlash, start);
+        ++i;
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return tokens;
+}
+
+}  // namespace most

@@ -1,0 +1,51 @@
+#ifndef MOST_FTL_LEXER_H_
+#define MOST_FTL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace most {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,      ///< Identifier or keyword (keywords are matched by text).
+  kNumber,
+  kString,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kDot,
+  kAssignOp,   ///< :=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      ///< Identifier / keyword spelling or string body.
+  double number = 0.0;   ///< For kNumber.
+  size_t offset = 0;     ///< Byte offset in the source, for error messages.
+
+  /// Case-insensitive keyword test.
+  bool IsKeyword(std::string_view keyword) const;
+};
+
+/// Tokenizes an FTL query string. Fails with ParseError on malformed input
+/// (unterminated string, stray character).
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace most
+
+#endif  // MOST_FTL_LEXER_H_

@@ -1,0 +1,150 @@
+#include "ftl/nearest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ftl/spatial_eval.h"
+
+namespace most {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Appends the ticks of [piece] where A t^2 + B t + C <= 0.
+void QuadLeTicks(double A, double B, double C, Interval piece,
+                 std::vector<Interval>* out) {
+  const double t0 = static_cast<double>(piece.begin);
+  const double t1 = static_cast<double>(piece.end);
+  auto emit = [&](double lo, double hi) {
+    lo = std::max(lo, t0);
+    hi = std::min(hi, t1);
+    if (lo > hi) return;
+    Tick first = static_cast<Tick>(std::ceil(lo - kEps));
+    Tick last = static_cast<Tick>(std::floor(hi + kEps));
+    first = std::max(first, piece.begin);
+    last = std::min(last, piece.end);
+    if (first <= last) out->push_back(Interval(first, last));
+  };
+  if (A == 0.0) {
+    if (B == 0.0) {
+      if (C <= kEps) emit(t0, t1);
+      return;
+    }
+    double root = -C / B;
+    if (B > 0) {
+      emit(t0, root);
+    } else {
+      emit(root, t1);
+    }
+    return;
+  }
+  double disc = B * B - 4.0 * A * C;
+  if (A > 0.0) {
+    if (disc < 0.0) return;  // Positive everywhere.
+    double sq = std::sqrt(disc);
+    emit((-B - sq) / (2.0 * A), (-B + sq) / (2.0 * A));
+    return;
+  }
+  // A < 0: negative outside the roots (or everywhere if no real roots).
+  if (disc < 0.0) {
+    emit(t0, t1);
+    return;
+  }
+  double sq = std::sqrt(disc);
+  double r1 = (-B + sq) / (2.0 * A);  // Smaller root (A < 0).
+  double r2 = (-B - sq) / (2.0 * A);
+  emit(t0, r1);
+  emit(r2, t1);
+}
+
+/// Quadratic coefficients of |p(t) - q(t)|^2 for absolute-time-linear
+/// motions.
+struct Quad {
+  double a, b, c;
+};
+
+Quad DistanceSquaredQuad(const MovingPoint2& p, const MovingPoint2& q) {
+  Vec2 d0 = p.origin - q.origin;
+  Vec2 dv = p.velocity - q.velocity;
+  return {dv.NormSquared(), 2.0 * d0.Dot(dv), d0.NormSquared()};
+}
+
+/// Ticks where dist(from, a)^2 <= dist(from, b)^2 (+eps), exactly.
+IntervalSet SqDistLeTicks(const MostObject& from, const MostObject& a,
+                          const MostObject& b, Interval window) {
+  std::vector<Interval> ticks;
+  ForEachAlignedSegment(
+      {&from, &a, &b}, window,
+      [&](Interval piece, const std::vector<MovingPoint2>& movers) {
+        Quad qa = DistanceSquaredQuad(movers[1], movers[0]);
+        Quad qb = DistanceSquaredQuad(movers[2], movers[0]);
+        QuadLeTicks(qa.a - qb.a, qa.b - qb.b, qa.c - qb.c - kEps, piece,
+                    &ticks);
+      });
+  return IntervalSet::FromIntervals(std::move(ticks)).Clamp(window);
+}
+
+}  // namespace
+
+Result<NearestResult> NearestNeighbor(const MostDatabase& db,
+                                      const std::string& class_name,
+                                      const MostObject& from, Tick t) {
+  MOST_ASSIGN_OR_RETURN(const ObjectClass* cls, db.GetClass(class_name));
+  if (!from.IsSpatial()) {
+    return Status::TypeError("nearest-neighbor from a non-spatial object");
+  }
+  Point2 origin = from.PositionAt(t);
+  NearestResult best;
+  bool found = false;
+  for (const auto& [id, obj] : cls->objects()) {
+    if (id == from.id()) continue;
+    if (!obj.IsSpatial()) {
+      return Status::TypeError("non-spatial object in class " + class_name);
+    }
+    double d = obj.PositionAt(t).DistanceTo(origin);
+    if (!found || d < best.distance ||
+        (d == best.distance && id < best.id)) {
+      best = {id, d};
+      found = true;
+    }
+  }
+  if (!found) return Status::NotFound("class " + class_name + " is empty");
+  return best;
+}
+
+Result<std::vector<std::pair<ObjectId, IntervalSet>>> NearestOverWindow(
+    const MostDatabase& db, const std::string& class_name,
+    const MostObject& from, Interval window) {
+  MOST_ASSIGN_OR_RETURN(const ObjectClass* cls, db.GetClass(class_name));
+  if (!from.IsSpatial()) {
+    return Status::TypeError("nearest-neighbor from a non-spatial object");
+  }
+  std::vector<const MostObject*> candidates;
+  for (const auto& [id, obj] : cls->objects()) {
+    if (id == from.id()) continue;
+    if (!obj.IsSpatial()) {
+      return Status::TypeError("non-spatial object in class " + class_name);
+    }
+    candidates.push_back(&obj);
+  }
+  std::vector<std::pair<ObjectId, IntervalSet>> out;
+  for (const MostObject* i : candidates) {
+    // i wins at t iff it beats every j: closer, or equally close with the
+    // smaller id (which makes the winners partition the window).
+    IntervalSet wins(window);
+    for (const MostObject* j : candidates) {
+      if (j == i) continue;
+      IntervalSet beats =
+          (i->id() < j->id())
+              ? SqDistLeTicks(from, *i, *j, window)
+              : SqDistLeTicks(from, *j, *i, window).Complement(window);
+      wins = wins.Intersect(beats);
+      if (wins.empty()) break;
+    }
+    if (!wins.empty()) out.emplace_back(i->id(), std::move(wins));
+  }
+  return out;
+}
+
+}  // namespace most

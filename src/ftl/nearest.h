@@ -1,0 +1,41 @@
+#ifndef MOST_FTL_NEAREST_H_
+#define MOST_FTL_NEAREST_H_
+
+#include <vector>
+
+#include "common/interval.h"
+#include "common/result.h"
+#include "core/object_model.h"
+
+namespace most {
+
+/// Answers the paper's opening query — "How far is the car with license
+/// plate RWW860 from the nearest hospital?" — against moving (or
+/// stationary) objects, both instantaneously and over a future window.
+
+struct NearestResult {
+  ObjectId id = kInvalidObjectId;
+  double distance = 0.0;
+};
+
+/// Nearest object of `class_name` to `from` at tick `t` (excluding `from`
+/// itself if it belongs to the class). NotFound if the class is empty.
+Result<NearestResult> NearestNeighbor(const MostDatabase& db,
+                                      const std::string& class_name,
+                                      const MostObject& from, Tick t);
+
+/// Time-parameterized nearest neighbor: for each object that is nearest
+/// at some point of the window, the exact tick intervals during which it
+/// is nearest (the lower envelope of the pairwise distance functions;
+/// ties go to the smaller object id). Intervals partition the window.
+///
+/// Exact: distances between linearly moving points are sqrt-quadratics,
+/// so "i is nearer than j" reduces to the sign of a quadratic, solved in
+/// closed form per aligned motion segment.
+Result<std::vector<std::pair<ObjectId, IntervalSet>>> NearestOverWindow(
+    const MostDatabase& db, const std::string& class_name,
+    const MostObject& from, Interval window);
+
+}  // namespace most
+
+#endif  // MOST_FTL_NEAREST_H_

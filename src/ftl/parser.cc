@@ -1,0 +1,398 @@
+#include "ftl/parser.h"
+
+#include <cmath>
+
+#include "ftl/lexer.h"
+
+namespace most {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<FtlQuery> ParseQueryAll() {
+    FtlQuery query;
+    if (!MatchKeyword("RETRIEVE")) {
+      return Error("expected RETRIEVE");
+    }
+    while (true) {
+      MOST_ASSIGN_OR_RETURN(std::string var, ExpectIdent("RETRIEVE variable"));
+      query.retrieve.push_back(std::move(var));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    if (!MatchKeyword("FROM")) {
+      return Error("expected FROM");
+    }
+    while (true) {
+      MOST_ASSIGN_OR_RETURN(std::string cls, ExpectIdent("object class name"));
+      MOST_ASSIGN_OR_RETURN(std::string var, ExpectIdent("object variable"));
+      query.from.push_back({std::move(cls), std::move(var)});
+      if (!Match(TokenKind::kComma)) break;
+    }
+    if (!MatchKeyword("WHERE")) {
+      return Error("expected WHERE");
+    }
+    MOST_ASSIGN_OR_RETURN(query.where, ParseOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after formula");
+    }
+    return query;
+  }
+
+  Result<FormulaPtr> ParseFormulaAll() {
+    MOST_ASSIGN_OR_RETURN(FormulaPtr f, ParseOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after formula");
+    }
+    return f;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) return tokens_.back();
+    return tokens_[i];
+  }
+
+  const Token& Consume() { return tokens_[pos_++]; }
+
+  bool Match(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool MatchKeyword(const char* keyword) {
+    if (!Peek().IsKeyword(keyword)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error(std::string("expected ") + what);
+    }
+    return Consume().text;
+  }
+
+  Result<Tick> ParseBound() {
+    bool negative = Match(TokenKind::kMinus);
+    if (Peek().kind != TokenKind::kNumber) {
+      return Error("expected a numeric time bound");
+    }
+    double v = Consume().number;
+    if (negative || v < 0 || v != std::floor(v)) {
+      return Status::ParseError("time bound must be a non-negative integer");
+    }
+    return static_cast<Tick>(v);
+  }
+
+  // or := and (OR and)*
+  Result<FormulaPtr> ParseOr() {
+    MOST_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseAnd());
+    while (MatchKeyword("OR")) {
+      MOST_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseAnd());
+      lhs = FtlFormula::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  // and := until (AND until)*
+  Result<FormulaPtr> ParseAnd() {
+    MOST_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseUntil());
+    while (MatchKeyword("AND")) {
+      MOST_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseUntil());
+      lhs = FtlFormula::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  // until := unary (UNTIL (WITHIN c)? until)?   -- right associative.
+  Result<FormulaPtr> ParseUntil() {
+    MOST_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseUnary());
+    if (!MatchKeyword("UNTIL")) return lhs;
+    if (MatchKeyword("WITHIN")) {
+      MOST_ASSIGN_OR_RETURN(Tick bound, ParseBound());
+      MOST_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseUntil());
+      return FtlFormula::UntilWithin(bound, std::move(lhs), std::move(rhs));
+    }
+    MOST_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseUntil());
+    return FtlFormula::Until(std::move(lhs), std::move(rhs));
+  }
+
+  Result<FormulaPtr> ParseUnary() {
+    if (MatchKeyword("NOT")) {
+      MOST_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+      return FtlFormula::Not(std::move(f));
+    }
+    if (MatchKeyword("NEXTTIME")) {
+      MOST_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+      return FtlFormula::Nexttime(std::move(f));
+    }
+    if (MatchKeyword("EVENTUALLY")) {
+      if (MatchKeyword("WITHIN")) {
+        MOST_ASSIGN_OR_RETURN(Tick bound, ParseBound());
+        MOST_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+        return FtlFormula::EventuallyWithin(bound, std::move(f));
+      }
+      if (MatchKeyword("AFTER")) {
+        MOST_ASSIGN_OR_RETURN(Tick bound, ParseBound());
+        MOST_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+        return FtlFormula::EventuallyAfter(bound, std::move(f));
+      }
+      MOST_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+      return FtlFormula::Eventually(std::move(f));
+    }
+    if (MatchKeyword("ALWAYS")) {
+      if (MatchKeyword("FOR")) {
+        MOST_ASSIGN_OR_RETURN(Tick bound, ParseBound());
+        MOST_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+        return FtlFormula::AlwaysFor(bound, std::move(f));
+      }
+      MOST_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+      return FtlFormula::Always(std::move(f));
+    }
+    if (Match(TokenKind::kLBracket)) {
+      MOST_ASSIGN_OR_RETURN(std::string var, ExpectIdent("assignment variable"));
+      if (!Match(TokenKind::kAssignOp)) {
+        return Error("expected ':=' in assignment quantifier");
+      }
+      MOST_ASSIGN_OR_RETURN(TermPtr term, ParseTerm());
+      if (!Match(TokenKind::kRBracket)) {
+        return Error("expected ']' closing assignment quantifier");
+      }
+      MOST_ASSIGN_OR_RETURN(FormulaPtr body, ParseUnary());
+      return FtlFormula::Assign(std::move(var), std::move(term),
+                                std::move(body));
+    }
+    return ParsePrimary();
+  }
+
+  Result<FormulaPtr> ParsePrimary() {
+    if (MatchKeyword("TRUE")) return FtlFormula::BoolLit(true);
+    if (MatchKeyword("FALSE")) return FtlFormula::BoolLit(false);
+    if (Peek().IsKeyword("INSIDE") || Peek().IsKeyword("OUTSIDE")) {
+      bool inside = Peek().IsKeyword("INSIDE");
+      Consume();
+      if (!Match(TokenKind::kLParen)) return Error("expected '('");
+      MOST_ASSIGN_OR_RETURN(std::string var, ExpectIdent("object variable"));
+      if (!Match(TokenKind::kComma)) return Error("expected ','");
+      MOST_ASSIGN_OR_RETURN(std::string region, ExpectIdent("region name"));
+      std::string anchor;
+      if (Match(TokenKind::kComma)) {
+        MOST_ASSIGN_OR_RETURN(anchor, ExpectIdent("anchor variable"));
+      }
+      if (!Match(TokenKind::kRParen)) return Error("expected ')'");
+      return inside ? FtlFormula::Inside(std::move(var), std::move(region),
+                                         std::move(anchor))
+                    : FtlFormula::Outside(std::move(var), std::move(region),
+                                          std::move(anchor));
+    }
+    if (MatchKeyword("WITHIN_SPHERE")) {
+      if (!Match(TokenKind::kLParen)) return Error("expected '('");
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("expected sphere radius");
+      }
+      double radius = Consume().number;
+      std::vector<std::string> vars;
+      while (Match(TokenKind::kComma)) {
+        MOST_ASSIGN_OR_RETURN(std::string var, ExpectIdent("object variable"));
+        vars.push_back(std::move(var));
+      }
+      if (!Match(TokenKind::kRParen)) return Error("expected ')'");
+      if (vars.empty()) {
+        return Status::ParseError("WITHIN_SPHERE needs at least one object");
+      }
+      return FtlFormula::WithinSphere(radius, std::move(vars));
+    }
+
+    // Either `term cmp term` or a parenthesized formula; try the
+    // comparison first and backtrack.
+    size_t saved = pos_;
+    Result<FormulaPtr> cmp = TryComparison();
+    if (cmp.ok()) return cmp;
+    pos_ = saved;
+    if (Match(TokenKind::kLParen)) {
+      MOST_ASSIGN_OR_RETURN(FormulaPtr f, ParseOr());
+      if (!Match(TokenKind::kRParen)) return Error("expected ')'");
+      return f;
+    }
+    return cmp.status();  // The comparison error is the more informative one.
+  }
+
+  Result<FormulaPtr> TryComparison() {
+    MOST_ASSIGN_OR_RETURN(TermPtr lhs, ParseTerm());
+    FtlFormula::CmpOp op;
+    switch (Peek().kind) {
+      case TokenKind::kLt:
+        op = FtlFormula::CmpOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = FtlFormula::CmpOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = FtlFormula::CmpOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = FtlFormula::CmpOp::kGe;
+        break;
+      case TokenKind::kEq:
+        op = FtlFormula::CmpOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = FtlFormula::CmpOp::kNe;
+        break;
+      default:
+        return Error("expected a comparison operator");
+    }
+    Consume();
+    MOST_ASSIGN_OR_RETURN(TermPtr rhs, ParseTerm());
+    return FtlFormula::Compare(op, std::move(lhs), std::move(rhs));
+  }
+
+  // term := muldiv ((+|-) muldiv)*
+  Result<TermPtr> ParseTerm() {
+    MOST_ASSIGN_OR_RETURN(TermPtr lhs, ParseMulDiv());
+    while (true) {
+      if (Match(TokenKind::kPlus)) {
+        MOST_ASSIGN_OR_RETURN(TermPtr rhs, ParseMulDiv());
+        lhs = FtlTerm::Arith(FtlTerm::ArithOp::kAdd, std::move(lhs),
+                             std::move(rhs));
+      } else if (Match(TokenKind::kMinus)) {
+        MOST_ASSIGN_OR_RETURN(TermPtr rhs, ParseMulDiv());
+        lhs = FtlTerm::Arith(FtlTerm::ArithOp::kSub, std::move(lhs),
+                             std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<TermPtr> ParseMulDiv() {
+    MOST_ASSIGN_OR_RETURN(TermPtr lhs, ParseTermPrimary());
+    while (true) {
+      if (Match(TokenKind::kStar)) {
+        MOST_ASSIGN_OR_RETURN(TermPtr rhs, ParseTermPrimary());
+        lhs = FtlTerm::Arith(FtlTerm::ArithOp::kMul, std::move(lhs),
+                             std::move(rhs));
+      } else if (Match(TokenKind::kSlash)) {
+        MOST_ASSIGN_OR_RETURN(TermPtr rhs, ParseTermPrimary());
+        lhs = FtlTerm::Arith(FtlTerm::ArithOp::kDiv, std::move(lhs),
+                             std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<TermPtr> ParseTermPrimary() {
+    if (Match(TokenKind::kMinus)) {
+      MOST_ASSIGN_OR_RETURN(TermPtr operand, ParseTermPrimary());
+      if (operand->kind() == FtlTerm::Kind::kLiteral &&
+          operand->literal().is_numeric()) {
+        return FtlTerm::Literal(
+            Value(-operand->literal().AsDouble().value()));
+      }
+      return FtlTerm::Arith(FtlTerm::ArithOp::kSub,
+                            FtlTerm::Literal(Value(0.0)), std::move(operand));
+    }
+    if (Peek().kind == TokenKind::kNumber) {
+      return FtlTerm::Literal(Value(Consume().number));
+    }
+    if (Peek().kind == TokenKind::kString) {
+      return FtlTerm::Literal(Value(Consume().text));
+    }
+    if (Peek().IsKeyword("time") && Peek(1).kind != TokenKind::kDot) {
+      Consume();
+      return FtlTerm::Time();
+    }
+    if (MatchKeyword("DIST")) {
+      if (!Match(TokenKind::kLParen)) return Error("expected '('");
+      MOST_ASSIGN_OR_RETURN(std::string a, ExpectIdent("object variable"));
+      if (!Match(TokenKind::kComma)) return Error("expected ','");
+      MOST_ASSIGN_OR_RETURN(std::string b, ExpectIdent("object variable"));
+      if (!Match(TokenKind::kRParen)) return Error("expected ')'");
+      return FtlTerm::Dist(std::move(a), std::move(b));
+    }
+    if (MatchKeyword("SPEED")) {
+      if (!Match(TokenKind::kLParen)) return Error("expected '('");
+      MOST_ASSIGN_OR_RETURN(TermPtr ref, ParseAttrPath());
+      if (!Match(TokenKind::kRParen)) return Error("expected ')'");
+      if (ref->kind() != FtlTerm::Kind::kAttrRef ||
+          ref->sub() != FtlTerm::AttrSub::kCurrent) {
+        return Status::ParseError("SPEED expects var.ATTRIBUTE");
+      }
+      return FtlTerm::AttrRef(ref->var(), ref->attr(),
+                              FtlTerm::AttrSub::kSpeed);
+    }
+    if (Peek().kind == TokenKind::kIdent) {
+      return ParseAttrPath();
+    }
+    if (Match(TokenKind::kLParen)) {
+      MOST_ASSIGN_OR_RETURN(TermPtr t, ParseTerm());
+      if (!Match(TokenKind::kRParen)) return Error("expected ')'");
+      return t;
+    }
+    return Error("expected a term");
+  }
+
+  // ident ('.' ident)*: a bare identifier is a value variable; a dotted
+  // path is var.ATTR[...], with trailing `.value` / `.updatetime`
+  // recognized as sub-attribute selectors after >= 2 path components.
+  Result<TermPtr> ParseAttrPath() {
+    MOST_ASSIGN_OR_RETURN(std::string head, ExpectIdent("identifier"));
+    std::vector<std::string> components;
+    while (Match(TokenKind::kDot)) {
+      MOST_ASSIGN_OR_RETURN(std::string c, ExpectIdent("attribute name"));
+      components.push_back(std::move(c));
+    }
+    if (components.empty()) {
+      return FtlTerm::VarRef(std::move(head));
+    }
+    FtlTerm::AttrSub sub = FtlTerm::AttrSub::kCurrent;
+    if (components.size() >= 2) {
+      const std::string& last = components.back();
+      Token probe;
+      probe.kind = TokenKind::kIdent;
+      probe.text = last;
+      if (probe.IsKeyword("value")) {
+        sub = FtlTerm::AttrSub::kValue;
+        components.pop_back();
+      } else if (probe.IsKeyword("updatetime")) {
+        sub = FtlTerm::AttrSub::kUpdatetime;
+        components.pop_back();
+      }
+    }
+    std::string attr = components[0];
+    for (size_t i = 1; i < components.size(); ++i) {
+      attr += "." + components[i];
+    }
+    return FtlTerm::AttrRef(std::move(head), std::move(attr), sub);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<FtlQuery> ParseQuery(const std::string& source) {
+  MOST_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseQueryAll();
+}
+
+Result<FormulaPtr> ParseFormula(const std::string& source) {
+  MOST_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseFormulaAll();
+}
+
+}  // namespace most

@@ -1,0 +1,42 @@
+#ifndef MOST_FTL_PARSER_H_
+#define MOST_FTL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ftl/ast.h"
+
+namespace most {
+
+/// Parses an FTL query. Concrete syntax (keywords case-insensitive):
+///
+///   RETRIEVE o, n
+///   FROM PLANES o, PLANES n
+///   WHERE DIST(o, n) <= 5 UNTIL (INSIDE(o, P) AND INSIDE(n, P))
+///
+/// Formulas:
+///   f AND g | f OR g | NOT f | f UNTIL g | f UNTIL WITHIN c g
+///   NEXTTIME f | EVENTUALLY f | EVENTUALLY WITHIN c f
+///   EVENTUALLY AFTER c f | ALWAYS f | ALWAYS FOR c f
+///   [x := term] f      (also the paper's arrow spelling [x <- term] f)
+///   TRUE | FALSE | (f) | term cmp term
+///   INSIDE(o, Region) | OUTSIDE(o, Region)
+///   WITHIN_SPHERE(r, o1, ..., ok)
+///
+/// Terms:
+///   number | 'string' | time | x (assignment variable)
+///   o.ATTR | o.ATTR.value | o.ATTR.updatetime | SPEED(o.ATTR)
+///   DIST(o1, o2) | term (+|-|*|/) term | (term)
+///
+/// Attribute names may themselves contain dots (e.g. o.X.POSITION); the
+/// trailing `.value` / `.updatetime` selectors are recognized only after a
+/// multi-component attribute path.
+Result<FtlQuery> ParseQuery(const std::string& source);
+
+/// Parses a bare formula (no RETRIEVE/FROM wrapper); used by tests and the
+/// trigger API.
+Result<FormulaPtr> ParseFormula(const std::string& source);
+
+}  // namespace most
+
+#endif  // MOST_FTL_PARSER_H_

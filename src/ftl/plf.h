@@ -1,0 +1,71 @@
+#ifndef MOST_FTL_PLF_H_
+#define MOST_FTL_PLF_H_
+
+#include <vector>
+
+#include "common/interval.h"
+#include "common/result.h"
+
+namespace most {
+
+/// A piecewise-linear real-valued function of time covering one tick
+/// window. FTL terms over dynamic attributes (positions, `time`,
+/// arithmetic thereon) evaluate to these, and comparisons between them are
+/// solved analytically into tick sets — the heart of "evaluate the query
+/// once instead of at every clock tick".
+class Plf {
+ public:
+  struct Piece {
+    Interval ticks;
+    double value_at_begin = 0.0;
+    double slope = 0.0;
+
+    double At(Tick t) const {
+      return value_at_begin +
+             slope * static_cast<double>(t - ticks.begin);
+    }
+  };
+
+  /// Constant function over the window.
+  static Plf Constant(Interval window, double value);
+
+  /// The identity function (value = t), for the `time` term.
+  static Plf TimeLine(Interval window);
+
+  /// Builds from explicit pieces; pieces must tile `window` contiguously.
+  static Plf FromPieces(Interval window, std::vector<Piece> pieces);
+
+  const Interval& window() const { return window_; }
+  const std::vector<Piece>& pieces() const { return pieces_; }
+
+  bool IsConstant() const;
+  /// Value at a tick inside the window.
+  double At(Tick t) const;
+
+  Plf Negate() const;
+  Plf Scale(double k) const;
+  Plf AddConstant(double k) const;
+
+  /// Pointwise sum / difference (windows must match).
+  Plf Add(const Plf& other) const;
+  Plf Sub(const Plf& other) const;
+
+  /// Pointwise product / quotient; only defined when one side is constant
+  /// (the result must stay piecewise linear).
+  Result<Plf> Mul(const Plf& other) const;
+  Result<Plf> Div(const Plf& other) const;
+
+  /// Ticks where this(t) <= other(t) (closed comparison; a small epsilon
+  /// absorbs float noise at the boundary).
+  IntervalSet TicksLe(const Plf& other) const;
+  IntervalSet TicksGe(const Plf& other) const;
+  IntervalSet TicksEq(const Plf& other) const;
+
+ private:
+  Interval window_{0, 0};
+  std::vector<Piece> pieces_;
+};
+
+}  // namespace most
+
+#endif  // MOST_FTL_PLF_H_

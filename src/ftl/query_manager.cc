@@ -1,0 +1,356 @@
+#include "ftl/query_manager.h"
+
+#include <algorithm>
+
+namespace most {
+
+QueryManager::QueryManager(MostDatabase* db, Options options)
+    : db_(db), options_(options) {
+  db_->AddUpdateListener([this](const std::string& class_name, ObjectId id) {
+    OnUpdate(class_name, id);
+  });
+}
+
+void QueryManager::OnUpdate(const std::string& class_name, ObjectId id) {
+  // Continuous queries over the updated class must be re-evaluated
+  // ("a continuous query CQ has to be reevaluated when an update occurs
+  // that may change the set of tuples Answer(CQ)", Section 2.3).
+  for (auto& [qid, cq] : continuous_) {
+    for (const FromBinding& fb : cq.query.from) {
+      if (fb.class_name == class_name) {
+        cq.dirty = true;
+        break;
+      }
+    }
+  }
+  // Persistent queries record the updated object's attribute states.
+  Tick now = db_->Now();
+  for (auto& [qid, pq] : persistent_) {
+    bool relevant = false;
+    for (const FromBinding& fb : pq.query.from) {
+      if (fb.class_name == class_name) relevant = true;
+    }
+    if (!relevant) continue;
+    auto cls = db_->GetClass(class_name);
+    if (!cls.ok()) continue;
+    auto obj = (*cls)->Get(id);
+    if (!obj.ok()) continue;  // Deleted object: stop recording it.
+    for (const auto& [attr, dyn] : (*obj)->dynamics()) {
+      pq.recordings[{class_name, id, attr}].timeline.emplace_back(now, dyn);
+    }
+    for (const auto& [attr, val] : (*obj)->statics()) {
+      if (!val.is_numeric()) continue;
+      pq.recordings[{class_name, id, attr}].timeline.emplace_back(
+          now, DynamicAttribute(val.AsDouble().value(), now, TimeFunction()));
+    }
+  }
+}
+
+Result<TemporalRelation> QueryManager::Evaluate(const FtlQuery& query) {
+  Tick now = db_->Now();
+  FtlEvaluator::Options eval_options;
+  eval_options.motion_indexes = options_.motion_indexes;
+  FtlEvaluator eval(*db_, eval_options);
+  return eval.EvaluateQuery(
+      query, Interval(now, TickSaturatingAdd(now, options_.horizon)));
+}
+
+Result<std::vector<std::vector<ObjectId>>> QueryManager::Instantaneous(
+    const FtlQuery& query) {
+  MOST_ASSIGN_OR_RETURN(TemporalRelation rel, Evaluate(query));
+  Tick now = db_->Now();
+  std::vector<std::vector<ObjectId>> out;
+  for (const auto& [binding, when] : rel.rows) {
+    if (when.Contains(now)) out.push_back(binding);
+  }
+  return out;
+}
+
+Result<std::vector<QueryManager::ReachingTime>>
+QueryManager::FirstSatisfactionTimes(const FtlQuery& query) {
+  MOST_ASSIGN_OR_RETURN(TemporalRelation rel, Evaluate(query));
+  std::vector<ReachingTime> out;
+  for (const auto& [binding, when] : rel.rows) {
+    out.push_back({binding, when.Min()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ReachingTime& a, const ReachingTime& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.binding < b.binding;
+            });
+  return out;
+}
+
+Result<QueryManager::QueryId> QueryManager::RegisterContinuous(
+    const FtlQuery& query) {
+  QueryId id = next_id_++;
+  Continuous cq;
+  cq.query = query;
+  auto [it, inserted] = continuous_.emplace(id, std::move(cq));
+  MOST_RETURN_IF_ERROR(Refresh(&it->second));
+  return id;
+}
+
+Status QueryManager::Cancel(QueryId id) {
+  if (continuous_.erase(id) > 0) return Status::OK();
+  if (persistent_.erase(id) > 0) return Status::OK();
+  return Status::NotFound("query " + std::to_string(id));
+}
+
+Status QueryManager::Refresh(Continuous* cq) {
+  Tick now = db_->Now();
+  FtlEvaluator::Options eval_options;
+  eval_options.motion_indexes = options_.motion_indexes;
+  FtlEvaluator eval(*db_, eval_options);
+  MOST_ASSIGN_OR_RETURN(
+      cq->answer,
+      eval.EvaluateQuery(
+          cq->query, Interval(now, TickSaturatingAdd(now, options_.horizon))));
+  cq->evaluated_at = now;
+  cq->expires_at = TickSaturatingAdd(now, options_.horizon);
+  cq->dirty = false;
+  ++cq->evaluations;
+  return Status::OK();
+}
+
+Result<std::vector<AnswerTuple>> QueryManager::ContinuousAnswer(QueryId id) {
+  auto it = continuous_.find(id);
+  if (it == continuous_.end()) {
+    return Status::NotFound("continuous query " + std::to_string(id));
+  }
+  Continuous& cq = it->second;
+  if (cq.dirty || db_->Now() > cq.expires_at) {
+    MOST_RETURN_IF_ERROR(Refresh(&cq));
+  }
+  std::vector<AnswerTuple> out;
+  for (const auto& [binding, when] : cq.answer.rows) {
+    for (const Interval& iv : when.intervals()) {
+      out.push_back({binding, iv});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<ObjectId>>> QueryManager::CurrentAnswer(
+    QueryId id) {
+  MOST_ASSIGN_OR_RETURN(std::vector<AnswerTuple> tuples, ContinuousAnswer(id));
+  Tick now = db_->Now();
+  std::vector<std::vector<ObjectId>> out;
+  for (const AnswerTuple& t : tuples) {
+    if (t.interval.Contains(now)) out.push_back(t.binding);
+  }
+  return out;
+}
+
+Result<uint64_t> QueryManager::EvaluationCount(QueryId id) const {
+  auto it = continuous_.find(id);
+  if (it == continuous_.end()) {
+    return Status::NotFound("continuous query " + std::to_string(id));
+  }
+  return it->second.evaluations;
+}
+
+Result<QueryManager::QueryId> QueryManager::RegisterTrigger(
+    const FtlQuery& query, TriggerAction action) {
+  MOST_ASSIGN_OR_RETURN(QueryId id, RegisterContinuous(query));
+  continuous_.at(id).action = std::move(action);
+  continuous_.at(id).last_polled = db_->Now() - 1;
+  return id;
+}
+
+Status QueryManager::Poll() {
+  Tick now = db_->Now();
+  // Collect pending firings first: an action may update the database or
+  // register further queries, which must not happen while iterating.
+  struct PendingFire {
+    TriggerAction* action;
+    std::vector<ObjectId> binding;
+    Tick at;
+  };
+  std::vector<PendingFire> pending;
+  for (auto& [id, cq] : continuous_) {
+    if (!cq.action) continue;
+    if (cq.dirty || now > cq.expires_at) {
+      MOST_RETURN_IF_ERROR(Refresh(&cq));
+    }
+    for (const auto& [binding, when] : cq.answer.rows) {
+      for (const Interval& iv : when.intervals()) {
+        if (iv.begin > now) break;  // Intervals sorted; nothing entered yet.
+        if (iv.end < cq.last_polled + 1) continue;  // Fully in the past.
+        Tick entered = std::max(iv.begin, cq.last_polled + 1);
+        auto fired_it = cq.fired.find(binding);
+        if (fired_it != cq.fired.end() && fired_it->second >= iv.begin) {
+          continue;  // Already fired for this interval.
+        }
+        cq.fired[binding] = entered;
+        pending.push_back({&cq.action, binding, entered});
+      }
+    }
+    cq.last_polled = now;
+  }
+  for (PendingFire& fire : pending) {
+    (*fire.action)(fire.binding, fire.at);
+  }
+  return Status::OK();
+}
+
+Result<QueryManager::QueryId> QueryManager::RegisterPersistent(
+    const FtlQuery& query) {
+  QueryId id = next_id_++;
+  Persistent pq;
+  pq.query = query;
+  pq.anchored_at = db_->Now();
+  // Initial snapshot of every object of the referenced classes.
+  for (const FromBinding& fb : query.from) {
+    MOST_ASSIGN_OR_RETURN(const ObjectClass* cls, db_->GetClass(fb.class_name));
+    for (const auto& [oid, obj] : cls->objects()) {
+      for (const auto& [attr, dyn] : obj.dynamics()) {
+        pq.recordings[{fb.class_name, oid, attr}].timeline.emplace_back(
+            pq.anchored_at, dyn);
+      }
+      for (const auto& [attr, val] : obj.statics()) {
+        if (!val.is_numeric()) continue;
+        pq.recordings[{fb.class_name, oid, attr}].timeline.emplace_back(
+            pq.anchored_at,
+            DynamicAttribute(val.AsDouble().value(), pq.anchored_at,
+                             TimeFunction()));
+      }
+    }
+  }
+  persistent_.emplace(id, std::move(pq));
+  return id;
+}
+
+Result<std::unique_ptr<MostDatabase>> QueryManager::BuildHistoryDatabase(
+    const Persistent& pq) const {
+  auto shadow = std::make_unique<MostDatabase>(pq.anchored_at);
+  for (const auto& [name, polygon] : db_->regions()) {
+    MOST_RETURN_IF_ERROR(shadow->DefineRegion(name, polygon));
+  }
+  Tick history_end =
+      TickSaturatingAdd(pq.anchored_at, options_.horizon);
+
+  for (const FromBinding& fb : pq.query.from) {
+    if (shadow->HasClass(fb.class_name)) continue;
+    MOST_ASSIGN_OR_RETURN(const ObjectClass* cls, db_->GetClass(fb.class_name));
+    // Re-declare the class (position attributes are added implicitly for
+    // spatial classes, so filter them out of the explicit list).
+    std::vector<AttributeDecl> decls;
+    for (const AttributeDecl& d : cls->attributes()) {
+      if (d.name == kAttrX || d.name == kAttrY) continue;
+      decls.push_back(d);
+    }
+    MOST_RETURN_IF_ERROR(
+        shadow->CreateClass(fb.class_name, decls, cls->spatial()).status());
+
+    for (const auto& [oid, obj] : cls->objects()) {
+      MOST_ASSIGN_OR_RETURN(MostObject * mirror,
+                            shadow->RestoreObject(fb.class_name, oid));
+      // Non-numeric statics keep their current value (static history is
+      // recorded only for numeric attributes).
+      for (const auto& [attr, val] : obj.statics()) {
+        mirror->SetStatic(attr, val);
+      }
+      // Dynamic (and recorded numeric static) attributes: stitch the
+      // recorded timeline into one piecewise function with resets.
+      for (const auto& [attr, dyn] : obj.dynamics()) {
+        auto rec = pq.recordings.find({fb.class_name, oid, attr});
+        if (rec == pq.recordings.end()) {
+          mirror->SetDynamic(attr, dyn);  // Created after anchoring.
+          continue;
+        }
+        const auto& timeline = rec->second.timeline;
+        std::vector<TimeFunction::Piece> pieces;
+        for (size_t i = 0; i < timeline.size(); ++i) {
+          Tick seg_begin = std::max(timeline[i].first, pq.anchored_at);
+          Tick seg_end = (i + 1 < timeline.size())
+                             ? timeline[i + 1].first - 1
+                             : history_end;
+          if (seg_begin > seg_end) continue;
+          for (const auto& lp :
+               timeline[i].second.LinearPieces(Interval(seg_begin, seg_end))) {
+            TimeFunction::Piece piece;
+            piece.start = lp.ticks.begin - pq.anchored_at;
+            piece.slope = lp.slope;
+            piece.has_reset = true;
+            piece.reset_value = lp.value_at_begin;
+            pieces.push_back(piece);
+          }
+        }
+        if (pieces.empty() || pieces.front().start != 0) {
+          // Extend the first record backwards to the anchor.
+          if (!pieces.empty()) {
+            TimeFunction::Piece lead = pieces.front();
+            double backstep =
+                static_cast<double>(pieces.front().start) * lead.slope;
+            lead.start = 0;
+            lead.reset_value -= backstep;
+            pieces.insert(pieces.begin(), lead);
+          }
+        }
+        if (pieces.empty()) {
+          mirror->SetDynamic(attr, dyn);
+          continue;
+        }
+        MOST_ASSIGN_OR_RETURN(TimeFunction stitched,
+                              TimeFunction::Piecewise(std::move(pieces)));
+        mirror->SetDynamic(
+            attr, DynamicAttribute(0.0, pq.anchored_at, std::move(stitched)));
+      }
+      // Recorded numeric statics become constant-piecewise dynamics so the
+      // evaluated history sees their changes over time.
+      for (const auto& [attr, val] : obj.statics()) {
+        auto rec = pq.recordings.find({fb.class_name, oid, attr});
+        if (rec == pq.recordings.end()) continue;
+        const auto& timeline = rec->second.timeline;
+        std::vector<TimeFunction::Piece> pieces;
+        for (size_t i = 0; i < timeline.size(); ++i) {
+          TimeFunction::Piece piece;
+          piece.start =
+              std::max(timeline[i].first, pq.anchored_at) - pq.anchored_at;
+          piece.slope = 0.0;
+          piece.has_reset = true;
+          piece.reset_value = timeline[i].second.value();
+          if (!pieces.empty() && pieces.back().start == piece.start) {
+            pieces.back() = piece;
+          } else {
+            pieces.push_back(piece);
+          }
+        }
+        if (!pieces.empty() && pieces.front().start == 0) {
+          MOST_ASSIGN_OR_RETURN(TimeFunction stitched,
+                                TimeFunction::Piecewise(std::move(pieces)));
+          mirror->SetDynamic(attr, DynamicAttribute(0.0, pq.anchored_at,
+                                                    std::move(stitched)));
+        }
+      }
+    }
+  }
+  return shadow;
+}
+
+Result<std::vector<AnswerTuple>> QueryManager::PersistentAnswer(QueryId id) {
+  auto it = persistent_.find(id);
+  if (it == persistent_.end()) {
+    return Status::NotFound("persistent query " + std::to_string(id));
+  }
+  const Persistent& pq = it->second;
+  MOST_ASSIGN_OR_RETURN(std::unique_ptr<MostDatabase> shadow,
+                        BuildHistoryDatabase(pq));
+  FtlEvaluator eval(*shadow);
+  MOST_ASSIGN_OR_RETURN(
+      TemporalRelation rel,
+      eval.EvaluateQuery(pq.query,
+                         Interval(pq.anchored_at,
+                                  TickSaturatingAdd(pq.anchored_at,
+                                                    options_.horizon))));
+  std::vector<AnswerTuple> out;
+  for (const auto& [binding, when] : rel.rows) {
+    for (const Interval& iv : when.intervals()) {
+      out.push_back({binding, iv});
+    }
+  }
+  return out;
+}
+
+}  // namespace most

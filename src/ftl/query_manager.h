@@ -1,0 +1,173 @@
+#ifndef MOST_FTL_QUERY_MANAGER_H_
+#define MOST_FTL_QUERY_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/object_model.h"
+#include "ftl/ast.h"
+#include "ftl/eval.h"
+
+namespace most {
+
+/// The three query types of Section 2.3.
+enum class QueryType { kInstantaneous, kContinuous, kPersistent };
+
+/// One entry of Answer(CQ): an instantiation plus the interval during
+/// which it satisfies the query.
+struct AnswerTuple {
+  std::vector<ObjectId> binding;
+  Interval interval;
+
+  bool operator==(const AnswerTuple& o) const = default;
+};
+
+/// Runs MOST queries against a MostDatabase, implementing the paper's
+/// processing model:
+///
+/// * Instantaneous query at time t: evaluated once on the future history
+///   [t, t + horizon]; the user sees the tuples whose interval contains t
+///   (or the whole Answer relation, for reaching-time style queries).
+/// * Continuous query: evaluated once into Answer(CQ); at each clock tick
+///   the current display is a lookup, not a re-evaluation. Only an
+///   explicit database update triggers re-evaluation (Section 2.3), or
+///   expiry of the evaluation window.
+/// * Persistent query at time t0: a sequence of instantaneous queries all
+///   evaluated on the history starting at t0. Updates between t0 and now
+///   are recorded and stitched into the evaluated history, so e.g. the
+///   paper's "speed doubled within 10 minutes" query R observes the two
+///   explicit speed updates.
+///
+/// Temporal triggers (Section 2.3) are continuous queries coupled with an
+/// action fired when a tuple's interval is entered.
+class QueryManager {
+ public:
+  struct Options {
+    /// Length of the evaluated future-history prefix: "a continuous query
+    /// expires after a predefined (but very large) amount of time".
+    Tick horizon = 1024;
+    /// Optional Section 4 motion indexes consulted by the evaluator (not
+    /// owned; may be null).
+    const MotionIndexManager* motion_indexes = nullptr;
+  };
+
+  explicit QueryManager(MostDatabase* db) : QueryManager(db, Options()) {}
+  QueryManager(MostDatabase* db, Options options);
+
+  // ---- Instantaneous queries -------------------------------------------
+
+  /// Full Answer relation on [now, now + horizon].
+  Result<TemporalRelation> Evaluate(const FtlQuery& query);
+
+  /// Instantiations satisfying the query right now (interval contains the
+  /// current tick).
+  Result<std::vector<std::vector<ObjectId>>> Instantaneous(
+      const FtlQuery& query);
+
+  /// The paper's "(motel, reaching-time)" form: every instantiation that
+  /// satisfies the query somewhere in the window, with the earliest tick
+  /// at which it does.
+  struct ReachingTime {
+    std::vector<ObjectId> binding;
+    Tick at = 0;
+  };
+  Result<std::vector<ReachingTime>> FirstSatisfactionTimes(
+      const FtlQuery& query);
+
+  // ---- Continuous queries ----------------------------------------------
+
+  using QueryId = uint64_t;
+
+  Result<QueryId> RegisterContinuous(const FtlQuery& query);
+  Status Cancel(QueryId id);
+
+  /// The materialized Answer(CQ) (re-evaluated lazily if a relevant update
+  /// or window expiry invalidated it).
+  Result<std::vector<AnswerTuple>> ContinuousAnswer(QueryId id);
+
+  /// What the user's display shows at the current tick.
+  Result<std::vector<std::vector<ObjectId>>> CurrentAnswer(QueryId id);
+
+  /// Number of times this query's Answer set was (re)computed — the
+  /// quantity experiment E3 compares against per-tick re-evaluation.
+  Result<uint64_t> EvaluationCount(QueryId id) const;
+
+  // ---- Persistent queries ----------------------------------------------
+
+  /// Registers a persistent query anchored at the current time t0; from
+  /// now on updates to dynamic and numeric static attributes are recorded.
+  Result<QueryId> RegisterPersistent(const FtlQuery& query);
+
+  /// Evaluates the persistent query on the recorded history starting at
+  /// its registration time and returns the tuples satisfied at that
+  /// anchor (the paper evaluates the same instantaneous query repeatedly
+  /// as the history gets refined by updates).
+  Result<std::vector<AnswerTuple>> PersistentAnswer(QueryId id);
+
+  // ---- Temporal triggers -----------------------------------------------
+
+  /// Fired with the tuple and the tick at which its interval was entered.
+  using TriggerAction =
+      std::function<void(const std::vector<ObjectId>& binding, Tick at)>;
+
+  /// Couples a continuous query with an action. Poll() fires the action
+  /// once per (tuple, interval) when the clock enters the interval.
+  Result<QueryId> RegisterTrigger(const FtlQuery& query,
+                                  TriggerAction action);
+
+  /// Advances trigger state to the current clock tick, firing any actions
+  /// whose intervals were entered since the last poll.
+  Status Poll();
+
+ private:
+  struct Continuous {
+    FtlQuery query;
+    TemporalRelation answer;
+    Tick evaluated_at = 0;
+    Tick expires_at = 0;
+    bool dirty = true;
+    uint64_t evaluations = 0;
+    // Trigger state.
+    TriggerAction action;
+    Tick last_polled = -1;
+    std::map<std::vector<ObjectId>, Tick> fired;  // binding -> last fire tick.
+  };
+
+  struct RecordedAttribute {
+    // (update time, state). For numeric statics the state is a constant
+    // DynamicAttribute.
+    std::vector<std::pair<Tick, DynamicAttribute>> timeline;
+  };
+
+  struct Persistent {
+    FtlQuery query;
+    Tick anchored_at = 0;
+    // (class, object, attribute) -> recorded timeline since t0.
+    std::map<std::tuple<std::string, ObjectId, std::string>,
+             RecordedAttribute>
+        recordings;
+  };
+
+  Status Refresh(Continuous* cq);
+  void OnUpdate(const std::string& class_name, ObjectId id);
+
+  /// Builds the shadow database representing the history recorded by a
+  /// persistent query: dynamic attributes become stitched piecewise
+  /// functions (with resets at update times).
+  Result<std::unique_ptr<MostDatabase>> BuildHistoryDatabase(
+      const Persistent& pq) const;
+
+  MostDatabase* db_;
+  Options options_;
+  QueryId next_id_ = 1;
+  std::map<QueryId, Continuous> continuous_;
+  std::map<QueryId, Persistent> persistent_;
+};
+
+}  // namespace most
+
+#endif  // MOST_FTL_QUERY_MANAGER_H_

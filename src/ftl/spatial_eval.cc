@@ -1,0 +1,134 @@
+#include "ftl/spatial_eval.h"
+
+#include <algorithm>
+
+#include "geometry/kinematics.h"
+#include "geometry/mec.h"
+
+namespace most {
+
+namespace {
+
+RealInterval ToReal(Interval ticks) {
+  return {static_cast<double>(ticks.begin), static_cast<double>(ticks.end)};
+}
+
+}  // namespace
+
+void ForEachAlignedSegment(
+    const std::vector<const MostObject*>& objects, Interval window,
+    const std::function<void(Interval, const std::vector<MovingPoint2>&)>&
+        fn) {
+  std::vector<std::vector<MotionSegment>> segs;
+  segs.reserve(objects.size());
+  std::vector<Tick> cuts = {window.begin,
+                            TickSaturatingAdd(window.end, 1)};
+  for (const MostObject* obj : objects) {
+    segs.push_back(obj->MotionSegments(window));
+    for (const MotionSegment& s : segs.back()) {
+      cuts.push_back(s.ticks.begin);
+      cuts.push_back(TickSaturatingAdd(s.ticks.end, 1));
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<MovingPoint2> movers(objects.size());
+  for (size_t c = 0; c + 1 < cuts.size(); ++c) {
+    Interval piece(cuts[c], cuts[c + 1] - 1);
+    if (!piece.valid() || piece.end < window.begin ||
+        piece.begin > window.end) {
+      continue;
+    }
+    bool covered = true;
+    for (size_t i = 0; i < objects.size() && covered; ++i) {
+      covered = false;
+      for (const MotionSegment& s : segs[i]) {
+        if (s.ticks.begin <= piece.begin && piece.end <= s.ticks.end) {
+          movers[i] = s.motion;
+          covered = true;
+          break;
+        }
+      }
+    }
+    if (covered) fn(piece, movers);
+  }
+}
+
+IntervalSet InsideTicks(const MostObject& obj, const Polygon& polygon,
+                        Interval window) {
+  IntervalSet out;
+  for (const MotionSegment& seg : obj.MotionSegments(window)) {
+    IntervalSet piece =
+        TicksWhere(InsidePolygon(seg.motion, polygon, ToReal(seg.ticks)))
+            .Clamp(seg.ticks);
+    out = out.Union(piece);
+  }
+  return out.Clamp(window);
+}
+
+IntervalSet InsideTicksRelative(const MostObject& obj,
+                                const MostObject& anchor,
+                                const Polygon& polygon, Interval window) {
+  if (&obj == &anchor || obj.id() == anchor.id()) {
+    // An object relative to itself sits at the origin.
+    return polygon.Contains({0, 0}) ? IntervalSet(window) : IntervalSet();
+  }
+  IntervalSet out;
+  ForEachAlignedSegment(
+      {&obj, &anchor}, window,
+      [&](Interval piece, const std::vector<MovingPoint2>& movers) {
+        MovingPoint2 relative(movers[0].origin - movers[1].origin,
+                              movers[0].velocity - movers[1].velocity);
+        out = out.Union(
+            TicksWhere(InsidePolygon(relative, polygon, ToReal(piece)))
+                .Clamp(piece));
+      });
+  return out.Clamp(window);
+}
+
+IntervalSet DistCmpTicks(const MostObject& a, const MostObject& b,
+                         FtlFormula::CmpOp op, double bound,
+                         Interval window) {
+  IntervalSet within;    // DIST <= bound.
+  IntervalSet at_least;  // DIST >= bound.
+  ForEachAlignedSegment(
+      {&a, &b}, window,
+      [&](Interval piece, const std::vector<MovingPoint2>& movers) {
+        RealInterval rw = ToReal(piece);
+        within = within.Union(
+            TicksWhere(DistanceWithin(movers[0], movers[1], bound, rw))
+                .Clamp(piece));
+        at_least = at_least.Union(
+            TicksWhere(DistanceAtLeast(movers[0], movers[1], bound, rw))
+                .Clamp(piece));
+      });
+  switch (op) {
+    case FtlFormula::CmpOp::kLe:
+      return within;
+    case FtlFormula::CmpOp::kGe:
+      return at_least;
+    case FtlFormula::CmpOp::kLt:
+      return at_least.Complement(window);
+    case FtlFormula::CmpOp::kGt:
+      return within.Complement(window);
+    case FtlFormula::CmpOp::kEq:
+      return within.Intersect(at_least);
+    case FtlFormula::CmpOp::kNe:
+      return within.Intersect(at_least).Complement(window);
+  }
+  return IntervalSet();
+}
+
+IntervalSet SphereTicks(const std::vector<const MostObject*>& objects,
+                        double radius, Interval window) {
+  IntervalSet out;
+  ForEachAlignedSegment(
+      objects, window,
+      [&](Interval piece, const std::vector<MovingPoint2>& movers) {
+        out = out.Union(WithinSphereTicks(movers, radius, piece));
+      });
+  return out;
+}
+
+}  // namespace most

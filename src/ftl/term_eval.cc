@@ -1,0 +1,209 @@
+#include "ftl/term_eval.h"
+
+#include <cmath>
+
+namespace most {
+
+bool IsTimeInvariant(const TermPtr& term) {
+  switch (term->kind()) {
+    case FtlTerm::Kind::kLiteral:
+      return true;
+    case FtlTerm::Kind::kVarRef:
+      return true;  // Bound to one value per evaluation.
+    case FtlTerm::Kind::kTime:
+    case FtlTerm::Kind::kDist:
+      return false;
+    case FtlTerm::Kind::kAttrRef:
+      return term->sub() == FtlTerm::AttrSub::kValue ||
+             term->sub() == FtlTerm::AttrSub::kUpdatetime;
+    case FtlTerm::Kind::kArith:
+      return IsTimeInvariant(term->children()[0]) &&
+             IsTimeInvariant(term->children()[1]);
+  }
+  return false;
+}
+
+bool ContainsDist(const TermPtr& term) {
+  if (term->kind() == FtlTerm::Kind::kDist) return true;
+  for (const TermPtr& c : term->children()) {
+    if (ContainsDist(c)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+Result<const MostObject*> LookupObject(const Instantiation& inst,
+                                       const std::string& var) {
+  auto it = inst.find(var);
+  if (it == inst.end()) {
+    return Status::Internal("object variable '" + var +
+                            "' is not instantiated");
+  }
+  return it->second;
+}
+
+// Resolves var.ATTR against an object: a dynamic attribute if one exists,
+// otherwise a static one (reported via `is_dynamic`).
+Result<const DynamicAttribute*> ResolveDynamic(const MostObject& obj,
+                                               const std::string& attr) {
+  if (!obj.HasDynamic(attr)) {
+    return Status::NotFound("dynamic attribute '" + attr + "'");
+  }
+  return obj.GetDynamic(attr);
+}
+
+}  // namespace
+
+Result<Value> EvalTermAt(const TermPtr& term, const Instantiation& inst,
+                         Tick t) {
+  switch (term->kind()) {
+    case FtlTerm::Kind::kLiteral:
+      return term->literal();
+    case FtlTerm::Kind::kVarRef:
+      return Status::InvalidArgument("unbound value variable '" +
+                                     term->var() + "'");
+    case FtlTerm::Kind::kTime:
+      return Value(static_cast<int64_t>(t));
+    case FtlTerm::Kind::kAttrRef: {
+      MOST_ASSIGN_OR_RETURN(const MostObject* obj,
+                            LookupObject(inst, term->var()));
+      if (obj->HasDynamic(term->attr())) {
+        MOST_ASSIGN_OR_RETURN(const DynamicAttribute* attr,
+                              ResolveDynamic(*obj, term->attr()));
+        switch (term->sub()) {
+          case FtlTerm::AttrSub::kCurrent:
+            return Value(attr->ValueAt(t));
+          case FtlTerm::AttrSub::kValue:
+            return Value(attr->value());
+          case FtlTerm::AttrSub::kUpdatetime:
+            return Value(static_cast<int64_t>(attr->updatetime()));
+          case FtlTerm::AttrSub::kSpeed:
+            return Value(attr->SlopeAt(t));
+        }
+        return Status::Internal("bad attribute sub-selector");
+      }
+      if (term->sub() != FtlTerm::AttrSub::kCurrent) {
+        return Status::TypeError("sub-attribute access on static attribute '" +
+                                 term->attr() + "'");
+      }
+      return obj->GetStatic(term->attr());
+    }
+    case FtlTerm::Kind::kArith: {
+      MOST_ASSIGN_OR_RETURN(Value lhs,
+                            EvalTermAt(term->children()[0], inst, t));
+      MOST_ASSIGN_OR_RETURN(Value rhs,
+                            EvalTermAt(term->children()[1], inst, t));
+      MOST_ASSIGN_OR_RETURN(double a, lhs.AsDouble());
+      MOST_ASSIGN_OR_RETURN(double b, rhs.AsDouble());
+      switch (term->arith_op()) {
+        case FtlTerm::ArithOp::kAdd:
+          return Value(a + b);
+        case FtlTerm::ArithOp::kSub:
+          return Value(a - b);
+        case FtlTerm::ArithOp::kMul:
+          return Value(a * b);
+        case FtlTerm::ArithOp::kDiv:
+          if (b == 0.0) return Status::InvalidArgument("division by zero");
+          return Value(a / b);
+      }
+      return Status::Internal("bad arith op");
+    }
+    case FtlTerm::Kind::kDist: {
+      MOST_ASSIGN_OR_RETURN(const MostObject* a,
+                            LookupObject(inst, term->var()));
+      MOST_ASSIGN_OR_RETURN(const MostObject* b,
+                            LookupObject(inst, term->var2()));
+      if (!a->IsSpatial() || !b->IsSpatial()) {
+        return Status::TypeError("DIST over non-spatial objects");
+      }
+      return Value(a->PositionAt(t).DistanceTo(b->PositionAt(t)));
+    }
+  }
+  return Status::Internal("bad term kind");
+}
+
+namespace {
+
+Plf PlfFromDynamic(const DynamicAttribute& attr, Interval window) {
+  std::vector<Plf::Piece> pieces;
+  for (const auto& lp : attr.LinearPieces(window)) {
+    pieces.push_back({lp.ticks, lp.value_at_begin, lp.slope});
+  }
+  return Plf::FromPieces(window, std::move(pieces));
+}
+
+Plf PlfFromSpeed(const DynamicAttribute& attr, Interval window) {
+  std::vector<Plf::Piece> pieces;
+  for (const auto& lp : attr.LinearPieces(window)) {
+    pieces.push_back({lp.ticks, lp.slope, 0.0});
+  }
+  return Plf::FromPieces(window, std::move(pieces));
+}
+
+}  // namespace
+
+Result<Plf> BuildTermPlf(const TermPtr& term, const Instantiation& inst,
+                         Interval window) {
+  switch (term->kind()) {
+    case FtlTerm::Kind::kLiteral: {
+      MOST_ASSIGN_OR_RETURN(double v, term->literal().AsDouble());
+      return Plf::Constant(window, v);
+    }
+    case FtlTerm::Kind::kVarRef:
+      return Status::InvalidArgument("unbound value variable '" +
+                                     term->var() + "'");
+    case FtlTerm::Kind::kTime:
+      return Plf::TimeLine(window);
+    case FtlTerm::Kind::kAttrRef: {
+      MOST_ASSIGN_OR_RETURN(const MostObject* obj,
+                            LookupObject(inst, term->var()));
+      if (obj->HasDynamic(term->attr())) {
+        MOST_ASSIGN_OR_RETURN(const DynamicAttribute* attr,
+                              ResolveDynamic(*obj, term->attr()));
+        switch (term->sub()) {
+          case FtlTerm::AttrSub::kCurrent:
+            return PlfFromDynamic(*attr, window);
+          case FtlTerm::AttrSub::kValue:
+            return Plf::Constant(window, attr->value());
+          case FtlTerm::AttrSub::kUpdatetime:
+            return Plf::Constant(window,
+                                 static_cast<double>(attr->updatetime()));
+          case FtlTerm::AttrSub::kSpeed:
+            return PlfFromSpeed(*attr, window);
+        }
+        return Status::Internal("bad attribute sub-selector");
+      }
+      if (term->sub() != FtlTerm::AttrSub::kCurrent) {
+        return Status::TypeError("sub-attribute access on static attribute '" +
+                                 term->attr() + "'");
+      }
+      MOST_ASSIGN_OR_RETURN(Value v, obj->GetStatic(term->attr()));
+      MOST_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      return Plf::Constant(window, d);
+    }
+    case FtlTerm::Kind::kArith: {
+      MOST_ASSIGN_OR_RETURN(Plf lhs,
+                            BuildTermPlf(term->children()[0], inst, window));
+      MOST_ASSIGN_OR_RETURN(Plf rhs,
+                            BuildTermPlf(term->children()[1], inst, window));
+      switch (term->arith_op()) {
+        case FtlTerm::ArithOp::kAdd:
+          return lhs.Add(rhs);
+        case FtlTerm::ArithOp::kSub:
+          return lhs.Sub(rhs);
+        case FtlTerm::ArithOp::kMul:
+          return lhs.Mul(rhs);
+        case FtlTerm::ArithOp::kDiv:
+          return lhs.Div(rhs);
+      }
+      return Status::Internal("bad arith op");
+    }
+    case FtlTerm::Kind::kDist:
+      return Status::Unimplemented(
+          "DIST is not piecewise linear; use the spatial solver");
+  }
+  return Status::Internal("bad term kind");
+}
+
+}  // namespace most

@@ -1,0 +1,40 @@
+#ifndef MOST_FTL_TERM_EVAL_H_
+#define MOST_FTL_TERM_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "core/object_model.h"
+#include "ftl/ast.h"
+#include "ftl/plf.h"
+
+namespace most {
+
+/// An instantiation of object variables to concrete objects.
+using Instantiation = std::map<std::string, const MostObject*>;
+
+/// True if the term's value cannot change between database states without
+/// an explicit update: literals, static attributes, and the value /
+/// updatetime sub-attributes of dynamic attributes. (The current value of
+/// a dynamic attribute and `time` are NOT time-invariant.)
+bool IsTimeInvariant(const TermPtr& term);
+
+/// True if the term (or any subterm) is a DIST(o1, o2) application, whose
+/// value is not piecewise linear in time.
+bool ContainsDist(const TermPtr& term);
+
+/// Evaluates the term at one tick. Works for every term kind, including
+/// DIST; value variables must have been substituted away.
+Result<Value> EvalTermAt(const TermPtr& term, const Instantiation& inst,
+                         Tick t);
+
+/// Builds the term's value as a piecewise-linear function of time over
+/// `window`. Fails for non-numeric terms, unbound value variables, DIST
+/// (not linear), and nonlinear arithmetic (product of two varying terms).
+Result<Plf> BuildTermPlf(const TermPtr& term, const Instantiation& inst,
+                         Interval window);
+
+}  // namespace most
+
+#endif  // MOST_FTL_TERM_EVAL_H_

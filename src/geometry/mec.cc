@@ -1,0 +1,117 @@
+#include "geometry/mec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/kinematics.h"
+
+namespace most {
+
+namespace {
+
+Circle CircleFrom2(const Point2& a, const Point2& b) {
+  Point2 center = (a + b) * 0.5;
+  return {center, center.DistanceTo(a)};
+}
+
+Circle CircleFrom3(const Point2& a, const Point2& b, const Point2& c) {
+  // Circumcircle via perpendicular bisector intersection.
+  double d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+  if (d == 0.0) {
+    // Collinear: fall back to the widest pair.
+    Circle ab = CircleFrom2(a, b);
+    Circle ac = CircleFrom2(a, c);
+    Circle bc = CircleFrom2(b, c);
+    Circle best = ab;
+    if (ac.radius > best.radius) best = ac;
+    if (bc.radius > best.radius) best = bc;
+    return best;
+  }
+  double a2 = a.NormSquared(), b2 = b.NormSquared(), c2 = c.NormSquared();
+  Point2 center{(a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d,
+                (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d};
+  return {center, center.DistanceTo(a)};
+}
+
+Circle TrivialCircle(const std::vector<Point2>& boundary) {
+  switch (boundary.size()) {
+    case 0:
+      return {{0, 0}, 0.0};
+    case 1:
+      return {boundary[0], 0.0};
+    case 2:
+      return CircleFrom2(boundary[0], boundary[1]);
+    default:
+      return CircleFrom3(boundary[0], boundary[1], boundary[2]);
+  }
+}
+
+// Iterative Welzl (move-to-front style): grow the circle whenever a point
+// falls outside the current one.
+Circle WelzlRecursive(std::vector<Point2>& pts, size_t n,
+                      std::vector<Point2>& boundary) {
+  if (n == 0 || boundary.size() == 3) return TrivialCircle(boundary);
+  Circle c = WelzlRecursive(pts, n - 1, boundary);
+  if (c.Contains(pts[n - 1])) return c;
+  boundary.push_back(pts[n - 1]);
+  c = WelzlRecursive(pts, n - 1, boundary);
+  boundary.pop_back();
+  return c;
+}
+
+}  // namespace
+
+Circle MinimalEnclosingCircle(std::vector<Point2> points) {
+  if (points.empty()) return {{0, 0}, 0.0};
+  // Deterministic shuffle keeps the expected-linear behaviour reproducible.
+  Rng rng(0x5eed1234abcdefULL + points.size());
+  for (size_t i = points.size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+    std::swap(points[i - 1], points[j]);
+  }
+  std::vector<Point2> boundary;
+  return WelzlRecursive(points, points.size(), boundary);
+}
+
+IntervalSet WithinSphereTicks(const std::vector<MovingPoint2>& points,
+                              double r, Interval window) {
+  if (!window.valid() || r < 0.0) return IntervalSet();
+  if (points.size() <= 1) return IntervalSet(window);
+  RealInterval real_window{static_cast<double>(window.begin),
+                           static_cast<double>(window.end)};
+  // Necessary condition: every pair fits in a diameter-2r circle.
+  std::vector<RealInterval> candidate = {real_window};
+  for (size_t i = 0; i < points.size() && !candidate.empty(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      candidate = IntersectReal(
+          candidate, DistanceWithin(points[i], points[j], 2.0 * r, real_window));
+      if (candidate.empty()) break;
+    }
+  }
+  if (points.size() == 2) {
+    // For two points the pairwise condition is exact.
+    return TicksWhere(candidate).Clamp(window);
+  }
+  // Confirm each surviving tick with the exact minimal enclosing circle.
+  IntervalSet coarse = TicksWhere(candidate).Clamp(window);
+  std::vector<Interval> confirmed;
+  std::vector<Point2> sample(points.size());
+  for (const Interval& iv : coarse.intervals()) {
+    for (Tick t = iv.begin; t <= iv.end; ++t) {
+      for (size_t i = 0; i < points.size(); ++i) {
+        sample[i] = points[i].At(static_cast<double>(t));
+      }
+      if (MinimalEnclosingCircle(sample).radius <= r + 1e-9) {
+        if (!confirmed.empty() && confirmed.back().end == t - 1) {
+          confirmed.back().end = t;
+        } else {
+          confirmed.push_back(Interval(t, t));
+        }
+      }
+    }
+  }
+  return IntervalSet::FromIntervals(std::move(confirmed));
+}
+
+}  // namespace most

@@ -1,0 +1,35 @@
+#ifndef MOST_GEOMETRY_MEC_H_
+#define MOST_GEOMETRY_MEC_H_
+
+#include <vector>
+
+#include "common/interval.h"
+#include "geometry/point.h"
+
+namespace most {
+
+struct Circle {
+  Point2 center;
+  double radius = 0.0;
+
+  bool Contains(const Point2& p, double eps = 1e-9) const {
+    return center.DistanceTo(p) <= radius + eps;
+  }
+};
+
+/// Minimal enclosing circle of a point set (Welzl's algorithm with a
+/// deterministic shuffle; expected linear time). Empty input yields a
+/// radius-0 circle at the origin.
+Circle MinimalEnclosingCircle(std::vector<Point2> points);
+
+/// Evaluates the paper's WITHIN-A-SPHERE(r, o1, ..., ok) relation for
+/// moving points over the tick window: the set of ticks at which all k
+/// points fit in a circle of radius r. Pairwise-diameter intervals
+/// (|oi(t) - oj(t)| <= 2r, solved exactly) prune the window; surviving
+/// ticks are confirmed with a minimal-enclosing-circle test.
+IntervalSet WithinSphereTicks(const std::vector<MovingPoint2>& points,
+                              double r, Interval window);
+
+}  // namespace most
+
+#endif  // MOST_GEOMETRY_MEC_H_

@@ -1,0 +1,66 @@
+#ifndef MOST_GEOMETRY_POINT_H_
+#define MOST_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace most {
+
+/// A point (or displacement vector) in the plane. The MOST paper models
+/// object positions with X.POSITION / Y.POSITION dynamic attributes; the
+/// geometry layer works on their instantaneous values.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point2() = default;
+  Point2(double px, double py) : x(px), y(py) {}
+
+  Point2 operator+(const Point2& o) const { return {x + o.x, y + o.y}; }
+  Point2 operator-(const Point2& o) const { return {x - o.x, y - o.y}; }
+  Point2 operator*(double s) const { return {x * s, y * s}; }
+
+  double Dot(const Point2& o) const { return x * o.x + y * o.y; }
+  /// Z component of the 3-D cross product; > 0 iff o is counterclockwise
+  /// from this.
+  double Cross(const Point2& o) const { return x * o.y - y * o.x; }
+  double NormSquared() const { return x * x + y * y; }
+  double Norm() const { return std::sqrt(NormSquared()); }
+
+  double DistanceTo(const Point2& o) const { return (*this - o).Norm(); }
+  double DistanceSquaredTo(const Point2& o) const {
+    return (*this - o).NormSquared();
+  }
+
+  bool operator==(const Point2& o) const = default;
+};
+
+using Vec2 = Point2;
+
+inline Point2 operator*(double s, const Point2& p) { return p * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Point2& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+/// A point moving with constant velocity: position(t) = origin + velocity*t.
+/// Time is measured in ticks relative to the moving point's reference time
+/// (the motion vector's update time). This is the paper's "motion vector"
+/// abstraction: the database stores (origin, velocity), not positions.
+struct MovingPoint2 {
+  Point2 origin;
+  Vec2 velocity;
+
+  MovingPoint2() = default;
+  MovingPoint2(Point2 o, Vec2 v) : origin(o), velocity(v) {}
+
+  Point2 At(double t) const { return origin + velocity * t; }
+
+  bool IsStationary() const {
+    return velocity.x == 0.0 && velocity.y == 0.0;
+  }
+};
+
+}  // namespace most
+
+#endif  // MOST_GEOMETRY_POINT_H_

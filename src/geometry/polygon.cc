@@ -1,0 +1,117 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace most {
+
+double PointSegmentDistance(const Point2& p, const Point2& a,
+                            const Point2& b) {
+  Vec2 ab = b - a;
+  double len2 = ab.NormSquared();
+  if (len2 == 0.0) return p.DistanceTo(a);
+  double t = (p - a).Dot(ab) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return p.DistanceTo(a + ab * t);
+}
+
+Polygon::Polygon(std::vector<Point2> vertices)
+    : vertices_(std::move(vertices)) {
+  bbox_.min = bbox_.max = vertices_.front();
+  for (const Point2& v : vertices_) {
+    bbox_.min.x = std::min(bbox_.min.x, v.x);
+    bbox_.min.y = std::min(bbox_.min.y, v.y);
+    bbox_.max.x = std::max(bbox_.max.x, v.x);
+    bbox_.max.y = std::max(bbox_.max.y, v.y);
+  }
+}
+
+Result<Polygon> Polygon::Create(std::vector<Point2> vertices) {
+  if (vertices.size() < 3) {
+    return Status::InvalidArgument("polygon needs at least 3 vertices");
+  }
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const Point2& a = vertices[i];
+    const Point2& b = vertices[(i + 1) % vertices.size()];
+    if (a == b) {
+      return Status::InvalidArgument("polygon has repeated adjacent vertex");
+    }
+  }
+  Polygon poly(std::move(vertices));
+  if (std::abs(poly.SignedArea()) == 0.0) {
+    return Status::InvalidArgument("polygon is degenerate (zero area)");
+  }
+  return poly;
+}
+
+Polygon Polygon::Rectangle(Point2 lo, Point2 hi) {
+  return Polygon({{lo.x, lo.y}, {hi.x, lo.y}, {hi.x, hi.y}, {lo.x, hi.y}});
+}
+
+Polygon Polygon::RegularApprox(Point2 center, double radius, int sides) {
+  std::vector<Point2> vs;
+  vs.reserve(sides);
+  for (int i = 0; i < sides; ++i) {
+    double a = 2.0 * M_PI * static_cast<double>(i) / sides;
+    vs.push_back({center.x + radius * std::cos(a),
+                  center.y + radius * std::sin(a)});
+  }
+  return Polygon(std::move(vs));
+}
+
+double Polygon::SignedArea() const {
+  double acc = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point2& a = vertices_[i];
+    const Point2& b = vertices_[(i + 1) % vertices_.size()];
+    acc += a.Cross(b);
+  }
+  return acc / 2.0;
+}
+
+bool Polygon::Contains(const Point2& p) const {
+  if (!bbox_.Contains(p)) return false;
+  // Winding-free crossing test with explicit boundary handling: a point on
+  // an edge or vertex is inside.
+  bool inside = false;
+  size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point2& a = vertices_[j];
+    const Point2& b = vertices_[i];
+    // Boundary: p collinear with [a,b] and within its extent.
+    double cross = (b - a).Cross(p - a);
+    if (cross == 0.0 && std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+        std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y)) {
+      return true;
+    }
+    // Ray-crossing (half-open rule avoids double-counting vertices).
+    if ((b.y > p.y) != (a.y > p.y)) {
+      double x_at = b.x + (a.x - b.x) * (p.y - b.y) / (a.y - b.y);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::BoundaryDistance(const Point2& p) const {
+  double best = std::numeric_limits<double>::infinity();
+  size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    best = std::min(best, PointSegmentDistance(p, vertices_[j], vertices_[i]));
+  }
+  return best;
+}
+
+std::string Polygon::ToString() const {
+  std::ostringstream os;
+  os << "Polygon[";
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (i) os << ", ";
+    os << vertices_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace most

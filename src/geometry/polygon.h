@@ -1,0 +1,73 @@
+#ifndef MOST_GEOMETRY_POLYGON_H_
+#define MOST_GEOMETRY_POLYGON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/point.h"
+
+namespace most {
+
+/// Axis-aligned bounding box.
+struct BoundingBox {
+  Point2 min{0, 0};
+  Point2 max{0, 0};
+
+  bool Contains(const Point2& p) const {
+    return min.x <= p.x && p.x <= max.x && min.y <= p.y && p.y <= max.y;
+  }
+  bool Intersects(const BoundingBox& o) const {
+    return min.x <= o.max.x && o.min.x <= max.x && min.y <= o.max.y &&
+           o.min.y <= max.y;
+  }
+};
+
+/// A simple polygon given by its vertex ring (no closing duplicate vertex).
+/// Spatial relations INSIDE/OUTSIDE of the paper's spatial object classes
+/// are evaluated against polygons.
+class Polygon {
+ public:
+  Polygon() = default;
+
+  /// Validates and builds a polygon: at least 3 vertices, no two
+  /// consecutive vertices equal, non-zero area.
+  static Result<Polygon> Create(std::vector<Point2> vertices);
+
+  /// Axis-aligned rectangle helper.
+  static Polygon Rectangle(Point2 lo, Point2 hi);
+
+  /// Regular n-gon approximation of a circle, useful for "within radius"
+  /// regions drawn around a position (the paper's motel-query circle C).
+  static Polygon RegularApprox(Point2 center, double radius, int sides = 16);
+
+  const std::vector<Point2>& vertices() const { return vertices_; }
+  size_t num_vertices() const { return vertices_.size(); }
+  const BoundingBox& bounding_box() const { return bbox_; }
+
+  /// Signed area (positive for counterclockwise vertex order).
+  double SignedArea() const;
+
+  /// True if p is strictly inside or on the boundary. Points on edges or
+  /// vertices count as inside — the paper's INSIDE(o, P) is a closed
+  /// predicate (an object on the boundary has not yet left P).
+  bool Contains(const Point2& p) const;
+
+  /// Euclidean distance from p to the polygon boundary (0 if on it).
+  double BoundaryDistance(const Point2& p) const;
+
+  std::string ToString() const;
+
+ private:
+  explicit Polygon(std::vector<Point2> vertices);
+
+  std::vector<Point2> vertices_;
+  BoundingBox bbox_;
+};
+
+/// Distance from point p to segment [a, b].
+double PointSegmentDistance(const Point2& p, const Point2& a, const Point2& b);
+
+}  // namespace most
+
+#endif  // MOST_GEOMETRY_POLYGON_H_

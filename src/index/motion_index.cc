@@ -1,0 +1,131 @@
+#include "index/motion_index.h"
+
+#include <algorithm>
+
+namespace most {
+
+MotionIndex::MotionIndex(Tick epoch_start, Options options)
+    : options_(options),
+      epoch_start_(epoch_start),
+      epoch_end_(TickSaturatingAdd(epoch_start, options.horizon)),
+      rtree_(options.rtree_fanout) {}
+
+std::vector<MotionIndex::Box> MotionIndex::ComputeBoxes(
+    const ObjectState& state) const {
+  std::vector<Box> boxes;
+  Interval epoch(epoch_start_, epoch_end_ - 1);
+  // Align x and y pieces on their common tick-range refinement so every
+  // emitted box covers one jointly-linear stretch.
+  auto xs = state.x.LinearPieces(epoch);
+  auto ys = state.y.LinearPieces(epoch);
+  const Tick slab = std::max<Tick>(1, options_.time_slab);
+  size_t i = 0, j = 0;
+  while (i < xs.size() && j < ys.size()) {
+    Tick piece_lo = std::max(xs[i].ticks.begin, ys[j].ticks.begin);
+    Tick piece_hi = std::min(xs[i].ticks.end, ys[j].ticks.end);
+    // Chop the jointly-linear stretch into time slabs for tight boxes.
+    for (Tick lo = piece_lo; lo <= piece_hi; lo += slab) {
+      Tick hi = std::min(piece_hi, lo + slab - 1);
+      double t0 = static_cast<double>(lo);
+      double t1 = static_cast<double>(hi);
+      double x0 = state.x.ValueAt(lo);
+      double x1 = state.x.ValueAt(hi);
+      double y0 = state.y.ValueAt(lo);
+      double y1 = state.y.ValueAt(hi);
+      Box box;
+      box.min = {t0, std::min(x0, x1), std::min(y0, y1)};
+      box.max = {t1, std::max(x0, x1), std::max(y0, y1)};
+      boxes.push_back(box);
+    }
+    if (xs[i].ticks.end < ys[j].ticks.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return boxes;
+}
+
+void MotionIndex::InsertSegments(ObjectId id, ObjectState* state) {
+  state->boxes = ComputeBoxes(*state);
+  for (const Box& box : state->boxes) {
+    rtree_.Insert(box, id);
+  }
+}
+
+void MotionIndex::RemoveSegments(ObjectId id, ObjectState* state) {
+  for (const Box& box : state->boxes) {
+    rtree_.Remove(box, id);
+  }
+  state->boxes.clear();
+}
+
+void MotionIndex::Upsert(ObjectId id, const DynamicAttribute& x,
+                         const DynamicAttribute& y) {
+  ObjectState& state = objects_[id];
+  RemoveSegments(id, &state);
+  state.x = x;
+  state.y = y;
+  InsertSegments(id, &state);
+}
+
+void MotionIndex::Remove(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return;
+  RemoveSegments(id, &it->second);
+  objects_.erase(it);
+}
+
+void MotionIndex::Rebuild(Tick new_epoch_start) {
+  epoch_start_ = new_epoch_start;
+  epoch_end_ = TickSaturatingAdd(new_epoch_start, options_.horizon);
+  // Bulk-load (STR packing) instead of re-inserting one segment at a time.
+  std::vector<std::pair<Box, ObjectId>> all;
+  for (auto& [id, state] : objects_) {
+    state.boxes = ComputeBoxes(state);
+    for (const Box& box : state.boxes) {
+      all.emplace_back(box, id);
+    }
+  }
+  rtree_ = RTree<3, ObjectId>(options_.rtree_fanout);
+  rtree_.BulkLoad(std::move(all));
+}
+
+namespace {
+std::vector<ObjectId> Dedup(std::vector<ObjectId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+}  // namespace
+
+std::vector<ObjectId> MotionIndex::QueryRegionCandidates(
+    const BoundingBox& region, Tick t) const {
+  return QueryRegionCandidates(region, Interval(t, t));
+}
+
+std::vector<ObjectId> MotionIndex::QueryRegionCandidates(
+    const BoundingBox& region, Interval window) const {
+  rtree_.last_search_nodes = 0;
+  Box query;
+  query.min = {static_cast<double>(window.begin), region.min.x, region.min.y};
+  query.max = {static_cast<double>(window.end), region.max.x, region.max.y};
+  std::vector<ObjectId> out;
+  rtree_.Search(query, [&](const Box&, const ObjectId& id) {
+    out.push_back(id);
+  });
+  return Dedup(std::move(out));
+}
+
+std::vector<ObjectId> MotionIndex::QueryRegionExact(const BoundingBox& region,
+                                                    Tick t) const {
+  std::vector<ObjectId> out;
+  for (ObjectId id : QueryRegionCandidates(region, t)) {
+    const ObjectState& state = objects_.at(id);
+    Point2 pos{state.x.ValueAt(t), state.y.ValueAt(t)};
+    if (region.Contains(pos)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace most

@@ -1,0 +1,134 @@
+#include "index/trajectory_index.h"
+
+#include <algorithm>
+
+#include "temporal/range_query.h"
+
+namespace most {
+
+TrajectoryIndex::TrajectoryIndex(Tick epoch_start, Options options)
+    : options_(options),
+      epoch_start_(epoch_start),
+      epoch_end_(TickSaturatingAdd(epoch_start, options.horizon)),
+      rtree_(options.rtree_fanout) {}
+
+std::vector<TrajectoryIndex::Box> TrajectoryIndex::ComputeBoxes(
+    const DynamicAttribute& attr) const {
+  std::vector<Box> boxes;
+  Interval epoch(epoch_start_, epoch_end_ - 1);
+  const Tick slab = std::max<Tick>(1, options_.time_slab);
+  for (const auto& piece : attr.LinearPieces(epoch)) {
+    // Chop the linear piece into time slabs so each rectangle is tight
+    // around the function line.
+    for (Tick lo = piece.ticks.begin; lo <= piece.ticks.end; lo += slab) {
+      Tick hi = std::min(piece.ticks.end, lo + slab - 1);
+      double t0 = static_cast<double>(lo);
+      double t1 = static_cast<double>(hi);
+      double v0 = piece.value_at_begin +
+                  piece.slope * static_cast<double>(lo - piece.ticks.begin);
+      double v1 = v0 + piece.slope * (t1 - t0);
+      Box box;
+      box.min = {t0, std::min(v0, v1)};
+      box.max = {t1, std::max(v0, v1)};
+      boxes.push_back(box);
+    }
+  }
+  return boxes;
+}
+
+void TrajectoryIndex::InsertSegments(ObjectId id, ObjectState* state) {
+  state->boxes = ComputeBoxes(state->attr);
+  for (const Box& box : state->boxes) {
+    rtree_.Insert(box, id);
+  }
+}
+
+void TrajectoryIndex::RemoveSegments(ObjectId id, ObjectState* state) {
+  for (const Box& box : state->boxes) {
+    rtree_.Remove(box, id);
+  }
+  state->boxes.clear();
+}
+
+void TrajectoryIndex::Upsert(ObjectId id, const DynamicAttribute& attr) {
+  ObjectState& state = objects_[id];
+  RemoveSegments(id, &state);
+  state.attr = attr;
+  InsertSegments(id, &state);
+}
+
+void TrajectoryIndex::Remove(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return;
+  RemoveSegments(id, &it->second);
+  objects_.erase(it);
+}
+
+void TrajectoryIndex::Rebuild(Tick new_epoch_start) {
+  epoch_start_ = new_epoch_start;
+  epoch_end_ = TickSaturatingAdd(new_epoch_start, options_.horizon);
+  // Bulk-load the new epoch (STR packing): far faster than re-inserting
+  // and better clustered.
+  std::vector<std::pair<Box, ObjectId>> all;
+  for (auto& [id, state] : objects_) {
+    state.boxes = ComputeBoxes(state.attr);
+    for (const Box& box : state.boxes) {
+      all.emplace_back(box, id);
+    }
+  }
+  rtree_ = RTree<2, ObjectId>(options_.rtree_fanout);
+  rtree_.BulkLoad(std::move(all));
+}
+
+std::vector<ObjectId> TrajectoryIndex::QueryCandidates(double lo, double hi,
+                                                       Tick t) const {
+  rtree_.last_search_nodes = 0;
+  Box query;
+  double td = static_cast<double>(t);
+  query.min = {td, lo};
+  query.max = {td, hi};
+  std::vector<ObjectId> out;
+  rtree_.Search(query, [&](const Box&, const ObjectId& id) {
+    out.push_back(id);
+  });
+  // A trajectory can contribute several segments intersecting the query.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<ObjectId> TrajectoryIndex::QueryExact(double lo, double hi,
+                                                  Tick t) const {
+  std::vector<ObjectId> out;
+  for (ObjectId id : QueryCandidates(lo, hi, t)) {
+    const ObjectState& state = objects_.at(id);
+    double v = state.attr.ValueAt(t);
+    if (lo <= v && v <= hi) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::pair<ObjectId, IntervalSet>> TrajectoryIndex::QueryIntervals(
+    double lo, double hi, Interval window) const {
+  rtree_.last_search_nodes = 0;
+  Box query;
+  query.min = {static_cast<double>(window.begin), lo};
+  query.max = {static_cast<double>(window.end), hi};
+  std::vector<ObjectId> candidates;
+  rtree_.Search(query, [&](const Box&, const ObjectId& id) {
+    candidates.push_back(id);
+  });
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<std::pair<ObjectId, IntervalSet>> out;
+  for (ObjectId id : candidates) {
+    const ObjectState& state = objects_.at(id);
+    IntervalSet when = TicksWhereInRange(state.attr, lo, hi, window);
+    if (!when.empty()) out.emplace_back(id, std::move(when));
+  }
+  return out;
+}
+
+}  // namespace most

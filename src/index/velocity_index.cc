@@ -1,0 +1,90 @@
+#include "index/velocity_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace most {
+
+VelocityBucketIndex::VelocityBucketIndex(Tick reference_time, Options options)
+    : options_(options), reference_time_(reference_time) {}
+
+int64_t VelocityBucketIndex::BucketOf(double slope) const {
+  return static_cast<int64_t>(std::floor(slope / options_.bucket_width));
+}
+
+void VelocityBucketIndex::Upsert(ObjectId id, const DynamicAttribute& attr) {
+  Remove(id);
+  objects_.emplace(id, attr);
+  double slope =
+      attr.function().SlopeAt(static_cast<double>(reference_time_) -
+                              static_cast<double>(attr.updatetime()));
+  Bucket& bucket = buckets_[BucketOf(slope)];
+  if (bucket.tree == nullptr) bucket.tree = std::make_unique<BPlusTree>();
+  bucket.tree->Insert(Value(attr.ValueAt(reference_time_)), id);
+}
+
+void VelocityBucketIndex::Remove(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return;
+  const DynamicAttribute& attr = it->second;
+  double slope =
+      attr.function().SlopeAt(static_cast<double>(reference_time_) -
+                              static_cast<double>(attr.updatetime()));
+  auto bucket_it = buckets_.find(BucketOf(slope));
+  if (bucket_it != buckets_.end() && bucket_it->second.tree != nullptr) {
+    bucket_it->second.tree->Erase(Value(attr.ValueAt(reference_time_)), id);
+  }
+  objects_.erase(it);
+}
+
+void VelocityBucketIndex::Rebuild(Tick new_reference_time) {
+  reference_time_ = new_reference_time;
+  buckets_.clear();
+  std::unordered_map<ObjectId, DynamicAttribute> snapshot;
+  snapshot.swap(objects_);
+  for (auto& [id, attr] : snapshot) {
+    Upsert(id, attr);
+  }
+}
+
+std::vector<ObjectId> VelocityBucketIndex::QueryCandidates(double lo,
+                                                           double hi,
+                                                           Tick t) const {
+  last_entries_probed_ = 0;
+  double dt = static_cast<double>(t - reference_time_);
+  std::vector<ObjectId> out;
+  for (const auto& [bucket_id, bucket] : buckets_) {
+    if (bucket.tree == nullptr || bucket.tree->empty()) continue;
+    double s_min = static_cast<double>(bucket_id) * options_.bucket_width;
+    double s_max = s_min + options_.bucket_width;
+    // value(t) = value(t_ref) + slope * dt in [lo, hi]
+    //   =>  value(t_ref) in [lo, hi] expanded by the slope envelope.
+    double probe_lo, probe_hi;
+    if (dt >= 0) {
+      probe_lo = lo - s_max * dt;
+      probe_hi = hi - s_min * dt;
+    } else {
+      probe_lo = lo - s_min * dt;
+      probe_hi = hi - s_max * dt;
+    }
+    bucket.tree->ScanRange(Value(probe_lo), true, Value(probe_hi), true,
+                           [&](const Value&, RowId rid) {
+                             ++last_entries_probed_;
+                             out.push_back(rid);
+                           });
+  }
+  return out;
+}
+
+std::vector<ObjectId> VelocityBucketIndex::QueryExact(double lo, double hi,
+                                                      Tick t) const {
+  std::vector<ObjectId> out;
+  for (ObjectId id : QueryCandidates(lo, hi, t)) {
+    double v = objects_.at(id).ValueAt(t);
+    if (lo <= v && v <= hi) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace most

@@ -1,0 +1,88 @@
+#ifndef MOST_INDEX_VELOCITY_INDEX_H_
+#define MOST_INDEX_VELOCITY_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/btree.h"
+#include "temporal/dynamic_attribute.h"
+
+namespace most {
+
+/// An alternative mechanism for indexing dynamic attributes — the
+/// comparison the paper lists as future work ("we intend to experimentally
+/// compare various mechanisms for indexing dynamic attributes").
+///
+/// Instead of plotting trajectories in the (t, value) plane (Section 4 /
+/// TrajectoryIndex), objects are partitioned into buckets by slope and
+/// each bucket keeps a B+-tree over the value at a common reference time.
+/// A range query [lo, hi] at time t probes each bucket with the range
+/// expanded by the bucket's slope envelope over (t - t_ref):
+///
+///     [lo - s_max * dt,  hi - s_min * dt]        (dt >= 0)
+///
+/// and verifies candidates exactly. Fewer, cheaper structures than the
+/// R-tree, but the expansion grows with dt and with bucket width — the
+/// tradeoff the comparison benchmark (bench_index) quantifies.
+///
+/// Exactness: complete for attributes whose function is linear at and
+/// after the reference time. Piecewise functions are indexed by their
+/// state at t_ref; a later built-in slope change can cause false negatives
+/// until the next Rebuild — use TrajectoryIndex when routes are piecewise.
+class VelocityBucketIndex {
+ public:
+  struct Options {
+    /// Slope bucket width. Smaller buckets = tighter expansion envelopes
+    /// but more trees to probe.
+    double bucket_width = 0.5;
+    /// Like Section 4's horizon: queries are expected within
+    /// [t_ref, t_ref + horizon); Rebuild re-anchors the reference time.
+    Tick horizon = 1024;
+  };
+
+  explicit VelocityBucketIndex(Tick reference_time)
+      : VelocityBucketIndex(reference_time, Options()) {}
+  VelocityBucketIndex(Tick reference_time, Options options);
+
+  Tick reference_time() const { return reference_time_; }
+  size_t num_objects() const { return objects_.size(); }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  void Upsert(ObjectId id, const DynamicAttribute& attr);
+  void Remove(ObjectId id);
+
+  bool NeedsRebuild(Tick now) const {
+    return now >= reference_time_ + options_.horizon;
+  }
+  void Rebuild(Tick new_reference_time);
+
+  /// Objects whose expanded envelope meets [lo, hi] at time t (superset).
+  std::vector<ObjectId> QueryCandidates(double lo, double hi, Tick t) const;
+
+  /// Exact: candidates verified against the stored attribute (closed
+  /// bounds).
+  std::vector<ObjectId> QueryExact(double lo, double hi, Tick t) const;
+
+  /// B+-tree entries touched by the last query (scan-cost diagnostics).
+  size_t last_entries_probed() const { return last_entries_probed_; }
+
+ private:
+  struct Bucket {
+    std::unique_ptr<BPlusTree> tree;  // value-at-reference-time -> object.
+  };
+
+  int64_t BucketOf(double slope) const;
+
+  Options options_;
+  Tick reference_time_;
+  std::map<int64_t, Bucket> buckets_;
+  std::unordered_map<ObjectId, DynamicAttribute> objects_;
+  mutable size_t last_entries_probed_ = 0;
+};
+
+}  // namespace most
+
+#endif  // MOST_INDEX_VELOCITY_INDEX_H_

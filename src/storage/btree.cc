@@ -1,0 +1,348 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace most {
+
+struct BPlusTree::Node {
+  bool is_leaf = true;
+  // Leaf payload: sorted (key, rid) entries.
+  std::vector<Entry> entries;
+  // Internal payload: separators.size() == children.size() - 1. separators[i]
+  // is the smallest composite entry in the subtree of children[i + 1].
+  std::vector<Entry> separators;
+  std::vector<std::unique_ptr<Node>> children;
+  // Leaf sibling chain.
+  Node* next = nullptr;
+  Node* prev = nullptr;
+};
+
+int BPlusTree::CompareEntry(const Entry& a, const Entry& b) {
+  int c = a.key.Compare(b.key);
+  if (c != 0) return c;
+  if (a.rid < b.rid) return -1;
+  if (a.rid > b.rid) return 1;
+  return 0;
+}
+
+BPlusTree::BPlusTree(size_t fanout) : fanout_(std::max<size_t>(4, fanout)) {
+  root_ = std::make_unique<BPlusTree::Node>();
+}
+
+BPlusTree::~BPlusTree() = default;
+
+namespace {
+
+// Index of the child an entry routes to: the number of separators <= entry.
+template <typename NodeT, typename EntryT, typename Cmp>
+size_t ChildIndex(const NodeT& node, const EntryT& e, Cmp cmp) {
+  size_t lo = 0, hi = node.separators.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cmp(node.separators[mid], e) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+void BPlusTree::Insert(const Value& key, RowId rid) {
+  Entry e{key, rid};
+
+  struct SplitResult {
+    Entry separator;
+    std::unique_ptr<BPlusTree::Node> right;
+  };
+
+  // Recursive insert returning a split if the child overflowed.
+  std::function<std::optional<SplitResult>(BPlusTree::Node*)> insert_rec =
+      [&](BPlusTree::Node* node) -> std::optional<SplitResult> {
+    if (node->is_leaf) {
+      auto it = std::lower_bound(
+          node->entries.begin(), node->entries.end(), e,
+          [](const Entry& a, const Entry& b) { return CompareEntry(a, b) < 0; });
+      node->entries.insert(it, e);
+      if (node->entries.size() <= fanout_) return std::nullopt;
+      // Split leaf.
+      auto right = std::make_unique<BPlusTree::Node>();
+      right->is_leaf = true;
+      size_t mid = node->entries.size() / 2;
+      right->entries.assign(node->entries.begin() + mid, node->entries.end());
+      node->entries.resize(mid);
+      right->next = node->next;
+      right->prev = node;
+      if (node->next != nullptr) node->next->prev = right.get();
+      node->next = right.get();
+      Entry sep = right->entries.front();
+      return SplitResult{std::move(sep), std::move(right)};
+    }
+    size_t idx = ChildIndex(*node, e, &CompareEntry);
+    auto split = insert_rec(node->children[idx].get());
+    if (!split) return std::nullopt;
+    node->separators.insert(node->separators.begin() + idx,
+                            std::move(split->separator));
+    node->children.insert(node->children.begin() + idx + 1,
+                          std::move(split->right));
+    if (node->children.size() <= fanout_) return std::nullopt;
+    // Split internal node: promote the middle separator.
+    auto right = std::make_unique<BPlusTree::Node>();
+    right->is_leaf = false;
+    size_t midc = node->children.size() / 2;
+    Entry promoted = node->separators[midc - 1];
+    right->separators.assign(node->separators.begin() + midc,
+                             node->separators.end());
+    right->children.reserve(node->children.size() - midc);
+    for (size_t i = midc; i < node->children.size(); ++i) {
+      right->children.push_back(std::move(node->children[i]));
+    }
+    node->separators.resize(midc - 1);
+    node->children.resize(midc);
+    return SplitResult{std::move(promoted), std::move(right)};
+  };
+
+  auto split = insert_rec(root_.get());
+  if (split) {
+    auto new_root = std::make_unique<BPlusTree::Node>();
+    new_root->is_leaf = false;
+    new_root->separators.push_back(std::move(split->separator));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+bool BPlusTree::Erase(const Value& key, RowId rid) {
+  Entry e{key, rid};
+  const size_t min_leaf = fanout_ / 2;
+  const size_t min_children = (fanout_ + 1) / 2;
+
+  // Rebalances parent->children[idx] after an erase left it underfull.
+  auto fix_child = [&](BPlusTree::Node* parent, size_t idx) {
+    BPlusTree::Node* child = parent->children[idx].get();
+    BPlusTree::Node* left =
+        idx > 0 ? parent->children[idx - 1].get() : nullptr;
+    BPlusTree::Node* right = idx + 1 < parent->children.size()
+                                 ? parent->children[idx + 1].get()
+                                 : nullptr;
+    if (child->is_leaf) {
+      if (left != nullptr && left->entries.size() > min_leaf) {
+        child->entries.insert(child->entries.begin(), left->entries.back());
+        left->entries.pop_back();
+        parent->separators[idx - 1] = child->entries.front();
+        return;
+      }
+      if (right != nullptr && right->entries.size() > min_leaf) {
+        child->entries.push_back(right->entries.front());
+        right->entries.erase(right->entries.begin());
+        parent->separators[idx] = right->entries.front();
+        return;
+      }
+      // Merge with a sibling (prefer left).
+      if (left != nullptr) {
+        left->entries.insert(left->entries.end(), child->entries.begin(),
+                             child->entries.end());
+        left->next = child->next;
+        if (child->next != nullptr) child->next->prev = left;
+        parent->separators.erase(parent->separators.begin() + idx - 1);
+        parent->children.erase(parent->children.begin() + idx);
+      } else if (right != nullptr) {
+        child->entries.insert(child->entries.end(), right->entries.begin(),
+                              right->entries.end());
+        child->next = right->next;
+        if (right->next != nullptr) right->next->prev = child;
+        parent->separators.erase(parent->separators.begin() + idx);
+        parent->children.erase(parent->children.begin() + idx + 1);
+      }
+      return;
+    }
+    // Internal child.
+    if (left != nullptr && left->children.size() > min_children) {
+      child->separators.insert(child->separators.begin(),
+                               parent->separators[idx - 1]);
+      parent->separators[idx - 1] = left->separators.back();
+      left->separators.pop_back();
+      child->children.insert(child->children.begin(),
+                             std::move(left->children.back()));
+      left->children.pop_back();
+      return;
+    }
+    if (right != nullptr && right->children.size() > min_children) {
+      child->separators.push_back(parent->separators[idx]);
+      parent->separators[idx] = right->separators.front();
+      right->separators.erase(right->separators.begin());
+      child->children.push_back(std::move(right->children.front()));
+      right->children.erase(right->children.begin());
+      return;
+    }
+    if (left != nullptr) {
+      left->separators.push_back(parent->separators[idx - 1]);
+      left->separators.insert(left->separators.end(),
+                              child->separators.begin(),
+                              child->separators.end());
+      for (auto& c : child->children) left->children.push_back(std::move(c));
+      parent->separators.erase(parent->separators.begin() + idx - 1);
+      parent->children.erase(parent->children.begin() + idx);
+    } else if (right != nullptr) {
+      child->separators.push_back(parent->separators[idx]);
+      child->separators.insert(child->separators.end(),
+                               right->separators.begin(),
+                               right->separators.end());
+      for (auto& c : right->children) child->children.push_back(std::move(c));
+      parent->separators.erase(parent->separators.begin() + idx);
+      parent->children.erase(parent->children.begin() + idx + 1);
+    }
+  };
+
+  auto is_underfull = [&](const BPlusTree::Node* node) {
+    return node->is_leaf ? node->entries.size() < min_leaf
+                         : node->children.size() < min_children;
+  };
+
+  std::function<bool(BPlusTree::Node*)> erase_rec =
+      [&](BPlusTree::Node* node) -> bool {
+    if (node->is_leaf) {
+      auto it = std::lower_bound(
+          node->entries.begin(), node->entries.end(), e,
+          [](const Entry& a, const Entry& b) { return CompareEntry(a, b) < 0; });
+      if (it == node->entries.end() || CompareEntry(*it, e) != 0) return false;
+      node->entries.erase(it);
+      return true;
+    }
+    size_t idx = ChildIndex(*node, e, &CompareEntry);
+    if (!erase_rec(node->children[idx].get())) return false;
+    if (is_underfull(node->children[idx].get())) fix_child(node, idx);
+    return true;
+  };
+
+  if (!erase_rec(root_.get())) return false;
+  --size_;
+  // Shrink the root when it degenerates to a single child.
+  while (!root_->is_leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children.front());
+  }
+  return true;
+}
+
+std::vector<RowId> BPlusTree::Lookup(const Value& key) const {
+  std::vector<RowId> out;
+  ScanRange(key, /*lo_inclusive=*/true, key, /*hi_inclusive=*/true,
+            [&](const Value&, RowId rid) { out.push_back(rid); });
+  return out;
+}
+
+void BPlusTree::ScanRange(
+    const std::optional<Value>& lo, bool lo_inclusive,
+    const std::optional<Value>& hi, bool hi_inclusive,
+    const std::function<void(const Value&, RowId)>& fn) const {
+  // Descend to the first candidate leaf.
+  const BPlusTree::Node* node = root_.get();
+  Entry probe{lo.value_or(Value()), 0};
+  while (!node->is_leaf) {
+    size_t idx = lo.has_value() ? ChildIndex(*node, probe, &CompareEntry) : 0;
+    node = node->children[idx].get();
+  }
+  for (; node != nullptr; node = node->next) {
+    for (const Entry& entry : node->entries) {
+      if (lo.has_value()) {
+        int c = entry.key.Compare(*lo);
+        if (c < 0 || (c == 0 && !lo_inclusive)) continue;
+      }
+      if (hi.has_value()) {
+        int c = entry.key.Compare(*hi);
+        if (c > 0 || (c == 0 && !hi_inclusive)) return;
+      }
+      fn(entry.key, entry.rid);
+    }
+  }
+}
+
+int BPlusTree::height() const {
+  int h = 1;
+  const BPlusTree::Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+Status BPlusTree::CheckInvariants() const {
+  const size_t min_leaf = fanout_ / 2;
+  const size_t min_children = (fanout_ + 1) / 2;
+  size_t counted = 0;
+
+  // Returns subtree depth; -1 signals failure via status.
+  Status status = Status::OK();
+  std::function<int(const BPlusTree::Node*, const Entry*, const Entry*, bool)>
+      check = [&](const BPlusTree::Node* node, const Entry* lo,
+                  const Entry* hi, bool is_root) -> int {
+    if (!status.ok()) return -1;
+    if (node->is_leaf) {
+      if (!is_root && node->entries.size() < min_leaf) {
+        status = Status::Internal("underfull leaf");
+        return -1;
+      }
+      for (size_t i = 0; i < node->entries.size(); ++i) {
+        if (i > 0 &&
+            CompareEntry(node->entries[i - 1], node->entries[i]) >= 0) {
+          status = Status::Internal("leaf entries out of order");
+          return -1;
+        }
+        if (lo != nullptr && CompareEntry(node->entries[i], *lo) < 0) {
+          status = Status::Internal("leaf entry below subtree bound");
+          return -1;
+        }
+        if (hi != nullptr && CompareEntry(node->entries[i], *hi) >= 0) {
+          status = Status::Internal("leaf entry above subtree bound");
+          return -1;
+        }
+      }
+      counted += node->entries.size();
+      return 1;
+    }
+    if (node->children.size() != node->separators.size() + 1) {
+      status = Status::Internal("separator/children arity mismatch");
+      return -1;
+    }
+    if (!is_root && node->children.size() < min_children) {
+      status = Status::Internal("underfull internal node");
+      return -1;
+    }
+    int depth = -1;
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const Entry* clo = (i == 0) ? lo : &node->separators[i - 1];
+      const Entry* chi =
+          (i == node->separators.size()) ? hi : &node->separators[i];
+      if (clo != nullptr && chi != nullptr &&
+          CompareEntry(*clo, *chi) >= 0) {
+        status = Status::Internal("separators out of order");
+        return -1;
+      }
+      int d = check(node->children[i].get(), clo, chi, false);
+      if (!status.ok()) return -1;
+      if (depth == -1) depth = d;
+      if (d != depth) {
+        status = Status::Internal("non-uniform leaf depth");
+        return -1;
+      }
+    }
+    return depth + 1;
+  };
+  check(root_.get(), nullptr, nullptr, true);
+  MOST_RETURN_IF_ERROR(status);
+  if (counted != size_) {
+    return Status::Internal("size mismatch: counted " +
+                            std::to_string(counted) + " expected " +
+                            std::to_string(size_));
+  }
+  return Status::OK();
+}
+
+}  // namespace most

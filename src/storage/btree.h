@@ -1,0 +1,71 @@
+#ifndef MOST_STORAGE_BTREE_H_
+#define MOST_STORAGE_BTREE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace most {
+
+/// In-memory B+-tree mapping Value keys to row ids. Non-unique: entries are
+/// (key, rid) composites, so duplicates of a key are adjacent and
+/// individually erasable. This is the secondary-index structure the host
+/// DBMS offers for *static* attributes; Section 4's trajectory index for
+/// dynamic attributes is a separate structure (src/index).
+class BPlusTree {
+ public:
+  /// Entries per node before splitting. Exposed for tests that want to
+  /// force deep trees.
+  static constexpr size_t kDefaultFanout = 64;
+
+  explicit BPlusTree(size_t fanout = kDefaultFanout);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) = default;
+  BPlusTree& operator=(BPlusTree&&) = default;
+
+  void Insert(const Value& key, RowId rid);
+
+  /// Removes one (key, rid) entry; returns false if absent.
+  bool Erase(const Value& key, RowId rid);
+
+  /// All row ids with exactly this key, in rid order.
+  std::vector<RowId> Lookup(const Value& key) const;
+
+  /// Scans keys in [lo, hi] (either bound may be absent = unbounded;
+  /// inclusivity per flag). Visits entries in key order.
+  void ScanRange(const std::optional<Value>& lo, bool lo_inclusive,
+                 const std::optional<Value>& hi, bool hi_inclusive,
+                 const std::function<void(const Value&, RowId)>& fn) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const;
+
+  /// Validates structural invariants (sortedness, fill factors, leaf chain
+  /// consistency); used by tests. Returns Internal status on violation.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry {
+    Value key;
+    RowId rid;
+  };
+
+  static int CompareEntry(const Entry& a, const Entry& b);
+
+  std::unique_ptr<Node> root_;
+  size_t fanout_;
+  size_t size_ = 0;
+};
+
+}  // namespace most
+
+#endif  // MOST_STORAGE_BTREE_H_

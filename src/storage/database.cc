@@ -1,0 +1,198 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+namespace most {
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "'");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  return ptr;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  return it->second.get();
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  return static_cast<const Table*>(it->second.get());
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+/// An index-usable comparison: `column op literal` (or mirrored) where the
+/// column has a B+-tree. Yields the key range to scan.
+struct IndexRange {
+  const BPlusTree* tree = nullptr;
+  std::optional<Value> lo;
+  bool lo_inclusive = true;
+  std::optional<Value> hi;
+  bool hi_inclusive = true;
+};
+
+bool MatchIndexableConjunct(const Table& table, const ExprPtr& conjunct,
+                            IndexRange* out) {
+  if (conjunct->kind() != Expr::Kind::kCompare) return false;
+  const ExprPtr& lhs = conjunct->children()[0];
+  const ExprPtr& rhs = conjunct->children()[1];
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  bool mirrored = false;
+  if (lhs->kind() == Expr::Kind::kColumn &&
+      rhs->kind() == Expr::Kind::kLiteral) {
+    col = lhs.get();
+    lit = rhs.get();
+  } else if (rhs->kind() == Expr::Kind::kColumn &&
+             lhs->kind() == Expr::Kind::kLiteral) {
+    col = rhs.get();
+    lit = lhs.get();
+    mirrored = true;
+  } else {
+    return false;
+  }
+  const BPlusTree* tree = table.GetIndex(col->column());
+  if (tree == nullptr) return false;
+
+  Expr::CmpOp op = conjunct->cmp_op();
+  if (mirrored) {
+    // lit op col  ==  col op' lit with the inequality flipped.
+    switch (op) {
+      case Expr::CmpOp::kLt:
+        op = Expr::CmpOp::kGt;
+        break;
+      case Expr::CmpOp::kLe:
+        op = Expr::CmpOp::kGe;
+        break;
+      case Expr::CmpOp::kGt:
+        op = Expr::CmpOp::kLt;
+        break;
+      case Expr::CmpOp::kGe:
+        op = Expr::CmpOp::kLe;
+        break;
+      default:
+        break;
+    }
+  }
+  out->tree = tree;
+  const Value& v = lit->literal();
+  switch (op) {
+    case Expr::CmpOp::kEq:
+      out->lo = v;
+      out->hi = v;
+      break;
+    case Expr::CmpOp::kLt:
+      out->hi = v;
+      out->hi_inclusive = false;
+      break;
+    case Expr::CmpOp::kLe:
+      out->hi = v;
+      break;
+    case Expr::CmpOp::kGt:
+      out->lo = v;
+      out->lo_inclusive = false;
+      break;
+    case Expr::CmpOp::kGe:
+      out->lo = v;
+      break;
+    case Expr::CmpOp::kNe:
+      return false;  // Not a contiguous range.
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ResultSet> Database::ExecuteSelect(const SelectQuery& query,
+                                          QueryStats* stats) const {
+  MOST_ASSIGN_OR_RETURN(const Table* table, GetTable(query.table));
+  const Schema& schema = table->schema();
+
+  // Output schema / projection map.
+  std::vector<size_t> projection;
+  ResultSet result;
+  if (query.project.empty()) {
+    result.schema = schema;
+    for (size_t i = 0; i < schema.num_columns(); ++i) projection.push_back(i);
+  } else {
+    std::vector<Column> cols;
+    for (const std::string& name : query.project) {
+      MOST_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(name));
+      projection.push_back(idx);
+      cols.push_back(schema.column(idx));
+    }
+    result.schema = Schema(std::move(cols));
+  }
+
+  QueryStats local_stats;
+  QueryStats* st = stats != nullptr ? stats : &local_stats;
+  st->queries_executed += 1;
+
+  Status row_error;  // First evaluation error, if any.
+  auto emit = [&](RowId rid, const Row& row) {
+    if (!row_error.ok()) return;
+    st->rows_examined += 1;
+    if (query.where != nullptr) {
+      Result<Value> v = query.where->Eval(schema, row);
+      if (!v.ok()) {
+        row_error = v.status();
+        return;
+      }
+      if (v->type() != ValueType::kBool) {
+        row_error = Status::TypeError("WHERE clause is not boolean");
+        return;
+      }
+      if (!v->bool_value()) return;
+    }
+    Row projected;
+    projected.reserve(projection.size());
+    for (size_t idx : projection) projected.push_back(row[idx]);
+    result.rows.push_back(std::move(projected));
+    result.row_ids.push_back(rid);
+  };
+
+  // Planner: use an index when some top-level conjunct allows it.
+  IndexRange range;
+  bool indexed = false;
+  if (query.where != nullptr) {
+    std::vector<ExprPtr> conjuncts;
+    SplitConjuncts(query.where, &conjuncts);
+    for (const ExprPtr& c : conjuncts) {
+      if (MatchIndexableConjunct(*table, c, &range)) {
+        indexed = true;
+        break;
+      }
+    }
+  }
+  if (indexed) {
+    st->used_index = true;
+    // The full WHERE clause is re-applied to each candidate, so using the
+    // index only prunes, never changes, the result.
+    range.tree->ScanRange(range.lo, range.lo_inclusive, range.hi,
+                          range.hi_inclusive,
+                          [&](const Value&, RowId rid) {
+                            const Row* row = table->Get(rid);
+                            if (row != nullptr) emit(rid, *row);
+                          });
+  } else {
+    table->Scan([&](RowId rid, const Row& row) { emit(rid, row); });
+  }
+  MOST_RETURN_IF_ERROR(row_error);
+  return result;
+}
+
+}  // namespace most

@@ -1,0 +1,67 @@
+#ifndef MOST_STORAGE_DATABASE_H_
+#define MOST_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/expression.h"
+#include "storage/table.h"
+
+namespace most {
+
+/// A SELECT over one table of the host engine: optional WHERE expression
+/// and projection list (empty = all columns). The paper's atomic
+/// (non-temporal) queries bottom out here.
+struct SelectQuery {
+  std::string table;
+  ExprPtr where;                     ///< May be null (no filter).
+  std::vector<std::string> project;  ///< Empty = SELECT *.
+};
+
+/// Materialized query result. `row_ids` is parallel to `rows`, so callers
+/// that need to re-fetch or mutate matching rows (e.g. the MOST layer) can
+/// address them.
+struct ResultSet {
+  Schema schema;
+  std::vector<Row> rows;
+  std::vector<RowId> row_ids;
+};
+
+/// Execution counters, used by benchmarks to show scan-vs-index behaviour.
+struct QueryStats {
+  size_t rows_examined = 0;
+  bool used_index = false;
+  size_t queries_executed = 0;  ///< >1 after Section 5.1 decomposition.
+  size_t branches_pruned = 0;   ///< Decomposition branches folded to FALSE.
+};
+
+/// The host "DBMS": a catalog of named tables plus a SELECT executor with a
+/// one-rule planner (use a B+-tree index when a top-level conjunct is an
+/// indexable comparison against a literal).
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  std::vector<std::string> TableNames() const;
+
+  Result<ResultSet> ExecuteSelect(const SelectQuery& query,
+                                  QueryStats* stats = nullptr) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace most
+
+#endif  // MOST_STORAGE_DATABASE_H_

@@ -1,0 +1,176 @@
+#include "storage/durable_database.h"
+
+#include <cstdio>
+
+namespace most {
+
+Status DurableDatabase::Open(const std::string& path,
+                             size_t* recovered_records) {
+  path_ = path;
+  bool tail_truncated = false;
+  MOST_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                        ReadWal(path, &tail_truncated));
+  for (const WalRecord& record : records) {
+    MOST_RETURN_IF_ERROR(Apply(record));
+  }
+  if (recovered_records != nullptr) *recovered_records = records.size();
+  return writer_.Open(path);
+}
+
+Status DurableDatabase::Apply(const WalRecord& record) {
+  switch (record.kind) {
+    case WalRecord::Kind::kCreateTable:
+      return db_.CreateTable(record.table, record.schema).status();
+    case WalRecord::Kind::kInsert: {
+      MOST_ASSIGN_OR_RETURN(Table * table, db_.GetTable(record.table));
+      return table->RestoreRow(record.rid, record.row);
+    }
+    case WalRecord::Kind::kUpdate: {
+      MOST_ASSIGN_OR_RETURN(Table * table, db_.GetTable(record.table));
+      return table->Update(record.rid, record.row);
+    }
+    case WalRecord::Kind::kDelete: {
+      MOST_ASSIGN_OR_RETURN(Table * table, db_.GetTable(record.table));
+      return table->Delete(record.rid);
+    }
+    case WalRecord::Kind::kCreateIndex: {
+      MOST_ASSIGN_OR_RETURN(Table * table, db_.GetTable(record.table));
+      indexed_columns_[record.table].insert(record.column);
+      return table->CreateIndex(record.column);
+    }
+  }
+  return Status::Corruption("unknown WAL record kind");
+}
+
+Result<Table*> DurableDatabase::CreateTable(const std::string& name,
+                                            Schema schema) {
+  if (!is_open()) return Status::Internal("database is not open");
+  if (db_.HasTable(name)) {
+    return Status::AlreadyExists("table '" + name + "'");
+  }
+  WalRecord record;
+  record.kind = WalRecord::Kind::kCreateTable;
+  record.table = name;
+  record.schema = schema;
+  MOST_RETURN_IF_ERROR(writer_.Append(record));
+  return db_.CreateTable(name, std::move(schema));
+}
+
+Result<RowId> DurableDatabase::Insert(const std::string& table, Row row) {
+  if (!is_open()) return Status::Internal("database is not open");
+  MOST_ASSIGN_OR_RETURN(Table * t, db_.GetTable(table));
+  // Validate first so the log only contains appliable records, then log
+  // with the id the insert will receive.
+  MOST_RETURN_IF_ERROR(t->schema().Validate(row));
+  WalRecord record;
+  record.kind = WalRecord::Kind::kInsert;
+  record.table = table;
+  record.row = row;
+  // Peek the id by performing the insert after logging with the correct
+  // id: Table assigns ids sequentially, and RestoreRow on replay follows
+  // the logged id, so log-then-apply stays consistent.
+  MOST_ASSIGN_OR_RETURN(RowId rid, t->Insert(std::move(row)));
+  record.rid = rid;
+  Status logged = writer_.Append(record);
+  if (!logged.ok()) {
+    // Keep memory consistent with the log: roll the row back.
+    (void)t->Delete(rid);
+    return logged;
+  }
+  return rid;
+}
+
+Status DurableDatabase::Update(const std::string& table, RowId rid, Row row) {
+  if (!is_open()) return Status::Internal("database is not open");
+  MOST_ASSIGN_OR_RETURN(Table * t, db_.GetTable(table));
+  MOST_RETURN_IF_ERROR(t->schema().Validate(row));
+  if (t->Get(rid) == nullptr) {
+    return Status::NotFound("row " + std::to_string(rid));
+  }
+  WalRecord record;
+  record.kind = WalRecord::Kind::kUpdate;
+  record.table = table;
+  record.rid = rid;
+  record.row = row;
+  MOST_RETURN_IF_ERROR(writer_.Append(record));
+  return t->Update(rid, std::move(row));
+}
+
+Status DurableDatabase::Delete(const std::string& table, RowId rid) {
+  if (!is_open()) return Status::Internal("database is not open");
+  MOST_ASSIGN_OR_RETURN(Table * t, db_.GetTable(table));
+  if (t->Get(rid) == nullptr) {
+    return Status::NotFound("row " + std::to_string(rid));
+  }
+  WalRecord record;
+  record.kind = WalRecord::Kind::kDelete;
+  record.table = table;
+  record.rid = rid;
+  MOST_RETURN_IF_ERROR(writer_.Append(record));
+  return t->Delete(rid);
+}
+
+Status DurableDatabase::CreateIndex(const std::string& table,
+                                    const std::string& column) {
+  if (!is_open()) return Status::Internal("database is not open");
+  MOST_ASSIGN_OR_RETURN(Table * t, db_.GetTable(table));
+  if (t->GetIndex(column) != nullptr) {
+    return Status::AlreadyExists("index on " + table + "." + column);
+  }
+  if (!t->schema().HasColumn(column)) {
+    return Status::NotFound("no column named '" + column + "'");
+  }
+  WalRecord record;
+  record.kind = WalRecord::Kind::kCreateIndex;
+  record.table = table;
+  record.column = column;
+  MOST_RETURN_IF_ERROR(writer_.Append(record));
+  Status status = t->CreateIndex(column);
+  if (status.ok()) indexed_columns_[table].insert(column);
+  return status;
+}
+
+Status DurableDatabase::Checkpoint() {
+  if (!is_open()) return Status::Internal("database is not open");
+  const std::string tmp_path = path_ + ".checkpoint";
+  {
+    WalWriter snapshot;
+    MOST_RETURN_IF_ERROR(snapshot.Open(tmp_path));
+    Status status = Status::OK();
+    for (const std::string& name : db_.TableNames()) {
+      auto table = db_.GetTable(name);
+      WalRecord create;
+      create.kind = WalRecord::Kind::kCreateTable;
+      create.table = name;
+      create.schema = (*table)->schema();
+      MOST_RETURN_IF_ERROR(snapshot.Append(create));
+      (*table)->Scan([&](RowId rid, const Row& row) {
+        if (!status.ok()) return;
+        WalRecord insert;
+        insert.kind = WalRecord::Kind::kInsert;
+        insert.table = name;
+        insert.rid = rid;
+        insert.row = row;
+        status = snapshot.Append(insert);
+      });
+      MOST_RETURN_IF_ERROR(status);
+      auto indexed = indexed_columns_.find(name);
+      if (indexed != indexed_columns_.end()) {
+        for (const std::string& column : indexed->second) {
+          WalRecord index;
+          index.kind = WalRecord::Kind::kCreateIndex;
+          index.table = name;
+          index.column = column;
+          MOST_RETURN_IF_ERROR(snapshot.Append(index));
+        }
+      }
+    }
+  }
+  writer_.Close();
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    return Status::Internal("cannot replace WAL with checkpoint");
+  }
+  return writer_.Open(path_);
+}
+
+}  // namespace most

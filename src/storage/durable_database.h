@@ -1,0 +1,72 @@
+#ifndef MOST_STORAGE_DURABLE_DATABASE_H_
+#define MOST_STORAGE_DURABLE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "storage/database.h"
+#include "storage/wal.h"
+
+namespace most {
+
+/// A Database with write-ahead logging and crash recovery: every mutation
+/// is appended (and flushed) to the log before being applied, and Open()
+/// rebuilds the in-memory state by replaying the log. Checkpoint()
+/// compacts the log to a snapshot of the current state.
+///
+/// This rounds out the "existing DBMS" substrate the paper layers MOST on
+/// top of: position updates from vehicles survive a server crash.
+class DurableDatabase {
+ public:
+  DurableDatabase() = default;
+  DurableDatabase(const DurableDatabase&) = delete;
+  DurableDatabase& operator=(const DurableDatabase&) = delete;
+
+  /// Replays `path` (if it exists) and opens it for appending. A torn
+  /// final record (crash mid-append) is dropped; `recovered_records`
+  /// reports how many records were applied.
+  Status Open(const std::string& path, size_t* recovered_records = nullptr);
+
+  bool is_open() const { return writer_.is_open(); }
+
+  // ---- Logged mutations --------------------------------------------------
+
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+  Result<RowId> Insert(const std::string& table, Row row);
+  Status Update(const std::string& table, RowId rid, Row row);
+  Status Delete(const std::string& table, RowId rid);
+  Status CreateIndex(const std::string& table, const std::string& column);
+
+  // ---- Reads (pass-through) ----------------------------------------------
+
+  Result<ResultSet> ExecuteSelect(const SelectQuery& query,
+                                  QueryStats* stats = nullptr) const {
+    return db_.ExecuteSelect(query, stats);
+  }
+  Result<const Table*> GetTable(const std::string& name) const {
+    return db_.GetTable(name);
+  }
+  const Database& database() const { return db_; }
+
+  /// Rewrites the log as a snapshot of the current state (create-table +
+  /// one insert per live row + index records), atomically replacing the
+  /// old log. Bounds recovery time after long update streams.
+  Status Checkpoint();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Status Apply(const WalRecord& record);
+
+  Database db_;
+  WalWriter writer_;
+  std::string path_;
+  // Index definitions, re-logged by Checkpoint().
+  std::map<std::string, std::set<std::string>> indexed_columns_;
+};
+
+}  // namespace most
+
+#endif  // MOST_STORAGE_DURABLE_DATABASE_H_

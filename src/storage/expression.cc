@@ -1,0 +1,299 @@
+#include "storage/expression.h"
+
+#include <sstream>
+
+namespace most {
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::make_shared<Expr>(Expr());
+  e->kind_ = Kind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Column(std::string name) {
+  auto e = std::make_shared<Expr>(Expr());
+  e->kind_ = Kind::kColumn;
+  e->column_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Compare(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>(Expr());
+  e->kind_ = Kind::kCompare;
+  e->cmp_op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>(Expr());
+  e->kind_ = Kind::kAnd;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>(Expr());
+  e->kind_ = Kind::kOr;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr operand) {
+  auto e = std::make_shared<Expr>(Expr());
+  e->kind_ = Kind::kNot;
+  e->children_ = {std::move(operand)};
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>(Expr());
+  e->kind_ = Kind::kArith;
+  e->arith_op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+Result<Value> Expr::Eval(const Schema& schema, const Row& row) const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_;
+    case Kind::kColumn: {
+      MOST_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(column_));
+      return row[idx];
+    }
+    case Kind::kCompare: {
+      MOST_ASSIGN_OR_RETURN(Value lhs, children_[0]->Eval(schema, row));
+      MOST_ASSIGN_OR_RETURN(Value rhs, children_[1]->Eval(schema, row));
+      int c = lhs.Compare(rhs);
+      switch (cmp_op_) {
+        case CmpOp::kEq:
+          return Value(c == 0);
+        case CmpOp::kNe:
+          return Value(c != 0);
+        case CmpOp::kLt:
+          return Value(c < 0);
+        case CmpOp::kLe:
+          return Value(c <= 0);
+        case CmpOp::kGt:
+          return Value(c > 0);
+        case CmpOp::kGe:
+          return Value(c >= 0);
+      }
+      return Status::Internal("bad cmp op");
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      MOST_ASSIGN_OR_RETURN(Value lhs, children_[0]->Eval(schema, row));
+      if (lhs.type() != ValueType::kBool) {
+        return Status::TypeError("AND/OR operand is not boolean");
+      }
+      // Short circuit.
+      if (kind_ == Kind::kAnd && !lhs.bool_value()) return Value(false);
+      if (kind_ == Kind::kOr && lhs.bool_value()) return Value(true);
+      MOST_ASSIGN_OR_RETURN(Value rhs, children_[1]->Eval(schema, row));
+      if (rhs.type() != ValueType::kBool) {
+        return Status::TypeError("AND/OR operand is not boolean");
+      }
+      return rhs;
+    }
+    case Kind::kNot: {
+      MOST_ASSIGN_OR_RETURN(Value v, children_[0]->Eval(schema, row));
+      if (v.type() != ValueType::kBool) {
+        return Status::TypeError("NOT operand is not boolean");
+      }
+      return Value(!v.bool_value());
+    }
+    case Kind::kArith: {
+      MOST_ASSIGN_OR_RETURN(Value lhs, children_[0]->Eval(schema, row));
+      MOST_ASSIGN_OR_RETURN(Value rhs, children_[1]->Eval(schema, row));
+      MOST_ASSIGN_OR_RETURN(double a, lhs.AsDouble());
+      MOST_ASSIGN_OR_RETURN(double b, rhs.AsDouble());
+      switch (arith_op_) {
+        case ArithOp::kAdd:
+          return Value(a + b);
+        case ArithOp::kSub:
+          return Value(a - b);
+        case ArithOp::kMul:
+          return Value(a * b);
+        case ArithOp::kDiv:
+          if (b == 0.0) return Status::InvalidArgument("division by zero");
+          return Value(a / b);
+      }
+      return Status::Internal("bad arith op");
+    }
+  }
+  return Status::Internal("bad expr kind");
+}
+
+void Expr::CollectColumns(std::set<std::string>* out) const {
+  if (kind_ == Kind::kColumn) out->insert(column_);
+  for (const ExprPtr& c : children_) c->CollectColumns(out);
+}
+
+bool Expr::Equals(const Expr& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kLiteral:
+      if (!(literal_ == other.literal_) ||
+          literal_.type() != other.literal_.type()) {
+        return false;
+      }
+      break;
+    case Kind::kColumn:
+      if (column_ != other.column_) return false;
+      break;
+    case Kind::kCompare:
+      if (cmp_op_ != other.cmp_op_) return false;
+      break;
+    case Kind::kArith:
+      if (arith_op_ != other.arith_op_) return false;
+      break;
+    default:
+      break;
+  }
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+std::string_view CmpOpToString(Expr::CmpOp op) {
+  switch (op) {
+    case Expr::CmpOp::kEq:
+      return "=";
+    case Expr::CmpOp::kNe:
+      return "!=";
+    case Expr::CmpOp::kLt:
+      return "<";
+    case Expr::CmpOp::kLe:
+      return "<=";
+    case Expr::CmpOp::kGt:
+      return ">";
+    case Expr::CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string_view ArithOpToString(Expr::ArithOp op) {
+  switch (op) {
+    case Expr::ArithOp::kAdd:
+      return "+";
+    case Expr::ArithOp::kSub:
+      return "-";
+    case Expr::ArithOp::kMul:
+      return "*";
+    case Expr::ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kLiteral:
+      os << literal_;
+      break;
+    case Kind::kColumn:
+      os << column_;
+      break;
+    case Kind::kCompare:
+      os << "(" << children_[0]->ToString() << " " << CmpOpToString(cmp_op_)
+         << " " << children_[1]->ToString() << ")";
+      break;
+    case Kind::kAnd:
+      os << "(" << children_[0]->ToString() << " AND "
+         << children_[1]->ToString() << ")";
+      break;
+    case Kind::kOr:
+      os << "(" << children_[0]->ToString() << " OR "
+         << children_[1]->ToString() << ")";
+      break;
+    case Kind::kNot:
+      os << "(NOT " << children_[0]->ToString() << ")";
+      break;
+    case Kind::kArith:
+      os << "(" << children_[0]->ToString() << " "
+         << ArithOpToString(arith_op_) << " " << children_[1]->ToString()
+         << ")";
+      break;
+  }
+  return os.str();
+}
+
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind() == Expr::Kind::kAnd) {
+    SplitConjuncts(expr->children()[0], out);
+    SplitConjuncts(expr->children()[1], out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+bool IsBoolLiteral(const ExprPtr& expr, bool value) {
+  return expr != nullptr && expr->kind() == Expr::Kind::kLiteral &&
+         expr->literal().type() == ValueType::kBool &&
+         expr->literal().bool_value() == value;
+}
+
+ExprPtr SimplifyExpr(const ExprPtr& expr) {
+  if (expr == nullptr) return expr;
+  switch (expr->kind()) {
+    case Expr::Kind::kAnd: {
+      ExprPtr lhs = SimplifyExpr(expr->children()[0]);
+      ExprPtr rhs = SimplifyExpr(expr->children()[1]);
+      if (IsBoolLiteral(lhs, false) || IsBoolLiteral(rhs, false)) {
+        return Expr::False();
+      }
+      if (IsBoolLiteral(lhs, true)) return rhs;
+      if (IsBoolLiteral(rhs, true)) return lhs;
+      return Expr::And(std::move(lhs), std::move(rhs));
+    }
+    case Expr::Kind::kOr: {
+      ExprPtr lhs = SimplifyExpr(expr->children()[0]);
+      ExprPtr rhs = SimplifyExpr(expr->children()[1]);
+      if (IsBoolLiteral(lhs, true) || IsBoolLiteral(rhs, true)) {
+        return Expr::True();
+      }
+      if (IsBoolLiteral(lhs, false)) return rhs;
+      if (IsBoolLiteral(rhs, false)) return lhs;
+      return Expr::Or(std::move(lhs), std::move(rhs));
+    }
+    case Expr::Kind::kNot: {
+      ExprPtr inner = SimplifyExpr(expr->children()[0]);
+      if (IsBoolLiteral(inner, true)) return Expr::False();
+      if (IsBoolLiteral(inner, false)) return Expr::True();
+      return Expr::Not(std::move(inner));
+    }
+    default:
+      return expr;
+  }
+}
+
+ExprPtr SubstituteAtom(const ExprPtr& expr, const ExprPtr& atom,
+                       const ExprPtr& replacement) {
+  if (expr == nullptr) return nullptr;
+  if (expr->Equals(*atom)) return replacement;
+  switch (expr->kind()) {
+    case Expr::Kind::kAnd:
+      return Expr::And(SubstituteAtom(expr->children()[0], atom, replacement),
+                       SubstituteAtom(expr->children()[1], atom, replacement));
+    case Expr::Kind::kOr:
+      return Expr::Or(SubstituteAtom(expr->children()[0], atom, replacement),
+                      SubstituteAtom(expr->children()[1], atom, replacement));
+    case Expr::Kind::kNot:
+      return Expr::Not(SubstituteAtom(expr->children()[0], atom, replacement));
+    default:
+      // Atoms (comparisons, literals, arithmetic) are replaced wholesale or
+      // left alone; no recursion below boolean structure is needed for the
+      // Section 5.1 rewriting.
+      return expr;
+  }
+}
+
+}  // namespace most

@@ -1,0 +1,98 @@
+#ifndef MOST_STORAGE_EXPRESSION_H_
+#define MOST_STORAGE_EXPRESSION_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace most {
+
+class Expr;
+/// Expressions are immutable and shared; rewrites (e.g. the Section 5.1
+/// dynamic-atom elimination) build new trees that reuse untouched subtrees.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// A scalar/boolean expression over the columns of one schema: literals,
+/// column references, comparisons, boolean connectives and arithmetic.
+/// This is the WHERE-clause language of the host DBMS.
+class Expr {
+ public:
+  enum class Kind {
+    kLiteral,
+    kColumn,
+    kCompare,
+    kAnd,
+    kOr,
+    kNot,
+    kArith,
+  };
+  enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+  enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+  static ExprPtr Literal(Value v);
+  static ExprPtr True() { return Literal(Value(true)); }
+  static ExprPtr False() { return Literal(Value(false)); }
+  static ExprPtr Column(std::string name);
+  static ExprPtr Compare(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Not(ExprPtr operand);
+  static ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+
+  Kind kind() const { return kind_; }
+  const Value& literal() const { return literal_; }
+  const std::string& column() const { return column_; }
+  CmpOp cmp_op() const { return cmp_op_; }
+  ArithOp arith_op() const { return arith_op_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  /// Evaluates against one row. Type errors surface as statuses.
+  Result<Value> Eval(const Schema& schema, const Row& row) const;
+
+  /// Names of all columns referenced anywhere in the tree.
+  void CollectColumns(std::set<std::string>* out) const;
+
+  /// Structural identity (used by the rewriter to locate atoms).
+  bool Equals(const Expr& other) const;
+
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  Kind kind_ = Kind::kLiteral;
+  Value literal_;
+  std::string column_;
+  CmpOp cmp_op_ = CmpOp::kEq;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  std::vector<ExprPtr> children_;
+};
+
+std::string_view CmpOpToString(Expr::CmpOp op);
+std::string_view ArithOpToString(Expr::ArithOp op);
+
+/// Splits a boolean expression into its top-level AND conjuncts.
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out);
+
+/// Replaces every occurrence of `atom` (by structural equality) in `expr`
+/// with `replacement`, returning the rewritten tree. This is the primitive
+/// behind the paper's F = (F' AND p) OR (F'' AND NOT p) decomposition.
+ExprPtr SubstituteAtom(const ExprPtr& expr, const ExprPtr& atom,
+                       const ExprPtr& replacement);
+
+/// Boolean constant folding: AND/OR/NOT over TRUE/FALSE literals collapse
+/// (e.g. `x AND FALSE` -> FALSE, `x OR FALSE` -> x). Decomposition
+/// branches whose WHERE folds to FALSE need no host query at all.
+ExprPtr SimplifyExpr(const ExprPtr& expr);
+
+/// True if the expression is the literal boolean `value`.
+bool IsBoolLiteral(const ExprPtr& expr, bool value);
+
+}  // namespace most
+
+#endif  // MOST_STORAGE_EXPRESSION_H_

@@ -1,0 +1,38 @@
+#include "storage/schema.h"
+
+#include <sstream>
+
+namespace most {
+
+Status Schema::Validate(const std::vector<Value>& values) const {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) +
+        " does not match schema arity " + std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].is_null()) continue;
+    ValueType vt = values[i].type();
+    ValueType ct = columns_[i].type;
+    bool ok = vt == ct || (ct == ValueType::kDouble && vt == ValueType::kInt);
+    if (!ok) {
+      return Status::TypeError("column '" + columns_[i].name + "' expects " +
+                               std::string(ValueTypeToString(ct)) + ", got " +
+                               std::string(ValueTypeToString(vt)));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os << ", ";
+    os << columns_[i].name << " " << ValueTypeToString(columns_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace most

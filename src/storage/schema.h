@@ -1,0 +1,60 @@
+#ifndef MOST_STORAGE_SCHEMA_H_
+#define MOST_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace most {
+
+/// One column of a relation.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// Ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of a column by name, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == name) return i;
+    }
+    return Status::NotFound("no column named '" + name + "'");
+  }
+
+  bool HasColumn(const std::string& name) const {
+    return IndexOf(name).ok();
+  }
+
+  /// Checks that `values` is assignable to this schema (arity and types;
+  /// kNull is assignable anywhere, ints are assignable to double columns).
+  Status Validate(const std::vector<Value>& values) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A row. Rows are plain value vectors; interpretation requires a schema.
+using Row = std::vector<Value>;
+
+/// Identifies a row within a table for the lifetime of the table (row ids
+/// are never reused).
+using RowId = uint64_t;
+inline constexpr RowId kInvalidRowId = ~RowId{0};
+
+}  // namespace most
+
+#endif  // MOST_STORAGE_SCHEMA_H_

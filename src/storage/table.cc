@@ -1,0 +1,106 @@
+#include "storage/table.h"
+
+namespace most {
+
+Result<RowId> Table::Insert(Row row) {
+  MOST_RETURN_IF_ERROR(schema_.Validate(row));
+  RowId rid = next_rid_++;
+  IndexInsert(rid, row);
+  rows_.emplace(rid, std::move(row));
+  return rid;
+}
+
+Status Table::RestoreRow(RowId rid, Row row) {
+  MOST_RETURN_IF_ERROR(schema_.Validate(row));
+  if (rows_.count(rid) > 0) {
+    return Status::AlreadyExists("row " + std::to_string(rid));
+  }
+  next_rid_ = std::max(next_rid_, rid + 1);
+  IndexInsert(rid, row);
+  rows_.emplace(rid, std::move(row));
+  return Status::OK();
+}
+
+Status Table::Delete(RowId rid) {
+  auto it = rows_.find(rid);
+  if (it == rows_.end()) {
+    return Status::NotFound("row " + std::to_string(rid) + " in " + name_);
+  }
+  IndexErase(rid, it->second);
+  rows_.erase(it);
+  return Status::OK();
+}
+
+Status Table::Update(RowId rid, Row row) {
+  MOST_RETURN_IF_ERROR(schema_.Validate(row));
+  auto it = rows_.find(rid);
+  if (it == rows_.end()) {
+    return Status::NotFound("row " + std::to_string(rid) + " in " + name_);
+  }
+  IndexErase(rid, it->second);
+  it->second = std::move(row);
+  IndexInsert(rid, it->second);
+  return Status::OK();
+}
+
+Status Table::UpdateColumn(RowId rid, size_t column, Value value) {
+  auto it = rows_.find(rid);
+  if (it == rows_.end()) {
+    return Status::NotFound("row " + std::to_string(rid) + " in " + name_);
+  }
+  if (column >= schema_.num_columns()) {
+    return Status::OutOfRange("column index " + std::to_string(column));
+  }
+  Row updated = it->second;
+  updated[column] = std::move(value);
+  MOST_RETURN_IF_ERROR(schema_.Validate(updated));
+  IndexErase(rid, it->second);
+  it->second = std::move(updated);
+  IndexInsert(rid, it->second);
+  return Status::OK();
+}
+
+const Row* Table::Get(RowId rid) const {
+  auto it = rows_.find(rid);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+void Table::Scan(const std::function<void(RowId, const Row&)>& fn) const {
+  for (const auto& [rid, row] : rows_) {
+    fn(rid, row);
+  }
+}
+
+Status Table::CreateIndex(const std::string& column_name) {
+  if (indexes_.count(column_name) > 0) {
+    return Status::AlreadyExists("index on " + name_ + "." + column_name);
+  }
+  MOST_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column_name));
+  SecondaryIndex index;
+  index.column = col;
+  index.tree = std::make_unique<BPlusTree>();
+  for (const auto& [rid, row] : rows_) {
+    index.tree->Insert(row[col], rid);
+  }
+  indexes_.emplace(column_name, std::move(index));
+  return Status::OK();
+}
+
+const BPlusTree* Table::GetIndex(const std::string& column_name) const {
+  auto it = indexes_.find(column_name);
+  return it == indexes_.end() ? nullptr : it->second.tree.get();
+}
+
+void Table::IndexInsert(RowId rid, const Row& row) {
+  for (auto& [name, index] : indexes_) {
+    index.tree->Insert(row[index.column], rid);
+  }
+}
+
+void Table::IndexErase(RowId rid, const Row& row) {
+  for (auto& [name, index] : indexes_) {
+    index.tree->Erase(row[index.column], rid);
+  }
+}
+
+}  // namespace most

@@ -1,0 +1,76 @@
+#ifndef MOST_STORAGE_TABLE_H_
+#define MOST_STORAGE_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/btree.h"
+#include "storage/schema.h"
+
+namespace most {
+
+/// A heap-organized relation with optional secondary B+-tree indexes.
+/// Row ids are assigned monotonically and never reused, so scans iterate in
+/// insertion order and callers can hold RowIds across updates.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Validates the row against the schema and stores it.
+  Result<RowId> Insert(Row row);
+
+  /// Inserts with a caller-chosen row id (WAL replay / checkpoint load).
+  /// Fails if the id is taken; future Insert() ids continue after it.
+  Status RestoreRow(RowId rid, Row row);
+
+  Status Delete(RowId rid);
+
+  /// Replaces the whole row (indexes are maintained).
+  Status Update(RowId rid, Row row);
+
+  /// Replaces one column value.
+  Status UpdateColumn(RowId rid, size_t column, Value value);
+
+  /// The stored row, or nullptr if the id is absent.
+  const Row* Get(RowId rid) const;
+
+  /// Visits all rows in RowId (insertion) order.
+  void Scan(const std::function<void(RowId, const Row&)>& fn) const;
+
+  /// Builds a secondary index over `column_name`, indexing existing rows.
+  Status CreateIndex(const std::string& column_name);
+
+  /// The index over `column_name`, or nullptr.
+  const BPlusTree* GetIndex(const std::string& column_name) const;
+
+ private:
+  struct SecondaryIndex {
+    size_t column = 0;
+    std::unique_ptr<BPlusTree> tree;
+  };
+
+  void IndexInsert(RowId rid, const Row& row);
+  void IndexErase(RowId rid, const Row& row);
+
+  std::string name_;
+  Schema schema_;
+  std::map<RowId, Row> rows_;
+  RowId next_rid_ = 0;
+  std::map<std::string, SecondaryIndex> indexes_;
+};
+
+}  // namespace most
+
+#endif  // MOST_STORAGE_TABLE_H_

@@ -1,0 +1,85 @@
+#include "storage/value.h"
+
+#include <sstream>
+
+namespace most {
+
+std::string_view ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+Result<double> Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(int_value());
+    case ValueType::kDouble:
+      return double_value();
+    default:
+      return Status::TypeError("value " + ToString() + " is not numeric");
+  }
+}
+
+int Value::Compare(const Value& o) const {
+  // Numeric tower: int/double compare by value.
+  if (is_numeric() && o.is_numeric()) {
+    double a = type() == ValueType::kInt ? static_cast<double>(int_value())
+                                         : double_value();
+    double b = o.type() == ValueType::kInt
+                   ? static_cast<double>(o.int_value())
+                   : o.double_value();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (type() != o.type()) {
+    return static_cast<int>(type()) < static_cast<int>(o.type()) ? -1 : 1;
+  }
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return static_cast<int>(bool_value()) - static_cast<int>(o.bool_value());
+    case ValueType::kString: {
+      int c = string_value().compare(o.string_value());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return 0;  // Unreachable: numeric handled above.
+  }
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return os << "NULL";
+    case ValueType::kBool:
+      return os << (v.bool_value() ? "true" : "false");
+    case ValueType::kInt:
+      return os << v.int_value();
+    case ValueType::kDouble:
+      return os << v.double_value();
+    case ValueType::kString:
+      return os << '"' << v.string_value() << '"';
+  }
+  return os;
+}
+
+}  // namespace most

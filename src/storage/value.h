@@ -1,0 +1,92 @@
+#ifndef MOST_STORAGE_VALUE_H_
+#define MOST_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace most {
+
+/// Column/value types of the host relational engine. Dynamic attributes are
+/// a MOST-layer concept; at the storage layer they appear as their three
+/// ordinary sub-attribute columns (value: kDouble, updatetime: kInt,
+/// function: kString-encoded), exactly as Section 5.1 of the paper
+/// prescribes for implementing MOST on top of a DBMS.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+};
+
+std::string_view ValueTypeToString(ValueType t);
+
+/// A dynamically typed value. Ordered comparisons require identical types
+/// except for the numeric tower (int and double compare numerically).
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(bool b) : rep_(b) {}
+  explicit Value(int64_t i) : rep_(i) {}
+  explicit Value(int i) : rep_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : rep_(d) {}
+  explicit Value(std::string s) : rep_(std::move(s)) {}
+  explicit Value(const char* s) : rep_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (rep_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kBool;
+      case 2:
+        return ValueType::kInt;
+      case 3:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  bool bool_value() const { return std::get<bool>(rep_); }
+  int64_t int_value() const { return std::get<int64_t>(rep_); }
+  double double_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: ints widen to double. Error for other types.
+  Result<double> AsDouble() const;
+
+  bool is_numeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  /// Three-way comparison. Null compares equal to null and less than
+  /// everything else; cross-type numeric comparisons are by value; other
+  /// cross-type comparisons order by type tag (total order for index keys).
+  int Compare(const Value& o) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace most
+
+#endif  // MOST_STORAGE_VALUE_H_

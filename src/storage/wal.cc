@@ -1,0 +1,347 @@
+#include "storage/wal.h"
+
+#include <cinttypes>
+#include <cstring>
+#include <sstream>
+
+namespace most {
+
+namespace {
+
+// Field escaping: '%', '|', ',', ':', newline, CR.
+std::string Escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '%':
+        out += "%25";
+        break;
+      case '|':
+        out += "%7C";
+        break;
+      case ',':
+        out += "%2C";
+        break;
+      case ':':
+        out += "%3A";
+        break;
+      case '\n':
+        out += "%0A";
+        break;
+      case '\r':
+        out += "%0D";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unescape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '%') {
+      out += in[i];
+      continue;
+    }
+    if (i + 2 >= in.size()) {
+      return Status::Corruption("truncated escape sequence");
+    }
+    auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    int hi = hex(in[i + 1]);
+    int lo = hex(in[i + 2]);
+    if (hi < 0 || lo < 0) return Status::Corruption("bad escape sequence");
+    out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return out;
+}
+
+std::string EncodeValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "N";
+    case ValueType::kBool:
+      return v.bool_value() ? "B1" : "B0";
+    case ValueType::kInt:
+      return "I" + std::to_string(v.int_value());
+    case ValueType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "D%.17g", v.double_value());
+      return buf;
+    }
+    case ValueType::kString:
+      return "S" + Escape(v.string_value());
+  }
+  return "N";
+}
+
+Result<Value> DecodeValue(const std::string& in) {
+  if (in.empty()) return Status::Corruption("empty value encoding");
+  const std::string payload = in.substr(1);
+  switch (in[0]) {
+    case 'N':
+      return Value::Null();
+    case 'B':
+      return Value(payload == "1");
+    case 'I': {
+      char* end = nullptr;
+      int64_t v = std::strtoll(payload.c_str(), &end, 10);
+      if (end == payload.c_str() || *end != '\0') {
+        return Status::Corruption("bad int encoding: " + in);
+      }
+      return Value(v);
+    }
+    case 'D': {
+      char* end = nullptr;
+      double v = std::strtod(payload.c_str(), &end);
+      if (end == payload.c_str() || *end != '\0') {
+        return Status::Corruption("bad double encoding: " + in);
+      }
+      return Value(v);
+    }
+    case 'S': {
+      MOST_ASSIGN_OR_RETURN(std::string s, Unescape(payload));
+      return Value(std::move(s));
+    }
+    default:
+      return Status::Corruption("unknown value tag in: " + in);
+  }
+}
+
+std::string EncodeRow(const Row& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ',';
+    out += EncodeValue(row[i]);
+  }
+  return out;
+}
+
+Result<Row> DecodeRow(const std::string& in) {
+  Row row;
+  if (in.empty()) return row;
+  std::istringstream is(in);
+  std::string field;
+  while (std::getline(is, field, ',')) {
+    MOST_ASSIGN_OR_RETURN(Value v, DecodeValue(field));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+std::string EncodeSchema(const Schema& schema) {
+  std::string out;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i) out += ',';
+    out += Escape(schema.column(i).name);
+    out += ':';
+    out += std::to_string(static_cast<int>(schema.column(i).type));
+  }
+  return out;
+}
+
+Result<Schema> DecodeSchema(const std::string& in) {
+  std::vector<Column> columns;
+  if (in.empty()) return Schema(std::move(columns));
+  std::istringstream is(in);
+  std::string field;
+  while (std::getline(is, field, ',')) {
+    size_t colon = field.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::Corruption("bad schema column: " + field);
+    }
+    MOST_ASSIGN_OR_RETURN(std::string name, Unescape(field.substr(0, colon)));
+    int type = std::atoi(field.c_str() + colon + 1);
+    if (type < 0 || type > static_cast<int>(ValueType::kString)) {
+      return Status::Corruption("bad column type: " + field);
+    }
+    columns.push_back({std::move(name), static_cast<ValueType>(type)});
+  }
+  return Schema(std::move(columns));
+}
+
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == '|') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string body;
+  body += static_cast<char>(record.kind);
+  body += '|';
+  body += Escape(record.table);
+  switch (record.kind) {
+    case WalRecord::Kind::kCreateTable:
+      body += '|';
+      body += EncodeSchema(record.schema);
+      break;
+    case WalRecord::Kind::kInsert:
+    case WalRecord::Kind::kUpdate:
+      body += '|';
+      body += std::to_string(record.rid);
+      body += '|';
+      body += EncodeRow(record.row);
+      break;
+    case WalRecord::Kind::kDelete:
+      body += '|';
+      body += std::to_string(record.rid);
+      break;
+    case WalRecord::Kind::kCreateIndex:
+      body += '|';
+      body += Escape(record.column);
+      break;
+  }
+  // Length prefix guards against torn tail writes that happen to end in a
+  // newline.
+  return std::to_string(body.size()) + "|" + body;
+}
+
+Result<WalRecord> DecodeWalRecord(const std::string& line) {
+  size_t bar = line.find('|');
+  if (bar == std::string::npos) {
+    return Status::Corruption("missing length prefix");
+  }
+  char* end = nullptr;
+  uint64_t declared = std::strtoull(line.c_str(), &end, 10);
+  if (end != line.c_str() + bar) {
+    return Status::Corruption("bad length prefix");
+  }
+  std::string body = line.substr(bar + 1);
+  if (body.size() != declared) {
+    return Status::Corruption("length mismatch (torn record?)");
+  }
+  std::vector<std::string> fields = SplitFields(body);
+  if (fields.size() < 2 || fields[0].size() != 1) {
+    return Status::Corruption("malformed record: " + body);
+  }
+  WalRecord record;
+  record.kind = static_cast<WalRecord::Kind>(fields[0][0]);
+  MOST_ASSIGN_OR_RETURN(record.table, Unescape(fields[1]));
+  auto need = [&](size_t n) -> Status {
+    if (fields.size() != n) {
+      return Status::Corruption("wrong field count in: " + body);
+    }
+    return Status::OK();
+  };
+  switch (record.kind) {
+    case WalRecord::Kind::kCreateTable: {
+      MOST_RETURN_IF_ERROR(need(3));
+      MOST_ASSIGN_OR_RETURN(record.schema, DecodeSchema(fields[2]));
+      return record;
+    }
+    case WalRecord::Kind::kInsert:
+    case WalRecord::Kind::kUpdate: {
+      MOST_RETURN_IF_ERROR(need(4));
+      record.rid = std::strtoull(fields[2].c_str(), nullptr, 10);
+      MOST_ASSIGN_OR_RETURN(record.row, DecodeRow(fields[3]));
+      return record;
+    }
+    case WalRecord::Kind::kDelete: {
+      MOST_RETURN_IF_ERROR(need(3));
+      record.rid = std::strtoull(fields[2].c_str(), nullptr, 10);
+      return record;
+    }
+    case WalRecord::Kind::kCreateIndex: {
+      MOST_RETURN_IF_ERROR(need(3));
+      MOST_ASSIGN_OR_RETURN(record.column, Unescape(fields[2]));
+      return record;
+    }
+  }
+  return Status::Corruption("unknown record kind in: " + body);
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open WAL file: " + path);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  if (file_ == nullptr) return Status::Internal("WAL is not open");
+  std::string line = EncodeWalRecord(record);
+  line += '\n';
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::Internal("short WAL write");
+  }
+  return Flush();
+}
+
+Status WalWriter::Flush() {
+  if (file_ == nullptr) return Status::Internal("WAL is not open");
+  if (std::fflush(file_) != 0) return Status::Internal("WAL flush failed");
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<std::vector<WalRecord>> ReadWal(const std::string& path,
+                                       bool* tail_truncated) {
+  if (tail_truncated != nullptr) *tail_truncated = false;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::vector<WalRecord>{};  // No log yet.
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(file);
+
+  std::vector<WalRecord> records;
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    size_t nl = contents.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Torn tail write: the last record never completed.
+      if (tail_truncated != nullptr) *tail_truncated = true;
+      break;
+    }
+    std::string line = contents.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    Result<WalRecord> record = DecodeWalRecord(line);
+    if (!record.ok()) {
+      if (pos >= contents.size()) {
+        // Corrupt final record: treat like a torn tail.
+        if (tail_truncated != nullptr) *tail_truncated = true;
+        break;
+      }
+      return record.status();  // Mid-file corruption is fatal.
+    }
+    records.push_back(std::move(record).value());
+  }
+  return records;
+}
+
+}  // namespace most

@@ -1,0 +1,68 @@
+#ifndef MOST_STORAGE_WAL_H_
+#define MOST_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+
+namespace most {
+
+/// A logged mutation. The WAL is a line-oriented append-only file; each
+/// record is one escaped line, so a torn final write (crash mid-append)
+/// is detected as a truncated last line and ignored on replay.
+struct WalRecord {
+  enum class Kind : char {
+    kCreateTable = 'T',
+    kInsert = 'I',
+    kUpdate = 'U',
+    kDelete = 'D',
+    kCreateIndex = 'X',
+  };
+
+  Kind kind = Kind::kInsert;
+  std::string table;
+  RowId rid = kInvalidRowId;
+  Row row;             // kInsert / kUpdate.
+  Schema schema;       // kCreateTable.
+  std::string column;  // kCreateIndex.
+};
+
+/// Serializes a record as a single line (no trailing newline).
+std::string EncodeWalRecord(const WalRecord& record);
+/// Parses one line; Corruption on malformed input.
+Result<WalRecord> DecodeWalRecord(const std::string& line);
+
+/// Append-only writer with explicit flush-on-append ("the log is the
+/// database"; everything else is a cache, per the usual WAL discipline).
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens for appending (creates the file if absent).
+  Status Open(const std::string& path);
+  bool is_open() const { return file_ != nullptr; }
+
+  Status Append(const WalRecord& record);
+  Status Flush();
+  void Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Reads every complete record of a log file. A trailing partial line (torn
+/// write) is tolerated and reported via `tail_truncated`; corruption in the
+/// middle of the file is an error.
+Result<std::vector<WalRecord>> ReadWal(const std::string& path,
+                                       bool* tail_truncated = nullptr);
+
+}  // namespace most
+
+#endif  // MOST_STORAGE_WAL_H_

@@ -1,0 +1,33 @@
+#ifndef MOST_TEMPORAL_CLOCK_H_
+#define MOST_TEMPORAL_CLOCK_H_
+
+#include "common/types.h"
+
+namespace most {
+
+/// The special database object `time` (paper, Section 2): a global logical
+/// clock whose value increases by one per tick. Databases and simulators
+/// share one Clock so query timestamps and object motion stay consistent.
+class Clock {
+ public:
+  Clock() = default;
+  explicit Clock(Tick start) : now_(start) {}
+
+  Tick Now() const { return now_; }
+
+  /// Advances by `ticks` (default one clock tick).
+  void Advance(Tick ticks = 1) { now_ = TickSaturatingAdd(now_, ticks); }
+
+  /// Jumps to an absolute time; only forward jumps are allowed (time does
+  /// not flow backwards in a MOST database).
+  void AdvanceTo(Tick t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Tick now_ = 0;
+};
+
+}  // namespace most
+
+#endif  // MOST_TEMPORAL_CLOCK_H_

@@ -1,0 +1,40 @@
+#include "temporal/dynamic_attribute.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace most {
+
+std::vector<DynamicAttribute::LinearPiece> DynamicAttribute::LinearPieces(
+    Interval window) const {
+  std::vector<LinearPiece> out;
+  if (!window.valid()) return out;
+  const auto& pieces = function_.pieces();
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    // Absolute tick range of function piece i.
+    Tick abs_start = (i == 0)
+                         ? kTickMin  // First piece extrapolates backwards.
+                         : TickSaturatingAdd(updatetime_, pieces[i].start);
+    Tick abs_end = (i + 1 < pieces.size())
+                       ? TickSaturatingAdd(updatetime_, pieces[i + 1].start) - 1
+                       : kTickMax;
+    Tick lo = std::max(abs_start, window.begin);
+    Tick hi = std::min(abs_end, window.end);
+    if (lo > hi) continue;
+    LinearPiece piece;
+    piece.ticks = Interval(lo, hi);
+    piece.value_at_begin = ValueAt(lo);
+    piece.slope = pieces[i].slope;
+    out.push_back(piece);
+  }
+  return out;
+}
+
+std::string DynamicAttribute::ToString() const {
+  std::ostringstream os;
+  os << "{value=" << value_ << ", updatetime=" << updatetime_
+     << ", function=" << function_.ToString() << "}";
+  return os.str();
+}
+
+}  // namespace most

@@ -1,0 +1,74 @@
+#include "temporal/range_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace most {
+
+namespace {
+
+// Real t-range within [piece_lo, piece_hi] where value_at_begin +
+// slope * (t - piece_lo) lies in [lo, hi]; appends resulting tick interval.
+void SolvePiece(const DynamicAttribute::LinearPiece& piece, double lo,
+                double hi, std::vector<Interval>* out) {
+  const double t0 = static_cast<double>(piece.ticks.begin);
+  const double t1 = static_cast<double>(piece.ticks.end);
+  double lo_t, hi_t;
+  if (piece.slope == 0.0) {
+    if (piece.value_at_begin < lo || piece.value_at_begin > hi) return;
+    lo_t = t0;
+    hi_t = t1;
+  } else {
+    // value(t) = v0 + s * (t - t0); solve lo <= value(t) <= hi.
+    double ta = t0 + (lo - piece.value_at_begin) / piece.slope;
+    double tb = t0 + (hi - piece.value_at_begin) / piece.slope;
+    if (piece.slope < 0.0) std::swap(ta, tb);
+    lo_t = std::max(t0, ta);
+    hi_t = std::min(t1, tb);
+    if (lo_t > hi_t) return;
+  }
+  const double eps = 1e-9;
+  double first = std::ceil(lo_t - eps);
+  double last = std::floor(hi_t + eps);
+  if (first > last) return;
+  out->push_back(
+      Interval(static_cast<Tick>(first), static_cast<Tick>(last)));
+}
+
+}  // namespace
+
+IntervalSet TicksWhereInRange(const DynamicAttribute& attr, double lo,
+                              double hi, Interval window) {
+  std::vector<Interval> ticks;
+  for (const auto& piece : attr.LinearPieces(window)) {
+    SolvePiece(piece, lo, hi, &ticks);
+  }
+  return IntervalSet::FromIntervals(std::move(ticks)).Clamp(window);
+}
+
+IntervalSet TicksWhereCompared(const DynamicAttribute& attr, RangeCmp op,
+                               double bound, Interval window) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  switch (op) {
+    case RangeCmp::kLt: {
+      // Strict: complement of >= within the window.
+      IntervalSet ge = TicksWhereInRange(attr, bound, kInf, window);
+      return ge.Complement(window);
+    }
+    case RangeCmp::kLe:
+      return TicksWhereInRange(attr, -kInf, bound, window);
+    case RangeCmp::kGt: {
+      IntervalSet le = TicksWhereInRange(attr, -kInf, bound, window);
+      return le.Complement(window);
+    }
+    case RangeCmp::kGe:
+      return TicksWhereInRange(attr, bound, kInf, window);
+    case RangeCmp::kEq:
+      return TicksWhereInRange(attr, bound, bound, window);
+  }
+  return IntervalSet();
+}
+
+}  // namespace most

@@ -1,0 +1,25 @@
+#ifndef MOST_TEMPORAL_RANGE_QUERY_H_
+#define MOST_TEMPORAL_RANGE_QUERY_H_
+
+#include "common/interval.h"
+#include "temporal/dynamic_attribute.h"
+
+namespace most {
+
+/// The set of ticks in `window` at which `lo <= A(t) <= hi`. Solved
+/// exactly, piece by piece, from the attribute's (value, updatetime,
+/// function) representation — the primitive behind both the Section 4
+/// index's exact verification step and FTL comparisons over dynamic
+/// attributes. Either bound may be infinite.
+IntervalSet TicksWhereInRange(const DynamicAttribute& attr, double lo,
+                              double hi, Interval window);
+
+/// Ticks where A(t) compares against a constant: op in {<, <=, >, >=, =}.
+/// Equality uses a tolerance of 0 (exact); prefer ranges for floats.
+enum class RangeCmp { kLt, kLe, kGt, kGe, kEq };
+IntervalSet TicksWhereCompared(const DynamicAttribute& attr, RangeCmp op,
+                               double bound, Interval window);
+
+}  // namespace most
+
+#endif  // MOST_TEMPORAL_RANGE_QUERY_H_

@@ -1,0 +1,89 @@
+#include "workload/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace most {
+
+FleetGenerator::FleetGenerator(Options options)
+    : options_(options), rng_(options.seed) {
+  initial_.reserve(options_.num_vehicles);
+  for (size_t i = 0; i < options_.num_vehicles; ++i) {
+    ObjectState s;
+    s.id = static_cast<ObjectId>(i);
+    s.at = 0;
+    s.position = {rng_.UniformDouble(0, options_.area),
+                  rng_.UniformDouble(0, options_.area)};
+    s.velocity = RandomVelocity();
+    initial_.push_back(s);
+  }
+}
+
+Vec2 FleetGenerator::RandomVelocity() {
+  double speed = rng_.UniformDouble(options_.min_speed, options_.max_speed);
+  double heading = rng_.UniformDouble(0, 2.0 * M_PI);
+  return {speed * std::cos(heading), speed * std::sin(heading)};
+}
+
+std::vector<MotionUpdate> FleetGenerator::GenerateUpdates(Tick until) {
+  std::vector<MotionUpdate> updates;
+  for (const ObjectState& start : initial_) {
+    Point2 pos = start.position;
+    Vec2 vel = start.velocity;
+    Tick at = 0;
+    for (Tick t = 1; t <= until; ++t) {
+      Point2 next = pos + vel * static_cast<double>(t - at);
+      bool bounce = options_.bounce &&
+                    (next.x < 0 || next.x > options_.area || next.y < 0 ||
+                     next.y > options_.area);
+      bool turn = rng_.Bernoulli(options_.change_probability);
+      if (!bounce && !turn) continue;
+      Vec2 new_vel = RandomVelocity();
+      if (bounce) {
+        // Reflect instead of a random turn so the vehicle re-enters.
+        new_vel = vel;
+        if (next.x < 0 || next.x > options_.area) new_vel.x = -new_vel.x;
+        if (next.y < 0 || next.y > options_.area) new_vel.y = -new_vel.y;
+      }
+      pos = next;
+      vel = new_vel;
+      at = t;
+      updates.push_back({t, start.id, pos, vel});
+    }
+  }
+  std::sort(updates.begin(), updates.end(),
+            [](const MotionUpdate& a, const MotionUpdate& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.id < b.id;
+            });
+  return updates;
+}
+
+Status FleetGenerator::Populate(MostDatabase* db,
+                                const std::string& class_name) const {
+  if (!db->HasClass(class_name)) {
+    MOST_RETURN_IF_ERROR(
+        db->CreateClass(class_name, {}, /*spatial=*/true).status());
+  }
+  for (const ObjectState& s : initial_) {
+    MOST_RETURN_IF_ERROR(db->RestoreObject(class_name, s.id).status());
+    MOST_RETURN_IF_ERROR(
+        db->SetMotion(class_name, s.id, s.position, s.velocity));
+  }
+  return Status::OK();
+}
+
+Status FleetGenerator::Apply(MostDatabase* db, const std::string& class_name,
+                             const MotionUpdate& update) {
+  return db->SetMotion(class_name, update.id, update.position,
+                       update.velocity);
+}
+
+Polygon RandomRegion(Rng* rng, double area, double fraction) {
+  double side = area * std::sqrt(std::clamp(fraction, 0.0001, 1.0));
+  double x = rng->UniformDouble(0, area - side);
+  double y = rng->UniformDouble(0, area - side);
+  return Polygon::Rectangle({x, y}, {x + side, y + side});
+}
+
+}  // namespace most

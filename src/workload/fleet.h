@@ -1,0 +1,78 @@
+#ifndef MOST_WORKLOAD_FLEET_H_
+#define MOST_WORKLOAD_FLEET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/object_model.h"
+#include "distributed/network.h"
+
+namespace most {
+
+/// One scheduled motion-vector change of one vehicle: at tick `at` the
+/// vehicle is at `position` and switches to `velocity`. Positions are
+/// continuous across updates (vehicles do not teleport).
+struct MotionUpdate {
+  Tick at = 0;
+  ObjectId id = kInvalidObjectId;
+  Point2 position;
+  Vec2 velocity;
+};
+
+/// Deterministic generator of vehicles moving in a square area with
+/// piecewise-linear routes: each vehicle drives straight and occasionally
+/// changes speed/heading (a motion-vector update). This synthesizes the
+/// GPS-fed workload the paper assumes ("the computer can automatically
+/// update the motion vector of C when it senses a change in speed or
+/// direction").
+class FleetGenerator {
+ public:
+  struct Options {
+    size_t num_vehicles = 100;
+    double area = 1000.0;       ///< Side length of the [0, area]^2 world.
+    double min_speed = 0.5;
+    double max_speed = 3.0;
+    /// Per-vehicle per-tick probability of a motion-vector change.
+    double change_probability = 0.02;
+    /// Vehicles bounce off the area boundary.
+    bool bounce = true;
+    uint64_t seed = 1997;
+  };
+
+  explicit FleetGenerator(Options options);
+
+  const Options& options() const { return options_; }
+
+  /// Initial object states (motion vectors anchored at tick 0).
+  const std::vector<ObjectState>& initial_states() const { return initial_; }
+
+  /// Pre-computes the full update schedule up to `until` (sorted by tick).
+  /// Boundary bounces are injected as forced updates so vehicles stay in
+  /// the area.
+  std::vector<MotionUpdate> GenerateUpdates(Tick until);
+
+  /// Creates the spatial class `class_name` in `db` and inserts every
+  /// vehicle with its initial motion.
+  Status Populate(MostDatabase* db, const std::string& class_name) const;
+
+  /// Applies one update to a database previously Populate()d. The
+  /// database clock must already be at `update.at`.
+  static Status Apply(MostDatabase* db, const std::string& class_name,
+                      const MotionUpdate& update);
+
+ private:
+  Vec2 RandomVelocity();
+
+  Options options_;
+  Rng rng_;
+  std::vector<ObjectState> initial_;
+};
+
+/// A random axis-aligned rectangular region inside the fleet area,
+/// covering roughly `fraction` of it.
+Polygon RandomRegion(Rng* rng, double area, double fraction);
+
+}  // namespace most
+
+#endif  // MOST_WORKLOAD_FLEET_H_

@@ -1,0 +1,180 @@
+#include "storage/btree.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace most {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.Lookup(Value(5)).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, InsertAndLookup) {
+  BPlusTree tree;
+  tree.Insert(Value(5), 100);
+  tree.Insert(Value(3), 101);
+  tree.Insert(Value(5), 102);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.Lookup(Value(5)), (std::vector<RowId>{100, 102}));
+  EXPECT_EQ(tree.Lookup(Value(3)), (std::vector<RowId>{101}));
+  EXPECT_TRUE(tree.Lookup(Value(4)).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, EraseSpecificDuplicate) {
+  BPlusTree tree;
+  tree.Insert(Value(5), 100);
+  tree.Insert(Value(5), 102);
+  EXPECT_TRUE(tree.Erase(Value(5), 100));
+  EXPECT_EQ(tree.Lookup(Value(5)), (std::vector<RowId>{102}));
+  EXPECT_FALSE(tree.Erase(Value(5), 100));  // Already gone.
+  EXPECT_FALSE(tree.Erase(Value(9), 1));    // Never existed.
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeight) {
+  BPlusTree tree(/*fanout=*/4);
+  for (int i = 0; i < 100; ++i) tree.Insert(Value(i), static_cast<RowId>(i));
+  EXPECT_GT(tree.height(), 2);
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(tree.Lookup(Value(i)), (std::vector<RowId>{static_cast<RowId>(i)}));
+  }
+}
+
+TEST(BPlusTreeTest, RangeScanInclusiveExclusive) {
+  BPlusTree tree(/*fanout=*/4);
+  for (int i = 0; i < 20; ++i) tree.Insert(Value(i), static_cast<RowId>(i));
+  auto collect = [&](std::optional<Value> lo, bool li, std::optional<Value> hi,
+                     bool hi_inc) {
+    std::vector<int64_t> keys;
+    tree.ScanRange(lo, li, hi, hi_inc, [&](const Value& k, RowId) {
+      keys.push_back(k.int_value());
+    });
+    return keys;
+  };
+  EXPECT_EQ(collect(Value(5), true, Value(8), true),
+            (std::vector<int64_t>{5, 6, 7, 8}));
+  EXPECT_EQ(collect(Value(5), false, Value(8), false),
+            (std::vector<int64_t>{6, 7}));
+  EXPECT_EQ(collect(std::nullopt, true, Value(2), true),
+            (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(collect(Value(17), true, std::nullopt, true),
+            (std::vector<int64_t>{17, 18, 19}));
+  EXPECT_EQ(collect(Value(100), true, std::nullopt, true),
+            (std::vector<int64_t>{}));
+}
+
+TEST(BPlusTreeTest, StringKeys) {
+  BPlusTree tree(/*fanout=*/4);
+  for (const char* s : {"delta", "alpha", "echo", "bravo", "charlie"}) {
+    tree.Insert(Value(s), 1);
+  }
+  std::vector<std::string> keys;
+  tree.ScanRange(std::nullopt, true, std::nullopt, true,
+                 [&](const Value& k, RowId) {
+                   keys.push_back(k.string_value());
+                 });
+  EXPECT_EQ(keys, (std::vector<std::string>{"alpha", "bravo", "charlie",
+                                            "delta", "echo"}));
+}
+
+TEST(BPlusTreeTest, EraseEverythingShrinksToEmptyRoot) {
+  BPlusTree tree(/*fanout=*/4);
+  for (int i = 0; i < 64; ++i) tree.Insert(Value(i), static_cast<RowId>(i));
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(tree.Erase(Value(i), static_cast<RowId>(i))) << i;
+    EXPECT_TRUE(tree.CheckInvariants().ok()) << "after erasing " << i;
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 1);
+}
+
+// Property test: randomized insert/erase interleavings vs. std::multimap,
+// across fanouts (deep trees with fanout 4 exercise splits/merges heavily).
+struct BtreeParam {
+  uint64_t seed;
+  size_t fanout;
+};
+
+class BPlusTreePropertyTest
+    : public ::testing::TestWithParam<BtreeParam> {};
+
+TEST_P(BPlusTreePropertyTest, MatchesMultimapOracle) {
+  Rng rng(GetParam().seed);
+  BPlusTree tree(GetParam().fanout);
+  std::multimap<int64_t, RowId> oracle;
+  RowId next_rid = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    double action = rng.UniformDouble(0, 1);
+    if (action < 0.6 || oracle.empty()) {
+      int64_t key = rng.UniformInt(0, 200);
+      RowId rid = next_rid++;
+      tree.Insert(Value(key), rid);
+      oracle.emplace(key, rid);
+    } else {
+      // Erase a random existing entry.
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(oracle.size()) - 1));
+      auto it = oracle.begin();
+      std::advance(it, pick);
+      EXPECT_TRUE(tree.Erase(Value(it->first), it->second));
+      oracle.erase(it);
+    }
+    if (step % 250 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), oracle.size());
+
+  // Full scan must equal the oracle's sorted contents.
+  std::vector<std::pair<int64_t, RowId>> got;
+  tree.ScanRange(std::nullopt, true, std::nullopt, true,
+                 [&](const Value& k, RowId rid) {
+                   got.emplace_back(k.int_value(), rid);
+                 });
+  std::vector<std::pair<int64_t, RowId>> expected(oracle.begin(), oracle.end());
+  // The tree orders duplicates by rid; multimap preserves insertion order.
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+
+  // Random range scans.
+  for (int q = 0; q < 50; ++q) {
+    int64_t lo = rng.UniformInt(0, 200);
+    int64_t hi = std::min<int64_t>(200, lo + rng.UniformInt(0, 50));
+    std::vector<std::pair<int64_t, RowId>> scan;
+    tree.ScanRange(Value(lo), true, Value(hi), true,
+                   [&](const Value& k, RowId rid) {
+                     scan.emplace_back(k.int_value(), rid);
+                   });
+    std::vector<std::pair<int64_t, RowId>> want;
+    for (auto it = oracle.lower_bound(lo);
+         it != oracle.end() && it->first <= hi; ++it) {
+      want.emplace_back(it->first, it->second);
+    }
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(scan, want) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndFanouts, BPlusTreePropertyTest,
+    ::testing::Values(BtreeParam{1, 4}, BtreeParam{2, 4}, BtreeParam{3, 5},
+                      BtreeParam{4, 8}, BtreeParam{5, 64},
+                      BtreeParam{1997, 4}));
+
+}  // namespace
+}  // namespace most

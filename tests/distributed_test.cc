@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include "distributed/coordinator.h"
+#include "distributed/mobile_node.h"
+#include "distributed/network.h"
+#include "distributed/transmission.h"
+#include "ftl/parser.h"
+
+namespace most {
+namespace {
+
+ObjectState MakeState(ObjectId id, Point2 pos, Vec2 vel, Tick at = 0) {
+  ObjectState s;
+  s.id = id;
+  s.at = at;
+  s.position = pos;
+  s.velocity = vel;
+  return s;
+}
+
+TEST(SimNetworkTest, DeliversAfterLatency) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 2});
+  std::vector<Tick> received;
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode(
+      [&](const Message& m) { received.push_back(clock.Now()); });
+  net.Send(a, b, CancelQuery{1});
+  net.DeliverDue();
+  EXPECT_TRUE(received.empty());
+  clock.Advance(1);
+  net.DeliverDue();
+  EXPECT_TRUE(received.empty());
+  clock.Advance(1);
+  net.DeliverDue();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], 2);
+  EXPECT_EQ(net.stats().messages_sent, 1u);
+  EXPECT_EQ(net.stats().messages_delivered, 1u);
+}
+
+TEST(SimNetworkTest, DisconnectionDropsMessages) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 0});
+  int received = 0;
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([&](const Message&) { ++received; });
+  net.SetConnected(b, false);
+  net.Send(a, b, CancelQuery{1});
+  net.DeliverDue();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+  net.SetConnected(b, true);
+  net.Send(a, b, CancelQuery{1});
+  net.DeliverDue();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(SimNetworkTest, BroadcastReachesAllOthers) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 0});
+  int received = 0;
+  NodeId a = net.AddNode([&](const Message&) { ++received; });
+  net.AddNode([&](const Message&) { ++received; });
+  net.AddNode([&](const Message&) { ++received; });
+  net.Broadcast(a, CancelQuery{1});
+  net.DeliverDue();
+  EXPECT_EQ(received, 2);  // Not delivered to the sender.
+}
+
+TEST(SimNetworkTest, LossyLinkDropsRoughlyTheConfiguredFraction) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 0, .loss_probability = 0.3, .seed = 9});
+  int received = 0;
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([&](const Message&) { ++received; });
+  for (int i = 0; i < 1000; ++i) {
+    net.Send(a, b, CancelQuery{static_cast<uint64_t>(i)});
+  }
+  net.DeliverDue();
+  EXPECT_EQ(net.stats().messages_dropped,
+            1000u - static_cast<uint64_t>(received));
+  // Within a loose band around 30%.
+  EXPECT_GT(net.stats().messages_dropped, 200u);
+  EXPECT_LT(net.stats().messages_dropped, 400u);
+}
+
+TEST(SimNetworkTest, BytesAccounted) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 0});
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([](const Message&) {});
+  ObjectState s = MakeState(1, {0, 0}, {1, 1});
+  s.attrs["fuel"] = 10;
+  net.Send(a, b, s);
+  EXPECT_EQ(net.stats().bytes_sent, EstimateBytes(MessagePayload(s)));
+  EXPECT_GT(net.stats().bytes_sent, 0u);
+}
+
+class DistributedQueryTest : public ::testing::Test {
+ protected:
+  DistributedQueryTest()
+      : net_(&clock_, {.latency = 1}),
+        regions_({{"P", Polygon::Rectangle({0, 0}, {100, 100})}}),
+        coordinator_(&net_, &clock_, regions_) {
+    // Three vehicles: one inside P, one heading into P, one far away.
+    nodes_.push_back(std::make_unique<MobileNode>(
+        &net_, &clock_, MakeState(0, {50, 50}, {0, 0}), regions_));
+    nodes_.push_back(std::make_unique<MobileNode>(
+        &net_, &clock_, MakeState(1, {-20, 50}, {1, 0}), regions_));
+    nodes_.push_back(std::make_unique<MobileNode>(
+        &net_, &clock_, MakeState(2, {5000, 5000}, {0, 0}), regions_));
+  }
+
+  void Run(Tick until) {
+    while (clock_.Now() < until) {
+      clock_.Advance();
+      net_.DeliverDue();
+    }
+  }
+
+  FtlQuery Parse(const std::string& s) {
+    auto q = ParseQuery(s);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return *q;
+  }
+
+  Clock clock_;
+  SimNetwork net_;
+  std::map<std::string, Polygon> regions_;
+  Coordinator coordinator_;
+  std::vector<std::unique_ptr<MobileNode>> nodes_;
+};
+
+TEST_F(DistributedQueryTest, Classification) {
+  EXPECT_EQ(Coordinator::Classify(
+                Parse("RETRIEVE o FROM SELF o WHERE EVENTUALLY WITHIN 3 "
+                      "INSIDE(o, P)")),
+            DistQueryClass::kSelfReferencing);
+  EXPECT_EQ(Coordinator::Classify(
+                Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)")),
+            DistQueryClass::kObject);
+  EXPECT_EQ(Coordinator::Classify(
+                Parse("RETRIEVE o, n FROM CARS o, CARS n "
+                      "WHERE DIST(o, n) <= 2")),
+            DistQueryClass::kRelationship);
+  EXPECT_EQ(Coordinator::Classify(
+                Parse("RETRIEVE o, n FROM CARS o, CARS n "
+                      "WHERE INSIDE(o, P) AND INSIDE(n, P)")),
+            DistQueryClass::kRelationship);
+}
+
+TEST_F(DistributedQueryTest, SelfReferencingNeedsNoCommunication) {
+  FtlQuery q = Parse(
+      "RETRIEVE o FROM SELF o WHERE EVENTUALLY WITHIN 30 INSIDE(o, P)");
+  // Node 1 reaches P (x >= 0) at t=20 < 30.
+  auto when = nodes_[1]->EvaluateSelf(q, 256);
+  ASSERT_TRUE(when.ok()) << when.status();
+  EXPECT_FALSE(when->empty());
+  // Node 2 never reaches P.
+  auto never = nodes_[2]->EvaluateSelf(q, 256);
+  ASSERT_TRUE(never.ok());
+  EXPECT_TRUE(never->empty());
+  EXPECT_EQ(net_.stats().messages_sent, 0u);
+}
+
+TEST_F(DistributedQueryTest, ObjectQueryBroadcastOnlyMatchesReply) {
+  FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  uint64_t qid = coordinator_.IssueObjectQuery(
+      q, DistStrategy::kBroadcastFilter, /*continuous=*/false, 256);
+  Run(3);
+  auto matches = coordinator_.ReportedMatches(qid);
+  ASSERT_TRUE(matches.ok());
+  // Node 0 is inside now; node 1 enters later (still a future match
+  // within the horizon); node 2 never.
+  EXPECT_EQ(matches->size(), 2u);
+  EXPECT_TRUE(matches->count(0));
+  EXPECT_TRUE(matches->count(1));
+  // Messages: 3 requests broadcast + 2 replies.
+  EXPECT_EQ(net_.stats().messages_sent, 5u);
+}
+
+TEST_F(DistributedQueryTest, ObjectQueryCollectPullsEverything) {
+  FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  uint64_t qid = coordinator_.IssueObjectQuery(q, DistStrategy::kCollect,
+                                               /*continuous=*/false, 256);
+  Run(3);
+  auto state = coordinator_.GetState(qid);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ((*state)->replies, 3u);  // Every node ships its object.
+  auto rel = coordinator_.EvaluateCollected(qid);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_EQ(rel->rows.size(), 2u);
+  // 3 requests + 3 replies.
+  EXPECT_EQ(net_.stats().messages_sent, 6u);
+}
+
+TEST_F(DistributedQueryTest, BroadcastAndCollectAgree) {
+  FtlQuery q = Parse(
+      "RETRIEVE o FROM CARS o WHERE EVENTUALLY WITHIN 40 INSIDE(o, P)");
+  uint64_t bq = coordinator_.IssueObjectQuery(
+      q, DistStrategy::kBroadcastFilter, false, 256);
+  uint64_t cq =
+      coordinator_.IssueObjectQuery(q, DistStrategy::kCollect, false, 256);
+  Run(3);
+  auto matches = coordinator_.ReportedMatches(bq);
+  ASSERT_TRUE(matches.ok());
+  auto rel = coordinator_.EvaluateCollected(cq);
+  ASSERT_TRUE(rel.ok());
+  std::set<ObjectId> broadcast_ids, collect_ids;
+  for (const auto& [id, when] : *matches) broadcast_ids.insert(id);
+  for (const auto& [binding, when] : rel->rows) collect_ids.insert(binding[0]);
+  EXPECT_EQ(broadcast_ids, collect_ids);
+}
+
+TEST_F(DistributedQueryTest, ContinuousBroadcastPushesOnlyOnChange) {
+  FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  uint64_t qid = coordinator_.IssueObjectQuery(
+      q, DistStrategy::kBroadcastFilter, /*continuous=*/true, 512);
+  Run(3);
+  uint64_t after_setup = net_.stats().messages_sent;
+
+  // Motion changes on the far-away node that stays far away: it
+  // re-evaluates locally but its (empty) answer is unchanged -> silence.
+  nodes_[2]->UpdateMotion({5000, 5000}, {0.5, 0});
+  Run(5);
+  EXPECT_EQ(net_.stats().messages_sent, after_setup);
+
+  // Node 2 now turns towards P: its answer changes -> one push.
+  nodes_[2]->UpdateMotion({150, 50}, {-1, 0});
+  Run(7);
+  EXPECT_EQ(net_.stats().messages_sent, after_setup + 1);
+  auto matches = coordinator_.ReportedMatches(qid);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches->count(2));
+}
+
+TEST_F(DistributedQueryTest, RelationshipQueryEvaluatedCentrally) {
+  // Nodes 0 and 1 converge; their distance drops below 40 eventually.
+  FtlQuery q = Parse(
+      "RETRIEVE o, n FROM CARS o, CARS n "
+      "WHERE EVENTUALLY DIST(o, n) <= 40");
+  uint64_t qid = coordinator_.IssueRelationshipQuery(q, 256);
+  Run(3);
+  auto rel = coordinator_.EvaluateCollected(qid);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  bool pair_01 = false;
+  for (const auto& [binding, when] : rel->rows) {
+    if ((binding[0] == 0 && binding[1] == 1) ||
+        (binding[0] == 1 && binding[1] == 0)) {
+      pair_01 = true;
+    }
+  }
+  EXPECT_TRUE(pair_01);
+}
+
+TEST(AnswerTransmissionTest, ImmediateUnlimitedSendsOneBlock) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  NodeId server = net.AddNode(nullptr);
+  AnswerClient client(&clock);
+  NodeId client_node = net.AddNode(nullptr);
+  client.Attach(&net, client_node);
+
+  AnswerTransmitter tx(&net, &clock, server, client_node, 1,
+                       {TransmissionMode::kImmediate, 0, 1});
+  tx.SetAnswer({{{7}, Interval(5, 10)}, {{8}, Interval(3, 4)}});
+  clock.Advance();
+  net.DeliverDue();
+  EXPECT_EQ(client.blocks_received(), 1u);
+  EXPECT_EQ(client.buffered(), 2u);
+  clock.AdvanceTo(6);
+  net.DeliverDue();
+  client.Compact();
+  auto display = client.Display();
+  ASSERT_EQ(display.size(), 1u);
+  EXPECT_EQ(display[0], (std::vector<ObjectId>{7}));
+}
+
+TEST(AnswerTransmissionTest, MemoryLimitedBlocksRespectBudget) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 0});
+  NodeId server = net.AddNode(nullptr);
+  AnswerClient client(&clock);
+  NodeId client_node = net.AddNode(nullptr);
+  client.Attach(&net, client_node);
+
+  AnswerTransmitter tx(&net, &clock, server, client_node, 1,
+                       {TransmissionMode::kImmediate, 2, 0});
+  tx.SetAnswer({{{1}, Interval(0, 2)},
+                {{2}, Interval(1, 3)},
+                {{3}, Interval(5, 6)},
+                {{4}, Interval(7, 8)}});
+  for (Tick t = 0; t <= 10; ++t) {
+    clock.AdvanceTo(t);
+    tx.Step();
+    net.DeliverDue();
+    client.Compact();
+    EXPECT_LE(client.buffered(), 2u) << "t=" << t;
+  }
+  EXPECT_EQ(client.blocks_received(), 2u);
+  EXPECT_EQ(tx.tuples_pending(), 0u);
+}
+
+TEST(AnswerTransmissionTest, DelayedSendsEachTupleAtItsBegin) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  NodeId server = net.AddNode(nullptr);
+  AnswerClient client(&clock);
+  NodeId client_node = net.AddNode(nullptr);
+  client.Attach(&net, client_node);
+
+  AnswerTransmitter tx(&net, &clock, server, client_node, 1,
+                       {TransmissionMode::kDelayed, 0, 1});
+  tx.SetAnswer({{{1}, Interval(3, 5)}, {{2}, Interval(8, 9)}});
+  std::map<Tick, size_t> display_sizes;
+  for (Tick t = 0; t <= 10; ++t) {
+    clock.AdvanceTo(t);
+    tx.Step();
+    net.DeliverDue();
+    client.Compact();
+    display_sizes[t] = client.Display().size();
+  }
+  EXPECT_EQ(display_sizes[2], 0u);
+  EXPECT_EQ(display_sizes[3], 1u);  // Arrived exactly at begin.
+  EXPECT_EQ(display_sizes[5], 1u);
+  EXPECT_EQ(display_sizes[6], 0u);
+  EXPECT_EQ(display_sizes[8], 1u);
+  EXPECT_EQ(display_sizes[10], 0u);
+  EXPECT_EQ(client.peak_buffered(), 1u);  // Never more than one tuple held.
+  EXPECT_EQ(net.stats().messages_sent, 2u);
+}
+
+}  // namespace
+}  // namespace most

@@ -1,0 +1,206 @@
+#include "ftl/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ftl/lexer.h"
+
+namespace most {
+namespace {
+
+TEST(LexerTest, TokenizesOperators) {
+  auto tokens = Tokenize("<= >= < > = != := <- ( ) [ ] , . + - * /");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kLe, TokenKind::kGe, TokenKind::kLt, TokenKind::kGt,
+                TokenKind::kEq, TokenKind::kNe, TokenKind::kAssignOp,
+                TokenKind::kAssignOp, TokenKind::kLParen, TokenKind::kRParen,
+                TokenKind::kLBracket, TokenKind::kRBracket, TokenKind::kComma,
+                TokenKind::kDot, TokenKind::kPlus, TokenKind::kMinus,
+                TokenKind::kStar, TokenKind::kSlash, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = Tokenize("3.25 100 'hello' \"world\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 3.25);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 100);
+  EXPECT_EQ((*tokens)[2].text, "hello");
+  EXPECT_EQ((*tokens)[3].text, "world");
+}
+
+TEST(LexerTest, DottedIdentifiersSplitOnDots) {
+  auto tokens = Tokenize("o.X.POSITION.value");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), 8u);  // o . X . POSITION . value END
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("a : b").ok());
+  EXPECT_FALSE(Tokenize("a # b").ok());
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("retrieve UnTiL");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("RETRIEVE"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("UNTIL"));
+  EXPECT_FALSE((*tokens)[1].IsKeyword("UNTILX"));
+}
+
+TEST(ParserTest, PaperQueryQ) {
+  // "Retrieve the pairs o, n such that the distance stays within 5 until
+  // they both enter polygon P" (Section 3.2).
+  auto q = ParseQuery(
+      "RETRIEVE o, n FROM MOVING o, MOVING n "
+      "WHERE DIST(o, n) <= 5 UNTIL (INSIDE(o, P) AND INSIDE(n, P))");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->retrieve, (std::vector<std::string>{"o", "n"}));
+  ASSERT_EQ(q->from.size(), 2u);
+  EXPECT_EQ(q->from[0].class_name, "MOVING");
+  EXPECT_EQ(q->from[1].var, "n");
+  ASSERT_NE(q->where, nullptr);
+  EXPECT_EQ(q->where->kind(), FtlFormula::Kind::kUntil);
+  EXPECT_EQ(q->where->children()[0]->kind(), FtlFormula::Kind::kCompare);
+  EXPECT_EQ(q->where->children()[1]->kind(), FtlFormula::Kind::kAnd);
+  EXPECT_TRUE(q->where->IsConjunctive());
+}
+
+TEST(ParserTest, PaperQueryI) {
+  // Objects entering P within 3 units with PRICE <= 100 (Section 3.4 I).
+  auto q = ParseQuery(
+      "RETRIEVE o FROM OBJECTS o "
+      "WHERE o.PRICE <= 100 AND EVENTUALLY WITHIN 3 INSIDE(o, P)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const FormulaPtr& w = q->where;
+  ASSERT_EQ(w->kind(), FtlFormula::Kind::kAnd);
+  EXPECT_EQ(w->children()[1]->kind(), FtlFormula::Kind::kEventuallyWithin);
+  EXPECT_EQ(w->children()[1]->bound(), 3);
+}
+
+TEST(ParserTest, PaperQueryII) {
+  auto q = ParseQuery(
+      "RETRIEVE o FROM OBJECTS o "
+      "WHERE EVENTUALLY WITHIN 3 (INSIDE(o, P) AND ALWAYS FOR 2 "
+      "INSIDE(o, P))");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->where->kind(), FtlFormula::Kind::kEventuallyWithin);
+  const FormulaPtr& inner = q->where->children()[0];
+  ASSERT_EQ(inner->kind(), FtlFormula::Kind::kAnd);
+  EXPECT_EQ(inner->children()[1]->kind(), FtlFormula::Kind::kAlwaysFor);
+  EXPECT_EQ(inner->children()[1]->bound(), 2);
+}
+
+TEST(ParserTest, PaperQueryIII) {
+  auto q = ParseQuery(
+      "RETRIEVE o FROM OBJECTS o "
+      "WHERE EVENTUALLY WITHIN 3 (INSIDE(o, P) AND ALWAYS FOR 2 INSIDE(o, P) "
+      "AND EVENTUALLY AFTER 5 INSIDE(o, Q))");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->where->kind(), FtlFormula::Kind::kEventuallyWithin);
+}
+
+TEST(ParserTest, AssignmentQuantifier) {
+  // Paper Section 3.3: [x <- q] Nexttime q != x.
+  auto f = ParseFormula("[x := o.HEIGHT] NEXTTIME o.HEIGHT != x");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ((*f)->kind(), FtlFormula::Kind::kAssign);
+  EXPECT_EQ((*f)->var(), "x");
+  EXPECT_EQ((*f)->children()[0]->kind(), FtlFormula::Kind::kNexttime);
+  // Arrow spelling works too.
+  EXPECT_TRUE(ParseFormula("[x <- o.HEIGHT] NEXTTIME o.HEIGHT != x").ok());
+}
+
+TEST(ParserTest, AttrPathsAndSubAttributes) {
+  auto f = ParseFormula("o.X.POSITION.value = 5 AND o.X.POSITION.updatetime "
+                        "<= time AND SPEED(o.X.POSITION) = 5");
+  ASSERT_TRUE(f.ok()) << f.status();
+  // Left-assoc AND: ((a AND b) AND c).
+  const FormulaPtr& c = (*f)->children()[1];
+  EXPECT_EQ(c->lhs_term()->kind(), FtlTerm::Kind::kAttrRef);
+  EXPECT_EQ(c->lhs_term()->attr(), "X.POSITION");
+  EXPECT_EQ(c->lhs_term()->sub(), FtlTerm::AttrSub::kSpeed);
+  const FormulaPtr& a = (*f)->children()[0]->children()[0];
+  EXPECT_EQ(a->lhs_term()->attr(), "X.POSITION");
+  EXPECT_EQ(a->lhs_term()->sub(), FtlTerm::AttrSub::kValue);
+  const FormulaPtr& b = (*f)->children()[0]->children()[1];
+  EXPECT_EQ(b->lhs_term()->sub(), FtlTerm::AttrSub::kUpdatetime);
+  EXPECT_EQ(b->rhs_term()->kind(), FtlTerm::Kind::kTime);
+}
+
+TEST(ParserTest, WithinSphere) {
+  auto f = ParseFormula("WITHIN_SPHERE(2.5, a, b, c)");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ((*f)->kind(), FtlFormula::Kind::kWithinSphere);
+  EXPECT_DOUBLE_EQ((*f)->radius(), 2.5);
+  EXPECT_EQ((*f)->sphere_vars(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto f = ParseFormula("o.A + 2 * 3 <= 10");
+  ASSERT_TRUE(f.ok()) << f.status();
+  const TermPtr& lhs = (*f)->lhs_term();
+  ASSERT_EQ(lhs->kind(), FtlTerm::Kind::kArith);
+  EXPECT_EQ(lhs->arith_op(), FtlTerm::ArithOp::kAdd);
+  EXPECT_EQ(lhs->children()[1]->arith_op(), FtlTerm::ArithOp::kMul);
+}
+
+TEST(ParserTest, UnaryMinusFoldsLiterals) {
+  auto f = ParseFormula("o.A >= -5");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_DOUBLE_EQ((*f)->rhs_term()->literal().double_value(), -5.0);
+}
+
+TEST(ParserTest, UntilIsRightAssociative) {
+  auto f = ParseFormula("TRUE UNTIL FALSE UNTIL TRUE");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ((*f)->kind(), FtlFormula::Kind::kUntil);
+  EXPECT_EQ((*f)->children()[1]->kind(), FtlFormula::Kind::kUntil);
+}
+
+TEST(ParserTest, UntilWithinBound) {
+  auto f = ParseFormula("INSIDE(o, P) UNTIL WITHIN 7 INSIDE(o, Q)");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ((*f)->kind(), FtlFormula::Kind::kUntilWithin);
+  EXPECT_EQ((*f)->bound(), 7);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("RETRIEVE FROM A o WHERE TRUE").ok());
+  EXPECT_FALSE(ParseQuery("RETRIEVE o WHERE TRUE").ok());
+  EXPECT_FALSE(ParseQuery("RETRIEVE o FROM A o").ok());
+  EXPECT_FALSE(ParseFormula("EVENTUALLY WITHIN -3 TRUE").ok());
+  EXPECT_FALSE(ParseFormula("EVENTUALLY WITHIN 1.5 TRUE").ok());
+  EXPECT_FALSE(ParseFormula("INSIDE(o P)").ok());
+  EXPECT_FALSE(ParseFormula("o.A <=").ok());
+  EXPECT_FALSE(ParseFormula("o.A <= 5 extra").ok());
+  EXPECT_FALSE(ParseFormula("[x := 5 NEXTTIME TRUE").ok());
+  EXPECT_FALSE(ParseFormula("WITHIN_SPHERE(5)").ok());
+}
+
+TEST(ParserTest, ToStringRoundTrips) {
+  const char* sources[] = {
+      "RETRIEVE o, n FROM MOVING o, MOVING n "
+      "WHERE DIST(o, n) <= 5 UNTIL (INSIDE(o, P) AND INSIDE(n, P))",
+      "RETRIEVE o FROM A o WHERE EVENTUALLY WITHIN 3 INSIDE(o, P)",
+      "RETRIEVE o FROM A o WHERE [x := SPEED(o.X.POSITION)] EVENTUALLY "
+      "SPEED(o.X.POSITION) >= x * 2",
+  };
+  for (const char* src : sources) {
+    auto q1 = ParseQuery(src);
+    ASSERT_TRUE(q1.ok()) << q1.status() << " for " << src;
+    // Parse the printed form; the second print must be identical.
+    auto q2 = ParseQuery(q1->ToString());
+    ASSERT_TRUE(q2.ok()) << q2.status() << " for printed form "
+                         << q1->ToString();
+    EXPECT_EQ(q1->ToString(), q2->ToString());
+  }
+}
+
+}  // namespace
+}  // namespace most

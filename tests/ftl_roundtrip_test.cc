@@ -1,0 +1,152 @@
+// Robustness tests for the FTL front end: printed formulas re-parse to the
+// same formula, and arbitrary input never crashes the lexer/parser (it
+// either parses or returns a ParseError status).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ftl/parser.h"
+
+namespace most {
+namespace {
+
+TermPtr RandomTerm(Rng* rng, int depth) {
+  if (depth <= 0) {
+    switch (rng->UniformInt(0, 4)) {
+      case 0:
+        return FtlTerm::Literal(
+            Value(static_cast<double>(rng->UniformInt(-50, 50))));
+      case 1:
+        return FtlTerm::AttrRef("o", "FUEL");
+      case 2:
+        return FtlTerm::AttrRef("n", "X.POSITION", FtlTerm::AttrSub::kValue);
+      case 3:
+        return FtlTerm::Time();
+      default:
+        return FtlTerm::AttrRef("o", "X.POSITION", FtlTerm::AttrSub::kSpeed);
+    }
+  }
+  switch (rng->UniformInt(0, 2)) {
+    case 0:
+      return FtlTerm::Arith(
+          static_cast<FtlTerm::ArithOp>(rng->UniformInt(0, 3)),
+          RandomTerm(rng, depth - 1), RandomTerm(rng, depth - 1));
+    case 1:
+      return FtlTerm::Dist("o", "n");
+    default:
+      return RandomTerm(rng, 0);
+  }
+}
+
+FormulaPtr RandomFormula(Rng* rng, int depth) {
+  if (depth <= 0) {
+    switch (rng->UniformInt(0, 4)) {
+      case 0:
+        return FtlFormula::Inside("o", "R1");
+      case 1:
+        return FtlFormula::Outside("n", "R2", "o");
+      case 2:
+        return FtlFormula::WithinSphere(2.5, {"o", "n"});
+      case 3:
+        return FtlFormula::BoolLit(rng->Bernoulli(0.5));
+      default:
+        return FtlFormula::Compare(
+            static_cast<FtlFormula::CmpOp>(rng->UniformInt(0, 5)),
+            RandomTerm(rng, 1), RandomTerm(rng, 1));
+    }
+  }
+  switch (rng->UniformInt(0, 10)) {
+    case 0:
+      return FtlFormula::And(RandomFormula(rng, depth - 1),
+                             RandomFormula(rng, depth - 1));
+    case 1:
+      return FtlFormula::Or(RandomFormula(rng, depth - 1),
+                            RandomFormula(rng, depth - 1));
+    case 2:
+      return FtlFormula::Not(RandomFormula(rng, depth - 1));
+    case 3:
+      return FtlFormula::Until(RandomFormula(rng, depth - 1),
+                               RandomFormula(rng, depth - 1));
+    case 4:
+      return FtlFormula::UntilWithin(rng->UniformInt(0, 20),
+                                     RandomFormula(rng, depth - 1),
+                                     RandomFormula(rng, depth - 1));
+    case 5:
+      return FtlFormula::Nexttime(RandomFormula(rng, depth - 1));
+    case 6:
+      return FtlFormula::EventuallyWithin(rng->UniformInt(0, 20),
+                                          RandomFormula(rng, depth - 1));
+    case 7:
+      return FtlFormula::AlwaysFor(rng->UniformInt(0, 20),
+                                   RandomFormula(rng, depth - 1));
+    case 8:
+      return FtlFormula::Assign("x", RandomTerm(rng, 1),
+                                FtlFormula::Compare(FtlFormula::CmpOp::kLe,
+                                                    FtlTerm::VarRef("x"),
+                                                    RandomTerm(rng, 0)));
+    case 9:
+      return FtlFormula::EventuallyAfter(rng->UniformInt(0, 20),
+                                         RandomFormula(rng, depth - 1));
+    default:
+      return rng->Bernoulli(0.5)
+                 ? FtlFormula::Eventually(RandomFormula(rng, depth - 1))
+                 : FtlFormula::Always(RandomFormula(rng, depth - 1));
+  }
+}
+
+class RoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripTest, PrintedFormulaReparsesIdentically) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    FormulaPtr f = RandomFormula(&rng, 3);
+    std::string printed = f->ToString();
+    auto reparsed = ParseFormula(printed);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << printed;
+    EXPECT_EQ((*reparsed)->ToString(), printed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 1997));
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(0xF022);
+  const char charset[] =
+      "RETRIEVEFROMWHEREUNTILANDORNOT()[]<>=!.,:*/+-0123456789 '\"abcxyz_";
+  for (int round = 0; round < 2000; ++round) {
+    size_t len = static_cast<size_t>(rng.UniformInt(0, 60));
+    std::string input;
+    for (size_t i = 0; i < len; ++i) {
+      input += charset[rng.UniformInt(0, sizeof(charset) - 2)];
+    }
+    // Must not crash; status may be OK or ParseError.
+    auto result = ParseQuery(input);
+    auto formula = ParseFormula(input);
+    (void)result;
+    (void)formula;
+  }
+}
+
+TEST(ParserFuzzTest, TokenSoupFromValidPieces) {
+  Rng rng(0x50FF);
+  const char* pieces[] = {"RETRIEVE", "o",        "FROM",     "CARS",
+                          "WHERE",    "INSIDE",   "(",        ")",
+                          ",",        "UNTIL",    "WITHIN",   "3",
+                          "EVENTUALLY", "ALWAYS", "FOR",      "[",
+                          "]",        ":=",       "o.A",      "<=",
+                          "5",        "AND",      "DIST",     "time"};
+  for (int round = 0; round < 2000; ++round) {
+    size_t len = static_cast<size_t>(rng.UniformInt(1, 15));
+    std::string input;
+    for (size_t i = 0; i < len; ++i) {
+      input += pieces[rng.UniformInt(0, 23)];
+      input += ' ';
+    }
+    (void)ParseQuery(input);
+    (void)ParseFormula(input);
+  }
+}
+
+}  // namespace
+}  // namespace most

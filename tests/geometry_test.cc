@@ -1,0 +1,200 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/mec.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+namespace most {
+namespace {
+
+TEST(Point2Test, Arithmetic) {
+  Point2 a(1, 2), b(3, 5);
+  EXPECT_EQ(a + b, Point2(4, 7));
+  EXPECT_EQ(b - a, Point2(2, 3));
+  EXPECT_EQ(a * 2.0, Point2(2, 4));
+  EXPECT_EQ(2.0 * a, Point2(2, 4));
+  EXPECT_DOUBLE_EQ(a.Dot(b), 13.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), -1.0);
+  EXPECT_DOUBLE_EQ(Point2(3, 4).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), std::sqrt(13.0));
+}
+
+TEST(MovingPointTest, PositionAtTime) {
+  MovingPoint2 p({1, 1}, {2, -1});
+  EXPECT_EQ(p.At(0), Point2(1, 1));
+  EXPECT_EQ(p.At(3), Point2(7, -2));
+  EXPECT_EQ(p.At(-1), Point2(-1, 2));
+  EXPECT_FALSE(p.IsStationary());
+  EXPECT_TRUE(MovingPoint2({5, 5}, {0, 0}).IsStationary());
+}
+
+TEST(PolygonTest, CreateValidation) {
+  EXPECT_FALSE(Polygon::Create({{0, 0}, {1, 1}}).ok());
+  EXPECT_FALSE(Polygon::Create({{0, 0}, {0, 0}, {1, 1}}).ok());
+  EXPECT_FALSE(Polygon::Create({{0, 0}, {1, 1}, {2, 2}}).ok());  // Collinear.
+  EXPECT_TRUE(Polygon::Create({{0, 0}, {4, 0}, {0, 4}}).ok());
+}
+
+TEST(PolygonTest, RectangleContains) {
+  Polygon r = Polygon::Rectangle({0, 0}, {10, 6});
+  EXPECT_TRUE(r.Contains({5, 3}));
+  EXPECT_TRUE(r.Contains({0, 0}));    // Vertex counts as inside.
+  EXPECT_TRUE(r.Contains({10, 3}));   // Edge counts as inside.
+  EXPECT_TRUE(r.Contains({5, 6}));
+  EXPECT_FALSE(r.Contains({10.001, 3}));
+  EXPECT_FALSE(r.Contains({-0.001, 0}));
+  EXPECT_FALSE(r.Contains({5, 7}));
+}
+
+TEST(PolygonTest, ConcavePolygon) {
+  // A "U" shape: the notch between the prongs is outside.
+  auto u = Polygon::Create({{0, 0}, {6, 0}, {6, 6}, {4, 6}, {4, 2},
+                            {2, 2}, {2, 6}, {0, 6}});
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE(u->Contains({1, 5}));    // Left prong.
+  EXPECT_TRUE(u->Contains({5, 5}));    // Right prong.
+  EXPECT_TRUE(u->Contains({3, 1}));    // Base.
+  EXPECT_FALSE(u->Contains({3, 4}));   // Notch.
+  EXPECT_FALSE(u->Contains({3, 6}));   // Above the notch.
+}
+
+TEST(PolygonTest, SignedAreaOrientation) {
+  Polygon ccw = Polygon::Rectangle({0, 0}, {2, 3});
+  EXPECT_DOUBLE_EQ(ccw.SignedArea(), 6.0);
+  auto cw = Polygon::Create({{0, 0}, {0, 3}, {2, 3}, {2, 0}});
+  ASSERT_TRUE(cw.ok());
+  EXPECT_DOUBLE_EQ(cw->SignedArea(), -6.0);
+  // Containment must not depend on orientation.
+  EXPECT_TRUE(cw->Contains({1, 1}));
+  EXPECT_FALSE(cw->Contains({3, 1}));
+}
+
+TEST(PolygonTest, BoundaryDistance) {
+  Polygon r = Polygon::Rectangle({0, 0}, {10, 10});
+  EXPECT_DOUBLE_EQ(r.BoundaryDistance({5, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(r.BoundaryDistance({5, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(r.BoundaryDistance({15, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(r.BoundaryDistance({13, 14}), 5.0);  // Corner distance.
+}
+
+TEST(PolygonTest, RegularApproxIsCircleLike) {
+  Polygon c = Polygon::RegularApprox({0, 0}, 10.0, 64);
+  EXPECT_TRUE(c.Contains({0, 0}));
+  EXPECT_TRUE(c.Contains({9.9 * std::cos(0.3), 9.9 * std::sin(0.3)}));
+  EXPECT_FALSE(c.Contains({10.1, 0}));
+  // Area approaches pi r^2 from below.
+  EXPECT_NEAR(std::abs(c.SignedArea()), M_PI * 100.0, 2.0);
+}
+
+TEST(PointSegmentDistanceTest, ProjectionCases) {
+  // Perpendicular foot inside the segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({5, 3}, {0, 0}, {10, 0}), 3.0);
+  // Foot beyond an endpoint.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({-3, 4}, {0, 0}, {10, 0}), 5.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(MecTest, SmallCases) {
+  EXPECT_DOUBLE_EQ(MinimalEnclosingCircle({}).radius, 0.0);
+  EXPECT_DOUBLE_EQ(MinimalEnclosingCircle({{3, 4}}).radius, 0.0);
+  Circle two = MinimalEnclosingCircle({{0, 0}, {6, 8}});
+  EXPECT_NEAR(two.radius, 5.0, 1e-9);
+  EXPECT_NEAR(two.center.x, 3.0, 1e-9);
+  EXPECT_NEAR(two.center.y, 4.0, 1e-9);
+}
+
+TEST(MecTest, EquilateralTriangleCircumcircle) {
+  double s = 2.0;
+  Circle c = MinimalEnclosingCircle(
+      {{0, 0}, {s, 0}, {s / 2, s * std::sqrt(3.0) / 2}});
+  EXPECT_NEAR(c.radius, s / std::sqrt(3.0), 1e-9);
+}
+
+TEST(MecTest, ObtuseTriangleUsesDiameter) {
+  // For an obtuse triangle the MEC is the diameter circle of the long side.
+  Circle c = MinimalEnclosingCircle({{0, 0}, {10, 0}, {5, 0.1}});
+  EXPECT_NEAR(c.radius, 5.0, 1e-6);
+}
+
+TEST(MecTest, InteriorPointsDoNotMatter) {
+  Circle base = MinimalEnclosingCircle({{0, 0}, {10, 0}, {5, 8}});
+  Circle with_inner =
+      MinimalEnclosingCircle({{0, 0}, {10, 0}, {5, 8}, {5, 3}, {4, 2}});
+  EXPECT_NEAR(base.radius, with_inner.radius, 1e-9);
+}
+
+class MecPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MecPropertyTest, EnclosesAllPointsAndIsTight) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Point2> pts;
+    int n = static_cast<int>(rng.UniformInt(1, 30));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.UniformDouble(-100, 100),
+                     rng.UniformDouble(-100, 100)});
+    }
+    Circle c = MinimalEnclosingCircle(pts);
+    double max_dist = 0.0;
+    for (const Point2& p : pts) {
+      EXPECT_TRUE(c.Contains(p, 1e-7));
+      max_dist = std::max(max_dist, c.center.DistanceTo(p));
+    }
+    // Tight: some point is on the boundary.
+    EXPECT_NEAR(max_dist, c.radius, 1e-7);
+    // Not larger than the trivial bound (half the max pairwise distance
+    // times sqrt(4/3), the Jung bound for the plane).
+    double max_pair = 0.0;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      for (size_t j = i + 1; j < pts.size(); ++j) {
+        max_pair = std::max(max_pair, pts[i].DistanceTo(pts[j]));
+      }
+    }
+    EXPECT_LE(c.radius, max_pair / std::sqrt(3.0) + 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MecPropertyTest,
+                         ::testing::Values(7, 11, 13, 1997));
+
+class PolygonContainsPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(PolygonContainsPropertyTest, MatchesConvexHalfPlaneOracle) {
+  Rng rng(GetParam());
+  // Random convex polygons (regular n-gon with jittered radius kept
+  // convex by construction: use regular polygon, scale, rotate).
+  for (int round = 0; round < 10; ++round) {
+    Point2 center{rng.UniformDouble(-10, 10), rng.UniformDouble(-10, 10)};
+    double radius = rng.UniformDouble(1, 20);
+    int sides = static_cast<int>(rng.UniformInt(3, 12));
+    Polygon poly = Polygon::RegularApprox(center, radius, sides);
+    for (int q = 0; q < 200; ++q) {
+      Point2 p{rng.UniformDouble(center.x - 2 * radius, center.x + 2 * radius),
+               rng.UniformDouble(center.y - 2 * radius, center.y + 2 * radius)};
+      // Oracle: inside a CCW convex polygon iff left of (or on) every edge.
+      bool expected = true;
+      const auto& vs = poly.vertices();
+      for (size_t i = 0; i < vs.size(); ++i) {
+        const Point2& a = vs[i];
+        const Point2& b = vs[(i + 1) % vs.size()];
+        if ((b - a).Cross(p - a) < 0) {
+          expected = false;
+          break;
+        }
+      }
+      EXPECT_EQ(poly.Contains(p), expected) << "point " << p << " polygon "
+                                            << poly.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolygonContainsPropertyTest,
+                         ::testing::Values(3, 5, 17));
+
+}  // namespace
+}  // namespace most

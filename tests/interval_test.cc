@@ -1,0 +1,309 @@
+#include "common/interval.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace most {
+namespace {
+
+IntervalSet Make(std::initializer_list<Interval> ivs) {
+  return IntervalSet::FromIntervals(std::vector<Interval>(ivs));
+}
+
+TEST(IntervalTest, BasicPredicates) {
+  Interval iv(3, 7);
+  EXPECT_TRUE(iv.valid());
+  EXPECT_EQ(iv.length(), 5);
+  EXPECT_TRUE(iv.Contains(3));
+  EXPECT_TRUE(iv.Contains(7));
+  EXPECT_FALSE(iv.Contains(8));
+  EXPECT_FALSE(Interval(5, 4).valid());
+}
+
+TEST(IntervalTest, Overlaps) {
+  EXPECT_TRUE(Interval(1, 5).Overlaps(Interval(5, 9)));
+  EXPECT_FALSE(Interval(1, 5).Overlaps(Interval(6, 9)));
+  EXPECT_TRUE(Interval(1, 5).OverlapsOrAdjacent(Interval(6, 9)));
+  EXPECT_FALSE(Interval(1, 5).OverlapsOrAdjacent(Interval(7, 9)));
+}
+
+TEST(IntervalTest, CompatibleWithMatchesAppendixDefinition) {
+  // [l,u] compatible with [m,n] iff m <= u+1 and n >= u.
+  EXPECT_TRUE(Interval(1, 5).CompatibleWith(Interval(6, 9)));
+  EXPECT_TRUE(Interval(1, 5).CompatibleWith(Interval(3, 5)));
+  EXPECT_FALSE(Interval(1, 5).CompatibleWith(Interval(7, 9)));   // Gap.
+  EXPECT_FALSE(Interval(1, 5).CompatibleWith(Interval(2, 4)));   // n < u.
+}
+
+TEST(IntervalSetTest, NormalizationMergesConsecutive) {
+  // The appendix requires stored intervals to be non-consecutive: [1,3] and
+  // [4,6] must coalesce.
+  IntervalSet s = Make({{4, 6}, {1, 3}});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], Interval(1, 6));
+}
+
+TEST(IntervalSetTest, NormalizationKeepsGaps) {
+  IntervalSet s = Make({{1, 3}, {5, 6}});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.intervals()[0], Interval(1, 3));
+  EXPECT_EQ(s.intervals()[1], Interval(5, 6));
+}
+
+TEST(IntervalSetTest, NormalizationDropsInvalid) {
+  IntervalSet s = Make({{5, 2}, {1, 1}});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], Interval(1, 1));
+}
+
+TEST(IntervalSetTest, ContainsBinarySearch) {
+  IntervalSet s = Make({{1, 3}, {10, 20}, {30, 30}});
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_TRUE(s.Contains(15));
+  EXPECT_TRUE(s.Contains(30));
+  EXPECT_FALSE(s.Contains(31));
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_FALSE(IntervalSet().Contains(0));
+}
+
+TEST(IntervalSetTest, FirstAtOrAfter) {
+  IntervalSet s = Make({{5, 8}, {12, 14}});
+  Tick t = 0;
+  ASSERT_TRUE(s.FirstAtOrAfter(0, &t));
+  EXPECT_EQ(t, 5);
+  ASSERT_TRUE(s.FirstAtOrAfter(6, &t));
+  EXPECT_EQ(t, 6);
+  ASSERT_TRUE(s.FirstAtOrAfter(9, &t));
+  EXPECT_EQ(t, 12);
+  EXPECT_FALSE(s.FirstAtOrAfter(15, &t));
+}
+
+TEST(IntervalSetTest, UnionIntersectDifference) {
+  IntervalSet a = Make({{1, 5}, {10, 15}});
+  IntervalSet b = Make({{4, 11}, {20, 25}});
+  EXPECT_EQ(a.Union(b), Make({{1, 15}, {20, 25}}));
+  EXPECT_EQ(a.Intersect(b), Make({{4, 5}, {10, 11}}));
+  EXPECT_EQ(a.Difference(b), Make({{1, 3}, {12, 15}}));
+  EXPECT_EQ(b.Difference(a), Make({{6, 9}, {20, 25}}));
+}
+
+TEST(IntervalSetTest, ComplementWithinUniverse) {
+  IntervalSet a = Make({{3, 5}, {8, 8}});
+  EXPECT_EQ(a.Complement(Interval(0, 10)), Make({{0, 2}, {6, 7}, {9, 10}}));
+  EXPECT_EQ(a.Complement(Interval(4, 4)), IntervalSet());
+  EXPECT_EQ(IntervalSet().Complement(Interval(1, 3)), Make({{1, 3}}));
+}
+
+TEST(IntervalSetTest, ShiftAndClamp) {
+  IntervalSet a = Make({{3, 5}, {8, 9}});
+  EXPECT_EQ(a.Shift(2), Make({{5, 7}, {10, 11}}));
+  EXPECT_EQ(a.Shift(-3), Make({{0, 2}, {5, 6}}));
+  EXPECT_EQ(a.Clamp(Interval(4, 8)), Make({{4, 5}, {8, 8}}));
+}
+
+TEST(IntervalSetTest, ShiftSaturatesAtInfinity) {
+  IntervalSet a = Make({{5, kTickMax}});
+  IntervalSet shifted = a.Shift(10);
+  ASSERT_EQ(shifted.size(), 1u);
+  EXPECT_EQ(shifted.intervals()[0], Interval(15, kTickMax));
+}
+
+TEST(IntervalSetTest, DilateLeftImplementsEventuallyWithin) {
+  // Eventually_within_3 f: f holds on [10,12] -> satisfied on [7,12].
+  IntervalSet f = Make({{10, 12}});
+  EXPECT_EQ(f.DilateLeft(3), Make({{7, 12}}));
+  // Two intervals that become connected after dilation merge.
+  IntervalSet g = Make({{5, 6}, {9, 10}});
+  EXPECT_EQ(g.DilateLeft(2), Make({{3, 10}}));
+}
+
+TEST(IntervalSetTest, ErodeRightImplementsAlwaysFor) {
+  // Always_for_2 f: f holds on [4,9] -> satisfied on [4,7].
+  IntervalSet f = Make({{4, 9}});
+  EXPECT_EQ(f.ErodeRight(2), Make({{4, 7}}));
+  // Interval shorter than the duration disappears.
+  EXPECT_EQ(Make({{4, 5}}).ErodeRight(2), IntervalSet());
+}
+
+TEST(IntervalSetTest, Cardinality) {
+  EXPECT_EQ(Make({{1, 3}, {5, 5}}).Cardinality(), 4);
+  EXPECT_EQ(IntervalSet().Cardinality(), 0);
+}
+
+TEST(UntilTest, G2AloneSatisfies) {
+  // No g1 anywhere: g1 Until g2 degenerates to g2.
+  IntervalSet g2 = Make({{5, 8}});
+  EXPECT_EQ(g2.UntilWith(IntervalSet()), g2);
+}
+
+TEST(UntilTest, ExtendsLeftThroughG1) {
+  IntervalSet g1 = Make({{1, 10}});
+  IntervalSet g2 = Make({{8, 9}});
+  // From any t in [1,9]: g1 holds until g2 begins.
+  EXPECT_EQ(g2.UntilWith(g1), Make({{1, 9}}));
+}
+
+TEST(UntilTest, G1AdjacentButNotOverlapping) {
+  // g1 on [1,4], g2 on [5,6]: g1 covers [t,4] and g2 starts at 5.
+  IntervalSet g1 = Make({{1, 4}});
+  IntervalSet g2 = Make({{5, 6}});
+  EXPECT_EQ(g2.UntilWith(g1), Make({{1, 6}}));
+}
+
+TEST(UntilTest, GapBlocksExtension) {
+  // g1 ends at 3, g2 starts at 5: tick 4 satisfies neither, so no
+  // extension through the gap.
+  IntervalSet g1 = Make({{1, 3}});
+  IntervalSet g2 = Make({{5, 6}});
+  EXPECT_EQ(g2.UntilWith(g1), Make({{5, 6}}));
+}
+
+TEST(UntilTest, ChainAcrossAlternatingIntervals) {
+  // The appendix's chain: g1=[1,4], g2=[5,6], g1=[7,9], g2=[10,12] chains
+  // into one maximal satisfaction interval [1,6] U [7,12]?
+  // From t=6: g2 holds at 6. From t=7..9, g1 holds until g2 at 10.
+  // From t in [1,6] via first pair. Tick boundary: from t=5, in g2.
+  IntervalSet g1 = Make({{1, 4}, {7, 9}});
+  IntervalSet g2 = Make({{5, 6}, {10, 12}});
+  EXPECT_EQ(g2.UntilWith(g1), Make({{1, 12}}));
+}
+
+TEST(UntilTest, EmptyOperands) {
+  EXPECT_EQ(IntervalSet().UntilWith(Make({{1, 5}})), IntervalSet());
+  EXPECT_EQ(IntervalSet().UntilWith(IntervalSet()), IntervalSet());
+}
+
+// ---------------------------------------------------------------------------
+// Property tests against a brute-force bitset oracle over a small universe.
+// ---------------------------------------------------------------------------
+
+constexpr Tick kUniverseLo = 0;
+constexpr Tick kUniverseHi = 63;
+
+std::set<Tick> ToSet(const IntervalSet& s) {
+  std::set<Tick> out;
+  for (const Interval& iv : s.intervals()) {
+    for (Tick t = std::max(iv.begin, kUniverseLo);
+         t <= std::min(iv.end, kUniverseHi); ++t) {
+      out.insert(t);
+    }
+  }
+  return out;
+}
+
+IntervalSet RandomSet(Rng* rng) {
+  std::vector<Interval> ivs;
+  int n = static_cast<int>(rng->UniformInt(0, 5));
+  for (int i = 0; i < n; ++i) {
+    Tick b = rng->UniformInt(kUniverseLo, kUniverseHi);
+    Tick e = std::min<Tick>(kUniverseHi, b + rng->UniformInt(0, 15));
+    ivs.push_back(Interval(b, e));
+  }
+  return IntervalSet::FromIntervals(std::move(ivs));
+}
+
+class IntervalSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalSetPropertyTest, SetOperationsMatchOracle) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    IntervalSet a = RandomSet(&rng);
+    IntervalSet b = RandomSet(&rng);
+    std::set<Tick> sa = ToSet(a), sb = ToSet(b);
+
+    std::set<Tick> expect_union = sa;
+    expect_union.insert(sb.begin(), sb.end());
+    EXPECT_EQ(ToSet(a.Union(b)), expect_union);
+
+    std::set<Tick> expect_inter;
+    for (Tick t : sa) {
+      if (sb.count(t)) expect_inter.insert(t);
+    }
+    EXPECT_EQ(ToSet(a.Intersect(b)), expect_inter);
+
+    std::set<Tick> expect_diff;
+    for (Tick t : sa) {
+      if (!sb.count(t)) expect_diff.insert(t);
+    }
+    EXPECT_EQ(ToSet(a.Difference(b)), expect_diff);
+
+    std::set<Tick> expect_comp;
+    for (Tick t = kUniverseLo; t <= kUniverseHi; ++t) {
+      if (!sa.count(t)) expect_comp.insert(t);
+    }
+    EXPECT_EQ(ToSet(a.Complement(Interval(kUniverseLo, kUniverseHi))),
+              expect_comp);
+  }
+}
+
+TEST_P(IntervalSetPropertyTest, NormalFormInvariant) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    IntervalSet a = RandomSet(&rng);
+    const auto& ivs = a.intervals();
+    for (size_t i = 0; i < ivs.size(); ++i) {
+      EXPECT_TRUE(ivs[i].valid());
+      if (i > 0) {
+        // Strict gap: non-overlapping AND non-consecutive.
+        EXPECT_GT(ivs[i].begin, ivs[i - 1].end + 1);
+      }
+    }
+  }
+}
+
+TEST_P(IntervalSetPropertyTest, UntilMatchesSemanticOracle) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    IntervalSet g1 = RandomSet(&rng);
+    IntervalSet g2 = RandomSet(&rng);
+    IntervalSet result = g2.UntilWith(g1);
+
+    // Oracle: t |= g1 U g2 iff exists t' >= t with g2(t') and g1 on [t,t').
+    // Scan the bounded universe extended past the largest endpoint.
+    Tick hi = kUniverseHi + 20;
+    for (Tick t = kUniverseLo; t <= kUniverseHi; ++t) {
+      bool expected = false;
+      bool g1_held = true;
+      for (Tick tp = t; tp <= hi && g1_held; ++tp) {
+        if (g2.Contains(tp)) {
+          expected = true;
+          break;
+        }
+        g1_held = g1.Contains(tp);
+      }
+      EXPECT_EQ(result.Contains(t), expected)
+          << "t=" << t << " g1=" << g1.ToString() << " g2=" << g2.ToString();
+    }
+  }
+}
+
+TEST_P(IntervalSetPropertyTest, DilateErodeMatchOracle) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 30; ++round) {
+    IntervalSet f = RandomSet(&rng);
+    Tick c = rng.UniformInt(0, 10);
+    IntervalSet dilated = f.DilateLeft(c);
+    IntervalSet eroded = f.ErodeRight(c);
+    for (Tick t = kUniverseLo; t <= kUniverseHi; ++t) {
+      bool expect_eventually = false;
+      bool expect_always = true;
+      for (Tick tp = t; tp <= t + c; ++tp) {
+        if (f.Contains(tp)) expect_eventually = true;
+        if (!f.Contains(tp)) expect_always = false;
+      }
+      EXPECT_EQ(dilated.Contains(t), expect_eventually) << "t=" << t;
+      EXPECT_EQ(eroded.Contains(t), expect_always) << "t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1997));
+
+}  // namespace
+}  // namespace most

@@ -1,0 +1,136 @@
+#include "ftl/nearest.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace most {
+namespace {
+
+class NearestTest : public ::testing::Test {
+ protected:
+  NearestTest() {
+    EXPECT_TRUE(db_.CreateClass("HOSPITALS",
+                                {{"NAME", false, ValueType::kString}},
+                                /*spatial=*/true)
+                    .ok());
+    EXPECT_TRUE(db_.CreateClass("CARS", {}, true).ok());
+  }
+
+  const MostObject* AddHospital(Point2 pos) {
+    auto obj = db_.CreateObject("HOSPITALS");
+    EXPECT_TRUE(db_.SetMotion("HOSPITALS", (*obj)->id(), pos, {0, 0}).ok());
+    return *obj;
+  }
+
+  const MostObject* AddCar(Point2 pos, Vec2 vel) {
+    auto obj = db_.CreateObject("CARS");
+    EXPECT_TRUE(db_.SetMotion("CARS", (*obj)->id(), pos, vel).ok());
+    return *obj;
+  }
+
+  MostDatabase db_;
+};
+
+TEST_F(NearestTest, PaperOpeningQuery) {
+  // "How far is the car with license plate RWW860 from the nearest
+  // hospital?" — and because positions are functions of time, the answer
+  // changes as the car drives, with no update in between.
+  const MostObject* h1 = AddHospital({0, 0});
+  const MostObject* h2 = AddHospital({100, 0});
+  const MostObject* car = AddCar({20, 0}, {1, 0});
+
+  auto at0 = NearestNeighbor(db_, "HOSPITALS", *car, 0);
+  ASSERT_TRUE(at0.ok()) << at0.status();
+  EXPECT_EQ(at0->id, h1->id());
+  EXPECT_DOUBLE_EQ(at0->distance, 20.0);
+
+  auto at60 = NearestNeighbor(db_, "HOSPITALS", *car, 60);
+  ASSERT_TRUE(at60.ok());
+  EXPECT_EQ(at60->id, h2->id());
+  EXPECT_DOUBLE_EQ(at60->distance, 20.0);
+}
+
+TEST_F(NearestTest, EmptyClassAndSelfExclusion) {
+  const MostObject* car = AddCar({0, 0}, {0, 0});
+  EXPECT_FALSE(NearestNeighbor(db_, "HOSPITALS", *car, 0).ok());
+  EXPECT_FALSE(NearestNeighbor(db_, "NOPE", *car, 0).ok());
+  // A car is never its own nearest CAR.
+  const MostObject* other = AddCar({5, 0}, {0, 0});
+  auto nearest = NearestNeighbor(db_, "CARS", *car, 0);
+  ASSERT_TRUE(nearest.ok());
+  EXPECT_EQ(nearest->id, other->id());
+}
+
+TEST_F(NearestTest, WindowPartitionsAtCrossover) {
+  // Car drives from h1 toward h2; handover at the midpoint x=50 (t=30).
+  const MostObject* h1 = AddHospital({0, 0});
+  const MostObject* h2 = AddHospital({100, 0});
+  const MostObject* car = AddCar({20, 0}, {1, 0});
+  auto result = NearestOverWindow(db_, "HOSPITALS", *car, Interval(0, 60));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);
+  std::map<ObjectId, IntervalSet> by_id(result->begin(), result->end());
+  // x(t) = 20 + t; equidistant at x=50 (t=30); tie goes to smaller id.
+  EXPECT_EQ(by_id.at(h1->id()), IntervalSet(Interval(0, 30)));
+  EXPECT_EQ(by_id.at(h2->id()), IntervalSet(Interval(31, 60)));
+}
+
+TEST_F(NearestTest, WindowMatchesPerTickOracle) {
+  Rng rng(1997);
+  std::vector<const MostObject*> hospitals;
+  for (int i = 0; i < 8; ++i) {
+    hospitals.push_back(AddHospital({0.25 * rng.UniformInt(-200, 200),
+                                     0.25 * rng.UniformInt(-200, 200)}));
+  }
+  for (int round = 0; round < 10; ++round) {
+    const MostObject* car =
+        AddCar({0.25 * rng.UniformInt(-200, 200),
+                0.25 * rng.UniformInt(-200, 200)},
+               {0.25 * rng.UniformInt(-8, 8), 0.25 * rng.UniformInt(-8, 8)});
+    Interval window(0, 50);
+    auto result = NearestOverWindow(db_, "HOSPITALS", *car, window);
+    ASSERT_TRUE(result.ok());
+    std::map<ObjectId, IntervalSet> by_id(result->begin(), result->end());
+    for (Tick t = window.begin; t <= window.end; ++t) {
+      // Oracle with the same tie-break: smallest distance, then id.
+      auto expected = NearestNeighbor(db_, "HOSPITALS", *car, t);
+      ASSERT_TRUE(expected.ok());
+      // Skip near-ties (float-order ambiguity).
+      int near_ties = 0;
+      for (const MostObject* h : hospitals) {
+        double d = h->PositionAt(t).DistanceTo(car->PositionAt(t));
+        if (std::abs(d - expected->distance) < 1e-6) ++near_ties;
+      }
+      if (near_ties > 1) continue;
+      size_t winners = 0;
+      for (const auto& [id, when] : by_id) {
+        if (when.Contains(t)) {
+          ++winners;
+          EXPECT_EQ(id, expected->id) << "t=" << t;
+        }
+      }
+      EXPECT_EQ(winners, 1u) << "t=" << t;
+    }
+  }
+}
+
+TEST_F(NearestTest, MovingCandidates) {
+  // A moving ambulance overtakes a stationary hospital as the nearest.
+  const MostObject* fixed = AddHospital({10, 0});
+  auto ambulance = db_.CreateObject("HOSPITALS");
+  ASSERT_TRUE(
+      db_.SetMotion("HOSPITALS", (*ambulance)->id(), {100, 0}, {-2, 0}).ok());
+  const MostObject* car = AddCar({0, 0}, {0, 0});
+  auto result = NearestOverWindow(db_, "HOSPITALS", *car, Interval(0, 60));
+  ASSERT_TRUE(result.ok());
+  std::map<ObjectId, IntervalSet> by_id(result->begin(), result->end());
+  // Ambulance at 100 - 2t: closer than 10 when 100 - 2t < 10, t > 45.
+  ASSERT_TRUE(by_id.count(fixed->id()));
+  ASSERT_TRUE(by_id.count((*ambulance)->id()));
+  EXPECT_TRUE(by_id.at(fixed->id()).Contains(45));
+  EXPECT_TRUE(by_id.at((*ambulance)->id()).Contains(46));
+}
+
+}  // namespace
+}  // namespace most

@@ -1,0 +1,266 @@
+#include "ftl/query_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "ftl/parser.h"
+
+namespace most {
+namespace {
+
+class QueryManagerTest : public ::testing::Test {
+ protected:
+  QueryManagerTest() : qm_(&db_, {.horizon = 200}) {
+    EXPECT_TRUE(db_.CreateClass("CARS", {{"PRICE", false, ValueType::kDouble}},
+                                /*spatial=*/true)
+                    .ok());
+    EXPECT_TRUE(
+        db_.DefineRegion("P", Polygon::Rectangle({0, 0}, {10, 10})).ok());
+  }
+
+  ObjectId AddCar(Point2 pos, Vec2 vel) {
+    auto obj = db_.CreateObject("CARS");
+    EXPECT_TRUE(obj.ok());
+    EXPECT_TRUE(db_.SetMotion("CARS", (*obj)->id(), pos, vel).ok());
+    return (*obj)->id();
+  }
+
+  FtlQuery Parse(const std::string& s) {
+    auto q = ParseQuery(s);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return *q;
+  }
+
+  MostDatabase db_;
+  QueryManager qm_;
+};
+
+TEST_F(QueryManagerTest, InstantaneousAnswerDependsOnEntryTime) {
+  // Car crosses P during ticks [20, 30].
+  ObjectId car = AddCar({-20, 5}, {1, 0});
+  FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+
+  auto at0 = qm_.Instantaneous(q);
+  ASSERT_TRUE(at0.ok());
+  EXPECT_TRUE(at0->empty());
+
+  db_.clock().AdvanceTo(25);
+  auto at25 = qm_.Instantaneous(q);
+  ASSERT_TRUE(at25.ok());
+  ASSERT_EQ(at25->size(), 1u);
+  EXPECT_EQ((*at25)[0], (std::vector<ObjectId>{car}));
+
+  // The defining MOST behaviour: a different answer at a different time
+  // with no intervening update.
+  db_.clock().AdvanceTo(50);
+  auto at50 = qm_.Instantaneous(q);
+  ASSERT_TRUE(at50.ok());
+  EXPECT_TRUE(at50->empty());
+}
+
+TEST_F(QueryManagerTest, InstantaneousFutureQuery) {
+  // "Will reach P within 10 ticks": answered from the motion vector alone.
+  AddCar({-5, 5}, {1, 0});  // Enters P (x >= 0) at t=5.
+  FtlQuery q =
+      Parse("RETRIEVE o FROM CARS o WHERE EVENTUALLY WITHIN 10 INSIDE(o, P)");
+  auto now = qm_.Instantaneous(q);
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(now->size(), 1u);
+}
+
+TEST_F(QueryManagerTest, FirstSatisfactionTimesAreReachingTimes) {
+  // Paper: "Display the tuples (motel, reaching-time) representing the
+  // motels that I will reach, and the time when I will do so".
+  ObjectId fast = AddCar({-10, 5}, {1, 0});   // Reaches P (x>=0) at t=10.
+  ObjectId slow = AddCar({-40, 5}, {0.5, 0}); // Reaches P at t=80.
+  AddCar({-500, 5}, {0, 0});                  // Never reaches P.
+  FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  auto times = qm_.FirstSatisfactionTimes(q);
+  ASSERT_TRUE(times.ok()) << times.status();
+  ASSERT_EQ(times->size(), 2u);
+  EXPECT_EQ((*times)[0].binding, (std::vector<ObjectId>{fast}));
+  EXPECT_EQ((*times)[0].at, 10);
+  EXPECT_EQ((*times)[1].binding, (std::vector<ObjectId>{slow}));
+  EXPECT_EQ((*times)[1].at, 80);
+}
+
+TEST_F(QueryManagerTest, ContinuousQuerySingleEvaluation) {
+  ObjectId car = AddCar({-20, 5}, {1, 0});  // In P during [20, 30].
+  FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  auto id = qm_.RegisterContinuous(q);
+  ASSERT_TRUE(id.ok());
+
+  // Answer(CQ) contains the interval tuple.
+  auto answer = qm_.ContinuousAnswer(*id);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->size(), 1u);
+  EXPECT_EQ((*answer)[0].binding, (std::vector<ObjectId>{car}));
+  EXPECT_EQ((*answer)[0].interval, Interval(20, 30));
+
+  // Display changes per tick without re-evaluation.
+  for (Tick t : {0, 19, 20, 30, 31}) {
+    db_.clock().AdvanceTo(t);
+    auto current = qm_.CurrentAnswer(*id);
+    ASSERT_TRUE(current.ok());
+    EXPECT_EQ(current->size(), (t >= 20 && t <= 30) ? 1u : 0u) << "t=" << t;
+  }
+  EXPECT_EQ(qm_.EvaluationCount(*id).value(), 1u);
+}
+
+TEST_F(QueryManagerTest, ContinuousQueryReevaluatedOnUpdate) {
+  ObjectId car = AddCar({-20, 5}, {1, 0});
+  FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  auto id = qm_.RegisterContinuous(q);
+  ASSERT_TRUE(id.ok());
+  ASSERT_EQ(qm_.EvaluationCount(*id).value(), 1u);
+
+  // Car turns away at t=10: the old tuple (20..30) must disappear.
+  db_.clock().AdvanceTo(10);
+  ASSERT_TRUE(db_.SetMotion("CARS", car, {-10, 5}, {0, 1}).ok());
+  auto answer = qm_.ContinuousAnswer(*id);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->empty());
+  EXPECT_EQ(qm_.EvaluationCount(*id).value(), 2u);
+
+  // Lookups without updates do not re-evaluate.
+  db_.clock().AdvanceTo(20);
+  ASSERT_TRUE(qm_.CurrentAnswer(*id).ok());
+  EXPECT_EQ(qm_.EvaluationCount(*id).value(), 2u);
+}
+
+TEST_F(QueryManagerTest, ContinuousQueryExpiresAndSlides) {
+  AddCar({5, 5}, {0, 0});  // Always inside P.
+  FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  auto id = qm_.RegisterContinuous(q);
+  ASSERT_TRUE(id.ok());
+  // Move past the horizon: the answer window must slide via re-evaluation.
+  db_.clock().AdvanceTo(500);
+  auto current = qm_.CurrentAnswer(*id);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->size(), 1u);
+  EXPECT_EQ(qm_.EvaluationCount(*id).value(), 2u);
+}
+
+TEST_F(QueryManagerTest, CancelRemovesQuery) {
+  FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  auto id = qm_.RegisterContinuous(q);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(qm_.Cancel(*id).ok());
+  EXPECT_FALSE(qm_.Cancel(*id).ok());
+  EXPECT_FALSE(qm_.ContinuousAnswer(*id).ok());
+}
+
+TEST_F(QueryManagerTest, PersistentQueryPaperExampleR) {
+  // Paper Section 2.3, query R: "retrieve the objects whose speed in the
+  // X direction doubles within 10 minutes". Speed 5 at t=0, updated to 7
+  // at t=1 and to 10 at t=2.
+  ObjectId car = AddCar({0, 0}, {5, 0});
+  FtlQuery r = Parse(
+      "RETRIEVE o FROM CARS o "
+      "WHERE [x := SPEED(o.X.POSITION)] EVENTUALLY WITHIN 10 "
+      "SPEED(o.X.POSITION) >= x * 2");
+  auto id = qm_.RegisterPersistent(r);
+  ASSERT_TRUE(id.ok());
+
+  // At time 0: speed constant in every future state -> empty.
+  auto at0 = qm_.PersistentAnswer(*id);
+  ASSERT_TRUE(at0.ok());
+  EXPECT_TRUE(at0->empty());
+
+  db_.clock().AdvanceTo(1);
+  ASSERT_TRUE(db_.UpdateDynamic("CARS", car, kAttrX, 5.0,
+                                TimeFunction::Linear(7.0))
+                  .ok());
+  auto at1 = qm_.PersistentAnswer(*id);
+  ASSERT_TRUE(at1.ok());
+  EXPECT_TRUE(at1->empty());  // 7 < 2 * 5.
+
+  db_.clock().AdvanceTo(2);
+  ASSERT_TRUE(db_.UpdateDynamic("CARS", car, kAttrX, 12.0,
+                                TimeFunction::Linear(10.0))
+                  .ok());
+  auto at2 = qm_.PersistentAnswer(*id);
+  ASSERT_TRUE(at2.ok());
+  // The history anchored at 0 now contains speed 5 at t in [0,0] and
+  // speed 10 from t=2: doubling observed within 10 of t=0.
+  ASSERT_FALSE(at2->empty());
+  bool found_at_anchor = false;
+  for (const AnswerTuple& t : *at2) {
+    if (t.binding == std::vector<ObjectId>{car} && t.interval.Contains(0)) {
+      found_at_anchor = true;
+    }
+  }
+  EXPECT_TRUE(found_at_anchor);
+
+  // Entered as instantaneous at time 2, the same query stays empty: the
+  // future history has constant speed 10 (the paper's point).
+  auto inst = qm_.Instantaneous(r);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_TRUE(inst->empty());
+}
+
+TEST_F(QueryManagerTest, PersistentQueryRecordsPositionHistory) {
+  // Object enters P in the recorded past of the persistent query.
+  ObjectId car = AddCar({-5, 5}, {1, 0});  // Enters P at t=5.
+  FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE EVENTUALLY INSIDE(o, P)");
+  auto id = qm_.RegisterPersistent(q);
+  ASSERT_TRUE(id.ok());
+
+  // At t=3 the car turns away; it never actually enters P after t=3, but
+  // the history anchored at 0 still sees it entering at t=5? No: the
+  // recorded history replaces the projection from t=3 on.
+  db_.clock().AdvanceTo(3);
+  ASSERT_TRUE(db_.SetMotion("CARS", car, {-2, 5}, {-1, 0}).ok());
+  auto answer = qm_.PersistentAnswer(*id);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->empty());
+
+  // If instead it accelerates into P, the recorded history sees an entry.
+  db_.clock().AdvanceTo(4);
+  ASSERT_TRUE(db_.SetMotion("CARS", car, {-3, 5}, {2, 0}).ok());
+  answer = qm_.PersistentAnswer(*id);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_FALSE(answer->empty());
+}
+
+TEST_F(QueryManagerTest, TriggerFiresOnIntervalEntry) {
+  AddCar({-20, 5}, {1, 0});  // In P during [20, 30].
+  FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  std::vector<Tick> fires;
+  auto id = qm_.RegisterTrigger(
+      q, [&](const std::vector<ObjectId>&, Tick at) { fires.push_back(at); });
+  ASSERT_TRUE(id.ok());
+
+  db_.clock().AdvanceTo(10);
+  ASSERT_TRUE(qm_.Poll().ok());
+  EXPECT_TRUE(fires.empty());
+
+  db_.clock().AdvanceTo(25);
+  ASSERT_TRUE(qm_.Poll().ok());
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], 20);  // The tick at which the interval was entered.
+
+  // No duplicate firing on later polls within the same interval.
+  db_.clock().AdvanceTo(28);
+  ASSERT_TRUE(qm_.Poll().ok());
+  EXPECT_EQ(fires.size(), 1u);
+}
+
+TEST_F(QueryManagerTest, TriggerRespondsToUpdates) {
+  ObjectId car = AddCar({100, 100}, {0, 0});  // Never in P.
+  FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  int fires = 0;
+  auto id = qm_.RegisterTrigger(
+      q, [&](const std::vector<ObjectId>&, Tick) { ++fires; });
+  ASSERT_TRUE(id.ok());
+  db_.clock().AdvanceTo(5);
+  ASSERT_TRUE(qm_.Poll().ok());
+  EXPECT_EQ(fires, 0);
+
+  // Teleport the car into P: poll must fire after the update.
+  ASSERT_TRUE(db_.SetMotion("CARS", car, {5, 5}, {0, 0}).ok());
+  ASSERT_TRUE(qm_.Poll().ok());
+  EXPECT_EQ(fires, 1);
+}
+
+}  // namespace
+}  // namespace most

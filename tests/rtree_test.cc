@@ -1,0 +1,240 @@
+#include "index/rtree.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace most {
+namespace {
+
+using Box2 = RTreeBox<2>;
+
+Box2 MakeBox(double x0, double y0, double x1, double y1) {
+  Box2 b;
+  b.min = {x0, y0};
+  b.max = {x1, y1};
+  return b;
+}
+
+TEST(RTreeBoxTest, IntersectsAndContains) {
+  Box2 a = MakeBox(0, 0, 10, 10);
+  EXPECT_TRUE(a.Intersects(MakeBox(5, 5, 15, 15)));
+  EXPECT_TRUE(a.Intersects(MakeBox(10, 10, 20, 20)));  // Touching counts.
+  EXPECT_FALSE(a.Intersects(MakeBox(11, 0, 20, 10)));
+  EXPECT_TRUE(a.ContainsBox(MakeBox(1, 1, 9, 9)));
+  EXPECT_FALSE(a.ContainsBox(MakeBox(1, 1, 11, 9)));
+}
+
+TEST(RTreeBoxTest, VolumeAndEnlargement) {
+  Box2 a = MakeBox(0, 0, 4, 5);
+  EXPECT_DOUBLE_EQ(a.Volume(), 20.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(MakeBox(0, 0, 8, 5)), 20.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(MakeBox(1, 1, 2, 2)), 0.0);
+}
+
+TEST(RTreeTest, EmptySearch) {
+  RTree<2> tree;
+  int hits = 0;
+  tree.Search(MakeBox(0, 0, 100, 100),
+              [&](const Box2&, const uint64_t&) { ++hits; });
+  EXPECT_EQ(hits, 0);
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(RTreeTest, InsertAndPointSearch) {
+  RTree<2> tree(/*max_entries=*/4);
+  for (uint64_t i = 0; i < 50; ++i) {
+    double x = static_cast<double>(i % 10) * 10;
+    double y = static_cast<double>(i / 10) * 10;
+    tree.Insert(MakeBox(x, y, x + 5, y + 5), i);
+  }
+  EXPECT_EQ(tree.size(), 50u);
+  EXPECT_GT(tree.height(), 1);
+
+  std::set<uint64_t> hits;
+  tree.Search(MakeBox(12, 12, 13, 13),
+              [&](const Box2&, const uint64_t& id) { hits.insert(id); });
+  EXPECT_EQ(hits, (std::set<uint64_t>{11}));  // Box (10,10)-(15,15).
+}
+
+TEST(RTreeTest, RemoveSpecificEntry) {
+  RTree<2> tree(/*max_entries=*/4);
+  tree.Insert(MakeBox(0, 0, 1, 1), 1);
+  tree.Insert(MakeBox(0, 0, 1, 1), 2);  // Same box, different payload.
+  EXPECT_TRUE(tree.Remove(MakeBox(0, 0, 1, 1), 1));
+  EXPECT_FALSE(tree.Remove(MakeBox(0, 0, 1, 1), 1));
+  EXPECT_FALSE(tree.Remove(MakeBox(5, 5, 6, 6), 2));  // Wrong box.
+  std::set<uint64_t> hits;
+  tree.Search(MakeBox(-1, -1, 2, 2),
+              [&](const Box2&, const uint64_t& id) { hits.insert(id); });
+  EXPECT_EQ(hits, (std::set<uint64_t>{2}));
+}
+
+TEST(RTreeTest, RemoveEverything) {
+  RTree<2> tree(/*max_entries=*/4);
+  std::vector<Box2> boxes;
+  for (uint64_t i = 0; i < 100; ++i) {
+    Box2 b = MakeBox(static_cast<double>(i), 0, static_cast<double>(i) + 2, 2);
+    boxes.push_back(b);
+    tree.Insert(b, i);
+  }
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(tree.Remove(boxes[i], i)) << i;
+  }
+  EXPECT_TRUE(tree.empty());
+  int hits = 0;
+  tree.Search(MakeBox(-1000, -1000, 1000, 1000),
+              [&](const Box2&, const uint64_t&) { ++hits; });
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(RTreeTest, ThreeDimensional) {
+  RTree<3> tree(/*max_entries=*/8);
+  RTreeBox<3> b;
+  b.min = {0, 0, 0};
+  b.max = {10, 10, 10};
+  tree.Insert(b, 7);
+  RTreeBox<3> probe;
+  probe.min = {5, 5, 5};
+  probe.max = {6, 6, 6};
+  int hits = 0;
+  tree.Search(probe, [&](const RTreeBox<3>&, const uint64_t& id) {
+    EXPECT_EQ(id, 7u);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(RTreeTest, SearchVisitsFewNodesOnLargeTree) {
+  // The Section 4 rationale: access should be logarithmic-ish, not linear.
+  RTree<2> tree(/*max_entries=*/16);
+  Rng rng(99);
+  for (uint64_t i = 0; i < 20000; ++i) {
+    double x = rng.UniformDouble(0, 10000);
+    double y = rng.UniformDouble(0, 10000);
+    tree.Insert(MakeBox(x, y, x + 1, y + 1), i);
+  }
+  tree.last_search_nodes = 0;
+  int hits = 0;
+  tree.Search(MakeBox(500, 500, 510, 510),
+              [&](const Box2&, const uint64_t&) { ++hits; });
+  // ~20000/16 = 1250 leaves; a point-ish query should touch far fewer.
+  EXPECT_LT(tree.last_search_nodes, 200u);
+}
+
+TEST(RTreeTest, BulkLoadMatchesIncremental) {
+  Rng rng(21);
+  std::vector<std::pair<Box2, uint64_t>> entries;
+  RTree<2> incremental(/*max_entries=*/8);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    double x = rng.UniformDouble(0, 1000);
+    double y = rng.UniformDouble(0, 1000);
+    Box2 b = MakeBox(x, y, x + rng.UniformDouble(0, 10),
+                     y + rng.UniformDouble(0, 10));
+    entries.emplace_back(b, i);
+    incremental.Insert(b, i);
+  }
+  RTree<2> bulk(/*max_entries=*/8);
+  bulk.BulkLoad(entries);
+  EXPECT_EQ(bulk.size(), incremental.size());
+
+  for (int q = 0; q < 50; ++q) {
+    double x = rng.UniformDouble(0, 1000);
+    double y = rng.UniformDouble(0, 1000);
+    Box2 query = MakeBox(x, y, x + 50, y + 50);
+    std::set<uint64_t> a, b;
+    incremental.Search(query,
+                       [&](const Box2&, const uint64_t& id) { a.insert(id); });
+    bulk.Search(query,
+                [&](const Box2&, const uint64_t& id) { b.insert(id); });
+    ASSERT_EQ(a, b) << "query " << q;
+  }
+}
+
+TEST(RTreeTest, BulkLoadedTreeSupportsMutation) {
+  std::vector<std::pair<Box2, uint64_t>> entries;
+  for (uint64_t i = 0; i < 100; ++i) {
+    entries.emplace_back(
+        MakeBox(static_cast<double>(i), 0, static_cast<double>(i) + 1, 1), i);
+  }
+  RTree<2> tree(/*max_entries=*/4);
+  tree.BulkLoad(entries);
+  EXPECT_TRUE(tree.Remove(entries[50].first, 50));
+  tree.Insert(MakeBox(500, 500, 501, 501), 999);
+  std::set<uint64_t> hits;
+  tree.Search(MakeBox(-10, -10, 1000, 1000),
+              [&](const Box2&, const uint64_t& id) { hits.insert(id); });
+  EXPECT_EQ(hits.size(), 100u);  // 100 - 1 + 1.
+  EXPECT_FALSE(hits.count(50));
+  EXPECT_TRUE(hits.count(999));
+}
+
+TEST(RTreeTest, BulkLoadEmptyAndTiny) {
+  RTree<2> tree(/*max_entries=*/4);
+  tree.BulkLoad({});
+  EXPECT_TRUE(tree.empty());
+  tree.BulkLoad({{MakeBox(0, 0, 1, 1), 7}});
+  EXPECT_EQ(tree.size(), 1u);
+  int hits = 0;
+  tree.Search(MakeBox(0, 0, 2, 2),
+              [&](const Box2&, const uint64_t&) { ++hits; });
+  EXPECT_EQ(hits, 1);
+}
+
+struct RTreeParam {
+  uint64_t seed;
+  size_t fanout;
+};
+
+class RTreePropertyTest : public ::testing::TestWithParam<RTreeParam> {};
+
+TEST_P(RTreePropertyTest, MatchesLinearScanOracle) {
+  Rng rng(GetParam().seed);
+  RTree<2> tree(GetParam().fanout);
+  std::vector<std::pair<Box2, uint64_t>> oracle;
+  uint64_t next_id = 0;
+
+  for (int step = 0; step < 1500; ++step) {
+    double action = rng.UniformDouble(0, 1);
+    if (action < 0.65 || oracle.empty()) {
+      double x = rng.UniformDouble(0, 100);
+      double y = rng.UniformDouble(0, 100);
+      Box2 b = MakeBox(x, y, x + rng.UniformDouble(0, 20),
+                       y + rng.UniformDouble(0, 20));
+      tree.Insert(b, next_id);
+      oracle.emplace_back(b, next_id);
+      ++next_id;
+    } else {
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(oracle.size()) - 1));
+      EXPECT_TRUE(tree.Remove(oracle[pick].first, oracle[pick].second));
+      oracle.erase(oracle.begin() + pick);
+    }
+
+    if (step % 100 == 0) {
+      // Random window query must match a linear scan.
+      double qx = rng.UniformDouble(0, 100);
+      double qy = rng.UniformDouble(0, 100);
+      Box2 q = MakeBox(qx, qy, qx + rng.UniformDouble(0, 40),
+                       qy + rng.UniformDouble(0, 40));
+      std::set<uint64_t> got;
+      tree.Search(q, [&](const Box2&, const uint64_t& id) { got.insert(id); });
+      std::set<uint64_t> want;
+      for (const auto& [b, id] : oracle) {
+        if (b.Intersects(q)) want.insert(id);
+      }
+      ASSERT_EQ(got, want) << "step " << step;
+    }
+  }
+  EXPECT_EQ(tree.size(), oracle.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndFanouts, RTreePropertyTest,
+    ::testing::Values(RTreeParam{1, 4}, RTreeParam{2, 4}, RTreeParam{3, 8},
+                      RTreeParam{4, 16}, RTreeParam{1997, 5}));
+
+}  // namespace
+}  // namespace most

@@ -1,0 +1,118 @@
+#include "ftl/spatial_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/mec.h"
+
+namespace most {
+namespace {
+
+class SpatialEvalTest : public ::testing::Test {
+ protected:
+  SpatialEvalTest() {
+    EXPECT_TRUE(db_.CreateClass("M", {}, true).ok());
+  }
+
+  // Creates an object with a piecewise route given by (start, velocity,
+  // switch_tick, velocity2).
+  const MostObject* AddPiecewise(Point2 start, Vec2 v1, Tick switch_at,
+                                 Vec2 v2) {
+    auto obj = db_.CreateObject("M");
+    EXPECT_TRUE(obj.ok());
+    auto fx = TimeFunction::Piecewise({{0, v1.x}, {switch_at, v2.x}});
+    auto fy = TimeFunction::Piecewise({{0, v1.y}, {switch_at, v2.y}});
+    EXPECT_TRUE(fx.ok());
+    EXPECT_TRUE(fy.ok());
+    EXPECT_TRUE(db_.UpdateDynamic("M", (*obj)->id(), kAttrX, start.x, *fx)
+                    .ok());
+    EXPECT_TRUE(db_.UpdateDynamic("M", (*obj)->id(), kAttrY, start.y, *fy)
+                    .ok());
+    return *obj;
+  }
+
+  const MostObject* AddLinear(Point2 start, Vec2 v) {
+    auto obj = db_.CreateObject("M");
+    EXPECT_TRUE(obj.ok());
+    EXPECT_TRUE(db_.SetMotion("M", (*obj)->id(), start, v).ok());
+    return *obj;
+  }
+
+  MostDatabase db_;
+};
+
+TEST_F(SpatialEvalTest, InsideTicksWithTurn) {
+  // Heads toward the square, turns away at t=10 before reaching it; then
+  // a second object that turns INTO the square.
+  Polygon square = Polygon::Rectangle({20, -5}, {30, 5});
+  const MostObject* misses =
+      AddPiecewise({0, 0}, {1, 0}, /*switch_at=*/10, {0, 5});
+  const MostObject* hits =
+      AddPiecewise({0, 50}, {1, 0}, /*switch_at=*/10, {1, -5});
+  Interval window(0, 60);
+
+  EXPECT_TRUE(InsideTicks(*misses, square, window).empty());
+  IntervalSet hit_when = InsideTicks(*hits, square, window);
+  EXPECT_FALSE(hit_when.empty());
+  // Verify against per-tick ground truth.
+  for (Tick t = 0; t <= 60; ++t) {
+    Point2 p = hits->PositionAt(t);
+    if (square.BoundaryDistance(p) < 1e-6) continue;
+    EXPECT_EQ(hit_when.Contains(t), square.Contains(p)) << "t=" << t;
+  }
+}
+
+TEST_F(SpatialEvalTest, DistCmpAllOperators) {
+  const MostObject* a = AddLinear({0, 0}, {1, 0});
+  const MostObject* b = AddLinear({20, 0}, {0, 0});
+  Interval window(0, 40);
+  // |a-b| = |20 - t|; <= 5 for t in [15, 25].
+  EXPECT_EQ(DistCmpTicks(*a, *b, FtlFormula::CmpOp::kLe, 5, window),
+            IntervalSet(Interval(15, 25)));
+  EXPECT_EQ(DistCmpTicks(*a, *b, FtlFormula::CmpOp::kGe, 5, window),
+            IntervalSet::FromIntervals({{0, 15}, {25, 40}}));
+  EXPECT_EQ(DistCmpTicks(*a, *b, FtlFormula::CmpOp::kLt, 5, window),
+            IntervalSet(Interval(16, 24)));
+  EXPECT_EQ(DistCmpTicks(*a, *b, FtlFormula::CmpOp::kGt, 5, window),
+            IntervalSet::FromIntervals({{0, 14}, {26, 40}}));
+  EXPECT_EQ(DistCmpTicks(*a, *b, FtlFormula::CmpOp::kEq, 5, window),
+            IntervalSet::FromIntervals({{15, 15}, {25, 25}}));
+  EXPECT_EQ(DistCmpTicks(*a, *b, FtlFormula::CmpOp::kNe, 5, window),
+            IntervalSet::FromIntervals({{0, 14}, {16, 24}, {26, 40}}));
+}
+
+TEST_F(SpatialEvalTest, DistCmpAcrossMotionChange) {
+  // b reverses direction at t=10: distance shrinks, then grows again.
+  const MostObject* a = AddLinear({0, 0}, {0, 0});
+  const MostObject* b = AddPiecewise({20, 0}, {-1, 0}, 10, {1, 0});
+  Interval window(0, 40);
+  IntervalSet close = DistCmpTicks(*a, *b, FtlFormula::CmpOp::kLe, 12, window);
+  // |b(t)| = 20-t until 10 (min 10 at t=10), then 10+(t-10).
+  // <= 12 for t in [8, 12].
+  EXPECT_EQ(close, IntervalSet(Interval(8, 12)));
+}
+
+TEST_F(SpatialEvalTest, SphereTicksMatchesPerTick) {
+  Rng rng(3);
+  std::vector<const MostObject*> objs;
+  for (int i = 0; i < 3; ++i) {
+    objs.push_back(AddPiecewise(
+        {0.25 * rng.UniformInt(-100, 100), 0.25 * rng.UniformInt(-100, 100)},
+        {0.25 * rng.UniformInt(-6, 6), 0.25 * rng.UniformInt(-6, 6)},
+        rng.UniformInt(5, 20),
+        {0.25 * rng.UniformInt(-6, 6), 0.25 * rng.UniformInt(-6, 6)}));
+  }
+  double r = 30.0;
+  Interval window(0, 40);
+  IntervalSet when = SphereTicks(objs, r, window);
+  for (Tick t = 0; t <= 40; ++t) {
+    std::vector<Point2> pts;
+    for (const MostObject* o : objs) pts.push_back(o->PositionAt(t));
+    double mec = MinimalEnclosingCircle(pts).radius;
+    if (std::abs(mec - r) < 1e-6) continue;
+    EXPECT_EQ(when.Contains(t), mec <= r) << "t=" << t << " mec=" << mec;
+  }
+}
+
+}  // namespace
+}  // namespace most

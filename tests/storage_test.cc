@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/expression.h"
+#include "storage/table.h"
+
+namespace most {
+namespace {
+
+Schema MotelsSchema() {
+  return Schema({{"name", ValueType::kString},
+                 {"x", ValueType::kDouble},
+                 {"y", ValueType::kDouble},
+                 {"price", ValueType::kDouble},
+                 {"rooms", ValueType::kInt}});
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest() : table_("MOTELS", MotelsSchema()) {}
+
+  RowId Add(const char* name, double x, double y, double price,
+            int64_t rooms) {
+    auto rid = table_.Insert(
+        {Value(name), Value(x), Value(y), Value(price), Value(rooms)});
+    EXPECT_TRUE(rid.ok());
+    return rid.value();
+  }
+
+  Table table_;
+};
+
+TEST_F(TableTest, InsertGetDelete) {
+  RowId a = Add("SleepInn", 1, 2, 59.0, 40);
+  RowId b = Add("RestWell", 5, 5, 89.0, 12);
+  EXPECT_EQ(table_.size(), 2u);
+  ASSERT_NE(table_.Get(a), nullptr);
+  EXPECT_EQ((*table_.Get(a))[0], Value("SleepInn"));
+  EXPECT_TRUE(table_.Delete(a).ok());
+  EXPECT_EQ(table_.Get(a), nullptr);
+  EXPECT_FALSE(table_.Delete(a).ok());
+  EXPECT_NE(table_.Get(b), nullptr);
+}
+
+TEST_F(TableTest, InsertValidatesSchema) {
+  EXPECT_FALSE(table_.Insert({Value(1)}).ok());
+  EXPECT_FALSE(table_.Insert({Value(1), Value(1.0), Value(1.0), Value(1.0),
+                              Value(1)})
+                   .ok());
+}
+
+TEST_F(TableTest, UpdateAndUpdateColumn) {
+  RowId a = Add("SleepInn", 1, 2, 59.0, 40);
+  EXPECT_TRUE(table_.UpdateColumn(a, 3, Value(75.0)).ok());
+  EXPECT_EQ((*table_.Get(a))[3], Value(75.0));
+  EXPECT_FALSE(table_.UpdateColumn(a, 9, Value(1)).ok());
+  EXPECT_FALSE(table_.UpdateColumn(a, 0, Value(1.5)).ok());  // Type error.
+  EXPECT_TRUE(
+      table_.Update(a, {Value("NewName"), Value(0.0), Value(0.0), Value(10.0),
+                        Value(int64_t{1})})
+          .ok());
+  EXPECT_EQ((*table_.Get(a))[0], Value("NewName"));
+}
+
+TEST_F(TableTest, ScanVisitsInsertionOrder) {
+  Add("A", 0, 0, 1, 1);
+  Add("B", 0, 0, 2, 1);
+  Add("C", 0, 0, 3, 1);
+  std::vector<std::string> names;
+  table_.Scan([&](RowId, const Row& row) {
+    names.push_back(row[0].string_value());
+  });
+  EXPECT_EQ(names, (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST_F(TableTest, SecondaryIndexMaintainedAcrossMutations) {
+  RowId a = Add("A", 0, 0, 50, 1);
+  ASSERT_TRUE(table_.CreateIndex("price").ok());
+  EXPECT_FALSE(table_.CreateIndex("price").ok());  // Duplicate.
+  EXPECT_FALSE(table_.CreateIndex("nope").ok());
+  RowId b = Add("B", 0, 0, 75, 1);
+
+  const BPlusTree* idx = table_.GetIndex("price");
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->Lookup(Value(50.0)), (std::vector<RowId>{a}));
+  EXPECT_EQ(idx->Lookup(Value(75.0)), (std::vector<RowId>{b}));
+
+  ASSERT_TRUE(table_.UpdateColumn(a, 3, Value(60.0)).ok());
+  EXPECT_TRUE(idx->Lookup(Value(50.0)).empty());
+  EXPECT_EQ(idx->Lookup(Value(60.0)), (std::vector<RowId>{a}));
+
+  ASSERT_TRUE(table_.Delete(b).ok());
+  EXPECT_TRUE(idx->Lookup(Value(75.0)).empty());
+}
+
+TEST(ExpressionTest, LiteralAndColumn) {
+  Schema s({{"a", ValueType::kInt}, {"b", ValueType::kDouble}});
+  Row row{Value(3), Value(4.5)};
+  EXPECT_EQ(Expr::Literal(Value(7))->Eval(s, row).value(), Value(7));
+  EXPECT_EQ(Expr::Column("b")->Eval(s, row).value(), Value(4.5));
+  EXPECT_FALSE(Expr::Column("missing")->Eval(s, row).ok());
+}
+
+TEST(ExpressionTest, ComparisonsAndConnectives) {
+  Schema s({{"a", ValueType::kInt}});
+  Row row{Value(3)};
+  auto col = Expr::Column("a");
+  auto lit5 = Expr::Literal(Value(5));
+  EXPECT_EQ(Expr::Compare(Expr::CmpOp::kLt, col, lit5)->Eval(s, row).value(),
+            Value(true));
+  EXPECT_EQ(Expr::Compare(Expr::CmpOp::kGe, col, lit5)->Eval(s, row).value(),
+            Value(false));
+  auto t = Expr::True();
+  auto f = Expr::False();
+  EXPECT_EQ(Expr::And(t, f)->Eval(s, row).value(), Value(false));
+  EXPECT_EQ(Expr::Or(t, f)->Eval(s, row).value(), Value(true));
+  EXPECT_EQ(Expr::Not(f)->Eval(s, row).value(), Value(true));
+  // Type error: AND over non-boolean.
+  EXPECT_FALSE(Expr::And(col, t)->Eval(s, row).ok());
+}
+
+TEST(ExpressionTest, ShortCircuitSkipsBadRightOperand) {
+  Schema s({{"a", ValueType::kInt}});
+  Row row{Value(3)};
+  auto bad = Expr::Column("missing");
+  EXPECT_EQ(Expr::And(Expr::False(), bad)->Eval(s, row).value(), Value(false));
+  EXPECT_EQ(Expr::Or(Expr::True(), bad)->Eval(s, row).value(), Value(true));
+}
+
+TEST(ExpressionTest, Arithmetic) {
+  Schema s({{"a", ValueType::kInt}});
+  Row row{Value(10)};
+  auto col = Expr::Column("a");
+  auto two = Expr::Literal(Value(2));
+  EXPECT_EQ(Expr::Arith(Expr::ArithOp::kAdd, col, two)->Eval(s, row).value(),
+            Value(12.0));
+  EXPECT_EQ(Expr::Arith(Expr::ArithOp::kMul, col, two)->Eval(s, row).value(),
+            Value(20.0));
+  EXPECT_EQ(Expr::Arith(Expr::ArithOp::kDiv, col, two)->Eval(s, row).value(),
+            Value(5.0));
+  EXPECT_FALSE(Expr::Arith(Expr::ArithOp::kDiv, col, Expr::Literal(Value(0)))
+                   ->Eval(s, row)
+                   .ok());
+}
+
+TEST(ExpressionTest, CollectColumnsAndEquals) {
+  auto e = Expr::And(
+      Expr::Compare(Expr::CmpOp::kGt, Expr::Column("x"),
+                    Expr::Literal(Value(1))),
+      Expr::Compare(Expr::CmpOp::kLt, Expr::Column("y"),
+                    Expr::Column("x")));
+  std::set<std::string> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::set<std::string>{"x", "y"}));
+
+  auto same = Expr::And(
+      Expr::Compare(Expr::CmpOp::kGt, Expr::Column("x"),
+                    Expr::Literal(Value(1))),
+      Expr::Compare(Expr::CmpOp::kLt, Expr::Column("y"),
+                    Expr::Column("x")));
+  EXPECT_TRUE(e->Equals(*same));
+  EXPECT_FALSE(e->Equals(*Expr::True()));
+}
+
+TEST(ExpressionTest, SplitConjunctsFlattensAndTree) {
+  auto a = Expr::Compare(Expr::CmpOp::kGt, Expr::Column("x"),
+                         Expr::Literal(Value(1)));
+  auto b = Expr::Compare(Expr::CmpOp::kLt, Expr::Column("y"),
+                         Expr::Literal(Value(2)));
+  auto c = Expr::Compare(Expr::CmpOp::kEq, Expr::Column("z"),
+                         Expr::Literal(Value(3)));
+  std::vector<ExprPtr> out;
+  SplitConjuncts(Expr::And(Expr::And(a, b), c), &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0]->Equals(*a));
+  EXPECT_TRUE(out[1]->Equals(*b));
+  EXPECT_TRUE(out[2]->Equals(*c));
+}
+
+TEST(ExpressionTest, SimplifyExprFoldsBooleanConstants) {
+  auto p = Expr::Compare(Expr::CmpOp::kGt, Expr::Column("x"),
+                         Expr::Literal(Value(1)));
+  // p AND FALSE -> FALSE.
+  EXPECT_TRUE(IsBoolLiteral(SimplifyExpr(Expr::And(p, Expr::False())), false));
+  // p AND TRUE -> p.
+  EXPECT_TRUE(SimplifyExpr(Expr::And(p, Expr::True()))->Equals(*p));
+  // p OR TRUE -> TRUE.
+  EXPECT_TRUE(IsBoolLiteral(SimplifyExpr(Expr::Or(Expr::True(), p)), true));
+  // p OR FALSE -> p.
+  EXPECT_TRUE(SimplifyExpr(Expr::Or(p, Expr::False()))->Equals(*p));
+  // NOT TRUE -> FALSE; NOT FALSE -> TRUE.
+  EXPECT_TRUE(IsBoolLiteral(SimplifyExpr(Expr::Not(Expr::True())), false));
+  EXPECT_TRUE(IsBoolLiteral(SimplifyExpr(Expr::Not(Expr::False())), true));
+  // Nested folding: (p AND TRUE) OR (FALSE AND p) -> p.
+  auto nested = Expr::Or(Expr::And(p, Expr::True()),
+                         Expr::And(Expr::False(), p));
+  EXPECT_TRUE(SimplifyExpr(nested)->Equals(*p));
+  // Non-boolean structure is untouched.
+  EXPECT_TRUE(SimplifyExpr(p)->Equals(*p));
+  EXPECT_EQ(SimplifyExpr(nullptr), nullptr);
+}
+
+TEST(ExpressionTest, SubstituteAtomReplacesStructurally) {
+  auto p = Expr::Compare(Expr::CmpOp::kGt, Expr::Column("x"),
+                         Expr::Literal(Value(1)));
+  auto q = Expr::Compare(Expr::CmpOp::kLt, Expr::Column("y"),
+                         Expr::Literal(Value(2)));
+  auto f = Expr::Or(Expr::And(p, q), Expr::Not(p));
+  auto rewritten = SubstituteAtom(f, p, Expr::True());
+  Schema s({{"x", ValueType::kInt}, {"y", ValueType::kInt}});
+  // With p := true: f == (true AND q) OR false == q.
+  Row row_q_true{Value(0), Value(0)};   // q: 0 < 2 true.
+  Row row_q_false{Value(0), Value(5)};  // q: 5 < 2 false.
+  EXPECT_EQ(rewritten->Eval(s, row_q_true).value(), Value(true));
+  EXPECT_EQ(rewritten->Eval(s, row_q_false).value(), Value(false));
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = db_.CreateTable("MOTELS", MotelsSchema());
+    ASSERT_TRUE(t.ok());
+    table_ = t.value();
+    auto add = [&](const char* name, double x, double y, double price,
+                   int64_t rooms) {
+      ASSERT_TRUE(table_
+                      ->Insert({Value(name), Value(x), Value(y), Value(price),
+                                Value(rooms)})
+                      .ok());
+    };
+    add("A", 0, 0, 40, 10);
+    add("B", 1, 1, 60, 20);
+    add("C", 2, 2, 80, 30);
+    add("D", 3, 3, 100, 40);
+  }
+
+  Database db_;
+  Table* table_ = nullptr;
+};
+
+TEST_F(DatabaseTest, CatalogOperations) {
+  EXPECT_TRUE(db_.HasTable("MOTELS"));
+  EXPECT_FALSE(db_.HasTable("CARS"));
+  EXPECT_FALSE(db_.CreateTable("MOTELS", MotelsSchema()).ok());
+  EXPECT_FALSE(db_.GetTable("CARS").ok());
+  EXPECT_EQ(db_.TableNames(), (std::vector<std::string>{"MOTELS"}));
+}
+
+TEST_F(DatabaseTest, SelectAll) {
+  SelectQuery q{.table = "MOTELS", .where = nullptr, .project = {}};
+  auto rs = db_.ExecuteSelect(q);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 4u);
+  EXPECT_EQ(rs->schema.num_columns(), 5u);
+}
+
+TEST_F(DatabaseTest, SelectWithFilterAndProjection) {
+  SelectQuery q{
+      .table = "MOTELS",
+      .where = Expr::Compare(Expr::CmpOp::kLe, Expr::Column("price"),
+                             Expr::Literal(Value(60.0))),
+      .project = {"name", "price"}};
+  auto rs = db_.ExecuteSelect(q);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_EQ(rs->rows[0][0], Value("A"));
+  EXPECT_EQ(rs->rows[1][0], Value("B"));
+  EXPECT_EQ(rs->schema.num_columns(), 2u);
+}
+
+TEST_F(DatabaseTest, SelectUsesIndexWhenAvailable) {
+  ASSERT_TRUE(table_->CreateIndex("price").ok());
+  SelectQuery q{
+      .table = "MOTELS",
+      .where = Expr::Compare(Expr::CmpOp::kGt, Expr::Column("price"),
+                             Expr::Literal(Value(70.0))),
+      .project = {"name"}};
+  QueryStats stats;
+  auto rs = db_.ExecuteSelect(q, &stats);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 2u);
+  EXPECT_TRUE(stats.used_index);
+  EXPECT_EQ(stats.rows_examined, 2u);  // Index pruned to matching rows only.
+
+  // Same query without index examines every row.
+  QueryStats scan_stats;
+  SelectQuery q2 = q;
+  q2.where = Expr::Compare(Expr::CmpOp::kGt, Expr::Column("rooms"),
+                           Expr::Literal(Value(25)));
+  auto rs2 = db_.ExecuteSelect(q2, &scan_stats);
+  ASSERT_TRUE(rs2.ok());
+  EXPECT_FALSE(scan_stats.used_index);
+  EXPECT_EQ(scan_stats.rows_examined, 4u);
+}
+
+TEST_F(DatabaseTest, IndexAndScanAgree) {
+  ASSERT_TRUE(table_->CreateIndex("price").ok());
+  // Mirrored literal-on-left comparison also matches the planner rule.
+  SelectQuery q{
+      .table = "MOTELS",
+      .where = Expr::Compare(Expr::CmpOp::kGe, Expr::Literal(Value(80.0)),
+                             Expr::Column("price")),
+      .project = {"name"}};
+  QueryStats stats;
+  auto rs = db_.ExecuteSelect(q, &stats);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(stats.used_index);
+  ASSERT_EQ(rs->rows.size(), 3u);  // price <= 80: A, B, C.
+}
+
+TEST_F(DatabaseTest, WhereTypeErrorSurfaces) {
+  SelectQuery q{.table = "MOTELS",
+                .where = Expr::Column("name"),  // Not boolean.
+                .project = {}};
+  EXPECT_FALSE(db_.ExecuteSelect(q).ok());
+}
+
+}  // namespace
+}  // namespace most

@@ -1,0 +1,85 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+
+namespace most {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value(int64_t{7}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(7).type(), ValueType::kInt);
+  EXPECT_EQ(Value(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value("hi").string_value(), "hi");
+}
+
+TEST(ValueTest, NumericTowerComparison) {
+  EXPECT_EQ(Value(3).Compare(Value(3.0)), 0);
+  EXPECT_LT(Value(3).Compare(Value(3.5)), 0);
+  EXPECT_GT(Value(4.5).Compare(Value(4)), 0);
+}
+
+TEST(ValueTest, CrossTypeTotalOrder) {
+  // Null < bool < numeric < string (by type tag), needed for index keys.
+  EXPECT_LT(Value().Compare(Value(false)), 0);
+  EXPECT_LT(Value(true).Compare(Value(0)), 0);
+  EXPECT_LT(Value(99).Compare(Value("a")), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_EQ(Value("abc").Compare(Value("abc")), 0);
+  EXPECT_GT(Value("b").Compare(Value("a")), 0);
+}
+
+TEST(ValueTest, ComparisonOperators) {
+  EXPECT_TRUE(Value(1) < Value(2));
+  EXPECT_TRUE(Value(2) <= Value(2));
+  EXPECT_TRUE(Value(3) > Value(2));
+  EXPECT_TRUE(Value(3) >= Value(3));
+  EXPECT_TRUE(Value(3) == Value(3.0));
+}
+
+TEST(ValueTest, AsDouble) {
+  EXPECT_DOUBLE_EQ(Value(4).AsDouble().value(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble().value(), 2.5);
+  EXPECT_FALSE(Value("x").AsDouble().ok());
+  EXPECT_FALSE(Value().AsDouble().ok());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+}
+
+TEST(SchemaTest, IndexOfAndValidation) {
+  Schema s({{"id", ValueType::kInt},
+            {"name", ValueType::kString},
+            {"price", ValueType::kDouble}});
+  EXPECT_EQ(s.IndexOf("id").value(), 0u);
+  EXPECT_EQ(s.IndexOf("price").value(), 2u);
+  EXPECT_FALSE(s.IndexOf("missing").ok());
+  EXPECT_TRUE(s.HasColumn("name"));
+
+  EXPECT_TRUE(s.Validate({Value(1), Value("a"), Value(9.99)}).ok());
+  // Int widens to double column.
+  EXPECT_TRUE(s.Validate({Value(1), Value("a"), Value(10)}).ok());
+  // Null allowed anywhere.
+  EXPECT_TRUE(s.Validate({Value(), Value(), Value()}).ok());
+  // Arity mismatch.
+  EXPECT_FALSE(s.Validate({Value(1)}).ok());
+  // Type mismatch.
+  EXPECT_FALSE(s.Validate({Value("x"), Value("a"), Value(9.99)}).ok());
+  // Double does not narrow to int.
+  EXPECT_FALSE(s.Validate({Value(1.5), Value("a"), Value(9.99)}).ok());
+}
+
+}  // namespace
+}  // namespace most

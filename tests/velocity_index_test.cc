@@ -1,0 +1,126 @@
+#include "index/velocity_index.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace most {
+namespace {
+
+DynamicAttribute Linear(double v0, Tick at, double slope) {
+  return DynamicAttribute(v0, at, TimeFunction::Linear(slope));
+}
+
+TEST(VelocityIndexTest, ExactRangeQuery) {
+  VelocityBucketIndex index(0);
+  index.Upsert(1, Linear(0, 0, 1.0));     // v(t) = t.
+  index.Upsert(2, Linear(100, 0, -1.0));  // v(t) = 100 - t.
+  index.Upsert(3, Linear(50, 0, 0.0));    // Constant 50.
+  // At t=50 all three are at 50.
+  EXPECT_EQ(index.QueryExact(49, 51, 50),
+            (std::vector<ObjectId>{1, 2, 3}));
+  // At t=0 only object 3 is near 50.
+  EXPECT_EQ(index.QueryExact(49, 51, 0), (std::vector<ObjectId>{3}));
+}
+
+TEST(VelocityIndexTest, CandidatesAreSuperset) {
+  VelocityBucketIndex index(0, {.bucket_width = 1.0, .horizon = 256});
+  Rng rng(9);
+  for (ObjectId id = 0; id < 100; ++id) {
+    index.Upsert(id, Linear(rng.UniformDouble(-50, 50), 0,
+                            rng.UniformDouble(-2, 2)));
+  }
+  auto exact = index.QueryExact(0, 10, 100);
+  auto candidates = index.QueryCandidates(0, 10, 100);
+  std::set<ObjectId> cand_set(candidates.begin(), candidates.end());
+  for (ObjectId id : exact) {
+    EXPECT_TRUE(cand_set.count(id)) << id;
+  }
+}
+
+TEST(VelocityIndexTest, UpsertReplacesAndRemoveErases) {
+  VelocityBucketIndex index(0);
+  index.Upsert(1, Linear(10, 0, 0.0));
+  EXPECT_EQ(index.QueryExact(9, 11, 5), (std::vector<ObjectId>{1}));
+  index.Upsert(1, Linear(500, 0, 0.0));
+  EXPECT_TRUE(index.QueryExact(9, 11, 5).empty());
+  EXPECT_EQ(index.QueryExact(499, 501, 5), (std::vector<ObjectId>{1}));
+  index.Remove(1);
+  EXPECT_TRUE(index.QueryExact(499, 501, 5).empty());
+  EXPECT_EQ(index.num_objects(), 0u);
+  index.Remove(99);  // No-op.
+}
+
+TEST(VelocityIndexTest, RebuildReanchorsReferenceTime) {
+  VelocityBucketIndex index(0, {.bucket_width = 0.5, .horizon = 64});
+  index.Upsert(1, Linear(0, 0, 2.0));
+  EXPECT_FALSE(index.NeedsRebuild(63));
+  EXPECT_TRUE(index.NeedsRebuild(64));
+  index.Rebuild(64);
+  EXPECT_EQ(index.reference_time(), 64);
+  // v(100) = 200.
+  EXPECT_EQ(index.QueryExact(199, 201, 100), (std::vector<ObjectId>{1}));
+}
+
+TEST(VelocityIndexTest, ExpansionGrowsWithTimeDistance) {
+  // The structural tradeoff: probing far from t_ref touches more entries.
+  VelocityBucketIndex index(0, {.bucket_width = 1.0, .horizon = 4096});
+  Rng rng(13);
+  for (ObjectId id = 0; id < 2000; ++id) {
+    index.Upsert(id, Linear(rng.UniformDouble(-1000, 1000), 0,
+                            rng.UniformDouble(-2, 2)));
+  }
+  (void)index.QueryExact(0, 10, 1);
+  size_t near = index.last_entries_probed();
+  (void)index.QueryExact(0, 10, 1000);
+  size_t far = index.last_entries_probed();
+  EXPECT_GT(far, near * 5);
+}
+
+class VelocityIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(VelocityIndexPropertyTest, MatchesFullScanUnderChurn) {
+  Rng rng(GetParam());
+  VelocityBucketIndex index(0, {.bucket_width = 0.5, .horizon = 512});
+  std::unordered_map<ObjectId, DynamicAttribute> truth;
+  for (ObjectId id = 0; id < 150; ++id) {
+    DynamicAttribute a = Linear(rng.UniformDouble(-100, 100), 0,
+                                rng.UniformDouble(-2, 2));
+    truth.emplace(id, a);
+    index.Upsert(id, a);
+  }
+  for (int round = 0; round < 30; ++round) {
+    // Churn: update or remove.
+    ObjectId id = static_cast<ObjectId>(rng.UniformInt(0, 149));
+    if (rng.Bernoulli(0.8)) {
+      Tick at = rng.UniformInt(0, 100);
+      DynamicAttribute a = Linear(rng.UniformDouble(-100, 100), at,
+                                  rng.UniformDouble(-2, 2));
+      truth.insert_or_assign(id, a);
+      index.Upsert(id, a);
+    } else {
+      truth.erase(id);
+      index.Remove(id);
+    }
+    double lo = rng.UniformDouble(-150, 120);
+    double hi = lo + rng.UniformDouble(0, 40);
+    Tick t = rng.UniformInt(0, 511);
+    std::set<ObjectId> got;
+    for (ObjectId oid : index.QueryExact(lo, hi, t)) got.insert(oid);
+    std::set<ObjectId> want;
+    for (const auto& [oid, attr] : truth) {
+      double v = attr.ValueAt(t);
+      if (lo <= v && v <= hi) want.insert(oid);
+    }
+    ASSERT_EQ(got, want) << "round " << round << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VelocityIndexPropertyTest,
+                         ::testing::Values(1, 2, 3, 1997));
+
+}  // namespace
+}  // namespace most

@@ -1,0 +1,234 @@
+#include "storage/wal.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/durable_database.h"
+
+namespace most {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void RemoveFile(const std::string& path) { std::remove(path.c_str()); }
+
+TEST(WalRecordTest, EncodeDecodeRoundTrip) {
+  WalRecord records[5];
+  records[0].kind = WalRecord::Kind::kCreateTable;
+  records[0].table = "MOTELS";
+  records[0].schema = Schema({{"name", ValueType::kString},
+                              {"price", ValueType::kDouble},
+                              {"rooms", ValueType::kInt}});
+  records[1].kind = WalRecord::Kind::kInsert;
+  records[1].table = "MOTELS";
+  records[1].rid = 42;
+  records[1].row = {Value("Sleep|Inn, the 100% best:motel\n"), Value(59.25),
+                    Value(12)};
+  records[2].kind = WalRecord::Kind::kUpdate;
+  records[2].table = "MOTELS";
+  records[2].rid = 42;
+  records[2].row = {Value::Null(), Value(true), Value(-17)};
+  records[3].kind = WalRecord::Kind::kDelete;
+  records[3].table = "MOTELS";
+  records[3].rid = 7;
+  records[4].kind = WalRecord::Kind::kCreateIndex;
+  records[4].table = "MOTELS";
+  records[4].column = "price";
+
+  for (const WalRecord& record : records) {
+    auto decoded = DecodeWalRecord(EncodeWalRecord(record));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->kind, record.kind);
+    EXPECT_EQ(decoded->table, record.table);
+    EXPECT_EQ(decoded->rid, record.rid);
+    ASSERT_EQ(decoded->row.size(), record.row.size());
+    for (size_t i = 0; i < record.row.size(); ++i) {
+      EXPECT_EQ(decoded->row[i], record.row[i]);
+      EXPECT_EQ(decoded->row[i].type(), record.row[i].type());
+    }
+    EXPECT_EQ(decoded->column, record.column);
+    ASSERT_EQ(decoded->schema.num_columns(), record.schema.num_columns());
+    for (size_t i = 0; i < record.schema.num_columns(); ++i) {
+      EXPECT_EQ(decoded->schema.column(i).name,
+                record.schema.column(i).name);
+      EXPECT_EQ(decoded->schema.column(i).type,
+                record.schema.column(i).type);
+    }
+  }
+}
+
+TEST(WalRecordTest, RejectsCorruption) {
+  EXPECT_FALSE(DecodeWalRecord("").ok());
+  EXPECT_FALSE(DecodeWalRecord("garbage").ok());
+  EXPECT_FALSE(DecodeWalRecord("5|I|T").ok());      // Length mismatch.
+  EXPECT_FALSE(DecodeWalRecord("3|Z|T").ok());      // Unknown kind.
+  EXPECT_FALSE(DecodeWalRecord("7|I|T|x|y").ok());  // Bad field count/len.
+}
+
+TEST(WalFileTest, WriteReadAndTornTail) {
+  std::string path = TempPath("wal_torn.log");
+  RemoveFile(path);
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    WalRecord record;
+    record.kind = WalRecord::Kind::kDelete;
+    record.table = "T";
+    record.rid = 1;
+    ASSERT_TRUE(writer.Append(record).ok());
+    record.rid = 2;
+    ASSERT_TRUE(writer.Append(record).ok());
+  }
+  // Simulate a crash mid-append: add a partial line with no newline.
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "57|I|T|99";
+  }
+  bool torn = false;
+  auto records = ReadWal(path, &torn);
+  ASSERT_TRUE(records.ok()) << records.status();
+  EXPECT_TRUE(torn);
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[1].rid, 2u);
+  RemoveFile(path);
+}
+
+TEST(WalFileTest, MissingFileIsEmptyLog) {
+  auto records = ReadWal(TempPath("never_created.log"));
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+class DurableDatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("durable_test.log");
+    RemoveFile(path_);
+  }
+  void TearDown() override { RemoveFile(path_); }
+
+  std::string path_;
+};
+
+TEST_F(DurableDatabaseTest, SurvivesReopen) {
+  RowId kept = kInvalidRowId;
+  {
+    DurableDatabase db;
+    ASSERT_TRUE(db.Open(path_).ok());
+    ASSERT_TRUE(db.CreateTable("CARS", Schema({{"plate", ValueType::kString},
+                                               {"x", ValueType::kDouble}}))
+                    .ok());
+    auto a = db.Insert("CARS", {Value("AAA111"), Value(1.5)});
+    auto b = db.Insert("CARS", {Value("BBB222"), Value(2.5)});
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    kept = *a;
+    ASSERT_TRUE(db.Update("CARS", *a, {Value("AAA111"), Value(99.0)}).ok());
+    ASSERT_TRUE(db.Delete("CARS", *b).ok());
+    ASSERT_TRUE(db.CreateIndex("CARS", "x").ok());
+  }
+  // "Crash" and recover.
+  DurableDatabase db;
+  size_t recovered = 0;
+  ASSERT_TRUE(db.Open(path_, &recovered).ok());
+  EXPECT_EQ(recovered, 6u);
+  auto table = db.GetTable("CARS");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->size(), 1u);
+  const Row* row = (*table)->Get(kept);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[1], Value(99.0));
+  EXPECT_NE((*table)->GetIndex("x"), nullptr);
+
+  // The recovered database keeps working and assigns fresh ids.
+  auto c = db.Insert("CARS", {Value("CCC333"), Value(3.0)});
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(*c, kept);
+}
+
+TEST_F(DurableDatabaseTest, CheckpointCompactsAndPreservesState) {
+  DurableDatabase db;
+  ASSERT_TRUE(db.Open(path_).ok());
+  ASSERT_TRUE(
+      db.CreateTable("T", Schema({{"v", ValueType::kInt}})).ok());
+  RowId survivor = kInvalidRowId;
+  for (int i = 0; i < 50; ++i) {
+    auto rid = db.Insert("T", {Value(i)});
+    ASSERT_TRUE(rid.ok());
+    if (i == 49) {
+      survivor = *rid;
+    } else {
+      ASSERT_TRUE(db.Delete("T", *rid).ok());
+    }
+  }
+  ASSERT_TRUE(db.CreateIndex("T", "v").ok());
+  ASSERT_TRUE(db.Checkpoint().ok());
+
+  // Only the survivor remains after replaying the compacted log.
+  DurableDatabase reopened;
+  size_t recovered = 0;
+  ASSERT_TRUE(reopened.Open(path_, &recovered).ok());
+  EXPECT_EQ(recovered, 3u);  // Create table + one insert + one index.
+  auto table = reopened.GetTable("T");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->size(), 1u);
+  EXPECT_NE((*table)->Get(survivor), nullptr);
+  EXPECT_NE((*table)->GetIndex("v"), nullptr);
+
+  // Checkpoint-then-write-then-recover still works.
+  ASSERT_TRUE(reopened.Insert("T", {Value(1000)}).ok());
+  DurableDatabase again;
+  ASSERT_TRUE(again.Open(path_).ok());
+  EXPECT_EQ((*again.GetTable("T"))->size(), 2u);
+}
+
+TEST_F(DurableDatabaseTest, RandomizedCrashRecoveryMatchesOracle) {
+  Rng rng(1997);
+  std::map<RowId, int64_t> oracle;
+  {
+    DurableDatabase db;
+    ASSERT_TRUE(db.Open(path_).ok());
+    ASSERT_TRUE(
+        db.CreateTable("T", Schema({{"v", ValueType::kInt}})).ok());
+    for (int step = 0; step < 500; ++step) {
+      double action = rng.UniformDouble(0, 1);
+      if (action < 0.5 || oracle.empty()) {
+        int64_t v = rng.UniformInt(0, 1000);
+        auto rid = db.Insert("T", {Value(v)});
+        ASSERT_TRUE(rid.ok());
+        oracle[*rid] = v;
+      } else if (action < 0.8) {
+        auto it = oracle.begin();
+        std::advance(it, rng.UniformInt(0, oracle.size() - 1));
+        int64_t v = rng.UniformInt(0, 1000);
+        ASSERT_TRUE(db.Update("T", it->first, {Value(v)}).ok());
+        it->second = v;
+      } else {
+        auto it = oracle.begin();
+        std::advance(it, rng.UniformInt(0, oracle.size() - 1));
+        ASSERT_TRUE(db.Delete("T", it->first).ok());
+        oracle.erase(it);
+      }
+      if (step == 250) {
+        ASSERT_TRUE(db.Checkpoint().ok());
+      }
+    }
+  }
+  DurableDatabase recovered;
+  ASSERT_TRUE(recovered.Open(path_).ok());
+  auto table = recovered.GetTable("T");
+  ASSERT_TRUE(table.ok());
+  std::map<RowId, int64_t> state;
+  (*table)->Scan([&](RowId rid, const Row& row) {
+    state[rid] = row[0].int_value();
+  });
+  EXPECT_EQ(state, oracle);
+}
+
+}  // namespace
+}  // namespace most

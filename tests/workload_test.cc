@@ -1,0 +1,120 @@
+#include "workload/fleet.h"
+
+#include <gtest/gtest.h>
+
+namespace most {
+namespace {
+
+TEST(FleetGeneratorTest, DeterministicForSameSeed) {
+  FleetGenerator a({.num_vehicles = 20, .seed = 7});
+  FleetGenerator b({.num_vehicles = 20, .seed = 7});
+  ASSERT_EQ(a.initial_states().size(), b.initial_states().size());
+  for (size_t i = 0; i < a.initial_states().size(); ++i) {
+    EXPECT_EQ(a.initial_states()[i].position, b.initial_states()[i].position);
+    EXPECT_EQ(a.initial_states()[i].velocity, b.initial_states()[i].velocity);
+  }
+  EXPECT_EQ(a.GenerateUpdates(100).size(), b.GenerateUpdates(100).size());
+}
+
+TEST(FleetGeneratorTest, InitialStatesInsideArea) {
+  FleetGenerator fleet({.num_vehicles = 50, .area = 500.0, .seed = 3});
+  for (const ObjectState& s : fleet.initial_states()) {
+    EXPECT_GE(s.position.x, 0);
+    EXPECT_LE(s.position.x, 500);
+    EXPECT_GE(s.position.y, 0);
+    EXPECT_LE(s.position.y, 500);
+    double speed = s.velocity.Norm();
+    EXPECT_GE(speed, 0.5 - 1e-9);
+    EXPECT_LE(speed, 3.0 + 1e-9);
+  }
+}
+
+TEST(FleetGeneratorTest, UpdatesSortedAndContinuous) {
+  FleetGenerator fleet({.num_vehicles = 10, .change_probability = 0.1, .seed = 5});
+  auto updates = fleet.GenerateUpdates(200);
+  EXPECT_FALSE(updates.empty());
+  for (size_t i = 1; i < updates.size(); ++i) {
+    EXPECT_LE(updates[i - 1].at, updates[i].at);
+  }
+  // Track one vehicle: each update's position must equal the previous
+  // trajectory extrapolated to the update time (no teleporting).
+  for (const ObjectState& start : fleet.initial_states()) {
+    Point2 pos = start.position;
+    Vec2 vel = start.velocity;
+    Tick at = 0;
+    for (const MotionUpdate& u : updates) {
+      if (u.id != start.id) continue;
+      Point2 expected = pos + vel * static_cast<double>(u.at - at);
+      EXPECT_NEAR(expected.x, u.position.x, 1e-9);
+      EXPECT_NEAR(expected.y, u.position.y, 1e-9);
+      pos = u.position;
+      vel = u.velocity;
+      at = u.at;
+    }
+  }
+}
+
+TEST(FleetGeneratorTest, BouncingKeepsVehiclesInsideArea) {
+  FleetGenerator fleet(
+      {.num_vehicles = 20, .area = 100.0, .change_probability = 0.0,
+       .seed = 11});
+  auto updates = fleet.GenerateUpdates(500);
+  // With no random turns, every update is a bounce; simulate and check
+  // positions stay within a small tolerance of the area.
+  for (const ObjectState& start : fleet.initial_states()) {
+    Point2 pos = start.position;
+    Vec2 vel = start.velocity;
+    Tick at = 0;
+    auto check_until = [&](Tick end) {
+      for (Tick t = at; t <= end; ++t) {
+        Point2 p = pos + vel * static_cast<double>(t - at);
+        EXPECT_GE(p.x, -3.1);
+        EXPECT_LE(p.x, 103.1);
+        EXPECT_GE(p.y, -3.1);
+        EXPECT_LE(p.y, 103.1);
+      }
+    };
+    for (const MotionUpdate& u : updates) {
+      if (u.id != start.id) continue;
+      check_until(u.at);
+      pos = u.position;
+      vel = u.velocity;
+      at = u.at;
+    }
+    check_until(500);
+  }
+}
+
+TEST(FleetGeneratorTest, PopulateAndApply) {
+  FleetGenerator fleet({.num_vehicles = 5, .seed = 13});
+  MostDatabase db;
+  ASSERT_TRUE(fleet.Populate(&db, "CARS").ok());
+  auto cls = db.GetClass("CARS");
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ((*cls)->size(), 5u);
+
+  auto updates = fleet.GenerateUpdates(100);
+  if (!updates.empty()) {
+    db.clock().AdvanceTo(updates[0].at);
+    ASSERT_TRUE(FleetGenerator::Apply(&db, "CARS", updates[0]).ok());
+    auto obj = (*cls)->Get(updates[0].id);
+    ASSERT_TRUE(obj.ok());
+    Point2 pos = (*obj)->PositionAt(updates[0].at);
+    EXPECT_NEAR(pos.x, updates[0].position.x, 1e-9);
+  }
+}
+
+TEST(RandomRegionTest, CoversRequestedFraction) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    Polygon region = RandomRegion(&rng, 1000.0, 0.1);
+    double area = std::abs(region.SignedArea());
+    EXPECT_NEAR(area, 0.1 * 1000.0 * 1000.0, 1.0);
+    // Region inside the world.
+    EXPECT_GE(region.bounding_box().min.x, 0);
+    EXPECT_LE(region.bounding_box().max.x, 1000);
+  }
+}
+
+}  // namespace
+}  // namespace most
