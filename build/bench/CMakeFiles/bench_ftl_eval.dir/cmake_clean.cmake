@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ftl_eval.dir/bench_ftl_eval.cc.o"
+  "CMakeFiles/bench_ftl_eval.dir/bench_ftl_eval.cc.o.d"
+  "bench_ftl_eval"
+  "bench_ftl_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ftl_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nearest.dir/bench_nearest.cc.o"
+  "CMakeFiles/bench_nearest.dir/bench_nearest.cc.o.d"
+  "bench_nearest"
+  "bench_nearest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nearest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transmission.dir/bench_transmission.cc.o"
+  "CMakeFiles/bench_transmission.dir/bench_transmission.cc.o.d"
+  "bench_transmission"
+  "bench_transmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_until_join.dir/bench_until_join.cc.o"
+  "CMakeFiles/bench_until_join.dir/bench_until_join.cc.o.d"
+  "bench_until_join"
+  "bench_until_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_until_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_traffic_control.dir/air_traffic_control.cpp.o"
+  "CMakeFiles/air_traffic_control.dir/air_traffic_control.cpp.o.d"
+  "air_traffic_control"
+  "air_traffic_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_traffic_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/most_shell.dir/most_shell.cpp.o"
+  "CMakeFiles/most_shell.dir/most_shell.cpp.o.d"
+  "most_shell"
+  "most_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/most_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motel_finder.dir/motel_finder.cpp.o"
+  "CMakeFiles/motel_finder.dir/motel_finder.cpp.o.d"
+  "motel_finder"
+  "motel_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motel_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

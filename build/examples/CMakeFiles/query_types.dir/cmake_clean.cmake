@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_types.dir/query_types.cpp.o"
+  "CMakeFiles/query_types.dir/query_types.cpp.o.d"
+  "query_types"
+  "query_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/most_common.dir/interval.cc.o"
+  "CMakeFiles/most_common.dir/interval.cc.o.d"
+  "CMakeFiles/most_common.dir/logging.cc.o"
+  "CMakeFiles/most_common.dir/logging.cc.o.d"
+  "CMakeFiles/most_common.dir/status.cc.o"
+  "CMakeFiles/most_common.dir/status.cc.o.d"
+  "libmost_common.a"
+  "libmost_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/most_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/most_core_model.dir/most_on_dbms.cc.o"
+  "CMakeFiles/most_core_model.dir/most_on_dbms.cc.o.d"
+  "CMakeFiles/most_core_model.dir/motion_index_manager.cc.o"
+  "CMakeFiles/most_core_model.dir/motion_index_manager.cc.o.d"
+  "CMakeFiles/most_core_model.dir/object_model.cc.o"
+  "CMakeFiles/most_core_model.dir/object_model.cc.o.d"
+  "libmost_core_model.a"
+  "libmost_core_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/most_core_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

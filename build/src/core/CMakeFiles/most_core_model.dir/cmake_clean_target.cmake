@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmost_core_model.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/most_distributed.dir/coordinator.cc.o"
+  "CMakeFiles/most_distributed.dir/coordinator.cc.o.d"
+  "CMakeFiles/most_distributed.dir/mobile_node.cc.o"
+  "CMakeFiles/most_distributed.dir/mobile_node.cc.o.d"
+  "CMakeFiles/most_distributed.dir/network.cc.o"
+  "CMakeFiles/most_distributed.dir/network.cc.o.d"
+  "CMakeFiles/most_distributed.dir/transmission.cc.o"
+  "CMakeFiles/most_distributed.dir/transmission.cc.o.d"
+  "libmost_distributed.a"
+  "libmost_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/most_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/ast.cc" "src/ftl/CMakeFiles/most_ftl.dir/ast.cc.o" "gcc" "src/ftl/CMakeFiles/most_ftl.dir/ast.cc.o.d"
+  "/root/repo/src/ftl/eval.cc" "src/ftl/CMakeFiles/most_ftl.dir/eval.cc.o" "gcc" "src/ftl/CMakeFiles/most_ftl.dir/eval.cc.o.d"
+  "/root/repo/src/ftl/hybrid_executor.cc" "src/ftl/CMakeFiles/most_ftl.dir/hybrid_executor.cc.o" "gcc" "src/ftl/CMakeFiles/most_ftl.dir/hybrid_executor.cc.o.d"
+  "/root/repo/src/ftl/lexer.cc" "src/ftl/CMakeFiles/most_ftl.dir/lexer.cc.o" "gcc" "src/ftl/CMakeFiles/most_ftl.dir/lexer.cc.o.d"
+  "/root/repo/src/ftl/naive_eval.cc" "src/ftl/CMakeFiles/most_ftl.dir/naive_eval.cc.o" "gcc" "src/ftl/CMakeFiles/most_ftl.dir/naive_eval.cc.o.d"
+  "/root/repo/src/ftl/nearest.cc" "src/ftl/CMakeFiles/most_ftl.dir/nearest.cc.o" "gcc" "src/ftl/CMakeFiles/most_ftl.dir/nearest.cc.o.d"
+  "/root/repo/src/ftl/parser.cc" "src/ftl/CMakeFiles/most_ftl.dir/parser.cc.o" "gcc" "src/ftl/CMakeFiles/most_ftl.dir/parser.cc.o.d"
+  "/root/repo/src/ftl/plf.cc" "src/ftl/CMakeFiles/most_ftl.dir/plf.cc.o" "gcc" "src/ftl/CMakeFiles/most_ftl.dir/plf.cc.o.d"
+  "/root/repo/src/ftl/query_manager.cc" "src/ftl/CMakeFiles/most_ftl.dir/query_manager.cc.o" "gcc" "src/ftl/CMakeFiles/most_ftl.dir/query_manager.cc.o.d"
+  "/root/repo/src/ftl/spatial_eval.cc" "src/ftl/CMakeFiles/most_ftl.dir/spatial_eval.cc.o" "gcc" "src/ftl/CMakeFiles/most_ftl.dir/spatial_eval.cc.o.d"
+  "/root/repo/src/ftl/term_eval.cc" "src/ftl/CMakeFiles/most_ftl.dir/term_eval.cc.o" "gcc" "src/ftl/CMakeFiles/most_ftl.dir/term_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/most_core_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/most_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/most_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/most_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/most_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/most_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

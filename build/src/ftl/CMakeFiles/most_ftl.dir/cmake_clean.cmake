@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/most_ftl.dir/ast.cc.o"
+  "CMakeFiles/most_ftl.dir/ast.cc.o.d"
+  "CMakeFiles/most_ftl.dir/eval.cc.o"
+  "CMakeFiles/most_ftl.dir/eval.cc.o.d"
+  "CMakeFiles/most_ftl.dir/hybrid_executor.cc.o"
+  "CMakeFiles/most_ftl.dir/hybrid_executor.cc.o.d"
+  "CMakeFiles/most_ftl.dir/lexer.cc.o"
+  "CMakeFiles/most_ftl.dir/lexer.cc.o.d"
+  "CMakeFiles/most_ftl.dir/naive_eval.cc.o"
+  "CMakeFiles/most_ftl.dir/naive_eval.cc.o.d"
+  "CMakeFiles/most_ftl.dir/nearest.cc.o"
+  "CMakeFiles/most_ftl.dir/nearest.cc.o.d"
+  "CMakeFiles/most_ftl.dir/parser.cc.o"
+  "CMakeFiles/most_ftl.dir/parser.cc.o.d"
+  "CMakeFiles/most_ftl.dir/plf.cc.o"
+  "CMakeFiles/most_ftl.dir/plf.cc.o.d"
+  "CMakeFiles/most_ftl.dir/query_manager.cc.o"
+  "CMakeFiles/most_ftl.dir/query_manager.cc.o.d"
+  "CMakeFiles/most_ftl.dir/spatial_eval.cc.o"
+  "CMakeFiles/most_ftl.dir/spatial_eval.cc.o.d"
+  "CMakeFiles/most_ftl.dir/term_eval.cc.o"
+  "CMakeFiles/most_ftl.dir/term_eval.cc.o.d"
+  "libmost_ftl.a"
+  "libmost_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/most_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/most_geometry.dir/kinematics.cc.o"
+  "CMakeFiles/most_geometry.dir/kinematics.cc.o.d"
+  "CMakeFiles/most_geometry.dir/mec.cc.o"
+  "CMakeFiles/most_geometry.dir/mec.cc.o.d"
+  "CMakeFiles/most_geometry.dir/polygon.cc.o"
+  "CMakeFiles/most_geometry.dir/polygon.cc.o.d"
+  "libmost_geometry.a"
+  "libmost_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/most_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

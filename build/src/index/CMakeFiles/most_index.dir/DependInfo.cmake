@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/motion_index.cc" "src/index/CMakeFiles/most_index.dir/motion_index.cc.o" "gcc" "src/index/CMakeFiles/most_index.dir/motion_index.cc.o.d"
+  "/root/repo/src/index/trajectory_index.cc" "src/index/CMakeFiles/most_index.dir/trajectory_index.cc.o" "gcc" "src/index/CMakeFiles/most_index.dir/trajectory_index.cc.o.d"
+  "/root/repo/src/index/velocity_index.cc" "src/index/CMakeFiles/most_index.dir/velocity_index.cc.o" "gcc" "src/index/CMakeFiles/most_index.dir/velocity_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/most_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/most_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/most_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/most_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

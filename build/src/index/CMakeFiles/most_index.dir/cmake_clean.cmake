@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/most_index.dir/motion_index.cc.o"
+  "CMakeFiles/most_index.dir/motion_index.cc.o.d"
+  "CMakeFiles/most_index.dir/trajectory_index.cc.o"
+  "CMakeFiles/most_index.dir/trajectory_index.cc.o.d"
+  "CMakeFiles/most_index.dir/velocity_index.cc.o"
+  "CMakeFiles/most_index.dir/velocity_index.cc.o.d"
+  "libmost_index.a"
+  "libmost_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/most_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/most_storage.dir/btree.cc.o"
+  "CMakeFiles/most_storage.dir/btree.cc.o.d"
+  "CMakeFiles/most_storage.dir/database.cc.o"
+  "CMakeFiles/most_storage.dir/database.cc.o.d"
+  "CMakeFiles/most_storage.dir/durable_database.cc.o"
+  "CMakeFiles/most_storage.dir/durable_database.cc.o.d"
+  "CMakeFiles/most_storage.dir/expression.cc.o"
+  "CMakeFiles/most_storage.dir/expression.cc.o.d"
+  "CMakeFiles/most_storage.dir/schema.cc.o"
+  "CMakeFiles/most_storage.dir/schema.cc.o.d"
+  "CMakeFiles/most_storage.dir/table.cc.o"
+  "CMakeFiles/most_storage.dir/table.cc.o.d"
+  "CMakeFiles/most_storage.dir/value.cc.o"
+  "CMakeFiles/most_storage.dir/value.cc.o.d"
+  "CMakeFiles/most_storage.dir/wal.cc.o"
+  "CMakeFiles/most_storage.dir/wal.cc.o.d"
+  "libmost_storage.a"
+  "libmost_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/most_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/dynamic_attribute.cc" "src/temporal/CMakeFiles/most_temporal.dir/dynamic_attribute.cc.o" "gcc" "src/temporal/CMakeFiles/most_temporal.dir/dynamic_attribute.cc.o.d"
+  "/root/repo/src/temporal/range_query.cc" "src/temporal/CMakeFiles/most_temporal.dir/range_query.cc.o" "gcc" "src/temporal/CMakeFiles/most_temporal.dir/range_query.cc.o.d"
+  "/root/repo/src/temporal/time_function.cc" "src/temporal/CMakeFiles/most_temporal.dir/time_function.cc.o" "gcc" "src/temporal/CMakeFiles/most_temporal.dir/time_function.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/most_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

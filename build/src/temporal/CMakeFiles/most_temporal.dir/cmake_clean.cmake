@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/most_temporal.dir/dynamic_attribute.cc.o"
+  "CMakeFiles/most_temporal.dir/dynamic_attribute.cc.o.d"
+  "CMakeFiles/most_temporal.dir/range_query.cc.o"
+  "CMakeFiles/most_temporal.dir/range_query.cc.o.d"
+  "CMakeFiles/most_temporal.dir/time_function.cc.o"
+  "CMakeFiles/most_temporal.dir/time_function.cc.o.d"
+  "libmost_temporal.a"
+  "libmost_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/most_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

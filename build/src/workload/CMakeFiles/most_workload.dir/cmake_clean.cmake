@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/most_workload.dir/fleet.cc.o"
+  "CMakeFiles/most_workload.dir/fleet.cc.o.d"
+  "libmost_workload.a"
+  "libmost_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/most_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_eval_test.dir/ftl_eval_test.cc.o"
+  "CMakeFiles/ftl_eval_test.dir/ftl_eval_test.cc.o.d"
+  "ftl_eval_test"
+  "ftl_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_parser_test.dir/ftl_parser_test.cc.o"
+  "CMakeFiles/ftl_parser_test.dir/ftl_parser_test.cc.o.d"
+  "ftl_parser_test"
+  "ftl_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_roundtrip_test.dir/ftl_roundtrip_test.cc.o"
+  "CMakeFiles/ftl_roundtrip_test.dir/ftl_roundtrip_test.cc.o.d"
+  "ftl_roundtrip_test"
+  "ftl_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_executor_test.dir/hybrid_executor_test.cc.o"
+  "CMakeFiles/hybrid_executor_test.dir/hybrid_executor_test.cc.o.d"
+  "hybrid_executor_test"
+  "hybrid_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexed_eval_test.dir/indexed_eval_test.cc.o"
+  "CMakeFiles/indexed_eval_test.dir/indexed_eval_test.cc.o.d"
+  "indexed_eval_test"
+  "indexed_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexed_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kinematics_test.dir/kinematics_test.cc.o"
+  "CMakeFiles/kinematics_test.dir/kinematics_test.cc.o.d"
+  "kinematics_test"
+  "kinematics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kinematics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

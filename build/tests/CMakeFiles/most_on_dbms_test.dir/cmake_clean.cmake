@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/most_on_dbms_test.dir/most_on_dbms_test.cc.o"
+  "CMakeFiles/most_on_dbms_test.dir/most_on_dbms_test.cc.o.d"
+  "most_on_dbms_test"
+  "most_on_dbms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/most_on_dbms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

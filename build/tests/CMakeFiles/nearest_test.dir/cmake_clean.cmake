@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearest_test.dir/nearest_test.cc.o"
+  "CMakeFiles/nearest_test.dir/nearest_test.cc.o.d"
+  "nearest_test"
+  "nearest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

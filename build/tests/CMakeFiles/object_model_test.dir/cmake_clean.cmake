@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_model_test.dir/object_model_test.cc.o"
+  "CMakeFiles/object_model_test.dir/object_model_test.cc.o.d"
+  "object_model_test"
+  "object_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/plf_test.cc" "tests/CMakeFiles/plf_test.dir/plf_test.cc.o" "gcc" "tests/CMakeFiles/plf_test.dir/plf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ftl/CMakeFiles/most_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/most_core_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/most_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/most_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/most_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/most_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/most_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plf_test.dir/plf_test.cc.o"
+  "CMakeFiles/plf_test.dir/plf_test.cc.o.d"
+  "plf_test"
+  "plf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

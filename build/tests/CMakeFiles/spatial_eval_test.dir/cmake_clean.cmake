@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_eval_test.dir/spatial_eval_test.cc.o"
+  "CMakeFiles/spatial_eval_test.dir/spatial_eval_test.cc.o.d"
+  "spatial_eval_test"
+  "spatial_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

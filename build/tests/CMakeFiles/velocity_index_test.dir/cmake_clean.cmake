@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/velocity_index_test.dir/velocity_index_test.cc.o"
+  "CMakeFiles/velocity_index_test.dir/velocity_index_test.cc.o.d"
+  "velocity_index_test"
+  "velocity_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/velocity_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
