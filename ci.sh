@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: build the Release and AddressSanitizer configurations and
+# run the full test suite in each. `./ci.sh tsan` additionally runs a
+# ThreadSanitizer configuration (slower; exercises the parallel evaluator,
+# thread pool, and query-manager concurrency suites).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+run_config() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_config build-release -DCMAKE_BUILD_TYPE=Release
+run_config build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMOST_SANITIZE=address
+
+if [[ "${1:-}" == "tsan" ]]; then
+  run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMOST_SANITIZE=thread
+fi

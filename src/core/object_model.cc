@@ -209,7 +209,7 @@ Status MostDatabase::SetMotion(const std::string& class_name, ObjectId id,
 }
 
 void MostDatabase::NotifyUpdate(const std::string& class_name, ObjectId id) {
-  for (const UpdateListener& listener : listeners_) {
+  for (const auto& [lid, listener] : listeners_) {
     listener(class_name, id);
   }
 }

@@ -180,12 +180,21 @@ class MostDatabase {
                    Vec2 velocity);
 
   /// Update listeners run after every explicit update (object creation,
-  /// deletion, attribute update). Used for continuous-query maintenance
-  /// and temporal triggers.
+  /// deletion, attribute update). Used for continuous-query maintenance,
+  /// temporal triggers, and atomic-interval cache invalidation. The
+  /// returned id unregisters the listener (components whose lifetime is
+  /// shorter than the database's must remove themselves on destruction).
   using UpdateListener = std::function<void(const std::string& class_name,
                                             ObjectId id)>;
-  void AddUpdateListener(UpdateListener listener) {
-    listeners_.push_back(std::move(listener));
+  using ListenerId = uint64_t;
+  ListenerId AddUpdateListener(UpdateListener listener) {
+    ListenerId id = next_listener_id_++;
+    listeners_.emplace_back(id, std::move(listener));
+    return id;
+  }
+  void RemoveUpdateListener(ListenerId id) {
+    std::erase_if(listeners_,
+                  [id](const auto& entry) { return entry.first == id; });
   }
 
   /// Total explicit updates performed (experiment E1 counts these).
@@ -197,7 +206,8 @@ class MostDatabase {
   Clock clock_;
   std::map<std::string, ObjectClass> classes_;
   std::map<std::string, Polygon> regions_;
-  std::vector<UpdateListener> listeners_;
+  std::vector<std::pair<ListenerId, UpdateListener>> listeners_;
+  ListenerId next_listener_id_ = 1;
   ObjectId next_id_ = 0;
   uint64_t update_count_ = 0;
 };

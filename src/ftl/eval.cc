@@ -1,8 +1,12 @@
 #include "ftl/eval.h"
 
 #include <algorithm>
+#include <atomic>
+#include <charconv>
 #include <sstream>
 
+#include "common/thread_pool.h"
+#include "ftl/interval_cache.h"
 #include "ftl/spatial_eval.h"
 #include "ftl/term_eval.h"
 
@@ -134,6 +138,137 @@ Status EnumerateInstantiations(
       if (d == 0) return Status::OK();
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel, cache-aware atomic extraction.
+//
+// Atomic predicates are solved per variable instantiation, and
+// instantiations are independent of each other, so the extraction is
+// partitioned across a thread pool and the per-binding interval sets are
+// merged back in enumeration order. The merge target is a std::map keyed by
+// the binding, so the resulting relation is byte-identical to the serial
+// path no matter how the work was scheduled. Solved sets are also cached by
+// (predicate fingerprint, binding) so a re-evaluation after an update only
+// re-solves the objects that were invalidated.
+// ---------------------------------------------------------------------------
+
+/// Lossless fingerprint rendering of a double (hex mantissa), so two
+/// distinct assigned values can never alias in the cache the way a rounded
+/// decimal print could.
+void AppendHexDouble(double v, std::string* out) {
+  char buf[40];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::hex);
+  out->append(buf, ptr);
+  out->push_back('|');
+}
+
+/// Appends the exact values of every literal in the term. ToString()
+/// renders literals in decimal (fine for printing, lossy for keying);
+/// fingerprints append this suffix to disambiguate.
+void AppendTermLiterals(const TermPtr& term, std::string* out) {
+  if (term == nullptr) return;
+  if (term->kind() == FtlTerm::Kind::kLiteral &&
+      term->literal().is_numeric()) {
+    AppendHexDouble(term->literal().AsDouble().value(), out);
+  }
+  for (const TermPtr& child : term->children()) {
+    AppendTermLiterals(child, out);
+  }
+}
+
+void AppendWindow(Interval window, std::string* out) {
+  out->push_back('@');
+  out->append(std::to_string(window.begin));
+  out->push_back(',');
+  out->append(std::to_string(window.end));
+}
+
+/// Region geometry folded into the fingerprint: DefineRegion may rebind a
+/// name to a new polygon without any object update firing, so the cache
+/// must key on the shape itself, not the name.
+void AppendPolygon(const Polygon& polygon, std::string* out) {
+  for (const Point2& p : polygon.vertices()) {
+    AppendHexDouble(p.x, out);
+    AppendHexDouble(p.y, out);
+  }
+}
+
+/// One unit of atomic-extraction work: a fully materialized instantiation.
+struct AtomicJob {
+  std::vector<ObjectId> binding;
+  Instantiation inst;
+};
+
+Result<std::vector<AtomicJob>> MaterializeJobs(
+    const std::vector<std::string>& vars, const ClassMap& classes,
+    const FilterMap& filters, size_t max_count, size_t* counter) {
+  std::vector<AtomicJob> jobs;
+  MOST_RETURN_IF_ERROR(EnumerateInstantiations(
+      vars, classes, filters, max_count, counter,
+      [&](const std::vector<ObjectId>& binding, const Instantiation& inst) {
+        jobs.push_back({binding, inst});
+        return Status::OK();
+      }));
+  return jobs;
+}
+
+/// Solves one atomic relation over pre-materialized jobs: probes the cache,
+/// partitions the misses across the pool, stores them back, and merges
+/// every row in deterministic binding order. `fingerprint` empty disables
+/// caching for this atom. `solve` must be a pure function of the job (it
+/// runs concurrently on pool workers).
+Result<TemporalRelation> SolveAtomicRelation(
+    std::vector<std::string> vars, const std::vector<AtomicJob>& jobs,
+    const std::string& fingerprint, const FtlEvaluator::Options& options,
+    FtlEvalStats* stats,
+    const std::function<Result<IntervalSet>(const AtomicJob&)>& solve) {
+  TemporalRelation out;
+  out.vars = std::move(vars);
+
+  std::vector<IntervalSet> results(jobs.size());
+  std::vector<char> have(jobs.size(), 0);
+  IntervalCache* cache =
+      fingerprint.empty() ? nullptr : options.interval_cache;
+  if (cache != nullptr) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (cache->Lookup(fingerprint, jobs[i].binding, &results[i])) {
+        have[i] = 1;
+        ++stats->cache_hits;
+      } else {
+        ++stats->cache_misses;
+      }
+    }
+  }
+  std::vector<size_t> misses;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!have[i]) misses.push_back(i);
+  }
+
+  std::vector<Status> errors(misses.size());
+  ParallelFor(options.pool, misses.size(), [&](size_t m) {
+    const AtomicJob& job = jobs[misses[m]];
+    Result<IntervalSet> r = solve(job);
+    if (!r.ok()) {
+      errors[m] = r.status();
+      return;
+    }
+    results[misses[m]] = std::move(r).value();
+    if (cache != nullptr) {
+      cache->Insert(fingerprint, job.binding, results[misses[m]]);
+    }
+  });
+  stats->atomic_evaluations += misses.size();
+  for (const Status& s : errors) {
+    MOST_RETURN_IF_ERROR(s);
+  }
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!results[i].empty()) {
+      out.rows.emplace(jobs[i].binding, std::move(results[i]));
+    }
+  }
+  return out;
 }
 
 /// Expands a relation to a superset of variables: missing variables range
@@ -373,38 +508,42 @@ Result<TemporalRelation> FtlEvaluator::Eval(const FormulaPtr& f,
     case FtlFormula::Kind::kInside:
     case FtlFormula::Kind::kOutside: {
       MOST_ASSIGN_OR_RETURN(const Polygon* region, db_.GetRegion(f->region()));
+      const bool is_inside = f->kind() == FtlFormula::Kind::kInside;
+
+      // Cache fingerprint: kind + printed atom (variable and region names)
+      // + exact region geometry + window.
+      std::string fp = is_inside ? "IN|" : "OUT|";
+      fp += f->ToString();
+      fp.push_back('|');
+      AppendPolygon(*region, &fp);
+      AppendWindow(window, &fp);
+
       // Anchored (moving) region with a distinct anchor variable: a
       // two-variable atomic relation over the exact relative motion.
       if (!f->anchor().empty() && f->anchor() != f->var()) {
-        TemporalRelation out;
         std::set<std::string> var_set = {f->var(), f->anchor()};
-        out.vars = SortedVars(var_set);
-        Status status = EnumerateInstantiations(
-            out.vars, domains.classes, domains.filters,
-            options_.max_instantiations, &stats_.instantiations,
-            [&](const std::vector<ObjectId>& binding,
-                const Instantiation& inst) {
-              const MostObject* obj = inst.at(f->var());
-              const MostObject* anchor = inst.at(f->anchor());
+        std::vector<std::string> vars = SortedVars(var_set);
+        MOST_ASSIGN_OR_RETURN(
+            std::vector<AtomicJob> jobs,
+            MaterializeJobs(vars, domains.classes, domains.filters,
+                            options_.max_instantiations,
+                            &stats_.instantiations));
+        return SolveAtomicRelation(
+            std::move(vars), jobs, fp, options_, &stats_,
+            [&](const AtomicJob& job) -> Result<IntervalSet> {
+              const MostObject* obj = job.inst.at(f->var());
+              const MostObject* anchor = job.inst.at(f->anchor());
               if (!obj->IsSpatial() || !anchor->IsSpatial()) {
                 return Status::TypeError(
                     "INSIDE/OUTSIDE over non-spatial object");
               }
-              ++stats_.atomic_evaluations;
               IntervalSet inside =
                   InsideTicksRelative(*obj, *anchor, *region, window);
-              IntervalSet when = (f->kind() == FtlFormula::Kind::kInside)
-                                     ? inside
-                                     : inside.Complement(window);
-              if (!when.empty()) out.rows.emplace(binding, std::move(when));
-              return Status::OK();
+              return is_inside ? inside : inside.Complement(window);
             });
-        MOST_RETURN_IF_ERROR(status);
-        return out;
       }
+
       const bool self_anchored = !f->anchor().empty();
-      TemporalRelation out;
-      out.vars = {f->var()};
       auto domain_it = domains.classes.find(f->var());
       if (domain_it == domains.classes.end()) {
         return Status::InvalidArgument("object variable '" + f->var() +
@@ -412,29 +551,14 @@ Result<TemporalRelation> FtlEvaluator::Eval(const FormulaPtr& f,
       }
       const ObjectClass* cls = domain_it->second;
 
-      auto eval_object = [&](const MostObject& obj) -> Status {
-        if (!obj.IsSpatial()) {
-          return Status::TypeError("INSIDE/OUTSIDE over non-spatial object");
-        }
-        ++stats_.atomic_evaluations;
-        IntervalSet inside =
-            self_anchored ? InsideTicksRelative(obj, obj, *region, window)
-                          : InsideTicks(obj, *region, window);
-        IntervalSet when = (f->kind() == FtlFormula::Kind::kInside)
-                               ? inside
-                               : inside.Complement(window);
-        if (!when.empty()) out.rows.emplace(std::vector{obj.id()}, when);
-        return Status::OK();
-      };
-
-      // INSIDE over an indexed class: only the index's candidates can
-      // intersect the region during the window; everyone else is
-      // trivially outside. (OUTSIDE needs the complement, so the index
-      // cannot prune it; neither can it prune a self-anchored region,
-      // which never depends on absolute position.)
+      // Materialize the object list. INSIDE over an indexed class: only
+      // the index's candidates can intersect the region during the window;
+      // everyone else is trivially outside. (OUTSIDE needs the complement,
+      // so the index cannot prune it; neither can it prune a self-anchored
+      // region, which never depends on absolute position.)
+      std::vector<AtomicJob> jobs;
       MotionIndex* index =
-          (f->kind() == FtlFormula::Kind::kInside && !self_anchored &&
-           options_.motion_indexes != nullptr)
+          (is_inside && !self_anchored && options_.motion_indexes != nullptr)
               ? options_.motion_indexes->Get(cls->name())
               : nullptr;
       if (index != nullptr) {
@@ -443,50 +567,99 @@ Result<TemporalRelation> FtlEvaluator::Eval(const FormulaPtr& f,
         std::vector<ObjectId> candidates =
             index->QueryRegionCandidates(query_box, window);
         stats_.index_pruned += cls->size() - candidates.size();
+        jobs.reserve(candidates.size());
         for (ObjectId id : candidates) {
           ++stats_.instantiations;
           MOST_ASSIGN_OR_RETURN(const MostObject* obj, cls->Get(id));
-          MOST_RETURN_IF_ERROR(eval_object(*obj));
+          jobs.push_back({{id}, {{f->var(), obj}}});
         }
-        return out;
+      } else {
+        MOST_ASSIGN_OR_RETURN(
+            jobs, MaterializeJobs({f->var()}, domains.classes,
+                                  domains.filters,
+                                  options_.max_instantiations,
+                                  &stats_.instantiations));
+      }
+      for (const AtomicJob& job : jobs) {
+        if (!job.inst.at(f->var())->IsSpatial()) {
+          return Status::TypeError("INSIDE/OUTSIDE over non-spatial object");
+        }
       }
 
-      Status status = EnumerateInstantiations(
-          out.vars, domains.classes, domains.filters,
-          options_.max_instantiations, &stats_.instantiations,
-          [&](const std::vector<ObjectId>& binding,
-              const Instantiation& inst) {
-            return eval_object(*inst.at(f->var()));
-          });
-      MOST_RETURN_IF_ERROR(status);
+      // Probe the cache, then extract the misses as one batch partitioned
+      // across the pool (spatial_eval owns the per-object kinematics).
+      TemporalRelation out;
+      out.vars = {f->var()};
+      std::vector<IntervalSet> results(jobs.size());
+      std::vector<char> have(jobs.size(), 0);
+      IntervalCache* cache = options_.interval_cache;
+      if (cache != nullptr) {
+        for (size_t i = 0; i < jobs.size(); ++i) {
+          if (cache->Lookup(fp, jobs[i].binding, &results[i])) {
+            have[i] = 1;
+            ++stats_.cache_hits;
+          } else {
+            ++stats_.cache_misses;
+          }
+        }
+      }
+      std::vector<size_t> misses;
+      std::vector<const MostObject*> miss_objs;
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        if (!have[i]) {
+          misses.push_back(i);
+          miss_objs.push_back(jobs[i].inst.at(f->var()));
+        }
+      }
+      std::vector<IntervalSet> solved = InsideTicksBatch(
+          miss_objs,
+          self_anchored ? miss_objs : std::vector<const MostObject*>{},
+          *region, window, options_.pool);
+      stats_.atomic_evaluations += misses.size();
+      for (size_t m = 0; m < misses.size(); ++m) {
+        IntervalSet when = is_inside ? std::move(solved[m])
+                                     : solved[m].Complement(window);
+        if (cache != nullptr) {
+          cache->Insert(fp, jobs[misses[m]].binding, when);
+        }
+        results[misses[m]] = std::move(when);
+      }
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        if (!results[i].empty()) {
+          out.rows.emplace(jobs[i].binding, std::move(results[i]));
+        }
+      }
       return out;
     }
 
     case FtlFormula::Kind::kWithinSphere: {
       std::set<std::string> var_set(f->sphere_vars().begin(),
                                     f->sphere_vars().end());
-      TemporalRelation out;
-      out.vars = SortedVars(var_set);
-      Status status = EnumerateInstantiations(
-          out.vars, domains.classes, domains.filters,
-          options_.max_instantiations, &stats_.instantiations,
-          [&](const std::vector<ObjectId>& binding, const Instantiation& inst) {
+      std::vector<std::string> vars = SortedVars(var_set);
+      std::string fp = "SPH|";
+      fp += f->ToString();
+      fp.push_back('|');
+      AppendHexDouble(f->radius(), &fp);
+      AppendWindow(window, &fp);
+      MOST_ASSIGN_OR_RETURN(
+          std::vector<AtomicJob> jobs,
+          MaterializeJobs(vars, domains.classes, domains.filters,
+                          options_.max_instantiations,
+                          &stats_.instantiations));
+      return SolveAtomicRelation(
+          std::move(vars), jobs, fp, options_, &stats_,
+          [&](const AtomicJob& job) -> Result<IntervalSet> {
             std::vector<const MostObject*> objects;
             for (const std::string& v : f->sphere_vars()) {
-              const MostObject* obj = inst.at(v);
+              const MostObject* obj = job.inst.at(v);
               if (!obj->IsSpatial()) {
                 return Status::TypeError(
                     "WITHIN_SPHERE over non-spatial object");
               }
               objects.push_back(obj);
             }
-            ++stats_.atomic_evaluations;
-            IntervalSet when = SphereTicks(objects, f->radius(), window);
-            if (!when.empty()) out.rows.emplace(binding, std::move(when));
-            return Status::OK();
+            return SphereTicks(objects, f->radius(), window);
           });
-      MOST_RETURN_IF_ERROR(status);
-      return out;
     }
 
     case FtlFormula::Kind::kAnd: {
@@ -675,8 +848,7 @@ Result<TemporalRelation> FtlEvaluator::EvalCompare(const FtlFormula& f,
   std::set<std::string> var_set;
   f.lhs_term()->CollectObjectVars(&var_set);
   f.rhs_term()->CollectObjectVars(&var_set);
-  TemporalRelation out;
-  out.vars = SortedVars(var_set);
+  std::vector<std::string> vars = SortedVars(var_set);
 
   // Direct DIST(o1,o2) `op` constant pattern -> exact quadratic solver.
   const FtlTerm* dist = nullptr;
@@ -714,11 +886,24 @@ Result<TemporalRelation> FtlEvaluator::EvalCompare(const FtlFormula& f,
   bool invariant =
       IsTimeInvariant(f.lhs_term()) && IsTimeInvariant(f.rhs_term());
 
-  Status status = EnumerateInstantiations(
-      out.vars, domains.classes, domains.filters,
-      options_.max_instantiations, &stats_.instantiations,
-      [&](const std::vector<ObjectId>& binding, const Instantiation& inst) {
-        ++stats_.atomic_evaluations;
+  // Cache fingerprint: printed comparison plus hexfloat renderings of every
+  // literal (assignment substitution may have planted values whose decimal
+  // printout is lossy) and the window.
+  std::string fp = "CMP|";
+  fp += f.ToString();
+  fp.push_back('|');
+  AppendTermLiterals(f.lhs_term(), &fp);
+  AppendTermLiterals(f.rhs_term(), &fp);
+  AppendWindow(window, &fp);
+
+  MOST_ASSIGN_OR_RETURN(
+      std::vector<AtomicJob> jobs,
+      MaterializeJobs(vars, domains.classes, domains.filters,
+                      options_.max_instantiations, &stats_.instantiations));
+  return SolveAtomicRelation(
+      std::move(vars), jobs, fp, options_, &stats_,
+      [&](const AtomicJob& job) -> Result<IntervalSet> {
+        const Instantiation& inst = job.inst;
         IntervalSet when;
         if (dist != nullptr) {
           MOST_ASSIGN_OR_RETURN(Value bound_v,
@@ -776,11 +961,8 @@ Result<TemporalRelation> FtlEvaluator::EvalCompare(const FtlFormula& f,
           }
           when = when.Clamp(window);
         }
-        if (!when.empty()) out.rows.emplace(binding, std::move(when));
-        return Status::OK();
+        return when;
       });
-  MOST_RETURN_IF_ERROR(status);
-  return out;
 }
 
 Result<TemporalRelation> FtlEvaluator::EvalAssign(const FtlFormula& f,

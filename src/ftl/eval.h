@@ -13,6 +13,9 @@
 
 namespace most {
 
+class ThreadPool;
+class IntervalCache;
+
 /// The relation R_g the appendix associates with a subformula g: one row
 /// per instantiation of g's free object variables, carrying the set of
 /// ticks at which g is satisfied under that instantiation. Rows with empty
@@ -36,6 +39,8 @@ struct FtlEvalStats {
   size_t join_pairs = 0;          ///< Row pairs examined by joins.
   size_t assign_subevals = 0;     ///< Body evaluations for [x := q].
   size_t index_pruned = 0;        ///< Objects skipped thanks to an index.
+  size_t cache_hits = 0;          ///< Atomic solves answered by the cache.
+  size_t cache_misses = 0;        ///< Atomic solves that had to run.
 };
 
 /// Evaluates FTL formulas over the implicit future history of a MOST
@@ -63,6 +68,18 @@ class FtlEvaluator {
     /// object (the paper's combination of the index with the FTL
     /// algorithm). Not owned; may be null.
     const MotionIndexManager* motion_indexes = nullptr;
+    /// Optional thread pool for atomic-predicate extraction: objects are
+    /// independent until the join stages, so INSIDE / DIST / attribute
+    /// range atoms are partitioned across the pool's workers and merged
+    /// back in deterministic binding order. Null (or a 1-worker pool) is
+    /// the exact legacy serial path; any thread count produces
+    /// byte-identical relations (see docs/parallel_eval.md). Not owned.
+    ThreadPool* pool = nullptr;
+    /// Optional cache of atomic-predicate interval sets, keyed by
+    /// (predicate fingerprint, window, object ids) and invalidated per
+    /// object through the database's update listeners. Shared safely by
+    /// concurrent evaluators. Not owned; may be null.
+    IntervalCache* interval_cache = nullptr;
   };
 
   explicit FtlEvaluator(const MostDatabase& db) : FtlEvaluator(db, Options()) {}

@@ -1,0 +1,79 @@
+#include "ftl/interval_cache.h"
+
+#include <mutex>
+
+namespace most {
+
+void IntervalCache::AttachTo(MostDatabase* db) {
+  Detach();
+  attached_db_ = db;
+  listener_id_ = db->AddUpdateListener(
+      [this](const std::string& /*class_name*/, ObjectId id) {
+        Invalidate(id);
+      });
+}
+
+void IntervalCache::Detach() {
+  if (attached_db_ != nullptr) {
+    attached_db_->RemoveUpdateListener(listener_id_);
+    attached_db_ = nullptr;
+    listener_id_ = 0;
+  }
+}
+
+bool IntervalCache::Lookup(const std::string& fingerprint,
+                           const std::vector<ObjectId>& objs,
+                           IntervalSet* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(Key{fingerprint, objs});
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  *out = it->second;
+  return true;
+}
+
+void IntervalCache::Insert(const std::string& fingerprint,
+                           const std::vector<ObjectId>& objs,
+                           const IntervalSet& when) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (entries_.size() >= max_entries_) {
+    entries_.clear();
+    by_object_.clear();
+  }
+  Key key{fingerprint, objs};
+  auto [it, inserted] = entries_.insert_or_assign(key, when);
+  if (inserted) {
+    for (ObjectId id : objs) by_object_[id].push_back(key);
+  }
+}
+
+void IntervalCache::Invalidate(ObjectId id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = by_object_.find(id);
+  if (it == by_object_.end()) return;
+  for (const Key& key : it->second) {
+    invalidations_ += entries_.erase(key);
+  }
+  by_object_.erase(it);
+}
+
+void IntervalCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  entries_.clear();
+  by_object_.clear();
+}
+
+IntervalCache::Stats IntervalCache::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_;
+  s.entries = entries_.size();
+  return s;
+}
+
+}  // namespace most

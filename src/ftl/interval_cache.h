@@ -1,0 +1,114 @@
+#ifndef MOST_FTL_INTERVAL_CACHE_H_
+#define MOST_FTL_INTERVAL_CACHE_H_
+
+#include <atomic>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/types.h"
+#include "core/object_model.h"
+
+namespace most {
+
+/// Cache of atomic-predicate interval extractions.
+///
+/// The appendix's bottom-up algorithm spends almost all of its time turning
+/// atomic predicates (INSIDE, DIST comparisons, attribute ranges) into
+/// per-object interval sets. Those sets depend only on (a) the predicate —
+/// including the evaluation window, which callers fold into the fingerprint
+/// string — and (b) the motion/attribute state of the objects bound by the
+/// predicate. Between explicit database updates that state is immutable
+/// (that is the whole point of the MOST data model), so the extraction can
+/// be cached and re-evaluation after an update only re-extracts the objects
+/// that actually posted one (cf. Mülle & Böhlen's ongoing-query results
+/// that "remain valid as time passes by").
+///
+/// Keys are (fingerprint, bound object ids). Invalidation is per object:
+/// any entry whose key mentions an updated object id is dropped. Entries
+/// whose key binds no object (e.g. `time <= 5`) depend only on the window
+/// and are never invalidated.
+///
+/// Thread safety: all operations are safe to call concurrently; lookups
+/// take a shared lock so parallel extraction workers don't serialize on
+/// cache probes.
+class IntervalCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;  ///< Entries dropped by object updates.
+    size_t entries = 0;
+  };
+
+  /// When the cache would exceed `max_entries` it is cleared wholesale (a
+  /// cheap, obviously-correct eviction policy; callers that want an upper
+  /// bound on memory set this, benchmarks leave it large).
+  explicit IntervalCache(size_t max_entries = 1u << 20)
+      : max_entries_(max_entries) {}
+  ~IntervalCache() { Detach(); }
+
+  IntervalCache(const IntervalCache&) = delete;
+  IntervalCache& operator=(const IntervalCache&) = delete;
+
+  /// Subscribes to `db`'s update listeners so every explicit update
+  /// invalidates the updated object's entries. The cache must not outlive
+  /// the database; the destructor (or Detach) unregisters the listener.
+  /// Owners that already run their own update listener (QueryManager) can
+  /// skip this and forward invalidations to Invalidate() directly.
+  void AttachTo(MostDatabase* db);
+  void Detach();
+
+  /// True and *out filled if (fingerprint, objs) is cached.
+  bool Lookup(const std::string& fingerprint,
+              const std::vector<ObjectId>& objs, IntervalSet* out) const;
+
+  void Insert(const std::string& fingerprint,
+              const std::vector<ObjectId>& objs, const IntervalSet& when);
+
+  /// Drops every entry whose key binds `id`.
+  void Invalidate(ObjectId id);
+
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  struct Key {
+    std::string fingerprint;
+    std::vector<ObjectId> objs;
+    bool operator==(const Key& o) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // FNV-1a over the fingerprint bytes and ids.
+      uint64_t h = 1469598103934665603ULL;
+      for (char c : k.fingerprint) {
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+      }
+      for (ObjectId id : k.objs) {
+        h = (h ^ static_cast<uint64_t>(id)) * 1099511628211ULL;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  size_t max_entries_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<Key, IntervalSet, KeyHash> entries_;
+  /// Reverse index for invalidation. May hold stale keys (already erased
+  /// via another object of a multi-object predicate); erasing a missing
+  /// key is a no-op, so staleness only costs a lookup.
+  std::unordered_map<ObjectId, std::vector<Key>> by_object_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  uint64_t invalidations_ = 0;
+  MostDatabase* attached_db_ = nullptr;
+  MostDatabase::ListenerId listener_id_ = 0;
+};
+
+}  // namespace most
+
+#endif  // MOST_FTL_INTERVAL_CACHE_H_

@@ -6,12 +6,33 @@ namespace most {
 
 QueryManager::QueryManager(MostDatabase* db, Options options)
     : db_(db), options_(options) {
-  db_->AddUpdateListener([this](const std::string& class_name, ObjectId id) {
-    OnUpdate(class_name, id);
-  });
+  if (options_.thread_count > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.thread_count);
+  }
+  if (options_.enable_interval_cache) {
+    cache_ = std::make_unique<IntervalCache>();
+  }
+  listener_id_ = db_->AddUpdateListener(
+      [this](const std::string& class_name, ObjectId id) {
+        OnUpdate(class_name, id);
+      });
+}
+
+QueryManager::~QueryManager() { db_->RemoveUpdateListener(listener_id_); }
+
+FtlEvaluator::Options QueryManager::EvalOptions() const {
+  FtlEvaluator::Options o;
+  o.motion_indexes = options_.motion_indexes;
+  o.pool = pool_.get();
+  o.interval_cache = cache_.get();
+  return o;
 }
 
 void QueryManager::OnUpdate(const std::string& class_name, ObjectId id) {
+  // Drop the updated object's cached interval sets before anything can
+  // re-evaluate against stale entries.
+  if (cache_ != nullptr) cache_->Invalidate(id);
+  std::lock_guard<std::mutex> lock(mu_);
   // Continuous queries over the updated class must be re-evaluated
   // ("a continuous query CQ has to be reevaluated when an update occurs
   // that may change the set of tuples Answer(CQ)", Section 2.3).
@@ -48,9 +69,7 @@ void QueryManager::OnUpdate(const std::string& class_name, ObjectId id) {
 
 Result<TemporalRelation> QueryManager::Evaluate(const FtlQuery& query) {
   Tick now = db_->Now();
-  FtlEvaluator::Options eval_options;
-  eval_options.motion_indexes = options_.motion_indexes;
-  FtlEvaluator eval(*db_, eval_options);
+  FtlEvaluator eval(*db_, EvalOptions());
   return eval.EvaluateQuery(
       query, Interval(now, TickSaturatingAdd(now, options_.horizon)));
 }
@@ -83,6 +102,12 @@ QueryManager::FirstSatisfactionTimes(const FtlQuery& query) {
 
 Result<QueryManager::QueryId> QueryManager::RegisterContinuous(
     const FtlQuery& query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegisterContinuousLocked(query);
+}
+
+Result<QueryManager::QueryId> QueryManager::RegisterContinuousLocked(
+    const FtlQuery& query) {
   QueryId id = next_id_++;
   Continuous cq;
   cq.query = query;
@@ -92,6 +117,7 @@ Result<QueryManager::QueryId> QueryManager::RegisterContinuous(
 }
 
 Status QueryManager::Cancel(QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (continuous_.erase(id) > 0) return Status::OK();
   if (persistent_.erase(id) > 0) return Status::OK();
   return Status::NotFound("query " + std::to_string(id));
@@ -99,9 +125,7 @@ Status QueryManager::Cancel(QueryId id) {
 
 Status QueryManager::Refresh(Continuous* cq) {
   Tick now = db_->Now();
-  FtlEvaluator::Options eval_options;
-  eval_options.motion_indexes = options_.motion_indexes;
-  FtlEvaluator eval(*db_, eval_options);
+  FtlEvaluator eval(*db_, EvalOptions());
   MOST_ASSIGN_OR_RETURN(
       cq->answer,
       eval.EvaluateQuery(
@@ -114,6 +138,12 @@ Status QueryManager::Refresh(Continuous* cq) {
 }
 
 Result<std::vector<AnswerTuple>> QueryManager::ContinuousAnswer(QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ContinuousAnswerLocked(id);
+}
+
+Result<std::vector<AnswerTuple>> QueryManager::ContinuousAnswerLocked(
+    QueryId id) {
   auto it = continuous_.find(id);
   if (it == continuous_.end()) {
     return Status::NotFound("continuous query " + std::to_string(id));
@@ -133,7 +163,9 @@ Result<std::vector<AnswerTuple>> QueryManager::ContinuousAnswer(QueryId id) {
 
 Result<std::vector<std::vector<ObjectId>>> QueryManager::CurrentAnswer(
     QueryId id) {
-  MOST_ASSIGN_OR_RETURN(std::vector<AnswerTuple> tuples, ContinuousAnswer(id));
+  std::lock_guard<std::mutex> lock(mu_);
+  MOST_ASSIGN_OR_RETURN(std::vector<AnswerTuple> tuples,
+                        ContinuousAnswerLocked(id));
   Tick now = db_->Now();
   std::vector<std::vector<ObjectId>> out;
   for (const AnswerTuple& t : tuples) {
@@ -143,6 +175,7 @@ Result<std::vector<std::vector<ObjectId>>> QueryManager::CurrentAnswer(
 }
 
 Result<uint64_t> QueryManager::EvaluationCount(QueryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = continuous_.find(id);
   if (it == continuous_.end()) {
     return Status::NotFound("continuous query " + std::to_string(id));
@@ -150,52 +183,78 @@ Result<uint64_t> QueryManager::EvaluationCount(QueryId id) const {
   return it->second.evaluations;
 }
 
+Status QueryManager::TickAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tick now = db_->Now();
+  std::vector<Continuous*> stale;
+  for (auto& [id, cq] : continuous_) {
+    if (cq.dirty || now > cq.expires_at) stale.push_back(&cq);
+  }
+  // One batch through the pool: map nodes are stable and each worker
+  // refreshes a distinct entry, so no further locking is needed. Each
+  // refresh may itself fan its atomic extraction out to the same pool
+  // (ParallelFor callers participate, so nesting cannot deadlock).
+  std::vector<Status> statuses(stale.size());
+  ParallelFor(pool_.get(), stale.size(),
+              [&](size_t i) { statuses[i] = Refresh(stale[i]); });
+  for (const Status& s : statuses) {
+    MOST_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
 Result<QueryManager::QueryId> QueryManager::RegisterTrigger(
     const FtlQuery& query, TriggerAction action) {
-  MOST_ASSIGN_OR_RETURN(QueryId id, RegisterContinuous(query));
+  std::lock_guard<std::mutex> lock(mu_);
+  MOST_ASSIGN_OR_RETURN(QueryId id, RegisterContinuousLocked(query));
   continuous_.at(id).action = std::move(action);
   continuous_.at(id).last_polled = db_->Now() - 1;
   return id;
 }
 
 Status QueryManager::Poll() {
-  Tick now = db_->Now();
-  // Collect pending firings first: an action may update the database or
+  // Collect pending firings under the lock, fire after releasing it: an
+  // action may update the database (whose listener re-enters OnUpdate) or
   // register further queries, which must not happen while iterating.
   struct PendingFire {
-    TriggerAction* action;
+    TriggerAction action;
     std::vector<ObjectId> binding;
     Tick at;
   };
   std::vector<PendingFire> pending;
-  for (auto& [id, cq] : continuous_) {
-    if (!cq.action) continue;
-    if (cq.dirty || now > cq.expires_at) {
-      MOST_RETURN_IF_ERROR(Refresh(&cq));
-    }
-    for (const auto& [binding, when] : cq.answer.rows) {
-      for (const Interval& iv : when.intervals()) {
-        if (iv.begin > now) break;  // Intervals sorted; nothing entered yet.
-        if (iv.end < cq.last_polled + 1) continue;  // Fully in the past.
-        Tick entered = std::max(iv.begin, cq.last_polled + 1);
-        auto fired_it = cq.fired.find(binding);
-        if (fired_it != cq.fired.end() && fired_it->second >= iv.begin) {
-          continue;  // Already fired for this interval.
-        }
-        cq.fired[binding] = entered;
-        pending.push_back({&cq.action, binding, entered});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Tick now = db_->Now();
+    for (auto& [id, cq] : continuous_) {
+      if (!cq.action) continue;
+      if (cq.dirty || now > cq.expires_at) {
+        MOST_RETURN_IF_ERROR(Refresh(&cq));
       }
+      for (const auto& [binding, when] : cq.answer.rows) {
+        for (const Interval& iv : when.intervals()) {
+          if (iv.begin > now) break;  // Intervals sorted; nothing entered yet.
+          if (iv.end < cq.last_polled + 1) continue;  // Fully in the past.
+          Tick entered = std::max(iv.begin, cq.last_polled + 1);
+          auto fired_it = cq.fired.find(binding);
+          if (fired_it != cq.fired.end() && fired_it->second >= iv.begin) {
+            continue;  // Already fired for this interval.
+          }
+          cq.fired[binding] = entered;
+          pending.push_back({cq.action, binding, entered});
+        }
+      }
+      cq.last_polled = now;
     }
-    cq.last_polled = now;
   }
   for (PendingFire& fire : pending) {
-    (*fire.action)(fire.binding, fire.at);
+    fire.action(fire.binding, fire.at);
   }
   return Status::OK();
 }
 
 Result<QueryManager::QueryId> QueryManager::RegisterPersistent(
     const FtlQuery& query) {
+  std::lock_guard<std::mutex> lock(mu_);
   QueryId id = next_id_++;
   Persistent pq;
   pq.query = query;
@@ -330,6 +389,7 @@ Result<std::unique_ptr<MostDatabase>> QueryManager::BuildHistoryDatabase(
 }
 
 Result<std::vector<AnswerTuple>> QueryManager::PersistentAnswer(QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = persistent_.find(id);
   if (it == persistent_.end()) {
     return Status::NotFound("persistent query " + std::to_string(id));

@@ -4,13 +4,16 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/object_model.h"
 #include "ftl/ast.h"
 #include "ftl/eval.h"
+#include "ftl/interval_cache.h"
 
 namespace most {
 
@@ -53,10 +56,22 @@ class QueryManager {
     /// Optional Section 4 motion indexes consulted by the evaluator (not
     /// owned; may be null).
     const MotionIndexManager* motion_indexes = nullptr;
+    /// Worker threads for atomic-predicate extraction and for batch
+    /// re-evaluation (TickAll). 1 keeps the exact legacy serial path; any
+    /// value produces byte-identical answers (docs/parallel_eval.md).
+    size_t thread_count = 1;
+    /// Caches atomic-predicate interval sets across re-evaluations,
+    /// invalidated per object by database update listeners. Off by
+    /// default; safe to combine with any thread_count.
+    bool enable_interval_cache = false;
   };
 
   explicit QueryManager(MostDatabase* db) : QueryManager(db, Options()) {}
   QueryManager(MostDatabase* db, Options options);
+  ~QueryManager();
+
+  QueryManager(const QueryManager&) = delete;
+  QueryManager& operator=(const QueryManager&) = delete;
 
   // ---- Instantaneous queries -------------------------------------------
 
@@ -95,6 +110,19 @@ class QueryManager {
   /// Number of times this query's Answer set was (re)computed — the
   /// quantity experiment E3 compares against per-tick re-evaluation.
   Result<uint64_t> EvaluationCount(QueryId id) const;
+
+  /// Advances every registered continuous query to the current tick in one
+  /// batch: stale answers (dirty or expired) are re-evaluated, fanned out
+  /// across the worker pool when thread_count > 1. Answers are identical
+  /// to refreshing each query serially; returns the first error in query
+  /// id order. Database mutations must not run concurrently with this.
+  Status TickAll();
+
+  /// The shared atomic-interval cache, or null when not enabled.
+  IntervalCache* interval_cache() { return cache_.get(); }
+
+  /// The worker pool, or null when thread_count <= 1.
+  ThreadPool* pool() { return pool_.get(); }
 
   // ---- Persistent queries ----------------------------------------------
 
@@ -152,8 +180,16 @@ class QueryManager {
         recordings;
   };
 
+  /// Re-evaluates one entry. Callers must either hold mu_ or (TickAll)
+  /// guarantee exclusive access to this entry; distinct entries may be
+  /// refreshed concurrently.
   Status Refresh(Continuous* cq);
+  FtlEvaluator::Options EvalOptions() const;
   void OnUpdate(const std::string& class_name, ObjectId id);
+
+  // mu_-held implementations behind the public locking wrappers.
+  Result<QueryId> RegisterContinuousLocked(const FtlQuery& query);
+  Result<std::vector<AnswerTuple>> ContinuousAnswerLocked(QueryId id);
 
   /// Builds the shadow database representing the history recorded by a
   /// persistent query: dynamic attributes become stitched piecewise
@@ -163,6 +199,15 @@ class QueryManager {
 
   MostDatabase* db_;
   Options options_;
+  std::unique_ptr<ThreadPool> pool_;     // Null when thread_count <= 1.
+  std::unique_ptr<IntervalCache> cache_; // Null unless enabled.
+  MostDatabase::ListenerId listener_id_ = 0;
+
+  /// Guards the query registries. Evaluation reads the database without a
+  /// lock (the evaluator is read-only), so database mutations must be
+  /// externally serialized against query evaluation; the registries
+  /// themselves are safe to use from concurrent threads.
+  mutable std::mutex mu_;
   QueryId next_id_ = 1;
   std::map<QueryId, Continuous> continuous_;
   std::map<QueryId, Persistent> persistent_;

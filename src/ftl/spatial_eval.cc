@@ -87,6 +87,20 @@ IntervalSet InsideTicksRelative(const MostObject& obj,
   return out.Clamp(window);
 }
 
+std::vector<IntervalSet> InsideTicksBatch(
+    const std::vector<const MostObject*>& objs,
+    const std::vector<const MostObject*>& anchors, const Polygon& polygon,
+    Interval window, ThreadPool* pool) {
+  std::vector<IntervalSet> out(objs.size());
+  ParallelFor(pool, objs.size(), [&](size_t i) {
+    out[i] = anchors.empty()
+                 ? InsideTicks(*objs[i], polygon, window)
+                 : InsideTicksRelative(*objs[i], *anchors[i], polygon,
+                                       window);
+  });
+  return out;
+}
+
 IntervalSet DistCmpTicks(const MostObject& a, const MostObject& b,
                          FtlFormula::CmpOp op, double bound,
                          Interval window) {

@@ -1,0 +1,322 @@
+// Differential test harness for the FTL evaluation engine.
+//
+// Three implementations must agree on randomized worlds and formulas:
+//   1. the interval evaluator, serial path (no pool, no cache),
+//   2. the state-stepping reference evaluator (NaiveFtlEvaluator), and
+//   3. the parallel path (worker pool + atomic-interval cache), whose
+//      contract is *byte-identical* relations at any thread count, cold or
+//      warm cache, before and after invalidating updates.
+//
+// Two corpora: grid worlds (all geometry snapped to a 0.25 grid so the
+// naive oracle computes predicate flips exactly like the interval solver)
+// are checked three ways; fleet worlds (continuous coordinates from the
+// workload generator) are checked serial-vs-parallel only, since both
+// sides share the same kinematic solvers there.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/object_model.h"
+#include "ftl/ast.h"
+#include "ftl/eval.h"
+#include "ftl/interval_cache.h"
+#include "ftl/naive_eval.h"
+#include "workload/fleet.h"
+
+namespace most {
+namespace {
+
+// All geometry on a 0.25 grid so predicate flips at integer ticks are
+// computed identically (exactly) by the interval solver and the oracle.
+double Grid(Rng* rng, double lo, double hi) {
+  int64_t steps = static_cast<int64_t>((hi - lo) * 4);
+  return lo + 0.25 * static_cast<double>(rng->UniformInt(0, steps));
+}
+
+FormulaPtr RandomAtom(Rng* rng) {
+  switch (rng->UniformInt(0, 9)) {
+    case 0:
+      return FtlFormula::Inside("o", rng->Bernoulli(0.5) ? "R1" : "R2");
+    case 1:
+      return FtlFormula::Outside("o", rng->Bernoulli(0.5) ? "R1" : "R2");
+    case 2:
+      return FtlFormula::Inside("n", rng->Bernoulli(0.5) ? "R1" : "R2");
+    case 3:
+      // Moving region anchored at the other object.
+      return FtlFormula::Inside("o", rng->Bernoulli(0.5) ? "R1" : "R2", "n");
+    case 4:
+      return FtlFormula::Outside("n", rng->Bernoulli(0.5) ? "R1" : "R2", "o");
+    case 5: {
+      auto op = static_cast<FtlFormula::CmpOp>(rng->UniformInt(0, 5));
+      return FtlFormula::Compare(op, FtlTerm::Dist("o", "n"),
+                                 FtlTerm::Literal(Value(Grid(rng, 1, 30))));
+    }
+    case 6: {
+      auto op = static_cast<FtlFormula::CmpOp>(rng->UniformInt(0, 5));
+      return FtlFormula::Compare(op, FtlTerm::AttrRef("o", "FUEL"),
+                                 FtlTerm::Literal(Value(Grid(rng, 0, 100))));
+    }
+    case 7: {
+      auto op = static_cast<FtlFormula::CmpOp>(rng->UniformInt(0, 5));
+      return FtlFormula::Compare(op, FtlTerm::Time(),
+                                 FtlTerm::Literal(Value(static_cast<double>(
+                                     rng->UniformInt(0, 30)))));
+    }
+    case 8:
+      // Assignment quantifier: remember o's fuel now, compare later.
+      return FtlFormula::Assign(
+          "x", FtlTerm::AttrRef("o", "FUEL"),
+          FtlFormula::Compare(
+              static_cast<FtlFormula::CmpOp>(rng->UniformInt(0, 5)),
+              FtlTerm::AttrRef("n", "FUEL"), FtlTerm::VarRef("x")));
+    default:
+      return FtlFormula::WithinSphere(Grid(rng, 1, 20), {"o", "n"});
+  }
+}
+
+FormulaPtr RandomFormula(Rng* rng, int depth) {
+  if (depth <= 0) return RandomAtom(rng);
+  switch (rng->UniformInt(0, 9)) {
+    case 0:
+      return FtlFormula::And(RandomFormula(rng, depth - 1),
+                             RandomFormula(rng, depth - 1));
+    case 1:
+      return FtlFormula::Or(RandomFormula(rng, depth - 1),
+                            RandomFormula(rng, depth - 1));
+    case 2:
+      return FtlFormula::Not(RandomFormula(rng, depth - 1));
+    case 3:
+      return FtlFormula::Until(RandomFormula(rng, depth - 1),
+                               RandomFormula(rng, depth - 1));
+    case 4:
+      return FtlFormula::UntilWithin(rng->UniformInt(0, 10),
+                                     RandomFormula(rng, depth - 1),
+                                     RandomFormula(rng, depth - 1));
+    case 5:
+      return FtlFormula::Nexttime(RandomFormula(rng, depth - 1));
+    case 6:
+      return FtlFormula::EventuallyWithin(rng->UniformInt(0, 12),
+                                          RandomFormula(rng, depth - 1));
+    case 7:
+      return FtlFormula::AlwaysFor(rng->UniformInt(0, 8),
+                                   RandomFormula(rng, depth - 1));
+    case 8:
+      return rng->Bernoulli(0.5)
+                 ? FtlFormula::Eventually(RandomFormula(rng, depth - 1))
+                 : FtlFormula::Always(RandomFormula(rng, depth - 1));
+    default:
+      return FtlFormula::EventuallyAfter(rng->UniformInt(0, 10),
+                                         RandomFormula(rng, depth - 1));
+  }
+}
+
+// A grid-snapped random world: spatial class "M" with a FUEL attribute,
+// two rectangular regions, and a mix of straight and piecewise routes.
+void BuildGridWorld(Rng* rng, MostDatabase* db, int num_objects) {
+  ASSERT_TRUE(
+      db->CreateClass("M", {{"FUEL", true, ValueType::kNull}}, true).ok());
+  ASSERT_TRUE(
+      db->DefineRegion("R1", Polygon::Rectangle({-10, -10}, {5, 5})).ok());
+  ASSERT_TRUE(
+      db->DefineRegion("R2", Polygon::Rectangle({0, 0}, {15, 12})).ok());
+  for (int i = 0; i < num_objects; ++i) {
+    auto obj = db->CreateObject("M");
+    ASSERT_TRUE(obj.ok());
+    ObjectId id = (*obj)->id();
+    if (rng->Bernoulli(0.5)) {
+      ASSERT_TRUE(db->SetMotion("M", id,
+                                {Grid(rng, -20, 20), Grid(rng, -20, 20)},
+                                {Grid(rng, -2, 2), Grid(rng, -2, 2)})
+                      .ok());
+    } else {
+      auto fx = TimeFunction::Piecewise(
+          {{0, Grid(rng, -2, 2)}, {rng->UniformInt(3, 15), Grid(rng, -2, 2)}});
+      ASSERT_TRUE(fx.ok());
+      ASSERT_TRUE(
+          db->UpdateDynamic("M", id, kAttrX, Grid(rng, -20, 20), *fx).ok());
+      ASSERT_TRUE(db->UpdateDynamic("M", id, kAttrY, Grid(rng, -20, 20),
+                                    TimeFunction::Linear(Grid(rng, -2, 2)))
+                      .ok());
+    }
+    ASSERT_TRUE(db->UpdateDynamic("M", id, "FUEL", Grid(rng, 0, 100),
+                                  TimeFunction::Linear(Grid(rng, -2, 2)))
+                    .ok());
+  }
+}
+
+// Shared pools for the whole binary: also exercises pool reuse across many
+// independent evaluations.
+ThreadPool* Pool2() {
+  static ThreadPool pool(2);
+  return &pool;
+}
+ThreadPool* Pool4() {
+  static ThreadPool pool(4);
+  return &pool;
+}
+
+// Evaluates `query` with the given options and requires an identical
+// relation to `expected`.
+void ExpectSameRelation(const MostDatabase& db, const FtlQuery& query,
+                        Interval window, const FtlEvaluator::Options& options,
+                        const TemporalRelation& expected, const char* label) {
+  FtlEvaluator eval(db, options);
+  auto rel = eval.EvaluateQuery(query, window);
+  ASSERT_TRUE(rel.ok()) << label << ": " << rel.status()
+                        << "\nformula: " << query.where->ToString();
+  EXPECT_EQ(rel->vars, expected.vars) << label;
+  EXPECT_EQ(rel->rows, expected.rows)
+      << label << " diverged\nformula: " << query.where->ToString()
+      << "\ngot: " << rel->ToString() << "\nwant: " << expected.ToString();
+}
+
+// Corpus 1: grid worlds, three-way differential (serial interval evaluator
+// vs naive oracle vs parallel/cached paths) on > 200 random queries.
+TEST(DifferentialTest, SerialNaiveAndParallelAgreeOnGridWorlds) {
+  int queries = 0;
+  for (uint64_t seed : {1, 2, 3, 4, 5, 6, 42, 1997, 2026}) {
+    Rng rng(seed);
+    for (int world = 0; world < 4; ++world) {
+      MostDatabase db;
+      ASSERT_NO_FATAL_FAILURE(
+          BuildGridWorld(&rng, &db, 2 + static_cast<int>(world % 3)));
+
+      // One cache per world, invalidated through the database's update
+      // listeners; reused across rounds so later rounds hit warm entries
+      // from earlier formulas sharing atoms.
+      IntervalCache cache;
+      cache.AttachTo(&db);
+
+      for (int round = 0; round < 6; ++round) {
+        ++queries;
+        FtlQuery query;
+        query.retrieve = {"o", "n"};
+        query.from = {{"M", "o"}, {"M", "n"}};
+        query.where = RandomFormula(&rng, 2);
+        Interval window(0, 30);
+
+        // Reference pair: serial interval evaluator and the oracle.
+        FtlEvaluator serial(db);
+        NaiveFtlEvaluator naive(db);
+        auto serial_rel = serial.EvaluateQuery(query, window);
+        auto naive_rel = naive.EvaluateQuery(query, window);
+        ASSERT_TRUE(serial_rel.ok())
+            << serial_rel.status()
+            << "\nformula: " << query.where->ToString();
+        ASSERT_TRUE(naive_rel.ok()) << naive_rel.status();
+        EXPECT_EQ(serial_rel->vars, naive_rel->vars);
+        EXPECT_EQ(serial_rel->rows, naive_rel->rows)
+            << "oracle diverged\nformula: " << query.where->ToString()
+            << "\nfast: " << serial_rel->ToString()
+            << "\nnaive: " << naive_rel->ToString();
+
+        // Parallel paths must be byte-identical to serial: two thread
+        // counts, then cold + warm cache.
+        FtlEvaluator::Options p2;
+        p2.pool = Pool2();
+        ExpectSameRelation(db, query, window, p2, *serial_rel, "pool2");
+
+        FtlEvaluator::Options p4;
+        p4.pool = Pool4();
+        ExpectSameRelation(db, query, window, p4, *serial_rel, "pool4");
+
+        FtlEvaluator::Options cached;
+        cached.pool = Pool4();
+        cached.interval_cache = &cache;
+        ExpectSameRelation(db, query, window, cached, *serial_rel,
+                           "pool4+cache cold");
+        ExpectSameRelation(db, query, window, cached, *serial_rel,
+                           "pool4+cache warm");
+      }
+
+      // An explicit update must invalidate exactly the stale entries: the
+      // cached path must track the serial path across the change.
+      ASSERT_TRUE(db.SetMotion("M", ObjectId(0),
+                               {Grid(&rng, -20, 20), Grid(&rng, -20, 20)},
+                               {Grid(&rng, -2, 2), Grid(&rng, -2, 2)})
+                      .ok());
+      ++queries;
+      FtlQuery query;
+      query.retrieve = {"o", "n"};
+      query.from = {{"M", "o"}, {"M", "n"}};
+      query.where = RandomFormula(&rng, 2);
+      Interval window(0, 30);
+      FtlEvaluator serial(db);
+      auto serial_rel = serial.EvaluateQuery(query, window);
+      ASSERT_TRUE(serial_rel.ok()) << serial_rel.status();
+      FtlEvaluator::Options cached;
+      cached.pool = Pool4();
+      cached.interval_cache = &cache;
+      ExpectSameRelation(db, query, window, cached, *serial_rel,
+                         "post-update cached");
+    }
+  }
+  EXPECT_GE(queries, 200) << "differential corpus shrank below spec";
+}
+
+// Corpus 2: continuous fleet worlds from the workload generator. The naive
+// oracle is skipped (grid-free geometry), but serial vs parallel vs cached
+// must still be byte-identical, including across motion updates applied
+// mid-stream.
+TEST(DifferentialTest, ParallelMatchesSerialOnFleets) {
+  for (uint64_t seed : {7, 11, 4099}) {
+    FleetGenerator::Options fopt;
+    fopt.num_vehicles = 48;
+    fopt.area = 400.0;
+    fopt.change_probability = 0.01;
+    fopt.seed = seed;
+    FleetGenerator fleet(fopt);
+    MostDatabase db;
+    ASSERT_TRUE(fleet.Populate(&db, "V").ok());
+    Rng rng(seed * 31 + 1);
+    ASSERT_TRUE(db.DefineRegion("R1", RandomRegion(&rng, fopt.area, 0.2)).ok());
+    ASSERT_TRUE(db.DefineRegion("R2", RandomRegion(&rng, fopt.area, 0.1)).ok());
+
+    IntervalCache cache;
+    cache.AttachTo(&db);
+    std::vector<MotionUpdate> updates = fleet.GenerateUpdates(64);
+    size_t next_update = 0;
+
+    for (Tick now = 0; now <= 48; now += 16) {
+      db.clock().AdvanceTo(now);
+      while (next_update < updates.size() && updates[next_update].at <= now) {
+        if (updates[next_update].at == now) {
+          ASSERT_TRUE(
+              FleetGenerator::Apply(&db, "V", updates[next_update]).ok());
+        }
+        ++next_update;
+      }
+
+      FtlQuery query;
+      query.retrieve = {"o", "n"};
+      query.from = {{"V", "o"}, {"V", "n"}};
+      query.where = FtlFormula::And(
+          FtlFormula::Eventually(FtlFormula::Inside("o", "R1")),
+          FtlFormula::Until(
+              FtlFormula::Compare(FtlFormula::CmpOp::kGe,
+                                  FtlTerm::Dist("o", "n"),
+                                  FtlTerm::Literal(Value(5.0))),
+              FtlFormula::Inside("n", "R2")));
+      Interval window(now, now + 64);
+
+      FtlEvaluator serial(db);
+      auto serial_rel = serial.EvaluateQuery(query, window);
+      ASSERT_TRUE(serial_rel.ok()) << serial_rel.status();
+
+      FtlEvaluator::Options cached;
+      cached.pool = Pool4();
+      cached.interval_cache = &cache;
+      ExpectSameRelation(db, query, window, cached, *serial_rel,
+                         "fleet pool4+cache cold");
+      ExpectSameRelation(db, query, window, cached, *serial_rel,
+                         "fleet pool4+cache warm");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace most
