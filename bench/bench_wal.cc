@@ -1,0 +1,148 @@
+// WAL append throughput: what durability costs. Axes:
+//
+//   * framing: v1 (length only) vs v2 (CRC32 per record) — the CRC's CPU
+//     overhead on the commit path;
+//   * durability: flush-only vs fdatasync-per-commit — the dominant cost,
+//     orders of magnitude above the CRC.
+//
+// Emits BENCH_wal.json (ns per append for each configuration) after the
+// google-benchmark run, for the results table in docs/durability.md.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "storage/wal.h"
+
+namespace most {
+namespace {
+
+WalRecord SampleRecord() {
+  WalRecord record;
+  record.kind = WalRecord::Kind::kUpdate;
+  record.table = "CARS";
+  record.rid = 12345;
+  record.row = {Value("AAA111"), Value(3.14159), Value(int64_t{42})};
+  return record;
+}
+
+// Args: {format_version, sync_per_append}.
+void BM_WalAppend(benchmark::State& state) {
+  const int format_version = static_cast<int>(state.range(0));
+  const bool sync = state.range(1) != 0;
+  std::string path = "bench_wal_append.log";
+  std::remove(path.c_str());
+  WalWriter writer;
+  WalWriter::Options options;
+  options.format_version = format_version;
+  if (!writer.Open(path, options).ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  WalRecord record = SampleRecord();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer.Append(record));
+    if (sync) {
+      benchmark::DoNotOptimize(writer.Sync());
+    }
+  }
+  state.SetLabel(std::string("v") + std::to_string(format_version) +
+                 (sync ? "+fdatasync" : "+flush"));
+  state.SetItemsProcessed(state.iterations());
+  writer.Close();
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_WalAppend)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({1, 1})
+    ->Args({2, 1});
+
+void BM_WalEncode(benchmark::State& state) {
+  const int format_version = static_cast<int>(state.range(0));
+  WalRecord record = SampleRecord();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeWalRecord(record, format_version));
+  }
+  state.SetLabel(format_version == 2 ? "crc32" : "length-only");
+}
+BENCHMARK(BM_WalEncode)->Arg(1)->Arg(2);
+
+double MeasureNsPerOp(const std::function<void()>& op, int iters,
+                      int batches = 3) {
+  op();  // Warm-up.
+  double best = std::numeric_limits<double>::infinity();
+  for (int b = 0; b < batches; ++b) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) op();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, static_cast<double>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                      .count()) /
+                  iters);
+  }
+  return best;
+}
+
+}  // namespace
+
+void EmitBenchJson(const char* out_path) {
+  WalRecord record = SampleRecord();
+  std::map<std::string, double> results;
+  for (int version : {1, 2}) {
+    for (bool sync : {false, true}) {
+      std::string path = "bench_wal_emit.log";
+      std::remove(path.c_str());
+      WalWriter writer;
+      WalWriter::Options options;
+      options.format_version = version;
+      if (!writer.Open(path, options).ok()) continue;
+      // fdatasync configs get fewer iterations: each op is a disk flush.
+      int iters = sync ? 50 : 5000;
+      double ns = MeasureNsPerOp(
+          [&] {
+            (void)writer.Append(record);
+            if (sync) (void)writer.Sync();
+          },
+          iters);
+      results["append_v" + std::to_string(version) +
+              (sync ? "_fdatasync" : "_flush")] = ns;
+      writer.Close();
+      std::remove(path.c_str());
+    }
+    double ns = MeasureNsPerOp(
+        [&] { benchmark::DoNotOptimize(EncodeWalRecord(record, version)); },
+        20000);
+    results["encode_v" + std::to_string(version)] = ns;
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n  \"benchmark\": \"wal_append\",\n";
+  out << "  \"record_bytes\": " << EncodeWalRecord(record).size() << ",\n";
+  size_t i = 0;
+  for (const auto& [key, ns] : results) {
+    out << "  \"" << key << "_ns\": " << ns
+        << (++i == results.size() ? "\n" : ",\n");
+  }
+  out << "}\n";
+}
+
+}  // namespace most
+
+// Custom main: run the registered benchmarks, then emit the summary that
+// docs/durability.md's results table is built from.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  most::EmitBenchJson("BENCH_wal.json");
+  return 0;
+}

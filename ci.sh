@@ -19,6 +19,13 @@ run_config() {
 run_config build-release -DCMAKE_BUILD_TYPE=Release
 run_config build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMOST_SANITIZE=address
 
+# Crash-torture stage: re-run the fault-injection suite under ASan with a
+# failpoint armed through the environment (docs/durability.md). The suite
+# itself fails if the armed probe — or its own 240 injections — never
+# fire, so this stage cannot silently become a no-op.
+echo "=== crash-torture stage (env-armed failpoints, ASan) ==="
+MOST_FAILPOINTS="ci/torture_probe=noop" ./build-asan/tests/crash_torture_test
+
 if [[ "${1:-}" == "tsan" ]]; then
   run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMOST_SANITIZE=thread
 fi

@@ -1,0 +1,16 @@
+#ifndef MOST_COMMON_CRC32_H_
+#define MOST_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace most {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), used by the WAL
+/// for per-record framing. `seed` allows incremental computation:
+/// Crc32(b, nb, Crc32(a, na)) == Crc32 of the concatenation.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace most
+
+#endif  // MOST_COMMON_CRC32_H_

@@ -1,0 +1,205 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace most {
+
+namespace {
+
+// "name(arg)" -> name, arg. Returns false on mismatched parentheses.
+bool SplitArg(const std::string& in, std::string* name, int64_t* arg) {
+  size_t open = in.find('(');
+  if (open == std::string::npos) {
+    *name = in;
+    *arg = -1;
+    return true;
+  }
+  if (in.back() != ')') return false;
+  *name = in.substr(0, open);
+  std::string digits = in.substr(open + 1, in.size() - open - 2);
+  if (digits.empty()) return false;
+  char* end = nullptr;
+  *arg = std::strtoll(digits.c_str(), &end, 10);
+  return end == digits.c_str() + digits.size() && *arg >= 0;
+}
+
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  if (const char* env = std::getenv("MOST_FAILPOINTS")) {
+    Status s = ArmFromEnv(env);
+    if (!s.ok()) {
+      std::fprintf(stderr, "MOST_FAILPOINTS: %s\n", s.ToString().c_str());
+    }
+  }
+}
+
+Status FailpointRegistry::Arm(const std::string& site,
+                              const std::string& spec) {
+  // Split the trigger budget ("error*3") off the action.
+  std::string action_spec = spec;
+  int64_t remaining = -1;
+  size_t star = spec.rfind('*');
+  if (star != std::string::npos) {
+    action_spec = spec.substr(0, star);
+    std::string count = spec.substr(star + 1);
+    char* end = nullptr;
+    remaining = std::strtoll(count.c_str(), &end, 10);
+    if (count.empty() || end != count.c_str() + count.size() ||
+        remaining <= 0) {
+      return Status::InvalidArgument("bad failpoint trigger count: " + spec);
+    }
+  }
+  std::string name;
+  int64_t arg = -1;
+  if (!SplitArg(action_spec, &name, &arg)) {
+    return Status::InvalidArgument("bad failpoint spec: " + spec);
+  }
+
+  Failpoint fp;
+  fp.remaining = remaining;
+  fp.arg = arg;
+  if (name == "off") {
+    Disarm(site);
+    return Status::OK();
+  } else if (name == "noop") {
+    fp.action = Failpoint::Action::kNoop;
+  } else if (name == "error") {
+    fp.action = Failpoint::Action::kError;
+  } else if (name == "abort") {
+    fp.action = Failpoint::Action::kAbort;
+  } else if (name == "sleep") {
+    if (arg < 0) return Status::InvalidArgument("sleep needs (ms): " + spec);
+    fp.action = Failpoint::Action::kSleep;
+  } else if (name == "truncate") {
+    fp.action = Failpoint::Action::kTruncate;
+  } else {
+    return Status::InvalidArgument("unknown failpoint action: " + spec);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  bool existed = points_.count(site) > 0;
+  points_[site] = fp;
+  if (!existed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FailpointRegistry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(site) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+Status FailpointRegistry::ArmFromEnv(const char* value) {
+  if (value == nullptr) value = std::getenv("MOST_FAILPOINTS");
+  if (value == nullptr) return Status::OK();
+  Status first_error = Status::OK();
+  std::string list(value);
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t sep = list.find_first_of(";,", pos);
+    if (sep == std::string::npos) sep = list.size();
+    std::string entry = list.substr(pos, sep - pos);
+    pos = sep + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    Status s = (eq == std::string::npos)
+                   ? Status::InvalidArgument("missing '=' in: " + entry)
+                   : Arm(entry.substr(0, eq), entry.substr(eq + 1));
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+bool FailpointRegistry::Take(const char* site, Failpoint* out) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(site);
+  if (it == points_.end()) return false;
+  *out = it->second;
+  ++triggered_[site];
+  ++total_triggered_;
+  if (it->second.remaining > 0 && --it->second.remaining == 0) {
+    points_.erase(it);
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+Status FailpointRegistry::Check(const char* site) {
+  Failpoint fp;
+  if (!Take(site, &fp)) return Status::OK();
+  switch (fp.action) {
+    case Failpoint::Action::kNoop:
+      return Status::OK();
+    case Failpoint::Action::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fp.arg));
+      return Status::OK();
+    case Failpoint::Action::kAbort:
+      std::abort();
+    case Failpoint::Action::kError:
+    case Failpoint::Action::kTruncate:  // Non-write site: plain error.
+      return Status::Internal(std::string("failpoint ") + site);
+  }
+  return Status::OK();
+}
+
+FailpointRegistry::WriteFault FailpointRegistry::CheckWrite(const char* site,
+                                                            size_t size) {
+  Failpoint fp;
+  if (!Take(site, &fp)) return {size, Status::OK()};
+  switch (fp.action) {
+    case Failpoint::Action::kNoop:
+      return {size, Status::OK()};
+    case Failpoint::Action::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fp.arg));
+      return {size, Status::OK()};
+    case Failpoint::Action::kAbort:
+      std::abort();
+    case Failpoint::Action::kError:
+      // The write never happened at all.
+      return {0, Status::Internal(std::string("failpoint ") + site)};
+    case Failpoint::Action::kTruncate: {
+      size_t keep = fp.arg >= 0 ? static_cast<size_t>(fp.arg) : size / 2;
+      if (keep > size) keep = size;
+      return {keep, Status::Internal(std::string("failpoint ") + site +
+                                     " (torn write)")};
+    }
+  }
+  return {size, Status::OK()};
+}
+
+uint64_t FailpointRegistry::triggered(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = triggered_.find(site);
+  return it == triggered_.end() ? 0 : it->second;
+}
+
+uint64_t FailpointRegistry::total_triggered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_triggered_;
+}
+
+std::vector<std::string> FailpointRegistry::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [site, fp] : points_) out.push_back(site);
+  return out;
+}
+
+}  // namespace most

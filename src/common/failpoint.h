@@ -1,0 +1,103 @@
+#ifndef MOST_COMMON_FAILPOINT_H_
+#define MOST_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace most {
+
+/// Process-wide fault-injection registry. Code marks failure sites with
+/// MOST_FAILPOINT("area/op"); tests (or the MOST_FAILPOINTS environment
+/// variable) arm a site with a spec describing what the site should do
+/// when reached:
+///
+///   off           disarm
+///   noop          count the hit, do nothing (probes; CI loudness checks)
+///   error         return Status::Internal("failpoint <site>")
+///   sleep(MS)     inject MS milliseconds of latency, then succeed
+///   abort         std::abort() the process (real crash testing)
+///   truncate      write sites only: write a prefix of the buffer (half by
+///   truncate(N)   default, N bytes if given), then report failure — a
+///                 torn write, as left behind by a crash mid-append
+///
+/// Any spec may carry a trigger budget: "error*3" fires three times and
+/// then disarms itself. Un-armed sites cost one relaxed atomic load.
+///
+/// The environment form is a comma- or semicolon-separated list:
+///   MOST_FAILPOINTS="wal/append/write=truncate*1;wal/sync=error"
+/// parsed once when the registry is first used.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance();
+
+  /// Arms `site` with `spec` (see class comment). InvalidArgument on a
+  /// malformed spec.
+  Status Arm(const std::string& site, const std::string& spec);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Parses a MOST_FAILPOINTS-style list. Null means "read the real
+  /// environment variable". Unknown specs are reported, valid entries in
+  /// the same list are still armed.
+  Status ArmFromEnv(const char* value = nullptr);
+
+  /// Evaluates a failpoint site: returns the injected error if the site is
+  /// armed to fail, OK otherwise. Sleeps for sleep specs; aborts for abort
+  /// specs.
+  Status Check(const char* site);
+
+  /// Write-site variant: how many bytes of a `size`-byte buffer the caller
+  /// should actually write, plus the status to report afterwards. An armed
+  /// `truncate` produces a genuine torn write: a non-empty prefix reaches
+  /// the file and the operation still reports failure.
+  struct WriteFault {
+    size_t write_bytes;
+    Status status;
+  };
+  WriteFault CheckWrite(const char* site, size_t size);
+
+  /// Times the site fired (acted on a hit) since process start. Counts
+  /// survive Disarm so harnesses can assert injections actually happened.
+  uint64_t triggered(const std::string& site) const;
+  uint64_t total_triggered() const;
+
+  std::vector<std::string> ArmedSites() const;
+
+ private:
+  struct Failpoint {
+    enum class Action { kNoop, kError, kAbort, kSleep, kTruncate };
+    Action action = Action::kNoop;
+    int64_t remaining = -1;  ///< Trigger budget; -1 = unlimited.
+    int64_t arg = -1;        ///< sleep ms / truncate byte count.
+  };
+
+  FailpointRegistry();
+
+  /// Fetches and consumes one trigger of `site`, or false if not armed.
+  bool Take(const char* site, Failpoint* out);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Failpoint> points_;
+  std::map<std::string, uint64_t> triggered_;
+  uint64_t total_triggered_ = 0;
+  std::atomic<size_t> armed_count_{0};
+};
+
+/// Returns the injected error from the enclosing function if `site` is
+/// armed to fail. Usable in functions returning Status or Result<T>.
+#define MOST_FAILPOINT(site)                                       \
+  do {                                                             \
+    ::most::Status _most_fp_status =                               \
+        ::most::FailpointRegistry::Instance().Check(site);         \
+    if (!_most_fp_status.ok()) return _most_fp_status;             \
+  } while (0)
+
+}  // namespace most
+
+#endif  // MOST_COMMON_FAILPOINT_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace most {
 
 Result<Value> MostObject::GetStatic(const std::string& name) const {
@@ -148,8 +150,10 @@ Result<MostObject*> MostDatabase::RestoreObject(const std::string& class_name,
   if (cls->objects_.count(id) > 0) {
     return Status::AlreadyExists("object " + std::to_string(id));
   }
+  MOST_FAILPOINT("core/create_object");
   next_id_ = std::max(next_id_, id + 1);
   MostObject obj(id, class_name);
+  obj.set_last_update(Now());
   for (const AttributeDecl& decl : cls->attributes_) {
     if (decl.dynamic) {
       obj.SetDynamic(decl.name, DynamicAttribute(0.0, Now(), TimeFunction()));
@@ -180,7 +184,9 @@ Status MostDatabase::UpdateStatic(const std::string& class_name, ObjectId id,
   if (obj->statics().count(attr) == 0) {
     return Status::NotFound("static attribute '" + attr + "'");
   }
+  MOST_FAILPOINT("core/update_static");
   obj->SetStatic(attr, std::move(value));
+  obj->set_last_update(Now());
   ++update_count_;
   NotifyUpdate(class_name, id);
   return Status::OK();
@@ -194,7 +200,9 @@ Status MostDatabase::UpdateDynamic(const std::string& class_name, ObjectId id,
   if (!obj->HasDynamic(attr)) {
     return Status::NotFound("dynamic attribute '" + attr + "'");
   }
+  MOST_FAILPOINT("core/update_dynamic");
   obj->SetDynamic(attr, DynamicAttribute(value, Now(), std::move(function)));
+  obj->set_last_update(Now());
   ++update_count_;
   NotifyUpdate(class_name, id);
   return Status::OK();

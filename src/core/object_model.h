@@ -50,6 +50,14 @@ class MostObject {
   ObjectId id() const { return id_; }
   const std::string& class_name() const { return class_name_; }
 
+  /// Clock tick of the last explicit update of any attribute of this
+  /// object (creation counts). Between updates the database dead-reckons
+  /// along the stored motion function; the gap `now - last_update()` is
+  /// how long the object has been silent, which degraded-mode query
+  /// answers compare against a staleness horizon (docs/durability.md).
+  Tick last_update() const { return last_update_; }
+  void set_last_update(Tick t) { last_update_ = t; }
+
   const std::map<std::string, Value>& statics() const { return statics_; }
   const std::map<std::string, DynamicAttribute>& dynamics() const {
     return dynamics_;
@@ -84,9 +92,17 @@ class MostObject {
  private:
   ObjectId id_ = kInvalidObjectId;
   std::string class_name_;
+  Tick last_update_ = 0;
   std::map<std::string, Value> statics_;
   std::map<std::string, DynamicAttribute> dynamics_;
 };
+
+/// True if `obj` has gone longer than `horizon` ticks without an explicit
+/// update as of time `now`. A negative horizon disables staleness
+/// tracking (nothing is ever stale).
+inline bool IsStale(const MostObject& obj, Tick now, Tick horizon) {
+  return horizon >= 0 && now - obj.last_update() > horizon;
+}
 
 /// An object class: attribute declarations plus the set of live objects.
 class ObjectClass {

@@ -142,6 +142,31 @@ Result<std::vector<AnswerTuple>> QueryManager::ContinuousAnswer(QueryId id) {
   return ContinuousAnswerLocked(id);
 }
 
+Confidence QueryManager::BindingConfidence(
+    const FtlQuery& query, const std::vector<std::string>& vars,
+    const std::vector<ObjectId>& binding, Tick now) const {
+  if (options_.staleness_horizon < 0) return Confidence::kCertain;
+  for (size_t i = 0; i < vars.size() && i < binding.size(); ++i) {
+    const std::string* class_name = nullptr;
+    for (const FromBinding& fb : query.from) {
+      if (fb.var == vars[i]) {
+        class_name = &fb.class_name;
+        break;
+      }
+    }
+    if (class_name == nullptr) continue;
+    auto cls = db_->GetClass(*class_name);
+    if (!cls.ok()) return Confidence::kStale;
+    auto obj = (*cls)->Get(binding[i]);
+    // A deleted object is as silent as an object past the horizon.
+    if (!obj.ok()) return Confidence::kStale;
+    if (IsStale(**obj, now, options_.staleness_horizon)) {
+      return Confidence::kStale;
+    }
+  }
+  return Confidence::kCertain;
+}
+
 Result<std::vector<AnswerTuple>> QueryManager::ContinuousAnswerLocked(
     QueryId id) {
   auto it = continuous_.find(id);
@@ -152,16 +177,37 @@ Result<std::vector<AnswerTuple>> QueryManager::ContinuousAnswerLocked(
   if (cq.dirty || db_->Now() > cq.expires_at) {
     MOST_RETURN_IF_ERROR(Refresh(&cq));
   }
+  Tick now = db_->Now();
   std::vector<AnswerTuple> out;
   for (const auto& [binding, when] : cq.answer.rows) {
+    // Confidence is re-derived at read time, not cached at evaluation
+    // time: objects drift into staleness as the clock advances with no
+    // update (and pop back to certain on a fresh one) without any
+    // re-evaluation.
+    Confidence confidence =
+        BindingConfidence(cq.query, cq.answer.vars, binding, now);
     for (const Interval& iv : when.intervals()) {
-      out.push_back({binding, iv});
+      out.push_back({binding, iv, confidence});
     }
   }
   return out;
 }
 
 Result<std::vector<std::vector<ObjectId>>> QueryManager::CurrentAnswer(
+    QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MOST_ASSIGN_OR_RETURN(std::vector<AnswerTuple> tuples,
+                        ContinuousAnswerLocked(id));
+  Tick now = db_->Now();
+  std::vector<std::vector<ObjectId>> out;
+  for (const AnswerTuple& t : tuples) {
+    if (t.confidence != Confidence::kCertain) continue;  // Must answers only.
+    if (t.interval.Contains(now)) out.push_back(t.binding);
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<ObjectId>>> QueryManager::PossibleAnswer(
     QueryId id) {
   std::lock_guard<std::mutex> lock(mu_);
   MOST_ASSIGN_OR_RETURN(std::vector<AnswerTuple> tuples,
@@ -404,10 +450,15 @@ Result<std::vector<AnswerTuple>> QueryManager::PersistentAnswer(QueryId id) {
                          Interval(pq.anchored_at,
                                   TickSaturatingAdd(pq.anchored_at,
                                                     options_.horizon))));
+  Tick now = db_->Now();
   std::vector<AnswerTuple> out;
   for (const auto& [binding, when] : rel.rows) {
+    // Staleness is judged against the live database, not the shadow
+    // history: a silent object casts doubt on answers derived from its
+    // recorded (and extrapolated) timeline too.
+    Confidence confidence = BindingConfidence(pq.query, rel.vars, binding, now);
     for (const Interval& iv : when.intervals()) {
-      out.push_back({binding, iv});
+      out.push_back({binding, iv, confidence});
     }
   }
   return out;

@@ -20,11 +20,20 @@ namespace most {
 /// The three query types of Section 2.3.
 enum class QueryType { kInstantaneous, kContinuous, kPersistent };
 
+/// Confidence of an answer tuple under missing location updates. A tuple
+/// is kCertain while every bound object has reported an update within the
+/// staleness horizon; once an object goes silent past the horizon its
+/// tuples are kStale — still computed from the stored motion functions
+/// (dead reckoning), but no longer vouched for. Stale tuples belong to
+/// the *may* answer, not the *must* answer (docs/durability.md).
+enum class Confidence { kCertain, kStale };
+
 /// One entry of Answer(CQ): an instantiation plus the interval during
 /// which it satisfies the query.
 struct AnswerTuple {
   std::vector<ObjectId> binding;
   Interval interval;
+  Confidence confidence = Confidence::kCertain;
 
   bool operator==(const AnswerTuple& o) const = default;
 };
@@ -64,6 +73,13 @@ class QueryManager {
     /// invalidated per object by database update listeners. Off by
     /// default; safe to combine with any thread_count.
     bool enable_interval_cache = false;
+    /// Degraded-mode staleness horizon: an object that has not received
+    /// an explicit update for more than this many ticks is considered
+    /// stale, and continuous/persistent answer tuples binding it are
+    /// reported with Confidence::kStale (excluded from CurrentAnswer,
+    /// retained in PossibleAnswer). Negative disables staleness tracking
+    /// (every tuple is kCertain, the pre-degraded-mode behaviour).
+    Tick staleness_horizon = -1;
   };
 
   explicit QueryManager(MostDatabase* db) : QueryManager(db, Options()) {}
@@ -101,11 +117,19 @@ class QueryManager {
   Status Cancel(QueryId id);
 
   /// The materialized Answer(CQ) (re-evaluated lazily if a relevant update
-  /// or window expiry invalidated it).
+  /// or window expiry invalidated it). Each tuple carries its confidence
+  /// (kStale when a bound object is past the staleness horizon).
   Result<std::vector<AnswerTuple>> ContinuousAnswer(QueryId id);
 
-  /// What the user's display shows at the current tick.
+  /// What the user's display shows at the current tick: the *must*
+  /// answer. Tuples binding stale objects are excluded — the database
+  /// refuses to vouch for dead-reckoned fiction.
   Result<std::vector<std::vector<ObjectId>>> CurrentAnswer(QueryId id);
+
+  /// The *may* answer at the current tick: CurrentAnswer plus the tuples
+  /// carried only by stale (dead-reckoned) objects. Equal to
+  /// CurrentAnswer when staleness tracking is disabled.
+  Result<std::vector<std::vector<ObjectId>>> PossibleAnswer(QueryId id);
 
   /// Number of times this query's Answer set was (re)computed — the
   /// quantity experiment E3 compares against per-tick re-evaluation.
@@ -184,6 +208,13 @@ class QueryManager {
   /// guarantee exclusive access to this entry; distinct entries may be
   /// refreshed concurrently.
   Status Refresh(Continuous* cq);
+  /// kStale if any object bound by `binding` (whose positions correspond
+  /// to the sorted `vars`, each declared in `query.from`) is past the
+  /// staleness horizon at `now`; kCertain otherwise.
+  Confidence BindingConfidence(const FtlQuery& query,
+                               const std::vector<std::string>& vars,
+                               const std::vector<ObjectId>& binding,
+                               Tick now) const;
   FtlEvaluator::Options EvalOptions() const;
   void OnUpdate(const std::string& class_name, ObjectId id);
 

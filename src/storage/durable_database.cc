@@ -1,40 +1,76 @@
 #include "storage/durable_database.h"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "common/failpoint.h"
 
 namespace most {
 
 Status DurableDatabase::Open(const std::string& path,
                              size_t* recovered_records) {
   path_ = path;
-  bool tail_truncated = false;
-  MOST_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
-                        ReadWal(path, &tail_truncated));
-  for (const WalRecord& record : records) {
-    MOST_RETURN_IF_ERROR(Apply(record));
+  db_ = std::make_unique<Database>();
+  indexed_columns_.clear();
+  report_ = RecoveryReport();
+
+  const WalWriter::Options wopts{options_.wal_format_version};
+
+  if (options_.salvage) {
+    MOST_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                          RecoverWal(path, &report_));
+    for (const WalRecord& record : records) {
+      Status applied = Apply(record);
+      if (!applied.ok()) {
+        // A record that decoded but cannot replay (e.g. it depended on a
+        // dropped record): skip it, like any other corrupt record.
+        --report_.applied;
+        ++report_.dropped;
+        if (report_.first_error.empty()) {
+          report_.first_error = applied.ToString();
+        }
+      }
+    }
+    report_.salvaged = std::min(report_.salvaged, report_.applied);
+  } else {
+    bool tail_truncated = false;
+    Result<std::vector<WalRecord>> records = ReadWal(path, &tail_truncated);
+    if (!records.ok()) return records.status();
+    report_.tail_truncated = tail_truncated;
+    for (const WalRecord& record : *records) {
+      Status applied = Apply(record);
+      if (!applied.ok()) {
+        // Do not leave a half-replayed state behind a failed Open.
+        db_ = std::make_unique<Database>();
+        indexed_columns_.clear();
+        report_ = RecoveryReport();
+        return applied;
+      }
+      ++report_.applied;
+    }
   }
-  if (recovered_records != nullptr) *recovered_records = records.size();
-  return writer_.Open(path);
+  if (recovered_records != nullptr) *recovered_records = report_.applied;
+  return writer_.Open(path, wopts);
 }
 
 Status DurableDatabase::Apply(const WalRecord& record) {
   switch (record.kind) {
     case WalRecord::Kind::kCreateTable:
-      return db_.CreateTable(record.table, record.schema).status();
+      return db_->CreateTable(record.table, record.schema).status();
     case WalRecord::Kind::kInsert: {
-      MOST_ASSIGN_OR_RETURN(Table * table, db_.GetTable(record.table));
+      MOST_ASSIGN_OR_RETURN(Table * table, db_->GetTable(record.table));
       return table->RestoreRow(record.rid, record.row);
     }
     case WalRecord::Kind::kUpdate: {
-      MOST_ASSIGN_OR_RETURN(Table * table, db_.GetTable(record.table));
+      MOST_ASSIGN_OR_RETURN(Table * table, db_->GetTable(record.table));
       return table->Update(record.rid, record.row);
     }
     case WalRecord::Kind::kDelete: {
-      MOST_ASSIGN_OR_RETURN(Table * table, db_.GetTable(record.table));
+      MOST_ASSIGN_OR_RETURN(Table * table, db_->GetTable(record.table));
       return table->Delete(record.rid);
     }
     case WalRecord::Kind::kCreateIndex: {
-      MOST_ASSIGN_OR_RETURN(Table * table, db_.GetTable(record.table));
+      MOST_ASSIGN_OR_RETURN(Table * table, db_->GetTable(record.table));
       indexed_columns_[record.table].insert(record.column);
       return table->CreateIndex(record.column);
     }
@@ -42,23 +78,31 @@ Status DurableDatabase::Apply(const WalRecord& record) {
   return Status::Corruption("unknown WAL record kind");
 }
 
+Status DurableDatabase::Commit(const WalRecord& record) {
+  MOST_RETURN_IF_ERROR(writer_.Append(record));
+  if (options_.durability == Options::Durability::kSync) {
+    return writer_.Sync();
+  }
+  return Status::OK();
+}
+
 Result<Table*> DurableDatabase::CreateTable(const std::string& name,
                                             Schema schema) {
   if (!is_open()) return Status::Internal("database is not open");
-  if (db_.HasTable(name)) {
+  if (db_->HasTable(name)) {
     return Status::AlreadyExists("table '" + name + "'");
   }
   WalRecord record;
   record.kind = WalRecord::Kind::kCreateTable;
   record.table = name;
   record.schema = schema;
-  MOST_RETURN_IF_ERROR(writer_.Append(record));
-  return db_.CreateTable(name, std::move(schema));
+  MOST_RETURN_IF_ERROR(Commit(record));
+  return db_->CreateTable(name, std::move(schema));
 }
 
 Result<RowId> DurableDatabase::Insert(const std::string& table, Row row) {
   if (!is_open()) return Status::Internal("database is not open");
-  MOST_ASSIGN_OR_RETURN(Table * t, db_.GetTable(table));
+  MOST_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
   // Validate first so the log only contains appliable records, then log
   // with the id the insert will receive.
   MOST_RETURN_IF_ERROR(t->schema().Validate(row));
@@ -71,7 +115,7 @@ Result<RowId> DurableDatabase::Insert(const std::string& table, Row row) {
   // the logged id, so log-then-apply stays consistent.
   MOST_ASSIGN_OR_RETURN(RowId rid, t->Insert(std::move(row)));
   record.rid = rid;
-  Status logged = writer_.Append(record);
+  Status logged = Commit(record);
   if (!logged.ok()) {
     // Keep memory consistent with the log: roll the row back.
     (void)t->Delete(rid);
@@ -82,7 +126,7 @@ Result<RowId> DurableDatabase::Insert(const std::string& table, Row row) {
 
 Status DurableDatabase::Update(const std::string& table, RowId rid, Row row) {
   if (!is_open()) return Status::Internal("database is not open");
-  MOST_ASSIGN_OR_RETURN(Table * t, db_.GetTable(table));
+  MOST_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
   MOST_RETURN_IF_ERROR(t->schema().Validate(row));
   if (t->Get(rid) == nullptr) {
     return Status::NotFound("row " + std::to_string(rid));
@@ -92,13 +136,13 @@ Status DurableDatabase::Update(const std::string& table, RowId rid, Row row) {
   record.table = table;
   record.rid = rid;
   record.row = row;
-  MOST_RETURN_IF_ERROR(writer_.Append(record));
+  MOST_RETURN_IF_ERROR(Commit(record));
   return t->Update(rid, std::move(row));
 }
 
 Status DurableDatabase::Delete(const std::string& table, RowId rid) {
   if (!is_open()) return Status::Internal("database is not open");
-  MOST_ASSIGN_OR_RETURN(Table * t, db_.GetTable(table));
+  MOST_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
   if (t->Get(rid) == nullptr) {
     return Status::NotFound("row " + std::to_string(rid));
   }
@@ -106,14 +150,14 @@ Status DurableDatabase::Delete(const std::string& table, RowId rid) {
   record.kind = WalRecord::Kind::kDelete;
   record.table = table;
   record.rid = rid;
-  MOST_RETURN_IF_ERROR(writer_.Append(record));
+  MOST_RETURN_IF_ERROR(Commit(record));
   return t->Delete(rid);
 }
 
 Status DurableDatabase::CreateIndex(const std::string& table,
                                     const std::string& column) {
   if (!is_open()) return Status::Internal("database is not open");
-  MOST_ASSIGN_OR_RETURN(Table * t, db_.GetTable(table));
+  MOST_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
   if (t->GetIndex(column) != nullptr) {
     return Status::AlreadyExists("index on " + table + "." + column);
   }
@@ -124,53 +168,77 @@ Status DurableDatabase::CreateIndex(const std::string& table,
   record.kind = WalRecord::Kind::kCreateIndex;
   record.table = table;
   record.column = column;
-  MOST_RETURN_IF_ERROR(writer_.Append(record));
+  MOST_RETURN_IF_ERROR(Commit(record));
   Status status = t->CreateIndex(column);
   if (status.ok()) indexed_columns_[table].insert(column);
   return status;
 }
 
-Status DurableDatabase::Checkpoint() {
-  if (!is_open()) return Status::Internal("database is not open");
-  const std::string tmp_path = path_ + ".checkpoint";
-  {
-    WalWriter snapshot;
-    MOST_RETURN_IF_ERROR(snapshot.Open(tmp_path));
-    Status status = Status::OK();
-    for (const std::string& name : db_.TableNames()) {
-      auto table = db_.GetTable(name);
-      WalRecord create;
-      create.kind = WalRecord::Kind::kCreateTable;
-      create.table = name;
-      create.schema = (*table)->schema();
-      MOST_RETURN_IF_ERROR(snapshot.Append(create));
-      (*table)->Scan([&](RowId rid, const Row& row) {
-        if (!status.ok()) return;
-        WalRecord insert;
-        insert.kind = WalRecord::Kind::kInsert;
-        insert.table = name;
-        insert.rid = rid;
-        insert.row = row;
-        status = snapshot.Append(insert);
-      });
-      MOST_RETURN_IF_ERROR(status);
-      auto indexed = indexed_columns_.find(name);
-      if (indexed != indexed_columns_.end()) {
-        for (const std::string& column : indexed->second) {
-          WalRecord index;
-          index.kind = WalRecord::Kind::kCreateIndex;
-          index.table = name;
-          index.column = column;
-          MOST_RETURN_IF_ERROR(snapshot.Append(index));
-        }
+Status DurableDatabase::WriteSnapshot(const std::string& tmp_path) {
+  WalWriter snapshot;
+  MOST_RETURN_IF_ERROR(
+      snapshot.Open(tmp_path, WalWriter::Options{options_.wal_format_version}));
+  Status status = Status::OK();
+  for (const std::string& name : db_->TableNames()) {
+    auto table = db_->GetTable(name);
+    WalRecord create;
+    create.kind = WalRecord::Kind::kCreateTable;
+    create.table = name;
+    create.schema = (*table)->schema();
+    MOST_RETURN_IF_ERROR(snapshot.Append(create));
+    (*table)->Scan([&](RowId rid, const Row& row) {
+      if (!status.ok()) return;
+      WalRecord insert;
+      insert.kind = WalRecord::Kind::kInsert;
+      insert.table = name;
+      insert.rid = rid;
+      insert.row = row;
+      status = snapshot.Append(insert);
+    });
+    MOST_RETURN_IF_ERROR(status);
+    auto indexed = indexed_columns_.find(name);
+    if (indexed != indexed_columns_.end()) {
+      for (const std::string& column : indexed->second) {
+        WalRecord index;
+        index.kind = WalRecord::Kind::kCreateIndex;
+        index.table = name;
+        index.column = column;
+        MOST_RETURN_IF_ERROR(snapshot.Append(index));
       }
     }
   }
-  writer_.Close();
-  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
-    return Status::Internal("cannot replace WAL with checkpoint");
+  if (options_.durability == Options::Durability::kSync) {
+    // The snapshot must be on disk before the rename makes it the log.
+    MOST_RETURN_IF_ERROR(snapshot.Sync());
   }
-  return writer_.Open(path_);
+  return Status::OK();
+}
+
+Status DurableDatabase::Checkpoint() {
+  if (!is_open()) return Status::Internal("database is not open");
+  MOST_FAILPOINT("durable/checkpoint/begin");
+  const std::string tmp_path = path_ + ".checkpoint";
+  Status written = WriteSnapshot(tmp_path);
+  if (!written.ok()) {
+    // Surface the snapshot error with the tmp file cleaned up; the live
+    // log was never touched.
+    std::remove(tmp_path.c_str());
+    return written;
+  }
+  writer_.Close();
+  Status renamed = FailpointRegistry::Instance().Check(
+      "durable/checkpoint/rename");
+  if (renamed.ok() && std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    renamed = Status::Internal("cannot replace WAL with checkpoint");
+  }
+  const WalWriter::Options wopts{options_.wal_format_version};
+  if (!renamed.ok()) {
+    // Keep the old log authoritative and the database usable.
+    std::remove(tmp_path.c_str());
+    Status reopened = writer_.Open(path_, wopts);
+    return reopened.ok() ? renamed : reopened;
+  }
+  return writer_.Open(path_, wopts);
 }
 
 }  // namespace most

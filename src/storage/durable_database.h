@@ -14,22 +14,50 @@ namespace most {
 /// A Database with write-ahead logging and crash recovery: every mutation
 /// is appended (and flushed) to the log before being applied, and Open()
 /// rebuilds the in-memory state by replaying the log. Checkpoint()
-/// compacts the log to a snapshot of the current state.
+/// compacts the log to a snapshot of the current state, replacing it
+/// atomically (write tmp, rename over the log).
 ///
 /// This rounds out the "existing DBMS" substrate the paper layers MOST on
 /// top of: position updates from vehicles survive a server crash.
+///
+/// Failpoint sites (docs/durability.md lists the full catalog): the
+/// WalWriter sites plus durable/checkpoint/begin and
+/// durable/checkpoint/rename.
 class DurableDatabase {
  public:
-  DurableDatabase() = default;
+  struct Options {
+    /// kFlush: fflush after every append (survives a process crash).
+    /// kSync: additionally fdatasync on every commit and before the
+    /// checkpoint rename (survives an OS crash). Cost tracked by
+    /// BM_WalAppend (BENCH_wal.json).
+    enum class Durability { kFlush, kSync };
+    Durability durability = Durability::kFlush;
+    /// Salvage recovery: Open() skips corrupt or unappliable records
+    /// (reporting them in recovery_report()) instead of failing. Strict
+    /// mode (the default) fails on mid-log corruption, leaving the
+    /// database empty — never half-replayed.
+    bool salvage = false;
+    /// Record framing written for new appends (replay accepts both).
+    int wal_format_version = kWalFormatVersion;
+  };
+
+  DurableDatabase() : DurableDatabase(Options()) {}
+  explicit DurableDatabase(Options options)
+      : options_(options), db_(std::make_unique<Database>()) {}
   DurableDatabase(const DurableDatabase&) = delete;
   DurableDatabase& operator=(const DurableDatabase&) = delete;
 
   /// Replays `path` (if it exists) and opens it for appending. A torn
   /// final record (crash mid-append) is dropped; `recovered_records`
-  /// reports how many records were applied.
+  /// reports how many records were applied (recovery_report() has the
+  /// full breakdown). On replay failure the in-memory state is reset —
+  /// the database is never left half-replayed.
   Status Open(const std::string& path, size_t* recovered_records = nullptr);
 
   bool is_open() const { return writer_.is_open(); }
+
+  /// What the last Open() recovered, salvaged, and dropped.
+  const RecoveryReport& recovery_report() const { return report_; }
 
   // ---- Logged mutations --------------------------------------------------
 
@@ -43,26 +71,34 @@ class DurableDatabase {
 
   Result<ResultSet> ExecuteSelect(const SelectQuery& query,
                                   QueryStats* stats = nullptr) const {
-    return db_.ExecuteSelect(query, stats);
+    return db_->ExecuteSelect(query, stats);
   }
   Result<const Table*> GetTable(const std::string& name) const {
-    return db_.GetTable(name);
+    return database().GetTable(name);
   }
-  const Database& database() const { return db_; }
+  const Database& database() const { return *db_; }
 
   /// Rewrites the log as a snapshot of the current state (create-table +
   /// one insert per live row + index records), atomically replacing the
-  /// old log. Bounds recovery time after long update streams.
+  /// old log. Bounds recovery time after long update streams. On failure
+  /// the temporary snapshot is removed, the old log is left intact, and
+  /// the database stays open and usable.
   Status Checkpoint();
 
   const std::string& path() const { return path_; }
 
  private:
   Status Apply(const WalRecord& record);
+  /// Append + durability-appropriate sync: the commit point of every
+  /// logged mutation.
+  Status Commit(const WalRecord& record);
+  Status WriteSnapshot(const std::string& tmp_path);
 
-  Database db_;
+  Options options_;
+  std::unique_ptr<Database> db_;
   WalWriter writer_;
   std::string path_;
+  RecoveryReport report_;
   // Index definitions, re-logged by Checkpoint().
   std::map<std::string, std::set<std::string>> indexed_columns_;
 };

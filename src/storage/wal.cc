@@ -4,6 +4,13 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/crc32.h"
+#include "common/failpoint.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace most {
 
 namespace {
@@ -184,9 +191,8 @@ std::vector<std::string> SplitFields(const std::string& line) {
   return fields;
 }
 
-}  // namespace
-
-std::string EncodeWalRecord(const WalRecord& record) {
+// Serializes the version-independent record body: <kind>|<table>[|...].
+std::string EncodeWalBody(const WalRecord& record) {
   std::string body;
   body += static_cast<char>(record.kind);
   body += '|';
@@ -212,25 +218,10 @@ std::string EncodeWalRecord(const WalRecord& record) {
       body += Escape(record.column);
       break;
   }
-  // Length prefix guards against torn tail writes that happen to end in a
-  // newline.
-  return std::to_string(body.size()) + "|" + body;
+  return body;
 }
 
-Result<WalRecord> DecodeWalRecord(const std::string& line) {
-  size_t bar = line.find('|');
-  if (bar == std::string::npos) {
-    return Status::Corruption("missing length prefix");
-  }
-  char* end = nullptr;
-  uint64_t declared = std::strtoull(line.c_str(), &end, 10);
-  if (end != line.c_str() + bar) {
-    return Status::Corruption("bad length prefix");
-  }
-  std::string body = line.substr(bar + 1);
-  if (body.size() != declared) {
-    return Status::Corruption("length mismatch (torn record?)");
-  }
+Result<WalRecord> DecodeWalBody(const std::string& body) {
   std::vector<std::string> fields = SplitFields(body);
   if (fields.size() < 2 || fields[0].size() != 1) {
     return Status::Corruption("malformed record: " + body);
@@ -271,10 +262,78 @@ Result<WalRecord> DecodeWalRecord(const std::string& line) {
   return Status::Corruption("unknown record kind in: " + body);
 }
 
+// v2 line: #<version>|<crc32 hex8>|<len>|<body>.
+Result<WalRecord> DecodeWalRecordV2(const std::string& line) {
+  std::vector<std::string> head = SplitFields(line);
+  if (head.size() < 4) {
+    return Status::Corruption("short v2 record header");
+  }
+  if (head[0] != "#2") {
+    return Status::Corruption("unsupported WAL record version: " + head[0]);
+  }
+  if (head[1].size() != 8) {
+    return Status::Corruption("bad v2 CRC field");
+  }
+  char* end = nullptr;
+  uint64_t declared_crc = std::strtoull(head[1].c_str(), &end, 16);
+  if (end != head[1].c_str() + 8) {
+    return Status::Corruption("bad v2 CRC field");
+  }
+  uint64_t declared_len = std::strtoull(head[2].c_str(), &end, 10);
+  if (head[2].empty() || end != head[2].c_str() + head[2].size()) {
+    return Status::Corruption("bad v2 length field");
+  }
+  // The body is everything after the third '|'.
+  size_t body_at = head[0].size() + head[1].size() + head[2].size() + 3;
+  std::string body = line.substr(body_at);
+  if (body.size() != declared_len) {
+    return Status::Corruption("v2 length mismatch (torn record?)");
+  }
+  if (Crc32(body.data(), body.size()) != static_cast<uint32_t>(declared_crc)) {
+    return Status::Corruption("v2 CRC mismatch");
+  }
+  return DecodeWalBody(body);
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(const WalRecord& record, int format_version) {
+  std::string body = EncodeWalBody(record);
+  if (format_version <= 1) {
+    // Length prefix guards against torn tail writes that happen to end in
+    // a newline.
+    return std::to_string(body.size()) + "|" + body;
+  }
+  char header[32];
+  std::snprintf(header, sizeof(header), "#2|%08x|%zu|",
+                Crc32(body.data(), body.size()), body.size());
+  return header + body;
+}
+
+Result<WalRecord> DecodeWalRecord(const std::string& line) {
+  if (!line.empty() && line[0] == '#') return DecodeWalRecordV2(line);
+  size_t bar = line.find('|');
+  if (bar == std::string::npos) {
+    return Status::Corruption("missing length prefix");
+  }
+  char* end = nullptr;
+  uint64_t declared = std::strtoull(line.c_str(), &end, 10);
+  if (end != line.c_str() + bar) {
+    return Status::Corruption("bad length prefix");
+  }
+  std::string body = line.substr(bar + 1);
+  if (body.size() != declared) {
+    return Status::Corruption("length mismatch (torn record?)");
+  }
+  return DecodeWalBody(body);
+}
+
 WalWriter::~WalWriter() { Close(); }
 
-Status WalWriter::Open(const std::string& path) {
+Status WalWriter::Open(const std::string& path, Options options) {
   Close();
+  options_ = options;
+  MOST_FAILPOINT("wal/open");
   file_ = std::fopen(path.c_str(), "ab");
   if (file_ == nullptr) {
     return Status::Internal("cannot open WAL file: " + path);
@@ -284,17 +343,45 @@ Status WalWriter::Open(const std::string& path) {
 
 Status WalWriter::Append(const WalRecord& record) {
   if (file_ == nullptr) return Status::Internal("WAL is not open");
-  std::string line = EncodeWalRecord(record);
+  std::string line = EncodeWalRecord(record, options_.format_version);
   line += '\n';
-  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+  FailpointRegistry::WriteFault fault =
+      FailpointRegistry::Instance().CheckWrite("wal/append/write",
+                                               line.size());
+  if (fault.write_bytes > 0 &&
+      std::fwrite(line.data(), 1, fault.write_bytes, file_) !=
+          fault.write_bytes) {
     return Status::Internal("short WAL write");
+  }
+  if (!fault.status.ok()) {
+    // Make the torn prefix actually reach the file, as a crash mid-append
+    // would have: recovery must cope with it on the next Open.
+    std::fflush(file_);
+    return fault.status;
   }
   return Flush();
 }
 
 Status WalWriter::Flush() {
   if (file_ == nullptr) return Status::Internal("WAL is not open");
+  MOST_FAILPOINT("wal/append/flush");
   if (std::fflush(file_) != 0) return Status::Internal("WAL flush failed");
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) return Status::Internal("WAL is not open");
+  MOST_RETURN_IF_ERROR(Flush());
+  MOST_FAILPOINT("wal/sync");
+#if defined(__APPLE__)
+  if (::fsync(fileno(file_)) != 0) {
+    return Status::Internal("WAL fsync failed");
+  }
+#elif defined(__unix__)
+  if (::fdatasync(fileno(file_)) != 0) {
+    return Status::Internal("WAL fdatasync failed");
+  }
+#endif
   return Status::OK();
 }
 
@@ -305,18 +392,38 @@ void WalWriter::Close() {
   }
 }
 
-Result<std::vector<WalRecord>> ReadWal(const std::string& path,
-                                       bool* tail_truncated) {
-  if (tail_truncated != nullptr) *tail_truncated = false;
+namespace {
+
+Result<std::string> ReadFileContents(const std::string& path, bool* missing) {
+  *missing = false;
   std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return std::vector<WalRecord>{};  // No log yet.
+  if (file == nullptr) {
+    *missing = true;
+    return std::string();
+  }
   std::string contents;
   char buf[4096];
   size_t n;
   while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
     contents.append(buf, n);
   }
+  bool read_error = std::ferror(file) != 0;
   std::fclose(file);
+  if (read_error) {
+    return Status::Internal("cannot read WAL file: " + path);
+  }
+  return contents;
+}
+
+}  // namespace
+
+Result<std::vector<WalRecord>> ReadWal(const std::string& path,
+                                       bool* tail_truncated) {
+  if (tail_truncated != nullptr) *tail_truncated = false;
+  bool missing = false;
+  MOST_ASSIGN_OR_RETURN(std::string contents,
+                        ReadFileContents(path, &missing));
+  if (missing) return std::vector<WalRecord>{};  // No log yet.
 
   std::vector<WalRecord> records;
   size_t pos = 0;
@@ -339,6 +446,44 @@ Result<std::vector<WalRecord>> ReadWal(const std::string& path,
       }
       return record.status();  // Mid-file corruption is fatal.
     }
+    records.push_back(std::move(record).value());
+  }
+  return records;
+}
+
+Result<std::vector<WalRecord>> RecoverWal(const std::string& path,
+                                          RecoveryReport* report) {
+  RecoveryReport local;
+  RecoveryReport& rep = report != nullptr ? *report : local;
+  rep = RecoveryReport();
+  bool missing = false;
+  MOST_ASSIGN_OR_RETURN(std::string contents,
+                        ReadFileContents(path, &missing));
+  if (missing) return std::vector<WalRecord>{};  // No log yet.
+
+  std::vector<WalRecord> records;
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    size_t nl = contents.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Torn tail write: the last record never completed.
+      rep.tail_truncated = true;
+      ++rep.dropped;
+      break;
+    }
+    std::string line = contents.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    Result<WalRecord> record = DecodeWalRecord(line);
+    if (!record.ok()) {
+      ++rep.dropped;
+      if (rep.first_error.empty()) {
+        rep.first_error = record.status().ToString();
+      }
+      continue;  // Salvage: skip the corrupt record, keep going.
+    }
+    ++rep.applied;
+    if (rep.dropped > 0) ++rep.salvaged;
     records.push_back(std::move(record).value());
   }
   return records;

@@ -13,6 +13,15 @@ namespace most {
 /// A logged mutation. The WAL is a line-oriented append-only file; each
 /// record is one escaped line, so a torn final write (crash mid-append)
 /// is detected as a truncated last line and ignored on replay.
+///
+/// Two record framings coexist in a log (the format is self-describing
+/// per line, so v1 logs — and logs that gained v2 records after an
+/// upgrade — still replay):
+///
+///   v1:  <len>|<body>                     length framing only
+///   v2:  #2|<crc32 hex8>|<len>|<body>     + per-record CRC32 over the body
+///
+/// See docs/durability.md for the full format and recovery invariants.
 struct WalRecord {
   enum class Kind : char {
     kCreateTable = 'T',
@@ -30,15 +39,28 @@ struct WalRecord {
   std::string column;  // kCreateIndex.
 };
 
-/// Serializes a record as a single line (no trailing newline).
-std::string EncodeWalRecord(const WalRecord& record);
-/// Parses one line; Corruption on malformed input.
+/// Current (CRC-framed) record format version.
+inline constexpr int kWalFormatVersion = 2;
+
+/// Serializes a record as a single line (no trailing newline) in the given
+/// format version (1 = legacy length-only framing, 2 = CRC32 framing).
+std::string EncodeWalRecord(const WalRecord& record,
+                            int format_version = kWalFormatVersion);
+/// Parses one line of either version; Corruption on malformed input. A v2
+/// line whose CRC does not match its body is Corruption (never mis-parses
+/// as a different record).
 Result<WalRecord> DecodeWalRecord(const std::string& line);
 
 /// Append-only writer with explicit flush-on-append ("the log is the
 /// database"; everything else is a cache, per the usual WAL discipline).
+/// Failpoint sites: wal/open, wal/append/write (write site — supports
+/// torn writes), wal/append/flush, wal/sync.
 class WalWriter {
  public:
+  struct Options {
+    int format_version = kWalFormatVersion;
+  };
+
   WalWriter() = default;
   ~WalWriter();
 
@@ -46,22 +68,46 @@ class WalWriter {
   WalWriter& operator=(const WalWriter&) = delete;
 
   /// Opens for appending (creates the file if absent).
-  Status Open(const std::string& path);
+  Status Open(const std::string& path) { return Open(path, Options()); }
+  Status Open(const std::string& path, Options options);
   bool is_open() const { return file_ != nullptr; }
 
   Status Append(const WalRecord& record);
   Status Flush();
+  /// Forces appended records to stable storage (fdatasync via fileno).
+  /// Flush() survives a process crash; Sync() also survives an OS crash.
+  Status Sync();
   void Close();
 
  private:
   std::FILE* file_ = nullptr;
+  Options options_;
 };
 
 /// Reads every complete record of a log file. A trailing partial line (torn
 /// write) is tolerated and reported via `tail_truncated`; corruption in the
-/// middle of the file is an error.
+/// middle of the file is an error. (Strict mode — see RecoverWal for the
+/// salvaging variant.)
 Result<std::vector<WalRecord>> ReadWal(const std::string& path,
                                        bool* tail_truncated = nullptr);
+
+/// What salvage recovery did to a log. `applied` counts records that
+/// replayed; `dropped` counts corrupt/torn/unappliable records skipped;
+/// `salvaged` counts applied records that came after the first drop (they
+/// would have been lost under strict replay).
+struct RecoveryReport {
+  size_t applied = 0;
+  size_t salvaged = 0;
+  size_t dropped = 0;
+  bool tail_truncated = false;
+  std::string first_error;  ///< First corruption message, for logging.
+};
+
+/// Salvaging reader: decodes every line it can, skipping corrupt records
+/// (middle or tail) instead of aborting the replay. Only I/O-level
+/// failures (unreadable file) are errors; a missing file is an empty log.
+Result<std::vector<WalRecord>> RecoverWal(const std::string& path,
+                                          RecoveryReport* report);
 
 }  // namespace most
 

@@ -1,0 +1,129 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace most {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+
+  FailpointRegistry& reg() { return FailpointRegistry::Instance(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteIsFree) {
+  EXPECT_TRUE(reg().Check("never/armed").ok());
+  EXPECT_EQ(reg().triggered("never/armed"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorSpecInjectsInternalError) {
+  ASSERT_TRUE(reg().Arm("test/error_site", "error").ok());
+  Status s = reg().Check("test/error_site");
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("test/error_site"), std::string::npos);
+  // Unlimited budget: keeps firing.
+  EXPECT_FALSE(reg().Check("test/error_site").ok());
+  EXPECT_EQ(reg().triggered("test/error_site"), 2u);
+}
+
+TEST_F(FailpointTest, TriggerBudgetDisarmsAfterNShots) {
+  ASSERT_TRUE(reg().Arm("test/budget", "error*2").ok());
+  EXPECT_FALSE(reg().Check("test/budget").ok());
+  EXPECT_FALSE(reg().Check("test/budget").ok());
+  EXPECT_TRUE(reg().Check("test/budget").ok());  // Budget exhausted.
+  EXPECT_EQ(reg().triggered("test/budget"), 2u);
+  EXPECT_TRUE(reg().ArmedSites().empty());
+}
+
+TEST_F(FailpointTest, NoopCountsWithoutFailing) {
+  ASSERT_TRUE(reg().Arm("test/probe", "noop").ok());
+  EXPECT_TRUE(reg().Check("test/probe").ok());
+  EXPECT_TRUE(reg().Check("test/probe").ok());
+  EXPECT_EQ(reg().triggered("test/probe"), 2u);
+}
+
+TEST_F(FailpointTest, TruncateFaultTearsWrites) {
+  ASSERT_TRUE(reg().Arm("test/write", "truncate(3)*1").ok());
+  auto fault = reg().CheckWrite("test/write", 10);
+  EXPECT_EQ(fault.write_bytes, 3u);
+  EXPECT_FALSE(fault.status.ok());
+  // Budget spent: next write is clean.
+  fault = reg().CheckWrite("test/write", 10);
+  EXPECT_EQ(fault.write_bytes, 10u);
+  EXPECT_TRUE(fault.status.ok());
+}
+
+TEST_F(FailpointTest, TruncateDefaultsToHalfAndClamps) {
+  ASSERT_TRUE(reg().Arm("test/write", "truncate").ok());
+  EXPECT_EQ(reg().CheckWrite("test/write", 10).write_bytes, 5u);
+  ASSERT_TRUE(reg().Arm("test/write", "truncate(999)").ok());
+  EXPECT_EQ(reg().CheckWrite("test/write", 10).write_bytes, 10u);
+}
+
+TEST_F(FailpointTest, ErrorFaultSuppressesWholeWrite) {
+  ASSERT_TRUE(reg().Arm("test/write", "error*1").ok());
+  auto fault = reg().CheckWrite("test/write", 10);
+  EXPECT_EQ(fault.write_bytes, 0u);
+  EXPECT_FALSE(fault.status.ok());
+}
+
+TEST_F(FailpointTest, TruncateOnNonWriteSiteIsPlainError) {
+  ASSERT_TRUE(reg().Arm("test/site", "truncate*1").ok());
+  EXPECT_FALSE(reg().Check("test/site").ok());
+}
+
+TEST_F(FailpointTest, SleepInjectsLatency) {
+  ASSERT_TRUE(reg().Arm("test/slow", "sleep(1)*1").ok());
+  EXPECT_TRUE(reg().Check("test/slow").ok());
+  EXPECT_EQ(reg().triggered("test/slow"), 1u);
+}
+
+TEST_F(FailpointTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(reg().Arm("s", "explode").ok());
+  EXPECT_FALSE(reg().Arm("s", "error*0").ok());
+  EXPECT_FALSE(reg().Arm("s", "error*x").ok());
+  EXPECT_FALSE(reg().Arm("s", "sleep").ok());      // Needs (ms).
+  EXPECT_FALSE(reg().Arm("s", "sleep()").ok());
+  EXPECT_FALSE(reg().Arm("s", "truncate(-1)").ok());
+  EXPECT_TRUE(reg().ArmedSites().empty());
+}
+
+TEST_F(FailpointTest, OffSpecDisarms) {
+  ASSERT_TRUE(reg().Arm("test/site", "error").ok());
+  ASSERT_TRUE(reg().Arm("test/site", "off").ok());
+  EXPECT_TRUE(reg().Check("test/site").ok());
+}
+
+TEST_F(FailpointTest, ArmFromEnvParsesLists) {
+  ASSERT_TRUE(
+      reg()
+          .ArmFromEnv("test/env_a=error*1;test/env_b=noop,test/env_c=sleep(1)")
+          .ok());
+  auto armed = reg().ArmedSites();
+  EXPECT_EQ(armed.size(), 3u);
+  EXPECT_FALSE(reg().Check("test/env_a").ok());
+  EXPECT_TRUE(reg().Check("test/env_b").ok());
+  EXPECT_EQ(reg().triggered("test/env_b"), 1u);
+}
+
+TEST_F(FailpointTest, ArmFromEnvReportsBadEntriesButArmsGoodOnes) {
+  EXPECT_FALSE(reg().ArmFromEnv("bogus;test/good=noop").ok());
+  EXPECT_TRUE(reg().Check("test/good").ok());
+  EXPECT_EQ(reg().triggered("test/good"), 1u);
+}
+
+TEST_F(FailpointTest, TotalTriggeredAccumulates) {
+  uint64_t before = reg().total_triggered();
+  ASSERT_TRUE(reg().Arm("test/a", "noop").ok());
+  ASSERT_TRUE(reg().Arm("test/b", "error*1").ok());
+  (void)reg().Check("test/a");
+  (void)reg().Check("test/b");
+  EXPECT_EQ(reg().total_triggered(), before + 2);
+}
+
+}  // namespace
+}  // namespace most

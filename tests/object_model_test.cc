@@ -124,5 +124,35 @@ TEST_F(ObjectModelTest, NonSpatialClassHasNoPosition) {
   EXPECT_FALSE((*motel)->IsSpatial());
 }
 
+TEST_F(ObjectModelTest, ExplicitUpdatesStampLastUpdate) {
+  auto car = db_.CreateObject("CARS");
+  ASSERT_TRUE(car.ok());
+  ObjectId id = (*car)->id();
+  EXPECT_EQ((*car)->last_update(), 0);  // Creation counts as an update.
+
+  db_.clock().AdvanceTo(17);
+  ASSERT_TRUE(db_.SetMotion("CARS", id, {1, 1}, {1, 0}).ok());
+  EXPECT_EQ((*car)->last_update(), 17);
+
+  db_.clock().AdvanceTo(30);
+  ASSERT_TRUE(db_.UpdateStatic("CARS", id, "PLATE", Value("AAA111")).ok());
+  EXPECT_EQ((*car)->last_update(), 30);
+}
+
+TEST_F(ObjectModelTest, IsStaleComparesAgainstHorizon) {
+  auto car = db_.CreateObject("CARS");
+  ASSERT_TRUE(car.ok());
+  const MostObject& obj = **car;
+  EXPECT_FALSE(IsStale(obj, /*now=*/50, /*horizon=*/50));  // Boundary.
+  EXPECT_TRUE(IsStale(obj, /*now=*/51, /*horizon=*/50));
+  EXPECT_FALSE(IsStale(obj, /*now=*/51, /*horizon=*/-1));  // Disabled.
+
+  // A fresh update at t=60 resets the clock.
+  db_.clock().AdvanceTo(60);
+  ASSERT_TRUE(db_.SetMotion("CARS", obj.id(), {0, 0}, {0, 0}).ok());
+  EXPECT_FALSE(IsStale(obj, /*now=*/100, /*horizon=*/50));
+  EXPECT_TRUE(IsStale(obj, /*now=*/111, /*horizon=*/50));
+}
+
 }  // namespace
 }  // namespace most

@@ -267,6 +267,122 @@ TEST_F(QueryManagerTest, TriggerRespondsToUpdates) {
 }
 
 // ---------------------------------------------------------------------------
+// Degraded mode: answers under missing location updates.
+// ---------------------------------------------------------------------------
+
+class StalenessTest : public ::testing::Test {
+ protected:
+  StalenessTest() : qm_(&db_, {.horizon = 500, .staleness_horizon = 50}) {
+    EXPECT_TRUE(db_.CreateClass("CARS", {{"PRICE", false, ValueType::kDouble}},
+                                /*spatial=*/true)
+                    .ok());
+    EXPECT_TRUE(
+        db_.DefineRegion("P", Polygon::Rectangle({0, 0}, {10, 10})).ok());
+  }
+
+  ObjectId AddCar(Point2 pos, Vec2 vel) {
+    auto obj = db_.CreateObject("CARS");
+    EXPECT_TRUE(obj.ok());
+    EXPECT_TRUE(db_.SetMotion("CARS", (*obj)->id(), pos, vel).ok());
+    return (*obj)->id();
+  }
+
+  FtlQuery Parse(const std::string& s) {
+    auto q = ParseQuery(s);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return *q;
+  }
+
+  MostDatabase db_;
+  QueryManager qm_;
+};
+
+// The ISSUE acceptance scenario: 30% of the fleet stops sending location
+// updates. Past the staleness horizon their dead-reckoned tuples drop out
+// of the *must* answer but remain in the *may* answer, flagged kStale; a
+// fresh update reinstates them as kCertain — all without re-evaluation.
+TEST_F(StalenessTest, SilentObjectsDegradeToMayAnswersAndComeBack) {
+  // Ten stationary cars inside P; the last three will go silent.
+  std::vector<ObjectId> fleet;
+  for (int i = 0; i < 10; ++i) {
+    fleet.push_back(AddCar({5, 5}, {0, 0}));
+  }
+  auto id = qm_.RegisterContinuous(
+      Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)"));
+  ASSERT_TRUE(id.ok());
+
+  // Within the horizon everything is certain: must == may == 10.
+  db_.clock().AdvanceTo(40);
+  ASSERT_TRUE(qm_.CurrentAnswer(*id).ok());
+  EXPECT_EQ(qm_.CurrentAnswer(*id)->size(), 10u);
+  EXPECT_EQ(qm_.PossibleAnswer(*id)->size(), 10u);
+
+  // t=100: seven cars report in (any update refreshes last_update); three
+  // stay silent, now 100 ticks past their last update, horizon 50.
+  db_.clock().AdvanceTo(100);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(db_.SetMotion("CARS", fleet[i], {5, 5}, {0, 0}).ok());
+  }
+  auto tuples = qm_.ContinuousAnswer(*id);
+  ASSERT_TRUE(tuples.ok());
+  ASSERT_EQ(tuples->size(), 10u);
+  size_t certain = 0, stale = 0;
+  for (const AnswerTuple& t : *tuples) {
+    (t.confidence == Confidence::kCertain ? certain : stale) += 1;
+  }
+  EXPECT_EQ(certain, 7u);
+  EXPECT_EQ(stale, 3u);
+  // Must-answer excludes the silent cars; may-answer retains them.
+  EXPECT_EQ(qm_.CurrentAnswer(*id)->size(), 7u);
+  EXPECT_EQ(qm_.PossibleAnswer(*id)->size(), 10u);
+
+  // The silent cars finally report: immediately certain again.
+  for (int i = 7; i < 10; ++i) {
+    ASSERT_TRUE(db_.SetMotion("CARS", fleet[i], {5, 5}, {0, 0}).ok());
+  }
+  EXPECT_EQ(qm_.CurrentAnswer(*id)->size(), 10u);
+  EXPECT_EQ(qm_.PossibleAnswer(*id)->size(), 10u);
+  auto reinstated = qm_.ContinuousAnswer(*id);
+  ASSERT_TRUE(reinstated.ok());
+  for (const AnswerTuple& t : *reinstated) {
+    EXPECT_EQ(t.confidence, Confidence::kCertain);
+  }
+}
+
+TEST_F(StalenessTest, StalenessDriftNeedsNoReevaluation) {
+  AddCar({5, 5}, {0, 0});
+  auto id = qm_.RegisterContinuous(
+      Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_EQ(qm_.EvaluationCount(*id).value(), 1u);
+
+  // Confidence is derived at read time from last_update: the same cached
+  // evaluation answers certain at t=30 and stale at t=80.
+  db_.clock().AdvanceTo(30);
+  EXPECT_EQ(qm_.CurrentAnswer(*id)->size(), 1u);
+  db_.clock().AdvanceTo(80);
+  EXPECT_EQ(qm_.CurrentAnswer(*id)->size(), 0u);
+  EXPECT_EQ(qm_.PossibleAnswer(*id)->size(), 1u);
+  EXPECT_EQ(qm_.EvaluationCount(*id).value(), 1u);
+}
+
+TEST_F(StalenessTest, DisabledHorizonKeepsEverythingCertain) {
+  QueryManager no_staleness(&db_, {.horizon = 500});
+  AddCar({5, 5}, {0, 0});
+  auto id = no_staleness.RegisterContinuous(
+      Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)"));
+  ASSERT_TRUE(id.ok());
+  db_.clock().AdvanceTo(400);  // Way past any update.
+  EXPECT_EQ(no_staleness.CurrentAnswer(*id)->size(), 1u);
+  EXPECT_EQ(no_staleness.PossibleAnswer(*id)->size(), 1u);
+  auto tuples = no_staleness.ContinuousAnswer(*id);
+  ASSERT_TRUE(tuples.ok());
+  for (const AnswerTuple& t : *tuples) {
+    EXPECT_EQ(t.confidence, Confidence::kCertain);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Batch tick (TickAll) + the parallel/cached evaluation configuration.
 // ---------------------------------------------------------------------------
 
