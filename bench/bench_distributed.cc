@@ -1,4 +1,5 @@
-// Experiment E7 — Section 5.3's distributed processing strategies.
+// Experiments E7/E8 — Section 5.3's distributed processing strategies,
+// now over the lossy wireless medium.
 //
 //  * BM_ObjectQueryStrategies — one-shot object query: strategy 1
 //    (collect all objects at the issuer) vs strategy 2 (broadcast the
@@ -7,10 +8,20 @@
 //  * BM_ContinuousStrategies — the continuous case: strategy 1 re-ships
 //    the object on EVERY motion change; strategy 2 transmits only when a
 //    node's answer changes.
-//  * Selectivity sweep shows the crossover: with a predicate matching
-//    everything, broadcast replies approach collect volume.
+//  * BM_DistQuery — the reliability cost: messages, bytes, and the tick
+//    at which the answer turns kCertain, for both strategies at message
+//    loss 0 / 10% / 30%. Retransmission buys completeness with latency
+//    and bandwidth; this measures how much.
+//
+// Emits BENCH_dist.json after the run (messages / bytes / completion
+// tick per strategy × loss rate) for the E7/E8 notes in EXPERIMENTS.md.
 
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <string>
 
 #include "distributed/coordinator.h"
 #include "distributed/mobile_node.h"
@@ -22,21 +33,28 @@ namespace {
 
 struct Sim {
   Clock clock;
-  SimNetwork net{&clock, SimNetwork::Options{.latency = 1}};
+  SimNetwork net;
   std::map<std::string, Polygon> regions;
   std::unique_ptr<Coordinator> coordinator;
   std::vector<std::unique_ptr<MobileNode>> nodes;
   FleetGenerator fleet;
 
-  Sim(size_t vehicles, double region_fraction)
-      : fleet({.num_vehicles = vehicles, .area = 1000.0, .seed = 1997}) {
+  Sim(size_t vehicles, double region_fraction, double loss = 0.0,
+      uint64_t seed = 1997)
+      : net(&clock, SimNetwork::Options{.latency = 1,
+                                        .loss_probability = loss,
+                                        .seed = seed}),
+        fleet({.num_vehicles = vehicles, .area = 1000.0, .seed = 1997}) {
     double side = 1000.0 * std::sqrt(region_fraction);
     regions["P"] = Polygon::Rectangle({500 - side / 2, 500 - side / 2},
                                       {500 + side / 2, 500 + side / 2});
     coordinator = std::make_unique<Coordinator>(&net, &clock, regions);
+    // Beacons off: the counters below should show query traffic only.
+    MobileNode::Options opts;
+    opts.beacon_interval = 0;
     for (const ObjectState& s : fleet.initial_states()) {
       nodes.push_back(
-          std::make_unique<MobileNode>(&net, &clock, s, regions));
+          std::make_unique<MobileNode>(&net, &clock, s, regions, opts));
     }
   }
 
@@ -63,11 +81,11 @@ void BM_ObjectQueryStrategies(benchmark::State& state) {
         *query,
         broadcast ? DistStrategy::kBroadcastFilter : DistStrategy::kCollect,
         /*continuous=*/false, 256);
-    sim.Run(3);
+    sim.Run(8);
     if (broadcast) {
-      matches = sim.coordinator->ReportedMatches(qid)->size();
+      matches = sim.coordinator->ReportedMatches(qid)->matches.size();
     } else {
-      matches = sim.coordinator->EvaluateCollected(qid)->rows.size();
+      matches = sim.coordinator->EvaluateCollected(qid)->relation.rows.size();
     }
     stats = sim.net.stats();
     benchmark::DoNotOptimize(matches);
@@ -95,7 +113,7 @@ void BM_ContinuousStrategies(benchmark::State& state) {
         *query,
         broadcast ? DistStrategy::kBroadcastFilter : DistStrategy::kCollect,
         /*continuous=*/true, 512);
-    sim.Run(3);
+    sim.Run(8);
     sim.net.ResetStats();
     motion_updates = 0;
     auto updates = sim.fleet.GenerateUpdates(300);
@@ -105,7 +123,7 @@ void BM_ContinuousStrategies(benchmark::State& state) {
       sim.nodes[u.id]->UpdateMotion(u.position, u.velocity);
       ++motion_updates;
     }
-    sim.Run(sim.clock.Now() + 2);
+    sim.Run(sim.clock.Now() + 8);
     stats = sim.net.stats();
   }
   state.counters["motion_updates"] = static_cast<double>(motion_updates);
@@ -128,9 +146,9 @@ void BM_RelationshipQuery(benchmark::State& state) {
     Sim sim(vehicles, 0.05);
     sim.net.ResetStats();
     uint64_t qid = sim.coordinator->IssueRelationshipQuery(*query, 128);
-    sim.Run(3);
+    sim.Run(8);
     auto rel = sim.coordinator->EvaluateCollected(qid);
-    pairs = rel->rows.size();
+    pairs = rel->relation.rows.size();
     stats = sim.net.stats();
     benchmark::DoNotOptimize(rel);
   }
@@ -140,5 +158,106 @@ void BM_RelationshipQuery(benchmark::State& state) {
 BENCHMARK(BM_RelationshipQuery)->Arg(50)->Arg(100)->Arg(200)
     ->Unit(benchmark::kMillisecond);
 
+struct DistRun {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  Tick completion_tick = -1;  ///< Tick the answer turned kCertain; -1 never.
+};
+
+/// One query over a lossy link, run until the answer is complete (or the
+/// tick cap). Completion = the coordinator heard every node's QueryDone,
+/// i.e. the answer's confidence is kCertain.
+DistRun RunDistQuery(size_t vehicles, bool broadcast, double loss,
+                     uint64_t seed) {
+  Sim sim(vehicles, 0.05, loss, seed);
+  auto query = ParseQuery(
+      "RETRIEVE o FROM FLEET o WHERE EVENTUALLY WITHIN 100 INSIDE(o, P)");
+  sim.net.ResetStats();
+  uint64_t qid = sim.coordinator->IssueObjectQuery(
+      *query,
+      broadcast ? DistStrategy::kBroadcastFilter : DistStrategy::kCollect,
+      /*continuous=*/false, 256);
+  Tick issued = sim.clock.Now();
+  DistRun run;
+  for (Tick t = 0; t < 4096; ++t) {
+    sim.clock.Advance();
+    sim.net.DeliverDue();
+    bool certain =
+        broadcast
+            ? sim.coordinator->ReportedMatches(qid)->confidence ==
+                  Confidence::kCertain
+            : sim.coordinator->GetState(qid).value()->MissingNodes().empty();
+    if (certain) {
+      run.completion_tick = sim.clock.Now() - issued;
+      break;
+    }
+  }
+  run.messages = sim.net.stats().messages_sent;
+  run.bytes = sim.net.stats().bytes_sent;
+  return run;
+}
+
+void BM_DistQuery(benchmark::State& state) {
+  size_t vehicles = static_cast<size_t>(state.range(0));
+  bool broadcast = state.range(1) == 1;
+  double loss = static_cast<double>(state.range(2)) / 100.0;
+  DistRun run;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    run = RunDistQuery(vehicles, broadcast, loss, seed++);
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["messages"] = static_cast<double>(run.messages);
+  state.counters["bytes"] = static_cast<double>(run.bytes);
+  state.counters["completion_tick"] = static_cast<double>(run.completion_tick);
+  state.counters["strategy2_broadcast"] = broadcast ? 1 : 0;
+  state.counters["loss_pct"] = static_cast<double>(state.range(2));
+}
+BENCHMARK(BM_DistQuery)
+    ->ArgsProduct({{100}, {0, 1}, {0, 10, 30}})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
+
+void EmitBenchJson(const char* out_path) {
+  std::ofstream out(out_path);
+  out << "{\n  \"benchmark\": \"dist_query\",\n  \"vehicles\": 100,\n";
+  out << "  \"runs\": [\n";
+  bool first = true;
+  for (bool broadcast : {false, true}) {
+    for (int loss_pct : {0, 10, 30}) {
+      // Median of three seeds by completion tick, so one unlucky loss
+      // pattern does not skew the headline number.
+      DistRun runs[3];
+      for (uint64_t s = 0; s < 3; ++s) {
+        runs[s] = RunDistQuery(100, broadcast, loss_pct / 100.0, 100 + s);
+      }
+      std::sort(std::begin(runs), std::end(runs),
+                [](const DistRun& a, const DistRun& b) {
+                  return a.completion_tick < b.completion_tick;
+                });
+      const DistRun& r = runs[1];
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"strategy\": \""
+          << (broadcast ? "broadcast_filter" : "collect")
+          << "\", \"loss_pct\": " << loss_pct
+          << ", \"messages\": " << r.messages << ", \"bytes\": " << r.bytes
+          << ", \"completion_tick\": " << r.completion_tick << "}";
+    }
+  }
+  out << "\n  ]\n}\n";
+}
+
 }  // namespace most
+
+// Custom main: run the registered benchmarks, then emit the summary the
+// E7/E8 notes in EXPERIMENTS.md are built from.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  most::EmitBenchJson("BENCH_dist.json");
+  return 0;
+}

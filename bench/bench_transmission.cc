@@ -111,7 +111,7 @@ void BM_TransmissionUnderDisconnection(benchmark::State& state) {
                  std::max<double>(1.0, static_cast<double>(
                                            clean.displayed_tuple_ticks)));
   state.counters["dropped_messages"] =
-      static_cast<double>(result.net.messages_dropped);
+      static_cast<double>(result.net.dropped_total());
   state.counters["mode_delayed"] = state.range(0);
 }
 BENCHMARK(BM_TransmissionUnderDisconnection)

@@ -26,6 +26,14 @@ run_config build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMOST_SANITIZE=address
 echo "=== crash-torture stage (env-armed failpoints, ASan) ==="
 MOST_FAILPOINTS="ci/torture_probe=noop" ./build-asan/tests/crash_torture_test
 
+# Partition-torture stage: the distributed protocol under randomized
+# loss/duplication/reordering/partition schedules (3 seeds), differentially
+# checked against a lossless run (docs/distributed.md). The armed probe
+# proves MOST_FAILPOINTS reaches the torture loop; each seed fails if its
+# faults never fired, so this stage cannot silently become a no-op either.
+echo "=== partition-torture stage (env-armed failpoints, ASan) ==="
+MOST_FAILPOINTS="ci/dist_probe=noop" ./build-asan/tests/partition_torture_test
+
 if [[ "${1:-}" == "tsan" ]]; then
   run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMOST_SANITIZE=thread
 fi

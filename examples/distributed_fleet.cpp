@@ -58,7 +58,11 @@ int main() {
   auto collected = dispatcher.EvaluateCollected(collect);
   auto collect_stats = net.stats();
   std::cout << "object query, strategy 1 (collect all objects at M):\n"
-            << "  matches: " << collected->rows.size() << ", messages: "
+            << "  matches: " << collected->relation.rows.size()
+            << (collected->confidence == Confidence::kCertain
+                    ? " (complete)"
+                    : " (partial)")
+            << ", messages: "
             << collect_stats.messages_sent
             << ", bytes: " << collect_stats.bytes_sent << "\n";
 
@@ -69,7 +73,10 @@ int main() {
   auto matches = dispatcher.ReportedMatches(broadcast);
   auto broadcast_stats = net.stats();
   std::cout << "object query, strategy 2 (broadcast, nodes filter):\n"
-            << "  matches: " << matches->size() << ", messages: "
+            << "  matches: " << matches->matches.size()
+            << (matches->confidence == Confidence::kCertain ? " (complete)"
+                                                            : " (partial)")
+            << ", messages: "
             << broadcast_stats.messages_sent
             << ", bytes: " << broadcast_stats.bytes_sent << "\n";
   std::cout << "  (strategy 2 also parallelizes the evaluation across the "
@@ -86,7 +93,7 @@ int main() {
   run(clock.Now() + 3);
   auto pairs = dispatcher.EvaluateCollected(rel);
   size_t distinct_pairs = 0;
-  for (const auto& [binding, when] : pairs->rows) {
+  for (const auto& [binding, when] : pairs->relation.rows) {
     if (binding[0] < binding[1] && when.Contains(clock.Now())) {
       ++distinct_pairs;
     }

@@ -62,6 +62,13 @@ class FailpointRegistry {
   };
   WriteFault CheckWrite(const char* site, size_t size);
 
+  /// True when at least one site is armed. Lock-free; callers with
+  /// per-message site-name construction costs (the network simulator)
+  /// use it to skip the whole failpoint path when nothing is armed.
+  bool AnyArmed() const {
+    return armed_count_.load(std::memory_order_relaxed) != 0;
+  }
+
   /// Times the site fired (acted on a hit) since process start. Counts
   /// survive Disarm so harnesses can assert injections actually happened.
   uint64_t triggered(const std::string& site) const;

@@ -1,5 +1,7 @@
 #include "distributed/coordinator.h"
 
+#include <algorithm>
+
 namespace most {
 
 namespace {
@@ -39,11 +41,24 @@ size_t MaxVarsPerAtom(const FormulaPtr& f) {
 
 }  // namespace
 
+std::set<NodeId> Coordinator::QueryState::MissingNodes() const {
+  std::set<NodeId> missing;
+  for (NodeId id : expected) {
+    if (responded.count(id) == 0) missing.insert(id);
+  }
+  return missing;
+}
+
 Coordinator::Coordinator(SimNetwork* network, Clock* clock,
-                         std::map<std::string, Polygon> regions)
-    : network_(network), clock_(clock), regions_(std::move(regions)) {
-  node_id_ = network_->AddNode(
-      [this](const Message& m) { HandleMessage(m); });
+                         std::map<std::string, Polygon> regions,
+                         Options options)
+    : network_(network),
+      clock_(clock),
+      regions_(std::move(regions)),
+      options_(options),
+      channel_(network, clock, options.channel) {
+  channel_.SetHandler([this](const Message& m) { HandleMessage(m); });
+  channel_.SetRawObserver([this](const Message& m) { ObserveTraffic(m); });
 }
 
 DistQueryClass Coordinator::Classify(const FtlQuery& query,
@@ -62,50 +77,57 @@ DistQueryClass Coordinator::Classify(const FtlQuery& query,
                   : DistQueryClass::kObject;
 }
 
-uint64_t Coordinator::IssueObjectQuery(const FtlQuery& query,
-                                       DistStrategy strategy, bool continuous,
-                                       Tick horizon) {
+void Coordinator::SendRequest(uint64_t qid, const QueryState& state,
+                              NodeId to) {
+  QueryRequest request;
+  request.qid = qid;
+  request.strategy = state.strategy;
+  request.continuous = state.continuous;
+  request.query = state.query;
+  request.horizon = state.horizon;
+  request.issued_at = state.issued_at;
+  channel_.SendReliable(to, request);
+}
+
+uint64_t Coordinator::Issue(const FtlQuery& query, DistStrategy strategy,
+                            bool continuous, Tick horizon) {
   uint64_t qid = next_qid_++;
   QueryState state;
   state.query = query;
   state.strategy = strategy;
   state.continuous = continuous;
   state.horizon = horizon;
-  queries_.emplace(qid, std::move(state));
-
-  QueryRequest request;
-  request.qid = qid;
-  request.strategy = strategy;
-  request.continuous = continuous;
-  request.query = query;
-  request.horizon = horizon;
-  network_->Broadcast(node_id_, request);
+  state.issued_at = clock_->Now();
+  state.deadline = TickSaturatingAdd(state.issued_at, options_.query_deadline);
+  for (NodeId id : network_->NodeIds()) {
+    if (id == node_id()) continue;
+    state.expected.insert(id);
+  }
+  auto [it, inserted] = queries_.emplace(qid, std::move(state));
+  for (NodeId id : it->second.expected) SendRequest(qid, it->second, id);
   return qid;
+}
+
+uint64_t Coordinator::IssueObjectQuery(const FtlQuery& query,
+                                       DistStrategy strategy, bool continuous,
+                                       Tick horizon) {
+  return Issue(query, strategy, continuous, horizon);
 }
 
 uint64_t Coordinator::IssueRelationshipQuery(const FtlQuery& query,
                                              Tick horizon) {
-  uint64_t qid = next_qid_++;
-  QueryState state;
-  state.query = query;
-  state.strategy = DistStrategy::kCollect;
-  state.horizon = horizon;
-  queries_.emplace(qid, std::move(state));
-
-  QueryRequest request;
-  request.qid = qid;
-  request.strategy = DistStrategy::kCollect;
-  request.query = query;
-  request.horizon = horizon;
-  network_->Broadcast(node_id_, request);
-  return qid;
+  return Issue(query, DistStrategy::kCollect, /*continuous=*/false, horizon);
 }
 
 Status Coordinator::CancelQuerySubscription(uint64_t qid) {
-  if (queries_.count(qid) == 0) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) {
     return Status::NotFound("query " + std::to_string(qid));
   }
-  network_->Broadcast(node_id_, CancelQuery{qid});
+  it->second.cancelled = true;
+  for (NodeId id : it->second.expected) {
+    channel_.SendReliable(id, CancelQuery{qid});
+  }
   return Status::OK();
 }
 
@@ -118,7 +140,13 @@ Result<const Coordinator::QueryState*> Coordinator::GetState(
   return &it->second;
 }
 
-Result<TemporalRelation> Coordinator::EvaluateCollected(uint64_t qid) const {
+bool Coordinator::DeadlinePassed(uint64_t qid) const {
+  auto it = queries_.find(qid);
+  return it != queries_.end() && clock_->Now() >= it->second.deadline;
+}
+
+Result<Coordinator::CollectedAnswer> Coordinator::EvaluateCollected(
+    uint64_t qid) const {
   MOST_ASSIGN_OR_RETURN(const QueryState* state, GetState(qid));
   if (state->query.from.empty()) {
     return Status::InvalidArgument("query has no FROM bindings");
@@ -134,24 +162,85 @@ Result<TemporalRelation> Coordinator::EvaluateCollected(uint64_t qid) const {
           "distributed evaluation supports a single object class");
     }
   }
+  // One-shot queries are anchored at their issue tick (so a re-read after
+  // stragglers arrive evaluates the same window); continuous ones follow
+  // the clock.
+  Tick anchor = state->continuous ? clock_->Now() : state->issued_at;
   MOST_ASSIGN_OR_RETURN(
       std::unique_ptr<MostDatabase> db,
-      BuildDatabaseFromStates(class_name, states, regions_, clock_->Now()));
+      BuildDatabaseFromStates(class_name, states, regions_, anchor));
   FtlEvaluator eval(*db);
-  Tick now = clock_->Now();
-  return eval.EvaluateQuery(
-      state->query, Interval(now, TickSaturatingAdd(now, state->horizon)));
+  CollectedAnswer answer;
+  MOST_ASSIGN_OR_RETURN(
+      answer.relation,
+      eval.EvaluateQuery(
+          state->query,
+          Interval(anchor, TickSaturatingAdd(anchor, state->horizon))));
+  answer.missing = state->MissingNodes();
+  answer.confidence =
+      answer.missing.empty() ? Confidence::kCertain : Confidence::kStale;
+  return answer;
 }
 
-Result<std::map<ObjectId, IntervalSet>> Coordinator::ReportedMatches(
+Result<Coordinator::ReportedAnswer> Coordinator::ReportedMatches(
     uint64_t qid) const {
   MOST_ASSIGN_OR_RETURN(const QueryState* state, GetState(qid));
-  return state->matches;
+  ReportedAnswer answer;
+  answer.matches = state->matches;
+  answer.missing = state->MissingNodes();
+  answer.confidence =
+      answer.missing.empty() ? Confidence::kCertain : Confidence::kStale;
+  return answer;
+}
+
+bool Coordinator::IsLive(NodeId node) const {
+  auto it = last_heard_.find(node);
+  return it != last_heard_.end() &&
+         clock_->Now() <=
+             TickSaturatingAdd(it->second, options_.liveness_timeout);
+}
+
+std::set<NodeId> Coordinator::LiveNodes() const {
+  std::set<NodeId> live;
+  for (const auto& [id, at] : last_heard_) {
+    if (IsLive(id)) live.insert(id);
+  }
+  return live;
+}
+
+void Coordinator::ObserveTraffic(const Message& message) {
+  Tick now = clock_->Now();
+  auto it = last_heard_.find(message.from);
+  bool is_new = it == last_heard_.end();
+  bool revived =
+      !is_new &&
+      now > TickSaturatingAdd(it->second, options_.liveness_timeout);
+  last_heard_[message.from] = now;
+  if (!is_new && !revived) return;
+  // A node just (re)appeared: push every active continuous query to it so
+  // its subscription — dropped by a partition, a reconnect, or simply
+  // never installed because the node joined late — re-synchronizes. The
+  // node replies with its full current answer, which also corrects any
+  // stale match we may still hold for it.
+  for (auto& [qid, state] : queries_) {
+    if (!state.continuous || state.cancelled) continue;
+    if (!revived && state.expected.count(message.from)) continue;
+    SendRequest(qid, state, message.from);
+    state.expected.insert(message.from);
+  }
 }
 
 void Coordinator::HandleMessage(const Message& message) {
+  if (const auto* done = std::get_if<QueryDone>(&message.payload)) {
+    auto it = queries_.find(done->qid);
+    if (it != queries_.end()) {
+      it->second.responded.insert(message.from);
+      it->second.expected.insert(message.from);
+    }
+    return;
+  }
   const auto* report = std::get_if<ObjectReport>(&message.payload);
-  if (report == nullptr) return;
+  if (report == nullptr) return;  // Position beacons: liveness only.
   auto it = queries_.find(report->qid);
   if (it == queries_.end()) return;
   QueryState& state = it->second;

@@ -3,11 +3,13 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "distributed/mobile_node.h"
 #include "distributed/network.h"
+#include "distributed/reliable_channel.h"
 #include "ftl/eval.h"
 
 namespace most {
@@ -31,12 +33,41 @@ enum class DistQueryClass {
 ///
 /// The coordinator is asynchronous: issue a query, advance the clock and
 /// call SimNetwork::DeliverDue(), then read results.
+///
+/// Reliability and completeness: query traffic rides a ReliableEndpoint,
+/// so requests, reports and cancellations survive loss, duplication,
+/// reordering and partitions. Each query tracks the nodes it expects
+/// (`expected`), the nodes whose QueryDone completion marker arrived
+/// (`responded`), and a deadline. Answers are tagged with the Confidence
+/// machinery of docs/durability.md: Confidence::kCertain when every
+/// expected node responded (the must-answer), Confidence::kStale plus the
+/// `missing` node set otherwise (a partial, may-answer — some reachable
+/// node has not been heard from). Liveness is heartbeat-based: any
+/// traffic from a node refreshes its last-heard tick; a node silent past
+/// `liveness_timeout` counts as unreachable, and when it is heard again
+/// (a healed partition, a reconnection) every active continuous query is
+/// re-sent to it so its subscription — and the coordinator's view of its
+/// answer — re-synchronizes.
 class Coordinator {
  public:
-  Coordinator(SimNetwork* network, Clock* clock,
-              std::map<std::string, Polygon> regions);
+  struct Options {
+    /// A node unheard for this many ticks counts as unreachable.
+    Tick liveness_timeout = 24;
+    /// Default per-query deadline (ticks after issue). Purely
+    /// informational bookkeeping for callers polling DeadlinePassed():
+    /// the channel keeps retransmitting so late answers still converge.
+    Tick query_deadline = 64;
+    ReliableEndpoint::Options channel;
+  };
 
-  NodeId node_id() const { return node_id_; }
+  Coordinator(SimNetwork* network, Clock* clock,
+              std::map<std::string, Polygon> regions)
+      : Coordinator(network, clock, std::move(regions), Options()) {}
+  Coordinator(SimNetwork* network, Clock* clock,
+              std::map<std::string, Polygon> regions, Options options);
+
+  NodeId node_id() const { return channel_.node_id(); }
+  const ReliableEndpoint& channel() const { return channel_; }
 
   /// Classifies a query. Atoms mentioning two or more object variables
   /// (DIST, WITHIN_SPHERE, cross-variable comparisons) make it a
@@ -54,6 +85,7 @@ class Coordinator {
   /// happens at the coordinator once replies arrive.
   uint64_t IssueRelationshipQuery(const FtlQuery& query, Tick horizon);
 
+  /// Reliably cancels a continuous query on every subscribed node.
   Status CancelQuerySubscription(uint64_t qid);
 
   /// Accumulated per-query state.
@@ -62,31 +94,74 @@ class Coordinator {
     DistStrategy strategy = DistStrategy::kBroadcastFilter;
     bool continuous = false;
     Tick horizon = 256;
+    Tick issued_at = 0;
+    Tick deadline = 0;
+    bool cancelled = false;
     size_t replies = 0;
+    /// Nodes the request was sent to (grows when new or revived nodes are
+    /// re-synced into a continuous query).
+    std::set<NodeId> expected;
+    /// Nodes whose QueryDone marker arrived: their reports, if any, are
+    /// already incorporated (the reliable stream is ordered).
+    std::set<NodeId> responded;
     /// Latest object states received (collect strategy / relationship).
     std::map<ObjectId, ObjectState> states;
     /// Matches reported by nodes (broadcast strategy).
     std::map<ObjectId, IntervalSet> matches;
+
+    /// expected − responded: the nodes a partial answer is missing.
+    std::set<NodeId> MissingNodes() const;
   };
 
   Result<const QueryState*> GetState(uint64_t qid) const;
+  bool DeadlinePassed(uint64_t qid) const;
+
+  /// A centrally evaluated answer plus its completeness tag.
+  struct CollectedAnswer {
+    TemporalRelation relation;
+    Confidence confidence = Confidence::kCertain;
+    std::set<NodeId> missing;
+  };
+  /// A broadcast-filter answer plus its completeness tag.
+  struct ReportedAnswer {
+    std::map<ObjectId, IntervalSet> matches;
+    Confidence confidence = Confidence::kCertain;
+    std::set<NodeId> missing;
+  };
 
   /// For collect-strategy object queries and relationship queries:
   /// evaluates the query centrally over the gathered object states.
-  Result<TemporalRelation> EvaluateCollected(uint64_t qid) const;
+  /// One-shot queries are evaluated on the window anchored at their issue
+  /// tick; continuous ones on [now, now + horizon]. kCertain only when
+  /// every expected node's QueryDone arrived.
+  Result<CollectedAnswer> EvaluateCollected(uint64_t qid) const;
 
-  /// For broadcast-strategy queries: the matches reported so far.
-  Result<std::map<ObjectId, IntervalSet>> ReportedMatches(uint64_t qid) const;
+  /// For broadcast-strategy queries: the matches reported so far, tagged
+  /// kStale with the missing node set while any expected node has not
+  /// completed.
+  Result<ReportedAnswer> ReportedMatches(uint64_t qid) const;
+
+  /// Heartbeat-based liveness: nodes heard from within liveness_timeout.
+  bool IsLive(NodeId node) const;
+  std::set<NodeId> LiveNodes() const;
 
  private:
   void HandleMessage(const Message& message);
+  /// Raw-traffic observer: refreshes liveness and re-syncs continuous
+  /// subscriptions to new or revived nodes.
+  void ObserveTraffic(const Message& message);
+  uint64_t Issue(const FtlQuery& query, DistStrategy strategy,
+                 bool continuous, Tick horizon);
+  void SendRequest(uint64_t qid, const QueryState& state, NodeId to);
 
   SimNetwork* network_;
   Clock* clock_;
   std::map<std::string, Polygon> regions_;
-  NodeId node_id_ = kInvalidNodeId;
+  Options options_;
+  ReliableEndpoint channel_;
   uint64_t next_qid_ = 1;
   std::map<uint64_t, QueryState> queries_;
+  std::map<NodeId, Tick> last_heard_;
 };
 
 }  // namespace most

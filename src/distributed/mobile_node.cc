@@ -41,14 +41,19 @@ Result<std::unique_ptr<MostDatabase>> BuildDatabaseFromStates(
 }
 
 MobileNode::MobileNode(SimNetwork* network, Clock* clock, ObjectState initial,
-                       std::map<std::string, Polygon> regions)
+                       std::map<std::string, Polygon> regions, Options options)
     : network_(network),
       clock_(clock),
       state_(std::move(initial)),
-      regions_(std::move(regions)) {
-  node_id_ = network_->AddNode(
-      [this](const Message& m) { HandleMessage(m); });
+      regions_(std::move(regions)),
+      options_(options),
+      channel_(network, clock, options.channel),
+      home_(options.home) {
+  channel_.SetHandler([this](const Message& m) { HandleMessage(m); });
+  tick_hook_id_ = network_->AddTickHook([this] { OnTick(); });
 }
+
+MobileNode::~MobileNode() { network_->RemoveTickHook(tick_hook_id_); }
 
 void MobileNode::UpdateMotion(Point2 position, Vec2 velocity) {
   state_.position = position;
@@ -65,6 +70,12 @@ void MobileNode::UpdateAttr(const std::string& name, double value) {
 
 Result<IntervalSet> MobileNode::EvaluateSelf(const FtlQuery& query,
                                              Tick horizon) const {
+  return EvaluateAnchored(query, horizon, clock_->Now());
+}
+
+Result<IntervalSet> MobileNode::EvaluateAnchored(const FtlQuery& query,
+                                                 Tick horizon,
+                                                 Tick anchor) const {
   if (query.from.size() != 1) {
     return Status::InvalidArgument(
         "node-local evaluation needs a single-variable query");
@@ -73,13 +84,12 @@ Result<IntervalSet> MobileNode::EvaluateSelf(const FtlQuery& query,
   MOST_ASSIGN_OR_RETURN(
       std::unique_ptr<MostDatabase> db,
       BuildDatabaseFromStates(query.from[0].class_name, {state_}, regions_,
-                              clock_->Now()));
+                              anchor));
   FtlEvaluator eval(*db);
-  Tick now = clock_->Now();
   MOST_ASSIGN_OR_RETURN(
       TemporalRelation rel,
       eval.EvaluateQuery(query,
-                         Interval(now, TickSaturatingAdd(now, horizon))));
+                         Interval(anchor, TickSaturatingAdd(anchor, horizon))));
   auto it = rel.rows.find({state_.id});
   if (it == rel.rows.end()) return IntervalSet();
   return it->second;
@@ -87,6 +97,7 @@ Result<IntervalSet> MobileNode::EvaluateSelf(const FtlQuery& query,
 
 void MobileNode::HandleMessage(const Message& message) {
   if (const auto* request = std::get_if<QueryRequest>(&message.payload)) {
+    if (home_ == kInvalidNodeId) home_ = message.from;
     if (request->strategy == DistStrategy::kCollect) {
       // Strategy 1: just ship the object to the issuer. A continuous
       // collect-query keeps shipping on every change (see
@@ -94,34 +105,41 @@ void MobileNode::HandleMessage(const Message& message) {
       ObjectReport report;
       report.qid = request->qid;
       report.state = state_;
-      network_->Send(node_id_, message.from, report);
+      channel_.SendReliable(message.from, report);
       if (request->continuous) {
         subscriptions_[request->qid] = {*request, message.from, false, {}};
       }
+      channel_.SendReliable(message.from, QueryDone{request->qid});
       return;
     }
-    // Strategy 2: evaluate locally; reply only when satisfied.
-    Result<IntervalSet> when = EvaluateSelf(request->query, request->horizon);
+    // Strategy 2: evaluate locally; reply only when satisfied. One-shot
+    // requests are anchored at their issue tick so a delayed
+    // (retransmitted) delivery computes the same answer.
+    Tick anchor = request->continuous ? clock_->Now() : request->issued_at;
+    Result<IntervalSet> when =
+        EvaluateAnchored(request->query, request->horizon, anchor);
     if (!when.ok()) return;  // Malformed query: stay silent.
     if (request->continuous) {
-      Subscription sub{*request, message.from, true, *when};
-      if (!when->empty()) {
-        ObjectReport report;
-        report.qid = request->qid;
-        report.state = state_;
-        report.satisfies = true;
-        report.when = *when;
-        network_->Send(node_id_, message.from, report);
-      }
-      subscriptions_[request->qid] = std::move(sub);
+      // A (re-)subscription always reports the current answer, even an
+      // empty one: after a partition heals, the re-synced report corrects
+      // whatever stale match the issuer may still hold for this node.
+      ObjectReport report;
+      report.qid = request->qid;
+      report.state = state_;
+      report.satisfies = !when->empty();
+      report.when = *when;
+      channel_.SendReliable(message.from, report);
+      subscriptions_[request->qid] =
+          Subscription{*request, message.from, true, *when};
     } else if (!when->empty()) {
       ObjectReport report;
       report.qid = request->qid;
       report.state = state_;
       report.satisfies = true;
       report.when = *when;
-      network_->Send(node_id_, message.from, report);
+      channel_.SendReliable(message.from, report);
     }
+    channel_.SendReliable(message.from, QueryDone{request->qid});
     return;
   }
   if (const auto* cancel = std::get_if<CancelQuery>(&message.payload)) {
@@ -137,7 +155,7 @@ void MobileNode::ServiceSubscriptions() {
       ObjectReport report;
       report.qid = qid;
       report.state = state_;
-      network_->Send(node_id_, sub.issuer, report);
+      channel_.SendReliable(sub.issuer, report);
       continue;
     }
     // Strategy 2 continuous: transmit only when the local answer changed.
@@ -152,8 +170,18 @@ void MobileNode::ServiceSubscriptions() {
     report.state = state_;
     report.satisfies = !when->empty();
     report.when = *when;
-    network_->Send(node_id_, sub.issuer, report);
+    channel_.SendReliable(sub.issuer, report);
   }
+}
+
+void MobileNode::OnTick() {
+  if (options_.beacon_interval <= 0 || home_ == kInvalidNodeId) return;
+  Tick now = clock_->Now();
+  // Aligned to absolute ticks, and at most once per tick (DeliverDue may
+  // run several times within one).
+  if (now % options_.beacon_interval != 0 || now == last_beacon_tick_) return;
+  last_beacon_tick_ = now;
+  channel_.SendBestEffort(home_, state_);
 }
 
 }  // namespace most

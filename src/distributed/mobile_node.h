@@ -7,6 +7,7 @@
 
 #include "core/object_model.h"
 #include "distributed/network.h"
+#include "distributed/reliable_channel.h"
 
 namespace most {
 
@@ -29,14 +30,41 @@ Result<std::unique_ptr<MostDatabase>> BuildDatabaseFromStates(
 ///   its own object and replies only when satisfied.
 /// For continuous queries it keeps the subscription and, on each local
 /// motion change, re-evaluates and transmits only if its answer changed.
+///
+/// Reliability: query traffic (requests in, reports / completion markers
+/// out) rides the ReliableEndpoint, so it survives loss, duplication,
+/// reordering and partitions. Position beacons — periodic ObjectState
+/// messages to the node's home coordinator, doubling as liveness
+/// heartbeats — stay best-effort: they are the paper's dead-reckoning
+/// updates, where the latest one wins and a lost one is superseded.
+/// After answering a query request the node always sends QueryDone, which
+/// (being ordered after its reports on the same stream) tells the issuer
+/// this node's contribution is complete.
 class MobileNode {
  public:
-  MobileNode(SimNetwork* network, Clock* clock, ObjectState initial,
-             std::map<std::string, Polygon> regions);
+  struct Options {
+    /// Beacon/heartbeat period in ticks; 0 disables beacons. Beacons are
+    /// aligned to absolute ticks (now % interval == 0) and start once the
+    /// node knows its home coordinator.
+    Tick beacon_interval = 8;
+    /// The coordinator beacons are sent to. If unset, learned from the
+    /// sender of the first QueryRequest.
+    NodeId home = kInvalidNodeId;
+    ReliableEndpoint::Options channel;
+  };
 
-  NodeId node_id() const { return node_id_; }
+  MobileNode(SimNetwork* network, Clock* clock, ObjectState initial,
+             std::map<std::string, Polygon> regions)
+      : MobileNode(network, clock, std::move(initial), std::move(regions),
+                   Options()) {}
+  MobileNode(SimNetwork* network, Clock* clock, ObjectState initial,
+             std::map<std::string, Polygon> regions, Options options);
+  ~MobileNode();
+
+  NodeId node_id() const { return channel_.node_id(); }
   ObjectId object_id() const { return state_.id; }
   const ObjectState& state() const { return state_; }
+  const ReliableEndpoint& channel() const { return channel_; }
 
   /// Local sensor update: the vehicle changed speed or direction. Updates
   /// the onboard object and services continuous subscriptions.
@@ -51,10 +79,17 @@ class MobileNode {
   Result<IntervalSet> EvaluateSelf(const FtlQuery& query, Tick horizon) const;
 
   uint64_t predicate_evaluations() const { return predicate_evaluations_; }
+  size_t active_subscriptions() const { return subscriptions_.size(); }
 
  private:
   void HandleMessage(const Message& message);
   void ServiceSubscriptions();
+  void OnTick();
+  /// Evaluation window anchored at `anchor` (one-shot queries use the
+  /// request's issue tick so late, retransmitted deliveries still compute
+  /// the answer the issuer asked for).
+  Result<IntervalSet> EvaluateAnchored(const FtlQuery& query, Tick horizon,
+                                       Tick anchor) const;
 
   struct Subscription {
     QueryRequest request;
@@ -67,7 +102,11 @@ class MobileNode {
   Clock* clock_;
   ObjectState state_;
   std::map<std::string, Polygon> regions_;
-  NodeId node_id_ = kInvalidNodeId;
+  Options options_;
+  ReliableEndpoint channel_;
+  uint64_t tick_hook_id_ = 0;
+  NodeId home_ = kInvalidNodeId;
+  Tick last_beacon_tick_ = -1;
   std::map<uint64_t, Subscription> subscriptions_;
   mutable uint64_t predicate_evaluations_ = 0;
 };

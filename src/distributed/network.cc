@@ -1,6 +1,9 @@
 #include "distributed/network.h"
 
 #include <algorithm>
+#include <string>
+
+#include "common/failpoint.h"
 
 namespace most {
 
@@ -11,7 +14,39 @@ size_t QueryBytes(const FtlQuery& query) {
   return query.ToString().size();
 }
 
+/// dist/net/<op>/<type> site names are assembled once per payload type and
+/// cached; failpoint checks run on every Send/DeliverDue.
+const char* SiteName(const char* op, const char* type) {
+  static std::map<std::string, std::string> cache;
+  std::string key = std::string(op) + "/" + type;
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, "dist/net/" + key).first;
+  }
+  return it->second.c_str();
+}
+
 }  // namespace
+
+const char* PayloadTypeName(const MessagePayload& payload) {
+  struct Visitor {
+    const char* operator()(const ObjectState&) const { return "object_state"; }
+    const char* operator()(const QueryRequest&) const {
+      return "query_request";
+    }
+    const char* operator()(const ObjectReport&) const {
+      return "object_report";
+    }
+    const char* operator()(const AnswerBlock&) const { return "answer_block"; }
+    const char* operator()(const CancelQuery&) const { return "cancel_query"; }
+    const char* operator()(const QueryDone&) const { return "query_done"; }
+    const char* operator()(const ReliableFrame& f) const {
+      return std::visit(*this, f.inner);
+    }
+    const char* operator()(const AckFrame&) const { return "ack"; }
+  };
+  return std::visit(Visitor(), payload);
+}
 
 size_t EstimateBytes(const MessagePayload& payload) {
   struct Visitor {
@@ -20,7 +55,7 @@ size_t EstimateBytes(const MessagePayload& payload) {
       return 8 + 8 + 16 + 16 + s.attrs.size() * 16;
     }
     size_t operator()(const QueryRequest& q) const {
-      return 8 + 1 + 1 + 8 + QueryBytes(q.query);
+      return 8 + 1 + 1 + 8 + 8 + QueryBytes(q.query);
     }
     size_t operator()(const ObjectReport& r) const {
       return 8 + 1 + (*this)(r.state) + r.when.size() * 16;
@@ -33,6 +68,12 @@ size_t EstimateBytes(const MessagePayload& payload) {
       return total;
     }
     size_t operator()(const CancelQuery&) const { return 8; }
+    size_t operator()(const QueryDone&) const { return 8; }
+    size_t operator()(const ReliableFrame& f) const {
+      // Sequence number on top of the inner payload.
+      return 8 + std::visit(*this, f.inner);
+    }
+    size_t operator()(const AckFrame&) const { return 8; }
   };
   return std::visit(Visitor(), payload);
 }
@@ -48,6 +89,13 @@ void SimNetwork::SetHandler(NodeId node, Handler handler) {
   if (it != nodes_.end()) it->second.handler = std::move(handler);
 }
 
+std::vector<NodeId> SimNetwork::NodeIds() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) out.push_back(id);
+  return out;
+}
+
 void SimNetwork::SetConnected(NodeId node, bool connected) {
   auto it = nodes_.find(node);
   if (it != nodes_.end()) it->second.connected = connected;
@@ -58,22 +106,76 @@ bool SimNetwork::IsConnected(NodeId node) const {
   return it != nodes_.end() && it->second.connected;
 }
 
-void SimNetwork::Send(NodeId from, NodeId to, MessagePayload payload) {
-  stats_.messages_sent += 1;
-  stats_.bytes_sent += EstimateBytes(payload);
-  if (!IsConnected(from) || !IsConnected(to) ||
-      (options_.loss_probability > 0.0 &&
-       rng_.Bernoulli(options_.loss_probability))) {
-    stats_.messages_dropped += 1;
-    return;
+void SimNetwork::Partition(const std::string& name, std::set<NodeId> a,
+                           std::set<NodeId> b) {
+  partitions_[name] = {std::move(a), std::move(b)};
+}
+
+void SimNetwork::Heal(const std::string& name) { partitions_.erase(name); }
+
+void SimNetwork::HealAll() { partitions_.clear(); }
+
+bool SimNetwork::Reachable(NodeId a, NodeId b) const {
+  for (const auto& [name, groups] : partitions_) {
+    const auto& [ga, gb] = groups;
+    if ((ga.count(a) && gb.count(b)) || (ga.count(b) && gb.count(a))) {
+      return false;
+    }
   }
+  return true;
+}
+
+void SimNetwork::Enqueue(NodeId from, NodeId to, const MessagePayload& payload,
+                         Tick extra_delay) {
   Message m;
   m.from = from;
   m.to = to;
   m.sent_at = clock_->Now();
-  m.deliver_at = TickSaturatingAdd(clock_->Now(), options_.latency);
-  m.payload = std::move(payload);
+  m.deliver_at = TickSaturatingAdd(clock_->Now(),
+                                   TickSaturatingAdd(options_.latency,
+                                                     extra_delay));
+  m.payload = payload;
   in_flight_.push_back(std::move(m));
+}
+
+void SimNetwork::Send(NodeId from, NodeId to, MessagePayload payload) {
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += EstimateBytes(payload);
+  FailpointRegistry& failpoints = FailpointRegistry::Instance();
+  if (failpoints.AnyArmed() &&
+      !failpoints.Check(SiteName("send", PayloadTypeName(payload))).ok()) {
+    stats_.dropped_injected += 1;
+    return;
+  }
+  if (!IsConnected(from) || !IsConnected(to)) {
+    stats_.dropped_disconnected += 1;
+    return;
+  }
+  if (options_.loss_probability > 0.0 &&
+      rng_.Bernoulli(options_.loss_probability)) {
+    stats_.dropped_loss += 1;
+    return;
+  }
+  Tick extra = 0;
+  if (options_.reorder_probability > 0.0 &&
+      rng_.Bernoulli(options_.reorder_probability)) {
+    extra = static_cast<Tick>(
+        rng_.UniformInt(1, std::max<Tick>(1, options_.reorder_jitter)));
+    stats_.reordered += 1;
+  }
+  if (failpoints.AnyArmed() &&
+      !failpoints.Check(SiteName("delay", PayloadTypeName(payload))).ok()) {
+    extra = TickSaturatingAdd(extra, options_.reorder_jitter);
+    stats_.reordered += 1;
+  }
+  Enqueue(from, to, payload, extra);
+  if (options_.duplicate_probability > 0.0 &&
+      rng_.Bernoulli(options_.duplicate_probability)) {
+    stats_.duplicated += 1;
+    Tick dup_extra = static_cast<Tick>(
+        rng_.UniformInt(0, std::max<Tick>(1, options_.reorder_jitter)));
+    Enqueue(from, to, payload, dup_extra);
+  }
 }
 
 void SimNetwork::Broadcast(NodeId from, MessagePayload payload) {
@@ -83,7 +185,18 @@ void SimNetwork::Broadcast(NodeId from, MessagePayload payload) {
   }
 }
 
+uint64_t SimNetwork::AddTickHook(std::function<void()> hook) {
+  uint64_t id = next_hook_id_++;
+  tick_hooks_[id] = std::move(hook);
+  return id;
+}
+
+void SimNetwork::RemoveTickHook(uint64_t id) { tick_hooks_.erase(id); }
+
 void SimNetwork::DeliverDue() {
+  // Retransmission timers first, so frames resent this tick enter the
+  // in-flight queue before delivery starts.
+  for (auto& [id, hook] : tick_hooks_) hook();
   Tick now = clock_->Now();
   // Deliveries can trigger new sends; iterate until stable for this tick.
   bool progressed = true;
@@ -105,7 +218,19 @@ void SimNetwork::DeliverDue() {
       progressed = true;
       auto it = nodes_.find(m.to);
       if (it == nodes_.end() || !it->second.connected || !it->second.handler) {
-        stats_.messages_dropped += 1;
+        stats_.dropped_disconnected += 1;
+        continue;
+      }
+      if (!Reachable(m.from, m.to)) {
+        stats_.dropped_partition += 1;
+        continue;
+      }
+      FailpointRegistry& failpoints = FailpointRegistry::Instance();
+      if (failpoints.AnyArmed() &&
+          !failpoints
+               .Check(SiteName("deliver", PayloadTypeName(m.payload)))
+               .ok()) {
+        stats_.dropped_injected += 1;
         continue;
       }
       stats_.messages_delivered += 1;

@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <variant>
 #include <vector>
@@ -23,7 +24,9 @@ inline constexpr NodeId kInvalidNodeId = ~NodeId{0};
 /// Snapshot of one moving object as transmitted between mobile computers:
 /// id, motion vector (position at `at` plus velocity) and scalar
 /// attributes. This is "the object" the paper sends in its distributed
-/// processing strategies (Section 5.3).
+/// processing strategies (Section 5.3). Standalone ObjectState messages
+/// are the dead-reckoning position beacons: best-effort, latest-wins —
+/// losing one is harmless because the next one supersedes it.
 struct ObjectState {
   ObjectId id = kInvalidObjectId;
   Tick at = 0;
@@ -43,6 +46,12 @@ struct QueryRequest {
   bool continuous = false;
   FtlQuery query;        ///< Single-variable query evaluated per object.
   Tick horizon = 256;
+  /// Tick at which the issuer posed the query. One-shot evaluations are
+  /// anchored at this tick (the paper's "instantaneous query at time t"),
+  /// so a request that reaches a node late — retransmitted across a lossy
+  /// link or a healed partition — still computes the same answer as one
+  /// that arrived immediately.
+  Tick issued_at = 0;
 };
 
 /// A node's reply: its object state, and (for broadcast-filter queries)
@@ -64,9 +73,40 @@ struct CancelQuery {
   uint64_t qid = 0;
 };
 
+/// Completion marker: "every report I owe for `qid` is already in the
+/// reliable stream ahead of this message". Because the reliable channel
+/// delivers in order per (src, dst), receiving QueryDone proves the
+/// coordinator holds everything the node had to say — the basis for the
+/// expected/responded/missing completeness accounting.
+struct QueryDone {
+  uint64_t qid = 0;
+};
+
+/// Application-level payloads (what handlers see).
+using AppPayload = std::variant<ObjectState, QueryRequest, ObjectReport,
+                                AnswerBlock, CancelQuery, QueryDone>;
+
+/// A sequenced frame of the reliable channel (reliable_channel.h): the
+/// app payload plus its per-(src,dst) sequence number.
+struct ReliableFrame {
+  uint64_t seq = 0;
+  AppPayload inner;
+};
+
+/// Cumulative acknowledgement: "I have delivered every frame with
+/// seq < ack_through to my application, in order."
+struct AckFrame {
+  uint64_t ack_through = 0;
+};
+
 using MessagePayload =
     std::variant<ObjectState, QueryRequest, ObjectReport, AnswerBlock,
-                 CancelQuery>;
+                 CancelQuery, QueryDone, ReliableFrame, AckFrame>;
+
+/// Short stable name of a payload's type ("query_request", "ack", ...).
+/// Reliable frames resolve to their inner payload's name, so failpoint
+/// sites target the logical message, not the framing.
+const char* PayloadTypeName(const MessagePayload& payload);
 
 /// Approximate wire size of a payload, for the bandwidth accounting the
 /// paper's motivation rests on ("serious performance and
@@ -85,12 +125,41 @@ struct Message {
 /// messages are delivered `latency` ticks after sending when both
 /// endpoints are connected. Per-node and global message/byte counters feed
 /// experiments E7/E8.
+///
+/// Fault model (the paper's unreliable wireless medium, Section 5.2–5.3):
+/// * loss          — each message is dropped with `loss_probability`;
+/// * duplication   — each delivered message is cloned with
+///                   `duplicate_probability` (the clone gets its own
+///                   jittered delay);
+/// * reordering    — each message gains 1..reorder_jitter extra delay
+///                   ticks with `reorder_probability`, so it overtakes /
+///                   is overtaken by its neighbours;
+/// * disconnection — SetConnected(node, false): the node neither sends
+///                   nor receives;
+/// * partitions    — Partition(name, a, b): messages between group a and
+///                   group b are dropped until Heal(name). Partitions are
+///                   enforced at delivery time, so messages in flight
+///                   when the cut appears are lost too.
+///
+/// Failpoint sites (common/failpoint.h) let tests and MOST_FAILPOINTS
+/// force faults per payload type:
+///   dist/net/send/<type>     armed `error` drops the message at the
+///   dist/net/deliver/<type>  sender / receiver (counted dropped_injected);
+///   dist/net/delay/<type>    armed `error` adds reorder_jitter delay
+///                            ticks (counted reordered).
+/// <type> is PayloadTypeName() of the message ("query_request", ...).
 class SimNetwork {
  public:
   struct Options {
     Tick latency = 1;
     /// Probability a message is lost in transit (per message).
     double loss_probability = 0.0;
+    /// Probability a message is duplicated in transit (per message).
+    double duplicate_probability = 0.0;
+    /// Probability a message gets extra delay (and thus may be reordered).
+    double reorder_probability = 0.0;
+    /// Maximum extra delay, in ticks, a reordered message receives.
+    Tick reorder_jitter = 3;
     uint64_t seed = 1997;
   };
 
@@ -103,15 +172,32 @@ class SimNetwork {
   NodeId AddNode(Handler handler);
   void SetHandler(NodeId node, Handler handler);
   size_t num_nodes() const { return nodes_.size(); }
+  std::vector<NodeId> NodeIds() const;
 
   /// Disconnected nodes neither send nor receive; messages involving them
   /// are dropped (the paper's disconnection scenario).
   void SetConnected(NodeId node, bool connected);
   bool IsConnected(NodeId node) const;
 
+  /// Installs a named partition: messages with one endpoint in `a` and
+  /// the other in `b` are dropped (in both directions) until Heal(name).
+  /// Re-using a name replaces that partition.
+  void Partition(const std::string& name, std::set<NodeId> a,
+                 std::set<NodeId> b);
+  void Heal(const std::string& name);
+  void HealAll();
+  /// True when no active partition separates `a` from `b`.
+  bool Reachable(NodeId a, NodeId b) const;
+
   void Send(NodeId from, NodeId to, MessagePayload payload);
   /// Sends to every other node (the broadcast step of strategy 2).
   void Broadcast(NodeId from, MessagePayload payload);
+
+  /// Registers a callback invoked at the start of every DeliverDue() —
+  /// the hook reliable channels use to drive retransmission timers.
+  /// Returns an id for RemoveTickHook.
+  uint64_t AddTickHook(std::function<void()> hook);
+  void RemoveTickHook(uint64_t id);
 
   /// Delivers every message whose delivery time has arrived. Call after
   /// each clock advance.
@@ -121,7 +207,22 @@ class SimNetwork {
     uint64_t messages_sent = 0;
     uint64_t bytes_sent = 0;
     uint64_t messages_delivered = 0;
-    uint64_t messages_dropped = 0;
+    /// Drop reasons, counted separately so experiments can tell random
+    /// loss from disconnection from partitions from injected faults.
+    uint64_t dropped_loss = 0;
+    uint64_t dropped_disconnected = 0;
+    uint64_t dropped_partition = 0;
+    uint64_t dropped_injected = 0;
+    uint64_t duplicated = 0;
+    uint64_t reordered = 0;
+
+    uint64_t dropped_total() const {
+      return dropped_loss + dropped_disconnected + dropped_partition +
+             dropped_injected;
+    }
+    uint64_t faults_total() const {
+      return dropped_total() - dropped_disconnected + duplicated + reordered;
+    }
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
@@ -132,12 +233,19 @@ class SimNetwork {
     bool connected = true;
   };
 
+  void Enqueue(NodeId from, NodeId to, const MessagePayload& payload,
+               Tick extra_delay);
+
   Clock* clock_;
   Options options_;
   Rng rng_;
   std::map<NodeId, Node> nodes_;
   NodeId next_id_ = 0;
   std::deque<Message> in_flight_;
+  std::map<std::string, std::pair<std::set<NodeId>, std::set<NodeId>>>
+      partitions_;
+  std::map<uint64_t, std::function<void()>> tick_hooks_;
+  uint64_t next_hook_id_ = 0;
   Stats stats_;
 };
 

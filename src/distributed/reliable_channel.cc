@@ -1,0 +1,129 @@
+#include "distributed/reliable_channel.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace most {
+
+ReliableEndpoint::ReliableEndpoint(SimNetwork* network, Clock* clock)
+    : ReliableEndpoint(network, clock, Options()) {}
+
+ReliableEndpoint::ReliableEndpoint(SimNetwork* network, Clock* clock,
+                                   Options options)
+    : network_(network), clock_(clock), options_(options) {
+  node_id_ = network_->AddNode(
+      [this](const Message& m) { OnMessage(m); });
+  tick_hook_id_ = network_->AddTickHook([this] { OnTick(); });
+}
+
+ReliableEndpoint::~ReliableEndpoint() {
+  network_->RemoveTickHook(tick_hook_id_);
+  network_->SetHandler(node_id_, nullptr);
+}
+
+void ReliableEndpoint::SendReliable(NodeId to, AppPayload payload) {
+  SendState& state = send_[to];
+  uint64_t seq = state.next_seq++;
+  PendingFrame pending;
+  pending.payload = std::move(payload);
+  pending.rto = options_.rto_initial;
+  pending.next_retry = TickSaturatingAdd(clock_->Now(), pending.rto);
+  network_->Send(node_id_, to, ReliableFrame{seq, pending.payload});
+  state.pending.emplace(seq, std::move(pending));
+  stats_.frames_sent += 1;
+}
+
+void ReliableEndpoint::SendBestEffort(NodeId to, AppPayload payload) {
+  std::visit([&](auto&& inner) { network_->Send(node_id_, to, inner); },
+             std::move(payload));
+}
+
+void ReliableEndpoint::BroadcastReliable(const AppPayload& payload) {
+  for (NodeId id : network_->NodeIds()) {
+    if (id == node_id_) continue;
+    SendReliable(id, payload);
+  }
+}
+
+void ReliableEndpoint::BroadcastBestEffort(const AppPayload& payload) {
+  for (NodeId id : network_->NodeIds()) {
+    if (id == node_id_) continue;
+    SendBestEffort(id, payload);
+  }
+}
+
+size_t ReliableEndpoint::unacked() const {
+  size_t total = 0;
+  for (const auto& [peer, state] : send_) total += state.pending.size();
+  return total;
+}
+
+void ReliableEndpoint::DeliverToApp(const Message& envelope,
+                                    const AppPayload& payload) {
+  stats_.delivered += 1;
+  if (!handler_) return;
+  Message m = envelope;
+  std::visit([&](const auto& inner) { m.payload = inner; }, payload);
+  handler_(m);
+}
+
+void ReliableEndpoint::OnMessage(const Message& message) {
+  if (raw_observer_) raw_observer_(message);
+  if (const auto* frame = std::get_if<ReliableFrame>(&message.payload)) {
+    RecvState& state = recv_[message.from];
+    if (frame->seq < state.next_expected) {
+      // Already delivered: a retransmission or a network duplicate.
+      stats_.duplicates_suppressed += 1;
+    } else if (frame->seq == state.next_expected) {
+      state.next_expected += 1;
+      DeliverToApp(message, frame->inner);
+      // Drain any buffered successors that are now in order.
+      auto it = state.buffer.find(state.next_expected);
+      while (it != state.buffer.end()) {
+        state.next_expected += 1;
+        DeliverToApp(message, it->second);
+        state.buffer.erase(it);
+        it = state.buffer.find(state.next_expected);
+      }
+    } else {
+      // A gap: hold the frame until its predecessors arrive.
+      if (state.buffer.emplace(frame->seq, frame->inner).second) {
+        stats_.out_of_order_buffered += 1;
+      } else {
+        stats_.duplicates_suppressed += 1;
+      }
+    }
+    // Cumulative ack, sent for every arrival (including duplicates, whose
+    // original ack may have been lost).
+    stats_.acks_sent += 1;
+    network_->Send(node_id_, message.from, AckFrame{state.next_expected});
+    return;
+  }
+  if (const auto* ack = std::get_if<AckFrame>(&message.payload)) {
+    SendState& state = send_[message.from];
+    auto it = state.pending.begin();
+    while (it != state.pending.end() && it->first < ack->ack_through) {
+      it = state.pending.erase(it);
+    }
+    return;
+  }
+  // Best-effort payload: hand straight to the application.
+  stats_.delivered += 1;
+  if (handler_) handler_(message);
+}
+
+void ReliableEndpoint::OnTick() {
+  Tick now = clock_->Now();
+  for (auto& [peer, state] : send_) {
+    for (auto& [seq, pending] : state.pending) {
+      if (now < pending.next_retry) continue;
+      network_->Send(node_id_, peer, ReliableFrame{seq, pending.payload});
+      stats_.retransmissions += 1;
+      pending.rto = std::min<Tick>(
+          TickSaturatingAdd(pending.rto, pending.rto), options_.rto_max);
+      pending.next_retry = TickSaturatingAdd(now, pending.rto);
+    }
+  }
+}
+
+}  // namespace most

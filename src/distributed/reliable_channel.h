@@ -1,0 +1,127 @@
+#ifndef MOST_DISTRIBUTED_RELIABLE_CHANNEL_H_
+#define MOST_DISTRIBUTED_RELIABLE_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "distributed/network.h"
+
+namespace most {
+
+/// One participant's end of the reliability layer between the distributed
+/// query protocol and the lossy SimNetwork.
+///
+/// The wireless medium the paper assumes loses, duplicates, delays and
+/// partitions messages; the protocol above (coordinator.h, mobile_node.h)
+/// wants two delivery classes:
+///
+/// * reliable   — QueryRequest, ObjectReport, AnswerBlock, CancelQuery,
+///   QueryDone. Each (src, dst) pair carries an ordered stream: frames
+///   get consecutive sequence numbers, unacknowledged frames are
+///   retransmitted with capped exponential backoff on every DeliverDue
+///   tick, the receiver suppresses duplicates and buffers out-of-order
+///   arrivals, and the application handler sees each payload exactly
+///   once, in send order. Acknowledgements are cumulative
+///   (AckFrame::ack_through = next sequence number the receiver expects),
+///   so an ack also certifies that everything before it was *delivered to
+///   the application*, not merely received.
+/// * best-effort — ObjectState position beacons (the paper's
+///   dead-reckoning updates): latest-wins, a lost beacon is superseded by
+///   the next one, so they bypass sequencing entirely.
+///
+/// Retransmission never gives up: a frame destined for a partitioned or
+/// disconnected node is retried (at the backoff cap) until the partition
+/// heals, which is what lets post-heal answers converge to the lossless
+/// run. The per-frame cost while a peer is unreachable is one message
+/// every `rto_max` ticks.
+///
+/// The endpoint registers itself as a network node; the wrapped protocol
+/// object installs its message handler with SetHandler and sends through
+/// SendReliable / SendBestEffort. Handlers receive plain AppPayload
+/// messages — framing and acks never reach them.
+class ReliableEndpoint {
+ public:
+  struct Options {
+    /// Ticks before the first retransmission of an unacked frame. Should
+    /// comfortably exceed one round trip (2 * latency).
+    Tick rto_initial = 4;
+    /// Backoff cap: retransmission interval doubles per retry up to this.
+    Tick rto_max = 32;
+  };
+
+  ReliableEndpoint(SimNetwork* network, Clock* clock);
+  ReliableEndpoint(SimNetwork* network, Clock* clock, Options options);
+  ~ReliableEndpoint();
+
+  ReliableEndpoint(const ReliableEndpoint&) = delete;
+  ReliableEndpoint& operator=(const ReliableEndpoint&) = delete;
+
+  NodeId node_id() const { return node_id_; }
+  SimNetwork* network() const { return network_; }
+
+  using Handler = std::function<void(const Message&)>;
+
+  /// Application handler for delivered payloads (reliable ones exactly
+  /// once and in order per peer; best-effort ones as they arrive).
+  void SetHandler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Observer invoked for every raw incoming network message — frames and
+  /// acks included — before any channel processing. Liveness tracking
+  /// hangs off this: any traffic from a peer proves it reachable.
+  void SetRawObserver(Handler observer) { raw_observer_ = std::move(observer); }
+
+  void SendReliable(NodeId to, AppPayload payload);
+  void SendBestEffort(NodeId to, AppPayload payload);
+  /// Reliable / best-effort send to every other node in the network.
+  void BroadcastReliable(const AppPayload& payload);
+  void BroadcastBestEffort(const AppPayload& payload);
+
+  /// Frames sent but not yet cumulatively acknowledged, across all peers.
+  /// Zero means the channel is quiescent.
+  size_t unacked() const;
+
+  struct Stats {
+    uint64_t frames_sent = 0;  ///< First transmissions (not retries).
+    uint64_t retransmissions = 0;
+    uint64_t acks_sent = 0;
+    uint64_t delivered = 0;  ///< Handed to the application handler.
+    uint64_t duplicates_suppressed = 0;
+    uint64_t out_of_order_buffered = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PendingFrame {
+    AppPayload payload;
+    Tick next_retry = 0;
+    Tick rto = 0;
+  };
+  struct SendState {
+    uint64_t next_seq = 0;
+    std::map<uint64_t, PendingFrame> pending;  ///< By sequence number.
+  };
+  struct RecvState {
+    uint64_t next_expected = 0;
+    std::map<uint64_t, AppPayload> buffer;  ///< Out-of-order arrivals.
+  };
+
+  void OnMessage(const Message& message);
+  void OnTick();
+  void DeliverToApp(const Message& envelope, const AppPayload& payload);
+
+  SimNetwork* network_;
+  Clock* clock_;
+  Options options_;
+  NodeId node_id_ = kInvalidNodeId;
+  uint64_t tick_hook_id_ = 0;
+  Handler handler_;
+  Handler raw_observer_;
+  std::map<NodeId, SendState> send_;
+  std::map<NodeId, RecvState> recv_;
+  Stats stats_;
+};
+
+}  // namespace most
+
+#endif  // MOST_DISTRIBUTED_RELIABLE_CHANNEL_H_

@@ -15,6 +15,18 @@ AnswerTransmitter::AnswerTransmitter(SimNetwork* network, Clock* clock,
       qid_(qid),
       options_(options) {}
 
+AnswerTransmitter::AnswerTransmitter(ReliableEndpoint* server_channel,
+                                     Clock* clock, NodeId client,
+                                     uint64_t qid,
+                                     TransmissionOptions options)
+    : network_(server_channel->network()),
+      clock_(clock),
+      channel_(server_channel),
+      server_(server_channel->node_id()),
+      client_(client),
+      qid_(qid),
+      options_(options) {}
+
 void AnswerTransmitter::SetAnswer(std::vector<AnswerTuple> answer) {
   std::sort(answer.begin(), answer.end(),
             [](const AnswerTuple& a, const AnswerTuple& b) {
@@ -33,7 +45,11 @@ void AnswerTransmitter::SendBlock(std::vector<AnswerTuple> tuples) {
   AnswerBlock block;
   block.qid = qid_;
   block.tuples = tuples;
-  network_->Send(server_, client_, std::move(block));
+  if (channel_ != nullptr) {
+    channel_->SendReliable(client_, std::move(block));
+  } else {
+    network_->Send(server_, client_, std::move(block));
+  }
   outstanding_block_ = std::move(tuples);
 }
 
@@ -55,7 +71,11 @@ void AnswerTransmitter::Step() {
       AnswerBlock block;
       block.qid = qid_;
       block.tuples = {std::move(tuple)};
-      network_->Send(server_, client_, std::move(block));
+      if (channel_ != nullptr) {
+        channel_->SendReliable(client_, std::move(block));
+      } else {
+        network_->Send(server_, client_, std::move(block));
+      }
     }
     return;
   }
@@ -81,15 +101,21 @@ void AnswerTransmitter::Step() {
 }
 
 void AnswerClient::Attach(SimNetwork* network, NodeId node) {
-  network->SetHandler(node, [this](const Message& m) {
-    const auto* block = std::get_if<AnswerBlock>(&m.payload);
-    if (block == nullptr) return;
-    ++blocks_received_;
-    for (const AnswerTuple& t : block->tuples) {
-      buffer_.push_back(t);
-    }
-    peak_ = std::max(peak_, buffer_.size());
-  });
+  network->SetHandler(node, [this](const Message& m) { OnMessage(m); });
+}
+
+void AnswerClient::Attach(ReliableEndpoint* endpoint) {
+  endpoint->SetHandler([this](const Message& m) { OnMessage(m); });
+}
+
+void AnswerClient::OnMessage(const Message& m) {
+  const auto* block = std::get_if<AnswerBlock>(&m.payload);
+  if (block == nullptr) return;
+  ++blocks_received_;
+  for (const AnswerTuple& t : block->tuples) {
+    buffer_.push_back(t);
+  }
+  peak_ = std::max(peak_, buffer_.size());
 }
 
 std::vector<std::vector<ObjectId>> AnswerClient::Display() const {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "distributed/network.h"
+#include "distributed/reliable_channel.h"
 
 namespace most {
 
@@ -34,6 +35,11 @@ class AnswerTransmitter {
  public:
   AnswerTransmitter(SimNetwork* network, Clock* clock, NodeId server,
                     NodeId client, uint64_t qid, TransmissionOptions options);
+  /// Reliable variant: blocks ride `server_channel`'s ordered stream and
+  /// are retransmitted until acknowledged, so a push survives the lossy
+  /// wireless link (pair with AnswerClient::Attach(ReliableEndpoint*)).
+  AnswerTransmitter(ReliableEndpoint* server_channel, Clock* clock,
+                    NodeId client, uint64_t qid, TransmissionOptions options);
 
   void SetAnswer(std::vector<AnswerTuple> answer);
 
@@ -47,6 +53,7 @@ class AnswerTransmitter {
 
   SimNetwork* network_;
   Clock* clock_;
+  ReliableEndpoint* channel_ = nullptr;  ///< Null: legacy best-effort path.
   NodeId server_;
   NodeId client_;
   uint64_t qid_;
@@ -66,6 +73,9 @@ class AnswerClient {
 
   /// Installs this client's handler on an existing network node id.
   void Attach(SimNetwork* network, NodeId node);
+  /// Reliable variant: receives AnswerBlocks through the endpoint
+  /// (exactly once, in order) instead of a raw network handler.
+  void Attach(ReliableEndpoint* endpoint);
 
   /// Bindings whose interval contains the current tick.
   std::vector<std::vector<ObjectId>> Display() const;
@@ -78,6 +88,8 @@ class AnswerClient {
   uint64_t blocks_received() const { return blocks_received_; }
 
  private:
+  void OnMessage(const Message& m);
+
   Clock* clock_;
   std::vector<AnswerTuple> buffer_;
   size_t peak_ = 0;

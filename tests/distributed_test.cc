@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "distributed/coordinator.h"
 #include "distributed/mobile_node.h"
 #include "distributed/network.h"
+#include "distributed/reliable_channel.h"
 #include "distributed/transmission.h"
 #include "ftl/parser.h"
 
@@ -49,7 +51,9 @@ TEST(SimNetworkTest, DisconnectionDropsMessages) {
   net.Send(a, b, CancelQuery{1});
   net.DeliverDue();
   EXPECT_EQ(received, 0);
-  EXPECT_EQ(net.stats().messages_dropped, 1u);
+  EXPECT_EQ(net.stats().dropped_disconnected, 1u);
+  EXPECT_EQ(net.stats().dropped_loss, 0u);
+  EXPECT_EQ(net.stats().dropped_total(), 1u);
   net.SetConnected(b, true);
   net.Send(a, b, CancelQuery{1});
   net.DeliverDue();
@@ -78,11 +82,108 @@ TEST(SimNetworkTest, LossyLinkDropsRoughlyTheConfiguredFraction) {
     net.Send(a, b, CancelQuery{static_cast<uint64_t>(i)});
   }
   net.DeliverDue();
-  EXPECT_EQ(net.stats().messages_dropped,
+  EXPECT_EQ(net.stats().dropped_loss,
             1000u - static_cast<uint64_t>(received));
+  EXPECT_EQ(net.stats().dropped_disconnected, 0u);
   // Within a loose band around 30%.
-  EXPECT_GT(net.stats().messages_dropped, 200u);
-  EXPECT_LT(net.stats().messages_dropped, 400u);
+  EXPECT_GT(net.stats().dropped_loss, 200u);
+  EXPECT_LT(net.stats().dropped_loss, 400u);
+}
+
+TEST(SimNetworkTest, DuplicationDeliversCopies) {
+  Clock clock;
+  SimNetwork net(&clock,
+                 {.latency = 0, .duplicate_probability = 1.0, .seed = 5});
+  int received = 0;
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([&](const Message&) { ++received; });
+  net.Send(a, b, CancelQuery{1});
+  clock.Advance(10);  // Let the jittered duplicate come due as well.
+  net.DeliverDue();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(net.stats().duplicated, 1u);
+  EXPECT_EQ(net.stats().messages_delivered, 2u);
+}
+
+TEST(SimNetworkTest, ReorderingDelaysMessages) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1,
+                          .reorder_probability = 1.0,
+                          .reorder_jitter = 5,
+                          .seed = 5});
+  std::vector<uint64_t> order;
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([&](const Message& m) {
+    order.push_back(std::get<CancelQuery>(m.payload).qid);
+  });
+  for (uint64_t i = 0; i < 50; ++i) net.Send(a, b, CancelQuery{i});
+  for (int t = 0; t < 10; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_EQ(net.stats().reordered, 50u);
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()))
+      << "jitter never changed the arrival order";
+}
+
+TEST(SimNetworkTest, PartitionBlocksUntilHealed) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  int received = 0;
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([&](const Message&) { ++received; });
+  net.Partition("cut", {a}, {b});
+  EXPECT_FALSE(net.Reachable(a, b));
+  EXPECT_FALSE(net.Reachable(b, a));
+  net.Send(a, b, CancelQuery{1});
+  clock.Advance();
+  net.DeliverDue();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().dropped_partition, 1u);
+  net.Heal("cut");
+  EXPECT_TRUE(net.Reachable(a, b));
+  net.Send(a, b, CancelQuery{1});
+  clock.Advance();
+  net.DeliverDue();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(SimNetworkTest, PartitionCutsInFlightMessages) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 3});
+  int received = 0;
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([&](const Message&) { ++received; });
+  net.Send(a, b, CancelQuery{1});  // In flight for 3 ticks.
+  net.Partition("cut", {a}, {b});  // Cut appears while it is airborne.
+  clock.Advance(3);
+  net.DeliverDue();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().dropped_partition, 1u);
+}
+
+TEST(SimNetworkTest, FailpointForcesDropsPerPayloadType) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 0});
+  int cancels = 0, reports = 0;
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([&](const Message& m) {
+    if (std::holds_alternative<CancelQuery>(m.payload)) ++cancels;
+    if (std::holds_alternative<ObjectReport>(m.payload)) ++reports;
+  });
+  auto& reg = FailpointRegistry::Instance();
+  ASSERT_TRUE(reg.Arm("dist/net/send/cancel_query", "error*2").ok());
+  net.Send(a, b, CancelQuery{1});
+  net.Send(a, b, CancelQuery{2});
+  net.Send(a, b, CancelQuery{3});
+  net.Send(a, b, ObjectReport{});  // Different payload type: unaffected.
+  net.DeliverDue();
+  EXPECT_EQ(cancels, 1);  // Budget *2 dropped the first two only.
+  EXPECT_EQ(reports, 1);
+  EXPECT_EQ(net.stats().dropped_injected, 2u);
+  EXPECT_GE(reg.triggered("dist/net/send/cancel_query"), 2u);
+  reg.DisarmAll();
 }
 
 TEST(SimNetworkTest, BytesAccounted) {
@@ -97,6 +198,84 @@ TEST(SimNetworkTest, BytesAccounted) {
   EXPECT_GT(net.stats().bytes_sent, 0u);
 }
 
+// ---- Reliable channel -----------------------------------------------------
+
+TEST(ReliableChannelTest, ExactlyOnceInOrderUnderLossDupReorder) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1,
+                          .loss_probability = 0.3,
+                          .duplicate_probability = 0.2,
+                          .reorder_probability = 0.3,
+                          .reorder_jitter = 4,
+                          .seed = 42});
+  ReliableEndpoint sender(&net, &clock);
+  ReliableEndpoint receiver(&net, &clock);
+  std::vector<uint64_t> got;
+  receiver.SetHandler([&](const Message& m) {
+    got.push_back(std::get<CancelQuery>(m.payload).qid);
+  });
+  for (uint64_t i = 0; i < 60; ++i) {
+    sender.SendReliable(receiver.node_id(), CancelQuery{i});
+  }
+  for (int t = 0; t < 400 && sender.unacked() > 0; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  EXPECT_EQ(sender.unacked(), 0u);
+  ASSERT_EQ(got.size(), 60u) << "exactly-once delivery violated";
+  for (uint64_t i = 0; i < 60; ++i) EXPECT_EQ(got[i], i);
+  // The run must actually have been faulty, and the channel must have
+  // worked for it: retransmissions happened, duplicates were suppressed.
+  EXPECT_GT(net.stats().dropped_loss + net.stats().duplicated +
+                net.stats().reordered,
+            0u);
+  EXPECT_GT(sender.stats().retransmissions, 0u);
+}
+
+TEST(ReliableChannelTest, RetransmitsAcrossPartitionUntilHealed) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  ReliableEndpoint sender(&net, &clock);
+  ReliableEndpoint receiver(&net, &clock);
+  int delivered = 0;
+  receiver.SetHandler([&](const Message&) { ++delivered; });
+  net.Partition("cut", {sender.node_id()}, {receiver.node_id()});
+  sender.SendReliable(receiver.node_id(), CancelQuery{7});
+  for (int t = 0; t < 100; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  EXPECT_EQ(delivered, 0);
+  EXPECT_GT(sender.stats().retransmissions, 0u);
+  EXPECT_EQ(sender.unacked(), 1u);
+  net.Heal("cut");
+  for (int t = 0; t < 100 && sender.unacked() > 0; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(sender.unacked(), 0u);
+}
+
+TEST(ReliableChannelTest, BestEffortBypassesSequencing) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  ReliableEndpoint sender(&net, &clock);
+  ReliableEndpoint receiver(&net, &clock);
+  int beacons = 0;
+  receiver.SetHandler([&](const Message& m) {
+    if (std::holds_alternative<ObjectState>(m.payload)) ++beacons;
+  });
+  sender.SendBestEffort(receiver.node_id(), MakeState(1, {0, 0}, {1, 0}));
+  clock.Advance();
+  net.DeliverDue();
+  EXPECT_EQ(beacons, 1);
+  EXPECT_EQ(sender.unacked(), 0u);        // Nothing to retransmit.
+  EXPECT_EQ(receiver.stats().acks_sent, 0u);  // Nothing to acknowledge.
+}
+
+// ---- Distributed queries --------------------------------------------------
+
 class DistributedQueryTest : public ::testing::Test {
  protected:
   DistributedQueryTest()
@@ -104,12 +283,15 @@ class DistributedQueryTest : public ::testing::Test {
         regions_({{"P", Polygon::Rectangle({0, 0}, {100, 100})}}),
         coordinator_(&net_, &clock_, regions_) {
     // Three vehicles: one inside P, one heading into P, one far away.
+    // Beacons are disabled so the protocol tests see query traffic only.
+    MobileNode::Options opts;
+    opts.beacon_interval = 0;
     nodes_.push_back(std::make_unique<MobileNode>(
-        &net_, &clock_, MakeState(0, {50, 50}, {0, 0}), regions_));
+        &net_, &clock_, MakeState(0, {50, 50}, {0, 0}), regions_, opts));
     nodes_.push_back(std::make_unique<MobileNode>(
-        &net_, &clock_, MakeState(1, {-20, 50}, {1, 0}), regions_));
+        &net_, &clock_, MakeState(1, {-20, 50}, {1, 0}), regions_, opts));
     nodes_.push_back(std::make_unique<MobileNode>(
-        &net_, &clock_, MakeState(2, {5000, 5000}, {0, 0}), regions_));
+        &net_, &clock_, MakeState(2, {5000, 5000}, {0, 0}), regions_, opts));
   }
 
   void Run(Tick until) {
@@ -150,6 +332,62 @@ TEST_F(DistributedQueryTest, Classification) {
             DistQueryClass::kRelationship);
 }
 
+TEST_F(DistributedQueryTest, ClassificationEdgeCases) {
+  // A quantifier-bound *value* variable is not an object variable: the
+  // comparison m <= 10 mentions no second object.
+  EXPECT_EQ(Coordinator::Classify(
+                Parse("RETRIEVE o FROM CARS o "
+                      "WHERE [m := o.fuel] m <= 10")),
+            DistQueryClass::kObject);
+  EXPECT_EQ(Coordinator::Classify(
+                Parse("RETRIEVE o FROM SELF o "
+                      "WHERE [m := o.fuel] EVENTUALLY m <= 10")),
+            DistQueryClass::kSelfReferencing);
+  // A quantifier whose bound term itself spans two objects is a
+  // relationship query even if the body compares only value variables.
+  EXPECT_EQ(Coordinator::Classify(
+                Parse("RETRIEVE o, n FROM CARS o, CARS n "
+                      "WHERE [m := DIST(o, n)] m <= 5")),
+            DistQueryClass::kRelationship);
+  // DIST of a variable with itself stays single-object.
+  EXPECT_EQ(Coordinator::Classify(
+                Parse("RETRIEVE o FROM CARS o "
+                      "WHERE [m := DIST(o, o)] m <= 5")),
+            DistQueryClass::kObject);
+  // SELF-only bindings with a genuine two-object atom: relationship, not
+  // self-referencing — the atom needs both objects at once.
+  EXPECT_EQ(Coordinator::Classify(
+                Parse("RETRIEVE a, b FROM SELF a, SELF b "
+                      "WHERE DIST(a, b) <= 2")),
+            DistQueryClass::kRelationship);
+  // Two SELF variables never sharing an atom: still a relationship query
+  // (two distinct FROM variables).
+  EXPECT_EQ(Coordinator::Classify(
+                Parse("RETRIEVE a, b FROM SELF a, SELF b "
+                      "WHERE INSIDE(a, P) AND INSIDE(b, P)")),
+            DistQueryClass::kRelationship);
+  // Mixed-class conjunction over a single variable stays an object query;
+  // over two variables of different classes it is a relationship query.
+  EXPECT_EQ(Coordinator::Classify(
+                Parse("RETRIEVE o FROM CARS o "
+                      "WHERE INSIDE(o, P) AND o.fuel <= 10")),
+            DistQueryClass::kObject);
+  EXPECT_EQ(Coordinator::Classify(
+                Parse("RETRIEVE o, n FROM SELF o, CARS n "
+                      "WHERE INSIDE(o, P) AND INSIDE(n, P)")),
+            DistQueryClass::kRelationship);
+  // WITHIN_SPHERE with a repeated variable is single-object; with two
+  // distinct variables it is a relationship atom.
+  EXPECT_EQ(Coordinator::Classify(
+                Parse("RETRIEVE o FROM CARS o "
+                      "WHERE WITHIN_SPHERE(5, o, o)")),
+            DistQueryClass::kObject);
+  EXPECT_EQ(Coordinator::Classify(
+                Parse("RETRIEVE a, b FROM CARS a, CARS b "
+                      "WHERE WITHIN_SPHERE(5, a, b)")),
+            DistQueryClass::kRelationship);
+}
+
 TEST_F(DistributedQueryTest, SelfReferencingNeedsNoCommunication) {
   FtlQuery q = Parse(
       "RETRIEVE o FROM SELF o WHERE EVENTUALLY WITHIN 30 INSIDE(o, P)");
@@ -168,31 +406,41 @@ TEST_F(DistributedQueryTest, ObjectQueryBroadcastOnlyMatchesReply) {
   FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
   uint64_t qid = coordinator_.IssueObjectQuery(
       q, DistStrategy::kBroadcastFilter, /*continuous=*/false, 256);
-  Run(3);
+  Run(4);
   auto matches = coordinator_.ReportedMatches(qid);
   ASSERT_TRUE(matches.ok());
   // Node 0 is inside now; node 1 enters later (still a future match
   // within the horizon); node 2 never.
-  EXPECT_EQ(matches->size(), 2u);
-  EXPECT_TRUE(matches->count(0));
-  EXPECT_TRUE(matches->count(1));
-  // Messages: 3 requests broadcast + 2 replies.
-  EXPECT_EQ(net_.stats().messages_sent, 5u);
+  EXPECT_EQ(matches->matches.size(), 2u);
+  EXPECT_TRUE(matches->matches.count(0));
+  EXPECT_TRUE(matches->matches.count(1));
+  // Every node completed, so the answer is certain.
+  EXPECT_EQ(matches->confidence, Confidence::kCertain);
+  EXPECT_TRUE(matches->missing.empty());
+  // The economy of strategy 2: non-matching node 2 shipped no report —
+  // only its completion marker; matching nodes shipped report + marker.
+  EXPECT_EQ(nodes_[0]->channel().stats().frames_sent, 2u);
+  EXPECT_EQ(nodes_[1]->channel().stats().frames_sent, 2u);
+  EXPECT_EQ(nodes_[2]->channel().stats().frames_sent, 1u);
 }
 
 TEST_F(DistributedQueryTest, ObjectQueryCollectPullsEverything) {
   FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
   uint64_t qid = coordinator_.IssueObjectQuery(q, DistStrategy::kCollect,
                                                /*continuous=*/false, 256);
-  Run(3);
+  Run(4);
   auto state = coordinator_.GetState(qid);
   ASSERT_TRUE(state.ok());
   EXPECT_EQ((*state)->replies, 3u);  // Every node ships its object.
+  EXPECT_EQ((*state)->responded.size(), 3u);
   auto rel = coordinator_.EvaluateCollected(qid);
   ASSERT_TRUE(rel.ok()) << rel.status();
-  EXPECT_EQ(rel->rows.size(), 2u);
-  // 3 requests + 3 replies.
-  EXPECT_EQ(net_.stats().messages_sent, 6u);
+  EXPECT_EQ(rel->relation.rows.size(), 2u);
+  EXPECT_EQ(rel->confidence, Confidence::kCertain);
+  // Collect ships a report from every node regardless of the predicate.
+  for (const auto& node : nodes_) {
+    EXPECT_EQ(node->channel().stats().frames_sent, 2u);  // report + done
+  }
 }
 
 TEST_F(DistributedQueryTest, BroadcastAndCollectAgree) {
@@ -202,37 +450,43 @@ TEST_F(DistributedQueryTest, BroadcastAndCollectAgree) {
       q, DistStrategy::kBroadcastFilter, false, 256);
   uint64_t cq =
       coordinator_.IssueObjectQuery(q, DistStrategy::kCollect, false, 256);
-  Run(3);
+  Run(4);
   auto matches = coordinator_.ReportedMatches(bq);
   ASSERT_TRUE(matches.ok());
   auto rel = coordinator_.EvaluateCollected(cq);
   ASSERT_TRUE(rel.ok());
   std::set<ObjectId> broadcast_ids, collect_ids;
-  for (const auto& [id, when] : *matches) broadcast_ids.insert(id);
-  for (const auto& [binding, when] : rel->rows) collect_ids.insert(binding[0]);
+  for (const auto& [id, when] : matches->matches) broadcast_ids.insert(id);
+  for (const auto& [binding, when] : rel->relation.rows) {
+    collect_ids.insert(binding[0]);
+  }
   EXPECT_EQ(broadcast_ids, collect_ids);
+  EXPECT_EQ(matches->confidence, Confidence::kCertain);
+  EXPECT_EQ(rel->confidence, Confidence::kCertain);
 }
 
 TEST_F(DistributedQueryTest, ContinuousBroadcastPushesOnlyOnChange) {
   FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
   uint64_t qid = coordinator_.IssueObjectQuery(
       q, DistStrategy::kBroadcastFilter, /*continuous=*/true, 512);
-  Run(3);
-  uint64_t after_setup = net_.stats().messages_sent;
+  Run(4);
+  // Setup: every node answered the subscription (initial report + done).
+  uint64_t after_setup = nodes_[2]->channel().stats().frames_sent;
+  EXPECT_EQ(after_setup, 2u);
 
   // Motion changes on the far-away node that stays far away: it
   // re-evaluates locally but its (empty) answer is unchanged -> silence.
   nodes_[2]->UpdateMotion({5000, 5000}, {0.5, 0});
-  Run(5);
-  EXPECT_EQ(net_.stats().messages_sent, after_setup);
+  Run(8);
+  EXPECT_EQ(nodes_[2]->channel().stats().frames_sent, after_setup);
 
   // Node 2 now turns towards P: its answer changes -> one push.
   nodes_[2]->UpdateMotion({150, 50}, {-1, 0});
-  Run(7);
-  EXPECT_EQ(net_.stats().messages_sent, after_setup + 1);
+  Run(12);
+  EXPECT_EQ(nodes_[2]->channel().stats().frames_sent, after_setup + 1);
   auto matches = coordinator_.ReportedMatches(qid);
   ASSERT_TRUE(matches.ok());
-  EXPECT_TRUE(matches->count(2));
+  EXPECT_TRUE(matches->matches.count(2));
 }
 
 TEST_F(DistributedQueryTest, RelationshipQueryEvaluatedCentrally) {
@@ -241,11 +495,11 @@ TEST_F(DistributedQueryTest, RelationshipQueryEvaluatedCentrally) {
       "RETRIEVE o, n FROM CARS o, CARS n "
       "WHERE EVENTUALLY DIST(o, n) <= 40");
   uint64_t qid = coordinator_.IssueRelationshipQuery(q, 256);
-  Run(3);
+  Run(4);
   auto rel = coordinator_.EvaluateCollected(qid);
   ASSERT_TRUE(rel.ok()) << rel.status();
   bool pair_01 = false;
-  for (const auto& [binding, when] : rel->rows) {
+  for (const auto& [binding, when] : rel->relation.rows) {
     if ((binding[0] == 0 && binding[1] == 1) ||
         (binding[0] == 1 && binding[1] == 0)) {
       pair_01 = true;
@@ -253,6 +507,168 @@ TEST_F(DistributedQueryTest, RelationshipQueryEvaluatedCentrally) {
   }
   EXPECT_TRUE(pair_01);
 }
+
+// ---- Completeness and liveness --------------------------------------------
+
+TEST_F(DistributedQueryTest, PartialAnswerCarriesMissingSetUntilHeal) {
+  // Cut node 2 off before issuing.
+  net_.Partition("cut", {coordinator_.node_id()}, {nodes_[2]->node_id()});
+  FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  uint64_t qid = coordinator_.IssueObjectQuery(
+      q, DistStrategy::kBroadcastFilter, /*continuous=*/false, 256);
+  Run(6);
+  auto partial = coordinator_.ReportedMatches(qid);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial->confidence, Confidence::kStale)
+      << "a partial answer must never claim certainty";
+  EXPECT_EQ(partial->missing,
+            (std::set<NodeId>{nodes_[2]->node_id()}));
+  EXPECT_EQ(partial->matches.size(), 2u);  // Reachable matches are in.
+
+  // Heal: the channel's retransmissions push the request through; once
+  // node 2's QueryDone arrives the same answer turns certain.
+  net_.Heal("cut");
+  Run(60);
+  auto full = coordinator_.ReportedMatches(qid);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->confidence, Confidence::kCertain);
+  EXPECT_TRUE(full->missing.empty());
+  EXPECT_EQ(full->matches.size(), 2u);  // Node 2 still does not match.
+}
+
+TEST_F(DistributedQueryTest, CollectAnswerStaysStaleWhileNodeMissing) {
+  net_.Partition("cut", {coordinator_.node_id()}, {nodes_[0]->node_id()});
+  FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  uint64_t qid = coordinator_.IssueObjectQuery(q, DistStrategy::kCollect,
+                                               /*continuous=*/false, 256);
+  Run(6);
+  auto partial = coordinator_.EvaluateCollected(qid);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial->confidence, Confidence::kStale);
+  EXPECT_EQ(partial->missing, (std::set<NodeId>{nodes_[0]->node_id()}));
+  // Node 0 (inside P) is missing, so its row is absent from the partial
+  // central evaluation — the caller can see that from the missing set.
+  EXPECT_EQ(partial->relation.rows.count({0}), 0u);
+  net_.Heal("cut");
+  Run(60);
+  auto full = coordinator_.EvaluateCollected(qid);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->confidence, Confidence::kCertain);
+  EXPECT_EQ(full->relation.rows.count({0}), 1u);
+}
+
+TEST(CoordinatorLivenessTest, HeartbeatsTrackReachabilityAndResync) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  std::map<std::string, Polygon> regions{
+      {"P", Polygon::Rectangle({0, 0}, {100, 100})}};
+  Coordinator::Options copts;
+  copts.liveness_timeout = 12;
+  Coordinator coordinator(&net, &clock, regions, copts);
+  MobileNode::Options nopts;
+  nopts.beacon_interval = 4;
+  nopts.home = coordinator.node_id();
+  MobileNode inside(&net, &clock, MakeState(0, {50, 50}, {0, 0}), regions,
+                    nopts);
+  MobileNode outside(&net, &clock, MakeState(1, {5000, 50}, {0, 0}), regions,
+                     nopts);
+
+  auto run_to = [&](Tick until) {
+    while (clock.Now() < until) {
+      clock.Advance();
+      net.DeliverDue();
+    }
+  };
+  run_to(10);
+  EXPECT_TRUE(coordinator.IsLive(inside.node_id()));
+  EXPECT_TRUE(coordinator.IsLive(outside.node_id()));
+
+  auto q = ParseQuery("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  ASSERT_TRUE(q.ok());
+  uint64_t qid = coordinator.IssueObjectQuery(
+      *q, DistStrategy::kBroadcastFilter, /*continuous=*/true, 512);
+  run_to(14);
+  ASSERT_TRUE(coordinator.ReportedMatches(qid)->matches.count(0));
+
+  // Partition the inside node away long enough to be declared dead.
+  net.Partition("cut", {coordinator.node_id()}, {inside.node_id()});
+  run_to(40);
+  EXPECT_FALSE(coordinator.IsLive(inside.node_id()));
+  EXPECT_TRUE(coordinator.IsLive(outside.node_id()));
+
+  // While cut off, the node's answer changes: it drives out of P.
+  inside.UpdateMotion({5000, 5000}, {0, 0});
+
+  // Heal: beacons flow again, the coordinator re-syncs the subscription,
+  // and the node's fresh (now empty) answer replaces the stale match.
+  net.Heal("cut");
+  run_to(100);
+  EXPECT_TRUE(coordinator.IsLive(inside.node_id()));
+  auto matches = coordinator.ReportedMatches(qid);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->matches.count(0), 0u)
+      << "stale pre-partition match survived the re-sync";
+  EXPECT_EQ(matches->confidence, Confidence::kCertain);
+}
+
+TEST(CancelUnderLossTest, CancelledContinuousQueryGoesQuietOnEveryNode) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1, .loss_probability = 0.4, .seed = 11});
+  std::map<std::string, Polygon> regions{
+      {"P", Polygon::Rectangle({0, 0}, {100, 100})}};
+  Coordinator coordinator(&net, &clock, regions);
+  MobileNode::Options nopts;
+  nopts.beacon_interval = 0;
+  std::vector<std::unique_ptr<MobileNode>> nodes;
+  for (int i = 0; i < 3; ++i) {
+    nodes.push_back(std::make_unique<MobileNode>(
+        &net, &clock,
+        MakeState(static_cast<ObjectId>(i),
+                  {50.0 + 10 * i, 50.0}, {0, 0}),
+        regions, nopts));
+  }
+  auto run = [&](Tick ticks) {
+    Tick until = clock.Now() + ticks;
+    while (clock.Now() < until) {
+      clock.Advance();
+      net.DeliverDue();
+    }
+  };
+
+  auto q = ParseQuery("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  ASSERT_TRUE(q.ok());
+  uint64_t qid = coordinator.IssueObjectQuery(
+      *q, DistStrategy::kBroadcastFilter, /*continuous=*/true, 512);
+  run(120);  // Loss notwithstanding, every subscription must install.
+  for (const auto& node : nodes) {
+    EXPECT_EQ(node->active_subscriptions(), 1u);
+  }
+
+  // Cancel rides the reliable channel: a lost CancelQuery is
+  // retransmitted until every node confirms it.
+  ASSERT_TRUE(coordinator.CancelQuerySubscription(qid).ok());
+  run(200);
+  for (const auto& node : nodes) {
+    EXPECT_EQ(node->active_subscriptions(), 0u)
+        << "node kept a cancelled subscription";
+  }
+
+  // Quiescence: motion changes no longer generate any traffic.
+  std::vector<uint64_t> frames_before;
+  for (const auto& node : nodes) {
+    frames_before.push_back(node->channel().stats().frames_sent);
+  }
+  for (auto& node : nodes) {
+    node->UpdateMotion({5000, 5000}, {1, 1});
+  }
+  run(40);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(nodes[i]->channel().stats().frames_sent, frames_before[i])
+        << "cancelled node " << i << " still transmitting";
+  }
+}
+
+// ---- Answer transmission --------------------------------------------------
 
 TEST(AnswerTransmissionTest, ImmediateUnlimitedSendsOneBlock) {
   Clock clock;
@@ -329,6 +745,33 @@ TEST(AnswerTransmissionTest, DelayedSendsEachTupleAtItsBegin) {
   EXPECT_EQ(display_sizes[10], 0u);
   EXPECT_EQ(client.peak_buffered(), 1u);  // Never more than one tuple held.
   EXPECT_EQ(net.stats().messages_sent, 2u);
+}
+
+TEST(AnswerTransmissionTest, ReliablePushSurvivesLoss) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1, .loss_probability = 0.4, .seed = 3});
+  ReliableEndpoint server(&net, &clock);
+  ReliableEndpoint client_ep(&net, &clock);
+  AnswerClient client(&clock);
+  client.Attach(&client_ep);
+
+  AnswerTransmitter tx(&server, &clock, client_ep.node_id(), 1,
+                       {TransmissionMode::kImmediate, 0, 1});
+  tx.SetAnswer({{{7}, Interval(100, 200)}, {{8}, Interval(150, 300)}});
+  // Background traffic on the same stream so the 40% loss rate is
+  // statistically guaranteed to bite *something* (the client ignores
+  // non-AnswerBlock payloads).
+  for (uint64_t i = 0; i < 30; ++i) {
+    server.SendReliable(client_ep.node_id(), CancelQuery{i});
+  }
+  for (int t = 0; t < 400 && server.unacked() > 0; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  EXPECT_EQ(server.unacked(), 0u);
+  EXPECT_EQ(client.blocks_received(), 1u);  // Exactly once despite loss.
+  EXPECT_EQ(client.buffered(), 2u);
+  EXPECT_GT(net.stats().dropped_loss, 0u) << "the link was never lossy";
 }
 
 }  // namespace
