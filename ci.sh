@@ -34,6 +34,24 @@ MOST_FAILPOINTS="ci/torture_probe=noop" ./build-asan/tests/crash_torture_test
 echo "=== partition-torture stage (env-armed failpoints, ASan) ==="
 MOST_FAILPOINTS="ci/dist_probe=noop" ./build-asan/tests/partition_torture_test
 
+# Delta-refresh stage: delta-vs-full differential corpus (200 randomized
+# update schedules, byte-identical answers) plus the env-armed probe that
+# proves the delta path — not the full-refresh fallback — served the
+# refreshes (docs/incremental_eval.md). The probe test skips unless
+# MOST_FAILPOINTS names ftl/delta/refresh, so arming it here keeps the
+# stage from silently degrading to full re-evaluation.
+echo "=== delta-refresh stage (env-armed probe, ASan) ==="
+MOST_FAILPOINTS="ftl/delta/refresh=noop" ./build-asan/tests/differential_test \
+  --gtest_filter='DifferentialTest.DeltaRefresh*'
+
 if [[ "${1:-}" == "tsan" ]]; then
   run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMOST_SANITIZE=thread
+  # The query-manager concurrency suite (TickAll through the pool, atomic
+  # refresh counters, delta splice under parallel evaluation) is the suite
+  # the delta path most needs under TSan; run it explicitly so a ctest
+  # filter change can never drop it from this configuration.
+  echo "=== query-manager concurrency suite (TSan) ==="
+  ./build-tsan/tests/query_manager_test
+  ./build-tsan/tests/differential_test \
+    --gtest_filter='DifferentialTest.DeltaRefresh*'
 fi

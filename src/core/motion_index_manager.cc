@@ -39,6 +39,21 @@ MotionIndex* MotionIndexManager::Get(const std::string& class_name) const {
   return it->second.get();
 }
 
+std::optional<std::vector<ObjectId>> MotionIndexManager::CandidatesNearObject(
+    const std::string& class_name, const MostObject& probe, double radius,
+    Interval window) const {
+  MotionIndex* index = Get(class_name);
+  if (index == nullptr || !probe.IsSpatial()) return std::nullopt;
+  // Segment boxes only cover the epoch: outside it the index cannot vouch
+  // for absence, so pruning would be unsound.
+  if (window.begin < index->epoch_start() || window.end >= index->epoch_end()) {
+    return std::nullopt;
+  }
+  return index->QueryNearTrajectory(*probe.GetDynamic(kAttrX).value(),
+                                    *probe.GetDynamic(kAttrY).value(),
+                                    radius, window);
+}
+
 void MotionIndexManager::OnUpdate(const std::string& class_name,
                                   ObjectId id) {
   auto it = indexes_.find(class_name);

@@ -3,7 +3,9 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/object_model.h"
 #include "index/motion_index.h"
@@ -35,6 +37,16 @@ class MotionIndexManager {
   /// The class's index, rebuilt if its epoch expired; nullptr if the
   /// class is not indexed.
   MotionIndex* Get(const std::string& class_name) const;
+
+  /// Candidates of `class_name` that may come within `radius` of `probe`'s
+  /// trajectory at some tick of `window` (a conservative superset, sorted).
+  /// nullopt when the class is not indexed, the probe is not spatial, or
+  /// `window` escapes the index epoch — the caller must fall back to a
+  /// class scan. Used by the FTL evaluator to prune the join partners of a
+  /// restricted DIST atom during delta re-evaluation.
+  std::optional<std::vector<ObjectId>> CandidatesNearObject(
+      const std::string& class_name, const MostObject& probe, double radius,
+      Interval window) const;
 
   uint64_t sync_operations() const { return sync_operations_; }
 

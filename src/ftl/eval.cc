@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <charconv>
+#include <optional>
 #include <sstream>
 
 #include "common/thread_pool.h"
@@ -426,6 +427,13 @@ std::string TemporalRelation::ToString() const {
 
 Result<TemporalRelation> FtlEvaluator::EvaluateQuery(const FtlQuery& query,
                                                      Interval window) {
+  MOST_ASSIGN_OR_RETURN(TemporalRelation rel,
+                        EvaluateQueryUnprojected(query, window));
+  return rel.Project(query.retrieve);
+}
+
+Result<TemporalRelation> FtlEvaluator::EvaluateQueryUnprojected(
+    const FtlQuery& query, Interval window) {
   if (!window.valid()) {
     return Status::InvalidArgument("invalid evaluation window");
   }
@@ -441,6 +449,9 @@ Result<TemporalRelation> FtlEvaluator::EvaluateQuery(const FtlQuery& query,
   for (auto& [var, cls] : var_classes) {
     MOST_ASSIGN_OR_RETURN(const ObjectClass* oc, db_.GetClass(cls));
     domains.classes[var] = oc;
+  }
+  for (const auto& [var, ids] : options_.domain_restrictions) {
+    if (ids != nullptr) domains.filters[var] = ids;
   }
   if (query.where == nullptr) {
     return Status::InvalidArgument("query has no WHERE formula");
@@ -476,7 +487,7 @@ Result<TemporalRelation> FtlEvaluator::EvaluateQuery(const FtlQuery& query,
       rel, ExpandToVars(rel, SortedVars(target_set), domains.classes,
                         domains.filters, options_.max_instantiations,
                         &stats_.instantiations));
-  return rel.Project(query.retrieve);
+  return rel;
 }
 
 Result<TemporalRelation> FtlEvaluator::EvalFormula(
@@ -486,6 +497,9 @@ Result<TemporalRelation> FtlEvaluator::EvalFormula(
   for (const auto& [var, cls] : var_classes) {
     MOST_ASSIGN_OR_RETURN(const ObjectClass* oc, db_.GetClass(cls));
     domains.classes[var] = oc;
+  }
+  for (const auto& [var, ids] : options_.domain_restrictions) {
+    if (ids != nullptr) domains.filters[var] = ids;
   }
   return Eval(formula, domains, window);
 }
@@ -566,13 +580,25 @@ Result<TemporalRelation> FtlEvaluator::Eval(const FormulaPtr& f,
                               region->bounding_box().max};
         std::vector<ObjectId> candidates =
             index->QueryRegionCandidates(query_box, window);
-        stats_.index_pruned += cls->size() - candidates.size();
+        // Under a domain restriction (the delta path) the candidate list
+        // is the intersection: outside the restriction the row is excluded
+        // by definition, outside the index's candidates it is trivially
+        // empty.
+        const std::set<ObjectId>* filter = nullptr;
+        auto filter_it = domains.filters.find(f->var());
+        if (filter_it != domains.filters.end() &&
+            filter_it->second != nullptr) {
+          filter = filter_it->second.get();
+        }
+        size_t domain_size = filter != nullptr ? filter->size() : cls->size();
         jobs.reserve(candidates.size());
         for (ObjectId id : candidates) {
+          if (filter != nullptr && filter->count(id) == 0) continue;
           ++stats_.instantiations;
           MOST_ASSIGN_OR_RETURN(const MostObject* obj, cls->Get(id));
           jobs.push_back({{id}, {{f->var(), obj}}});
         }
+        stats_.index_pruned += domain_size - jobs.size();
       } else {
         MOST_ASSIGN_OR_RETURN(
             jobs, MaterializeJobs({f->var()}, domains.classes,
@@ -896,10 +922,78 @@ Result<TemporalRelation> FtlEvaluator::EvalCompare(const FtlFormula& f,
   AppendTermLiterals(f.rhs_term(), &fp);
   AppendWindow(window, &fp);
 
-  MOST_ASSIGN_OR_RETURN(
-      std::vector<AtomicJob> jobs,
-      MaterializeJobs(vars, domains.classes, domains.filters,
-                      options_.max_instantiations, &stats_.instantiations));
+  // Index-pruned DIST join: with one side of DIST(a,b) <= c pinned by a
+  // domain restriction (a delta re-evaluation pass) and the partner's
+  // class indexed, the motion index supplies the partner candidates near
+  // each pinned object's trajectory instead of scanning the class. Sound
+  // because the candidate set is a conservative superset: a skipped
+  // partner stays farther than c throughout the window, so its row is
+  // empty either way.
+  std::vector<AtomicJob> jobs;
+  bool jobs_materialized = false;
+  if (dist != nullptr && options_.motion_indexes != nullptr &&
+      vars.size() == 2 && dist->var() != dist->var2() &&
+      (op == FtlFormula::CmpOp::kLe || op == FtlFormula::CmpOp::kLt)) {
+    std::set<std::string> bound_vars;
+    other->CollectObjectVars(&bound_vars);
+    auto fa = domains.filters.find(dist->var());
+    auto fb = domains.filters.find(dist->var2());
+    bool a_pinned = fa != domains.filters.end() && fa->second != nullptr;
+    bool b_pinned = fb != domains.filters.end() && fb->second != nullptr;
+    if (bound_vars.empty() && a_pinned != b_pinned) {
+      const std::string& probe_var = a_pinned ? dist->var() : dist->var2();
+      const std::string& partner_var = a_pinned ? dist->var2() : dist->var();
+      const std::set<ObjectId>& probes =
+          a_pinned ? *fa->second : *fb->second;
+      auto probe_cls = domains.classes.find(probe_var);
+      auto partner_cls = domains.classes.find(partner_var);
+      Result<Value> bound_v = EvalTermAt(other, Instantiation(), window.begin);
+      if (probe_cls != domains.classes.end() &&
+          partner_cls != domains.classes.end() && bound_v.ok() &&
+          bound_v->is_numeric()) {
+        // Small slack over the comparison epsilon so boundary contacts
+        // are never pruned.
+        double radius = std::max(0.0, bound_v->AsDouble().value()) + 1e-3;
+        bool pruned_all = true;
+        for (ObjectId pid : probes) {
+          auto pobj = probe_cls->second->Get(pid);
+          if (!pobj.ok()) continue;  // Deleted probe: no rows.
+          std::optional<std::vector<ObjectId>> candidates =
+              options_.motion_indexes->CandidatesNearObject(
+                  partner_cls->second->name(), **pobj, radius, window);
+          if (!candidates.has_value()) {
+            pruned_all = false;  // Unindexed or epoch escape: full scan.
+            break;
+          }
+          stats_.index_pruned +=
+              partner_cls->second->size() - candidates->size();
+          for (ObjectId nid : *candidates) {
+            auto nobj = partner_cls->second->Get(nid);
+            if (!nobj.ok()) continue;
+            ++stats_.instantiations;
+            AtomicJob job;
+            job.binding = vars[0] == probe_var
+                              ? std::vector<ObjectId>{pid, nid}
+                              : std::vector<ObjectId>{nid, pid};
+            job.inst[probe_var] = *pobj;
+            job.inst[partner_var] = *nobj;
+            jobs.push_back(std::move(job));
+          }
+        }
+        if (pruned_all) {
+          jobs_materialized = true;
+        } else {
+          jobs.clear();
+        }
+      }
+    }
+  }
+  if (!jobs_materialized) {
+    MOST_ASSIGN_OR_RETURN(
+        jobs, MaterializeJobs(vars, domains.classes, domains.filters,
+                              options_.max_instantiations,
+                              &stats_.instantiations));
+  }
   return SolveAtomicRelation(
       std::move(vars), jobs, fp, options_, &stats_,
       [&](const AtomicJob& job) -> Result<IntervalSet> {

@@ -2,6 +2,8 @@
 #define MOST_FTL_EVAL_H_
 
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -80,6 +82,18 @@ class FtlEvaluator {
     /// object through the database's update listeners. Shared safely by
     /// concurrent evaluators. Not owned; may be null.
     IntervalCache* interval_cache = nullptr;
+    /// Restricts the listed object variables to the given candidate ids
+    /// for the whole evaluation: the result is exactly the unrestricted
+    /// relation filtered to rows whose binding for each listed variable
+    /// lies in its set (FTL relations are pointwise in their bindings —
+    /// a row's tick set depends only on the bound objects' states — so
+    /// the restriction commutes with every connective). This is the
+    /// engine of the query manager's delta re-evaluation: one pass per
+    /// FROM position with that variable pinned to the updated objects
+    /// (docs/incremental_eval.md). Variables absent from the map are
+    /// unrestricted.
+    std::map<std::string, std::shared_ptr<const std::set<ObjectId>>>
+        domain_restrictions;
   };
 
   explicit FtlEvaluator(const MostDatabase& db) : FtlEvaluator(db, Options()) {}
@@ -90,6 +104,14 @@ class FtlEvaluator {
   /// projected onto the RETRIEVE variables.
   Result<TemporalRelation> EvaluateQuery(const FtlQuery& query,
                                          Interval window);
+
+  /// Same evaluation, but without the final projection: one column per
+  /// variable of the WHERE formula plus every RETRIEVE variable. Because
+  /// the unprojected relation is pointwise in its bindings, it is the
+  /// representation the query manager's delta splice maintains (projection
+  /// aggregates over dropped variables and would not be spliceable).
+  Result<TemporalRelation> EvaluateQueryUnprojected(const FtlQuery& query,
+                                                    Interval window);
 
   /// Evaluates a formula whose object variables are bound to classes by
   /// `var_classes`. Exposed for tests and for the query manager.

@@ -60,6 +60,35 @@ void IntervalCache::Invalidate(ObjectId id) {
   by_object_.erase(it);
 }
 
+size_t IntervalCache::EvictWindowsEndingBefore(Tick t) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  size_t before = entries_.size();
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const std::string& fp = it->first.fingerprint;
+    size_t at = fp.rfind('@');
+    size_t comma = fp.rfind(',');
+    bool expired = false;
+    if (at != std::string::npos && comma != std::string::npos && comma > at) {
+      char* end = nullptr;
+      long long window_end = std::strtoll(fp.c_str() + comma + 1, &end, 10);
+      expired = end != fp.c_str() + comma + 1 &&
+                window_end < static_cast<long long>(t);
+    }
+    it = expired ? entries_.erase(it) : std::next(it);
+  }
+  size_t dropped = before - entries_.size();
+  if (dropped > 0) {
+    invalidations_ += dropped;
+    // Rebuild the reverse index so it does not accumulate keys for
+    // evicted windows forever.
+    by_object_.clear();
+    for (const auto& [key, when] : entries_) {
+      for (ObjectId id : key.objs) by_object_[id].push_back(key);
+    }
+  }
+  return dropped;
+}
+
 void IntervalCache::Clear() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   entries_.clear();

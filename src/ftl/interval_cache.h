@@ -71,6 +71,15 @@ class IntervalCache {
   /// Drops every entry whose key binds `id`.
   void Invalidate(ObjectId id);
 
+  /// Drops entries whose fingerprint's evaluation window ends before `t`
+  /// (fingerprints carry a trailing "@begin,end" window tag). Every live
+  /// evaluation window satisfies end >= now, so the query manager calls
+  /// this with the current tick when a continuous query's window expires
+  /// and re-anchors: entries keyed to outrun windows can never be probed
+  /// again and would otherwise linger until a wholesale clear. Returns the
+  /// number of entries dropped.
+  size_t EvictWindowsEndingBefore(Tick t);
+
   void Clear();
 
   Stats stats() const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace most {
 
 QueryManager::QueryManager(MostDatabase* db, Options options)
@@ -35,11 +37,14 @@ void QueryManager::OnUpdate(const std::string& class_name, ObjectId id) {
   std::lock_guard<std::mutex> lock(mu_);
   // Continuous queries over the updated class must be re-evaluated
   // ("a continuous query CQ has to be reevaluated when an update occurs
-  // that may change the set of tuples Answer(CQ)", Section 2.3).
+  // that may change the set of tuples Answer(CQ)", Section 2.3) — but an
+  // update to one object only disturbs the Answer rows that bind it, so
+  // record *which* object went dirty and coalesce repeats; Refresh then
+  // re-derives just those rows (docs/incremental_eval.md).
   for (auto& [qid, cq] : continuous_) {
     for (const FromBinding& fb : cq.query.from) {
       if (fb.class_name == class_name) {
-        cq.dirty = true;
+        cq.dirty_objects[class_name].insert(id);
         break;
       }
     }
@@ -123,17 +128,116 @@ Status QueryManager::Cancel(QueryId id) {
   return Status::NotFound("query " + std::to_string(id));
 }
 
+bool QueryManager::NeedsRefresh(const Continuous& cq, Tick now) const {
+  return cq.dirty || !cq.dirty_objects.empty() || now > cq.expires_at;
+}
+
 Status QueryManager::Refresh(Continuous* cq) {
   Tick now = db_->Now();
+  if (!NeedsRefresh(*cq, now)) return Status::OK();
+  bool expired = cq->evaluations == 0 || now > cq->expires_at;
+  if (options_.enable_delta_refresh && !cq->dirty && !expired &&
+      !cq->dirty_objects.empty()) {
+    // Bail to the full path when most of the domain is dirty: the
+    // restricted passes would approach full cost, plus eviction/splice.
+    size_t dirty_total = 0;
+    for (const auto& [cls_name, ids] : cq->dirty_objects) {
+      dirty_total += ids.size();
+    }
+    size_t domain_total = 0;
+    for (const FromBinding& fb : cq->query.from) {
+      auto cls = db_->GetClass(fb.class_name);
+      if (cls.ok()) domain_total += (*cls)->size();
+    }
+    if (domain_total > 0 &&
+        static_cast<double>(dirty_total) <=
+            options_.delta_max_dirty_fraction *
+                static_cast<double>(domain_total)) {
+      Status delta = RefreshDelta(cq);
+      if (delta.ok()) return delta;
+      // Delta failed (e.g. an injected fault): the relation may be
+      // half-spliced, so fall through to a full re-evaluation.
+    }
+  }
+  return RefreshFull(cq);
+}
+
+Status QueryManager::RefreshFull(Continuous* cq) {
+  Tick now = db_->Now();
+  if (cq->evaluations == 0 || now > cq->expires_at) {
+    // Re-anchor the window only at registration and on expiry. Update-
+    // triggered refreshes keep the window so delta and full paths stay
+    // byte-identical (and interval-cache fingerprints, which embed the
+    // window, stay warm).
+    cq->window_begin = now;
+    cq->expires_at = TickSaturatingAdd(now, options_.horizon);
+    // Entries keyed to windows the clock has outrun can never be probed
+    // again; drop them instead of letting them crowd the cache.
+    if (cache_ != nullptr) cache_->EvictWindowsEndingBefore(now);
+  }
   FtlEvaluator eval(*db_, EvalOptions());
   MOST_ASSIGN_OR_RETURN(
-      cq->answer,
-      eval.EvaluateQuery(
-          cq->query, Interval(now, TickSaturatingAdd(now, options_.horizon))));
+      cq->full, eval.EvaluateQueryUnprojected(
+                    cq->query, Interval(cq->window_begin, cq->expires_at)));
+  cq->answer = cq->full.Project(cq->query.retrieve);
   cq->evaluated_at = now;
-  cq->expires_at = TickSaturatingAdd(now, options_.horizon);
   cq->dirty = false;
+  cq->dirty_objects.clear();
   ++cq->evaluations;
+  ++cq->full_evaluations;
+  total_full_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status QueryManager::RefreshDelta(Continuous* cq) {
+  MOST_FAILPOINT("ftl/delta/refresh");
+  Tick now = db_->Now();
+  Interval window(cq->window_begin, cq->expires_at);
+  const std::vector<std::string>& vars = cq->full.vars;
+  // Dirty ids per relation column (null = column's class saw no update).
+  std::vector<const std::set<ObjectId>*> col_dirty(vars.size(), nullptr);
+  for (size_t i = 0; i < vars.size(); ++i) {
+    for (const FromBinding& fb : cq->query.from) {
+      if (fb.var == vars[i]) {
+        auto it = cq->dirty_objects.find(fb.class_name);
+        if (it != cq->dirty_objects.end()) col_dirty[i] = &it->second;
+        break;
+      }
+    }
+  }
+  // 1. Evict every row binding a dirty object: those are exactly the rows
+  //    an update can have changed (the relation is pointwise in its
+  //    bindings), including rows of deleted objects, which the restricted
+  //    passes will simply not re-derive.
+  for (auto it = cq->full.rows.begin(); it != cq->full.rows.end();) {
+    bool evict = false;
+    for (size_t i = 0; i < vars.size() && !evict; ++i) {
+      evict = col_dirty[i] != nullptr && col_dirty[i]->count(it->first[i]) > 0;
+    }
+    it = evict ? cq->full.rows.erase(it) : std::next(it);
+  }
+  // 2. One restricted pass per dirty column: variable i pinned to the
+  //    dirty ids, every other domain unrestricted. A row binding dirty
+  //    objects in several columns is re-derived by each of their passes
+  //    with identical tick sets, so the splice dedupes by binding.
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (col_dirty[i] == nullptr) continue;
+    FtlEvaluator::Options opts = EvalOptions();
+    opts.domain_restrictions[vars[i]] =
+        std::make_shared<const std::set<ObjectId>>(*col_dirty[i]);
+    FtlEvaluator eval(*db_, opts);
+    MOST_ASSIGN_OR_RETURN(TemporalRelation part,
+                          eval.EvaluateQueryUnprojected(cq->query, window));
+    for (auto& [binding, when] : part.rows) {
+      cq->full.rows.emplace(binding, std::move(when));
+    }
+  }
+  cq->answer = cq->full.Project(cq->query.retrieve);
+  cq->evaluated_at = now;
+  cq->dirty_objects.clear();
+  ++cq->evaluations;
+  ++cq->delta_evaluations;
+  total_delta_refreshes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -142,22 +246,36 @@ Result<std::vector<AnswerTuple>> QueryManager::ContinuousAnswer(QueryId id) {
   return ContinuousAnswerLocked(id);
 }
 
-Confidence QueryManager::BindingConfidence(
-    const FtlQuery& query, const std::vector<std::string>& vars,
-    const std::vector<ObjectId>& binding, Tick now) const {
-  if (options_.staleness_horizon < 0) return Confidence::kCertain;
-  for (size_t i = 0; i < vars.size() && i < binding.size(); ++i) {
-    const std::string* class_name = nullptr;
+QueryManager::ConfidenceColumns QueryManager::ResolveConfidenceColumns(
+    const FtlQuery& query, const std::vector<std::string>& vars) const {
+  // Resolved once per relation read; the per-row loop then only does
+  // object lookups instead of rescanning query.from and the class
+  // registry for every (row, column) pair.
+  ConfidenceColumns cols;
+  cols.columns.resize(vars.size());
+  if (options_.staleness_horizon < 0) return cols;
+  for (size_t i = 0; i < vars.size(); ++i) {
     for (const FromBinding& fb : query.from) {
       if (fb.var == vars[i]) {
-        class_name = &fb.class_name;
+        cols.columns[i].check = true;
+        auto cls = db_->GetClass(fb.class_name);
+        if (cls.ok()) cols.columns[i].cls = *cls;
         break;
       }
     }
-    if (class_name == nullptr) continue;
-    auto cls = db_->GetClass(*class_name);
-    if (!cls.ok()) return Confidence::kStale;
-    auto obj = (*cls)->Get(binding[i]);
+  }
+  return cols;
+}
+
+Confidence QueryManager::BindingConfidence(
+    const ConfidenceColumns& cols, const std::vector<ObjectId>& binding,
+    Tick now) const {
+  if (options_.staleness_horizon < 0) return Confidence::kCertain;
+  for (size_t i = 0; i < cols.columns.size() && i < binding.size(); ++i) {
+    const ConfidenceColumns::Column& col = cols.columns[i];
+    if (!col.check) continue;
+    if (col.cls == nullptr) return Confidence::kStale;  // Class vanished.
+    auto obj = col.cls->Get(binding[i]);
     // A deleted object is as silent as an object past the horizon.
     if (!obj.ok()) return Confidence::kStale;
     if (IsStale(**obj, now, options_.staleness_horizon)) {
@@ -174,18 +292,18 @@ Result<std::vector<AnswerTuple>> QueryManager::ContinuousAnswerLocked(
     return Status::NotFound("continuous query " + std::to_string(id));
   }
   Continuous& cq = it->second;
-  if (cq.dirty || db_->Now() > cq.expires_at) {
+  if (NeedsRefresh(cq, db_->Now())) {
     MOST_RETURN_IF_ERROR(Refresh(&cq));
   }
   Tick now = db_->Now();
+  ConfidenceColumns cols = ResolveConfidenceColumns(cq.query, cq.answer.vars);
   std::vector<AnswerTuple> out;
   for (const auto& [binding, when] : cq.answer.rows) {
     // Confidence is re-derived at read time, not cached at evaluation
     // time: objects drift into staleness as the clock advances with no
     // update (and pop back to certain on a fresh one) without any
     // re-evaluation.
-    Confidence confidence =
-        BindingConfidence(cq.query, cq.answer.vars, binding, now);
+    Confidence confidence = BindingConfidence(cols, binding, now);
     for (const Interval& iv : when.intervals()) {
       out.push_back({binding, iv, confidence});
     }
@@ -229,12 +347,29 @@ Result<uint64_t> QueryManager::EvaluationCount(QueryId id) const {
   return it->second.evaluations;
 }
 
+Result<QueryManager::RefreshCounters> QueryManager::QueryRefreshCounters(
+    QueryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = continuous_.find(id);
+  if (it == continuous_.end()) {
+    return Status::NotFound("continuous query " + std::to_string(id));
+  }
+  return RefreshCounters{it->second.delta_evaluations,
+                         it->second.full_evaluations};
+}
+
+QueryManager::RefreshCounters QueryManager::TotalRefreshCounters() const {
+  return RefreshCounters{
+      total_delta_refreshes_.load(std::memory_order_relaxed),
+      total_full_refreshes_.load(std::memory_order_relaxed)};
+}
+
 Status QueryManager::TickAll() {
   std::lock_guard<std::mutex> lock(mu_);
   Tick now = db_->Now();
   std::vector<Continuous*> stale;
   for (auto& [id, cq] : continuous_) {
-    if (cq.dirty || now > cq.expires_at) stale.push_back(&cq);
+    if (NeedsRefresh(cq, now)) stale.push_back(&cq);
   }
   // One batch through the pool: map nodes are stable and each worker
   // refreshes a distinct entry, so no further locking is needed. Each
@@ -273,7 +408,7 @@ Status QueryManager::Poll() {
     Tick now = db_->Now();
     for (auto& [id, cq] : continuous_) {
       if (!cq.action) continue;
-      if (cq.dirty || now > cq.expires_at) {
+      if (NeedsRefresh(cq, now)) {
         MOST_RETURN_IF_ERROR(Refresh(&cq));
       }
       for (const auto& [binding, when] : cq.answer.rows) {
@@ -290,12 +425,33 @@ Status QueryManager::Poll() {
         }
       }
       cq.last_polled = now;
+      // GC fired state the advancing clock has made unreachable. An entry
+      // can only suppress a future fire for an interval containing a tick
+      // >= now (everything earlier is skipped by the last_polled guard),
+      // so entries whose binding left the answer (deleted / updated away)
+      // or whose intervals all ended before now are dead weight — without
+      // this the map grows with every binding the trigger ever fired on.
+      for (auto fit = cq.fired.begin(); fit != cq.fired.end();) {
+        auto row = cq.answer.rows.find(fit->first);
+        bool live = row != cq.answer.rows.end() && !row->second.empty() &&
+                    row->second.Max() >= now;
+        fit = live ? std::next(fit) : cq.fired.erase(fit);
+      }
     }
   }
   for (PendingFire& fire : pending) {
     fire.action(fire.binding, fire.at);
   }
   return Status::OK();
+}
+
+Result<size_t> QueryManager::TriggerFiredEntries(QueryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = continuous_.find(id);
+  if (it == continuous_.end()) {
+    return Status::NotFound("continuous query " + std::to_string(id));
+  }
+  return it->second.fired.size();
 }
 
 Result<QueryManager::QueryId> QueryManager::RegisterPersistent(
@@ -451,12 +607,13 @@ Result<std::vector<AnswerTuple>> QueryManager::PersistentAnswer(QueryId id) {
                                   TickSaturatingAdd(pq.anchored_at,
                                                     options_.horizon))));
   Tick now = db_->Now();
+  // Staleness is judged against the live database, not the shadow
+  // history: a silent object casts doubt on answers derived from its
+  // recorded (and extrapolated) timeline too.
+  ConfidenceColumns cols = ResolveConfidenceColumns(pq.query, rel.vars);
   std::vector<AnswerTuple> out;
   for (const auto& [binding, when] : rel.rows) {
-    // Staleness is judged against the live database, not the shadow
-    // history: a silent object casts doubt on answers derived from its
-    // recorded (and extrapolated) timeline too.
-    Confidence confidence = BindingConfidence(pq.query, rel.vars, binding, now);
+    Confidence confidence = BindingConfidence(cols, binding, now);
     for (const Interval& iv : when.intervals()) {
       out.push_back({binding, iv, confidence});
     }

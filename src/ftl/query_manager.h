@@ -1,10 +1,12 @@
 #ifndef MOST_FTL_QUERY_MANAGER_H_
 #define MOST_FTL_QUERY_MANAGER_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -80,6 +82,19 @@ class QueryManager {
     /// retained in PossibleAnswer). Negative disables staleness tracking
     /// (every tuple is kCertain, the pre-degraded-mode behaviour).
     Tick staleness_horizon = -1;
+    /// Delta re-evaluation: an update to object o only invalidates the
+    /// Answer(CQ) rows that bind o (FTL relations are pointwise in their
+    /// bindings), so a refresh triggered purely by updates evicts those
+    /// rows and re-derives them with the evaluator's variable domains
+    /// restricted to the updated objects, instead of re-running the whole
+    /// query (docs/incremental_eval.md). Answers are byte-identical to a
+    /// full re-evaluation; disable to force the legacy full path.
+    bool enable_delta_refresh = true;
+    /// Fall back to a full re-evaluation when the coalesced dirty set
+    /// exceeds this fraction of the query's combined FROM domains — with
+    /// most objects dirty the restricted passes would approach full cost
+    /// while paying eviction and splice overhead on top.
+    double delta_max_dirty_fraction = 0.25;
   };
 
   explicit QueryManager(MostDatabase* db) : QueryManager(db, Options()) {}
@@ -133,7 +148,20 @@ class QueryManager {
 
   /// Number of times this query's Answer set was (re)computed — the
   /// quantity experiment E3 compares against per-tick re-evaluation.
+  /// Delta and full refreshes both count.
   Result<uint64_t> EvaluationCount(QueryId id) const;
+
+  /// How a query's refreshes were served: by the delta path (evict dirty
+  /// rows + restricted re-evaluation + splice) or by a full window
+  /// re-evaluation. The benchmark and the CI differential stage assert
+  /// delta_evaluations > 0 to prove the fast path actually ran.
+  struct RefreshCounters {
+    uint64_t delta_evaluations = 0;
+    uint64_t full_evaluations = 0;
+  };
+  Result<RefreshCounters> QueryRefreshCounters(QueryId id) const;
+  /// Manager-wide totals across all queries (including cancelled ones).
+  RefreshCounters TotalRefreshCounters() const;
 
   /// Advances every registered continuous query to the current tick in one
   /// batch: stale answers (dirty or expired) are re-evaluated, fanned out
@@ -172,17 +200,43 @@ class QueryManager {
                                   TriggerAction action);
 
   /// Advances trigger state to the current clock tick, firing any actions
-  /// whose intervals were entered since the last poll.
+  /// whose intervals were entered since the last poll. Fired-state entries
+  /// whose intervals are entirely in the past (or whose binding left the
+  /// answer, e.g. a deleted object) are garbage-collected so the per-
+  /// trigger memory tracks the live answer, not the query's history.
   Status Poll();
+
+  /// Number of (binding -> last fire tick) entries a trigger currently
+  /// retains; exposed so tests can pin down the Poll-time GC.
+  Result<size_t> TriggerFiredEntries(QueryId id) const;
 
  private:
   struct Continuous {
     FtlQuery query;
+    /// Unprojected Answer relation (one column per WHERE/RETRIEVE
+    /// variable). This is the representation the delta path maintains:
+    /// its rows are pointwise in their bindings, so rows touching updated
+    /// objects can be evicted and re-derived independently. `answer` is
+    /// its projection onto the RETRIEVE variables (projection aggregates
+    /// over dropped columns, so it cannot be spliced directly).
+    TemporalRelation full;
     TemporalRelation answer;
     Tick evaluated_at = 0;
+    /// Evaluation window [window_begin, expires_at]. Re-anchored to
+    /// [now, now + horizon] only at first evaluation and on expiry;
+    /// update-triggered refreshes re-evaluate over the existing window so
+    /// the delta splice and a full re-evaluation agree byte for byte.
+    Tick window_begin = 0;
     Tick expires_at = 0;
+    /// Force a full re-evaluation (registration; delta-path failure).
     bool dirty = true;
+    /// Updates coalesced since the last refresh: class -> updated object
+    /// ids. Many updates to one object collapse into one dirty entry, so
+    /// refresh cost scales with distinct dirty objects, not update count.
+    std::map<std::string, std::set<ObjectId>> dirty_objects;
     uint64_t evaluations = 0;
+    uint64_t delta_evaluations = 0;
+    uint64_t full_evaluations = 0;
     // Trigger state.
     TriggerAction action;
     Tick last_polled = -1;
@@ -204,15 +258,38 @@ class QueryManager {
         recordings;
   };
 
-  /// Re-evaluates one entry. Callers must either hold mu_ or (TickAll)
-  /// guarantee exclusive access to this entry; distinct entries may be
-  /// refreshed concurrently.
+  /// True when the entry's answer is not current: forced dirty, pending
+  /// coalesced updates, or the evaluation window has expired.
+  bool NeedsRefresh(const Continuous& cq, Tick now) const;
+  /// Brings one entry up to date: no-op when clean, delta when only a
+  /// small dirty set is pending, full otherwise (or when the delta path
+  /// errors). Callers must either hold mu_ or (TickAll) guarantee
+  /// exclusive access to this entry; distinct entries may be refreshed
+  /// concurrently.
   Status Refresh(Continuous* cq);
-  /// kStale if any object bound by `binding` (whose positions correspond
-  /// to the sorted `vars`, each declared in `query.from`) is past the
-  /// staleness horizon at `now`; kCertain otherwise.
-  Confidence BindingConfidence(const FtlQuery& query,
-                               const std::vector<std::string>& vars,
+  /// Full window re-evaluation; re-anchors the window at registration and
+  /// on expiry (evicting outrun interval-cache windows).
+  Status RefreshFull(Continuous* cq);
+  /// Delta re-evaluation over the existing window: evicts rows binding a
+  /// dirty object, runs one domain-restricted pass per dirty column, and
+  /// splices the results back into the unprojected relation.
+  Status RefreshDelta(Continuous* cq);
+
+  /// Per-column staleness lookup state, resolved once per relation read
+  /// instead of rescanning query.from and the class registry for every
+  /// row (the read path is O(rows); the resolution is O(vars * from)).
+  struct ConfidenceColumns {
+    struct Column {
+      const ObjectClass* cls = nullptr;  ///< Null with check => missing class.
+      bool check = false;                ///< Column is a FROM variable.
+    };
+    std::vector<Column> columns;
+  };
+  ConfidenceColumns ResolveConfidenceColumns(
+      const FtlQuery& query, const std::vector<std::string>& vars) const;
+  /// kStale if any checked column's object is past the staleness horizon
+  /// at `now` (or deleted, or its class vanished); kCertain otherwise.
+  Confidence BindingConfidence(const ConfidenceColumns& cols,
                                const std::vector<ObjectId>& binding,
                                Tick now) const;
   FtlEvaluator::Options EvalOptions() const;
@@ -242,6 +319,10 @@ class QueryManager {
   QueryId next_id_ = 1;
   std::map<QueryId, Continuous> continuous_;
   std::map<QueryId, Persistent> persistent_;
+  /// Manager-wide refresh totals. Atomic because TickAll fans refreshes
+  /// of distinct entries out across the pool while holding mu_.
+  std::atomic<uint64_t> total_delta_refreshes_{0};
+  std::atomic<uint64_t> total_full_refreshes_{0};
 };
 
 }  // namespace most

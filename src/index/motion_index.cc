@@ -117,6 +117,34 @@ std::vector<ObjectId> MotionIndex::QueryRegionCandidates(
   return Dedup(std::move(out));
 }
 
+std::vector<ObjectId> MotionIndex::QueryNearTrajectory(
+    const DynamicAttribute& x, const DynamicAttribute& y, double radius,
+    Interval window) const {
+  ObjectState probe;
+  probe.x = x;
+  probe.y = y;
+  std::vector<ObjectId> out;
+  for (const Box& box : ComputeBoxes(probe)) {
+    // Segment boxes cover the epoch; only the ones overlapping the window
+    // can witness proximity inside it.
+    if (box.max[0] < static_cast<double>(window.begin) ||
+        box.min[0] > static_cast<double>(window.end)) {
+      continue;
+    }
+    Box query = box;
+    query.min[0] = std::max(query.min[0], static_cast<double>(window.begin));
+    query.max[0] = std::min(query.max[0], static_cast<double>(window.end));
+    query.min[1] -= radius;
+    query.min[2] -= radius;
+    query.max[1] += radius;
+    query.max[2] += radius;
+    rtree_.Search(query, [&](const Box&, const ObjectId& id) {
+      out.push_back(id);
+    });
+  }
+  return Dedup(std::move(out));
+}
+
 std::vector<ObjectId> MotionIndex::QueryRegionExact(const BoundingBox& region,
                                                     Tick t) const {
   std::vector<ObjectId> out;

@@ -54,6 +54,20 @@ class MotionIndex {
   std::vector<ObjectId> QueryRegionExact(const BoundingBox& region,
                                          Tick t) const;
 
+  /// Candidate objects that may come within `radius` of the probe
+  /// trajectory (x, y) at some tick of `window`: the probe is cut into the
+  /// index's time-slab segments, each segment box dilated by `radius` in
+  /// x/y, and the union of the R-tree hits returned (sorted, deduplicated).
+  /// Conservative — an object absent from the result is farther than
+  /// `radius` from the probe throughout `window` — which is what lets the
+  /// FTL evaluator's delta passes pair restricted objects with index-pruned
+  /// join partners instead of scanning the class. `window` must lie within
+  /// the epoch.
+  std::vector<ObjectId> QueryNearTrajectory(const DynamicAttribute& x,
+                                            const DynamicAttribute& y,
+                                            double radius,
+                                            Interval window) const;
+
   size_t last_search_nodes() const { return rtree_.last_search_nodes; }
 
  private:

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "ftl/parser.h"
 
 namespace most {
@@ -264,6 +265,246 @@ TEST_F(QueryManagerTest, TriggerRespondsToUpdates) {
   ASSERT_TRUE(db_.SetMotion("CARS", car, {5, 5}, {0, 0}).ok());
   ASSERT_TRUE(qm_.Poll().ok());
   EXPECT_EQ(fires, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Delta maintenance: update-triggered refreshes splice only the dirty rows.
+// ---------------------------------------------------------------------------
+
+TEST_F(QueryManagerTest, DeltaRefreshSplicesUpdatedRowsOnly) {
+  // Four cars so one dirty object sits exactly at the default 0.25
+  // fraction: c0/c2 inside P, c1/c3 far away.
+  ObjectId c0 = AddCar({5, 5}, {0, 0});
+  ObjectId c1 = AddCar({100, 100}, {0, 0});
+  ObjectId c2 = AddCar({5, 6}, {0, 0});
+  AddCar({200, 200}, {0, 0});
+  auto id = qm_.RegisterContinuous(
+      Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)"));
+  ASSERT_TRUE(id.ok());
+  auto counters = qm_.QueryRefreshCounters(*id);
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->full_evaluations, 1u);  // Registration.
+  EXPECT_EQ(counters->delta_evaluations, 0u);
+
+  // c1 teleports into P: the refresh must be served by the delta path and
+  // add exactly c1's row.
+  ASSERT_TRUE(db_.SetMotion("CARS", c1, {6, 6}, {0, 0}).ok());
+  auto answer = qm_.ContinuousAnswer(*id);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->size(), 3u);
+  counters = qm_.QueryRefreshCounters(*id);
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->delta_evaluations, 1u);
+  EXPECT_EQ(counters->full_evaluations, 1u);
+
+  // c0 leaves P: its row must be evicted by the next delta refresh while
+  // the clean rows (c1, c2) survive untouched.
+  ASSERT_TRUE(db_.SetMotion("CARS", c0, {100, 5}, {0, 0}).ok());
+  answer = qm_.ContinuousAnswer(*id);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->size(), 2u);
+  for (const AnswerTuple& t : *answer) {
+    EXPECT_TRUE(t.binding == std::vector<ObjectId>{c1} ||
+                t.binding == std::vector<ObjectId>{c2});
+  }
+  counters = qm_.QueryRefreshCounters(*id);
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->delta_evaluations, 2u);
+  EXPECT_EQ(counters->full_evaluations, 1u);
+  EXPECT_EQ(qm_.EvaluationCount(*id).value(), 3u);
+}
+
+TEST_F(QueryManagerTest, UpdateTriggeredRefreshKeepsWindowAnchor) {
+  // The car is inside P during [5, 15]. An update to an unrelated object
+  // at t=10 re-derives the answer over the *original* window, so the
+  // already-elapsed part of the interval survives — under the old
+  // re-anchor-on-every-refresh policy it would be clipped to [10, 15],
+  // and the delta path (which keeps clean rows verbatim) could never
+  // match the full path.
+  ObjectId car = AddCar({-5, 5}, {1, 0});
+  ObjectId far = AddCar({300, 300}, {0, 0});
+  AddCar({310, 300}, {0, 0});
+  AddCar({320, 300}, {0, 0});
+  auto id = qm_.RegisterContinuous(
+      Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)"));
+  ASSERT_TRUE(id.ok());
+
+  db_.clock().AdvanceTo(10);
+  ASSERT_TRUE(db_.SetMotion("CARS", far, {301, 300}, {0, 0}).ok());
+  auto answer = qm_.ContinuousAnswer(*id);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->size(), 1u);
+  EXPECT_EQ((*answer)[0].binding, (std::vector<ObjectId>{car}));
+  EXPECT_EQ((*answer)[0].interval, Interval(5, 15));
+}
+
+TEST_F(QueryManagerTest, LargeDirtySetFallsBackToFullRefresh) {
+  ObjectId c0 = AddCar({5, 5}, {0, 0});
+  ObjectId c1 = AddCar({100, 100}, {0, 0});
+  AddCar({5, 6}, {0, 0});
+  AddCar({200, 200}, {0, 0});
+  auto id = qm_.RegisterContinuous(
+      Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)"));
+  ASSERT_TRUE(id.ok());
+
+  // Two of four objects dirty (0.5 > default 0.25): the coalesced batch
+  // must be served by a single full re-evaluation, not the delta path.
+  ASSERT_TRUE(db_.SetMotion("CARS", c0, {5.5, 5}, {0, 0}).ok());
+  ASSERT_TRUE(db_.SetMotion("CARS", c1, {6, 6}, {0, 0}).ok());
+  auto answer = qm_.ContinuousAnswer(*id);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->size(), 3u);
+  auto counters = qm_.QueryRefreshCounters(*id);
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->delta_evaluations, 0u);
+  EXPECT_EQ(counters->full_evaluations, 2u);
+}
+
+TEST_F(QueryManagerTest, DeltaRefreshHandlesDeletedObjects) {
+  // Five cars inside P; deleting one is a 1/4-of-remaining-domain dirty
+  // set, inside the delta threshold.
+  std::vector<ObjectId> cars;
+  for (int i = 0; i < 5; ++i) {
+    cars.push_back(AddCar({5, 5 + 0.5 * i}, {0, 0}));
+  }
+  auto id = qm_.RegisterContinuous(
+      Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_EQ(qm_.ContinuousAnswer(*id)->size(), 5u);
+
+  ASSERT_TRUE(db_.DeleteObject("CARS", cars[2]).ok());
+  auto answer = qm_.ContinuousAnswer(*id);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->size(), 4u);
+  for (const AnswerTuple& t : *answer) {
+    EXPECT_NE(t.binding, (std::vector<ObjectId>{cars[2]}));
+  }
+  auto counters = qm_.QueryRefreshCounters(*id);
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->delta_evaluations, 1u);
+}
+
+TEST_F(QueryManagerTest, DeltaRefreshFailureFallsBackToFull) {
+  ObjectId c1 = AddCar({100, 100}, {0, 0});
+  AddCar({5, 5}, {0, 0});
+  AddCar({5, 6}, {0, 0});
+  AddCar({200, 200}, {0, 0});
+  auto id = qm_.RegisterContinuous(
+      Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)"));
+  ASSERT_TRUE(id.ok());
+
+  auto& reg = FailpointRegistry::Instance();
+  ASSERT_TRUE(reg.Arm("ftl/delta/refresh", "error*1").ok());
+  uint64_t fired_before = reg.triggered("ftl/delta/refresh");
+  ASSERT_TRUE(db_.SetMotion("CARS", c1, {6, 6}, {0, 0}).ok());
+  auto answer = qm_.ContinuousAnswer(*id);
+  reg.Disarm("ftl/delta/refresh");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->size(), 3u);  // Correct despite the injected fault.
+  EXPECT_GT(reg.triggered("ftl/delta/refresh"), fired_before);
+  auto counters = qm_.QueryRefreshCounters(*id);
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->delta_evaluations, 0u);
+  EXPECT_EQ(counters->full_evaluations, 2u);
+}
+
+TEST_F(QueryManagerTest, MultiVariableTriggerFiresOncePerIntervalUnderDelta) {
+  // DIST(o, n) <= 5 over two cars: a stands at the origin-side of P, b
+  // approaches. The (a, b) interval starts at [25, 35]; an update between
+  // polls shifts it earlier to [19, 29] through the delta path, and the
+  // trigger must still fire exactly once per (binding, interval).
+  QueryManager qm(&db_, {.horizon = 200, .delta_max_dirty_fraction = 1.0});
+  ObjectId a = AddCar({0, 5}, {0, 0});
+  ObjectId b = AddCar({30, 5}, {-1, 0});
+  std::map<std::vector<ObjectId>, std::vector<Tick>> fires;
+  auto id = qm.RegisterTrigger(
+      Parse("RETRIEVE o, n FROM CARS o, CARS n WHERE DIST(o, n) <= 5"),
+      [&](const std::vector<ObjectId>& binding, Tick at) {
+        fires[binding].push_back(at);
+      });
+  ASSERT_TRUE(id.ok());
+
+  // First poll: only the self-pairs (distance 0 forever) have entered.
+  db_.clock().AdvanceTo(5);
+  ASSERT_TRUE(qm.Poll().ok());
+  EXPECT_EQ(fires.size(), 2u);
+  EXPECT_EQ((fires[{a, a}]), (std::vector<Tick>{0}));
+  EXPECT_EQ((fires[{b, b}]), (std::vector<Tick>{0}));
+
+  // Update between polls: b jumps closer, shifting the (a, b) interval
+  // from [25, 35] to [19, 29]. Served by the delta path.
+  db_.clock().AdvanceTo(10);
+  ASSERT_TRUE(db_.SetMotion("CARS", b, {14, 5}, {-1, 0}).ok());
+  db_.clock().AdvanceTo(20);
+  ASSERT_TRUE(qm.Poll().ok());
+  ASSERT_EQ((fires.count({a, b})), 1u);
+  EXPECT_EQ((fires[{a, b}]), (std::vector<Tick>{19}));
+  EXPECT_EQ((fires[{b, a}]), (std::vector<Tick>{19}));
+  auto counters = qm.QueryRefreshCounters(*id);
+  ASSERT_TRUE(counters.ok());
+  EXPECT_GE(counters->delta_evaluations, 1u);
+
+  // Another splice: b parks within range, widening the (a, b) interval to
+  // the whole window — its begin (0) is now *earlier* than the recorded
+  // fire tick (19). That is still one satisfaction interval the trigger
+  // already announced, so no re-fire.
+  db_.clock().AdvanceTo(21);
+  ASSERT_TRUE(db_.SetMotion("CARS", b, {4, 5}, {0, 0}).ok());
+  db_.clock().AdvanceTo(25);
+  ASSERT_TRUE(qm.Poll().ok());
+  EXPECT_EQ((fires[{a, b}]).size(), 1u);
+  EXPECT_EQ((fires[{b, a}]).size(), 1u);
+  EXPECT_EQ((fires[{a, a}]).size(), 1u);
+  EXPECT_EQ((fires[{b, b}]).size(), 1u);
+}
+
+TEST_F(QueryManagerTest, PollGarbageCollectsSpentFiredState) {
+  // Car crosses P during [20, 30]; once the clock passes the interval the
+  // fired entry is unreachable and must be dropped.
+  ObjectId car = AddCar({-20, 5}, {1, 0});
+  int fires = 0;
+  auto id = qm_.RegisterTrigger(
+      Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)"),
+      [&](const std::vector<ObjectId>&, Tick) { ++fires; });
+  ASSERT_TRUE(id.ok());
+
+  db_.clock().AdvanceTo(25);
+  ASSERT_TRUE(qm_.Poll().ok());
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(qm_.TriggerFiredEntries(*id).value(), 1u);
+
+  db_.clock().AdvanceTo(40);  // Interval [20, 30] fully in the past.
+  ASSERT_TRUE(qm_.Poll().ok());
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(qm_.TriggerFiredEntries(*id).value(), 0u);
+
+  // A deleted object's fired state goes with its answer row.
+  ObjectId visitor = AddCar({5, 5}, {0, 0});
+  ASSERT_TRUE(qm_.Poll().ok());
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(qm_.TriggerFiredEntries(*id).value(), 1u);
+  ASSERT_TRUE(db_.DeleteObject("CARS", visitor).ok());
+  ASSERT_TRUE(qm_.Poll().ok());
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(qm_.TriggerFiredEntries(*id).value(), 0u);
+  (void)car;
+}
+
+TEST_F(QueryManagerTest, ExpiryEvictsOutrunCacheWindows) {
+  QueryManager qm(&db_,
+                  {.horizon = 200, .enable_interval_cache = true});
+  AddCar({5, 5}, {0, 0});
+  auto id = qm.RegisterContinuous(
+      Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_GT(qm.interval_cache()->stats().entries, 0u);
+
+  // Outrun the window: the re-anchoring refresh must drop entries keyed
+  // to the dead window instead of letting them linger forever.
+  uint64_t invalidations_before = qm.interval_cache()->stats().invalidations;
+  db_.clock().AdvanceTo(500);
+  ASSERT_TRUE(qm.ContinuousAnswer(*id).ok());
+  EXPECT_GT(qm.interval_cache()->stats().invalidations, invalidations_before);
 }
 
 // ---------------------------------------------------------------------------
