@@ -21,8 +21,10 @@
 #include <fstream>
 #include <functional>
 #include <limits>
+#include <sstream>
 #include <vector>
 
+#include "bench_obs.h"
 #include "ftl/parser.h"
 #include "ftl/query_manager.h"
 #include "workload/fleet.h"
@@ -253,7 +255,7 @@ void EmitBenchJson(const char* path) {
     }
   }
 
-  std::ofstream out(path);
+  std::ostringstream out;
   out << "{\n"
       << "  \"benchmark\": \"continuous\",\n"
       << "  \"query\": \"inside_region\",\n"
@@ -278,8 +280,8 @@ void EmitBenchJson(const char* path) {
       << ", \"full_ns_per_tick\": " << full_ns
       << ", \"delta_ns_per_tick\": " << delta_ns
       << ", \"delta_speedup\": " << (delta_ns > 0 ? full_ns / delta_ns : 0)
-      << "}\n"
       << "}\n";
+  benchio::FinishBenchJson(path, "continuous", out.str());
 }
 
 }  // namespace most

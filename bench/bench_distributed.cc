@@ -21,8 +21,10 @@
 #include <cmath>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 
+#include "bench_obs.h"
 #include "distributed/coordinator.h"
 #include "distributed/mobile_node.h"
 #include "ftl/parser.h"
@@ -220,7 +222,7 @@ BENCHMARK(BM_DistQuery)
 }  // namespace
 
 void EmitBenchJson(const char* out_path) {
-  std::ofstream out(out_path);
+  std::ostringstream out;
   out << "{\n  \"benchmark\": \"dist_query\",\n  \"vehicles\": 100,\n";
   out << "  \"runs\": [\n";
   bool first = true;
@@ -246,7 +248,8 @@ void EmitBenchJson(const char* out_path) {
           << ", \"completion_tick\": " << r.completion_tick << "}";
     }
   }
-  out << "\n  ]\n}\n";
+  out << "\n  ]\n";
+  benchio::FinishBenchJson(out_path, "dist", out.str());
 }
 
 }  // namespace most

@@ -9,13 +9,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <limits>
+#include <sstream>
 #include <thread>
 
+#include "bench_obs.h"
 #include "common/thread_pool.h"
 #include "ftl/eval.h"
 #include "ftl/interval_cache.h"
@@ -266,7 +269,34 @@ void EmitBenchJson(const char* path) {
   // MeasureNsPerOp's warm-up fills the cache; every timed run then hits.
   double warm_ns = MeasureNsPerOp([&] { eval_with(nullptr, &cache); });
 
-  std::ofstream out(path);
+  // Instrumentation overhead: the same serial evaluation with the metrics
+  // registry armed vs. the MOST_METRICS=off kill switch. CI holds the
+  // delta under 5%. The two sides are measured interleaved (armed,
+  // disarmed, armed, ...) taking the best of each, so clock-frequency
+  // drift or cache warm-up skews both equally instead of one side.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  auto time_once = [&] {
+    auto t0 = std::chrono::steady_clock::now();
+    eval_with(nullptr, nullptr);
+    auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+  };
+  eval_with(nullptr, nullptr);  // Shared warm-up.
+  double instrumented_ns = std::numeric_limits<double>::infinity();
+  double uninstrumented_ns = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < 7; ++round) {
+    registry.set_enabled(true);
+    instrumented_ns = std::min(instrumented_ns, time_once());
+    registry.set_enabled(false);
+    uninstrumented_ns = std::min(uninstrumented_ns, time_once());
+  }
+  registry.set_enabled(true);
+  double overhead_pct =
+      (instrumented_ns - uninstrumented_ns) / uninstrumented_ns * 100.0;
+
+  std::ostringstream out;
   out << "{\n"
       << "  \"benchmark\": \"ftl_eval\",\n"
       << "  \"query\": \"paper_query_I\",\n"
@@ -284,8 +314,11 @@ void EmitBenchJson(const char* path) {
   out << "},\n"
       << "  \"speedup_4_threads\": " << serial_ns / parallel_ns[4] << ",\n"
       << "  \"cache_cold_ns_per_op\": " << cold_ns << ",\n"
-      << "  \"cache_warm_ns_per_op\": " << warm_ns << "\n"
-      << "}\n";
+      << "  \"cache_warm_ns_per_op\": " << warm_ns << ",\n"
+      << "  \"metrics_on_ns_per_op\": " << instrumented_ns << ",\n"
+      << "  \"metrics_off_ns_per_op\": " << uninstrumented_ns << ",\n"
+      << "  \"metrics_overhead_pct\": " << overhead_pct << "\n";
+  benchio::FinishBenchJson(path, "ftl_eval", out.str());
 }
 
 }  // namespace most

@@ -16,8 +16,10 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <sstream>
 #include <string>
 
+#include "bench_obs.h"
 #include "storage/wal.h"
 
 namespace most {
@@ -123,7 +125,7 @@ void EmitBenchJson(const char* out_path) {
     results["encode_v" + std::to_string(version)] = ns;
   }
 
-  std::ofstream out(out_path);
+  std::ostringstream out;
   out << "{\n  \"benchmark\": \"wal_append\",\n";
   out << "  \"record_bytes\": " << EncodeWalRecord(record).size() << ",\n";
   size_t i = 0;
@@ -131,7 +133,7 @@ void EmitBenchJson(const char* out_path) {
     out << "  \"" << key << "_ns\": " << ns
         << (++i == results.size() ? "\n" : ",\n");
   }
-  out << "}\n";
+  benchio::FinishBenchJson(out_path, "wal", out.str());
 }
 
 }  // namespace most

@@ -44,6 +44,45 @@ echo "=== delta-refresh stage (env-armed probe, ASan) ==="
 MOST_FAILPOINTS="ftl/delta/refresh=noop" ./build-asan/tests/differential_test \
   --gtest_filter='DifferentialTest.DeltaRefresh*'
 
+# Observability stage: the exporter/EXPLAIN goldens re-run explicitly (a
+# ctest filter change can never drop them), then the demo binary's
+# Prometheus exposition is checked against the required-metric allowlist —
+# families from four instrumented subsystems (FTL evaluation, query
+# manager, WAL/storage, network/reliable channel) plus the failpoint
+# collector (docs/observability.md).
+echo "=== observability stage (goldens + exporter allowlist, ASan) ==="
+./build-asan/tests/obs_test
+./build-asan/tests/explain_test
+PROM="$(./build-asan/examples/observability_demo)"
+for metric in \
+  most_ftl_evaluations_total \
+  most_ftl_eval_latency_seconds_bucket \
+  most_qm_refreshes_total \
+  most_qm_refresh_latency_seconds_bucket \
+  most_wal_appends_total \
+  most_checkpoints_total \
+  most_net_messages_sent_total \
+  most_rc_retransmissions_total \
+  most_failpoint_fired_total; do
+  if ! grep -q "^${metric}" <<<"$PROM"; then
+    echo "observability stage: missing required metric '${metric}'"
+    exit 1
+  fi
+done
+
+# Metrics-overhead stage: bench_ftl_eval measures the same serial
+# evaluation with the registry armed vs. the kill switch; the delta must
+# stay under 5% (Release — sanitizer builds would distort the ratio).
+echo "=== metrics-overhead stage (Release, < 5%) ==="
+(cd build-release && MOST_BENCH_VEHICLES=4096 \
+  ./bench/bench_ftl_eval --benchmark_filter=OVERHEAD_ONLY >/dev/null)
+overhead="$(grep -o '"metrics_overhead_pct": *[-0-9.eE+]*' \
+  build-release/BENCH_ftl_eval.json | awk '{print $2}')"
+awk -v o="$overhead" 'BEGIN {
+  printf "metrics overhead: %s%%\n", o
+  if (o >= 5.0) { print "metrics overhead exceeds the 5% budget"; exit 1 }
+}'
+
 if [[ "${1:-}" == "tsan" ]]; then
   run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMOST_SANITIZE=thread
   # The query-manager concurrency suite (TickAll through the pool, atomic

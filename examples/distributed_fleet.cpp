@@ -5,11 +5,13 @@
 // processing strategies for object queries, printing the wireless traffic
 // each one costs.
 
+#include <cstdlib>
 #include <iostream>
 
 #include "distributed/coordinator.h"
 #include "distributed/mobile_node.h"
 #include "ftl/parser.h"
+#include "obs/exporters.h"
 #include "workload/fleet.h"
 
 using namespace most;
@@ -120,5 +122,10 @@ int main() {
             << "  motion updates: " << applied << ", push messages: "
             << net.stats().messages_sent - after_registration
             << " (only answer *changes* are transmitted)\n";
+  // MOST_DUMP_METRICS=1 prints the full engine metrics snapshot (network
+  // drops, retransmissions, coordinator lag, ...) on the way out.
+  if (std::getenv("MOST_DUMP_METRICS") != nullptr) {
+    obs::DumpMetrics(std::cerr);
+  }
   return 0;
 }

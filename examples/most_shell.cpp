@@ -16,6 +16,7 @@
 #include "ftl/nearest.h"
 #include "ftl/parser.h"
 #include "ftl/query_manager.h"
+#include "obs/exporters.h"
 
 using namespace most;
 
@@ -40,7 +41,10 @@ constexpr const char* kHelp = R"(Commands:
   answer <FTL query>             full Answer relation with time intervals
   continuous <FTL query>         register a continuous query (prints handle)
   show <handle>                  current display of a continuous query
+  explain <handle>               per-subformula evaluation profile of the
+                                 last refresh (EXPLAIN ANALYZE)
   cancel <handle>                cancel a continuous query
+  metrics                        dump the engine metrics snapshot
   nearest <from-class> <id> <target-class>
                                  nearest target object, now and over time
   demo                           load a small ready-made world
@@ -204,6 +208,15 @@ class Shell {
         std::cout << "\n";
       }
       std::cout << result->size() << " on display at t=" << db_.Now() << "\n";
+    } else if (cmd == "explain" && t.size() == 2) {
+      auto text = qm_.Explain(std::stoull(t[1]));
+      if (text.ok()) {
+        std::cout << *text;
+      } else {
+        Report(text.status());
+      }
+    } else if (cmd == "metrics") {
+      obs::DumpMetrics(std::cout);
     } else if (cmd == "cancel" && t.size() == 2) {
       Report(qm_.Cancel(std::stoull(t[1])));
     } else if (cmd == "nearest" && t.size() == 4) {

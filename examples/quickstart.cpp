@@ -5,11 +5,13 @@
 // positions are *functions of time* and the answer to a query depends on
 // when it is asked, without any intervening update.
 
+#include <cstdlib>
 #include <iostream>
 
 #include "core/object_model.h"
 #include "ftl/parser.h"
 #include "ftl/query_manager.h"
+#include "obs/exporters.h"
 
 using namespace most;
 
@@ -69,5 +71,9 @@ int main() {
   std::cout << "after turn: display shows " << qm.CurrentAnswer(*cq)->size()
             << " car(s); evaluations: " << qm.EvaluationCount(*cq).value()
             << "\n";
+  // MOST_DUMP_METRICS=1 prints the engine metrics snapshot on the way out.
+  if (std::getenv("MOST_DUMP_METRICS") != nullptr) {
+    obs::DumpMetrics(std::cerr);
+  }
   return 0;
 }

@@ -195,6 +195,11 @@ uint64_t FailpointRegistry::total_triggered() const {
   return total_triggered_;
 }
 
+std::map<std::string, uint64_t> FailpointRegistry::TriggeredCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return triggered_;
+}
+
 std::vector<std::string> FailpointRegistry::ArmedSites() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;

@@ -74,6 +74,10 @@ class FailpointRegistry {
   uint64_t triggered(const std::string& site) const;
   uint64_t total_triggered() const;
 
+  /// Per-site trigger counts, one consistent snapshot. The observability
+  /// layer pulls this at metrics-collection time (failpoint_fired_total).
+  std::map<std::string, uint64_t> TriggeredCounts() const;
+
   std::vector<std::string> ArmedSites() const;
 
  private:

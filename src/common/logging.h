@@ -39,11 +39,12 @@ class NullStream {
 }  // namespace internal_logging
 
 #define MOST_LOG(level)                                                   \
-  (::most::LogLevel::k##level < ::most::GetLogLevel())                    \
-      ? (void)0                                                           \
-      : (void)::most::internal_logging::LogMessage(                       \
-            ::most::LogLevel::k##level, __FILE__, __LINE__)               \
-            .stream()
+  if (::most::LogLevel::k##level < ::most::GetLogLevel())                 \
+    ;                                                                     \
+  else                                                                    \
+    ::most::internal_logging::LogMessage(::most::LogLevel::k##level,      \
+                                         __FILE__, __LINE__)              \
+        .stream()
 
 /// Internal-invariant check; aborts with a message on failure. Active in
 /// all build modes (database code: silent corruption is worse than a

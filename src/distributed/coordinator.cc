@@ -56,9 +56,43 @@ Coordinator::Coordinator(SimNetwork* network, Clock* clock,
       clock_(clock),
       regions_(std::move(regions)),
       options_(options),
-      channel_(network, clock, options.channel) {
+      channel_(network, clock, options.channel),
+      completion_lag_({1, 2, 4, 8, 16, 32, 64, 128, 256}) {
   channel_.SetHandler([this](const Message& m) { HandleMessage(m); });
   channel_.SetRawObserver([this](const Message& m) { ObserveTraffic(m); });
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  attach_ids_ = {
+      r.AttachCounter("most_coord_queries_issued_total",
+                      "Distributed queries issued", {}, &queries_issued_),
+      r.AttachCounter("most_coord_reports_total",
+                      "Object reports incorporated into query state", {},
+                      &reports_received_),
+      r.AttachCounter("most_coord_resyncs_total",
+                      "Continuous-query subscriptions re-sent to new or "
+                      "revived nodes",
+                      {}, &resyncs_),
+      r.AttachHistogram("most_coord_completion_lag_ticks",
+                        "Ticks from issue until every expected node's "
+                        "QueryDone arrived",
+                        {}, &completion_lag_),
+      r.AttachGauge("most_coord_missing_nodes",
+                    "Expected-but-silent nodes over active queries", {},
+                    &missing_nodes_gauge_),
+  };
+}
+
+Coordinator::~Coordinator() {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  for (uint64_t id : attach_ids_) r.DetachMetric(id);
+}
+
+void Coordinator::UpdateMissingGauge() {
+  int64_t missing = 0;
+  for (const auto& [qid, state] : queries_) {
+    if (state.cancelled || state.completed) continue;
+    missing += static_cast<int64_t>(state.MissingNodes().size());
+  }
+  missing_nodes_gauge_.Set(missing);
 }
 
 DistQueryClass Coordinator::Classify(const FtlQuery& query,
@@ -105,6 +139,8 @@ uint64_t Coordinator::Issue(const FtlQuery& query, DistStrategy strategy,
   }
   auto [it, inserted] = queries_.emplace(qid, std::move(state));
   for (NodeId id : it->second.expected) SendRequest(qid, it->second, id);
+  queries_issued_.Inc();
+  UpdateMissingGauge();
   return qid;
 }
 
@@ -128,6 +164,7 @@ Status Coordinator::CancelQuerySubscription(uint64_t qid) {
   for (NodeId id : it->second.expected) {
     channel_.SendReliable(id, CancelQuery{qid});
   }
+  UpdateMissingGauge();
   return Status::OK();
 }
 
@@ -227,15 +264,26 @@ void Coordinator::ObserveTraffic(const Message& message) {
     if (!revived && state.expected.count(message.from)) continue;
     SendRequest(qid, state, message.from);
     state.expected.insert(message.from);
+    state.completed = false;  // The re-synced node owes a new QueryDone.
+    resyncs_.Inc();
   }
+  UpdateMissingGauge();
 }
 
 void Coordinator::HandleMessage(const Message& message) {
   if (const auto* done = std::get_if<QueryDone>(&message.payload)) {
     auto it = queries_.find(done->qid);
     if (it != queries_.end()) {
-      it->second.responded.insert(message.from);
-      it->second.expected.insert(message.from);
+      QueryState& state = it->second;
+      state.responded.insert(message.from);
+      state.expected.insert(message.from);
+      if (!state.completed && state.MissingNodes().empty()) {
+        state.completed = true;
+        state.completed_at = clock_->Now();
+        completion_lag_.Observe(
+            static_cast<double>(state.completed_at - state.issued_at));
+      }
+      UpdateMissingGauge();
     }
     return;
   }
@@ -245,6 +293,7 @@ void Coordinator::HandleMessage(const Message& message) {
   if (it == queries_.end()) return;
   QueryState& state = it->second;
   state.replies += 1;
+  reports_received_.Inc();
   state.states[report->state.id] = report->state;
   if (state.strategy == DistStrategy::kBroadcastFilter) {
     if (report->when.empty()) {

@@ -11,6 +11,7 @@
 #include "distributed/network.h"
 #include "distributed/reliable_channel.h"
 #include "ftl/eval.h"
+#include "obs/metrics.h"
 
 namespace most {
 
@@ -65,6 +66,10 @@ class Coordinator {
       : Coordinator(network, clock, std::move(regions), Options()) {}
   Coordinator(SimNetwork* network, Clock* clock,
               std::map<std::string, Polygon> regions, Options options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
 
   NodeId node_id() const { return channel_.node_id(); }
   const ReliableEndpoint& channel() const { return channel_; }
@@ -98,6 +103,10 @@ class Coordinator {
     Tick deadline = 0;
     bool cancelled = false;
     size_t replies = 0;
+    /// Set once, the first time every expected node's QueryDone arrived;
+    /// feeds the most_coord_completion_lag_ticks histogram.
+    bool completed = false;
+    Tick completed_at = 0;
     /// Nodes the request was sent to (grows when new or revived nodes are
     /// re-synced into a continuous query).
     std::set<NodeId> expected;
@@ -153,6 +162,9 @@ class Coordinator {
   uint64_t Issue(const FtlQuery& query, DistStrategy strategy,
                  bool continuous, Tick horizon);
   void SendRequest(uint64_t qid, const QueryState& state, NodeId to);
+  /// Recomputes most_coord_missing_nodes: expected-but-silent nodes summed
+  /// over active (uncancelled, incomplete) queries.
+  void UpdateMissingGauge();
 
   SimNetwork* network_;
   Clock* clock_;
@@ -162,6 +174,13 @@ class Coordinator {
   uint64_t next_qid_ = 1;
   std::map<uint64_t, QueryState> queries_;
   std::map<NodeId, Tick> last_heard_;
+  /// Attached to the global registry for the coordinator's lifetime.
+  obs::Counter queries_issued_;
+  obs::Counter reports_received_;
+  obs::Counter resyncs_;
+  obs::Histogram completion_lag_;
+  obs::Gauge missing_nodes_gauge_;
+  std::vector<uint64_t> attach_ids_;
 };
 
 }  // namespace most

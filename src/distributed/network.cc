@@ -28,6 +28,66 @@ const char* SiteName(const char* op, const char* type) {
 
 }  // namespace
 
+SimNetwork::SimNetwork(Clock* clock, Options options)
+    : clock_(clock), options_(options), rng_(options.seed) {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  const char* drop_help = "Messages dropped in transit, by reason";
+  attach_ids_ = {
+      r.AttachCounter("most_net_messages_sent_total",
+                      "Messages handed to the network", {}, &messages_sent_),
+      r.AttachCounter("most_net_bytes_sent_total",
+                      "Estimated wire bytes of sent messages", {},
+                      &bytes_sent_),
+      r.AttachCounter("most_net_messages_delivered_total",
+                      "Messages delivered to a handler", {},
+                      &messages_delivered_),
+      r.AttachCounter("most_net_dropped_total", drop_help,
+                      {{"reason", "loss"}}, &dropped_loss_),
+      r.AttachCounter("most_net_dropped_total", drop_help,
+                      {{"reason", "disconnected"}}, &dropped_disconnected_),
+      r.AttachCounter("most_net_dropped_total", drop_help,
+                      {{"reason", "partition"}}, &dropped_partition_),
+      r.AttachCounter("most_net_dropped_total", drop_help,
+                      {{"reason", "injected"}}, &dropped_injected_),
+      r.AttachCounter("most_net_duplicated_total",
+                      "Messages duplicated in transit", {}, &duplicated_),
+      r.AttachCounter("most_net_reordered_total",
+                      "Messages given extra reordering delay", {},
+                      &reordered_),
+  };
+}
+
+SimNetwork::~SimNetwork() {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  for (uint64_t id : attach_ids_) r.DetachMetric(id);
+}
+
+SimNetwork::Stats SimNetwork::stats() const {
+  Stats s;
+  s.messages_sent = messages_sent_.value();
+  s.bytes_sent = bytes_sent_.value();
+  s.messages_delivered = messages_delivered_.value();
+  s.dropped_loss = dropped_loss_.value();
+  s.dropped_disconnected = dropped_disconnected_.value();
+  s.dropped_partition = dropped_partition_.value();
+  s.dropped_injected = dropped_injected_.value();
+  s.duplicated = duplicated_.value();
+  s.reordered = reordered_.value();
+  return s;
+}
+
+void SimNetwork::ResetStats() {
+  messages_sent_.Reset();
+  bytes_sent_.Reset();
+  messages_delivered_.Reset();
+  dropped_loss_.Reset();
+  dropped_disconnected_.Reset();
+  dropped_partition_.Reset();
+  dropped_injected_.Reset();
+  duplicated_.Reset();
+  reordered_.Reset();
+}
+
 const char* PayloadTypeName(const MessagePayload& payload) {
   struct Visitor {
     const char* operator()(const ObjectState&) const { return "object_state"; }
@@ -139,21 +199,21 @@ void SimNetwork::Enqueue(NodeId from, NodeId to, const MessagePayload& payload,
 }
 
 void SimNetwork::Send(NodeId from, NodeId to, MessagePayload payload) {
-  stats_.messages_sent += 1;
-  stats_.bytes_sent += EstimateBytes(payload);
+  messages_sent_.Inc();
+  bytes_sent_.Inc(EstimateBytes(payload));
   FailpointRegistry& failpoints = FailpointRegistry::Instance();
   if (failpoints.AnyArmed() &&
       !failpoints.Check(SiteName("send", PayloadTypeName(payload))).ok()) {
-    stats_.dropped_injected += 1;
+    dropped_injected_.Inc();
     return;
   }
   if (!IsConnected(from) || !IsConnected(to)) {
-    stats_.dropped_disconnected += 1;
+    dropped_disconnected_.Inc();
     return;
   }
   if (options_.loss_probability > 0.0 &&
       rng_.Bernoulli(options_.loss_probability)) {
-    stats_.dropped_loss += 1;
+    dropped_loss_.Inc();
     return;
   }
   Tick extra = 0;
@@ -161,17 +221,17 @@ void SimNetwork::Send(NodeId from, NodeId to, MessagePayload payload) {
       rng_.Bernoulli(options_.reorder_probability)) {
     extra = static_cast<Tick>(
         rng_.UniformInt(1, std::max<Tick>(1, options_.reorder_jitter)));
-    stats_.reordered += 1;
+    reordered_.Inc();
   }
   if (failpoints.AnyArmed() &&
       !failpoints.Check(SiteName("delay", PayloadTypeName(payload))).ok()) {
     extra = TickSaturatingAdd(extra, options_.reorder_jitter);
-    stats_.reordered += 1;
+    reordered_.Inc();
   }
   Enqueue(from, to, payload, extra);
   if (options_.duplicate_probability > 0.0 &&
       rng_.Bernoulli(options_.duplicate_probability)) {
-    stats_.duplicated += 1;
+    duplicated_.Inc();
     Tick dup_extra = static_cast<Tick>(
         rng_.UniformInt(0, std::max<Tick>(1, options_.reorder_jitter)));
     Enqueue(from, to, payload, dup_extra);
@@ -218,11 +278,11 @@ void SimNetwork::DeliverDue() {
       progressed = true;
       auto it = nodes_.find(m.to);
       if (it == nodes_.end() || !it->second.connected || !it->second.handler) {
-        stats_.dropped_disconnected += 1;
+        dropped_disconnected_.Inc();
         continue;
       }
       if (!Reachable(m.from, m.to)) {
-        stats_.dropped_partition += 1;
+        dropped_partition_.Inc();
         continue;
       }
       FailpointRegistry& failpoints = FailpointRegistry::Instance();
@@ -230,10 +290,10 @@ void SimNetwork::DeliverDue() {
           !failpoints
                .Check(SiteName("deliver", PayloadTypeName(m.payload)))
                .ok()) {
-        stats_.dropped_injected += 1;
+        dropped_injected_.Inc();
         continue;
       }
-      stats_.messages_delivered += 1;
+      messages_delivered_.Inc();
       it->second.handler(m);
     }
   }

@@ -14,6 +14,7 @@
 #include "ftl/ast.h"
 #include "ftl/query_manager.h"
 #include "geometry/point.h"
+#include "obs/metrics.h"
 #include "temporal/clock.h"
 
 namespace most {
@@ -164,8 +165,13 @@ class SimNetwork {
   };
 
   explicit SimNetwork(Clock* clock) : SimNetwork(clock, Options()) {}
-  SimNetwork(Clock* clock, Options options)
-      : clock_(clock), options_(options), rng_(options.seed) {}
+  /// Attaches this instance's traffic counters to the global metrics
+  /// registry (most_net_* series; same-name series across simulators sum).
+  SimNetwork(Clock* clock, Options options);
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
 
   using Handler = std::function<void(const Message&)>;
 
@@ -224,8 +230,12 @@ class SimNetwork {
       return dropped_total() - dropped_disconnected + duplicated + reordered;
     }
   };
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  /// By-value snapshot. Every field is read from its own atomic counter,
+  /// so a reader thread racing a simulation thread never tears a word or
+  /// trips TSan (individual fields are coherent; cross-field skew is
+  /// bounded by one in-flight increment).
+  Stats stats() const;
+  void ResetStats();
 
  private:
   struct Node {
@@ -246,7 +256,18 @@ class SimNetwork {
       partitions_;
   std::map<uint64_t, std::function<void()>> tick_hooks_;
   uint64_t next_hook_id_ = 0;
-  Stats stats_;
+  /// Stats is a thin snapshot view over these; they are attached to the
+  /// global registry for the simulator's lifetime.
+  obs::Counter messages_sent_;
+  obs::Counter bytes_sent_;
+  obs::Counter messages_delivered_;
+  obs::Counter dropped_loss_;
+  obs::Counter dropped_disconnected_;
+  obs::Counter dropped_partition_;
+  obs::Counter dropped_injected_;
+  obs::Counter duplicated_;
+  obs::Counter reordered_;
+  std::vector<uint64_t> attach_ids_;
 };
 
 }  // namespace most

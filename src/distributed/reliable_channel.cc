@@ -14,11 +14,46 @@ ReliableEndpoint::ReliableEndpoint(SimNetwork* network, Clock* clock,
   node_id_ = network_->AddNode(
       [this](const Message& m) { OnMessage(m); });
   tick_hook_id_ = network_->AddTickHook([this] { OnTick(); });
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  attach_ids_ = {
+      r.AttachCounter("most_rc_frames_sent_total",
+                      "Reliable frames first-transmitted", {}, &frames_sent_),
+      r.AttachCounter("most_rc_retransmissions_total",
+                      "Reliable frame retransmissions", {},
+                      &retransmissions_),
+      r.AttachCounter("most_rc_acks_sent_total",
+                      "Cumulative acknowledgements sent", {}, &acks_sent_),
+      r.AttachCounter("most_rc_delivered_total",
+                      "Payloads handed to the application handler", {},
+                      &delivered_),
+      r.AttachCounter("most_rc_duplicates_suppressed_total",
+                      "Duplicate reliable frames suppressed", {},
+                      &duplicates_suppressed_),
+      r.AttachCounter("most_rc_out_of_order_buffered_total",
+                      "Out-of-order frames buffered for resequencing", {},
+                      &out_of_order_buffered_),
+      r.AttachGauge("most_rc_unacked_frames",
+                    "Frames sent but not yet cumulatively acknowledged", {},
+                    &unacked_gauge_),
+  };
 }
 
 ReliableEndpoint::~ReliableEndpoint() {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  for (uint64_t id : attach_ids_) r.DetachMetric(id);
   network_->RemoveTickHook(tick_hook_id_);
   network_->SetHandler(node_id_, nullptr);
+}
+
+ReliableEndpoint::Stats ReliableEndpoint::stats() const {
+  Stats s;
+  s.frames_sent = frames_sent_.value();
+  s.retransmissions = retransmissions_.value();
+  s.acks_sent = acks_sent_.value();
+  s.delivered = delivered_.value();
+  s.duplicates_suppressed = duplicates_suppressed_.value();
+  s.out_of_order_buffered = out_of_order_buffered_.value();
+  return s;
 }
 
 void ReliableEndpoint::SendReliable(NodeId to, AppPayload payload) {
@@ -30,7 +65,8 @@ void ReliableEndpoint::SendReliable(NodeId to, AppPayload payload) {
   pending.next_retry = TickSaturatingAdd(clock_->Now(), pending.rto);
   network_->Send(node_id_, to, ReliableFrame{seq, pending.payload});
   state.pending.emplace(seq, std::move(pending));
-  stats_.frames_sent += 1;
+  frames_sent_.Inc();
+  unacked_gauge_.Add(1);
 }
 
 void ReliableEndpoint::SendBestEffort(NodeId to, AppPayload payload) {
@@ -60,7 +96,7 @@ size_t ReliableEndpoint::unacked() const {
 
 void ReliableEndpoint::DeliverToApp(const Message& envelope,
                                     const AppPayload& payload) {
-  stats_.delivered += 1;
+  delivered_.Inc();
   if (!handler_) return;
   Message m = envelope;
   std::visit([&](const auto& inner) { m.payload = inner; }, payload);
@@ -73,7 +109,7 @@ void ReliableEndpoint::OnMessage(const Message& message) {
     RecvState& state = recv_[message.from];
     if (frame->seq < state.next_expected) {
       // Already delivered: a retransmission or a network duplicate.
-      stats_.duplicates_suppressed += 1;
+      duplicates_suppressed_.Inc();
     } else if (frame->seq == state.next_expected) {
       state.next_expected += 1;
       DeliverToApp(message, frame->inner);
@@ -88,14 +124,14 @@ void ReliableEndpoint::OnMessage(const Message& message) {
     } else {
       // A gap: hold the frame until its predecessors arrive.
       if (state.buffer.emplace(frame->seq, frame->inner).second) {
-        stats_.out_of_order_buffered += 1;
+        out_of_order_buffered_.Inc();
       } else {
-        stats_.duplicates_suppressed += 1;
+        duplicates_suppressed_.Inc();
       }
     }
     // Cumulative ack, sent for every arrival (including duplicates, whose
     // original ack may have been lost).
-    stats_.acks_sent += 1;
+    acks_sent_.Inc();
     network_->Send(node_id_, message.from, AckFrame{state.next_expected});
     return;
   }
@@ -104,11 +140,12 @@ void ReliableEndpoint::OnMessage(const Message& message) {
     auto it = state.pending.begin();
     while (it != state.pending.end() && it->first < ack->ack_through) {
       it = state.pending.erase(it);
+      unacked_gauge_.Add(-1);
     }
     return;
   }
   // Best-effort payload: hand straight to the application.
-  stats_.delivered += 1;
+  delivered_.Inc();
   if (handler_) handler_(message);
 }
 
@@ -118,7 +155,7 @@ void ReliableEndpoint::OnTick() {
     for (auto& [seq, pending] : state.pending) {
       if (now < pending.next_retry) continue;
       network_->Send(node_id_, peer, ReliableFrame{seq, pending.payload});
-      stats_.retransmissions += 1;
+      retransmissions_.Inc();
       pending.rto = std::min<Tick>(
           TickSaturatingAdd(pending.rto, pending.rto), options_.rto_max);
       pending.next_retry = TickSaturatingAdd(now, pending.rto);

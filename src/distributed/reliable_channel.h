@@ -89,7 +89,9 @@ class ReliableEndpoint {
     uint64_t duplicates_suppressed = 0;
     uint64_t out_of_order_buffered = 0;
   };
-  const Stats& stats() const { return stats_; }
+  /// By-value snapshot over this endpoint's attached atomic counters
+  /// (most_rc_* series; summed across endpoints by the registry).
+  Stats stats() const;
 
  private:
   struct PendingFrame {
@@ -119,7 +121,17 @@ class ReliableEndpoint {
   Handler raw_observer_;
   std::map<NodeId, SendState> send_;
   std::map<NodeId, RecvState> recv_;
-  Stats stats_;
+  /// Stats is a thin snapshot view over these (attached to the global
+  /// registry for the endpoint's lifetime), plus an in-flight-depth gauge
+  /// mirroring unacked().
+  obs::Counter frames_sent_;
+  obs::Counter retransmissions_;
+  obs::Counter acks_sent_;
+  obs::Counter delivered_;
+  obs::Counter duplicates_suppressed_;
+  obs::Counter out_of_order_buffered_;
+  obs::Gauge unacked_gauge_;
+  std::vector<uint64_t> attach_ids_;
 };
 
 }  // namespace most

@@ -10,6 +10,8 @@
 #include "ftl/interval_cache.h"
 #include "ftl/spatial_eval.h"
 #include "ftl/term_eval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace most {
 
@@ -381,6 +383,124 @@ TemporalRelation JoinAnd(const TemporalRelation& r1,
   return out;
 }
 
+const char* FormulaOpName(FtlFormula::Kind kind) {
+  switch (kind) {
+    case FtlFormula::Kind::kBoolLit:
+      return "BoolLit";
+    case FtlFormula::Kind::kCompare:
+      return "Compare";
+    case FtlFormula::Kind::kInside:
+      return "Inside";
+    case FtlFormula::Kind::kOutside:
+      return "Outside";
+    case FtlFormula::Kind::kWithinSphere:
+      return "WithinSphere";
+    case FtlFormula::Kind::kAnd:
+      return "And";
+    case FtlFormula::Kind::kOr:
+      return "Or";
+    case FtlFormula::Kind::kNot:
+      return "Not";
+    case FtlFormula::Kind::kUntil:
+      return "Until";
+    case FtlFormula::Kind::kUntilWithin:
+      return "UntilWithin";
+    case FtlFormula::Kind::kNexttime:
+      return "Nexttime";
+    case FtlFormula::Kind::kEventually:
+      return "Eventually";
+    case FtlFormula::Kind::kEventuallyWithin:
+      return "EventuallyWithin";
+    case FtlFormula::Kind::kEventuallyAfter:
+      return "EventuallyAfter";
+    case FtlFormula::Kind::kAlways:
+      return "Always";
+    case FtlFormula::Kind::kAlwaysFor:
+      return "AlwaysFor";
+    case FtlFormula::Kind::kAssign:
+      return "Assign";
+  }
+  return "Formula";
+}
+
+std::string FormulaLabel(const FtlFormula& f) {
+  std::string label = FormulaOpName(f.kind());
+  label += " ";
+  std::string text = f.ToString();
+  constexpr size_t kMaxText = 60;
+  if (text.size() > kMaxText) {
+    text.resize(kMaxText - 3);
+    text += "...";
+  }
+  label += text;
+  return label;
+}
+
+/// Counter deltas accumulated inside one subformula (inclusive of its
+/// children, like EXPLAIN ANALYZE's inclusive timings). Only non-zero
+/// deltas are noted to keep renderings compact.
+void NoteStatsDelta(const FtlEvalStats& before, const FtlEvalStats& after,
+                    obs::ProfileNode* node) {
+  auto note = [node](const char* name, size_t b, size_t a) {
+    if (a > b) node->Note(name, a - b);
+  };
+  note("atoms", before.atomic_evaluations, after.atomic_evaluations);
+  note("inst", before.instantiations, after.instantiations);
+  note("join_pairs", before.join_pairs, after.join_pairs);
+  note("assign_subevals", before.assign_subevals, after.assign_subevals);
+  note("index_pruned", before.index_pruned, after.index_pruned);
+  note("cache_hit", before.cache_hits, after.cache_hits);
+  note("cache_miss", before.cache_misses, after.cache_misses);
+}
+
+/// Registry-owned series the evaluator flushes its per-evaluation stats
+/// deltas into at the EvaluateQueryUnprojected boundary. Hot paths touch
+/// only the plain FtlEvalStats fields; the registry sees one batch of
+/// relaxed increments per evaluation, so instrumentation overhead is a
+/// handful of atomics per query, not per tuple.
+struct FtlRegistrySeries {
+  obs::Counter* evaluations;
+  obs::Counter* atomic_evaluations;
+  obs::Counter* instantiations;
+  obs::Counter* join_pairs;
+  obs::Counter* assign_subevals;
+  obs::Counter* index_pruned;
+  obs::Counter* cache_hits;
+  obs::Counter* cache_misses;
+  obs::Histogram* latency;
+
+  static const FtlRegistrySeries& Get() {
+    static const FtlRegistrySeries s = [] {
+      auto& r = obs::MetricsRegistry::Global();
+      FtlRegistrySeries s;
+      s.evaluations = r.GetCounter("most_ftl_evaluations_total",
+                                   "FTL query evaluations completed");
+      s.atomic_evaluations =
+          r.GetCounter("most_ftl_atomic_evaluations_total",
+                       "Atomic predicate extractions actually solved");
+      s.instantiations = r.GetCounter("most_ftl_instantiations_total",
+                                      "Object tuples enumerated");
+      s.join_pairs = r.GetCounter("most_ftl_join_pairs_total",
+                                  "Row pairs examined by interval joins");
+      s.assign_subevals =
+          r.GetCounter("most_ftl_assign_subevals_total",
+                       "Assignment-quantifier body evaluations");
+      s.index_pruned =
+          r.GetCounter("most_ftl_index_pruned_total",
+                       "Objects skipped thanks to a motion index");
+      s.cache_hits = r.GetCounter("most_ftl_cache_hits_total",
+                                  "Atomic solves answered by the cache");
+      s.cache_misses = r.GetCounter("most_ftl_cache_misses_total",
+                                    "Atomic solves that had to run");
+      s.latency = r.GetHistogram(
+          "most_ftl_eval_latency_seconds", "EvaluateQuery wall time",
+          obs::ExponentialBuckets(1e-5, 4.0, 10));
+      return s;
+    }();
+    return s;
+  }
+};
+
 }  // namespace
 
 TemporalRelation TemporalRelation::Project(
@@ -433,6 +553,47 @@ Result<TemporalRelation> FtlEvaluator::EvaluateQuery(const FtlQuery& query,
 }
 
 Result<TemporalRelation> FtlEvaluator::EvaluateQueryUnprojected(
+    const FtlQuery& query, Interval window) {
+  obs::TraceSpan span("ftl/evaluate_query");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const bool metrics_on = registry.enabled();
+  const bool timed = metrics_on || options_.profile != nullptr;
+  const FtlEvalStats before = stats_;
+  const uint64_t t0 = timed ? obs::MonotonicNowNs() : 0;
+  obs::ProfileNode* saved = profile_current_;
+  profile_current_ = options_.profile;
+  Result<TemporalRelation> result =
+      EvaluateQueryUnprojectedImpl(query, window);
+  profile_current_ = saved;
+  const uint64_t dur_ns = timed ? obs::MonotonicNowNs() - t0 : 0;
+  if (options_.profile != nullptr) {
+    options_.profile->duration_ns += dur_ns;
+    if (result.ok()) {
+      options_.profile->tuples = result->rows.size();
+      uint64_t intervals = 0;
+      for (const auto& [binding, when] : result->rows) {
+        intervals += when.intervals().size();
+      }
+      options_.profile->intervals = intervals;
+    }
+  }
+  if (metrics_on) {
+    const FtlRegistrySeries& s = FtlRegistrySeries::Get();
+    s.evaluations->Inc();
+    s.latency->Observe(static_cast<double>(dur_ns) * 1e-9);
+    s.atomic_evaluations->Inc(stats_.atomic_evaluations -
+                              before.atomic_evaluations);
+    s.instantiations->Inc(stats_.instantiations - before.instantiations);
+    s.join_pairs->Inc(stats_.join_pairs - before.join_pairs);
+    s.assign_subevals->Inc(stats_.assign_subevals - before.assign_subevals);
+    s.index_pruned->Inc(stats_.index_pruned - before.index_pruned);
+    s.cache_hits->Inc(stats_.cache_hits - before.cache_hits);
+    s.cache_misses->Inc(stats_.cache_misses - before.cache_misses);
+  }
+  return result;
+}
+
+Result<TemporalRelation> FtlEvaluator::EvaluateQueryUnprojectedImpl(
     const FtlQuery& query, Interval window) {
   if (!window.valid()) {
     return Status::InvalidArgument("invalid evaluation window");
@@ -507,6 +668,31 @@ Result<TemporalRelation> FtlEvaluator::EvalFormula(
 Result<TemporalRelation> FtlEvaluator::Eval(const FormulaPtr& f,
                                             const Domains& domains,
                                             Interval window) {
+  obs::ProfileNode* parent = profile_current_;
+  if (parent == nullptr) return EvalNode(f, domains, window);
+  // One profile node per subformula. The child vector only ever grows at
+  // the current level while deeper frames run, and children are heap
+  // allocations, so `node` stays valid across the recursive call.
+  obs::ProfileNode* node = parent->AddChild(FormulaLabel(*f));
+  const FtlEvalStats before = stats_;
+  const uint64_t t0 = obs::MonotonicNowNs();
+  profile_current_ = node;
+  Result<TemporalRelation> result = EvalNode(f, domains, window);
+  profile_current_ = parent;
+  node->duration_ns = obs::MonotonicNowNs() - t0;
+  if (result.ok()) {
+    node->tuples = result->rows.size();
+    for (const auto& [binding, when] : result->rows) {
+      node->intervals += when.intervals().size();
+    }
+  }
+  NoteStatsDelta(before, stats_, node);
+  return result;
+}
+
+Result<TemporalRelation> FtlEvaluator::EvalNode(const FormulaPtr& f,
+                                                const Domains& domains,
+                                                Interval window) {
   switch (f->kind()) {
     case FtlFormula::Kind::kBoolLit: {
       TemporalRelation out;

@@ -12,6 +12,7 @@
 #include "core/motion_index_manager.h"
 #include "core/object_model.h"
 #include "ftl/ast.h"
+#include "obs/profile.h"
 
 namespace most {
 
@@ -94,6 +95,12 @@ class FtlEvaluator {
     /// unrestricted.
     std::map<std::string, std::shared_ptr<const std::set<ObjectId>>>
         domain_restrictions;
+    /// Optional profiling sink: when set, every evaluated subformula
+    /// appends one child node (mirroring the formula tree — the appendix
+    /// computes one interval relation R_g per subformula g) annotated with
+    /// its wall time, result cardinalities and counter deltas. Null = no
+    /// profiling, no clock reads. Not owned; must outlive the evaluation.
+    obs::ProfileNode* profile = nullptr;
   };
 
   explicit FtlEvaluator(const MostDatabase& db) : FtlEvaluator(db, Options()) {}
@@ -125,8 +132,14 @@ class FtlEvaluator {
  private:
   struct Domains;  // Resolved per-variable object class extents.
 
+  Result<TemporalRelation> EvaluateQueryUnprojectedImpl(const FtlQuery& query,
+                                                        Interval window);
+  /// Profiling wrapper: records one ProfileNode per subformula (when
+  /// Options::profile is set), then dispatches to EvalNode.
   Result<TemporalRelation> Eval(const FormulaPtr& f, const Domains& domains,
                                 Interval window);
+  Result<TemporalRelation> EvalNode(const FormulaPtr& f,
+                                    const Domains& domains, Interval window);
   Result<TemporalRelation> EvalCompare(const FtlFormula& f,
                                        const Domains& domains,
                                        Interval window);
@@ -137,6 +150,10 @@ class FtlEvaluator {
   const MostDatabase& db_;
   Options options_;
   FtlEvalStats stats_;
+  /// Parent node the next Eval() attaches its child to; null = profiling
+  /// off. Only mutated by the single thread driving the recursion (pool
+  /// workers never call Eval).
+  obs::ProfileNode* profile_current_ = nullptr;
 };
 
 }  // namespace most

@@ -4,6 +4,28 @@
 
 namespace most {
 
+IntervalCache::IntervalCache(size_t max_entries) : max_entries_(max_entries) {
+  auto& r = obs::MetricsRegistry::Global();
+  attach_ids_ = {
+      r.AttachCounter("most_interval_cache_hits_total",
+                      "Interval cache lookups that hit", {}, &hits_),
+      r.AttachCounter("most_interval_cache_misses_total",
+                      "Interval cache lookups that missed", {}, &misses_),
+      r.AttachCounter("most_interval_cache_invalidations_total",
+                      "Cache entries dropped by object updates or window "
+                      "eviction",
+                      {}, &invalidations_),
+      r.AttachGauge("most_interval_cache_entries", "Live cache entries", {},
+                    &entries_gauge_),
+  };
+}
+
+IntervalCache::~IntervalCache() {
+  Detach();
+  auto& r = obs::MetricsRegistry::Global();
+  for (uint64_t id : attach_ids_) r.DetachMetric(id);
+}
+
 void IntervalCache::AttachTo(MostDatabase* db) {
   Detach();
   attached_db_ = db;
@@ -27,10 +49,10 @@ bool IntervalCache::Lookup(const std::string& fingerprint,
   std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(Key{fingerprint, objs});
   if (it == entries_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Inc();
     return false;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.Inc();
   *out = it->second;
   return true;
 }
@@ -48,6 +70,7 @@ void IntervalCache::Insert(const std::string& fingerprint,
   if (inserted) {
     for (ObjectId id : objs) by_object_[id].push_back(key);
   }
+  entries_gauge_.Set(static_cast<int64_t>(entries_.size()));
 }
 
 void IntervalCache::Invalidate(ObjectId id) {
@@ -55,9 +78,10 @@ void IntervalCache::Invalidate(ObjectId id) {
   auto it = by_object_.find(id);
   if (it == by_object_.end()) return;
   for (const Key& key : it->second) {
-    invalidations_ += entries_.erase(key);
+    invalidations_.Inc(entries_.erase(key));
   }
   by_object_.erase(it);
+  entries_gauge_.Set(static_cast<int64_t>(entries_.size()));
 }
 
 size_t IntervalCache::EvictWindowsEndingBefore(Tick t) {
@@ -78,7 +102,8 @@ size_t IntervalCache::EvictWindowsEndingBefore(Tick t) {
   }
   size_t dropped = before - entries_.size();
   if (dropped > 0) {
-    invalidations_ += dropped;
+    invalidations_.Inc(dropped);
+    entries_gauge_.Set(static_cast<int64_t>(entries_.size()));
     // Rebuild the reverse index so it does not accumulate keys for
     // evicted windows forever.
     by_object_.clear();
@@ -93,14 +118,15 @@ void IntervalCache::Clear() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   entries_.clear();
   by_object_.clear();
+  entries_gauge_.Set(0);
 }
 
 IntervalCache::Stats IntervalCache::stats() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   Stats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.invalidations = invalidations_;
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.invalidations = invalidations_.value();
   s.entries = entries_.size();
   return s;
 }

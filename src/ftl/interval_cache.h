@@ -10,6 +10,7 @@
 #include "common/interval.h"
 #include "common/types.h"
 #include "core/object_model.h"
+#include "obs/metrics.h"
 
 namespace most {
 
@@ -46,9 +47,8 @@ class IntervalCache {
   /// When the cache would exceed `max_entries` it is cleared wholesale (a
   /// cheap, obviously-correct eviction policy; callers that want an upper
   /// bound on memory set this, benchmarks leave it large).
-  explicit IntervalCache(size_t max_entries = 1u << 20)
-      : max_entries_(max_entries) {}
-  ~IntervalCache() { Detach(); }
+  explicit IntervalCache(size_t max_entries = 1u << 20);
+  ~IntervalCache();
 
   IntervalCache(const IntervalCache&) = delete;
   IntervalCache& operator=(const IntervalCache&) = delete;
@@ -111,9 +111,16 @@ class IntervalCache {
   /// via another object of a multi-object predicate); erasing a missing
   /// key is a no-op, so staleness only costs a lookup.
   std::unordered_map<ObjectId, std::vector<Key>> by_object_;
-  mutable std::atomic<uint64_t> hits_{0};
-  mutable std::atomic<uint64_t> misses_{0};
-  uint64_t invalidations_ = 0;
+  /// The metric objects this instance owns; Stats is a thin snapshot view
+  /// over them, and they are attached to the global registry for the
+  /// cache's lifetime (same-name series across caches are summed; the
+  /// registry folds final counter values into retired accumulators on
+  /// detach, keeping engine totals monotone).
+  mutable obs::Counter hits_;
+  mutable obs::Counter misses_;
+  obs::Counter invalidations_;
+  obs::Gauge entries_gauge_;
+  std::vector<uint64_t> attach_ids_;
   MostDatabase* attached_db_ = nullptr;
   MostDatabase::ListenerId listener_id_ = 0;
 };

@@ -1,10 +1,78 @@
 #include "ftl/query_manager.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 
 namespace most {
+
+namespace {
+
+/// Registry-owned series the query manager's refresh paths report into.
+/// Looked up once; refreshes are per-update events, not per-tuple, so the
+/// flush cost is a few relaxed atomics per refresh.
+struct QmRegistrySeries {
+  obs::Counter* delta_refreshes;
+  obs::Counter* full_refreshes;
+  obs::Histogram* delta_latency;
+  obs::Histogram* full_latency;
+  obs::Histogram* dirty_set_size;
+
+  static const QmRegistrySeries& Get() {
+    static const QmRegistrySeries s = [] {
+      auto& r = obs::MetricsRegistry::Global();
+      QmRegistrySeries s;
+      s.delta_refreshes =
+          r.GetCounter("most_qm_refreshes_total",
+                       "Continuous-query refreshes by path",
+                       {{"path", "delta"}});
+      s.full_refreshes =
+          r.GetCounter("most_qm_refreshes_total",
+                       "Continuous-query refreshes by path",
+                       {{"path", "full"}});
+      s.delta_latency = r.GetHistogram(
+          "most_qm_refresh_latency_seconds", "Refresh wall time by path",
+          obs::ExponentialBuckets(1e-5, 4.0, 10), {{"path", "delta"}});
+      s.full_latency = r.GetHistogram(
+          "most_qm_refresh_latency_seconds", "Refresh wall time by path",
+          obs::ExponentialBuckets(1e-5, 4.0, 10), {{"path", "full"}});
+      s.dirty_set_size = r.GetHistogram(
+          "most_qm_dirty_set_size",
+          "Distinct dirty objects coalesced per delta refresh",
+          {1, 2, 4, 8, 16, 32, 64, 128, 256, 1024});
+      return s;
+    }();
+    return s;
+  }
+};
+
+/// Why the full path ran, as a labelled counter (one series per reason).
+void CountFullRefreshReason(const char* reason) {
+  auto& r = obs::MetricsRegistry::Global();
+  if (!r.enabled()) return;
+  r.GetCounter("most_qm_full_refresh_reason_total",
+               "Full (non-delta) refreshes by trigger reason",
+               {{"reason", reason}})
+      ->Inc();
+}
+
+std::string RenderWindow(Tick begin, Tick end) {
+  std::ostringstream os;
+  os << "[" << begin << ", " << end << "]";
+  return os.str();
+}
+
+size_t DirtyTotal(const std::map<std::string, std::set<ObjectId>>& dirty) {
+  size_t total = 0;
+  for (const auto& [cls, ids] : dirty) total += ids.size();
+  return total;
+}
+
+}  // namespace
 
 QueryManager::QueryManager(MostDatabase* db, Options options)
     : db_(db), options_(options) {
@@ -115,6 +183,7 @@ Result<QueryManager::QueryId> QueryManager::RegisterContinuousLocked(
     const FtlQuery& query) {
   QueryId id = next_id_++;
   Continuous cq;
+  cq.id = id;
   cq.query = query;
   auto [it, inserted] = continuous_.emplace(id, std::move(cq));
   MOST_RETURN_IF_ERROR(Refresh(&it->second));
@@ -135,15 +204,21 @@ bool QueryManager::NeedsRefresh(const Continuous& cq, Tick now) const {
 Status QueryManager::Refresh(Continuous* cq) {
   Tick now = db_->Now();
   if (!NeedsRefresh(*cq, now)) return Status::OK();
-  bool expired = cq->evaluations == 0 || now > cq->expires_at;
-  if (options_.enable_delta_refresh && !cq->dirty && !expired &&
-      !cq->dirty_objects.empty()) {
+  // Decide the path and remember why, so the profile and the
+  // most_qm_full_refresh_reason_total counters can say which guard fired.
+  const char* full_reason = nullptr;
+  if (cq->evaluations == 0) {
+    full_reason = "initial";
+  } else if (now > cq->expires_at) {
+    full_reason = "expired";
+  } else if (cq->dirty) {
+    full_reason = "forced";
+  } else if (!options_.enable_delta_refresh) {
+    full_reason = "delta_disabled";
+  } else {
     // Bail to the full path when most of the domain is dirty: the
     // restricted passes would approach full cost, plus eviction/splice.
-    size_t dirty_total = 0;
-    for (const auto& [cls_name, ids] : cq->dirty_objects) {
-      dirty_total += ids.size();
-    }
+    size_t dirty_total = DirtyTotal(cq->dirty_objects);
     size_t domain_total = 0;
     for (const FromBinding& fb : cq->query.from) {
       auto cls = db_->GetClass(fb.class_name);
@@ -157,12 +232,16 @@ Status QueryManager::Refresh(Continuous* cq) {
       if (delta.ok()) return delta;
       // Delta failed (e.g. an injected fault): the relation may be
       // half-spliced, so fall through to a full re-evaluation.
+      full_reason = "delta_error";
+    } else {
+      full_reason = "dirty_fraction";
     }
   }
-  return RefreshFull(cq);
+  return RefreshFull(cq, full_reason);
 }
 
-Status QueryManager::RefreshFull(Continuous* cq) {
+Status QueryManager::RefreshFull(Continuous* cq, const char* reason) {
+  obs::TraceSpan span("qm/refresh_full");
   Tick now = db_->Now();
   if (cq->evaluations == 0 || now > cq->expires_at) {
     // Re-anchor the window only at registration and on expiry. Update-
@@ -175,24 +254,75 @@ Status QueryManager::RefreshFull(Continuous* cq) {
     // again; drop them instead of letting them crowd the cache.
     if (cache_ != nullptr) cache_->EvictWindowsEndingBefore(now);
   }
-  FtlEvaluator eval(*db_, EvalOptions());
+  const size_t dirty_total = DirtyTotal(cq->dirty_objects);
+  auto profile =
+      options_.enable_profiling ? std::make_shared<obs::QueryProfile>()
+                                : nullptr;
+  FtlEvaluator::Options opts = EvalOptions();
+  if (profile != nullptr) {
+    profile->query = cq->query.ToString();
+    profile->window = RenderWindow(cq->window_begin, cq->expires_at);
+    profile->path = "full";
+    profile->reason = reason;
+    profile->refresh_seq = cq->evaluations + 1;
+    profile->dirty_objects = dirty_total;
+    profile->root.label = "EvaluateQuery";
+    opts.profile = &profile->root;
+  }
+  const uint64_t t0 = obs::MonotonicNowNs();
+  FtlEvaluator eval(*db_, opts);
   MOST_ASSIGN_OR_RETURN(
       cq->full, eval.EvaluateQueryUnprojected(
                     cq->query, Interval(cq->window_begin, cq->expires_at)));
+  const uint64_t dur_ns = obs::MonotonicNowNs() - t0;
   cq->answer = cq->full.Project(cq->query.retrieve);
   cq->evaluated_at = now;
   cq->dirty = false;
   cq->dirty_objects.clear();
   ++cq->evaluations;
   ++cq->full_evaluations;
-  total_full_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(totals_mu_);
+    ++totals_.full_evaluations;
+  }
+  if (profile != nullptr) {
+    profile->total_ns = dur_ns;
+    cq->last_profile = std::move(profile);
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  if (registry.enabled()) {
+    const QmRegistrySeries& series = QmRegistrySeries::Get();
+    series.full_refreshes->Inc();
+    series.full_latency->Observe(static_cast<double>(dur_ns) * 1e-9);
+    CountFullRefreshReason(reason);
+  }
+  obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Global();
+  if (slow_log.enabled()) {
+    slow_log.MaybeRecord({cq->id, cq->query.ToString(), "full", dur_ns,
+                          cq->evaluations});
+  }
   return Status::OK();
 }
 
 Status QueryManager::RefreshDelta(Continuous* cq) {
   MOST_FAILPOINT("ftl/delta/refresh");
+  obs::TraceSpan span("qm/refresh_delta");
   Tick now = db_->Now();
   Interval window(cq->window_begin, cq->expires_at);
+  const size_t dirty_total = DirtyTotal(cq->dirty_objects);
+  auto profile =
+      options_.enable_profiling ? std::make_shared<obs::QueryProfile>()
+                                : nullptr;
+  if (profile != nullptr) {
+    profile->query = cq->query.ToString();
+    profile->window = RenderWindow(cq->window_begin, cq->expires_at);
+    profile->path = "delta";
+    profile->reason = "coalesced updates";
+    profile->refresh_seq = cq->evaluations + 1;
+    profile->dirty_objects = dirty_total;
+    profile->root.label = "DeltaRefresh";
+  }
+  const uint64_t t0 = obs::MonotonicNowNs();
   const std::vector<std::string>& vars = cq->full.vars;
   // Dirty ids per relation column (null = column's class saw no update).
   std::vector<const std::set<ObjectId>*> col_dirty(vars.size(), nullptr);
@@ -225,6 +355,12 @@ Status QueryManager::RefreshDelta(Continuous* cq) {
     FtlEvaluator::Options opts = EvalOptions();
     opts.domain_restrictions[vars[i]] =
         std::make_shared<const std::set<ObjectId>>(*col_dirty[i]);
+    if (profile != nullptr) {
+      obs::ProfileNode* pass = profile->root.AddChild(
+          "RestrictedPass " + vars[i] + " (" +
+          std::to_string(col_dirty[i]->size()) + " dirty)");
+      opts.profile = pass;
+    }
     FtlEvaluator eval(*db_, opts);
     MOST_ASSIGN_OR_RETURN(TemporalRelation part,
                           eval.EvaluateQueryUnprojected(cq->query, window));
@@ -233,11 +369,33 @@ Status QueryManager::RefreshDelta(Continuous* cq) {
     }
   }
   cq->answer = cq->full.Project(cq->query.retrieve);
+  const uint64_t dur_ns = obs::MonotonicNowNs() - t0;
   cq->evaluated_at = now;
   cq->dirty_objects.clear();
   ++cq->evaluations;
   ++cq->delta_evaluations;
-  total_delta_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(totals_mu_);
+    ++totals_.delta_evaluations;
+  }
+  if (profile != nullptr) {
+    profile->total_ns = dur_ns;
+    profile->root.duration_ns = dur_ns;
+    profile->root.tuples = cq->full.rows.size();
+    cq->last_profile = std::move(profile);
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  if (registry.enabled()) {
+    const QmRegistrySeries& series = QmRegistrySeries::Get();
+    series.delta_refreshes->Inc();
+    series.delta_latency->Observe(static_cast<double>(dur_ns) * 1e-9);
+    series.dirty_set_size->Observe(static_cast<double>(dirty_total));
+  }
+  obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Global();
+  if (slow_log.enabled()) {
+    slow_log.MaybeRecord({cq->id, cq->query.ToString(), "delta", dur_ns,
+                          cq->evaluations});
+  }
   return Status::OK();
 }
 
@@ -359,9 +517,30 @@ Result<QueryManager::RefreshCounters> QueryManager::QueryRefreshCounters(
 }
 
 QueryManager::RefreshCounters QueryManager::TotalRefreshCounters() const {
-  return RefreshCounters{
-      total_delta_refreshes_.load(std::memory_order_relaxed),
-      total_full_refreshes_.load(std::memory_order_relaxed)};
+  std::lock_guard<std::mutex> lock(totals_mu_);
+  return totals_;
+}
+
+Result<std::string> QueryManager::Explain(QueryId id,
+                                          bool include_timings) const {
+  MOST_ASSIGN_OR_RETURN(std::shared_ptr<const obs::QueryProfile> profile,
+                        Profile(id));
+  return profile->Render(include_timings);
+}
+
+Result<std::shared_ptr<const obs::QueryProfile>> QueryManager::Profile(
+    QueryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = continuous_.find(id);
+  if (it == continuous_.end()) {
+    return Status::NotFound("continuous query " + std::to_string(id));
+  }
+  if (it->second.last_profile == nullptr) {
+    return Status::InvalidArgument(
+        "no profile recorded for query " + std::to_string(id) +
+        " (Options::enable_profiling is off)");
+  }
+  return it->second.last_profile;
 }
 
 Status QueryManager::TickAll() {

@@ -16,6 +16,7 @@
 #include "ftl/ast.h"
 #include "ftl/eval.h"
 #include "ftl/interval_cache.h"
+#include "obs/profile.h"
 
 namespace most {
 
@@ -95,6 +96,11 @@ class QueryManager {
     /// most objects dirty the restricted passes would approach full cost
     /// while paying eviction and splice overhead on top.
     double delta_max_dirty_fraction = 0.25;
+    /// Record a per-subformula evaluation profile on every refresh,
+    /// retrievable via Explain(id). Costs one ProfileNode per subformula
+    /// per refresh (never touches the per-tuple hot paths) and does not
+    /// change any answer.
+    bool enable_profiling = true;
   };
 
   explicit QueryManager(MostDatabase* db) : QueryManager(db, Options()) {}
@@ -161,7 +167,22 @@ class QueryManager {
   };
   Result<RefreshCounters> QueryRefreshCounters(QueryId id) const;
   /// Manager-wide totals across all queries (including cancelled ones).
+  /// The pair is taken under one lock, so concurrent refreshes can never
+  /// produce a torn read (a delta counted without its sibling).
   RefreshCounters TotalRefreshCounters() const;
+
+  /// EXPLAIN ANALYZE for FTL: renders the profile recorded by the query's
+  /// most recent refresh — the chosen path (delta/full) with its reason,
+  /// and one node per subformula with wall time, result cardinalities and
+  /// counter deltas (the appendix's bottom-up algorithm computes one
+  /// interval relation per subformula, so the profile tree mirrors the
+  /// formula tree). `include_timings=false` masks wall times for
+  /// deterministic golden output. NotFound for an unknown id,
+  /// InvalidArgument when profiling is disabled.
+  Result<std::string> Explain(QueryId id, bool include_timings = true) const;
+  /// The raw profile behind Explain (shared snapshot; safe to hold after
+  /// further refreshes, which install a fresh profile object).
+  Result<std::shared_ptr<const obs::QueryProfile>> Profile(QueryId id) const;
 
   /// Advances every registered continuous query to the current tick in one
   /// batch: stale answers (dirty or expired) are re-evaluated, fanned out
@@ -212,6 +233,7 @@ class QueryManager {
 
  private:
   struct Continuous {
+    QueryId id = 0;  ///< Registry key, echoed into slow-query-log entries.
     FtlQuery query;
     /// Unprojected Answer relation (one column per WHERE/RETRIEVE
     /// variable). This is the representation the delta path maintains:
@@ -237,6 +259,9 @@ class QueryManager {
     uint64_t evaluations = 0;
     uint64_t delta_evaluations = 0;
     uint64_t full_evaluations = 0;
+    /// Profile of the most recent refresh (null until the first refresh
+    /// or when profiling is disabled).
+    std::shared_ptr<const obs::QueryProfile> last_profile;
     // Trigger state.
     TriggerAction action;
     Tick last_polled = -1;
@@ -268,8 +293,10 @@ class QueryManager {
   /// concurrently.
   Status Refresh(Continuous* cq);
   /// Full window re-evaluation; re-anchors the window at registration and
-  /// on expiry (evicting outrun interval-cache windows).
-  Status RefreshFull(Continuous* cq);
+  /// on expiry (evicting outrun interval-cache windows). `reason` says why
+  /// the full path ran (initial/expired/forced/dirty_fraction/delta_error/
+  /// delta_disabled) — recorded in the profile and the fallback counters.
+  Status RefreshFull(Continuous* cq, const char* reason);
   /// Delta re-evaluation over the existing window: evicts rows binding a
   /// dirty object, runs one domain-restricted pass per dirty column, and
   /// splices the results back into the unprojected relation.
@@ -319,10 +346,13 @@ class QueryManager {
   QueryId next_id_ = 1;
   std::map<QueryId, Continuous> continuous_;
   std::map<QueryId, Persistent> persistent_;
-  /// Manager-wide refresh totals. Atomic because TickAll fans refreshes
-  /// of distinct entries out across the pool while holding mu_.
-  std::atomic<uint64_t> total_delta_refreshes_{0};
-  std::atomic<uint64_t> total_full_refreshes_{0};
+  /// Manager-wide refresh totals. TickAll fans refreshes of distinct
+  /// entries out across the pool while holding mu_, so the pair lives
+  /// under its own small mutex: writers increment one member, readers
+  /// snapshot both consistently (two independent atomics allowed a torn
+  /// read that counted a refresh in neither or one of the two).
+  mutable std::mutex totals_mu_;
+  RefreshCounters totals_;
 };
 
 }  // namespace most

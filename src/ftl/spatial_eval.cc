@@ -4,6 +4,7 @@
 
 #include "geometry/kinematics.h"
 #include "geometry/mec.h"
+#include "obs/trace.h"
 
 namespace most {
 
@@ -91,6 +92,7 @@ std::vector<IntervalSet> InsideTicksBatch(
     const std::vector<const MostObject*>& objs,
     const std::vector<const MostObject*>& anchors, const Polygon& polygon,
     Interval window, ThreadPool* pool) {
+  obs::TraceSpan span("ftl/inside_ticks_batch");
   std::vector<IntervalSet> out(objs.size());
   ParallelFor(pool, objs.size(), [&](size_t i) {
     out[i] = anchors.empty()

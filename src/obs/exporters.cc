@@ -1,0 +1,188 @@
+#include "obs/exporters.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace most::obs {
+
+namespace {
+
+/// Deterministic number rendering: integral values print without a
+/// fractional part (counters, bucket counts), everything else as %g.
+std::string FormatNumber(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// {a="x",b="y"} — empty string for no labels. `extra` appends one more
+/// pair (the histogram `le`).
+std::string LabelBlock(const Labels& labels, const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const char* TypeName(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  for (const FamilySnapshot& fam : registry.Collect()) {
+    if (!fam.help.empty()) {
+      os << "# HELP " << fam.name << " " << fam.help << "\n";
+    }
+    os << "# TYPE " << fam.name << " " << TypeName(fam.type) << "\n";
+    for (const SeriesSnapshot& s : fam.series) {
+      if (fam.type == MetricType::kHistogram && s.hist.has_value()) {
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < s.hist->bounds.size(); ++i) {
+          cumulative += s.hist->counts[i];
+          os << fam.name << "_bucket"
+             << LabelBlock(s.labels, "le", FormatNumber(s.hist->bounds[i]))
+             << " " << cumulative << "\n";
+        }
+        cumulative += s.hist->counts.back();
+        os << fam.name << "_bucket" << LabelBlock(s.labels, "le", "+Inf")
+           << " " << cumulative << "\n";
+        os << fam.name << "_sum" << LabelBlock(s.labels) << " "
+           << FormatNumber(s.hist->sum) << "\n";
+        os << fam.name << "_count" << LabelBlock(s.labels) << " "
+           << s.hist->count << "\n";
+      } else {
+        os << fam.name << LabelBlock(s.labels) << " " << FormatNumber(s.value)
+           << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string JsonSnapshot(const MetricsRegistry& registry,
+                         const std::string& indent) {
+  std::ostringstream os;
+  const std::string i1 = indent + "  ";
+  const std::string i2 = indent + "    ";
+  const std::string i3 = indent + "      ";
+  os << "{\n" << i1 << "\"metrics\": [\n";
+  std::vector<FamilySnapshot> families = registry.Collect();
+  for (size_t f = 0; f < families.size(); ++f) {
+    const FamilySnapshot& fam = families[f];
+    os << i2 << "{\"name\": \"" << EscapeJson(fam.name) << "\", \"type\": \""
+       << TypeName(fam.type) << "\", \"series\": [\n";
+    for (size_t j = 0; j < fam.series.size(); ++j) {
+      const SeriesSnapshot& s = fam.series[j];
+      os << i3 << "{\"labels\": {";
+      bool first = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!first) os << ", ";
+        first = false;
+        os << "\"" << EscapeJson(k) << "\": \"" << EscapeJson(v) << "\"";
+      }
+      os << "}";
+      if (fam.type == MetricType::kHistogram && s.hist.has_value()) {
+        os << ", \"count\": " << s.hist->count
+           << ", \"sum\": " << FormatNumber(s.hist->sum)
+           << ", \"p50\": " << FormatNumber(s.hist->Quantile(0.50))
+           << ", \"p95\": " << FormatNumber(s.hist->Quantile(0.95))
+           << ", \"p99\": " << FormatNumber(s.hist->Quantile(0.99));
+      } else {
+        os << ", \"value\": " << FormatNumber(s.value);
+      }
+      os << "}" << (j + 1 < fam.series.size() ? "," : "") << "\n";
+    }
+    os << i2 << "]}" << (f + 1 < families.size() ? "," : "") << "\n";
+  }
+  os << i1 << "]\n" << indent << "}";
+  return os.str();
+}
+
+void DumpMetrics(std::ostream& os) {
+  os << "=== MOST engine metrics snapshot ===\n"
+     << JsonSnapshot(MetricsRegistry::Global()) << "\n";
+  TraceSink& sink = TraceSink::Global();
+  os << "=== trace sink: " << sink.total_recorded() << " span(s) recorded";
+  if (sink.enabled()) {
+    std::vector<TraceEvent> events = sink.Events();
+    size_t shown = events.size() > 32 ? 32 : events.size();
+    os << ", last " << shown << " ===\n";
+    for (size_t i = events.size() - shown; i < events.size(); ++i) {
+      os << "  " << events[i].name << " thread=" << events[i].thread
+         << " start_ns=" << events[i].start_ns
+         << " dur_ns=" << events[i].duration_ns << "\n";
+    }
+  } else {
+    os << " (tracing disabled; set MOST_TRACE=1) ===\n";
+  }
+}
+
+}  // namespace most::obs

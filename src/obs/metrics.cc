@@ -1,0 +1,359 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+
+namespace most::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  MOST_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be sorted";
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::Observe(double v) {
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (target >= count) target = count - 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (cumulative + counts[i] <= target) {
+      cumulative += counts[i];
+      continue;
+    }
+    if (i >= bounds.size()) {
+      // +Inf bucket: no upper bound to interpolate toward.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    double lower = i == 0 ? 0.0 : bounds[i - 1];
+    double upper = bounds[i];
+    double frac = counts[i] == 0
+                      ? 0.0
+                      : static_cast<double>(target - cumulative + 1) /
+                            static_cast<double>(counts[i]);
+    return lower + (upper - lower) * frac;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  std::vector<double> out;
+  out.reserve(count);
+  double v = start;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = [] {
+    auto* r = new MetricsRegistry();
+    const char* env = std::getenv("MOST_METRICS");
+    if (env != nullptr && std::string(env) == "off") r->set_enabled(false);
+    // Failpoint firings are collected lazily: the failpoint registry lives
+    // below obs in the dependency order, so obs pulls the per-site counts
+    // at snapshot time instead of failpoint.cc pushing them.
+    r->AddCollector([](std::vector<FamilySnapshot>* out) {
+      FamilySnapshot fam;
+      fam.name = "most_failpoint_fired_total";
+      fam.help = "Failpoint sites fired (acted on a hit) since start";
+      fam.type = MetricType::kCounter;
+      for (const auto& [site, n] :
+           FailpointRegistry::Instance().TriggeredCounts()) {
+        SeriesSnapshot s;
+        s.labels = {{"site", site}};
+        s.value = static_cast<double>(n);
+        fam.series.push_back(std::move(s));
+      }
+      if (!fam.series.empty()) out->push_back(std::move(fam));
+    });
+    return r;
+  }();
+  return *global;
+}
+
+void MetricsRegistry::NoteFamily(const std::string& name, MetricType type,
+                                 const std::string& help) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    families_.emplace(name, std::make_pair(type, help));
+    return;
+  }
+  MOST_CHECK(it->second.first == type)
+      << "metric '" << name << "' registered with conflicting types";
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NoteFamily(name, MetricType::kCounter, help);
+  MetricKey key{name, std::move(labels)};
+  auto it = owned_.find(key);
+  if (it == owned_.end()) {
+    Owned o;
+    o.type = MetricType::kCounter;
+    o.counter = std::make_unique<Counter>();
+    it = owned_.emplace(std::move(key), std::move(o)).first;
+  }
+  MOST_CHECK(it->second.type == MetricType::kCounter) << name;
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NoteFamily(name, MetricType::kGauge, help);
+  MetricKey key{name, std::move(labels)};
+  auto it = owned_.find(key);
+  if (it == owned_.end()) {
+    Owned o;
+    o.type = MetricType::kGauge;
+    o.gauge = std::make_unique<Gauge>();
+    it = owned_.emplace(std::move(key), std::move(o)).first;
+  }
+  MOST_CHECK(it->second.type == MetricType::kGauge) << name;
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds,
+                                         Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NoteFamily(name, MetricType::kHistogram, help);
+  MetricKey key{name, std::move(labels)};
+  auto it = owned_.find(key);
+  if (it == owned_.end()) {
+    Owned o;
+    o.type = MetricType::kHistogram;
+    o.histogram = std::make_unique<Histogram>(std::move(bounds));
+    it = owned_.emplace(std::move(key), std::move(o)).first;
+  }
+  MOST_CHECK(it->second.type == MetricType::kHistogram) << name;
+  return it->second.histogram.get();
+}
+
+uint64_t MetricsRegistry::AttachCounter(const std::string& name,
+                                        const std::string& help,
+                                        Labels labels, const Counter* metric) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NoteFamily(name, MetricType::kCounter, help);
+  uint64_t id = next_id_++;
+  attached_[id] = {MetricKey{name, std::move(labels)}, MetricType::kCounter,
+                   metric};
+  return id;
+}
+
+uint64_t MetricsRegistry::AttachGauge(const std::string& name,
+                                      const std::string& help, Labels labels,
+                                      const Gauge* metric) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NoteFamily(name, MetricType::kGauge, help);
+  uint64_t id = next_id_++;
+  attached_[id] = {MetricKey{name, std::move(labels)}, MetricType::kGauge,
+                   metric};
+  return id;
+}
+
+uint64_t MetricsRegistry::AttachHistogram(const std::string& name,
+                                          const std::string& help,
+                                          Labels labels,
+                                          const Histogram* metric) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NoteFamily(name, MetricType::kHistogram, help);
+  uint64_t id = next_id_++;
+  attached_[id] = {MetricKey{name, std::move(labels)}, MetricType::kHistogram,
+                   metric};
+  return id;
+}
+
+void MetricsRegistry::DetachMetric(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = attached_.find(id);
+  if (it == attached_.end()) return;
+  const Attached& a = it->second;
+  if (a.type == MetricType::kGauge) {
+    // A dead instance's gauge contributes nothing: no retired entry, the
+    // series just disappears (or shrinks to the surviving instances).
+    attached_.erase(it);
+    return;
+  }
+  Retired& r = retired_[a.key];
+  switch (a.type) {
+    case MetricType::kCounter:
+      r.value += static_cast<double>(
+          static_cast<const Counter*>(a.metric)->value());
+      break;
+    case MetricType::kGauge:
+      break;
+    case MetricType::kHistogram: {
+      Histogram::Snapshot s =
+          static_cast<const Histogram*>(a.metric)->snapshot();
+      if (!r.hist.has_value()) {
+        r.hist = s;
+      } else {
+        MOST_CHECK(r.hist->bounds == s.bounds) << a.key.name;
+        for (size_t i = 0; i < s.counts.size(); ++i) {
+          r.hist->counts[i] += s.counts[i];
+        }
+        r.hist->count += s.count;
+        r.hist->sum += s.sum;
+      }
+      break;
+    }
+  }
+  attached_.erase(it);
+}
+
+uint64_t MetricsRegistry::AddCollector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_id_++;
+  collectors_[id] = std::move(fn);
+  return id;
+}
+
+void MetricsRegistry::RemoveCollector(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(id);
+}
+
+std::vector<FamilySnapshot> MetricsRegistry::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  struct SeriesAgg {
+    double value = 0.0;
+    std::optional<Histogram::Snapshot> hist;
+  };
+  std::map<MetricKey, SeriesAgg> agg;
+
+  auto fold_hist = [](SeriesAgg* a, const Histogram::Snapshot& s) {
+    if (!a->hist.has_value()) {
+      a->hist = s;
+      return;
+    }
+    MOST_CHECK(a->hist->bounds == s.bounds);
+    for (size_t i = 0; i < s.counts.size(); ++i) {
+      a->hist->counts[i] += s.counts[i];
+    }
+    a->hist->count += s.count;
+    a->hist->sum += s.sum;
+  };
+
+  for (const auto& [key, owned] : owned_) {
+    SeriesAgg& a = agg[key];
+    switch (owned.type) {
+      case MetricType::kCounter:
+        a.value += static_cast<double>(owned.counter->value());
+        break;
+      case MetricType::kGauge:
+        a.value += static_cast<double>(owned.gauge->value());
+        break;
+      case MetricType::kHistogram:
+        fold_hist(&a, owned.histogram->snapshot());
+        break;
+    }
+  }
+  for (const auto& [id, att] : attached_) {
+    SeriesAgg& a = agg[att.key];
+    switch (att.type) {
+      case MetricType::kCounter:
+        a.value += static_cast<double>(
+            static_cast<const Counter*>(att.metric)->value());
+        break;
+      case MetricType::kGauge:
+        a.value += static_cast<double>(
+            static_cast<const Gauge*>(att.metric)->value());
+        break;
+      case MetricType::kHistogram:
+        fold_hist(&a, static_cast<const Histogram*>(att.metric)->snapshot());
+        break;
+    }
+  }
+  for (const auto& [key, retired] : retired_) {
+    SeriesAgg& a = agg[key];
+    a.value += retired.value;
+    if (retired.hist.has_value()) fold_hist(&a, *retired.hist);
+  }
+
+  std::vector<FamilySnapshot> out;
+  for (auto& [key, a] : agg) {
+    if (out.empty() || out.back().name != key.name) {
+      auto fam = families_.find(key.name);
+      FamilySnapshot f;
+      f.name = key.name;
+      if (fam != families_.end()) {
+        f.type = fam->second.first;
+        f.help = fam->second.second;
+      }
+      out.push_back(std::move(f));
+    }
+    SeriesSnapshot s;
+    s.labels = key.labels;
+    s.value = a.value;
+    s.hist = std::move(a.hist);
+    out.back().series.push_back(std::move(s));
+  }
+  for (const auto& [id, collector] : collectors_) {
+    collector(&out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FamilySnapshot& a, const FamilySnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, owned] : owned_) {
+    switch (owned.type) {
+      case MetricType::kCounter:
+        owned.counter->Reset();
+        break;
+      case MetricType::kGauge:
+        owned.gauge->Reset();
+        break;
+      case MetricType::kHistogram:
+        owned.histogram->Reset();
+        break;
+    }
+  }
+  retired_.clear();
+}
+
+}  // namespace most::obs

@@ -1,0 +1,55 @@
+#include "obs/profile.h"
+
+#include <sstream>
+
+namespace most::obs {
+
+ProfileNode* ProfileNode::AddChild(std::string child_label) {
+  children.push_back(std::make_unique<ProfileNode>());
+  children.back()->label = std::move(child_label);
+  return children.back().get();
+}
+
+namespace {
+
+void RenderNode(const ProfileNode& node, int depth, bool include_timings,
+                std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  *os << "-> " << node.label << "  (tuples=" << node.tuples
+      << " intervals=" << node.intervals << " time=";
+  if (include_timings) {
+    *os << node.duration_ns << "ns";
+  } else {
+    *os << "..ns";
+  }
+  for (const auto& [name, value] : node.notes) {
+    *os << " " << name << "=" << value;
+  }
+  *os << ")\n";
+  for (const auto& child : node.children) {
+    RenderNode(*child, depth + 1, include_timings, os);
+  }
+}
+
+}  // namespace
+
+std::string QueryProfile::Render(bool include_timings) const {
+  std::ostringstream os;
+  os << "Query: " << query << "\n";
+  os << "Window: " << window << "\n";
+  os << "Path: " << path;
+  if (!reason.empty()) os << " (" << reason << ")";
+  os << "\n";
+  os << "Refresh: #" << refresh_seq << " dirty_objects=" << dirty_objects
+     << " total=";
+  if (include_timings) {
+    os << total_ns << "ns";
+  } else {
+    os << "..ns";
+  }
+  os << "\n";
+  RenderNode(root, 0, include_timings, &os);
+  return os.str();
+}
+
+}  // namespace most::obs

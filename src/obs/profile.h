@@ -1,0 +1,54 @@
+#ifndef MOST_OBS_PROFILE_H_
+#define MOST_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace most::obs {
+
+/// One profiled operator in an FTL evaluation: a subformula node (atomic
+/// predicate, boolean connective, temporal operator, assignment) annotated
+/// with what evaluating it produced and cost. The paper's bottom-up
+/// evaluation builds an interval relation R_g per subformula g, so the
+/// profile tree mirrors the formula tree exactly.
+struct ProfileNode {
+  std::string label;          ///< Operator + rendered subformula fragment.
+  uint64_t duration_ns = 0;   ///< Inclusive wall time of this node.
+  uint64_t tuples = 0;        ///< Bindings in the resulting interval relation.
+  uint64_t intervals = 0;     ///< Total time intervals across those bindings.
+  /// Operator-specific annotations rendered `name=value`, in insertion
+  /// order (cache=hit, pruned=12, pairs=400, ...).
+  std::vector<std::pair<std::string, uint64_t>> notes;
+  std::vector<std::unique_ptr<ProfileNode>> children;
+
+  ProfileNode* AddChild(std::string child_label);
+  void Note(std::string name, uint64_t value) {
+    notes.emplace_back(std::move(name), value);
+  }
+};
+
+/// A full per-query evaluation profile: header facts about the refresh that
+/// produced it plus the operator tree. Retrieved via QueryManager::Explain
+/// and rendered as indented text — EXPLAIN ANALYZE for FTL.
+struct QueryProfile {
+  std::string query;        ///< Source text (or rendered formula).
+  std::string window;       ///< Evaluation window [begin, end).
+  std::string path;         ///< "delta" | "full" | "initial".
+  std::string reason;       ///< Why that path was chosen / fallback cause.
+  uint64_t refresh_seq = 0; ///< Which refresh of the query this profile is.
+  uint64_t dirty_objects = 0;
+  uint64_t total_ns = 0;
+  ProfileNode root;
+
+  /// Indented text rendering. `include_timings=false` masks every
+  /// duration as "..ns" so golden tests stay deterministic while keeping
+  /// structure, cardinalities and notes exact.
+  std::string Render(bool include_timings = true) const;
+};
+
+}  // namespace most::obs
+
+#endif  // MOST_OBS_PROFILE_H_

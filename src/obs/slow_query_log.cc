@@ -1,0 +1,75 @@
+#include "obs/slow_query_log.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace most::obs {
+
+SlowQueryLog& SlowQueryLog::Global() {
+  static SlowQueryLog* global = [] {
+    auto* log = new SlowQueryLog();
+    if (const char* env = std::getenv("MOST_SLOW_QUERY_MS")) {
+      char* end = nullptr;
+      double ms = std::strtod(env, &end);
+      if (end != env && ms > 0) {
+        log->set_threshold_ns(static_cast<uint64_t>(ms * 1e6));
+      }
+    }
+    return log;
+  }();
+  return *global;
+}
+
+uint64_t SlowQueryLog::threshold_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threshold_ns_;
+}
+
+void SlowQueryLog::set_threshold_ns(uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threshold_ns_ = ns;
+}
+
+bool SlowQueryLog::MaybeRecord(Entry entry) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (threshold_ns_ == 0 || entry.duration_ns < threshold_ns_) return false;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(entry);
+    } else {
+      ring_[next_] = entry;
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++recorded_;
+  }
+  MOST_LOG(Warning) << "slow query #" << entry.query_id << " ("
+                    << entry.path << " refresh " << entry.refresh_seq
+                    << "): " << entry.duration_ns / 1000000.0 << "ms -- "
+                    << entry.query;
+  return true;
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) return ring_;
+  std::vector<Entry> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+}  // namespace most::obs

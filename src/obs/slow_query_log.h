@@ -1,0 +1,55 @@
+#ifndef MOST_OBS_SLOW_QUERY_LOG_H_
+#define MOST_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace most::obs {
+
+/// Records query refreshes that exceeded a latency threshold. Each hit is
+/// logged at Warning level through common/logging and retained in a small
+/// in-memory ring so tests and the shell can inspect recent offenders.
+///
+/// Threshold 0 disables the log (the default). The Global() instance reads
+/// MOST_SLOW_QUERY_MS once at first use.
+class SlowQueryLog {
+ public:
+  struct Entry {
+    uint64_t query_id = 0;
+    std::string query;       ///< Source text (possibly truncated).
+    std::string path;        ///< "delta" | "full" | "initial".
+    uint64_t duration_ns = 0;
+    uint64_t refresh_seq = 0;
+  };
+
+  static SlowQueryLog& Global();
+
+  explicit SlowQueryLog(size_t capacity = 64) : capacity_(capacity) {}
+
+  uint64_t threshold_ns() const;
+  void set_threshold_ns(uint64_t ns);
+  bool enabled() const { return threshold_ns() > 0; }
+
+  /// Records the refresh if duration_ns >= threshold (and the log is
+  /// enabled). Returns true when the entry was recorded.
+  bool MaybeRecord(Entry entry);
+
+  /// Recorded entries, oldest first (at most `capacity`).
+  std::vector<Entry> Entries() const;
+  uint64_t total_recorded() const;
+  void Clear();
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t threshold_ns_ = 0;
+  std::vector<Entry> ring_;
+  size_t next_ = 0;
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace most::obs
+
+#endif  // MOST_OBS_SLOW_QUERY_LOG_H_

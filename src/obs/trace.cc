@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace most::obs {
+
+namespace {
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+uint64_t MonotonicNowNs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+TraceSink& TraceSink::Global() {
+  static TraceSink* global = [] {
+    auto* sink = new TraceSink();
+    const char* env = std::getenv("MOST_TRACE");
+    if (env != nullptr && std::string(env) == "1") sink->set_enabled(true);
+    return sink;
+  }();
+  return *global;
+}
+
+TraceSink::TraceSink(size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceSink::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceSink::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) return ring_;
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+uint64_t TraceSink::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+TraceSpan::TraceSpan(const char* name, TraceSink* sink)
+    : sink_(sink), name_(name) {
+  if (sink_ != nullptr && sink_->enabled()) {
+    armed_ = true;
+    start_ns_ = MonotonicNowNs();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  TraceEvent e;
+  e.name = name_;
+  e.start_ns = start_ns_;
+  e.duration_ns = MonotonicNowNs() - start_ns_;
+  e.thread = CurrentThreadId();
+  sink_->Record(e);
+}
+
+}  // namespace most::obs

@@ -1,0 +1,78 @@
+#ifndef MOST_OBS_TRACE_H_
+#define MOST_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace most::obs {
+
+/// One completed span. `name` points at a string literal (span sites are
+/// static); wall times are steady-clock nanoseconds since process start.
+struct TraceEvent {
+  const char* name = "";
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  uint32_t thread = 0;  ///< Small dense id, assigned per recording thread.
+};
+
+/// Fixed-capacity in-memory ring buffer of completed spans. Disabled by
+/// default: an unrecorded span costs one relaxed atomic load. Enable via
+/// set_enabled(true) or MOST_TRACE=1 (Global sink only).
+class TraceSink {
+ public:
+  static TraceSink& Global();
+
+  explicit TraceSink(size_t capacity = 4096);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  void Record(const TraceEvent& event);
+
+  /// Buffered events, oldest first (at most `capacity`).
+  std::vector<TraceEvent> Events() const;
+  /// Total spans recorded, including those the ring has overwritten.
+  uint64_t total_recorded() const;
+  void Clear();
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;          ///< Ring write position.
+  uint64_t recorded_ = 0;
+};
+
+/// Scoped span: records [construction, destruction) into the sink when the
+/// sink is enabled. Cheap when disabled (no clock reads).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : TraceSpan(name, &TraceSink::Global()) {}
+  TraceSpan(const char* name, TraceSink* sink);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceSink* sink_;
+  const char* name_;
+  uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+/// Steady-clock nanoseconds since an arbitrary process-local epoch: the
+/// time base spans, profiles and latency observations share.
+uint64_t MonotonicNowNs();
+
+}  // namespace most::obs
+
+#endif  // MOST_OBS_TRACE_H_

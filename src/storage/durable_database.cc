@@ -4,8 +4,32 @@
 #include <cstdio>
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace most {
+
+namespace {
+
+/// Flushes one recovery's RecoveryReport into engine-wide counters, so the
+/// exporters can answer "how many records has salvage ever dropped".
+void RecordRecovery(const RecoveryReport& report) {
+  auto& r = obs::MetricsRegistry::Global();
+  if (!r.enabled()) return;
+  r.GetCounter("most_wal_recoveries_total", "Durable-database opens that "
+               "replayed a log")->Inc();
+  r.GetCounter("most_wal_recovered_records_total",
+               "Records replayed across recoveries", {{"outcome", "applied"}})
+      ->Inc(report.applied);
+  r.GetCounter("most_wal_recovered_records_total",
+               "Records replayed across recoveries", {{"outcome", "salvaged"}})
+      ->Inc(report.salvaged);
+  r.GetCounter("most_wal_recovered_records_total",
+               "Records replayed across recoveries", {{"outcome", "dropped"}})
+      ->Inc(report.dropped);
+}
+
+}  // namespace
 
 Status DurableDatabase::Open(const std::string& path,
                              size_t* recovered_records) {
@@ -50,6 +74,7 @@ Status DurableDatabase::Open(const std::string& path,
     }
   }
   if (recovered_records != nullptr) *recovered_records = report_.applied;
+  RecordRecovery(report_);
   return writer_.Open(path, wopts);
 }
 
@@ -216,6 +241,26 @@ Status DurableDatabase::WriteSnapshot(const std::string& tmp_path) {
 
 Status DurableDatabase::Checkpoint() {
   if (!is_open()) return Status::Internal("database is not open");
+  obs::TraceSpan span("storage/checkpoint");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const uint64_t t0 = registry.enabled() ? obs::MonotonicNowNs() : 0;
+  Status status = CheckpointImpl();
+  if (registry.enabled()) {
+    registry
+        .GetCounter("most_checkpoints_total",
+                    "Checkpoint attempts by outcome",
+                    {{"outcome", status.ok() ? "ok" : "error"}})
+        ->Inc();
+    registry
+        .GetHistogram("most_checkpoint_latency_seconds",
+                      "Checkpoint wall time",
+                      obs::ExponentialBuckets(1e-5, 4.0, 10))
+        ->Observe(static_cast<double>(obs::MonotonicNowNs() - t0) * 1e-9);
+  }
+  return status;
+}
+
+Status DurableDatabase::CheckpointImpl() {
   MOST_FAILPOINT("durable/checkpoint/begin");
   const std::string tmp_path = path_ + ".checkpoint";
   Status written = WriteSnapshot(tmp_path);

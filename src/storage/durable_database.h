@@ -89,6 +89,9 @@ class DurableDatabase {
 
  private:
   Status Apply(const WalRecord& record);
+  // Uninstrumented checkpoint body; Checkpoint() times it into the
+  // registry (most_checkpoint_latency_seconds, most_checkpoints_total).
+  Status CheckpointImpl();
   /// Append + durability-appropriate sync: the commit point of every
   /// logged mutation.
   Status Commit(const WalRecord& record);

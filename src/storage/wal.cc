@@ -6,6 +6,8 @@
 
 #include "common/crc32.h"
 #include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -14,6 +16,34 @@
 namespace most {
 
 namespace {
+
+/// Registry-owned series for the durability path. Append/Sync each pay two
+/// steady-clock reads when metrics are enabled, nothing when disabled.
+struct WalRegistrySeries {
+  obs::Counter* appends;
+  obs::Counter* syncs;
+  obs::Histogram* append_latency;
+  obs::Histogram* sync_latency;
+
+  static const WalRegistrySeries& Get() {
+    static const WalRegistrySeries s = [] {
+      auto& r = obs::MetricsRegistry::Global();
+      WalRegistrySeries s;
+      s.appends = r.GetCounter("most_wal_appends_total",
+                               "WAL records appended (including failed)");
+      s.syncs = r.GetCounter("most_wal_syncs_total",
+                             "WAL fsync/fdatasync calls");
+      s.append_latency = r.GetHistogram(
+          "most_wal_append_latency_seconds", "WAL Append wall time",
+          obs::ExponentialBuckets(1e-6, 4.0, 10));
+      s.sync_latency = r.GetHistogram(
+          "most_wal_sync_latency_seconds", "WAL Sync wall time",
+          obs::ExponentialBuckets(1e-6, 4.0, 10));
+      return s;
+    }();
+    return s;
+  }
+};
 
 // Field escaping: '%', '|', ',', ':', newline, CR.
 std::string Escape(const std::string& in) {
@@ -343,6 +373,19 @@ Status WalWriter::Open(const std::string& path, Options options) {
 
 Status WalWriter::Append(const WalRecord& record) {
   if (file_ == nullptr) return Status::Internal("WAL is not open");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const uint64_t t0 = registry.enabled() ? obs::MonotonicNowNs() : 0;
+  Status status = AppendImpl(record);
+  if (registry.enabled()) {
+    const WalRegistrySeries& series = WalRegistrySeries::Get();
+    series.appends->Inc();
+    series.append_latency->Observe(
+        static_cast<double>(obs::MonotonicNowNs() - t0) * 1e-9);
+  }
+  return status;
+}
+
+Status WalWriter::AppendImpl(const WalRecord& record) {
   std::string line = EncodeWalRecord(record, options_.format_version);
   line += '\n';
   FailpointRegistry::WriteFault fault =
@@ -371,6 +414,19 @@ Status WalWriter::Flush() {
 
 Status WalWriter::Sync() {
   if (file_ == nullptr) return Status::Internal("WAL is not open");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const uint64_t t0 = registry.enabled() ? obs::MonotonicNowNs() : 0;
+  Status status = SyncImpl();
+  if (registry.enabled()) {
+    const WalRegistrySeries& series = WalRegistrySeries::Get();
+    series.syncs->Inc();
+    series.sync_latency->Observe(
+        static_cast<double>(obs::MonotonicNowNs() - t0) * 1e-9);
+  }
+  return status;
+}
+
+Status WalWriter::SyncImpl() {
   MOST_RETURN_IF_ERROR(Flush());
   MOST_FAILPOINT("wal/sync");
 #if defined(__APPLE__)

@@ -80,6 +80,11 @@ class WalWriter {
   void Close();
 
  private:
+  // Uninstrumented bodies; the public wrappers time them into the metrics
+  // registry (most_wal_append_latency_seconds / most_wal_sync_latency_...).
+  Status AppendImpl(const WalRecord& record);
+  Status SyncImpl();
+
   std::FILE* file_ = nullptr;
   Options options_;
 };

@@ -26,6 +26,8 @@
 
 #include <gtest/gtest.h>
 
+#include "metrics_dump_listener.h"
+
 #include "common/failpoint.h"
 #include "common/rng.h"
 #include "storage/durable_database.h"

@@ -28,6 +28,9 @@
 #include "ftl/eval.h"
 #include "ftl/interval_cache.h"
 #include "ftl/naive_eval.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "ftl/query_manager.h"
 #include "workload/fleet.h"
 
@@ -260,6 +263,58 @@ TEST(DifferentialTest, SerialNaiveAndParallelAgreeOnGridWorlds) {
     }
   }
   EXPECT_GE(queries, 200) << "differential corpus shrank below spec";
+}
+
+// Corpus 1b: instrumentation must be invisible to answers. The same grid
+// worlds and random formulas, evaluated with the observability layer fully
+// off (registry kill switch, no profile) and fully on (registry enabled,
+// trace sink recording, per-subformula profile tree): relations must be
+// byte-identical. This is the guard that keeps metric flushes, trace spans
+// and profile bookkeeping off the semantic path.
+TEST(DifferentialTest, InstrumentationOnAndOffAgreeByteForByte) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::TraceSink& sink = obs::TraceSink::Global();
+  const bool sink_was_enabled = sink.enabled();
+  int queries = 0;
+  for (uint64_t seed : {1, 2, 3, 4, 5, 6, 42, 1997, 2026}) {
+    Rng rng(seed);
+    for (int world = 0; world < 4; ++world) {
+      MostDatabase db;
+      ASSERT_NO_FATAL_FAILURE(
+          BuildGridWorld(&rng, &db, 2 + static_cast<int>(world % 3)));
+      for (int round = 0; round < 6; ++round) {
+        ++queries;
+        FtlQuery query;
+        query.retrieve = {"o", "n"};
+        query.from = {{"M", "o"}, {"M", "n"}};
+        query.where = RandomFormula(&rng, 2);
+        Interval window(0, 30);
+
+        registry.set_enabled(false);
+        sink.set_enabled(false);
+        FtlEvaluator plain(db);
+        auto baseline = plain.EvaluateQuery(query, window);
+        ASSERT_TRUE(baseline.ok())
+            << baseline.status() << "\nformula: " << query.where->ToString();
+
+        registry.set_enabled(true);
+        sink.set_enabled(true);
+        obs::QueryProfile profile;
+        FtlEvaluator::Options opts;
+        opts.profile = &profile.root;
+        FtlEvaluator instrumented(db, opts);
+        auto traced = instrumented.EvaluateQuery(query, window);
+        ASSERT_TRUE(traced.ok()) << traced.status();
+        EXPECT_EQ(traced->vars, baseline->vars);
+        EXPECT_EQ(traced->rows, baseline->rows)
+            << "instrumentation changed the answer\nformula: "
+            << query.where->ToString();
+      }
+    }
+  }
+  registry.set_enabled(true);
+  sink.set_enabled(sink_was_enabled);
+  EXPECT_GE(queries, 200) << "instrumentation corpus shrank below spec";
 }
 
 // Corpus 2: continuous fleet worlds from the workload generator. The naive

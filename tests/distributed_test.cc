@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common/failpoint.h"
 #include "distributed/coordinator.h"
 #include "distributed/mobile_node.h"
@@ -39,6 +42,36 @@ TEST(SimNetworkTest, DeliversAfterLatency) {
   EXPECT_EQ(received[0], 2);
   EXPECT_EQ(net.stats().messages_sent, 1u);
   EXPECT_EQ(net.stats().messages_delivered, 1u);
+}
+
+TEST(SimNetworkTest, StatsSnapshotIsRaceFree) {
+  // A monitoring thread snapshots stats() while the simulation thread
+  // drives traffic. Every field is its own atomic counter, so the reader
+  // never tears a word (run under -DMOST_SANITIZE=thread to verify) and
+  // counters are monotone.
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1, .loss_probability = 0.2});
+  NodeId a = net.AddNode(nullptr);
+  NodeId b = net.AddNode([](const Message&) {});
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    uint64_t last_sent = 0;
+    while (!stop.load()) {
+      SimNetwork::Stats s = net.stats();
+      ASSERT_GE(s.messages_sent, last_sent) << "counter went backwards";
+      last_sent = s.messages_sent;
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    net.Send(a, b, CancelQuery{static_cast<uint64_t>(i)});
+    clock.Advance(1);
+    net.DeliverDue();
+  }
+  stop.store(true);
+  reader.join();
+  SimNetwork::Stats s = net.stats();
+  EXPECT_EQ(s.messages_sent, 2000u);
+  EXPECT_GT(s.dropped_loss, 0u);
 }
 
 TEST(SimNetworkTest, DisconnectionDropsMessages) {

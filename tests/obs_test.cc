@@ -1,0 +1,339 @@
+// Unit tests for the observability layer (src/obs): metric primitives,
+// registry aggregation and attach/detach lifecycle, exporter goldens, the
+// trace sink ring, and the slow-query log.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
+
+namespace most::obs {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.Set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), -3);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({0.1, 1.0});
+  h.Observe(0.1);    // Equal to a bound: belongs to that bucket (le).
+  h.Observe(0.05);   // Below the first bound.
+  h.Observe(0.1001); // Just above: next bucket.
+  h.Observe(1.0);
+  h.Observe(2.0);    // +Inf bucket.
+  Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 3u);
+  EXPECT_EQ(s.counts[0], 2u);  // 0.05, 0.1
+  EXPECT_EQ(s.counts[1], 2u);  // 0.1001, 1.0
+  EXPECT_EQ(s.counts[2], 1u);  // 2.0
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.1 + 0.05 + 0.1001 + 1.0 + 2.0);
+}
+
+TEST(HistogramTest, ConcurrentObservesAreExact) {
+  Histogram h(ExponentialBuckets(1.0, 2.0, 8));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>(t % 4));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.snapshot().count, uint64_t{kThreads} * kPerThread);
+}
+
+TEST(HistogramTest, QuantileInterpolatesAndCapsAtLastBound) {
+  Histogram h({10.0, 100.0});
+  for (int i = 0; i < 100; ++i) h.Observe(5.0);
+  Histogram::Snapshot s = h.snapshot();
+  // All mass in [0, 10]: the median interpolates inside that bucket.
+  double p50 = s.Quantile(0.50);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 10.0);
+  // +Inf landings report the largest finite bound, not infinity.
+  Histogram h2({10.0});
+  h2.Observe(1e9);
+  EXPECT_DOUBLE_EQ(h2.snapshot().Quantile(0.99), 10.0);
+}
+
+TEST(ExponentialBucketsTest, GeometricSeries) {
+  std::vector<double> b = ExponentialBuckets(1e-5, 4.0, 3);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_DOUBLE_EQ(b[0], 1e-5);
+  EXPECT_DOUBLE_EQ(b[1], 4e-5);
+  EXPECT_DOUBLE_EQ(b[2], 16e-5);
+}
+
+TEST(RegistryTest, GetOrCreateReturnsSameSeries) {
+  MetricsRegistry r;
+  Counter* a = r.GetCounter("most_x_total", "x", {{"k", "v"}});
+  Counter* b = r.GetCounter("most_x_total", "x", {{"k", "v"}});
+  Counter* c = r.GetCounter("most_x_total", "x", {{"k", "w"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(RegistryTest, AttachedSeriesSumAndDetachFoldsIntoRetired) {
+  MetricsRegistry r;
+  Counter c1, c2;
+  uint64_t id1 = r.AttachCounter("most_inst_total", "per-instance", {}, &c1);
+  uint64_t id2 = r.AttachCounter("most_inst_total", "per-instance", {}, &c2);
+  c1.Inc(5);
+  c2.Inc(2);
+
+  auto value_of = [&]() -> double {
+    for (const FamilySnapshot& fam : r.Collect()) {
+      if (fam.name == "most_inst_total") return fam.series.at(0).value;
+    }
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(value_of(), 7.0);
+
+  // Detach one instance: its final value is folded into the retired
+  // accumulator, so the engine-wide total stays monotone.
+  r.DetachMetric(id1);
+  EXPECT_DOUBLE_EQ(value_of(), 7.0);
+  c2.Inc(1);
+  EXPECT_DOUBLE_EQ(value_of(), 8.0);
+  r.DetachMetric(id2);
+  EXPECT_DOUBLE_EQ(value_of(), 8.0);
+}
+
+TEST(RegistryTest, DetachedGaugeDisappears) {
+  MetricsRegistry r;
+  Gauge g;
+  uint64_t id = r.AttachGauge("most_depth", "depth", {}, &g);
+  g.Set(9);
+  ASSERT_EQ(r.Collect().size(), 1u);
+  r.DetachMetric(id);
+  EXPECT_TRUE(r.Collect().empty());
+}
+
+TEST(RegistryTest, DetachedHistogramKeepsItsMass) {
+  MetricsRegistry r;
+  Histogram h({1.0, 10.0});
+  uint64_t id = r.AttachHistogram("most_lat", "lat", {}, &h);
+  h.Observe(0.5);
+  h.Observe(5.0);
+  r.DetachMetric(id);
+  std::vector<FamilySnapshot> fams = r.Collect();
+  ASSERT_EQ(fams.size(), 1u);
+  ASSERT_TRUE(fams[0].series.at(0).hist.has_value());
+  EXPECT_EQ(fams[0].series.at(0).hist->count, 2u);
+}
+
+TEST(RegistryTest, EnabledFlagIsAKillSwitch) {
+  MetricsRegistry r;
+  EXPECT_TRUE(r.enabled());
+  r.set_enabled(false);
+  EXPECT_FALSE(r.enabled());
+  r.set_enabled(true);
+  EXPECT_TRUE(r.enabled());
+}
+
+TEST(RegistryTest, ResetValuesZeroesOwnedAndDropsRetired) {
+  MetricsRegistry r;
+  r.GetCounter("most_a_total", "a")->Inc(3);
+  Counter c;
+  uint64_t id = r.AttachCounter("most_b_total", "b", {}, &c);
+  c.Inc(4);
+  r.DetachMetric(id);
+  r.ResetValues();
+  for (const FamilySnapshot& fam : r.Collect()) {
+    for (const SeriesSnapshot& s : fam.series) {
+      EXPECT_DOUBLE_EQ(s.value, 0.0) << fam.name;
+    }
+  }
+}
+
+TEST(RegistryTest, CollectorContributesComputedFamilies) {
+  MetricsRegistry r;
+  uint64_t id = r.AddCollector([](std::vector<FamilySnapshot>* out) {
+    FamilySnapshot fam;
+    fam.name = "most_computed_total";
+    fam.type = MetricType::kCounter;
+    SeriesSnapshot s;
+    s.value = 42.0;
+    fam.series.push_back(std::move(s));
+    out->push_back(std::move(fam));
+  });
+  std::vector<FamilySnapshot> fams = r.Collect();
+  ASSERT_EQ(fams.size(), 1u);
+  EXPECT_EQ(fams[0].name, "most_computed_total");
+  r.RemoveCollector(id);
+  EXPECT_TRUE(r.Collect().empty());
+}
+
+TEST(RegistryTest, FailpointFiringsReachTheGlobalRegistry) {
+  FailpointRegistry& fps = FailpointRegistry::Instance();
+  ASSERT_TRUE(fps.Arm("obs/test_probe", "noop").ok());
+  (void)fps.Check("obs/test_probe");
+  fps.Disarm("obs/test_probe");
+
+  bool found = false;
+  for (const FamilySnapshot& fam : MetricsRegistry::Global().Collect()) {
+    if (fam.name != "most_failpoint_fired_total") continue;
+    for (const SeriesSnapshot& s : fam.series) {
+      auto it = s.labels.find("site");
+      if (it != s.labels.end() && it->second == "obs/test_probe") {
+        found = true;
+        EXPECT_GE(s.value, 1.0);
+      }
+    }
+  }
+  EXPECT_TRUE(found) << "fired failpoint missing from metrics collection";
+}
+
+// Exporter goldens: a small fixed registry must serialize byte-for-byte
+// identically, so downstream scrapers and the BENCH_*.json consumers can
+// depend on the exact shape.
+class ExporterGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_.GetCounter("most_test_events_total", "Events seen",
+                         {{"kind", "a"}})
+        ->Inc(3);
+    registry_.GetCounter("most_test_events_total", "Events seen",
+                         {{"kind", "b"}})
+        ->Inc(1);
+    registry_.GetGauge("most_test_depth", "Queue depth")->Set(7);
+    Histogram* h = registry_.GetHistogram("most_test_latency_seconds",
+                                          "Latency", {0.1, 1.0});
+    h->Observe(0.05);
+    h->Observe(0.5);
+    h->Observe(5.0);
+  }
+
+  MetricsRegistry registry_;
+};
+
+TEST_F(ExporterGoldenTest, PrometheusText) {
+  const char* expected =
+      "# HELP most_test_depth Queue depth\n"
+      "# TYPE most_test_depth gauge\n"
+      "most_test_depth 7\n"
+      "# HELP most_test_events_total Events seen\n"
+      "# TYPE most_test_events_total counter\n"
+      "most_test_events_total{kind=\"a\"} 3\n"
+      "most_test_events_total{kind=\"b\"} 1\n"
+      "# HELP most_test_latency_seconds Latency\n"
+      "# TYPE most_test_latency_seconds histogram\n"
+      "most_test_latency_seconds_bucket{le=\"0.1\"} 1\n"
+      "most_test_latency_seconds_bucket{le=\"1\"} 2\n"
+      "most_test_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "most_test_latency_seconds_sum 5.55\n"
+      "most_test_latency_seconds_count 3\n";
+  EXPECT_EQ(PrometheusText(registry_), expected);
+}
+
+TEST_F(ExporterGoldenTest, JsonSnapshot) {
+  const char* expected =
+      "{\n"
+      "  \"metrics\": [\n"
+      "    {\"name\": \"most_test_depth\", \"type\": \"gauge\", \"series\": "
+      "[\n"
+      "      {\"labels\": {}, \"value\": 7}\n"
+      "    ]},\n"
+      "    {\"name\": \"most_test_events_total\", \"type\": \"counter\", "
+      "\"series\": [\n"
+      "      {\"labels\": {\"kind\": \"a\"}, \"value\": 3},\n"
+      "      {\"labels\": {\"kind\": \"b\"}, \"value\": 1}\n"
+      "    ]},\n"
+      "    {\"name\": \"most_test_latency_seconds\", \"type\": "
+      "\"histogram\", \"series\": [\n"
+      "      {\"labels\": {}, \"count\": 3, \"sum\": 5.55, \"p50\": 1, "
+      "\"p95\": 1, \"p99\": 1}\n"
+      "    ]}\n"
+      "  ]\n"
+      "}";
+  EXPECT_EQ(JsonSnapshot(registry_), expected);
+}
+
+TEST_F(ExporterGoldenTest, PrometheusEscapesLabelValues) {
+  registry_.GetCounter("most_test_events_total", "Events seen",
+                       {{"kind", "a\"b\\c\nd"}})
+      ->Inc();
+  std::string text = PrometheusText(registry_);
+  EXPECT_NE(text.find("kind=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(TraceSinkTest, RecordsSpansAndCapsTheRing) {
+  TraceSink sink(/*capacity=*/4);
+  // Disabled by default: spans cost nothing and record nothing.
+  { TraceSpan span("obs/test", &sink); }
+  EXPECT_EQ(sink.total_recorded(), 0u);
+
+  sink.set_enabled(true);
+  for (int i = 0; i < 6; ++i) {
+    TraceSpan span("obs/test", &sink);
+  }
+  EXPECT_EQ(sink.total_recorded(), 6u);
+  std::vector<TraceEvent> events = sink.Events();
+  ASSERT_EQ(events.size(), 4u);  // Ring capacity.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_ns, events[i - 1].start_ns)
+        << "events must be oldest-first";
+  }
+  sink.Clear();
+  EXPECT_TRUE(sink.Events().empty());
+}
+
+TEST(SlowQueryLogTest, ThresholdGatesRecording) {
+  SlowQueryLog log(/*capacity=*/2);
+  EXPECT_FALSE(log.enabled());
+  EXPECT_FALSE(log.MaybeRecord({1, "q", "full", 1000000, 1}));
+
+  log.set_threshold_ns(1000);
+  EXPECT_FALSE(log.MaybeRecord({1, "fast", "delta", 999, 1}));
+  EXPECT_TRUE(log.MaybeRecord({2, "slow", "full", 1000, 2}));
+  EXPECT_TRUE(log.MaybeRecord({3, "slower", "full", 5000, 3}));
+  EXPECT_TRUE(log.MaybeRecord({4, "slowest", "delta", 9000, 4}));
+  EXPECT_EQ(log.total_recorded(), 3u);
+  std::vector<SlowQueryLog::Entry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);  // Ring capacity; oldest dropped.
+  EXPECT_EQ(entries[0].query_id, 3u);
+  EXPECT_EQ(entries[1].query_id, 4u);
+}
+
+TEST(DumpMetricsTest, MentionsRegistryAndTraceState) {
+  std::ostringstream os;
+  DumpMetrics(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("MOST engine metrics snapshot"), std::string::npos);
+  EXPECT_NE(out.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(out.find("trace sink"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace most::obs

@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include "metrics_dump_listener.h"
+
 #include <cstdlib>
 #include <cstring>
 #include <sstream>

@@ -727,6 +727,47 @@ TEST_F(ParallelQueryManagerTest, CacheInvalidationTracksUpdates) {
   EXPECT_GT(qm_.interval_cache()->stats().invalidations, 0u);
 }
 
+TEST_F(ParallelQueryManagerTest, TotalRefreshCountersNeverTear) {
+  // Manager-wide refresh totals are read while TickAll fans refreshes out
+  // across the pool. The pair must come from one consistent snapshot —
+  // totals can only grow, and a torn read (two independent atomics) could
+  // go backwards or count a refresh in neither member. Run under
+  // -DMOST_SANITIZE=thread to verify the snapshot is also race-free.
+  std::vector<ObjectId> cars;
+  for (int i = 0; i < 6; ++i) {
+    cars.push_back(AddCar({static_cast<double>(-3 * i - 2), 5.0}, {1, 0}));
+  }
+  std::vector<QueryManager::QueryId> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto id = qm_.RegisterContinuous(
+        Parse("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)"));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    uint64_t last_total = 0;
+    while (!stop.load()) {
+      QueryManager::RefreshCounters c = qm_.TotalRefreshCounters();
+      uint64_t total = c.delta_evaluations + c.full_evaluations;
+      ASSERT_GE(total, last_total) << "refresh totals went backwards";
+      last_total = total;
+    }
+  });
+  for (int round = 0; round < 30; ++round) {
+    // Dirty every query (database mutations stay on this thread, per the
+    // documented contract), then refresh the batch through the pool.
+    ASSERT_TRUE(db_.SetMotion("CARS", cars[round % cars.size()],
+                              {static_cast<double>(-2 - round), 5.0}, {1, 0})
+                    .ok());
+    ASSERT_TRUE(qm_.TickAll().ok());
+  }
+  stop.store(true);
+  reader.join();
+  QueryManager::RefreshCounters final = qm_.TotalRefreshCounters();
+  EXPECT_GT(final.delta_evaluations + final.full_evaluations, 0u);
+}
+
 TEST_F(ParallelQueryManagerTest, ConcurrentRegistrationDuringTicks) {
   // Registration, polling, and batch ticks from several threads must not
   // race (run under -DMOST_SANITIZE=thread to verify); database mutations
