@@ -44,6 +44,23 @@ echo "=== delta-refresh stage (env-armed probe, ASan) ==="
 MOST_FAILPOINTS="ftl/delta/refresh=noop" ./build-asan/tests/differential_test \
   --gtest_filter='DifferentialTest.DeltaRefresh*'
 
+# Layout-differential stage: the whole differential corpus again with the
+# environment pinned to the legacy (AoS) layout, so every evaluator that
+# resolves EvalLayout::kAuto takes the pre-SoA code path under ASan. The
+# corpus itself cross-checks legacy vs. SoA explicitly
+# (DifferentialTest.LayoutsAgreeByteForByteAcrossPaths); this run keeps
+# the legacy oracle itself sanitizer-clean (docs/eval_internals.md).
+echo "=== layout-differential stage (MOST_EVAL_LAYOUT=legacy, ASan) ==="
+MOST_EVAL_LAYOUT=legacy ./build-asan/tests/differential_test
+
+# Fuzz-smoke stage: replay the checked-in parser/evaluator corpus and a
+# bounded deterministic mutation loop under ASan. Every input that parses
+# is evaluated in both layouts and must produce byte-identical relations;
+# the harness aborts (and this stage fails) on any divergence or
+# sanitizer report (tests/fuzz/ftl_fuzz.cc).
+echo "=== fuzz-smoke stage (corpus + 2000 mutations, ASan) ==="
+./build-asan/tests/ftl_fuzz tests/fuzz/corpus --mutate 2000
+
 # Observability stage: the exporter/EXPLAIN goldens re-run explicitly (a
 # ctest filter change can never drop them), then the demo binary's
 # Prometheus exposition is checked against the required-metric allowlist —
@@ -57,6 +74,8 @@ PROM="$(./build-asan/examples/observability_demo)"
 for metric in \
   most_ftl_evaluations_total \
   most_ftl_eval_latency_seconds_bucket \
+  most_ftl_arena_bytes_total \
+  most_ftl_arena_heap_fallbacks_total \
   most_qm_refreshes_total \
   most_qm_refresh_latency_seconds_bucket \
   most_wal_appends_total \
@@ -81,6 +100,31 @@ overhead="$(grep -o '"metrics_overhead_pct": *[-0-9.eE+]*' \
 awk -v o="$overhead" 'BEGIN {
   printf "metrics overhead: %s%%\n", o
   if (o >= 5.0) { print "metrics overhead exceeds the 5% budget"; exit 1 }
+}'
+
+# Bench-regression stage: re-measure the serial FTL evaluation at the same
+# vehicle count as the last recorded bench/trajectories/ftl_eval.json
+# entry and fail on a >15% regression. Three full bench invocations (each
+# internally best-of-3) with the overall minimum taken, so a scheduler
+# hiccup on a loaded runner does not produce a false alarm.
+echo "=== bench-regression stage (serial path, Release, < +15%) ==="
+baseline="$(grep -o '"serial_ns_per_op": *[0-9.eE+-]*' \
+  bench/trajectories/ftl_eval.json | tail -1 | awk '{print $2}')"
+base_vehicles="$(grep -o '"vehicles": *[0-9]*' \
+  bench/trajectories/ftl_eval.json | tail -1 | awk '{print $2}')"
+fresh=""
+for _ in 1 2 3; do
+  (cd build-release && MOST_BENCH_VEHICLES="$base_vehicles" \
+    ./bench/bench_ftl_eval --benchmark_filter=OVERHEAD_ONLY >/dev/null)
+  run="$(grep -o '"serial_ns_per_op": *[0-9.eE+-]*' \
+    build-release/BENCH_ftl_eval.json | awk '{print $2}')"
+  fresh="$(awk -v a="${fresh:-inf}" -v b="$run" \
+    'BEGIN { print (a == "inf" || b + 0 < a + 0) ? b : a }')"
+done
+awk -v base="$baseline" -v fresh="$fresh" 'BEGIN {
+  pct = (fresh - base) / base * 100.0
+  printf "serial ns/op: baseline %s, fresh %s (%+.1f%%)\n", base, fresh, pct
+  if (pct > 15.0) { print "serial path regressed beyond the 15% budget"; exit 1 }
 }'
 
 if [[ "${1:-}" == "tsan" ]]; then

@@ -1,0 +1,43 @@
+#include "common/arena.h"
+
+namespace most {
+
+void* BumpArena::AllocateSlow(size_t bytes, size_t align) {
+  if (bytes > block_bytes_) {
+    // Oversize: dedicated exactly-sized block, dropped at the next Reset.
+    ++stats_.heap_fallbacks;
+    ++stats_.lifetime_heap_fallbacks;
+    oversize_.push_back(
+        Block{std::make_unique<char[]>(bytes + align), bytes + align});
+    stats_.bytes_reserved += bytes + align;
+    char* base = oversize_.back().data.get();
+    return reinterpret_cast<char*>(
+        Align(reinterpret_cast<uintptr_t>(base), align));
+  }
+  // Advance to the next reusable block (allocating it if needed).
+  if (current_ < blocks_.size()) ++current_;
+  if (current_ >= blocks_.size()) {
+    blocks_.push_back(
+        Block{std::make_unique<char[]>(block_bytes_), block_bytes_});
+    stats_.bytes_reserved += block_bytes_;
+  }
+  cursor_ = Align(size_t{0}, align) + bytes;
+  return blocks_[current_].data.get() + Align(size_t{0}, align);
+}
+
+void BumpArena::Reset() {
+  current_ = 0;
+  cursor_ = 0;
+  if (blocks_.empty()) {
+    blocks_.push_back(
+        Block{std::make_unique<char[]>(block_bytes_), block_bytes_});
+    stats_.bytes_reserved += block_bytes_;
+  }
+  for (const Block& b : oversize_) stats_.bytes_reserved -= b.capacity;
+  oversize_.clear();
+  stats_.bytes_allocated = 0;
+  stats_.heap_fallbacks = 0;
+  stats_.block_count = blocks_.size();
+}
+
+}  // namespace most

@@ -46,6 +46,22 @@ IntervalSet IntervalSet::FromIntervals(std::vector<Interval> ivs) {
   return out;
 }
 
+IntervalSet IntervalSet::FromSortedIntervals(const Interval* ivs, size_t n) {
+  IntervalSet out;
+  out.intervals_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Interval& iv = ivs[i];
+    if (!iv.valid()) continue;
+    if (!out.intervals_.empty() &&
+        out.intervals_.back().OverlapsOrAdjacent(iv)) {
+      out.intervals_.back().end = std::max(out.intervals_.back().end, iv.end);
+    } else {
+      out.intervals_.push_back(iv);
+    }
+  }
+  return out;
+}
+
 bool IntervalSet::Contains(Tick t) const {
   // First interval with begin > t; the candidate is its predecessor.
   auto it = std::upper_bound(
@@ -74,20 +90,80 @@ Tick IntervalSet::Cardinality() const {
 }
 
 IntervalSet IntervalSet::Union(const IntervalSet& o) const {
-  std::vector<Interval> all = intervals_;
-  all.insert(all.end(), o.intervals_.begin(), o.intervals_.end());
-  return FromIntervals(std::move(all));
+  // Both operands are normalized (sorted, gaps >= 1 tick), so instead of
+  // concat + sort + renormalize (the old O((m+n) log(m+n)) path) a single
+  // linear merge with inline coalescing yields the same canonical form.
+  if (intervals_.empty()) return o;
+  if (o.intervals_.empty()) return *this;
+  IntervalSet out;
+  out.intervals_.reserve(intervals_.size() + o.intervals_.size());
+  size_t i = 0, j = 0;
+  auto push = [&out](const Interval& iv) {
+    if (!out.intervals_.empty() &&
+        out.intervals_.back().OverlapsOrAdjacent(iv)) {
+      out.intervals_.back().end = std::max(out.intervals_.back().end, iv.end);
+    } else {
+      out.intervals_.push_back(iv);
+    }
+  };
+  while (i < intervals_.size() || j < o.intervals_.size()) {
+    bool take_a =
+        j >= o.intervals_.size() ||
+        (i < intervals_.size() &&
+         (intervals_[i].begin < o.intervals_[j].begin ||
+          (intervals_[i].begin == o.intervals_[j].begin &&
+           intervals_[i].end < o.intervals_[j].end)));
+    push(take_a ? intervals_[i++] : o.intervals_[j++]);
+  }
+  return out;
 }
+
+namespace {
+
+// First index k >= from with v[k].end >= target, found by exponential probe
+// + binary search. In a normalized set ends strictly increase, so this is a
+// valid search key; galloping makes skewed intersections (one dense run
+// against a few long intervals) sublinear in the skipped run.
+size_t GallopFirstEndAtLeast(const std::vector<Interval>& v, size_t from,
+                             Tick target) {
+  size_t n = v.size();
+  if (from >= n || v[from].end >= target) return from;
+  size_t step = 1;
+  size_t prev = from;
+  size_t cur = from + step;
+  while (cur < n && v[cur].end < target) {
+    prev = cur;
+    step <<= 1;
+    cur = from + step;
+  }
+  size_t hi = std::min(cur + 1, n);
+  auto it = std::lower_bound(
+      v.begin() + static_cast<ptrdiff_t>(prev + 1),
+      v.begin() + static_cast<ptrdiff_t>(hi), target,
+      [](const Interval& iv, Tick t) { return iv.end < t; });
+  return static_cast<size_t>(it - v.begin());
+}
+
+}  // namespace
 
 IntervalSet IntervalSet::Intersect(const IntervalSet& o) const {
   IntervalSet out;
+  const std::vector<Interval>& a_ivs = intervals_;
+  const std::vector<Interval>& b_ivs = o.intervals_;
   size_t i = 0, j = 0;
-  while (i < intervals_.size() && j < o.intervals_.size()) {
-    const Interval& a = intervals_[i];
-    const Interval& b = o.intervals_[j];
-    Tick lo = std::max(a.begin, b.begin);
-    Tick hi = std::min(a.end, b.end);
-    if (lo <= hi) out.intervals_.push_back(Interval(lo, hi));
+  while (i < a_ivs.size() && j < b_ivs.size()) {
+    const Interval& a = a_ivs[i];
+    const Interval& b = b_ivs[j];
+    if (a.end < b.begin) {
+      i = GallopFirstEndAtLeast(a_ivs, i + 1, b.begin);
+      continue;
+    }
+    if (b.end < a.begin) {
+      j = GallopFirstEndAtLeast(b_ivs, j + 1, a.begin);
+      continue;
+    }
+    out.intervals_.push_back(
+        Interval(std::max(a.begin, b.begin), std::min(a.end, b.end)));
     // Advance whichever interval ends first.
     if (a.end < b.end) {
       ++i;
@@ -152,6 +228,72 @@ IntervalSet IntervalSet::ErodeRight(Tick c) const {
     if (eroded.valid()) out.push_back(eroded);
   }
   return FromIntervals(std::move(out));
+}
+
+namespace {
+
+/// Shared tail of the in-place transforms: clamps [b, e] to `universe` and
+/// appends it at write position `w` of `ivs`, coalescing with the previous
+/// kept interval exactly like the normalizing constructors do. The
+/// transforms below all preserve sortedness-by-begin, so a single merging
+/// pass reproduces the canonical form FromIntervals would produce.
+inline void ClampAppendInPlace(std::vector<Interval>* ivs, size_t* w, Tick b,
+                               Tick e, Interval universe) {
+  if (e < universe.begin || b > universe.end) return;
+  b = std::max(b, universe.begin);
+  e = std::min(e, universe.end);
+  if (*w > 0) {
+    Interval& prev = (*ivs)[*w - 1];
+    if (prev.OverlapsOrAdjacent(Interval(b, e))) {
+      prev.end = std::max(prev.end, e);
+      return;
+    }
+  }
+  (*ivs)[(*w)++] = Interval(b, e);
+}
+
+}  // namespace
+
+void IntervalSet::ShiftClampInPlace(Tick d, Interval universe) {
+  if (!universe.valid()) {
+    intervals_.clear();
+    return;
+  }
+  size_t w = 0;
+  for (const Interval iv : intervals_) {
+    Tick b = TickSaturatingAdd(iv.begin, d);
+    Tick e = TickSaturatingAdd(iv.end, d);
+    if (b > e) continue;
+    ClampAppendInPlace(&intervals_, &w, b, e, universe);
+  }
+  intervals_.resize(w);
+}
+
+void IntervalSet::DilateLeftClampInPlace(Tick c, Interval universe) {
+  if (!universe.valid()) {
+    intervals_.clear();
+    return;
+  }
+  size_t w = 0;
+  for (const Interval iv : intervals_) {
+    ClampAppendInPlace(&intervals_, &w, TickSaturatingAdd(iv.begin, -c),
+                       iv.end, universe);
+  }
+  intervals_.resize(w);
+}
+
+void IntervalSet::ErodeRightClampInPlace(Tick c, Interval universe) {
+  if (!universe.valid()) {
+    intervals_.clear();
+    return;
+  }
+  size_t w = 0;
+  for (const Interval iv : intervals_) {
+    Tick e = TickSaturatingAdd(iv.end, -c);
+    if (e < iv.begin) continue;
+    ClampAppendInPlace(&intervals_, &w, iv.begin, e, universe);
+  }
+  intervals_.resize(w);
 }
 
 IntervalSet IntervalSet::UntilWith(const IntervalSet& g1, Tick bound) const {

@@ -70,6 +70,12 @@ class IntervalSet {
   /// dropped; overlapping/consecutive ones are coalesced).
   static IntervalSet FromIntervals(std::vector<Interval> ivs);
 
+  /// Same normalization for input already sorted by (begin, end) — skips
+  /// the sort, so hot extraction loops can accumulate into a reusable
+  /// scratch buffer and normalize once. Precondition checked only by the
+  /// property tests: the result equals FromIntervals on the same input.
+  static IntervalSet FromSortedIntervals(const Interval* ivs, size_t n);
+
   /// The set of all ticks, [kTickMin, kTickMax].
   static IntervalSet All() {
     return IntervalSet(Interval(kTickMin, kTickMax));
@@ -114,6 +120,15 @@ class IntervalSet {
   /// empty). Result contains t iff this set contains all of [t, t+c].
   /// Implements `Always for c`.
   IntervalSet ErodeRight(Tick c) const;
+
+  /// In-place fused transforms for the hot unary temporal operators: each
+  /// is equivalent to the corresponding const chain (Shift(d).Clamp(u),
+  /// DilateLeft(c).Clamp(u), ErodeRight(c).Clamp(u)) — the canonical
+  /// normalized form is unique, so fusing transform + renormalize + clamp
+  /// into one allocation-free pass yields a byte-identical set.
+  void ShiftClampInPlace(Tick d, Interval universe);
+  void DilateLeftClampInPlace(Tick c, Interval universe);
+  void ErodeRightClampInPlace(Tick c, Interval universe);
 
   /// The Until merge from the paper's appendix. `this` is Sat(g2) — the
   /// ticks where the right operand holds; `g1` is Sat(g1). Returns the set

@@ -1,0 +1,102 @@
+#ifndef MOST_CORE_CLASS_SNAPSHOT_H_
+#define MOST_CORE_CLASS_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/interval.h"
+#include "common/types.h"
+#include "core/object_model.h"
+
+namespace most {
+
+/// Structure-of-arrays snapshot of one object class over an evaluation
+/// window.
+///
+/// The legacy hot path re-derives `MostObject::MotionSegments` (two
+/// string-keyed map lookups, two LinearPieces vectors, one merge vector —
+/// all heap-allocated) for every object inside every atomic predicate.
+/// The snapshot performs that derivation once per class per evaluation and
+/// lays the results out as contiguous per-class arrays: object ids (in
+/// ascending `ObjectClass::objects()` order), update timestamps, and a
+/// flattened segment table of motion coefficients (origin + velocity,
+/// parameterized by absolute tick, exactly as `MotionSegments` computes
+/// them). Atomic-predicate extraction (INSIDE / DIST crossings) then runs
+/// tight index loops over these arrays — no maps, no strings, no
+/// per-object allocation.
+///
+/// Coefficients are byte-identical to the legacy path's: Build() performs
+/// the same LinearPieces clamping and the same `origin = value_at(lo) -
+/// slope * lo` arithmetic in the same order, so every downstream root
+/// solver sees bit-equal doubles and the two layouts produce identical
+/// answers.
+///
+/// Lifetime: a snapshot borrows the evaluation's BumpArena for its arrays
+/// and holds pointers into the database; it must not outlive either (it is
+/// rebuilt each evaluation — see docs/eval_internals.md). Read-only after
+/// Build(), so pool workers may share it.
+class ClassSnapshot {
+ public:
+  ClassSnapshot() = default;  ///< Heap-backed (tests / no-arena callers).
+  explicit ClassSnapshot(BumpArena* arena)
+      : ids_(ArenaAllocator<ObjectId>(arena)),
+        objects_(ArenaAllocator<const MostObject*>(arena)),
+        last_update_(ArenaAllocator<Tick>(arena)),
+        spatial_ok_(ArenaAllocator<uint8_t>(arena)),
+        seg_begin_(ArenaAllocator<uint32_t>(arena)),
+        seg_t0_(ArenaAllocator<Tick>(arena)),
+        seg_t1_(ArenaAllocator<Tick>(arena)),
+        ox_(ArenaAllocator<double>(arena)),
+        oy_(ArenaAllocator<double>(arena)),
+        vx_(ArenaAllocator<double>(arena)),
+        vy_(ArenaAllocator<double>(arena)) {}
+
+  /// Rebuilds the snapshot from `cls` over `window`. Non-spatial objects
+  /// (or invalid windows) get zero segments and spatial_ok(i) == false.
+  void Build(const ObjectClass& cls, Interval window);
+
+  size_t size() const { return ids_.size(); }
+  Interval window() const { return window_; }
+
+  ObjectId id(size_t i) const { return ids_[i]; }
+  const MostObject* object(size_t i) const { return objects_[i]; }
+  Tick last_update(size_t i) const { return last_update_[i]; }
+  bool spatial_ok(size_t i) const { return spatial_ok_[i] != 0; }
+
+  /// Index of `id` in the per-object arrays (ids are ascending, so this is
+  /// a binary search), or npos if the object is not in the snapshot.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t IndexOf(ObjectId id) const;
+
+  /// Object i's segments occupy [seg_begin(i), seg_begin(i) + seg_count(i))
+  /// in the flat segment arrays; segments tile the window in tick order.
+  uint32_t seg_begin(size_t i) const { return seg_begin_[i]; }
+  uint32_t seg_count(size_t i) const {
+    return seg_begin_[i + 1] - seg_begin_[i];
+  }
+  size_t total_segments() const { return seg_t0_.size(); }
+
+  const Tick* seg_t0() const { return seg_t0_.data(); }
+  const Tick* seg_t1() const { return seg_t1_.data(); }
+  const double* ox() const { return ox_.data(); }
+  const double* oy() const { return oy_.data(); }
+  const double* vx() const { return vx_.data(); }
+  const double* vy() const { return vy_.data(); }
+
+ private:
+  Interval window_{0, -1};
+  ArenaVector<ObjectId> ids_;
+  ArenaVector<const MostObject*> objects_;
+  ArenaVector<Tick> last_update_;
+  ArenaVector<uint8_t> spatial_ok_;
+  /// size() + 1 entries; seg_begin_[size()] == total_segments().
+  ArenaVector<uint32_t> seg_begin_;
+  ArenaVector<Tick> seg_t0_, seg_t1_;
+  ArenaVector<double> ox_, oy_, vx_, vy_;
+};
+
+}  // namespace most
+
+#endif  // MOST_CORE_CLASS_SNAPSHOT_H_

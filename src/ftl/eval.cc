@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <charconv>
+#include <cstdlib>
 #include <optional>
 #include <sstream>
+#include <string_view>
 
 #include "common/thread_pool.h"
 #include "ftl/interval_cache.h"
@@ -328,9 +330,16 @@ std::vector<std::string> UnionVars(const std::vector<std::string>& a,
 }
 
 /// Natural join on shared variables with per-row interval intersection
-/// (the appendix's AND rule).
+/// (the appendix's AND rule), as a sort-merge join: both sides' rows are
+/// flattened into arena-backed (key, row*) runs sorted by the shared-
+/// variable key, then merged with galloping so a side whose keys are
+/// sparse in the other is skipped in logarithmic hops instead of row by
+/// row. Matching runs produce the same pairs (and the same join_pairs
+/// count) as the old map-index scan; Union over canonical interval sets
+/// is order-independent, so the output relation is byte-identical.
 TemporalRelation JoinAnd(const TemporalRelation& r1,
-                         const TemporalRelation& r2, FtlEvalStats* stats) {
+                         const TemporalRelation& r2, FtlEvalStats* stats,
+                         BumpArena* arena) {
   TemporalRelation out;
   out.vars = UnionVars(r1.vars, r2.vars);
 
@@ -354,31 +363,120 @@ TemporalRelation JoinAnd(const TemporalRelation& r1,
               out.vars.begin();
   }
 
-  // Hash r2 by its shared-variable key.
-  std::map<std::vector<ObjectId>, std::vector<const std::pair<
-      const std::vector<ObjectId>, IntervalSet>*>> index;
-  for (const auto& row : r2.rows) {
-    std::vector<ObjectId> key(shared2.size());
-    for (size_t i = 0; i < shared2.size(); ++i) key[i] = row.first[shared2[i]];
-    index[key].push_back(&row);
+  const size_t k = shared1.size();
+  using Row = std::pair<const std::vector<ObjectId>, IntervalSet>;
+
+  ArenaVector<const Row*> rows1{ArenaAllocator<const Row*>(arena)};
+  ArenaVector<const Row*> rows2{ArenaAllocator<const Row*>(arena)};
+  ArenaVector<ObjectId> keys1{ArenaAllocator<ObjectId>(arena)};
+  ArenaVector<ObjectId> keys2{ArenaAllocator<ObjectId>(arena)};
+  rows1.reserve(r1.rows.size());
+  keys1.reserve(k * r1.rows.size());
+  for (const Row& row : r1.rows) {
+    rows1.push_back(&row);
+    for (size_t i = 0; i < k; ++i) keys1.push_back(row.first[shared1[i]]);
   }
-  for (const auto& [b1, when1] : r1.rows) {
-    std::vector<ObjectId> key(shared1.size());
-    for (size_t i = 0; i < shared1.size(); ++i) key[i] = b1[shared1[i]];
-    auto it = index.find(key);
-    if (it == index.end()) continue;
-    for (const auto* row2 : it->second) {
-      ++stats->join_pairs;
-      IntervalSet when = when1.Intersect(row2->second);
-      if (when.empty()) continue;
-      std::vector<ObjectId> merged(out.vars.size());
-      for (size_t i = 0; i < b1.size(); ++i) merged[pos1[i]] = b1[i];
-      for (size_t i = 0; i < row2->first.size(); ++i) {
-        merged[pos2[i]] = row2->first[i];
-      }
-      auto [pos, inserted] = out.rows.emplace(std::move(merged), when);
-      if (!inserted) pos->second = pos->second.Union(when);
+  rows2.reserve(r2.rows.size());
+  keys2.reserve(k * r2.rows.size());
+  for (const Row& row : r2.rows) {
+    rows2.push_back(&row);
+    for (size_t i = 0; i < k; ++i) keys2.push_back(row.first[shared2[i]]);
+  }
+  const size_t m = rows1.size(), n = rows2.size();
+
+  // Row order sorted by key; ties keep binding (map) order.
+  ArenaVector<uint32_t> ord1{ArenaAllocator<uint32_t>(arena)};
+  ArenaVector<uint32_t> ord2{ArenaAllocator<uint32_t>(arena)};
+  ord1.resize(m);
+  ord2.resize(n);
+  for (size_t i = 0; i < m; ++i) ord1[i] = static_cast<uint32_t>(i);
+  for (size_t j = 0; j < n; ++j) ord2[j] = static_cast<uint32_t>(j);
+  auto key_cmp = [k](const ObjectId* a, const ObjectId* b) -> int {
+    for (size_t t = 0; t < k; ++t) {
+      if (a[t] < b[t]) return -1;
+      if (a[t] > b[t]) return 1;
     }
+    return 0;
+  };
+  auto sort_by_key = [&](ArenaVector<uint32_t>& ord,
+                         const ArenaVector<ObjectId>& keys) {
+    std::sort(ord.begin(), ord.end(), [&](uint32_t a, uint32_t b) {
+      int c = key_cmp(keys.data() + a * k, keys.data() + b * k);
+      return c != 0 ? c < 0 : a < b;
+    });
+  };
+  sort_by_key(ord1, keys1);
+  sort_by_key(ord2, keys2);
+
+  // First position >= from whose key is not lexicographically below
+  // `target`: exponential probe, then binary search over the bracket.
+  auto gallop = [&](const ArenaVector<uint32_t>& ord,
+                    const ArenaVector<ObjectId>& keys, size_t from,
+                    size_t size, const ObjectId* target) -> size_t {
+    auto below = [&](size_t idx) {
+      return key_cmp(keys.data() + ord[idx] * k, target) < 0;
+    };
+    if (from >= size || !below(from)) return from;
+    size_t step = 1, prev = from, cur = from + 1;
+    while (cur < size && below(cur)) {
+      prev = cur;
+      step <<= 1;
+      cur = from + step;
+    }
+    size_t lo = prev + 1, hi = std::min(cur, size);
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (below(mid)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+
+  size_t i = 0, j = 0;
+  while (i < m && j < n) {
+    const ObjectId* ki = keys1.data() + ord1[i] * k;
+    const ObjectId* kj = keys2.data() + ord2[j] * k;
+    int c = key_cmp(ki, kj);
+    if (c < 0) {
+      i = gallop(ord1, keys1, i + 1, m, kj);
+      continue;
+    }
+    if (c > 0) {
+      j = gallop(ord2, keys2, j + 1, n, ki);
+      continue;
+    }
+    // Equal keys: delimit both runs and cross them.
+    size_t i_end = i + 1;
+    while (i_end < m && key_cmp(keys1.data() + ord1[i_end] * k, ki) == 0) {
+      ++i_end;
+    }
+    size_t j_end = j + 1;
+    while (j_end < n && key_cmp(keys2.data() + ord2[j_end] * k, ki) == 0) {
+      ++j_end;
+    }
+    for (size_t a = i; a < i_end; ++a) {
+      const Row* row1 = rows1[ord1[a]];
+      for (size_t b = j; b < j_end; ++b) {
+        const Row* row2 = rows2[ord2[b]];
+        ++stats->join_pairs;
+        IntervalSet when = row1->second.Intersect(row2->second);
+        if (when.empty()) continue;
+        std::vector<ObjectId> merged(out.vars.size());
+        for (size_t t = 0; t < row1->first.size(); ++t) {
+          merged[pos1[t]] = row1->first[t];
+        }
+        for (size_t t = 0; t < row2->first.size(); ++t) {
+          merged[pos2[t]] = row2->first[t];
+        }
+        auto [pos, inserted] = out.rows.emplace(std::move(merged), when);
+        if (!inserted) pos->second = pos->second.Union(when);
+      }
+    }
+    i = i_end;
+    j = j_end;
   }
   return out;
 }
@@ -467,6 +565,8 @@ struct FtlRegistrySeries {
   obs::Counter* index_pruned;
   obs::Counter* cache_hits;
   obs::Counter* cache_misses;
+  obs::Counter* arena_bytes;
+  obs::Counter* arena_heap_fallbacks;
   obs::Histogram* latency;
 
   static const FtlRegistrySeries& Get() {
@@ -492,6 +592,12 @@ struct FtlRegistrySeries {
                                   "Atomic solves answered by the cache");
       s.cache_misses = r.GetCounter("most_ftl_cache_misses_total",
                                     "Atomic solves that had to run");
+      s.arena_bytes = r.GetCounter(
+          "most_ftl_arena_bytes_total",
+          "Bump-arena bytes drawn by per-evaluation scratch structures");
+      s.arena_heap_fallbacks = r.GetCounter(
+          "most_ftl_arena_heap_fallbacks_total",
+          "Arena requests too large for a block, served as dedicated blocks");
       s.latency = r.GetHistogram(
           "most_ftl_eval_latency_seconds", "EvaluateQuery wall time",
           obs::ExponentialBuckets(1e-5, 4.0, 10));
@@ -545,10 +651,50 @@ std::string TemporalRelation::ToString() const {
   return os.str();
 }
 
+bool FtlEvaluator::ResolveLayoutSoa(const Options& options) {
+  switch (options.layout) {
+    case EvalLayout::kLegacy:
+      return false;
+    case EvalLayout::kSoa:
+      return true;
+    case EvalLayout::kAuto:
+      break;
+  }
+  const char* env = std::getenv("MOST_EVAL_LAYOUT");
+  if (env != nullptr && std::string_view(env) == "legacy") return false;
+  return true;
+}
+
+const ClassSnapshot& FtlEvaluator::GetSnapshot(const ObjectClass* cls,
+                                               Interval window) {
+  auto it = snapshots_.find(cls);
+  if (it == snapshots_.end()) {
+    it = snapshots_.emplace(cls, ClassSnapshot(&arena_)).first;
+    it->second.Build(*cls, window);
+  }
+  return it->second;
+}
+
+void FtlEvaluator::ResetEvalScratch() {
+  // Snapshot containers must die before the arena backing them resets.
+  snapshots_.clear();
+  arena_.Reset();
+}
+
+void FtlEvaluator::AccumulateArenaStats() {
+  const BumpArena::Stats& as = arena_.stats();
+  stats_.arena_bytes += as.bytes_allocated;
+  stats_.arena_heap_fallbacks += as.heap_fallbacks;
+}
+
 Result<TemporalRelation> FtlEvaluator::EvaluateQuery(const FtlQuery& query,
                                                      Interval window) {
   MOST_ASSIGN_OR_RETURN(TemporalRelation rel,
                         EvaluateQueryUnprojected(query, window));
+  // Identity projection: RETRIEVE covers exactly the evaluated columns, so
+  // Project would rebuild the same map row by row — hand the relation back.
+  std::set<std::string> keep(query.retrieve.begin(), query.retrieve.end());
+  if (rel.vars == SortedVars(keep)) return rel;
   return rel.Project(query.retrieve);
 }
 
@@ -565,6 +711,7 @@ Result<TemporalRelation> FtlEvaluator::EvaluateQueryUnprojected(
   Result<TemporalRelation> result =
       EvaluateQueryUnprojectedImpl(query, window);
   profile_current_ = saved;
+  AccumulateArenaStats();
   const uint64_t dur_ns = timed ? obs::MonotonicNowNs() - t0 : 0;
   if (options_.profile != nullptr) {
     options_.profile->duration_ns += dur_ns;
@@ -589,12 +736,16 @@ Result<TemporalRelation> FtlEvaluator::EvaluateQueryUnprojected(
     s.index_pruned->Inc(stats_.index_pruned - before.index_pruned);
     s.cache_hits->Inc(stats_.cache_hits - before.cache_hits);
     s.cache_misses->Inc(stats_.cache_misses - before.cache_misses);
+    s.arena_bytes->Inc(stats_.arena_bytes - before.arena_bytes);
+    s.arena_heap_fallbacks->Inc(stats_.arena_heap_fallbacks -
+                                before.arena_heap_fallbacks);
   }
   return result;
 }
 
 Result<TemporalRelation> FtlEvaluator::EvaluateQueryUnprojectedImpl(
     const FtlQuery& query, Interval window) {
+  ResetEvalScratch();
   if (!window.valid()) {
     return Status::InvalidArgument("invalid evaluation window");
   }
@@ -654,6 +805,7 @@ Result<TemporalRelation> FtlEvaluator::EvaluateQueryUnprojectedImpl(
 Result<TemporalRelation> FtlEvaluator::EvalFormula(
     const FormulaPtr& formula,
     const std::map<std::string, std::string>& var_classes, Interval window) {
+  ResetEvalScratch();
   Domains domains;
   for (const auto& [var, cls] : var_classes) {
     MOST_ASSIGN_OR_RETURN(const ObjectClass* oc, db_.GetClass(cls));
@@ -662,7 +814,9 @@ Result<TemporalRelation> FtlEvaluator::EvalFormula(
   for (const auto& [var, ids] : options_.domain_restrictions) {
     if (ids != nullptr) domains.filters[var] = ids;
   }
-  return Eval(formula, domains, window);
+  Result<TemporalRelation> result = Eval(formula, domains, window);
+  AccumulateArenaStats();
+  return result;
 }
 
 Result<TemporalRelation> FtlEvaluator::Eval(const FormulaPtr& f,
@@ -750,6 +904,11 @@ Result<TemporalRelation> FtlEvaluator::EvalNode(const FormulaPtr& f,
                                        "' is not bound by the FROM clause");
       }
       const ObjectClass* cls = domain_it->second;
+
+      if (layout_soa_) {
+        return EvalInsideSoA(*f, domains, window, fp, is_inside,
+                             self_anchored, cls, *region);
+      }
 
       // Materialize the object list. INSIDE over an indexed class: only
       // the index's candidates can intersect the region during the window;
@@ -880,7 +1039,7 @@ Result<TemporalRelation> FtlEvaluator::EvalNode(const FormulaPtr& f,
                               Eval(f->children()[0], domains, window));
         MOST_ASSIGN_OR_RETURN(TemporalRelation r2,
                               Eval(f->children()[1], domains, window));
-        return JoinAnd(r1, r2, &stats_);
+        return JoinAnd(r1, r2, &stats_, &arena_);
       }
       // Semi-join: evaluate the side with fewer free variables first and
       // restrict the other side's domains to bindings that can still
@@ -910,7 +1069,7 @@ Result<TemporalRelation> FtlEvaluator::EvalNode(const FormulaPtr& f,
       }
       MOST_ASSIGN_OR_RETURN(TemporalRelation r2,
                             Eval(second, restricted, window));
-      return JoinAnd(r1, r2, &stats_);
+      return JoinAnd(r1, r2, &stats_, &arena_);
     }
 
     case FtlFormula::Kind::kOr: {
@@ -945,6 +1104,7 @@ Result<TemporalRelation> FtlEvaluator::EvalNode(const FormulaPtr& f,
                             Eval(f->children()[0], domains, window));
       TemporalRelation out;
       out.vars = r.vars;
+      auto hint = out.rows.end();
       Status status = EnumerateInstantiations(
           r.vars, domains.classes, domains.filters,
           options_.max_instantiations, &stats_.instantiations,
@@ -953,7 +1113,10 @@ Result<TemporalRelation> FtlEvaluator::EvalNode(const FormulaPtr& f,
             IntervalSet when = (it == r.rows.end())
                                    ? IntervalSet(window)
                                    : it->second.Complement(window);
-            if (!when.empty()) out.rows.emplace(binding, std::move(when));
+            // Enumeration yields ascending bindings; end hint = O(1).
+            if (!when.empty()) {
+              hint = out.rows.emplace_hint(hint, binding, std::move(when));
+            }
             return Status::OK();
           });
       MOST_RETURN_IF_ERROR(status);
@@ -983,6 +1146,7 @@ Result<TemporalRelation> FtlEvaluator::EvalNode(const FormulaPtr& f,
       }
       TemporalRelation out;
       out.vars = target;
+      auto hint = out.rows.end();
       for (const auto& [binding, g2_when] : e2.rows) {
         std::vector<ObjectId> key(r1_positions.size());
         for (size_t i = 0; i < r1_positions.size(); ++i) {
@@ -993,7 +1157,11 @@ Result<TemporalRelation> FtlEvaluator::EvalNode(const FormulaPtr& f,
         IntervalSet g1_when =
             (it == r1.rows.end()) ? IntervalSet() : it->second;
         IntervalSet when = g2_when.UntilWith(g1_when, bound).Clamp(window);
-        if (!when.empty()) out.rows.emplace(binding, std::move(when));
+        // Source rows arrive in ascending binding order, so the end hint
+        // makes each insert O(1).
+        if (!when.empty()) {
+          hint = out.rows.emplace_hint(hint, binding, std::move(when));
+        }
       }
       return out;
     }
@@ -1007,45 +1175,49 @@ Result<TemporalRelation> FtlEvaluator::EvalNode(const FormulaPtr& f,
       MOST_ASSIGN_OR_RETURN(TemporalRelation r,
                             Eval(f->children()[0], domains, window));
       Tick window_len = window.end - window.begin;
-      TemporalRelation out;
-      out.vars = r.vars;
-      for (const auto& [binding, when] : r.rows) {
-        IntervalSet transformed;
+      // Keys survive the transform unchanged, so the child's relation is
+      // rewritten in place — no node churn, no key copies — and rows whose
+      // set becomes empty are erased. The in-place fused transforms produce
+      // the same canonical sets as the const chains they replace.
+      for (auto it = r.rows.begin(); it != r.rows.end();) {
+        IntervalSet& when = it->second;
         switch (f->kind()) {
           case FtlFormula::Kind::kNexttime:
-            transformed = when.Shift(-1).Clamp(window);
+            when.ShiftClampInPlace(-1, window);
             break;
           case FtlFormula::Kind::kEventually:
-            transformed = when.DilateLeft(window_len).Clamp(window);
+            when.DilateLeftClampInPlace(window_len, window);
             break;
           case FtlFormula::Kind::kEventuallyWithin:
-            transformed = when.DilateLeft(f->bound()).Clamp(window);
+            when.DilateLeftClampInPlace(f->bound(), window);
             break;
           case FtlFormula::Kind::kEventuallyAfter:
-            transformed = when.DilateLeft(window_len)
-                              .Shift(-f->bound())
-                              .Clamp(window);
+            // DilateLeft(L).Shift(-b).Clamp(w): the unclamped dilation uses
+            // the full tick universe, the shift applies the window clamp.
+            when.DilateLeftClampInPlace(window_len,
+                                        Interval(kTickMin, kTickMax));
+            when.ShiftClampInPlace(-f->bound(), window);
             break;
           case FtlFormula::Kind::kAlways: {
             // Satisfied from t to the end of the evaluated history.
+            IntervalSet transformed;
             if (!when.empty() && when.Max() >= window.end) {
               transformed =
                   IntervalSet(Interval(when.intervals().back().begin,
                                        window.end));
             }
+            when = std::move(transformed);
             break;
           }
           case FtlFormula::Kind::kAlwaysFor:
-            transformed = when.ErodeRight(f->bound()).Clamp(window);
+            when.ErodeRightClampInPlace(f->bound(), window);
             break;
           default:
             break;
         }
-        if (!transformed.empty()) {
-          out.rows.emplace(binding, std::move(transformed));
-        }
+        it = when.empty() ? r.rows.erase(it) : std::next(it);
       }
-      return out;
+      return r;
     }
 
     case FtlFormula::Kind::kAssign:
@@ -1174,6 +1346,18 @@ Result<TemporalRelation> FtlEvaluator::EvalCompare(const FtlFormula& f,
       }
     }
   }
+  // SoA fast path for the plain two-variable DIST comparison against an
+  // instantiation-independent bound (the overwhelmingly common shape).
+  // The index-pruned join above has priority: when it materialized jobs,
+  // the candidate set is not the full cross product.
+  if (layout_soa_ && !jobs_materialized && dist != nullptr &&
+      vars.size() == 2 && dist->var() != dist->var2()) {
+    std::set<std::string> other_vars;
+    other->CollectObjectVars(&other_vars);
+    if (other_vars.empty()) {
+      return EvalDistSoA(f, domains, window, fp, dist, other, op, vars);
+    }
+  }
   if (!jobs_materialized) {
     MOST_ASSIGN_OR_RETURN(
         jobs, MaterializeJobs(vars, domains.classes, domains.filters,
@@ -1245,6 +1429,264 @@ Result<TemporalRelation> FtlEvaluator::EvalCompare(const FtlFormula& f,
       });
 }
 
+Result<TemporalRelation> FtlEvaluator::EvalInsideSoA(
+    const FtlFormula& f, const Domains& domains, Interval window,
+    const std::string& fp, bool is_inside, bool self_anchored,
+    const ObjectClass* cls, const Polygon& region) {
+  const ClassSnapshot& snap = GetSnapshot(cls, window);
+
+  const std::set<ObjectId>* filter = nullptr;
+  auto filter_it = domains.filters.find(f.var());
+  if (filter_it != domains.filters.end() && filter_it->second != nullptr) {
+    filter = filter_it->second.get();
+  }
+
+  // Candidate snapshot indices, ascending. Same candidate set, the same
+  // instantiation / index_pruned counting and the same error behaviour as
+  // the legacy materialization.
+  ArenaVector<uint32_t> cand{ArenaAllocator<uint32_t>(&arena_)};
+  MotionIndex* index =
+      (is_inside && !self_anchored && options_.motion_indexes != nullptr)
+          ? options_.motion_indexes->Get(cls->name())
+          : nullptr;
+  if (index != nullptr) {
+    BoundingBox query_box{region.bounding_box().min,
+                          region.bounding_box().max};
+    std::vector<ObjectId> candidates =
+        index->QueryRegionCandidates(query_box, window);
+    size_t domain_size = filter != nullptr ? filter->size() : cls->size();
+    cand.reserve(candidates.size());
+    for (ObjectId id : candidates) {
+      if (filter != nullptr && filter->count(id) == 0) continue;
+      ++stats_.instantiations;
+      size_t oi = snap.IndexOf(id);
+      if (oi == ClassSnapshot::npos) return cls->Get(id).status();
+      cand.push_back(static_cast<uint32_t>(oi));
+    }
+    stats_.index_pruned += domain_size - cand.size();
+    std::sort(cand.begin(), cand.end());
+  } else {
+    if (filter != nullptr) {
+      cand.reserve(filter->size());
+      for (ObjectId id : *filter) {
+        size_t oi = snap.IndexOf(id);
+        if (oi == ClassSnapshot::npos) continue;  // Deleted id: no row.
+        cand.push_back(static_cast<uint32_t>(oi));
+      }
+    } else {
+      cand.reserve(snap.size());
+      for (size_t oi = 0; oi < snap.size(); ++oi) {
+        cand.push_back(static_cast<uint32_t>(oi));
+      }
+    }
+    if (!cand.empty()) {
+      stats_.instantiations += cand.size();
+      if (stats_.instantiations > options_.max_instantiations) {
+        return Status::OutOfRange(
+            "instantiation limit exceeded (" +
+            std::to_string(options_.max_instantiations) + ")");
+      }
+    }
+  }
+  for (uint32_t oi : cand) {
+    if (!snap.spatial_ok(oi)) {
+      return Status::TypeError("INSIDE/OUTSIDE over non-spatial object");
+    }
+  }
+
+  TemporalRelation out;
+  out.vars = {f.var()};
+  const size_t n = cand.size();
+  std::vector<IntervalSet> results(n);
+  std::vector<char> have(n, 0);
+  IntervalCache* cache = options_.interval_cache;
+  std::vector<ObjectId> key(1);
+  if (cache != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      key[0] = snap.id(cand[i]);
+      if (cache->Lookup(fp, key, &results[i])) {
+        have[i] = 1;
+        ++stats_.cache_hits;
+      } else {
+        ++stats_.cache_misses;
+      }
+    }
+  }
+  ArenaVector<uint32_t> misses{ArenaAllocator<uint32_t>(&arena_)};
+  misses.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!have[i]) misses.push_back(static_cast<uint32_t>(i));
+  }
+
+  {
+    obs::TraceSpan span("ftl/inside_ticks_batch");
+    if (self_anchored) {
+      // Relative to itself every object sits at the origin
+      // (cf. InsideTicksRelative).
+      IntervalSet base =
+          region.Contains({0, 0}) ? IntervalSet(window) : IntervalSet();
+      for (uint32_t m : misses) results[m] = base;
+    } else {
+      ParallelFor(options_.pool, misses.size(), [&](size_t mi) {
+        thread_local SpatialScratch scratch;
+        uint32_t m = misses[mi];
+        results[m] =
+            SnapshotInsideTicks(snap, cand[m], region, window, &scratch);
+      });
+    }
+  }
+  stats_.atomic_evaluations += misses.size();
+  for (uint32_t m : misses) {
+    IntervalSet when =
+        is_inside ? std::move(results[m]) : results[m].Complement(window);
+    if (cache != nullptr) {
+      key[0] = snap.id(cand[m]);
+      cache->Insert(fp, key, when);
+    }
+    results[m] = std::move(when);
+  }
+  auto hint = out.rows.end();
+  for (size_t i = 0; i < n; ++i) {
+    if (results[i].empty()) continue;
+    hint = out.rows.emplace_hint(hint,
+                                 std::vector<ObjectId>{snap.id(cand[i])},
+                                 std::move(results[i]));
+  }
+  return out;
+}
+
+Result<TemporalRelation> FtlEvaluator::EvalDistSoA(
+    const FtlFormula& f, const Domains& domains, Interval window,
+    const std::string& fp, const FtlTerm* dist, const TermPtr& other,
+    FtlFormula::CmpOp op, const std::vector<std::string>& vars) {
+  TemporalRelation out;
+  out.vars = vars;
+
+  const ObjectClass* cls[2];
+  for (size_t s = 0; s < 2; ++s) {
+    auto it = domains.classes.find(vars[s]);
+    if (it == domains.classes.end()) {
+      return Status::InvalidArgument("object variable '" + vars[s] +
+                                     "' is not bound by the FROM clause");
+    }
+    cls[s] = it->second;
+  }
+  const ClassSnapshot* snap[2] = {&GetSnapshot(cls[0], window),
+                                  &GetSnapshot(cls[1], window)};
+
+  // Per-variable extents as snapshot indices, ascending — the order
+  // EnumerateInstantiations produces.
+  ArenaVector<uint32_t> ext0{ArenaAllocator<uint32_t>(&arena_)};
+  ArenaVector<uint32_t> ext1{ArenaAllocator<uint32_t>(&arena_)};
+  ArenaVector<uint32_t>* ext[2] = {&ext0, &ext1};
+  for (size_t s = 0; s < 2; ++s) {
+    const std::set<ObjectId>* filter = nullptr;
+    auto filter_it = domains.filters.find(vars[s]);
+    if (filter_it != domains.filters.end() && filter_it->second != nullptr) {
+      filter = filter_it->second.get();
+    }
+    if (filter != nullptr) {
+      ext[s]->reserve(filter->size());
+      for (ObjectId id : *filter) {
+        size_t oi = snap[s]->IndexOf(id);
+        if (oi == ClassSnapshot::npos) continue;  // Deleted id: no row.
+        ext[s]->push_back(static_cast<uint32_t>(oi));
+      }
+    } else {
+      ext[s]->reserve(snap[s]->size());
+      for (size_t oi = 0; oi < snap[s]->size(); ++oi) {
+        ext[s]->push_back(static_cast<uint32_t>(oi));
+      }
+    }
+    if (ext[s]->empty()) return out;  // Empty cross product.
+  }
+  const size_t n0 = ext0.size(), n1 = ext1.size();
+  const size_t total = n0 * n1;
+  stats_.instantiations += total;
+  if (stats_.instantiations > options_.max_instantiations) {
+    return Status::OutOfRange("instantiation limit exceeded (" +
+                              std::to_string(options_.max_instantiations) +
+                              ")");
+  }
+
+  // The bound is instantiation-independent here; the legacy solver
+  // evaluates it per job (before its spatial check), failing identically
+  // for every miss, so evaluating it once preserves error behaviour.
+  Instantiation empty_inst;
+  MOST_ASSIGN_OR_RETURN(Value bound_v,
+                        EvalTermAt(other, empty_inst, window.begin));
+  MOST_ASSIGN_OR_RETURN(double bound, bound_v.AsDouble());
+  for (size_t s = 0; s < 2; ++s) {
+    for (uint32_t oi : *ext[s]) {
+      if (!snap[s]->spatial_ok(oi)) {
+        return Status::TypeError("DIST over non-spatial objects");
+      }
+    }
+  }
+
+  std::vector<IntervalSet> results(total);
+  std::vector<char> have;
+  IntervalCache* cache = options_.interval_cache;
+  std::vector<ObjectId> key(2);
+  if (cache != nullptr) {
+    have.assign(total, 0);
+    size_t p = 0;
+    for (size_t i0 = 0; i0 < n0; ++i0) {
+      key[0] = snap[0]->id(ext0[i0]);
+      for (size_t i1 = 0; i1 < n1; ++i1, ++p) {
+        key[1] = snap[1]->id(ext1[i1]);
+        if (cache->Lookup(fp, key, &results[p])) {
+          have[p] = 1;
+          ++stats_.cache_hits;
+        } else {
+          ++stats_.cache_misses;
+        }
+      }
+    }
+  }
+  ArenaVector<uint64_t> misses{ArenaAllocator<uint64_t>(&arena_)};
+  misses.reserve(total);
+  for (size_t p = 0; p < total; ++p) {
+    if (have.empty() || !have[p]) misses.push_back(p);
+  }
+
+  // Column s of `vars` maps to DIST's (a, b) argument order.
+  const bool dist_first = vars[0] == dist->var();
+  const ClassSnapshot& a_snap = dist_first ? *snap[0] : *snap[1];
+  const ClassSnapshot& b_snap = dist_first ? *snap[1] : *snap[0];
+  ParallelFor(options_.pool, misses.size(), [&](size_t mi) {
+    thread_local SpatialScratch scratch;
+    const size_t p = static_cast<size_t>(misses[mi]);
+    const uint32_t e0 = ext0[p / n1], e1 = ext1[p % n1];
+    const uint32_t ai = dist_first ? e0 : e1;
+    const uint32_t bi = dist_first ? e1 : e0;
+    results[p] = SnapshotDistCmpTicks(a_snap, ai, b_snap, bi, op, bound,
+                                      window, &scratch);
+  });
+  stats_.atomic_evaluations += misses.size();
+  if (cache != nullptr) {
+    for (uint64_t p64 : misses) {
+      const size_t p = static_cast<size_t>(p64);
+      key[0] = snap[0]->id(ext0[p / n1]);
+      key[1] = snap[1]->id(ext1[p % n1]);
+      cache->Insert(fp, key, results[p]);
+    }
+  }
+
+  auto hint = out.rows.end();
+  size_t p = 0;
+  for (size_t i0 = 0; i0 < n0; ++i0) {
+    const ObjectId id0 = snap[0]->id(ext0[i0]);
+    for (size_t i1 = 0; i1 < n1; ++i1, ++p) {
+      if (results[p].empty()) continue;
+      hint = out.rows.emplace_hint(
+          hint, std::vector<ObjectId>{id0, snap[1]->id(ext1[i1])},
+          std::move(results[p]));
+    }
+  }
+  return out;
+}
+
 Result<TemporalRelation> FtlEvaluator::EvalAssign(const FtlFormula& f,
                                                   const Domains& domains,
                                                   Interval window) {
@@ -1305,7 +1747,7 @@ Result<TemporalRelation> FtlEvaluator::EvalAssign(const FtlFormula& f,
           // ticks where the term has this value.
           q_row.rows.clear();
           q_row.rows.emplace(binding, valid_when);
-          TemporalRelation joined = JoinAnd(cache_it->second, q_row, &stats_);
+          TemporalRelation joined = JoinAnd(cache_it->second, q_row, &stats_, &arena_);
           if (!result_initialized) {
             result.vars = joined.vars;
             result_initialized = true;

@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/interval.h"
 #include "common/result.h"
+#include "core/class_snapshot.h"
 #include "core/motion_index_manager.h"
 #include "core/object_model.h"
 #include "ftl/ast.h"
@@ -44,6 +46,22 @@ struct FtlEvalStats {
   size_t index_pruned = 0;        ///< Objects skipped thanks to an index.
   size_t cache_hits = 0;          ///< Atomic solves answered by the cache.
   size_t cache_misses = 0;        ///< Atomic solves that had to run.
+  size_t arena_bytes = 0;         ///< Bump-arena bytes drawn by evaluations.
+  size_t arena_heap_fallbacks = 0;  ///< Oversize arena requests sent to heap.
+};
+
+/// Memory layout of the atomic-extraction hot path.
+enum class EvalLayout {
+  /// Resolve from the MOST_EVAL_LAYOUT environment variable ("legacy" or
+  /// "soa"); unset or unrecognized means kSoa.
+  kAuto,
+  /// Per-object solves walking MostObject/DynamicAttribute maps — the
+  /// original pointer-chasing path, kept as the differential oracle.
+  kLegacy,
+  /// Structure-of-arrays class snapshots: motion coefficients gathered
+  /// once per evaluation into contiguous arrays (docs/eval_internals.md).
+  /// Answers are byte-identical to kLegacy.
+  kSoa,
 };
 
 /// Evaluates FTL formulas over the implicit future history of a MOST
@@ -101,11 +119,15 @@ class FtlEvaluator {
     /// its wall time, result cardinalities and counter deltas. Null = no
     /// profiling, no clock reads. Not owned; must outlive the evaluation.
     obs::ProfileNode* profile = nullptr;
+    /// Hot-path memory layout (see EvalLayout). Every layout produces
+    /// byte-identical relations; kLegacy exists as the differential oracle
+    /// and escape hatch.
+    EvalLayout layout = EvalLayout::kAuto;
   };
 
   explicit FtlEvaluator(const MostDatabase& db) : FtlEvaluator(db, Options()) {}
   FtlEvaluator(const MostDatabase& db, Options options)
-      : db_(db), options_(options) {}
+      : db_(db), options_(options), layout_soa_(ResolveLayoutSoa(options_)) {}
 
   /// Evaluates a full query over the window, returning the Answer relation
   /// projected onto the RETRIEVE variables.
@@ -132,6 +154,8 @@ class FtlEvaluator {
  private:
   struct Domains;  // Resolved per-variable object class extents.
 
+  static bool ResolveLayoutSoa(const Options& options);
+
   Result<TemporalRelation> EvaluateQueryUnprojectedImpl(const FtlQuery& query,
                                                         Interval window);
   /// Profiling wrapper: records one ProfileNode per subformula (when
@@ -147,9 +171,41 @@ class FtlEvaluator {
                                       const Domains& domains,
                                       Interval window);
 
+  /// SoA fast paths. Both replicate the legacy path's counting, caching,
+  /// error and result semantics exactly; they differ only in where the
+  /// motion coefficients are read from and how scratch memory is managed.
+  Result<TemporalRelation> EvalInsideSoA(const FtlFormula& f,
+                                         const Domains& domains,
+                                         Interval window,
+                                         const std::string& fp,
+                                         bool is_inside, bool self_anchored,
+                                         const ObjectClass* cls,
+                                         const Polygon& region);
+  Result<TemporalRelation> EvalDistSoA(const FtlFormula& f,
+                                       const Domains& domains, Interval window,
+                                       const std::string& fp,
+                                       const FtlTerm* dist,
+                                       const TermPtr& other,
+                                       FtlFormula::CmpOp op,
+                                       const std::vector<std::string>& vars);
+
+  /// The per-class SoA snapshot for this evaluation, built on first use.
+  /// Snapshots and every other per-evaluation scratch structure live in
+  /// arena_; ResetEvalScratch() drops them wholesale at the start of each
+  /// top-level evaluation (nothing arena-allocated escapes an evaluation —
+  /// docs/eval_internals.md).
+  const ClassSnapshot& GetSnapshot(const ObjectClass* cls, Interval window);
+  void ResetEvalScratch();
+  /// Folds the arena's per-cycle stats into stats_ (called once per
+  /// top-level evaluation, after the result is produced).
+  void AccumulateArenaStats();
+
   const MostDatabase& db_;
   Options options_;
   FtlEvalStats stats_;
+  const bool layout_soa_;
+  BumpArena arena_;
+  std::map<const ObjectClass*, ClassSnapshot> snapshots_;
   /// Parent node the next Eval() attaches its child to; null = profiling
   /// off. Only mutated by the single thread driving the recursion (pool
   /// workers never call Eval).

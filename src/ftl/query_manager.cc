@@ -95,6 +95,7 @@ FtlEvaluator::Options QueryManager::EvalOptions() const {
   o.motion_indexes = options_.motion_indexes;
   o.pool = pool_.get();
   o.interval_cache = cache_.get();
+  o.layout = options_.layout;
   return o;
 }
 
@@ -275,6 +276,10 @@ Status QueryManager::RefreshFull(Continuous* cq, const char* reason) {
       cq->full, eval.EvaluateQueryUnprojected(
                     cq->query, Interval(cq->window_begin, cq->expires_at)));
   const uint64_t dur_ns = obs::MonotonicNowNs() - t0;
+  if (profile != nullptr) {
+    profile->arena_bytes = eval.stats().arena_bytes;
+    profile->arena_heap_fallbacks = eval.stats().arena_heap_fallbacks;
+  }
   cq->answer = cq->full.Project(cq->query.retrieve);
   cq->evaluated_at = now;
   cq->dirty = false;
@@ -364,6 +369,10 @@ Status QueryManager::RefreshDelta(Continuous* cq) {
     FtlEvaluator eval(*db_, opts);
     MOST_ASSIGN_OR_RETURN(TemporalRelation part,
                           eval.EvaluateQueryUnprojected(cq->query, window));
+    if (profile != nullptr) {
+      profile->arena_bytes += eval.stats().arena_bytes;
+      profile->arena_heap_fallbacks += eval.stats().arena_heap_fallbacks;
+    }
     for (auto& [binding, when] : part.rows) {
       cq->full.rows.emplace(binding, std::move(when));
     }

@@ -101,6 +101,10 @@ class QueryManager {
     /// per refresh (never touches the per-tuple hot paths) and does not
     /// change any answer.
     bool enable_profiling = true;
+    /// Hot-path memory layout forwarded to the evaluator (SoA snapshots
+    /// vs. the legacy pointer-chasing path; answers are byte-identical —
+    /// docs/eval_internals.md). kAuto reads MOST_EVAL_LAYOUT.
+    EvalLayout layout = EvalLayout::kAuto;
   };
 
   explicit QueryManager(MostDatabase* db) : QueryManager(db, Options()) {}

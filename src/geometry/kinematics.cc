@@ -84,17 +84,21 @@ std::vector<RealInterval> DistanceAtLeast(const MovingPoint2& a,
   return ClipToWindow({{window.begin, t1}, {t2, window.end}}, window);
 }
 
-std::vector<RealInterval> InsidePolygon(const MovingPoint2& p,
-                                        const Polygon& poly,
-                                        RealInterval window) {
-  if (!window.valid()) return {};
+void InsidePolygonInto(const MovingPoint2& p, const Polygon& poly,
+                       RealInterval window, std::vector<double>* events_buf,
+                       std::vector<RealInterval>* out) {
+  out->clear();
+  if (!window.valid()) return;
   if (p.IsStationary()) {
-    if (poly.Contains(p.origin)) return {window};
-    return {};
+    if (poly.Contains(p.origin)) out->push_back(window);
+    return;
   }
   // Candidate event times: the moving point crosses an edge's supporting
   // line. cross(b - a, p(t) - a) is linear in t.
-  std::vector<double> events = {window.begin, window.end};
+  std::vector<double>& events = *events_buf;
+  events.clear();
+  events.push_back(window.begin);
+  events.push_back(window.end);
   const auto& vs = poly.vertices();
   size_t n = vs.size();
   for (size_t i = 0, j = n - 1; i < n; j = i++) {
@@ -111,31 +115,55 @@ std::vector<RealInterval> InsidePolygon(const MovingPoint2& p,
   std::sort(events.begin(), events.end());
   events.erase(std::unique(events.begin(), events.end()), events.end());
 
-  std::vector<RealInterval> out;
+  // Boundary-touch memo for the event shared by piece i (as hi) and piece
+  // i+1 (as lo): p.At(t) is the same double both times, so Contains is too.
+  int prev_hi_contains = -1;  // -1 unknown, else 0/1 for events[i].
   for (size_t i = 0; i + 1 < events.size(); ++i) {
     double lo = events[i];
     double hi = events[i + 1];
     bool inside = poly.Contains(p.At((lo + hi) / 2.0));
     if (inside) {
-      if (!out.empty() && out.back().end == lo) {
-        out.back().end = hi;
+      if (!out->empty() && out->back().end == lo) {
+        out->back().end = hi;
       } else {
-        out.push_back({lo, hi});
+        out->push_back({lo, hi});
       }
+      prev_hi_contains = -1;
     } else {
       // An isolated boundary touch at an event instant still satisfies the
-      // closed INSIDE predicate.
-      for (double t : {lo, hi}) {
-        if (poly.Contains(p.At(t))) {
-          if (!out.empty() && out.back().end >= t) {
-            out.back().end = std::max(out.back().end, t);
+      // closed INSIDE predicate. When the last emitted interval already
+      // covers `lo` the touch action is a no-op either way, so the test is
+      // skipped — output is identical.
+      if (out->empty() || out->back().end < lo) {
+        bool c = prev_hi_contains >= 0 ? prev_hi_contains != 0
+                                       : poly.Contains(p.At(lo));
+        if (c) {
+          if (!out->empty() && out->back().end >= lo) {
+            out->back().end = std::max(out->back().end, lo);
           } else {
-            out.push_back({t, t});
+            out->push_back({lo, lo});
           }
+        }
+      }
+      bool c_hi = poly.Contains(p.At(hi));
+      prev_hi_contains = c_hi ? 1 : 0;
+      if (c_hi) {
+        if (!out->empty() && out->back().end >= hi) {
+          out->back().end = std::max(out->back().end, hi);
+        } else {
+          out->push_back({hi, hi});
         }
       }
     }
   }
+}
+
+std::vector<RealInterval> InsidePolygon(const MovingPoint2& p,
+                                        const Polygon& poly,
+                                        RealInterval window) {
+  std::vector<double> events;
+  std::vector<RealInterval> out;
+  InsidePolygonInto(p, poly, window, &events, &out);
   return out;
 }
 

@@ -44,6 +44,15 @@ std::vector<RealInterval> InsidePolygon(const MovingPoint2& p,
                                         const Polygon& poly,
                                         RealInterval window);
 
+/// Allocation-free form of InsidePolygon for hot loops: appends the
+/// solution intervals to *out (cleared first) and reuses *events as
+/// scratch. Identical arithmetic to InsidePolygon — the two produce
+/// bit-equal interval endpoints for the same inputs, which the SoA
+/// evaluation layout relies on (docs/eval_internals.md).
+void InsidePolygonInto(const MovingPoint2& p, const Polygon& poly,
+                       RealInterval window, std::vector<double>* events,
+                       std::vector<RealInterval>* out);
+
 /// Converts continuous-time solution intervals to the set of integer ticks
 /// they cover: tick t is in the result iff t in [begin - eps, end + eps]
 /// for some input interval. The epsilon absorbs floating-point noise so a

@@ -43,7 +43,8 @@ std::string QueryProfile::Render(bool include_timings) const {
   os << "Refresh: #" << refresh_seq << " dirty_objects=" << dirty_objects
      << " total=";
   if (include_timings) {
-    os << total_ns << "ns";
+    os << total_ns << "ns arena_bytes=" << arena_bytes
+       << " arena_heap_fallbacks=" << arena_heap_fallbacks;
   } else {
     os << "..ns";
   }

@@ -41,6 +41,13 @@ struct QueryProfile {
   uint64_t refresh_seq = 0; ///< Which refresh of the query this profile is.
   uint64_t dirty_objects = 0;
   uint64_t total_ns = 0;
+  /// Bump-arena bytes the refresh's evaluation drew for per-evaluation
+  /// scratch (SoA snapshots, join runs), and how many requests were too
+  /// large for a block and fell back to dedicated heap blocks. Rendered
+  /// only with timings (the numbers are layout/platform-sensitive, like
+  /// wall times — golden renderings stay stable).
+  uint64_t arena_bytes = 0;
+  uint64_t arena_heap_fallbacks = 0;
   ProfileNode root;
 
   /// Indented text rendering. `include_timings=false` masks every

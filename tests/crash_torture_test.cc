@@ -31,6 +31,7 @@
 #include "common/failpoint.h"
 #include "common/rng.h"
 #include "storage/durable_database.h"
+#include "test_seed.h"
 
 namespace most {
 namespace {
@@ -158,9 +159,10 @@ TEST_F(CrashTortureTest, InterruptedAppendKeepsCommittedPrefix) {
       {"wal/append/flush", "error*1", false},
       {"wal/sync", "error*1", true},
   };
+  const uint64_t seed_base = test::SuiteSeed("CrashTorture.Append", 7000);
   for (int iter = 0; iter < kIterationsPerFamily; ++iter) {
     SCOPED_TRACE("iteration " + std::to_string(iter));
-    Rng rng(7000 + iter);
+    Rng rng(seed_base + iter);
     const Fault& fault = kFaults[iter % std::size(kFaults)];
     std::string path = TortureePath("append", iter);
     std::remove(path.c_str());
@@ -230,9 +232,10 @@ TEST_F(CrashTortureTest, FailedCheckpointLeavesOldLogAuthoritative) {
       {"wal/append/write", "error*1", false},
       {"wal/sync", "error*1", true},  // Snapshot pre-rename sync fails.
   };
+  const uint64_t seed_base = test::SuiteSeed("CrashTorture.Checkpoint", 8000);
   for (int iter = 0; iter < kIterationsPerFamily; ++iter) {
     SCOPED_TRACE("iteration " + std::to_string(iter));
-    Rng rng(8000 + iter);
+    Rng rng(seed_base + iter);
     const Fault& fault = kFaults[iter % std::size(kFaults)];
     std::string path = TortureePath("checkpoint", iter);
     std::string tmp_path = path + ".checkpoint";
@@ -283,9 +286,10 @@ TEST_F(CrashTortureTest, FailedCheckpointLeavesOldLogAuthoritative) {
 // ---- Family 3: log corruption discovered at recovery ----------------------
 
 TEST_F(CrashTortureTest, CorruptedLogSalvagesWithoutInventingState) {
+  const uint64_t seed_base = test::SuiteSeed("CrashTorture.Corrupt", 9000);
   for (int iter = 0; iter < kIterationsPerFamily; ++iter) {
     SCOPED_TRACE("iteration " + std::to_string(iter));
-    Rng rng(9000 + iter);
+    Rng rng(seed_base + iter);
     std::string path = TortureePath("corrupt", iter);
     std::remove(path.c_str());
 

@@ -1,0 +1,205 @@
+// Fuzz harness for the FTL parser + evaluator, libFuzzer entry-point
+// style: the input bytes are an FTL query source string. Everything that
+// parses is evaluated twice — legacy (AoS) layout and SoA layout — and the
+// two relations must be byte-identical with matching status codes; any
+// divergence or crash/sanitizer report is a finding.
+//
+// This toolchain has no -fsanitize=fuzzer driver (gcc), so the harness
+// always compiles with a standalone replay main(): it runs every corpus
+// file/directory passed on the command line, then a bounded deterministic
+// mutation loop (--mutate N, seeded by MOST_TEST_SEED or 1) over the
+// corpus. ci.sh runs exactly that as the fuzz smoke stage under ASan.
+// With a clang libFuzzer toolchain, define MOST_FUZZ_HAVE_LIBFUZZER to
+// drop the main() and link -fsanitize=fuzzer instead.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/object_model.h"
+#include "ftl/eval.h"
+#include "ftl/parser.h"
+#include "geometry/polygon.h"
+
+namespace {
+
+using namespace most;
+
+// One deterministic world shared by every input: a spatial class M (with a
+// FUEL attribute so assignment/compare formulas bind), a second class N,
+// and four regions with the names the seed corpus uses. Coordinates are
+// grid-snapped; motions include stationary, linear and piecewise routes.
+MostDatabase* World() {
+  static MostDatabase* db = [] {
+    auto* d = new MostDatabase();
+    (void)d->CreateClass("M", {{"FUEL", true, ValueType::kNull}}, true);
+    (void)d->CreateClass("N", {}, true);
+    (void)d->DefineRegion("R1", Polygon::Rectangle({-10, -10}, {5, 5}));
+    (void)d->DefineRegion("R2", Polygon::Rectangle({0, 0}, {15, 12}));
+    (void)d->DefineRegion("P", Polygon::Rectangle({2, 2}, {8, 8}));
+    (void)d->DefineRegion("Q", *Polygon::Create({{0, 0}, {6, 0}, {3, 6}}));
+    const double pos[5][2] = {{-4, -4}, {0, 0}, {3, 3}, {12, 1}, {-8, 6}};
+    const double vel[5][2] = {{1, 0.5}, {0, 0}, {-0.5, 0.25}, {-1, 1}, {0.5, 0}};
+    for (int i = 0; i < 5; ++i) {
+      auto obj = d->CreateObject("M");
+      if (!obj.ok()) std::abort();
+      ObjectId id = (*obj)->id();
+      (void)d->SetMotion("M", id, {pos[i][0], pos[i][1]},
+                         {vel[i][0], vel[i][1]});
+      (void)d->UpdateDynamic("M", id, "FUEL", 50.0 + 5.0 * i,
+                             TimeFunction::Linear(-0.25 * i));
+    }
+    for (int i = 0; i < 2; ++i) {
+      auto obj = d->CreateObject("N");
+      if (!obj.ok()) std::abort();
+      (void)d->SetMotion("N", (*obj)->id(), {2.0 * i, -1.0 * i}, {0.25, 0.5});
+    }
+    return d;
+  }();
+  return db;
+}
+
+void DieOnDivergence(const char* what, const std::string& query_text) {
+  std::fprintf(stderr, "layout divergence (%s) on input:\n%s\n", what,
+               query_text.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0 || size > 2048) return 0;
+  std::string text(reinterpret_cast<const char*>(data), size);
+  auto query = ParseQuery(text);
+  if (!query.ok()) return 0;  // Parse rejection is fine; crashes are not.
+
+  MostDatabase* db = World();
+  const Interval window(0, 24);
+
+  FtlEvaluator::Options legacy_opts;
+  legacy_opts.layout = EvalLayout::kLegacy;
+  FtlEvaluator legacy(*db, legacy_opts);
+  auto legacy_rel = legacy.EvaluateQuery(*query, window);
+
+  FtlEvaluator::Options soa_opts;
+  soa_opts.layout = EvalLayout::kSoa;
+  FtlEvaluator soa(*db, soa_opts);
+  auto soa_rel = soa.EvaluateQuery(*query, window);
+
+  if (legacy_rel.ok() != soa_rel.ok()) DieOnDivergence("status", text);
+  if (legacy_rel.ok()) {
+    if (legacy_rel->vars != soa_rel->vars) DieOnDivergence("vars", text);
+    if (legacy_rel->rows != soa_rel->rows) DieOnDivergence("rows", text);
+  } else if (legacy_rel.status().code() != soa_rel.status().code()) {
+    DieOnDivergence("status code", text);
+  }
+  return 0;
+}
+
+#ifndef MOST_FUZZ_HAVE_LIBFUZZER
+
+namespace {
+
+std::vector<std::string> CollectInputs(int argc, char** argv,
+                                       size_t* mutations) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mutate") == 0 && i + 1 < argc) {
+      *mutations = std::strtoull(argv[++i], nullptr, 10);
+      continue;
+    }
+    std::filesystem::path p(argv[i]);
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& e : std::filesystem::directory_iterator(p)) {
+        if (e.is_regular_file()) files.push_back(e.path().string());
+      }
+    } else {
+      files.push_back(p.string());
+    }
+  }
+  std::sort(files.begin(), files.end());  // Deterministic replay order.
+  return files;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+// Standalone driver: replay corpus inputs, then a bounded deterministic
+// mutation loop. Exits non-zero only on harness misuse; divergences abort.
+int main(int argc, char** argv) {
+  size_t mutations = 0;
+  std::vector<std::string> files = CollectInputs(argc, argv, &mutations);
+  if (files.empty() && mutations == 0) {
+    std::fprintf(stderr,
+                 "usage: %s [--mutate N] <corpus file or dir>...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<std::string> corpus;
+  for (const std::string& f : files) {
+    corpus.push_back(ReadFile(f));
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const uint8_t*>(corpus.back().data()),
+        corpus.back().size());
+  }
+  std::printf("replayed %zu corpus inputs\n", corpus.size());
+
+  if (mutations > 0 && !corpus.empty()) {
+    uint64_t state = 1;
+    if (const char* env = std::getenv("MOST_TEST_SEED")) {
+      state = std::strtoull(env, nullptr, 10) | 1;
+    }
+    std::printf("mutation loop: %zu rounds, seed=%llu\n", mutations,
+                static_cast<unsigned long long>(state));
+    auto next = [&state] {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      return state;
+    };
+    for (size_t i = 0; i < mutations; ++i) {
+      std::string input = corpus[next() % corpus.size()];
+      switch (next() % 4) {
+        case 0:  // Flip a byte.
+          if (!input.empty()) {
+            input[next() % input.size()] ^= static_cast<char>(next() & 0xFF);
+          }
+          break;
+        case 1:  // Truncate.
+          if (!input.empty()) input.resize(next() % input.size());
+          break;
+        case 2:  // Splice two corpus entries.
+          if (!input.empty()) {
+            const std::string& other = corpus[next() % corpus.size()];
+            input = input.substr(0, next() % input.size()) + other;
+          }
+          break;
+        default:  // Insert a token-ish fragment.
+          static const char* kFragments[] = {
+              " AND ", " OR ", " NOT ", " UNTIL ", " EVENTUALLY ",
+              " ALWAYS FOR 3 ", " WITHIN ", " DIST(o, n) ", " INSIDE(o, P) ",
+              "(", ")", " 999999999999 ", " -1 ", "\x00\xff"};
+          size_t at = input.empty() ? 0 : next() % input.size();
+          input.insert(at, kFragments[next() % std::size(kFragments)]);
+      }
+      LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+                             input.size());
+    }
+    std::printf("mutation loop done\n");
+  }
+  return 0;
+}
+
+#endif  // MOST_FUZZ_HAVE_LIBFUZZER

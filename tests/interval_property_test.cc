@@ -1,0 +1,350 @@
+// Property-based tests for the interval algebra against a brute-force
+// oracle. IntervalSet is the value type every FTL relation is built from,
+// and the evaluator's byte-identity contract (legacy vs SoA layouts,
+// serial vs parallel vs cached paths) leans on two algebraic facts that
+// this suite checks exhaustively on randomized inputs:
+//
+//   1. the normalized representation is canonical — equal sets of ticks
+//      have identical interval vectors, regardless of construction order;
+//   2. every operation (Union, Intersect, Complement, Clamp, Shift,
+//      DilateLeft, ErodeRight, UntilWith) computes exactly its
+//      set-semantic definition, verified tick-by-tick against a
+//      std::set<Tick> model over a bounded universe.
+//
+// The in-place fused transforms (ShiftClampInPlace & co., used by the hot
+// unary temporal operators) are additionally checked for representation
+// equality against the const chains they replace.
+//
+// Seeds are drawn through tests/test_seed.h: the log prints them and
+// MOST_TEST_SEED=<n> replays a single seed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/rng.h"
+#include "test_seed.h"
+
+namespace most {
+namespace {
+
+// Bounded universe for the oracle. Small enough that tick-by-tick
+// comparison is cheap, large enough that shifts/dilations move intervals
+// across both edges.
+constexpr Tick kLo = -48;
+constexpr Tick kHi = 48;
+
+// Tick-set model of an IntervalSet, restricted to [kLo, kHi].
+std::set<Tick> Model(const IntervalSet& s) {
+  std::set<Tick> out;
+  for (const Interval& iv : s.intervals()) {
+    for (Tick t = std::max(iv.begin, kLo); t <= std::min(iv.end, kHi); ++t) {
+      out.insert(t);
+    }
+  }
+  return out;
+}
+
+// Truth of "t in s" including ticks outside the modeled universe.
+bool OracleContains(const std::vector<Interval>& raw, Tick t) {
+  for (const Interval& iv : raw) {
+    if (iv.valid() && iv.begin <= t && t <= iv.end) return true;
+  }
+  return false;
+}
+
+// A random interval list: mixed valid/invalid/overlapping/adjacent, the
+// worst diet for the normalizing constructors.
+std::vector<Interval> RandomIntervals(Rng* rng) {
+  std::vector<Interval> out;
+  int n = static_cast<int>(rng->UniformInt(0, 6));
+  for (int i = 0; i < n; ++i) {
+    Tick a = rng->UniformInt(kLo, kHi);
+    // Mostly valid short intervals; occasionally inverted (invalid, must
+    // be dropped) or long (spans a big chunk of the universe).
+    Tick b = rng->Bernoulli(0.1) ? a - rng->UniformInt(1, 4)
+                                 : a + rng->UniformInt(0, 12);
+    out.push_back(Interval(a, b));
+  }
+  return out;
+}
+
+IntervalSet RandomSet(Rng* rng) { return IntervalSet::FromIntervals(RandomIntervals(rng)); }
+
+// The canonical-form invariants every IntervalSet must satisfy: valid
+// intervals, strictly increasing, with at least a one-tick gap (adjacent
+// intervals must have been merged).
+void ExpectNormalized(const IntervalSet& s, const char* label) {
+  const auto& ivs = s.intervals();
+  for (size_t i = 0; i < ivs.size(); ++i) {
+    EXPECT_TRUE(ivs[i].valid()) << label;
+    if (i > 0) {
+      EXPECT_GT(ivs[i].begin, ivs[i - 1].end + 1)
+          << label << ": intervals " << i - 1 << "/" << i
+          << " overlap or touch in " << s.ToString();
+    }
+  }
+}
+
+void ExpectSameSet(const std::set<Tick>& want, const IntervalSet& got,
+                   const char* label) {
+  EXPECT_EQ(want, Model(got)) << label << ": " << got.ToString();
+}
+
+TEST(IntervalPropertyTest, OperationsMatchBruteForceOracle) {
+  int cases = 0;
+  std::vector<uint64_t> seeds =
+      test::SuiteSeeds("IntervalProperty.Oracle", {1, 2, 3, 5, 2026});
+  // >= 10k cases regardless of how many seeds the override left us.
+  const int rounds = static_cast<int>(10500 / seeds.size()) + 1;
+  for (uint64_t seed : seeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed * 6364136223846793005ULL + 1442695040888963407ULL);
+    for (int round = 0; round < rounds; ++round) {
+      ++cases;
+      std::vector<Interval> raw_a = RandomIntervals(&rng);
+      IntervalSet a = IntervalSet::FromIntervals(raw_a);
+      IntervalSet b = RandomSet(&rng);
+      std::set<Tick> ma = Model(a);
+      std::set<Tick> mb = Model(b);
+
+      // Construction: normalization must preserve membership exactly and
+      // produce the canonical form.
+      ExpectNormalized(a, "FromIntervals");
+      for (Tick t = kLo; t <= kHi; ++t) {
+        ASSERT_EQ(OracleContains(raw_a, t), a.Contains(t))
+            << "t=" << t << " set=" << a.ToString();
+      }
+
+      // Union / Intersect / Difference / Complement against the model.
+      std::set<Tick> u;
+      std::set_union(ma.begin(), ma.end(), mb.begin(), mb.end(),
+                     std::inserter(u, u.begin()));
+      ExpectSameSet(u, a.Union(b), "Union");
+      std::set<Tick> inter;
+      std::set_intersection(ma.begin(), ma.end(), mb.begin(), mb.end(),
+                            std::inserter(inter, inter.begin()));
+      ExpectSameSet(inter, a.Intersect(b), "Intersect");
+      std::set<Tick> diff;
+      std::set_difference(ma.begin(), ma.end(), mb.begin(), mb.end(),
+                          std::inserter(diff, diff.begin()));
+      ExpectSameSet(diff, a.Difference(b), "Difference");
+
+      Interval universe(rng.UniformInt(kLo, 0), rng.UniformInt(0, kHi));
+      std::set<Tick> comp;
+      for (Tick t = universe.begin; t <= universe.end; ++t) {
+        if (ma.count(t) == 0) comp.insert(t);
+      }
+      ExpectSameSet(comp, a.Complement(universe), "Complement");
+
+      // Clamp == Intersect with the universe interval.
+      std::set<Tick> clamped;
+      for (Tick t : ma) {
+        if (universe.begin <= t && t <= universe.end) clamped.insert(t);
+      }
+      ExpectSameSet(clamped, a.Clamp(universe), "Clamp");
+
+      // Shift / DilateLeft / ErodeRight, semantics per the header: t in
+      // Shift(d) iff t-d in a; t in DilateLeft(c) iff some tick of a is in
+      // [t, t+c]; t in ErodeRight(c) iff [t, t+c] is all in a.
+      Tick d = rng.UniformInt(-10, 10);
+      IntervalSet shifted = a.Shift(d);
+      // Only ticks whose preimage lies inside the modeled universe — the
+      // random sets may extend slightly past kHi, which the model clips.
+      for (Tick t = kLo; t <= kHi; ++t) {
+        if (t - d < kLo || t - d > kHi) continue;
+        ASSERT_EQ(ma.count(t - d) != 0, shifted.Contains(t))
+            << "Shift t=" << t << " d=" << d << " a=" << a.ToString();
+      }
+
+      Tick c = rng.UniformInt(0, 10);
+      std::set<Tick> dilated;
+      for (Tick t = kLo; t <= kHi; ++t) {
+        for (Tick w = t; w <= t + c; ++w) {
+          if (ma.count(w) != 0) {
+            dilated.insert(t);
+            break;
+          }
+        }
+      }
+      // The oracle misses witnesses beyond kHi; restrict the comparison to
+      // sets fully inside the modeled universe (RandomIntervals only
+      // produces ticks in [kLo, kHi+12]; clamp the checked range instead).
+      std::set<Tick> got_dilated = Model(a.DilateLeft(c));
+      for (Tick t = kLo; t + c <= kHi; ++t) {
+        ASSERT_EQ(dilated.count(t) != 0, got_dilated.count(t) != 0)
+            << "DilateLeft t=" << t << " c=" << c << " a=" << a.ToString();
+      }
+
+      std::set<Tick> eroded;
+      for (Tick t = kLo; t + c <= kHi; ++t) {
+        bool all = true;
+        for (Tick w = t; w <= t + c; ++w) {
+          if (ma.count(w) == 0) {
+            all = false;
+            break;
+          }
+        }
+        if (all) eroded.insert(t);
+      }
+      std::set<Tick> got_eroded = Model(a.ErodeRight(c));
+      for (Tick t = kLo; t + c <= kHi; ++t) {
+        ASSERT_EQ(eroded.count(t) != 0, got_eroded.count(t) != 0)
+            << "ErodeRight t=" << t << " c=" << c << " a=" << a.ToString();
+      }
+
+      // Cardinality / FirstAtOrAfter agree with the model (sets here are
+      // fully inside the modeled universe only when raw ends pre-clamp;
+      // compare against the unrestricted intervals instead).
+      Tick card = 0;
+      for (const Interval& iv : a.intervals()) card += iv.length();
+      EXPECT_EQ(card, a.Cardinality());
+      Tick probe = rng.UniformInt(kLo, kHi);
+      Tick first = 0;
+      bool has = a.FirstAtOrAfter(probe, &first);
+      auto it = ma.lower_bound(probe);
+      // Model may truncate at kHi; only compare when the answer is inside.
+      if (it != ma.end()) {
+        EXPECT_TRUE(has);
+        EXPECT_EQ(*it, first) << "FirstAtOrAfter(" << probe << ")";
+      }
+    }
+  }
+  EXPECT_GE(cases, 10000) << "property corpus shrank below spec";
+}
+
+// FromSortedIntervals must equal FromIntervals whenever its precondition
+// (sorted by begin) holds — it is the constructor the SoA kernels use on
+// their accumulated per-segment tick lists.
+TEST(IntervalPropertyTest, FromSortedIntervalsMatchesFromIntervals) {
+  int cases = 0;
+  std::vector<uint64_t> seeds =
+      test::SuiteSeeds("IntervalProperty.FromSorted", {11, 17});
+  const int rounds = static_cast<int>(5200 / seeds.size()) + 1;
+  for (uint64_t seed : seeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    for (int round = 0; round < rounds; ++round) {
+      ++cases;
+      std::vector<Interval> ivs = RandomIntervals(&rng);
+      std::sort(ivs.begin(), ivs.end(), [](const Interval& a, const Interval& b) {
+        return a.begin < b.begin || (a.begin == b.begin && a.end < b.end);
+      });
+      IntervalSet sorted = IntervalSet::FromSortedIntervals(ivs.data(), ivs.size());
+      IntervalSet general = IntervalSet::FromIntervals(ivs);
+      EXPECT_EQ(general.intervals(), sorted.intervals())
+          << "sorted=" << sorted.ToString() << " general=" << general.ToString();
+      ExpectNormalized(sorted, "FromSortedIntervals");
+    }
+  }
+  EXPECT_GE(cases, 5000);
+}
+
+// The fused in-place transforms must be representation-identical to the
+// const chains they replace in the unary temporal operators — this is the
+// exact substitution the evaluator makes on its hot path.
+TEST(IntervalPropertyTest, InPlaceTransformsMatchConstChains) {
+  int cases = 0;
+  std::vector<uint64_t> seeds =
+      test::SuiteSeeds("IntervalProperty.InPlace", {23, 29, 31});
+  const int rounds = static_cast<int>(10500 / seeds.size()) + 1;
+  for (uint64_t seed : seeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    for (int round = 0; round < rounds; ++round) {
+      ++cases;
+      IntervalSet a = RandomSet(&rng);
+      Interval universe(rng.UniformInt(kLo, 0), rng.UniformInt(-4, kHi));
+      Tick d = rng.UniformInt(-12, 12);
+      Tick c = rng.UniformInt(0, 12);
+
+      IntervalSet shift = a;
+      shift.ShiftClampInPlace(d, universe);
+      EXPECT_EQ(a.Shift(d).Clamp(universe).intervals(), shift.intervals())
+          << "ShiftClampInPlace d=" << d << " a=" << a.ToString();
+
+      IntervalSet dilate = a;
+      dilate.DilateLeftClampInPlace(c, universe);
+      EXPECT_EQ(a.DilateLeft(c).Clamp(universe).intervals(),
+                dilate.intervals())
+          << "DilateLeftClampInPlace c=" << c << " a=" << a.ToString();
+
+      IntervalSet erode = a;
+      erode.ErodeRightClampInPlace(c, universe);
+      EXPECT_EQ(a.ErodeRight(c).Clamp(universe).intervals(),
+                erode.intervals())
+          << "ErodeRightClampInPlace c=" << c << " a=" << a.ToString();
+
+      // Saturation edges: the same checks with interval ends near the tick
+      // extremes, where TickSaturatingAdd clamps.
+      IntervalSet extreme = IntervalSet::FromIntervals(
+          {Interval(kTickMin + rng.UniformInt(0, 2), kTickMin + 20),
+           Interval(kTickMax - 20, kTickMax - rng.UniformInt(0, 2))});
+      IntervalSet x1 = extreme;
+      x1.ShiftClampInPlace(d, universe);
+      EXPECT_EQ(extreme.Shift(d).Clamp(universe).intervals(), x1.intervals());
+      IntervalSet x2 = extreme;
+      x2.DilateLeftClampInPlace(c, Interval(kTickMin, kTickMax));
+      EXPECT_EQ(extreme.DilateLeft(c).Clamp(Interval(kTickMin, kTickMax)).intervals(),
+                x2.intervals());
+    }
+  }
+  EXPECT_GE(cases, 10000);
+}
+
+// UntilWith against a brute-force model of the Until semantics: t is in
+// g2.UntilWith(g1, bound) iff some witness t' in g2 exists with
+// t <= t' <= t+bound and g1 covering every tick of [t, t'-1].
+TEST(IntervalPropertyTest, UntilWithMatchesBruteForceSemantics) {
+  int cases = 0;
+  std::vector<uint64_t> seeds =
+      test::SuiteSeeds("IntervalProperty.Until", {41, 43});
+  const int rounds = static_cast<int>(3200 / seeds.size()) + 1;
+  for (uint64_t seed : seeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed * 2654435761ULL + 9);
+    for (int round = 0; round < rounds; ++round) {
+      ++cases;
+      IntervalSet g2 = RandomSet(&rng);
+      IntervalSet g1 = RandomSet(&rng);
+      Tick bound = rng.Bernoulli(0.3) ? kTickMax : rng.UniformInt(0, 20);
+      std::set<Tick> m1 = Model(g1);
+      std::set<Tick> m2 = Model(g2);
+      IntervalSet until = g2.UntilWith(g1, bound);
+      ExpectNormalized(until, "UntilWith");
+      // Restrict to ticks whose whole witness range stays in the modeled
+      // universe (witnesses at most 32 ticks away exist in these inputs).
+      for (Tick t = kLo; t <= kHi - 33; ++t) {
+        bool want = false;
+        Tick max_w = bound >= kHi ? kHi : t + bound;
+        for (Tick w = t; w <= max_w && w <= kHi; ++w) {
+          if (m2.count(w) == 0) continue;
+          bool covered = true;
+          for (Tick u = t; u < w; ++u) {
+            if (m1.count(u) == 0) {
+              covered = false;
+              break;
+            }
+          }
+          if (covered) {
+            want = true;
+            break;
+          }
+        }
+        ASSERT_EQ(want, until.Contains(t))
+            << "Until t=" << t << " bound=" << bound
+            << "\ng2=" << g2.ToString() << "\ng1=" << g1.ToString()
+            << "\nresult=" << until.ToString();
+      }
+    }
+  }
+  EXPECT_GE(cases, 3000);
+}
+
+}  // namespace
+}  // namespace most

@@ -28,6 +28,7 @@
 #include "distributed/coordinator.h"
 #include "distributed/mobile_node.h"
 #include "ftl/parser.h"
+#include "test_seed.h"
 #include "workload/fleet.h"
 
 namespace most {
@@ -295,17 +296,17 @@ void RunDifferential(uint64_t seed) {
 
 TEST(PartitionTortureTest, DifferentialAgainstLosslessWorldSeed1) {
   (void)FailpointRegistry::Instance().ArmFromEnv();
-  RunDifferential(1);
+  RunDifferential(test::SuiteSeed("PartitionTorture.Differential1", 1));
 }
 
 TEST(PartitionTortureTest, DifferentialAgainstLosslessWorldSeed2) {
   (void)FailpointRegistry::Instance().ArmFromEnv();
-  RunDifferential(2);
+  RunDifferential(test::SuiteSeed("PartitionTorture.Differential2", 2));
 }
 
 TEST(PartitionTortureTest, DifferentialAgainstLosslessWorldSeed3) {
   (void)FailpointRegistry::Instance().ArmFromEnv();
-  RunDifferential(3);
+  RunDifferential(test::SuiteSeed("PartitionTorture.Differential3", 3));
 }
 
 // Deterministic completeness check: a partial answer must name exactly
