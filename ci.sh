@@ -34,6 +34,17 @@ MOST_FAILPOINTS="ci/torture_probe=noop" ./build-asan/tests/crash_torture_test
 echo "=== partition-torture stage (env-armed failpoints, ASan) ==="
 MOST_FAILPOINTS="ci/dist_probe=noop" ./build-asan/tests/partition_torture_test
 
+# Overload-torture stage: resource governance under randomized update
+# storms with starvation-level budgets, plus the WAL ENOSPC and bounded-
+# channel storms (docs/robustness.md). The suite differentially checks a
+# governed system against an unconstrained oracle (degraded answers must
+# be marked kStale and stay inside the oracle's reach, and the system must
+# reconverge once limits lift); its summary test fails if no shed, cache
+# eviction, or channel drop ever happened, so this stage cannot silently
+# become a no-op.
+echo "=== overload-torture stage (env-armed failpoints, ASan) ==="
+MOST_FAILPOINTS="ci/overload_probe=noop" ./build-asan/tests/overload_torture_test
+
 # Delta-refresh stage: delta-vs-full differential corpus (200 randomized
 # update schedules, byte-identical answers) plus the env-armed probe that
 # proves the delta path — not the full-refresh fallback — served the
@@ -64,9 +75,10 @@ echo "=== fuzz-smoke stage (corpus + 2000 mutations, ASan) ==="
 # Observability stage: the exporter/EXPLAIN goldens re-run explicitly (a
 # ctest filter change can never drop them), then the demo binary's
 # Prometheus exposition is checked against the required-metric allowlist —
-# families from four instrumented subsystems (FTL evaluation, query
-# manager, WAL/storage, network/reliable channel) plus the failpoint
-# collector (docs/observability.md).
+# families from five instrumented subsystems (FTL evaluation, query
+# manager, WAL/storage, network/reliable channel, resource governance /
+# graceful degradation) plus the failpoint collector
+# (docs/observability.md, docs/robustness.md).
 echo "=== observability stage (goldens + exporter allowlist, ASan) ==="
 ./build-asan/tests/obs_test
 ./build-asan/tests/explain_test
@@ -82,6 +94,15 @@ for metric in \
   most_checkpoints_total \
   most_net_messages_sent_total \
   most_rc_retransmissions_total \
+  most_rc_frames_shed_total \
+  most_rc_peers_evicted_total \
+  most_governor_sheds_total \
+  most_governor_degrades \
+  most_governor_storage_degraded \
+  most_qm_shed_refreshes_total \
+  most_interval_cache_evictions_total \
+  most_coord_deadline_expired_total \
+  most_coord_requests_shed_total \
   most_failpoint_fired_total; do
   if ! grep -q "^${metric}" <<<"$PROM"; then
     echo "observability stage: missing required metric '${metric}'"

@@ -17,6 +17,7 @@
 #include "ftl/parser.h"
 #include "ftl/query_manager.h"
 #include "obs/exporters.h"
+#include "obs/governor.h"
 
 using namespace most;
 
@@ -45,6 +46,8 @@ constexpr const char* kHelp = R"(Commands:
                                  last refresh (EXPLAIN ANALYZE)
   cancel <handle>                cancel a continuous query
   metrics                        dump the engine metrics snapshot
+  health                         governor limits, backpressure, storage
+                                 health and recent degrade events
   nearest <from-class> <id> <target-class>
                                  nearest target object, now and over time
   demo                           load a small ready-made world
@@ -217,6 +220,8 @@ class Shell {
       }
     } else if (cmd == "metrics") {
       obs::DumpMetrics(std::cout);
+    } else if (cmd == "health") {
+      PrintHealth();
     } else if (cmd == "cancel" && t.size() == 2) {
       Report(qm_.Cancel(std::stoull(t[1])));
     } else if (cmd == "nearest" && t.size() == 4) {
@@ -251,6 +256,69 @@ class Shell {
       std::cout << "error: unrecognized command (try `help`)\n";
     }
     return true;
+  }
+
+  static void PrintLimit(const char* name, uint64_t value) {
+    std::cout << "  " << name << ": ";
+    if (value == 0) {
+      std::cout << "unlimited\n";
+    } else {
+      std::cout << value << "\n";
+    }
+  }
+
+  // One-stop operator view of the resource-governance state
+  // (docs/robustness.md): knobs, storage health, channel backpressure and
+  // the most recent degrade events.
+  void PrintHealth() {
+    ResourceGovernor& gov = ResourceGovernor::Global();
+    const ResourceGovernor::Limits limits = gov.limits();
+    std::cout << "governor limits (0 = unlimited):\n";
+    PrintLimit("refresh deadline (ns)",
+               static_cast<uint64_t>(limits.refresh_budget.deadline_ns));
+    PrintLimit("refresh arena bytes", limits.refresh_budget.max_arena_bytes);
+    PrintLimit("refresh rows", limits.refresh_budget.max_rows);
+    PrintLimit("refresh queue", limits.refresh_queue_limit);
+    PrintLimit("degrade cooldown (ticks)",
+               static_cast<uint64_t>(limits.degrade_cooldown_ticks));
+    PrintLimit("interval cache bytes", limits.interval_cache_max_bytes);
+    PrintLimit("channel unacked messages", limits.channel_max_unacked_messages);
+    PrintLimit("channel unacked bytes", limits.channel_max_unacked_bytes);
+    PrintLimit("channel dead horizon (ticks)",
+               static_cast<uint64_t>(limits.channel_peer_dead_horizon));
+    std::cout << "storage: "
+              << (gov.storage_degraded() ? "DEGRADED" : "ok");
+    if (gov.storage_degraded()) {
+      std::cout << " (" << gov.storage_degraded_detail() << ")";
+    }
+    std::cout << "\n";
+    std::vector<ResourceGovernor::PeerPressure> peers =
+        gov.BackpressureSnapshot();
+    if (peers.empty()) {
+      std::cout << "backpressure: no reliable endpoints registered\n";
+    } else {
+      std::cout << "backpressure:\n";
+      for (const auto& p : peers) {
+        std::cout << "  node " << p.endpoint_node << " -> peer " << p.peer
+                  << ": " << BackpressureToString(p.state) << " ("
+                  << p.pending_messages << " msgs, " << p.pending_bytes
+                  << " bytes unacked)\n";
+      }
+    }
+    std::vector<ResourceGovernor::DegradeEvent> events = gov.RecentDegrades(10);
+    if (events.empty()) {
+      std::cout << "degrades: none ("
+                << gov.degrades_total() << " total)\n";
+    } else {
+      std::cout << "degrades (" << gov.degrades_total()
+                << " total, newest last):\n";
+      for (const auto& e : events) {
+        std::cout << "  t=" << e.at << " query " << e.query_id << " "
+                  << DegradeReasonToString(e.reason);
+        if (!e.detail.empty()) std::cout << " — " << e.detail;
+        std::cout << "\n";
+      }
+    }
   }
 
   void LoadDemo() {

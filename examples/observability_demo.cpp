@@ -1,9 +1,10 @@
 // Observability tour: exercises every instrumented subsystem — FTL
 // evaluation (query manager, delta refresh), durable storage (WAL
 // appends, checkpoint), the distributed layer (lossy network + reliable
-// channel), and a failpoint firing — then prints the per-query evaluation
-// profile (EXPLAIN ANALYZE) and the full Prometheus text exposition of
-// the global metrics registry.
+// channel), resource governance (a shed refresh, interval-cache eviction,
+// and a coordinator deadline expiry), and a failpoint firing — then
+// prints the per-query evaluation profile (EXPLAIN ANALYZE) and the full
+// Prometheus text exposition of the global metrics registry.
 //
 // CI's observability stage runs this binary and greps the output against
 // a required-metric allowlist, so the exporters demonstrably cover at
@@ -12,10 +13,13 @@
 #include <iostream>
 
 #include "common/failpoint.h"
+#include "distributed/coordinator.h"
+#include "distributed/mobile_node.h"
 #include "distributed/reliable_channel.h"
 #include "ftl/parser.h"
 #include "ftl/query_manager.h"
 #include "obs/exporters.h"
+#include "obs/governor.h"
 #include "storage/durable_database.h"
 
 using namespace most;
@@ -28,7 +32,9 @@ void DriveFtl() {
   MostDatabase db;
   (void)db.CreateClass("CARS", {}, /*spatial=*/true);
   (void)db.DefineRegion("P", Polygon::Rectangle({0, 0}, {10, 10}));
-  QueryManager qm(&db, {.horizon = 200});
+  QueryManager::Options ftl_opts;
+  ftl_opts.horizon = 200;
+  QueryManager qm(&db, ftl_opts);
   ObjectId mover = 0;
   for (int i = 0; i < 6; ++i) {
     auto obj = db.CreateObject("CARS");
@@ -85,12 +91,81 @@ void DriveDistributed() {
   }
 }
 
+// Governance: a warm continuous query whose next refresh blows a 1-row
+// governor budget — the shed lands in most_governor_sheds_total and
+// most_qm_shed_refreshes_total while the query keeps serving its previous
+// answer as kStale. A 64-byte interval-cache budget forces LRU evictions
+// on the same refreshes (docs/robustness.md).
+void DriveGovernance() {
+  MostDatabase db;
+  (void)db.CreateClass("CARS", {}, /*spatial=*/true);
+  (void)db.DefineRegion("P", Polygon::Rectangle({0, 0}, {100, 100}));
+  QueryManager::Options opts;
+  opts.horizon = 200;
+  opts.enable_interval_cache = true;
+  opts.interval_cache_max_bytes = 64;
+  QueryManager qm(&db, opts);
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto obj = db.CreateObject("CARS");
+    if (!obj.ok()) continue;
+    ids.push_back((*obj)->id());
+    (void)db.SetMotion("CARS", ids.back(), {10.0 + i, 10}, {1, 0});
+  }
+  auto q = ParseQuery("RETRIEVE o, n FROM CARS o, CARS n WHERE DIST(o, n) <= 200");
+  auto cq = qm.RegisterContinuous(*q);
+  (void)qm.ContinuousAnswer(*cq);  // Warm, ungoverned.
+  ResourceGovernor::Limits limits;
+  limits.refresh_budget.max_rows = 1;  // Any real join blows this.
+  ResourceGovernor::Global().set_limits(limits);
+  for (ObjectId id : ids) (void)db.SetMotion("CARS", id, {20, 10}, {1, 0});
+  db.clock().Advance();
+  (void)qm.TickAll();
+  (void)qm.ContinuousAnswer(*cq);
+  ResourceGovernor::Global().set_limits({});
+}
+
+// Coordinator: one reachable node, one permanently dark one, and a query
+// polled past its deadline — the expiry is counted into
+// most_coord_deadline_expired_total and the stale partial answer is still
+// served (the same contract `most_shell health` reports on).
+void DriveCoordinator() {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  std::map<std::string, Polygon> regions{
+      {"P", Polygon::Rectangle({0, 0}, {100, 100})}};
+  Coordinator::Options copts;
+  copts.query_deadline = 8;
+  Coordinator coordinator(&net, &clock, regions, copts);
+  MobileNode::Options nopts;
+  nopts.beacon_interval = 0;
+  ObjectState in_region;
+  in_region.id = 0;
+  in_region.position = {50, 50};
+  MobileNode reachable(&net, &clock, in_region, regions, nopts);
+  ObjectState dark_state = in_region;
+  dark_state.id = 1;
+  MobileNode dark(&net, &clock, dark_state, regions, nopts);
+  net.SetConnected(dark.node_id(), false);
+  auto q = ParseQuery("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  uint64_t qid = coordinator.IssueObjectQuery(
+      *q, DistStrategy::kBroadcastFilter, /*continuous=*/false, 256);
+  while (clock.Now() < 12) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  (void)coordinator.DeadlinePassed(qid);
+  (void)coordinator.ReportedMatches(qid);
+}
+
 }  // namespace
 
 int main() {
   DriveFtl();
   DriveStorage();
   DriveDistributed();
+  DriveGovernance();
+  DriveCoordinator();
   std::cout << "--- Prometheus exposition ---\n" << obs::PrometheusText();
   return 0;
 }

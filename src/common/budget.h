@@ -1,0 +1,133 @@
+#ifndef MOST_COMMON_BUDGET_H_
+#define MOST_COMMON_BUDGET_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace most {
+
+/// Why an answer was degraded instead of computed in full. Shed answers
+/// carry one of these alongside the Confidence::kStale tag so callers can
+/// tell "stale because an object went silent" from "stale because the
+/// engine ran out of budget" (docs/robustness.md).
+enum class DegradeReason {
+  kNone = 0,
+  kDeadline,      ///< The per-evaluation wall-clock deadline expired.
+  kMemory,        ///< Arena bytes exceeded Budget::max_arena_bytes.
+  kRows,          ///< A materialized relation exceeded Budget::max_rows.
+  kQueue,         ///< Refresh shed by admission control (bounded queue).
+  kBackpressure,  ///< A bounded channel shed the send (peer unreachable).
+  kStorage,       ///< WAL/checkpoint path degraded (ENOSPC/EIO).
+};
+
+constexpr std::string_view DegradeReasonToString(DegradeReason r) {
+  switch (r) {
+    case DegradeReason::kNone:
+      return "none";
+    case DegradeReason::kDeadline:
+      return "deadline";
+    case DegradeReason::kMemory:
+      return "memory";
+    case DegradeReason::kRows:
+      return "rows";
+    case DegradeReason::kQueue:
+      return "queue";
+    case DegradeReason::kBackpressure:
+      return "backpressure";
+    case DegradeReason::kStorage:
+      return "storage";
+  }
+  return "unknown";
+}
+
+/// Backpressure state a bounded queue reports to its producers. The
+/// reliable channel grades each peer's send buffer with this; a network
+/// server front-end would grade its ingestion queue the same way.
+enum class Backpressure {
+  kOpen,      ///< Under the throttle threshold: send freely.
+  kThrottle,  ///< Above the threshold: producers should slow down.
+  kShed,      ///< At capacity: the send was (or would be) dropped.
+};
+
+constexpr std::string_view BackpressureToString(Backpressure b) {
+  switch (b) {
+    case Backpressure::kOpen:
+      return "open";
+    case Backpressure::kThrottle:
+      return "throttle";
+    case Backpressure::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+/// Per-evaluation resource budget. Zero in any field means "unlimited" —
+/// the default-constructed Budget imposes nothing, and an evaluator armed
+/// with it behaves byte-identically to one that never heard of budgets
+/// (the differential guarantee the existing suites pin down).
+struct Budget {
+  /// Wall-clock allowance for one evaluation, in nanoseconds.
+  uint64_t deadline_ns = 0;
+  /// Cap on bump-arena bytes drawn by one evaluation.
+  size_t max_arena_bytes = 0;
+  /// Cap on rows materialized by any one relation of the evaluation.
+  size_t max_rows = 0;
+
+  bool Unlimited() const {
+    return deadline_ns == 0 && max_arena_bytes == 0 && max_rows == 0;
+  }
+};
+
+/// Cooperative budget checkpoints. Armed once per evaluation; Check() is
+/// called at coarse-grained safe points (per class-snapshot build, per
+/// join batch, per subformula) and reports the first limit tripped. An
+/// unarmed gate's Check() is a single branch, which is what keeps the
+/// unlimited configuration byte- and nearly cycle-identical to the
+/// pre-budget code.
+class BudgetGate {
+ public:
+  BudgetGate() = default;
+
+  void Arm(const Budget& budget) {
+    budget_ = budget;
+    active_ = !budget.Unlimited();
+    tripped_ = DegradeReason::kNone;
+    if (budget_.deadline_ns > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::nanoseconds(budget_.deadline_ns);
+    }
+  }
+
+  bool active() const { return active_; }
+  DegradeReason tripped() const { return tripped_; }
+
+  /// Checkpoint: returns kNone while within budget, otherwise the reason.
+  /// Once tripped the gate stays tripped for the rest of the evaluation.
+  DegradeReason Check(size_t arena_bytes, size_t rows) {
+    if (!active_) return DegradeReason::kNone;
+    if (tripped_ != DegradeReason::kNone) return tripped_;
+    if (budget_.max_arena_bytes > 0 && arena_bytes > budget_.max_arena_bytes) {
+      return tripped_ = DegradeReason::kMemory;
+    }
+    if (budget_.max_rows > 0 && rows > budget_.max_rows) {
+      return tripped_ = DegradeReason::kRows;
+    }
+    if (budget_.deadline_ns > 0 &&
+        std::chrono::steady_clock::now() > deadline_) {
+      return tripped_ = DegradeReason::kDeadline;
+    }
+    return DegradeReason::kNone;
+  }
+
+ private:
+  Budget budget_;
+  bool active_ = false;
+  DegradeReason tripped_ = DegradeReason::kNone;
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+}  // namespace most
+
+#endif  // MOST_COMMON_BUDGET_H_

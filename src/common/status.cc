@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ParseError";
     case StatusCode::kDisconnected:
       return "Disconnected";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -21,6 +21,11 @@ enum class StatusCode {
   kTypeError,
   kParseError,
   kDisconnected,
+  /// A resource budget (deadline, arena bytes, rows, queue slots) ran out
+  /// mid-operation. Distinguished from kInternal so callers can degrade
+  /// gracefully — serve a partial/stale answer — instead of failing the
+  /// request (docs/robustness.md).
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -76,6 +81,9 @@ class Status {
   }
   static Status Disconnected(std::string msg) {
     return Status(StatusCode::kDisconnected, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

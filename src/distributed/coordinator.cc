@@ -71,6 +71,14 @@ Coordinator::Coordinator(SimNetwork* network, Clock* clock,
                       "Continuous-query subscriptions re-sent to new or "
                       "revived nodes",
                       {}, &resyncs_),
+      r.AttachCounter("most_coord_requests_shed_total",
+                      "Query requests refused by channel backpressure "
+                      "(target left in the missing set)",
+                      {}, &requests_shed_),
+      r.AttachCounter("most_coord_deadline_expired_total",
+                      "Queries that reached their deadline before every "
+                      "expected node completed",
+                      {}, &deadline_expired_),
       r.AttachHistogram("most_coord_completion_lag_ticks",
                         "Ticks from issue until every expected node's "
                         "QueryDone arrived",
@@ -120,7 +128,13 @@ void Coordinator::SendRequest(uint64_t qid, const QueryState& state,
   request.query = state.query;
   request.horizon = state.horizon;
   request.issued_at = state.issued_at;
-  channel_.SendReliable(to, request);
+  if (channel_.SendReliable(to, request) == Backpressure::kShed) {
+    // The bounded channel refused the frame: treat `to` like a missing
+    // node. It stays in `expected` without a request in flight, so
+    // answers read kStale with it in the missing set until the
+    // partition-heal re-sync (ObserveTraffic) re-issues the query.
+    requests_shed_.Inc();
+  }
 }
 
 uint64_t Coordinator::Issue(const FtlQuery& query, DistStrategy strategy,
@@ -179,7 +193,12 @@ Result<const Coordinator::QueryState*> Coordinator::GetState(
 
 bool Coordinator::DeadlinePassed(uint64_t qid) const {
   auto it = queries_.find(qid);
-  return it != queries_.end() && clock_->Now() >= it->second.deadline;
+  bool passed = it != queries_.end() && clock_->Now() >= it->second.deadline;
+  if (passed && !it->second.completed &&
+      deadline_counted_.insert(qid).second) {
+    deadline_expired_.Inc();
+  }
+  return passed;
 }
 
 Result<Coordinator::CollectedAnswer> Coordinator::EvaluateCollected(

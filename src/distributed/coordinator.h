@@ -54,9 +54,12 @@ class Coordinator {
   struct Options {
     /// A node unheard for this many ticks counts as unreachable.
     Tick liveness_timeout = 24;
-    /// Default per-query deadline (ticks after issue). Purely
-    /// informational bookkeeping for callers polling DeadlinePassed():
-    /// the channel keeps retransmitting so late answers still converge.
+    /// Per-query deadline (ticks after issue). The coordinator never
+    /// blocks on it — callers poll DeadlinePassed() and decide whether a
+    /// kStale partial answer is good enough — but the first expired poll
+    /// per query is counted into most_coord_deadline_expired_total so
+    /// overload shows up in metrics. With unbounded channel buffers the
+    /// endpoint keeps retransmitting, so late answers still converge.
     Tick query_deadline = 64;
     ReliableEndpoint::Options channel;
   };
@@ -123,6 +126,10 @@ class Coordinator {
   };
 
   Result<const QueryState*> GetState(uint64_t qid) const;
+  /// True once the query's deadline tick has been reached. The first true
+  /// poll per query bumps most_coord_deadline_expired_total; callers
+  /// typically then accept EvaluateCollected/ReportedMatches' kStale
+  /// partial answer instead of waiting for the missing nodes.
   bool DeadlinePassed(uint64_t qid) const;
 
   /// A centrally evaluated answer plus its completeness tag.
@@ -174,10 +181,18 @@ class Coordinator {
   uint64_t next_qid_ = 1;
   std::map<uint64_t, QueryState> queries_;
   std::map<NodeId, Tick> last_heard_;
+  /// Queries whose deadline expiry has already been counted (DeadlinePassed
+  /// is const and idempotent; the metric must fire once per query).
+  mutable std::set<uint64_t> deadline_counted_;
   /// Attached to the global registry for the coordinator's lifetime.
   obs::Counter queries_issued_;
   obs::Counter reports_received_;
   obs::Counter resyncs_;
+  /// Request frames the bounded channel refused (Backpressure::kShed):
+  /// the target stays in `expected`, so answers read kStale + missing
+  /// until the partition-heal re-sync reaches it.
+  obs::Counter requests_shed_;
+  mutable obs::Counter deadline_expired_;
   obs::Histogram completion_lag_;
   obs::Gauge missing_nodes_gauge_;
   std::vector<uint64_t> attach_ids_;

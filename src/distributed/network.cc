@@ -130,10 +130,10 @@ size_t EstimateBytes(const MessagePayload& payload) {
     size_t operator()(const CancelQuery&) const { return 8; }
     size_t operator()(const QueryDone&) const { return 8; }
     size_t operator()(const ReliableFrame& f) const {
-      // Sequence number on top of the inner payload.
-      return 8 + std::visit(*this, f.inner);
+      // Sequence number + epoch on top of the inner payload.
+      return 16 + std::visit(*this, f.inner);
     }
-    size_t operator()(const AckFrame&) const { return 8; }
+    size_t operator()(const AckFrame&) const { return 16; }
   };
   return std::visit(Visitor(), payload);
 }

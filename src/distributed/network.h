@@ -88,15 +88,23 @@ using AppPayload = std::variant<ObjectState, QueryRequest, ObjectReport,
                                 AnswerBlock, CancelQuery, QueryDone>;
 
 /// A sequenced frame of the reliable channel (reliable_channel.h): the
-/// app payload plus its per-(src,dst) sequence number.
+/// app payload plus its per-(src,dst) sequence number and stream epoch.
+/// The epoch increments when the sender evicts a dead peer's buffer and
+/// restarts the stream from seq 0 (bounded-buffer semantics,
+/// docs/robustness.md); a receiver adopts the highest epoch it has seen
+/// and discards frames from older ones, so an evicted-then-healed pair
+/// resynchronizes instead of deadlocking on a permanent sequence gap.
 struct ReliableFrame {
   uint64_t seq = 0;
+  uint64_t epoch = 0;
   AppPayload inner;
 };
 
-/// Cumulative acknowledgement: "I have delivered every frame with
-/// seq < ack_through to my application, in order."
+/// Cumulative acknowledgement: "I have delivered every frame of `epoch`
+/// with seq < ack_through to my application, in order." Acks carrying a
+/// stale epoch are ignored by the sender.
 struct AckFrame {
+  uint64_t epoch = 0;
   uint64_t ack_through = 0;
 };
 

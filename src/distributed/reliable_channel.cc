@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/governor.h"
+
 namespace most {
 
 ReliableEndpoint::ReliableEndpoint(SimNetwork* network, Clock* clock)
@@ -32,13 +34,37 @@ ReliableEndpoint::ReliableEndpoint(SimNetwork* network, Clock* clock,
       r.AttachCounter("most_rc_out_of_order_buffered_total",
                       "Out-of-order frames buffered for resequencing", {},
                       &out_of_order_buffered_),
+      r.AttachCounter("most_rc_frames_shed_total",
+                      "Reliable frames dropped by the bounded send buffer "
+                      "(refused at capacity or evicted with a dead peer)",
+                      {}, &frames_shed_),
+      r.AttachCounter("most_rc_peers_evicted_total",
+                      "Peer send buffers evicted past the dead horizon", {},
+                      &peers_evicted_),
       r.AttachGauge("most_rc_unacked_frames",
                     "Frames sent but not yet cumulatively acknowledged", {},
                     &unacked_gauge_),
+      r.AttachGauge("most_rc_pending_bytes",
+                    "Estimated wire bytes of unacknowledged frames", {},
+                    &pending_bytes_gauge_),
   };
+  // Expose this endpoint's per-peer pressure to operator tooling
+  // (`most_shell health`) without it having to hold endpoint pointers.
+  // Probes run on the simulation thread (BackpressureSnapshot callers
+  // must not race DeliverDue, same as every other SimNetwork access).
+  governor_probe_id_ = ResourceGovernor::Global().RegisterBackpressureProbe(
+      [this]() {
+        std::vector<ResourceGovernor::PeerPressure> out;
+        for (const auto& [peer, state] : send_) {
+          out.push_back({node_id_, peer, GradePressure(state),
+                         state.pending.size(), state.pending_bytes});
+        }
+        return out;
+      });
 }
 
 ReliableEndpoint::~ReliableEndpoint() {
+  ResourceGovernor::Global().UnregisterBackpressureProbe(governor_probe_id_);
   obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
   for (uint64_t id : attach_ids_) r.DetachMetric(id);
   network_->RemoveTickHook(tick_hook_id_);
@@ -53,20 +79,80 @@ ReliableEndpoint::Stats ReliableEndpoint::stats() const {
   s.delivered = delivered_.value();
   s.duplicates_suppressed = duplicates_suppressed_.value();
   s.out_of_order_buffered = out_of_order_buffered_.value();
+  s.frames_shed = frames_shed_.value();
+  s.peers_evicted = peers_evicted_.value();
   return s;
 }
 
-void ReliableEndpoint::SendReliable(NodeId to, AppPayload payload) {
+size_t ReliableEndpoint::EffectiveMaxUnackedMessages() const {
+  if (options_.max_unacked_messages != 0) return options_.max_unacked_messages;
+  return ResourceGovernor::Global().limits().channel_max_unacked_messages;
+}
+
+size_t ReliableEndpoint::EffectiveMaxUnackedBytes() const {
+  if (options_.max_unacked_bytes != 0) return options_.max_unacked_bytes;
+  return ResourceGovernor::Global().limits().channel_max_unacked_bytes;
+}
+
+Tick ReliableEndpoint::EffectivePeerDeadHorizon() const {
+  if (options_.peer_dead_horizon != 0) return options_.peer_dead_horizon;
+  return ResourceGovernor::Global().limits().channel_peer_dead_horizon;
+}
+
+Backpressure ReliableEndpoint::GradePressure(const SendState& state) const {
+  const size_t max_msgs = EffectiveMaxUnackedMessages();
+  const size_t max_bytes = EffectiveMaxUnackedBytes();
+  if (max_msgs == 0 && max_bytes == 0) return Backpressure::kOpen;
+  if ((max_msgs > 0 && state.pending.size() >= max_msgs) ||
+      (max_bytes > 0 && state.pending_bytes >= max_bytes)) {
+    return Backpressure::kShed;
+  }
+  const double frac = options_.throttle_fraction;
+  if ((max_msgs > 0 &&
+       static_cast<double>(state.pending.size()) >=
+           frac * static_cast<double>(max_msgs)) ||
+      (max_bytes > 0 &&
+       static_cast<double>(state.pending_bytes) >=
+           frac * static_cast<double>(max_bytes))) {
+    return Backpressure::kThrottle;
+  }
+  return Backpressure::kOpen;
+}
+
+Backpressure ReliableEndpoint::PeerBackpressure(NodeId to) const {
+  auto it = send_.find(to);
+  if (it == send_.end()) return Backpressure::kOpen;
+  return GradePressure(it->second);
+}
+
+Backpressure ReliableEndpoint::SendReliable(NodeId to, AppPayload payload) {
   SendState& state = send_[to];
+  if (state.pending.empty() && state.last_heard == 0) {
+    // First contact: the dead horizon counts from when we start waiting.
+    state.last_heard = clock_->Now();
+  }
+  if (GradePressure(state) == Backpressure::kShed) {
+    frames_shed_.Inc();
+    return Backpressure::kShed;
+  }
   uint64_t seq = state.next_seq++;
   PendingFrame pending;
   pending.payload = std::move(payload);
   pending.rto = options_.rto_initial;
   pending.next_retry = TickSaturatingAdd(clock_->Now(), pending.rto);
-  network_->Send(node_id_, to, ReliableFrame{seq, pending.payload});
+  ReliableFrame frame{seq, state.epoch, pending.payload};
+  pending.bytes = EstimateBytes(MessagePayload(frame));
+  network_->Send(node_id_, to, std::move(frame));
+  state.pending_bytes += pending.bytes;
+  pending_bytes_gauge_.Add(static_cast<int64_t>(pending.bytes));
   state.pending.emplace(seq, std::move(pending));
   frames_sent_.Inc();
   unacked_gauge_.Add(1);
+  // This frame went out, so never report kShed here — even if it just
+  // filled the buffer. kShed is reserved for frames actually dropped;
+  // "full after this send" is the strongest possible throttle signal.
+  Backpressure after = GradePressure(state);
+  return after == Backpressure::kShed ? Backpressure::kThrottle : after;
 }
 
 void ReliableEndpoint::SendBestEffort(NodeId to, AppPayload payload) {
@@ -94,6 +180,12 @@ size_t ReliableEndpoint::unacked() const {
   return total;
 }
 
+size_t ReliableEndpoint::unacked_bytes() const {
+  size_t total = 0;
+  for (const auto& [peer, state] : send_) total += state.pending_bytes;
+  return total;
+}
+
 void ReliableEndpoint::DeliverToApp(const Message& envelope,
                                     const AppPayload& payload) {
   delivered_.Inc();
@@ -105,8 +197,26 @@ void ReliableEndpoint::DeliverToApp(const Message& envelope,
 
 void ReliableEndpoint::OnMessage(const Message& message) {
   if (raw_observer_) raw_observer_(message);
+  // Any traffic from a peer proves it alive for the eviction horizon.
+  if (auto sit = send_.find(message.from); sit != send_.end()) {
+    sit->second.last_heard = clock_->Now();
+  }
   if (const auto* frame = std::get_if<ReliableFrame>(&message.payload)) {
     RecvState& state = recv_[message.from];
+    if (frame->epoch < state.epoch) {
+      // A straggler from a stream incarnation the sender has abandoned;
+      // acking it would only confuse the new stream.
+      duplicates_suppressed_.Inc();
+      return;
+    }
+    if (frame->epoch > state.epoch) {
+      // The sender evicted this stream and restarted it: adopt the new
+      // epoch and resequence from zero. Frames buffered from the old
+      // incarnation can never complete.
+      state.epoch = frame->epoch;
+      state.next_expected = 0;
+      state.buffer.clear();
+    }
     if (frame->seq < state.next_expected) {
       // Already delivered: a retransmission or a network duplicate.
       duplicates_suppressed_.Inc();
@@ -132,13 +242,17 @@ void ReliableEndpoint::OnMessage(const Message& message) {
     // Cumulative ack, sent for every arrival (including duplicates, whose
     // original ack may have been lost).
     acks_sent_.Inc();
-    network_->Send(node_id_, message.from, AckFrame{state.next_expected});
+    network_->Send(node_id_, message.from,
+                   AckFrame{state.epoch, state.next_expected});
     return;
   }
   if (const auto* ack = std::get_if<AckFrame>(&message.payload)) {
     SendState& state = send_[message.from];
+    if (ack->epoch != state.epoch) return;  // Ack for an evicted stream.
     auto it = state.pending.begin();
     while (it != state.pending.end() && it->first < ack->ack_through) {
+      state.pending_bytes -= it->second.bytes;
+      pending_bytes_gauge_.Add(-static_cast<int64_t>(it->second.bytes));
       it = state.pending.erase(it);
       unacked_gauge_.Add(-1);
     }
@@ -151,10 +265,30 @@ void ReliableEndpoint::OnMessage(const Message& message) {
 
 void ReliableEndpoint::OnTick() {
   Tick now = clock_->Now();
+  const Tick horizon = EffectivePeerDeadHorizon();
   for (auto& [peer, state] : send_) {
+    if (horizon > 0 && !state.pending.empty() &&
+        now >= TickSaturatingAdd(state.last_heard, horizon)) {
+      // The peer has been silent past the horizon with frames pending:
+      // stop spending bandwidth and memory on it. The stream restarts
+      // under a new epoch, so if the peer ever rejoins, the first new
+      // frame resynchronizes it; the dropped payloads are the caller's
+      // (coordinator re-sync / kStale accounting) problem by design.
+      frames_shed_.Inc(state.pending.size());
+      unacked_gauge_.Add(-static_cast<int64_t>(state.pending.size()));
+      pending_bytes_gauge_.Add(-static_cast<int64_t>(state.pending_bytes));
+      state.pending.clear();
+      state.pending_bytes = 0;
+      state.next_seq = 0;
+      state.epoch += 1;
+      state.last_heard = now;
+      peers_evicted_.Inc();
+      continue;
+    }
     for (auto& [seq, pending] : state.pending) {
       if (now < pending.next_retry) continue;
-      network_->Send(node_id_, peer, ReliableFrame{seq, pending.payload});
+      network_->Send(node_id_, peer,
+                     ReliableFrame{seq, state.epoch, pending.payload});
       retransmissions_.Inc();
       pending.rto = std::min<Tick>(
           TickSaturatingAdd(pending.rto, pending.rto), options_.rto_max);

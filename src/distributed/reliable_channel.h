@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 
+#include "common/budget.h"
 #include "distributed/network.h"
 
 namespace most {
@@ -30,11 +31,22 @@ namespace most {
 ///   dead-reckoning updates): latest-wins, a lost beacon is superseded by
 ///   the next one, so they bypass sequencing entirely.
 ///
-/// Retransmission never gives up: a frame destined for a partitioned or
-/// disconnected node is retried (at the backoff cap) until the partition
-/// heals, which is what lets post-heal answers converge to the lossless
-/// run. The per-frame cost while a peer is unreachable is one message
-/// every `rto_max` ticks.
+/// Retransmission persists while a peer is unreachable — one message every
+/// `rto_max` ticks per pending frame — but it is *bounded*, not infinite
+/// (docs/robustness.md): each peer's unacked buffer is capped in messages
+/// and bytes (SendReliable returns Backpressure and sheds the frame at
+/// capacity instead of queueing without bound), and a peer that has been
+/// silent past `peer_dead_horizon` ticks while frames are pending has its
+/// buffer evicted outright. Eviction restarts the stream under a new
+/// epoch: the next frame the revived peer sees carries a higher
+/// ReliableFrame::epoch, the receiver adopts it and resets its sequence
+/// state, so the pair resynchronizes instead of waiting forever on frames
+/// that no longer exist. Callers that need the evicted state to converge
+/// anyway (the coordinator) rely on the protocol-level partition-heal
+/// re-sync, which re-issues continuous queries to revived nodes. With
+/// every cap at 0 (the default, and no governor limits), buffers are
+/// unbounded and retransmission never gives up — the pre-governance
+/// behaviour, on which post-heal convergence to the lossless run rests.
 ///
 /// The endpoint registers itself as a network node; the wrapped protocol
 /// object installs its message handler with SetHandler and sends through
@@ -48,6 +60,18 @@ class ReliableEndpoint {
     Tick rto_initial = 4;
     /// Backoff cap: retransmission interval doubles per retry up to this.
     Tick rto_max = 32;
+    /// Caps on one peer's unacked buffer: SendReliable sheds (returns
+    /// Backpressure::kShed without sending) once either is reached.
+    /// 0 = fall back to ResourceGovernor limits, then unbounded.
+    size_t max_unacked_messages = 0;
+    size_t max_unacked_bytes = 0;
+    /// Fraction of either cap at which SendReliable starts reporting
+    /// kThrottle (the frame is still sent).
+    double throttle_fraction = 0.75;
+    /// Evict a peer's whole send buffer after this many ticks without
+    /// hearing any traffic from it while frames are pending; the stream
+    /// restarts under a new epoch. 0 = governor fallback, then never.
+    Tick peer_dead_horizon = 0;
   };
 
   ReliableEndpoint(SimNetwork* network, Clock* clock);
@@ -71,15 +95,28 @@ class ReliableEndpoint {
   /// hangs off this: any traffic from a peer proves it reachable.
   void SetRawObserver(Handler observer) { raw_observer_ = std::move(observer); }
 
-  void SendReliable(NodeId to, AppPayload payload);
+  /// Queues one reliable frame. Returns the peer's backpressure state
+  /// *after* the send: kOpen/kThrottle mean the frame is on the wire (a
+  /// throttled producer should slow down); kShed means the buffer was at
+  /// capacity and the frame was dropped without being sent — the caller
+  /// must treat the peer as unreachable for this message (the coordinator
+  /// counts it into the missing set and degrades the answer to kStale).
+  Backpressure SendReliable(NodeId to, AppPayload payload);
   void SendBestEffort(NodeId to, AppPayload payload);
   /// Reliable / best-effort send to every other node in the network.
+  /// Per-peer shed results are observable via PeerBackpressure.
   void BroadcastReliable(const AppPayload& payload);
   void BroadcastBestEffort(const AppPayload& payload);
+
+  /// Current backpressure grade of one peer's send buffer (kOpen for a
+  /// peer never sent to).
+  Backpressure PeerBackpressure(NodeId to) const;
 
   /// Frames sent but not yet cumulatively acknowledged, across all peers.
   /// Zero means the channel is quiescent.
   size_t unacked() const;
+  /// Estimated wire bytes of those frames, across all peers.
+  size_t unacked_bytes() const;
 
   struct Stats {
     uint64_t frames_sent = 0;  ///< First transmissions (not retries).
@@ -88,6 +125,10 @@ class ReliableEndpoint {
     uint64_t delivered = 0;  ///< Handed to the application handler.
     uint64_t duplicates_suppressed = 0;
     uint64_t out_of_order_buffered = 0;
+    /// Frames dropped by the bounded buffer: refused at send (kShed) or
+    /// discarded when a dead peer's buffer was evicted.
+    uint64_t frames_shed = 0;
+    uint64_t peers_evicted = 0;
   };
   /// By-value snapshot over this endpoint's attached atomic counters
   /// (most_rc_* series; summed across endpoints by the registry).
@@ -98,15 +139,32 @@ class ReliableEndpoint {
     AppPayload payload;
     Tick next_retry = 0;
     Tick rto = 0;
+    size_t bytes = 0;  ///< EstimateBytes of the full frame, for the caps.
   };
   struct SendState {
     uint64_t next_seq = 0;
+    /// Stream epoch: bumped on eviction; frames/acks carry it so both
+    /// sides agree which incarnation of the stream a sequence number
+    /// belongs to.
+    uint64_t epoch = 0;
+    size_t pending_bytes = 0;
+    /// Last tick any traffic arrived from this peer (initialized at first
+    /// send, so the dead horizon counts from when we started waiting).
+    Tick last_heard = 0;
     std::map<uint64_t, PendingFrame> pending;  ///< By sequence number.
   };
   struct RecvState {
+    uint64_t epoch = 0;
     uint64_t next_expected = 0;
     std::map<uint64_t, AppPayload> buffer;  ///< Out-of-order arrivals.
   };
+
+  /// Per-field knob resolution: Options when non-zero, else the global
+  /// ResourceGovernor limit (0 stays 0 = unbounded).
+  size_t EffectiveMaxUnackedMessages() const;
+  size_t EffectiveMaxUnackedBytes() const;
+  Tick EffectivePeerDeadHorizon() const;
+  Backpressure GradePressure(const SendState& state) const;
 
   void OnMessage(const Message& message);
   void OnTick();
@@ -117,20 +175,24 @@ class ReliableEndpoint {
   Options options_;
   NodeId node_id_ = kInvalidNodeId;
   uint64_t tick_hook_id_ = 0;
+  uint64_t governor_probe_id_ = 0;
   Handler handler_;
   Handler raw_observer_;
   std::map<NodeId, SendState> send_;
   std::map<NodeId, RecvState> recv_;
   /// Stats is a thin snapshot view over these (attached to the global
-  /// registry for the endpoint's lifetime), plus an in-flight-depth gauge
-  /// mirroring unacked().
+  /// registry for the endpoint's lifetime), plus in-flight depth/byte
+  /// gauges mirroring unacked()/unacked_bytes().
   obs::Counter frames_sent_;
   obs::Counter retransmissions_;
   obs::Counter acks_sent_;
   obs::Counter delivered_;
   obs::Counter duplicates_suppressed_;
   obs::Counter out_of_order_buffered_;
+  obs::Counter frames_shed_;
+  obs::Counter peers_evicted_;
   obs::Gauge unacked_gauge_;
+  obs::Gauge pending_bytes_gauge_;
   std::vector<uint64_t> attach_ids_;
 };
 

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string_view>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "ftl/interval_cache.h"
 #include "ftl/spatial_eval.h"
@@ -219,16 +220,24 @@ Result<std::vector<AtomicJob>> MaterializeJobs(
   return jobs;
 }
 
+/// Solve-loop batch size between budget checks: small enough that an
+/// exhausted budget aborts within a few hundred microseconds of work,
+/// large enough that the check is free relative to the batch.
+constexpr size_t kBudgetBatchJobs = 4096;
+
 /// Solves one atomic relation over pre-materialized jobs: probes the cache,
 /// partitions the misses across the pool, stores them back, and merges
 /// every row in deterministic binding order. `fingerprint` empty disables
 /// caching for this atom. `solve` must be a pure function of the job (it
-/// runs concurrently on pool workers).
+/// runs concurrently on pool workers). `checkpoint` (may be empty) is the
+/// evaluator's budget gate, polled between batches on the calling thread
+/// so the quadratic loop cannot sail past its deadline.
 Result<TemporalRelation> SolveAtomicRelation(
     std::vector<std::string> vars, const std::vector<AtomicJob>& jobs,
     const std::string& fingerprint, const FtlEvaluator::Options& options,
     FtlEvalStats* stats,
-    const std::function<Result<IntervalSet>(const AtomicJob&)>& solve) {
+    const std::function<Result<IntervalSet>(const AtomicJob&)>& solve,
+    const std::function<Status(size_t)>& checkpoint = {}) {
   TemporalRelation out;
   out.vars = std::move(vars);
 
@@ -252,18 +261,23 @@ Result<TemporalRelation> SolveAtomicRelation(
   }
 
   std::vector<Status> errors(misses.size());
-  ParallelFor(options.pool, misses.size(), [&](size_t m) {
-    const AtomicJob& job = jobs[misses[m]];
-    Result<IntervalSet> r = solve(job);
-    if (!r.ok()) {
-      errors[m] = r.status();
-      return;
-    }
-    results[misses[m]] = std::move(r).value();
-    if (cache != nullptr) {
-      cache->Insert(fingerprint, job.binding, results[misses[m]]);
-    }
-  });
+  for (size_t base = 0; base < misses.size(); base += kBudgetBatchJobs) {
+    if (checkpoint) MOST_RETURN_IF_ERROR(checkpoint(0));
+    const size_t batch = std::min(kBudgetBatchJobs, misses.size() - base);
+    ParallelFor(options.pool, batch, [&](size_t k) {
+      const size_t m = base + k;
+      const AtomicJob& job = jobs[misses[m]];
+      Result<IntervalSet> r = solve(job);
+      if (!r.ok()) {
+        errors[m] = r.status();
+        return;
+      }
+      results[misses[m]] = std::move(r).value();
+      if (cache != nullptr) {
+        cache->Insert(fingerprint, job.binding, results[misses[m]]);
+      }
+    });
+  }
   stats->atomic_evaluations += misses.size();
   for (const Status& s : errors) {
     MOST_RETURN_IF_ERROR(s);
@@ -271,6 +285,9 @@ Result<TemporalRelation> SolveAtomicRelation(
   for (size_t i = 0; i < jobs.size(); ++i) {
     if (!results[i].empty()) {
       out.rows.emplace(jobs[i].binding, std::move(results[i]));
+    }
+    if (checkpoint && (i % kBudgetBatchJobs) == kBudgetBatchJobs - 1) {
+      MOST_RETURN_IF_ERROR(checkpoint(out.rows.size()));
     }
   }
   return out;
@@ -681,6 +698,19 @@ void FtlEvaluator::ResetEvalScratch() {
   arena_.Reset();
 }
 
+Status FtlEvaluator::BudgetCheckpoint(size_t rows_hint) {
+  if (!gate_.active()) return Status::OK();
+  // Only reachable with a budget armed: lets tests inject a sleep here to
+  // trip tiny deadlines deterministically, with zero effect on unbudgeted
+  // evaluation.
+  MOST_FAILPOINT("ftl/eval/checkpoint");
+  DegradeReason reason =
+      gate_.Check(arena_.stats().bytes_allocated, rows_hint);
+  if (reason == DegradeReason::kNone) return Status::OK();
+  return Status::ResourceExhausted("evaluation budget exhausted: " +
+                                   std::string(DegradeReasonToString(reason)));
+}
+
 void FtlEvaluator::AccumulateArenaStats() {
   const BumpArena::Stats& as = arena_.stats();
   stats_.arena_bytes += as.bytes_allocated;
@@ -746,6 +776,7 @@ Result<TemporalRelation> FtlEvaluator::EvaluateQueryUnprojected(
 Result<TemporalRelation> FtlEvaluator::EvaluateQueryUnprojectedImpl(
     const FtlQuery& query, Interval window) {
   ResetEvalScratch();
+  gate_.Arm(options_.budget);
   if (!window.valid()) {
     return Status::InvalidArgument("invalid evaluation window");
   }
@@ -806,6 +837,7 @@ Result<TemporalRelation> FtlEvaluator::EvalFormula(
     const FormulaPtr& formula,
     const std::map<std::string, std::string>& var_classes, Interval window) {
   ResetEvalScratch();
+  gate_.Arm(options_.budget);
   Domains domains;
   for (const auto& [var, cls] : var_classes) {
     MOST_ASSIGN_OR_RETURN(const ObjectClass* oc, db_.GetClass(cls));
@@ -847,6 +879,7 @@ Result<TemporalRelation> FtlEvaluator::Eval(const FormulaPtr& f,
 Result<TemporalRelation> FtlEvaluator::EvalNode(const FormulaPtr& f,
                                                 const Domains& domains,
                                                 Interval window) {
+  MOST_RETURN_IF_ERROR(BudgetCheckpoint(0));
   switch (f->kind()) {
     case FtlFormula::Kind::kBoolLit: {
       TemporalRelation out;
@@ -894,7 +927,8 @@ Result<TemporalRelation> FtlEvaluator::EvalNode(const FormulaPtr& f,
               IntervalSet inside =
                   InsideTicksRelative(*obj, *anchor, *region, window);
               return is_inside ? inside : inside.Complement(window);
-            });
+            },
+            [this](size_t rows) { return BudgetCheckpoint(rows); });
       }
 
       const bool self_anchored = !f->anchor().empty();
@@ -1030,7 +1064,8 @@ Result<TemporalRelation> FtlEvaluator::EvalNode(const FormulaPtr& f,
               objects.push_back(obj);
             }
             return SphereTicks(objects, f->radius(), window);
-          });
+          },
+          [this](size_t rows) { return BudgetCheckpoint(rows); });
     }
 
     case FtlFormula::Kind::kAnd: {
@@ -1039,7 +1074,9 @@ Result<TemporalRelation> FtlEvaluator::EvalNode(const FormulaPtr& f,
                               Eval(f->children()[0], domains, window));
         MOST_ASSIGN_OR_RETURN(TemporalRelation r2,
                               Eval(f->children()[1], domains, window));
-        return JoinAnd(r1, r2, &stats_, &arena_);
+        TemporalRelation joined = JoinAnd(r1, r2, &stats_, &arena_);
+        MOST_RETURN_IF_ERROR(BudgetCheckpoint(joined.rows.size()));
+        return joined;
       }
       // Semi-join: evaluate the side with fewer free variables first and
       // restrict the other side's domains to bindings that can still
@@ -1069,7 +1106,9 @@ Result<TemporalRelation> FtlEvaluator::EvalNode(const FormulaPtr& f,
       }
       MOST_ASSIGN_OR_RETURN(TemporalRelation r2,
                             Eval(second, restricted, window));
-      return JoinAnd(r1, r2, &stats_, &arena_);
+      TemporalRelation joined = JoinAnd(r1, r2, &stats_, &arena_);
+      MOST_RETURN_IF_ERROR(BudgetCheckpoint(joined.rows.size()));
+      return joined;
     }
 
     case FtlFormula::Kind::kOr: {
@@ -1426,14 +1465,19 @@ Result<TemporalRelation> FtlEvaluator::EvalCompare(const FtlFormula& f,
           when = when.Clamp(window);
         }
         return when;
-      });
+      },
+      [this](size_t rows) { return BudgetCheckpoint(rows); });
 }
 
 Result<TemporalRelation> FtlEvaluator::EvalInsideSoA(
     const FtlFormula& f, const Domains& domains, Interval window,
     const std::string& fp, bool is_inside, bool self_anchored,
     const ObjectClass* cls, const Polygon& region) {
+  // Snapshot builds draw arena memory proportional to the class; check
+  // the budget before, and again after so the bytes just drawn count.
+  MOST_RETURN_IF_ERROR(BudgetCheckpoint(0));
   const ClassSnapshot& snap = GetSnapshot(cls, window);
+  MOST_RETURN_IF_ERROR(BudgetCheckpoint(0));
 
   const std::set<ObjectId>* filter = nullptr;
   auto filter_it = domains.filters.find(f.var());
@@ -1571,8 +1615,10 @@ Result<TemporalRelation> FtlEvaluator::EvalDistSoA(
     }
     cls[s] = it->second;
   }
+  MOST_RETURN_IF_ERROR(BudgetCheckpoint(0));
   const ClassSnapshot* snap[2] = {&GetSnapshot(cls[0], window),
                                   &GetSnapshot(cls[1], window)};
+  MOST_RETURN_IF_ERROR(BudgetCheckpoint(0));
 
   // Per-variable extents as snapshot indices, ascending — the order
   // EnumerateInstantiations produces.
@@ -1632,6 +1678,7 @@ Result<TemporalRelation> FtlEvaluator::EvalDistSoA(
     have.assign(total, 0);
     size_t p = 0;
     for (size_t i0 = 0; i0 < n0; ++i0) {
+      MOST_RETURN_IF_ERROR(BudgetCheckpoint(0));
       key[0] = snap[0]->id(ext0[i0]);
       for (size_t i1 = 0; i1 < n1; ++i1, ++p) {
         key[1] = snap[1]->id(ext1[i1]);
@@ -1654,15 +1701,23 @@ Result<TemporalRelation> FtlEvaluator::EvalDistSoA(
   const bool dist_first = vars[0] == dist->var();
   const ClassSnapshot& a_snap = dist_first ? *snap[0] : *snap[1];
   const ClassSnapshot& b_snap = dist_first ? *snap[1] : *snap[0];
-  ParallelFor(options_.pool, misses.size(), [&](size_t mi) {
-    thread_local SpatialScratch scratch;
-    const size_t p = static_cast<size_t>(misses[mi]);
-    const uint32_t e0 = ext0[p / n1], e1 = ext1[p % n1];
-    const uint32_t ai = dist_first ? e0 : e1;
-    const uint32_t bi = dist_first ? e1 : e0;
-    results[p] = SnapshotDistCmpTicks(a_snap, ai, b_snap, bi, op, bound,
-                                      window, &scratch);
-  });
+  // The quadratic solve dwarfs the snapshot builds; run it in batches
+  // with a budget check between them so a deadline overrun aborts within
+  // one batch of extra work instead of sailing to the end.
+  constexpr size_t kBatch = 4096;
+  for (size_t base = 0; base < misses.size(); base += kBatch) {
+    MOST_RETURN_IF_ERROR(BudgetCheckpoint(0));
+    const size_t batch = std::min(kBatch, misses.size() - base);
+    ParallelFor(options_.pool, batch, [&](size_t k) {
+      thread_local SpatialScratch scratch;
+      const size_t p = static_cast<size_t>(misses[base + k]);
+      const uint32_t e0 = ext0[p / n1], e1 = ext1[p % n1];
+      const uint32_t ai = dist_first ? e0 : e1;
+      const uint32_t bi = dist_first ? e1 : e0;
+      results[p] = SnapshotDistCmpTicks(a_snap, ai, b_snap, bi, op, bound,
+                                        window, &scratch);
+    });
+  }
   stats_.atomic_evaluations += misses.size();
   if (cache != nullptr) {
     for (uint64_t p64 : misses) {
@@ -1677,6 +1732,7 @@ Result<TemporalRelation> FtlEvaluator::EvalDistSoA(
   size_t p = 0;
   for (size_t i0 = 0; i0 < n0; ++i0) {
     const ObjectId id0 = snap[0]->id(ext0[i0]);
+    MOST_RETURN_IF_ERROR(BudgetCheckpoint(out.rows.size()));
     for (size_t i1 = 0; i1 < n1; ++i1, ++p) {
       if (results[p].empty()) continue;
       hint = out.rows.emplace_hint(

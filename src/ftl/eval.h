@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/budget.h"
 #include "common/interval.h"
 #include "common/result.h"
 #include "core/class_snapshot.h"
@@ -123,6 +124,15 @@ class FtlEvaluator {
     /// byte-identical relations; kLegacy exists as the differential oracle
     /// and escape hatch.
     EvalLayout layout = EvalLayout::kAuto;
+    /// Per-evaluation resource budget. The default (all zero) imposes
+    /// nothing. When any field is set, the evaluator checks it at coarse
+    /// safe points (per subformula, per snapshot build, per join) and
+    /// aborts with Status::ResourceExhausted the moment one trips; the
+    /// caller (the query manager) degrades to a stale answer instead of
+    /// failing the query. Aborting — rather than truncating the relation
+    /// mid-build — is what keeps budgeted evaluation sound: a truncated
+    /// intermediate under NOT would over-approximate (docs/robustness.md).
+    Budget budget;
   };
 
   explicit FtlEvaluator(const MostDatabase& db) : FtlEvaluator(db, Options()) {}
@@ -150,6 +160,10 @@ class FtlEvaluator {
 
   const FtlEvalStats& stats() const { return stats_; }
   void ResetStats() { stats_ = FtlEvalStats(); }
+
+  /// Which budget limit aborted the last evaluation (kNone if it ran to
+  /// completion). Valid after EvaluateQuery*/EvalFormula returns.
+  DegradeReason degrade_reason() const { return gate_.tripped(); }
 
  private:
   struct Domains;  // Resolved per-variable object class extents.
@@ -196,6 +210,12 @@ class FtlEvaluator {
   /// docs/eval_internals.md).
   const ClassSnapshot& GetSnapshot(const ObjectClass* cls, Interval window);
   void ResetEvalScratch();
+  /// Cooperative budget checkpoint: OK while within Options::budget,
+  /// Status::ResourceExhausted once a limit trips. `rows_hint` is the
+  /// cardinality of whatever relation the caller just materialized (0
+  /// when the checkpoint guards time/memory only). A single branch when
+  /// no budget is armed.
+  Status BudgetCheckpoint(size_t rows_hint);
   /// Folds the arena's per-cycle stats into stats_ (called once per
   /// top-level evaluation, after the result is produced).
   void AccumulateArenaStats();
@@ -204,6 +224,7 @@ class FtlEvaluator {
   Options options_;
   FtlEvalStats stats_;
   const bool layout_soa_;
+  BudgetGate gate_;
   BumpArena arena_;
   std::map<const ObjectClass*, ClassSnapshot> snapshots_;
   /// Parent node the next Eval() attaches its child to; null = profiling

@@ -1,10 +1,12 @@
 #include "ftl/interval_cache.h"
 
+#include <algorithm>
 #include <mutex>
 
 namespace most {
 
-IntervalCache::IntervalCache(size_t max_entries) : max_entries_(max_entries) {
+IntervalCache::IntervalCache(size_t max_entries, size_t max_bytes)
+    : max_entries_(max_entries), max_bytes_(max_bytes) {
   auto& r = obs::MetricsRegistry::Global();
   attach_ids_ = {
       r.AttachCounter("most_interval_cache_hits_total",
@@ -15,8 +17,14 @@ IntervalCache::IntervalCache(size_t max_entries) : max_entries_(max_entries) {
                       "Cache entries dropped by object updates or window "
                       "eviction",
                       {}, &invalidations_),
+      r.AttachCounter("most_interval_cache_evictions_total",
+                      "Cache entries dropped by the LRU byte budget", {},
+                      &evictions_),
       r.AttachGauge("most_interval_cache_entries", "Live cache entries", {},
                     &entries_gauge_),
+      r.AttachGauge("most_interval_cache_bytes",
+                    "Approximate resident bytes of the interval cache", {},
+                    &bytes_gauge_),
   };
 }
 
@@ -43,17 +51,43 @@ void IntervalCache::Detach() {
   }
 }
 
+size_t IntervalCache::EntryBytes(const Key& key, const IntervalSet& when) {
+  // Fixed overhead covers the two hash-table nodes (entries_ plus the
+  // reverse-index slot) and the small-vector headers; the variable part is
+  // what actually grows with workload size.
+  constexpr size_t kEntryOverhead = 96;
+  return kEntryOverhead + key.fingerprint.size() +
+         key.objs.size() * sizeof(ObjectId) +
+         when.intervals().size() * sizeof(Interval);
+}
+
 bool IntervalCache::Lookup(const std::string& fingerprint,
                            const std::vector<ObjectId>& objs,
                            IntervalSet* out) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = entries_.find(Key{fingerprint, objs});
-  if (it == entries_.end()) {
+  if (max_bytes_ == 0) {
+    // No byte budget: the legacy shared-lock fast path. No LRU bookkeeping
+    // means concurrent extraction workers never serialize on probes.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(Key{fingerprint, objs});
+    if (it == entries_.end()) {
+      misses_.Inc();
+      return false;
+    }
+    hits_.Inc();
+    *out = it->second.when;
+    return true;
+  }
+  // Byte-budgeted: exclusive lock so the hit can refresh LRU recency.
+  IntervalCache* self = const_cast<IntervalCache*>(this);
+  std::unique_lock<std::shared_mutex> lock(self->mu_);
+  auto it = self->entries_.find(Key{fingerprint, objs});
+  if (it == self->entries_.end()) {
     misses_.Inc();
     return false;
   }
   hits_.Inc();
-  *out = it->second;
+  it->second.last_used = ++self->lru_clock_;
+  *out = it->second.when;
   return true;
 }
 
@@ -64,24 +98,78 @@ void IntervalCache::Insert(const std::string& fingerprint,
   if (entries_.size() >= max_entries_) {
     entries_.clear();
     by_object_.clear();
+    approx_bytes_ = 0;
   }
   Key key{fingerprint, objs};
-  auto [it, inserted] = entries_.insert_or_assign(key, when);
-  if (inserted) {
+  size_t bytes = EntryBytes(key, when);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    approx_bytes_ -= it->second.bytes;
+    it->second = Entry{when, bytes, ++lru_clock_};
+  } else {
+    entries_.emplace(key, Entry{when, bytes, ++lru_clock_});
     for (ObjectId id : objs) by_object_[id].push_back(key);
   }
+  approx_bytes_ += bytes;
+  if (max_bytes_ > 0 && approx_bytes_ > max_bytes_) EvictOverBudgetLocked();
+  UpdateGaugesLocked();
+}
+
+void IntervalCache::EraseEntryLocked(
+    std::unordered_map<Key, Entry, KeyHash>::iterator it) {
+  approx_bytes_ -= it->second.bytes;
+  for (ObjectId id : it->first.objs) {
+    auto oit = by_object_.find(id);
+    if (oit == by_object_.end()) continue;
+    auto& keys = oit->second;
+    keys.erase(std::remove(keys.begin(), keys.end(), it->first), keys.end());
+    if (keys.empty()) by_object_.erase(oit);
+  }
+  entries_.erase(it);
+}
+
+void IntervalCache::EvictOverBudgetLocked() {
+  // Evict to 3/4 of the budget so a steady insert stream doesn't evict on
+  // every call; oldest recency first.
+  const size_t target = max_bytes_ - max_bytes_ / 4;
+  std::vector<std::pair<uint64_t, const Key*>> order;
+  order.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    order.emplace_back(entry.last_used, &key);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t evicted = 0;
+  for (const auto& [lru, key] : order) {
+    if (approx_bytes_ <= target) break;
+    auto it = entries_.find(*key);
+    if (it == entries_.end()) continue;
+    EraseEntryLocked(it);
+    ++evicted;
+  }
+  if (evicted > 0) evictions_.Inc(evicted);
+}
+
+void IntervalCache::UpdateGaugesLocked() {
   entries_gauge_.Set(static_cast<int64_t>(entries_.size()));
+  bytes_gauge_.Set(static_cast<int64_t>(approx_bytes_));
 }
 
 void IntervalCache::Invalidate(ObjectId id) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = by_object_.find(id);
   if (it == by_object_.end()) return;
-  for (const Key& key : it->second) {
-    invalidations_.Inc(entries_.erase(key));
-  }
+  // Detach the key list first: EraseEntryLocked edits by_object_ and would
+  // otherwise invalidate the list being walked.
+  std::vector<Key> keys = std::move(it->second);
   by_object_.erase(it);
-  entries_gauge_.Set(static_cast<int64_t>(entries_.size()));
+  for (const Key& key : keys) {
+    auto eit = entries_.find(key);
+    if (eit == entries_.end()) continue;
+    EraseEntryLocked(eit);
+    invalidations_.Inc();
+  }
+  UpdateGaugesLocked();
 }
 
 size_t IntervalCache::EvictWindowsEndingBefore(Tick t) {
@@ -98,18 +186,23 @@ size_t IntervalCache::EvictWindowsEndingBefore(Tick t) {
       expired = end != fp.c_str() + comma + 1 &&
                 window_end < static_cast<long long>(t);
     }
-    it = expired ? entries_.erase(it) : std::next(it);
+    if (expired) {
+      approx_bytes_ -= it->second.bytes;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
   }
   size_t dropped = before - entries_.size();
   if (dropped > 0) {
     invalidations_.Inc(dropped);
-    entries_gauge_.Set(static_cast<int64_t>(entries_.size()));
     // Rebuild the reverse index so it does not accumulate keys for
     // evicted windows forever.
     by_object_.clear();
-    for (const auto& [key, when] : entries_) {
+    for (const auto& [key, entry] : entries_) {
       for (ObjectId id : key.objs) by_object_[id].push_back(key);
     }
+    UpdateGaugesLocked();
   }
   return dropped;
 }
@@ -118,7 +211,13 @@ void IntervalCache::Clear() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   entries_.clear();
   by_object_.clear();
-  entries_gauge_.Set(0);
+  approx_bytes_ = 0;
+  UpdateGaugesLocked();
+}
+
+size_t IntervalCache::ApproxBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return approx_bytes_;
 }
 
 IntervalCache::Stats IntervalCache::stats() const {
@@ -127,7 +226,9 @@ IntervalCache::Stats IntervalCache::stats() const {
   s.hits = hits_.value();
   s.misses = misses_.value();
   s.invalidations = invalidations_.value();
+  s.evictions = evictions_.value();
   s.entries = entries_.size();
+  s.approx_bytes = approx_bytes_;
   return s;
 }
 

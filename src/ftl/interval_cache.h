@@ -32,22 +32,36 @@ namespace most {
 /// whose key binds no object (e.g. `time <= 5`) depend only on the window
 /// and are never invalidated.
 ///
-/// Thread safety: all operations are safe to call concurrently; lookups
-/// take a shared lock so parallel extraction workers don't serialize on
-/// cache probes.
+/// Memory: every entry's approximate footprint is accounted
+/// (ApproxBytes(), exported as the most_interval_cache_bytes gauge).
+/// Callers that opt into a byte budget (`max_bytes` > 0) get LRU eviction:
+/// when an insert pushes the cache over budget, least-recently-used
+/// entries are evicted until it fits comfortably again. With the budget
+/// off (the default) only the wholesale max_entries clear applies — the
+/// pre-governance behaviour, byte for byte.
+///
+/// Thread safety: all operations are safe to call concurrently. With the
+/// byte budget off, lookups take a shared lock so parallel extraction
+/// workers don't serialize on cache probes; with it on, lookups take the
+/// exclusive lock to maintain LRU recency (a documented cost of bounding
+/// memory — docs/robustness.md).
 class IntervalCache {
  public:
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t invalidations = 0;  ///< Entries dropped by object updates.
+    uint64_t evictions = 0;      ///< Entries dropped by the LRU byte budget.
     size_t entries = 0;
+    size_t approx_bytes = 0;
   };
 
   /// When the cache would exceed `max_entries` it is cleared wholesale (a
   /// cheap, obviously-correct eviction policy; callers that want an upper
-  /// bound on memory set this, benchmarks leave it large).
-  explicit IntervalCache(size_t max_entries = 1u << 20);
+  /// bound on entry count set this, benchmarks leave it large). A non-zero
+  /// `max_bytes` additionally bounds the approximate resident footprint
+  /// with LRU eviction.
+  explicit IntervalCache(size_t max_entries = 1u << 20, size_t max_bytes = 0);
   ~IntervalCache();
 
   IntervalCache(const IntervalCache&) = delete;
@@ -82,6 +96,12 @@ class IntervalCache {
 
   void Clear();
 
+  /// Approximate resident footprint of the cached entries (keys + interval
+  /// sets + fixed per-entry overhead). Maintained whether or not a byte
+  /// budget is configured.
+  size_t ApproxBytes() const;
+  size_t max_bytes() const { return max_bytes_; }
+
   Stats stats() const;
 
  private:
@@ -103,13 +123,33 @@ class IntervalCache {
       return static_cast<size_t>(h);
     }
   };
+  struct Entry {
+    IntervalSet when;
+    size_t bytes = 0;
+    uint64_t last_used = 0;  ///< LRU recency (lru_clock_ at last touch).
+  };
+
+  static size_t EntryBytes(const Key& key, const IntervalSet& when);
+  /// Erases one entry (must exist), maintaining bytes and the reverse
+  /// index. Caller holds the exclusive lock.
+  void EraseEntryLocked(
+      std::unordered_map<Key, Entry, KeyHash>::iterator it);
+  /// Evicts least-recently-used entries until the footprint is at or
+  /// under 3/4 of max_bytes_. Caller holds the exclusive lock.
+  void EvictOverBudgetLocked();
+  void UpdateGaugesLocked();
 
   size_t max_entries_;
+  size_t max_bytes_;
   mutable std::shared_mutex mu_;
-  std::unordered_map<Key, IntervalSet, KeyHash> entries_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  size_t approx_bytes_ = 0;
+  uint64_t lru_clock_ = 0;
   /// Reverse index for invalidation. May hold stale keys (already erased
   /// via another object of a multi-object predicate); erasing a missing
-  /// key is a no-op, so staleness only costs a lookup.
+  /// key is a no-op, so staleness only costs a lookup. LRU eviction does
+  /// clean its keys out eagerly so a byte-budgeted cache's index cannot
+  /// grow without bound.
   std::unordered_map<ObjectId, std::vector<Key>> by_object_;
   /// The metric objects this instance owns; Stats is a thin snapshot view
   /// over them, and they are attached to the global registry for the
@@ -119,7 +159,9 @@ class IntervalCache {
   mutable obs::Counter hits_;
   mutable obs::Counter misses_;
   obs::Counter invalidations_;
+  obs::Counter evictions_;
   obs::Gauge entries_gauge_;
+  obs::Gauge bytes_gauge_;
   std::vector<uint64_t> attach_ids_;
   MostDatabase* attached_db_ = nullptr;
   MostDatabase::ListenerId listener_id_ = 0;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/failpoint.h"
+#include "obs/governor.h"
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
@@ -80,7 +81,12 @@ QueryManager::QueryManager(MostDatabase* db, Options options)
     pool_ = std::make_unique<ThreadPool>(options_.thread_count);
   }
   if (options_.enable_interval_cache) {
-    cache_ = std::make_unique<IntervalCache>();
+    size_t max_bytes = options_.interval_cache_max_bytes != 0
+                           ? options_.interval_cache_max_bytes
+                           : ResourceGovernor::Global()
+                                 .limits()
+                                 .interval_cache_max_bytes;
+    cache_ = std::make_unique<IntervalCache>(1u << 20, max_bytes);
   }
   listener_id_ = db_->AddUpdateListener(
       [this](const std::string& class_name, ObjectId id) {
@@ -96,7 +102,72 @@ FtlEvaluator::Options QueryManager::EvalOptions() const {
   o.pool = pool_.get();
   o.interval_cache = cache_.get();
   o.layout = options_.layout;
+  o.budget = EffectiveBudget();
   return o;
+}
+
+Budget QueryManager::EffectiveBudget() const {
+  Budget b = options_.refresh_budget;
+  if (b.deadline_ns != 0 && b.max_arena_bytes != 0 && b.max_rows != 0) {
+    return b;  // Fully specified; skip the governor lock.
+  }
+  const Budget fallback =
+      ResourceGovernor::Global().limits().refresh_budget;
+  if (b.deadline_ns == 0) b.deadline_ns = fallback.deadline_ns;
+  if (b.max_arena_bytes == 0) b.max_arena_bytes = fallback.max_arena_bytes;
+  if (b.max_rows == 0) b.max_rows = fallback.max_rows;
+  return b;
+}
+
+size_t QueryManager::EffectiveQueueLimit() const {
+  if (options_.refresh_queue_limit != 0) return options_.refresh_queue_limit;
+  return ResourceGovernor::Global().limits().refresh_queue_limit;
+}
+
+Tick QueryManager::EffectiveCooldown() const {
+  if (options_.degrade_cooldown_ticks != 0) {
+    return options_.degrade_cooldown_ticks;
+  }
+  return ResourceGovernor::Global().limits().degrade_cooldown_ticks;
+}
+
+bool QueryManager::InCooldown(const Continuous& cq, Tick now) const {
+  // Only evaluation-budget sheds cool down; a queue shed just waits for
+  // the next admission round, and kNone means nothing was shed at all.
+  if (cq.degrade != DegradeReason::kDeadline &&
+      cq.degrade != DegradeReason::kMemory &&
+      cq.degrade != DegradeReason::kRows) {
+    return false;
+  }
+  Tick cooldown = EffectiveCooldown();
+  if (cooldown <= 0 || cq.degraded_at < 0) return false;
+  return now < TickSaturatingAdd(cq.degraded_at, cooldown);
+}
+
+void QueryManager::NoteShed(Continuous* cq, DegradeReason reason, Tick now,
+                            const std::string& detail, const char* path,
+                            uint64_t dur_ns) {
+  // The gate always names the tripped limit when it aborts; the fallback
+  // only guards a future caller passing kNone by mistake.
+  if (reason == DegradeReason::kNone) reason = DegradeReason::kDeadline;
+  cq->degrade = reason;
+  cq->degrade_detail = detail;
+  cq->degraded_at = now;
+  ++cq->shed_refreshes;
+  ResourceGovernor::Global().NoteDegrade(reason, cq->id, now, detail);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  if (registry.enabled()) {
+    registry
+        .GetCounter("most_qm_shed_refreshes_total",
+                    "Refreshes shed by resource governance (the query keeps "
+                    "serving its previous answer as kStale)",
+                    {{"path", path}})
+        ->Inc();
+  }
+  // Degrade entries bypass the latency threshold (see SlowQueryLog).
+  obs::SlowQueryLog::Global().MaybeRecord(
+      {cq->id, cq->query.ToString(), path, dur_ns, cq->evaluations,
+       std::string(DegradeReasonToString(reason))});
 }
 
 void QueryManager::OnUpdate(const std::string& class_name, ObjectId id) {
@@ -110,16 +181,19 @@ void QueryManager::OnUpdate(const std::string& class_name, ObjectId id) {
   // update to one object only disturbs the Answer rows that bind it, so
   // record *which* object went dirty and coalesce repeats; Refresh then
   // re-derives just those rows (docs/incremental_eval.md).
+  Tick now = db_->Now();
   for (auto& [qid, cq] : continuous_) {
     for (const FromBinding& fb : cq.query.from) {
       if (fb.class_name == class_name) {
         cq.dirty_objects[class_name].insert(id);
+        // First staleness since the last completed refresh: admission
+        // control refreshes longest-stale entries first.
+        if (cq.first_dirty_at < 0) cq.first_dirty_at = now;
         break;
       }
     }
   }
   // Persistent queries record the updated object's attribute states.
-  Tick now = db_->Now();
   for (auto& [qid, pq] : persistent_) {
     bool relevant = false;
     for (const FromBinding& fb : pq.query.from) {
@@ -205,6 +279,10 @@ bool QueryManager::NeedsRefresh(const Continuous& cq, Tick now) const {
 Status QueryManager::Refresh(Continuous* cq) {
   Tick now = db_->Now();
   if (!NeedsRefresh(*cq, now)) return Status::OK();
+  // A query whose last refresh blew its budget keeps serving the stale
+  // answer through the cooldown instead of burning the budget again; its
+  // dirty set is retained, so the first post-cooldown read recovers.
+  if (InCooldown(*cq, now)) return Status::OK();
   // Decide the path and remember why, so the profile and the
   // most_qm_full_refresh_reason_total counters can say which guard fired.
   const char* full_reason = nullptr;
@@ -272,10 +350,23 @@ Status QueryManager::RefreshFull(Continuous* cq, const char* reason) {
   }
   const uint64_t t0 = obs::MonotonicNowNs();
   FtlEvaluator eval(*db_, opts);
-  MOST_ASSIGN_OR_RETURN(
-      cq->full, eval.EvaluateQueryUnprojected(
-                    cq->query, Interval(cq->window_begin, cq->expires_at)));
+  Result<TemporalRelation> evaluated = eval.EvaluateQueryUnprojected(
+      cq->query, Interval(cq->window_begin, cq->expires_at));
   const uint64_t dur_ns = obs::MonotonicNowNs() - t0;
+  if (!evaluated.ok()) {
+    if (evaluated.status().code() != StatusCode::kResourceExhausted) {
+      return evaluated.status();
+    }
+    // Budget exhausted mid-evaluation. The half-built relation was
+    // discarded (truncating it would be unsound under negation —
+    // docs/robustness.md); keep the previous materialized answer, serve
+    // it as kStale, and leave dirty state in place so a post-cooldown
+    // refresh recovers.
+    NoteShed(cq, eval.degrade_reason(), now, evaluated.status().message(),
+             "full", dur_ns);
+    return Status::OK();
+  }
+  cq->full = std::move(*evaluated);
   if (profile != nullptr) {
     profile->arena_bytes = eval.stats().arena_bytes;
     profile->arena_heap_fallbacks = eval.stats().arena_heap_fallbacks;
@@ -284,6 +375,9 @@ Status QueryManager::RefreshFull(Continuous* cq, const char* reason) {
   cq->evaluated_at = now;
   cq->dirty = false;
   cq->dirty_objects.clear();
+  cq->degrade = DegradeReason::kNone;
+  cq->degrade_detail.clear();
+  cq->first_dirty_at = -1;
   ++cq->evaluations;
   ++cq->full_evaluations;
   {
@@ -367,13 +461,27 @@ Status QueryManager::RefreshDelta(Continuous* cq) {
       opts.profile = pass;
     }
     FtlEvaluator eval(*db_, opts);
-    MOST_ASSIGN_OR_RETURN(TemporalRelation part,
-                          eval.EvaluateQueryUnprojected(cq->query, window));
+    Result<TemporalRelation> part =
+        eval.EvaluateQueryUnprojected(cq->query, window);
+    if (!part.ok()) {
+      if (part.status().code() != StatusCode::kResourceExhausted) {
+        return part.status();
+      }
+      // Budget exhausted mid-delta. Every surviving row is exactly
+      // correct (eviction plus completed splices never fabricate rows),
+      // so the relation is a sound subset of the true answer: serve it
+      // as kStale. dirty_objects stays populated, so a post-cooldown
+      // refresh re-derives the missing rows.
+      cq->answer = cq->full.Project(cq->query.retrieve);
+      NoteShed(cq, eval.degrade_reason(), now, part.status().message(),
+               "delta", obs::MonotonicNowNs() - t0);
+      return Status::OK();
+    }
     if (profile != nullptr) {
       profile->arena_bytes += eval.stats().arena_bytes;
       profile->arena_heap_fallbacks += eval.stats().arena_heap_fallbacks;
     }
-    for (auto& [binding, when] : part.rows) {
+    for (auto& [binding, when] : part->rows) {
       cq->full.rows.emplace(binding, std::move(when));
     }
   }
@@ -381,6 +489,9 @@ Status QueryManager::RefreshDelta(Continuous* cq) {
   const uint64_t dur_ns = obs::MonotonicNowNs() - t0;
   cq->evaluated_at = now;
   cq->dirty_objects.clear();
+  cq->degrade = DegradeReason::kNone;
+  cq->degrade_detail.clear();
+  cq->first_dirty_at = -1;
   ++cq->evaluations;
   ++cq->delta_evaluations;
   {
@@ -464,13 +575,18 @@ Result<std::vector<AnswerTuple>> QueryManager::ContinuousAnswerLocked(
   }
   Tick now = db_->Now();
   ConfidenceColumns cols = ResolveConfidenceColumns(cq.query, cq.answer.vars);
+  // While degraded the materialized relation is a previous or partial
+  // answer: the engine will not vouch for any of it, so every tuple is
+  // demoted to the may-answer regardless of per-object staleness.
+  const bool force_stale = cq.degrade != DegradeReason::kNone;
   std::vector<AnswerTuple> out;
   for (const auto& [binding, when] : cq.answer.rows) {
     // Confidence is re-derived at read time, not cached at evaluation
     // time: objects drift into staleness as the clock advances with no
     // update (and pop back to certain on a fresh one) without any
     // re-evaluation.
-    Confidence confidence = BindingConfidence(cols, binding, now);
+    Confidence confidence = force_stale ? Confidence::kStale
+                                        : BindingConfidence(cols, binding, now);
     for (const Interval& iv : when.intervals()) {
       out.push_back({binding, iv, confidence});
     }
@@ -530,6 +646,18 @@ QueryManager::RefreshCounters QueryManager::TotalRefreshCounters() const {
   return totals_;
 }
 
+Result<QueryManager::DegradeInfo> QueryManager::QueryDegradeInfo(
+    QueryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = continuous_.find(id);
+  if (it == continuous_.end()) {
+    return Status::NotFound("continuous query " + std::to_string(id));
+  }
+  const Continuous& cq = it->second;
+  return DegradeInfo{cq.degrade, cq.degrade_detail, cq.degraded_at,
+                     cq.shed_refreshes};
+}
+
 Result<std::string> QueryManager::Explain(QueryId id,
                                           bool include_timings) const {
   MOST_ASSIGN_OR_RETURN(std::shared_ptr<const obs::QueryProfile> profile,
@@ -558,6 +686,32 @@ Status QueryManager::TickAll() {
   std::vector<Continuous*> stale;
   for (auto& [id, cq] : continuous_) {
     if (NeedsRefresh(cq, now)) stale.push_back(&cq);
+  }
+  // Admission control: with a bounded refresh queue, a batch larger than
+  // the bound sheds its longest-stale entries (reason kQueue) — they keep
+  // serving their answers as kStale and re-enter the queue next tick.
+  // Longest-stale-first shedding keeps the bound from making *every*
+  // answer a little stale: the freshest work completes, the oldest (whose
+  // answers are already furthest behind) degrades explicitly.
+  const size_t queue_limit = EffectiveQueueLimit();
+  if (queue_limit > 0 && stale.size() > queue_limit) {
+    std::stable_sort(stale.begin(), stale.end(),
+                     [](const Continuous* a, const Continuous* b) {
+                       // -1 (expired window / forced) sorts oldest; ties
+                       // break by id for determinism.
+                       if (a->first_dirty_at != b->first_dirty_at) {
+                         return a->first_dirty_at < b->first_dirty_at;
+                       }
+                       return a->id < b->id;
+                     });
+    const size_t shed_n = stale.size() - queue_limit;
+    for (size_t i = 0; i < shed_n; ++i) {
+      NoteShed(stale[i], DegradeReason::kQueue, now,
+               "refresh queue over limit (" + std::to_string(stale.size()) +
+                   " stale > " + std::to_string(queue_limit) + ")",
+               "queue", 0);
+    }
+    stale.erase(stale.begin(), stale.begin() + shed_n);
   }
   // One batch through the pool: map nodes are stable and each worker
   // refreshes a distinct entry, so no further locking is needed. Each

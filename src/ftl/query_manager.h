@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/object_model.h"
@@ -105,6 +106,27 @@ class QueryManager {
     /// vs. the legacy pointer-chasing path; answers are byte-identical —
     /// docs/eval_internals.md). kAuto reads MOST_EVAL_LAYOUT.
     EvalLayout layout = EvalLayout::kAuto;
+    /// Per-refresh evaluation budget (docs/robustness.md). A refresh that
+    /// exhausts it is *shed*: the evaluator aborts, the query keeps its
+    /// previous materialized answer (the delta path keeps the surviving —
+    /// still exactly correct — subset), and every tuple reads as kStale
+    /// with a DegradeReason until a later refresh completes. Fields left
+    /// at zero fall back to ResourceGovernor::Global().limits(); all-zero
+    /// everywhere means unlimited, the pre-governance behaviour.
+    Budget refresh_budget;
+    /// Cap on refreshes admitted per TickAll batch. Beyond it the entries
+    /// that have waited longest are shed (reason kQueue) to may-answers
+    /// and retried next tick. 0 = governor fallback, then unlimited.
+    size_t refresh_queue_limit = 0;
+    /// After a refresh exhausts its budget the query is not retried for
+    /// this many ticks (it keeps serving its stale answer), so a query
+    /// that repeatedly blows the budget cannot monopolize refresh
+    /// capacity. 0 = governor fallback, then no cooldown.
+    Tick degrade_cooldown_ticks = 0;
+    /// Byte budget for the shared interval cache (LRU eviction; the
+    /// most_interval_cache_bytes gauge tracks the footprint either way).
+    /// 0 = governor fallback, then unbounded.
+    size_t interval_cache_max_bytes = 0;
   };
 
   explicit QueryManager(MostDatabase* db) : QueryManager(db, Options()) {}
@@ -174,6 +196,17 @@ class QueryManager {
   /// The pair is taken under one lock, so concurrent refreshes can never
   /// produce a torn read (a delta counted without its sibling).
   RefreshCounters TotalRefreshCounters() const;
+
+  /// Degraded-answer state of one continuous query. `reason` is kNone
+  /// while the answer is fully up to date; otherwise the query is serving
+  /// a stale (previous or partial) answer and every tuple reads kStale.
+  struct DegradeInfo {
+    DegradeReason reason = DegradeReason::kNone;
+    std::string detail;
+    Tick at = -1;  ///< Tick of the most recent shed (-1 = never shed).
+    uint64_t shed_refreshes = 0;  ///< Lifetime shed count for this query.
+  };
+  Result<DegradeInfo> QueryDegradeInfo(QueryId id) const;
 
   /// EXPLAIN ANALYZE for FTL: renders the profile recorded by the query's
   /// most recent refresh — the chosen path (delta/full) with its reason,
@@ -263,6 +296,18 @@ class QueryManager {
     uint64_t evaluations = 0;
     uint64_t delta_evaluations = 0;
     uint64_t full_evaluations = 0;
+    /// Degraded-answer state (docs/robustness.md). Non-kNone means the
+    /// last refresh attempt was shed and the materialized relation is a
+    /// previous (full path) or partial-but-correct (delta path) answer;
+    /// reads force every tuple to kStale until a refresh completes.
+    DegradeReason degrade = DegradeReason::kNone;
+    std::string degrade_detail;
+    Tick degraded_at = -1;        ///< Cooldown anchor (tick of last shed).
+    uint64_t shed_refreshes = 0;
+    /// Tick at which the entry first went stale since its last completed
+    /// refresh (-1 = clean, or stale for a non-update reason such as
+    /// window expiry, which admission control treats as oldest).
+    Tick first_dirty_at = -1;
     /// Profile of the most recent refresh (null until the first refresh
     /// or when profiling is disabled).
     std::shared_ptr<const obs::QueryProfile> last_profile;
@@ -325,6 +370,23 @@ class QueryManager {
                                Tick now) const;
   FtlEvaluator::Options EvalOptions() const;
   void OnUpdate(const std::string& class_name, ObjectId id);
+
+  /// Per-field resolution of the governance knobs: the Options value when
+  /// non-zero, else the global governor's limit (zero-for-zero, so the
+  /// all-defaults configuration stays byte-identical to pre-governance).
+  Budget EffectiveBudget() const;
+  size_t EffectiveQueueLimit() const;
+  Tick EffectiveCooldown() const;
+  /// True while a budget-exhausted query must keep serving its stale
+  /// answer instead of being re-attempted (queue sheds don't cool down —
+  /// the entry just waits for the next TickAll round).
+  bool InCooldown(const Continuous& cq, Tick now) const;
+  /// Records one shed refresh: flips the entry into degraded mode, feeds
+  /// the governor's event ring and most_qm_shed_refreshes_total, and logs
+  /// a degrade-tagged slow-query entry.
+  void NoteShed(Continuous* cq, DegradeReason reason, Tick now,
+                const std::string& detail, const char* path,
+                uint64_t dur_ns);
 
   // mu_-held implementations behind the public locking wrappers.
   Result<QueryId> RegisterContinuousLocked(const FtlQuery& query);

@@ -1,0 +1,138 @@
+#include "obs/governor.h"
+
+namespace most {
+
+namespace {
+
+/// Labelled shed counter, one series per reason, owned by the registry so
+/// totals survive any individual component.
+void CountDegrade(DegradeReason reason) {
+  auto& r = obs::MetricsRegistry::Global();
+  if (!r.enabled()) return;
+  r.GetCounter("most_governor_sheds_total",
+               "Degrade/shed events recorded by the resource governor",
+               {{"reason", std::string(DegradeReasonToString(reason))}})
+      ->Inc();
+}
+
+}  // namespace
+
+ResourceGovernor& ResourceGovernor::Global() {
+  static ResourceGovernor* governor = new ResourceGovernor();
+  return *governor;
+}
+
+ResourceGovernor::ResourceGovernor() {
+  auto& r = obs::MetricsRegistry::Global();
+  attach_ids_ = {
+      r.AttachGauge("most_governor_storage_degraded",
+                    "1 while the sticky storage-degraded flag is raised", {},
+                    &storage_degraded_gauge_),
+      r.AttachGauge("most_governor_degrades",
+                    "Degrade/shed events recorded (all reasons)", {},
+                    &degrades_gauge_),
+  };
+}
+
+ResourceGovernor::~ResourceGovernor() {
+  auto& r = obs::MetricsRegistry::Global();
+  for (uint64_t id : attach_ids_) r.DetachMetric(id);
+}
+
+ResourceGovernor::Limits ResourceGovernor::limits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limits_;
+}
+
+void ResourceGovernor::set_limits(const Limits& limits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  limits_ = limits;
+}
+
+void ResourceGovernor::NoteDegrade(DegradeReason reason, uint64_t query_id,
+                                   Tick at, std::string detail) {
+  CountDegrade(reason);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++degrades_total_;
+  degrades_gauge_.Set(static_cast<int64_t>(degrades_total_));
+  recent_.push_back({reason, query_id, at, std::move(detail)});
+  while (recent_.size() > kRecentCapacity) recent_.pop_front();
+}
+
+std::vector<ResourceGovernor::DegradeEvent> ResourceGovernor::RecentDegrades(
+    size_t max_n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = std::min(max_n, recent_.size());
+  return std::vector<DegradeEvent>(recent_.end() - n, recent_.end());
+}
+
+uint64_t ResourceGovernor::degrades_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degrades_total_;
+}
+
+void ResourceGovernor::ReportStorageDegraded(const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  storage_degraded_ = true;
+  storage_detail_ = detail;
+  storage_degraded_gauge_.Set(1);
+}
+
+void ResourceGovernor::ClearStorageDegraded() {
+  std::lock_guard<std::mutex> lock(mu_);
+  storage_degraded_ = false;
+  storage_detail_.clear();
+  storage_degraded_gauge_.Set(0);
+}
+
+bool ResourceGovernor::storage_degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return storage_degraded_;
+}
+
+std::string ResourceGovernor::storage_degraded_detail() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return storage_detail_;
+}
+
+uint64_t ResourceGovernor::RegisterBackpressureProbe(BackpressureProbe probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_probe_id_++;
+  probes_.emplace(id, std::move(probe));
+  return id;
+}
+
+void ResourceGovernor::UnregisterBackpressureProbe(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_.erase(id);
+}
+
+std::vector<ResourceGovernor::PeerPressure>
+ResourceGovernor::BackpressureSnapshot() const {
+  // Copy the probes out so a probe enumerating its endpoint does not run
+  // under the governor lock.
+  std::vector<BackpressureProbe> probes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    probes.reserve(probes_.size());
+    for (const auto& [id, probe] : probes_) probes.push_back(probe);
+  }
+  std::vector<PeerPressure> out;
+  for (const BackpressureProbe& probe : probes) {
+    std::vector<PeerPressure> part = probe();
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+void ResourceGovernor::ResetStateForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_.clear();
+  degrades_total_ = 0;
+  degrades_gauge_.Set(0);
+  storage_degraded_ = false;
+  storage_detail_.clear();
+  storage_degraded_gauge_.Set(0);
+}
+
+}  // namespace most

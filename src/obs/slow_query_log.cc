@@ -1,5 +1,6 @@
 #include "obs/slow_query_log.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/logging.h"
@@ -34,7 +35,11 @@ void SlowQueryLog::set_threshold_ns(uint64_t ns) {
 bool SlowQueryLog::MaybeRecord(Entry entry) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (threshold_ns_ == 0 || entry.duration_ns < threshold_ns_) return false;
+    const bool degraded = !entry.degrade.empty();
+    if (!degraded &&
+        (threshold_ns_ == 0 || entry.duration_ns < threshold_ns_)) {
+      return false;
+    }
     if (ring_.size() < capacity_) {
       ring_.push_back(entry);
     } else {
@@ -45,9 +50,23 @@ bool SlowQueryLog::MaybeRecord(Entry entry) {
   }
   MOST_LOG(Warning) << "slow query #" << entry.query_id << " ("
                     << entry.path << " refresh " << entry.refresh_seq
+                    << (entry.degrade.empty()
+                            ? std::string()
+                            : ", degraded: " + entry.degrade)
                     << "): " << entry.duration_ns / 1000000.0 << "ms -- "
                     << entry.query;
   return true;
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::RecentDegraded(
+    size_t max_n) const {
+  std::vector<Entry> all = Entries();
+  std::vector<Entry> out;
+  for (auto it = all.rbegin(); it != all.rend() && out.size() < max_n; ++it) {
+    if (!it->degrade.empty()) out.push_back(*it);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
 }
 
 std::vector<SlowQueryLog::Entry> SlowQueryLog::Entries() const {

@@ -19,9 +19,16 @@ class SlowQueryLog {
   struct Entry {
     uint64_t query_id = 0;
     std::string query;       ///< Source text (possibly truncated).
-    std::string path;        ///< "delta" | "full" | "initial".
+    std::string path;        ///< "delta" | "full" | "queue" | "initial".
     uint64_t duration_ns = 0;
     uint64_t refresh_seq = 0;
+    /// DegradeReason of a shed refresh ("deadline", "memory", ...); empty
+    /// for an ordinary slow refresh. Degrade entries are recorded even
+    /// below the latency threshold (and with the log nominally disabled):
+    /// a degraded answer is an operator-visible event regardless of how
+    /// quickly the engine decided to degrade. `most_shell health` renders
+    /// the last few of these.
+    std::string degrade;
   };
 
   static SlowQueryLog& Global();
@@ -33,8 +40,12 @@ class SlowQueryLog {
   bool enabled() const { return threshold_ns() > 0; }
 
   /// Records the refresh if duration_ns >= threshold (and the log is
-  /// enabled). Returns true when the entry was recorded.
+  /// enabled), or unconditionally when entry.degrade is non-empty.
+  /// Returns true when the entry was recorded.
   bool MaybeRecord(Entry entry);
+
+  /// The most recent degrade-tagged entries, newest last (at most max_n).
+  std::vector<Entry> RecentDegraded(size_t max_n = 10) const;
 
   /// Recorded entries, oldest first (at most `capacity`).
   std::vector<Entry> Entries() const;

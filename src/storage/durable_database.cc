@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/failpoint.h"
+#include "obs/governor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -104,11 +105,18 @@ Status DurableDatabase::Apply(const WalRecord& record) {
 }
 
 Status DurableDatabase::Commit(const WalRecord& record) {
-  MOST_RETURN_IF_ERROR(writer_.Append(record));
-  if (options_.durability == Options::Durability::kSync) {
-    return writer_.Sync();
+  Status committed = writer_.Append(record);
+  if (committed.ok() && options_.durability == Options::Durability::kSync) {
+    committed = writer_.Sync();
   }
-  return Status::OK();
+  if (!committed.ok()) {
+    // ENOSPC / EIO on the commit path: the mutation is rolled back by the
+    // caller, the database stays readable, and the process-wide health
+    // flag goes up until a checkpoint proves the device writable again.
+    ResourceGovernor::Global().ReportStorageDegraded(
+        "wal commit failed: " + committed.message());
+  }
+  return committed;
 }
 
 Result<Table*> DurableDatabase::CreateTable(const std::string& name,
@@ -245,6 +253,21 @@ Status DurableDatabase::Checkpoint() {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   const uint64_t t0 = registry.enabled() ? obs::MonotonicNowNs() : 0;
   Status status = CheckpointImpl();
+  if (status.ok()) {
+    checkpoint_failures_ = 0;
+    checkpoint_retry_countdown_ = 0;
+    // A full snapshot reached disk and was renamed into place: the device
+    // is demonstrably writable again.
+    ResourceGovernor::Global().ClearStorageDegraded();
+  } else {
+    checkpoint_failures_ += 1;
+    // Capped exponential backoff: 2, 4, 8, ... up to 64 skipped
+    // MaybeRetryCheckpoint() calls between attempts.
+    const size_t shift = std::min<size_t>(checkpoint_failures_, 6);
+    checkpoint_retry_countdown_ = size_t{1} << shift;
+    ResourceGovernor::Global().ReportStorageDegraded(
+        "checkpoint failed: " + status.message());
+  }
   if (registry.enabled()) {
     registry
         .GetCounter("most_checkpoints_total",
@@ -284,6 +307,15 @@ Status DurableDatabase::CheckpointImpl() {
     return reopened.ok() ? renamed : reopened;
   }
   return writer_.Open(path_, wopts);
+}
+
+Status DurableDatabase::MaybeRetryCheckpoint() {
+  if (checkpoint_failures_ == 0) return Status::OK();
+  if (checkpoint_retry_countdown_ > 0) {
+    checkpoint_retry_countdown_ -= 1;
+    return Status::OK();  // Still backing off.
+  }
+  return Checkpoint();
 }
 
 }  // namespace most

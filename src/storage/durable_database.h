@@ -83,7 +83,24 @@ class DurableDatabase {
   /// old log. Bounds recovery time after long update streams. On failure
   /// the temporary snapshot is removed, the old log is left intact, and
   /// the database stays open and usable.
+  ///
+  /// Storage pressure (docs/robustness.md): a failed checkpoint — like a
+  /// failed commit — raises the global ResourceGovernor's sticky
+  /// storage-degraded flag and arms a capped exponential retry backoff; a
+  /// successful checkpoint clears both. Reads are never affected.
   Status Checkpoint();
+
+  /// True when a previous Checkpoint() failed and the backoff since then
+  /// has elapsed, so a retry is worth attempting.
+  bool CheckpointRetryDue() const {
+    return checkpoint_failures_ > 0 && checkpoint_retry_countdown_ == 0;
+  }
+  /// Periodic retry driver (call once per maintenance tick): retries a
+  /// failed checkpoint when the backoff has elapsed, otherwise counts the
+  /// backoff down. No-op (OK) while the last checkpoint stands.
+  Status MaybeRetryCheckpoint();
+  /// Consecutive checkpoint failures since the last success.
+  size_t checkpoint_failures() const { return checkpoint_failures_; }
 
   const std::string& path() const { return path_; }
 
@@ -104,6 +121,11 @@ class DurableDatabase {
   RecoveryReport report_;
   // Index definitions, re-logged by Checkpoint().
   std::map<std::string, std::set<std::string>> indexed_columns_;
+  /// Checkpoint retry state: consecutive failures and the number of
+  /// MaybeRetryCheckpoint() calls still to skip (capped exponential
+  /// backoff, so a persistently full disk is not hammered every tick).
+  size_t checkpoint_failures_ = 0;
+  size_t checkpoint_retry_countdown_ = 0;
 };
 
 }  // namespace most

@@ -388,6 +388,9 @@ Status WalWriter::Append(const WalRecord& record) {
 Status WalWriter::AppendImpl(const WalRecord& record) {
   std::string line = EncodeWalRecord(record, options_.format_version);
   line += '\n';
+  // Device-full / I/O-error injection (distinct from wal/append/write torn
+  // writes: nothing reaches the file, as ENOSPC on the first byte would).
+  MOST_FAILPOINT("wal/append/enospc");
   FailpointRegistry::WriteFault fault =
       FailpointRegistry::Instance().CheckWrite("wal/append/write",
                                                line.size());

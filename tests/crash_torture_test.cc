@@ -14,6 +14,8 @@
 // the failpoints never actually fired, so the harness cannot silently
 // no-op (ci.sh runs this suite as its crash-torture stage).
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -44,8 +46,11 @@ int g_injections = 0;
 using State = std::map<RowId, int64_t>;
 
 std::string TortureePath(const std::string& name, int iter) {
-  return ::testing::TempDir() + "/torture_" + name + "_" +
-         std::to_string(iter) + ".log";
+  // Pid-qualified: ctest runs this binary twice (plain + _fixed_seed) and
+  // may schedule both concurrently; shared paths make them corrupt each
+  // other's logs.
+  return ::testing::TempDir() + "/torture_" + std::to_string(getpid()) +
+         "_" + name + "_" + std::to_string(iter) + ".log";
 }
 
 State ReadState(const DurableDatabase& db) {

@@ -10,6 +10,7 @@
 #include "distributed/reliable_channel.h"
 #include "distributed/transmission.h"
 #include "ftl/parser.h"
+#include "obs/governor.h"
 
 namespace most {
 namespace {
@@ -288,6 +289,108 @@ TEST(ReliableChannelTest, RetransmitsAcrossPartitionUntilHealed) {
   }
   EXPECT_EQ(delivered, 1);
   EXPECT_EQ(sender.unacked(), 0u);
+}
+
+TEST(ReliableChannelTest, BoundedBufferThrottlesThenSheds) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  ReliableEndpoint::Options opts;
+  opts.max_unacked_messages = 4;  // Throttle from 3 (0.75 * 4).
+  ReliableEndpoint sender(&net, &clock, opts);
+  ReliableEndpoint receiver(&net, &clock);
+  // The receiver never acks, so the sender's buffer only grows.
+  net.SetConnected(receiver.node_id(), false);
+  NodeId to = receiver.node_id();
+  EXPECT_EQ(sender.SendReliable(to, CancelQuery{0}), Backpressure::kOpen);
+  EXPECT_EQ(sender.SendReliable(to, CancelQuery{1}), Backpressure::kOpen);
+  EXPECT_EQ(sender.SendReliable(to, CancelQuery{2}), Backpressure::kThrottle);
+  // Fourth send fills the buffer: still sent (kShed is reserved for
+  // dropped frames), but the peer now grades kShed for the next one.
+  EXPECT_EQ(sender.SendReliable(to, CancelQuery{3}), Backpressure::kThrottle);
+  EXPECT_EQ(sender.PeerBackpressure(to), Backpressure::kShed);
+  EXPECT_EQ(sender.SendReliable(to, CancelQuery{4}), Backpressure::kShed);
+  EXPECT_EQ(sender.unacked(), 4u);
+  EXPECT_EQ(sender.stats().frames_shed, 1u);
+  EXPECT_GT(sender.unacked_bytes(), 0u);
+
+  // Draining the buffer reopens the peer: reconnect and let acks flow.
+  net.SetConnected(receiver.node_id(), true);
+  for (int t = 0; t < 100 && sender.unacked() > 0; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  EXPECT_EQ(sender.unacked(), 0u);
+  EXPECT_EQ(sender.unacked_bytes(), 0u);
+  EXPECT_EQ(sender.PeerBackpressure(to), Backpressure::kOpen);
+}
+
+TEST(ReliableChannelTest, DeadPeerEvictionRestartsStreamUnderNewEpoch) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  ReliableEndpoint::Options opts;
+  opts.peer_dead_horizon = 20;
+  ReliableEndpoint sender(&net, &clock, opts);
+  ReliableEndpoint receiver(&net, &clock);
+  std::vector<uint64_t> got;
+  receiver.SetHandler([&](const Message& m) {
+    got.push_back(std::get<CancelQuery>(m.payload).qid);
+  });
+
+  // Deliver one frame normally so the receiver has sequence state.
+  sender.SendReliable(receiver.node_id(), CancelQuery{1});
+  for (int t = 0; t < 10; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  ASSERT_EQ(got, (std::vector<uint64_t>{1}));
+
+  // Cut the peer off and queue frames it will never ack. Past the
+  // horizon the buffer is evicted instead of retransmitting forever.
+  net.Partition("cut", {sender.node_id()}, {receiver.node_id()});
+  sender.SendReliable(receiver.node_id(), CancelQuery{2});
+  sender.SendReliable(receiver.node_id(), CancelQuery{3});
+  for (int t = 0; t < 40; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  EXPECT_EQ(sender.unacked(), 0u) << "evicted buffer must be empty";
+  EXPECT_EQ(sender.stats().peers_evicted, 1u);
+  EXPECT_EQ(sender.stats().frames_shed, 2u);
+
+  // Heal and send again: the new frame carries a higher epoch, so the
+  // receiver resynchronizes from sequence zero instead of waiting for
+  // the evicted frames — no deadlock, and no replay of old payloads.
+  net.Heal("cut");
+  sender.SendReliable(receiver.node_id(), CancelQuery{4});
+  for (int t = 0; t < 100 && sender.unacked() > 0; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  EXPECT_EQ(sender.unacked(), 0u);
+  EXPECT_EQ(got, (std::vector<uint64_t>{1, 4}))
+      << "post-eviction stream must deliver exactly the new frame";
+}
+
+TEST(ReliableChannelTest, GovernorLimitsApplyWhenOptionsUnset) {
+  // Channel caps left at 0 fall back to the global governor's limits —
+  // the knob `most_shell health` surfaces. Restore 0 afterwards so other
+  // tests keep the unbounded default.
+  ResourceGovernor& gov = ResourceGovernor::Global();
+  ResourceGovernor::Limits limits = gov.limits();
+  limits.channel_max_unacked_messages = 2;
+  gov.set_limits(limits);
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  ReliableEndpoint sender(&net, &clock);
+  ReliableEndpoint receiver(&net, &clock);
+  net.SetConnected(receiver.node_id(), false);
+  sender.SendReliable(receiver.node_id(), CancelQuery{0});
+  sender.SendReliable(receiver.node_id(), CancelQuery{1});
+  EXPECT_EQ(sender.SendReliable(receiver.node_id(), CancelQuery{2}),
+            Backpressure::kShed);
+  EXPECT_EQ(sender.unacked(), 2u);
+  limits.channel_max_unacked_messages = 0;
+  gov.set_limits(limits);
 }
 
 TEST(ReliableChannelTest, BestEffortBypassesSequencing) {
@@ -588,6 +691,68 @@ TEST_F(DistributedQueryTest, CollectAnswerStaysStaleWhileNodeMissing) {
   ASSERT_TRUE(full.ok());
   EXPECT_EQ(full->confidence, Confidence::kCertain);
   EXPECT_EQ(full->relation.rows.count({0}), 1u);
+}
+
+TEST(CoordinatorDeadlineTest, ExpiryYieldsStalePartialAnswerAndMetric) {
+  // A query whose deadline passes with one node permanently silent: the
+  // caller polls DeadlinePassed(), accepts the kStale partial answer with
+  // the silent node in the missing set, and the first expired poll is
+  // counted into most_coord_deadline_expired_total exactly once.
+  auto deadline_expired_total = []() -> double {
+    for (const obs::FamilySnapshot& fam :
+         obs::MetricsRegistry::Global().Collect()) {
+      if (fam.name != "most_coord_deadline_expired_total") continue;
+      double total = 0;
+      for (const obs::SeriesSnapshot& s : fam.series) total += s.value;
+      return total;
+    }
+    return 0;
+  };
+  const double expired_before = deadline_expired_total();
+
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  std::map<std::string, Polygon> regions{
+      {"P", Polygon::Rectangle({0, 0}, {100, 100})}};
+  Coordinator::Options copts;
+  copts.query_deadline = 8;
+  Coordinator coordinator(&net, &clock, regions, copts);
+  MobileNode::Options nopts;
+  nopts.beacon_interval = 0;
+  MobileNode inside(&net, &clock, MakeState(0, {50, 50}, {0, 0}), regions,
+                    nopts);
+  MobileNode silent(&net, &clock, MakeState(1, {60, 60}, {0, 0}), regions,
+                    nopts);
+  net.SetConnected(silent.node_id(), false);  // Permanently dark.
+
+  auto q = ParseQuery("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  ASSERT_TRUE(q.ok());
+  uint64_t qid = coordinator.IssueObjectQuery(
+      *q, DistStrategy::kBroadcastFilter, /*continuous=*/false, 256);
+  auto run_to = [&](Tick until) {
+    while (clock.Now() < until) {
+      clock.Advance();
+      net.DeliverDue();
+    }
+  };
+  run_to(6);
+  EXPECT_FALSE(coordinator.DeadlinePassed(qid));
+  EXPECT_DOUBLE_EQ(deadline_expired_total(), expired_before);
+
+  run_to(12);
+  EXPECT_TRUE(coordinator.DeadlinePassed(qid));
+  auto answer = coordinator.ReportedMatches(qid);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->confidence, Confidence::kStale)
+      << "an expired query with a silent node must not claim certainty";
+  EXPECT_EQ(answer->missing, (std::set<NodeId>{silent.node_id()}));
+  EXPECT_EQ(answer->matches.count(0), 1u)
+      << "the reachable node's match is served despite the expiry";
+  EXPECT_DOUBLE_EQ(deadline_expired_total(), expired_before + 1);
+
+  // Polling again does not re-count the same expiry.
+  EXPECT_TRUE(coordinator.DeadlinePassed(qid));
+  EXPECT_DOUBLE_EQ(deadline_expired_total(), expired_before + 1);
 }
 
 TEST(CoordinatorLivenessTest, HeartbeatsTrackReachabilityAndResync) {
