@@ -19,6 +19,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -219,6 +220,132 @@ BENCHMARK(BM_DistQuery)
     ->ArgsProduct({{100}, {0, 1}, {0, 10, 30}})
     ->Unit(benchmark::kMillisecond);
 
+// ---- Recovery: crash a durable node mid-query, measure the rejoin ---------
+
+struct RecoveryRun {
+  Tick ticks_to_certain = -1;  ///< Restart -> first kCertain; -1 = never.
+  uint64_t catchup_bytes = 0;  ///< Answer-mirror bytes sent for the rejoin.
+  uint64_t catchup_deltas = 0;
+  uint64_t rejoins = 0;
+  uint64_t lease_expirations = 0;
+  size_t answer_size = 0;  ///< Matches in the answer the mirror tracks.
+};
+
+/// Continuous broadcast query over `vehicles` nodes; node 0 is durable
+/// (WAL-backed) and mirrors Answer(CQ). It gets killed mid-query, stays
+/// down past the lease horizon while the fleet keeps moving, then
+/// restarts from its WAL and rejoins. Measures how long until the
+/// coordinator's answer is kCertain again and how many bytes the mirror
+/// catch-up cost — with `delta_catchup` the coordinator sends only the
+/// entries dirtied since the node's recovered anchor; without it, the
+/// full answer (the resync baseline).
+RecoveryRun RunRecovery(size_t vehicles, bool delta_catchup, uint64_t seed) {
+  std::string wal = "/tmp/most_bench_recovery_" + std::to_string(seed) +
+                    (delta_catchup ? "_delta" : "_full") + ".wal";
+  std::remove(wal.c_str());
+  Clock clock;
+  SimNetwork net(&clock, SimNetwork::Options{.latency = 1, .seed = seed});
+  std::map<std::string, Polygon> regions;
+  double side = 1000.0 * std::sqrt(0.05);
+  regions["P"] = Polygon::Rectangle({500 - side / 2, 500 - side / 2},
+                                    {500 + side / 2, 500 + side / 2});
+  Coordinator::Options copts;
+  copts.liveness_timeout = 24;
+  copts.delta_catchup = delta_catchup;
+  Coordinator coordinator(&net, &clock, regions, copts);
+  // A calm fleet (a motion change every ~200 ticks per vehicle): the
+  // interesting regime for delta catch-up, where the answer entries
+  // dirtied during one node's downtime are a small fraction of the
+  // whole answer. At high churn a delta inevitably approaches the full
+  // answer — there is nothing clean to skip.
+  FleetGenerator fleet({.num_vehicles = vehicles,
+                        .area = 1000.0,
+                        .change_probability = 0.005,
+                        .seed = 1997});
+  MobileNode::Options opts;
+  opts.beacon_interval = 8;
+  opts.home = coordinator.node_id();
+  std::vector<std::unique_ptr<MobileNode>> nodes;
+  for (const ObjectState& s : fleet.initial_states()) {
+    MobileNode::Options node_opts = opts;
+    if (nodes.empty()) node_opts.wal_path = wal;
+    nodes.push_back(
+        std::make_unique<MobileNode>(&net, &clock, s, regions, node_opts));
+  }
+  auto run_to = [&](Tick until) {
+    while (clock.Now() < until) {
+      clock.Advance();
+      net.DeliverDue();
+    }
+  };
+  run_to(8);
+  auto query = ParseQuery(
+      "RETRIEVE o FROM FLEET o WHERE EVENTUALLY WITHIN 100 INSIDE(o, P)");
+  uint64_t qid = coordinator.IssueObjectQuery(
+      *query, DistStrategy::kBroadcastFilter, /*continuous=*/true, 512);
+  run_to(16);
+  (void)coordinator.SubscribeAnswerMirror(qid, nodes[0]->node_id());
+  run_to(24);
+
+  // Fleet keeps moving through the whole incident; node 0 is killed at
+  // tick 32 and restarted at 64 — past the 24-tick lease horizon.
+  constexpr Tick kCrashAt = 32;
+  constexpr Tick kRestartAt = 64;
+  auto updates = fleet.GenerateUpdates(kRestartAt + 16);
+  size_t next_update = 0;
+  MobileNode::Options restart_opts = opts;
+  restart_opts.wal_path = wal;
+  for (Tick t = 25; t <= kRestartAt; ++t) {
+    if (t == kCrashAt) nodes[0].reset();
+    if (t == kRestartAt) {
+      nodes[0] = std::make_unique<MobileNode>(
+          &net, &clock, fleet.initial_states()[0], regions, restart_opts);
+    }
+    run_to(t);
+    while (next_update < updates.size() && updates[next_update].at <= t) {
+      const MotionUpdate& u = updates[next_update++];
+      if (nodes[u.id] != nullptr) {
+        nodes[u.id]->UpdateMotion(u.position, u.velocity);
+      }
+    }
+  }
+  RecoveryRun run;
+  for (Tick t = kRestartAt + 1; t < kRestartAt + 2048; ++t) {
+    run_to(t);
+    if (coordinator.ReportedMatches(qid)->confidence == Confidence::kCertain) {
+      run.ticks_to_certain = t - kRestartAt;
+      break;
+    }
+  }
+  Coordinator::RecoveryStats stats = coordinator.recovery_stats();
+  run.catchup_bytes = stats.catchup_bytes;
+  run.catchup_deltas = stats.catchup_deltas;
+  run.rejoins = stats.rejoins;
+  run.lease_expirations = stats.lease_expirations;
+  run.answer_size = coordinator.ReportedMatches(qid)->matches.size();
+  std::remove(wal.c_str());
+  return run;
+}
+
+void BM_Recovery(benchmark::State& state) {
+  size_t vehicles = static_cast<size_t>(state.range(0));
+  bool delta = state.range(1) == 1;
+  RecoveryRun run;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    run = RunRecovery(vehicles, delta, seed++);
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["ticks_to_certain"] =
+      static_cast<double>(run.ticks_to_certain);
+  state.counters["catchup_bytes"] = static_cast<double>(run.catchup_bytes);
+  state.counters["catchup_deltas"] = static_cast<double>(run.catchup_deltas);
+  state.counters["delta_catchup"] = delta ? 1 : 0;
+}
+BENCHMARK(BM_Recovery)
+    ->ArgsProduct({{200}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 void EmitBenchJson(const char* out_path) {
@@ -252,6 +379,40 @@ void EmitBenchJson(const char* out_path) {
   benchio::FinishBenchJson(out_path, "dist", out.str());
 }
 
+/// BENCH_recovery.json: the rejoin cost at fleet scale, delta catch-up
+/// vs full re-send (median of three seeds by catch-up bytes). The delta
+/// row's bytes must stay strictly below the full row's — the point of
+/// shipping only the dirtied entries.
+void EmitRecoveryJson(const char* out_path) {
+  constexpr size_t kVehicles = 1000;
+  std::ostringstream out;
+  out << "{\n  \"benchmark\": \"recovery\",\n  \"vehicles\": " << kVehicles
+      << ",\n  \"runs\": [\n";
+  bool first = true;
+  for (bool delta : {false, true}) {
+    RecoveryRun runs[3];
+    for (uint64_t s = 0; s < 3; ++s) {
+      runs[s] = RunRecovery(kVehicles, delta, 200 + s);
+    }
+    std::sort(std::begin(runs), std::end(runs),
+              [](const RecoveryRun& a, const RecoveryRun& b) {
+                return a.catchup_bytes < b.catchup_bytes;
+              });
+    const RecoveryRun& r = runs[1];
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"catchup\": \"" << (delta ? "delta" : "full")
+        << "\", \"catchup_bytes\": " << r.catchup_bytes
+        << ", \"catchup_deltas\": " << r.catchup_deltas
+        << ", \"ticks_to_certain\": " << r.ticks_to_certain
+        << ", \"rejoins\": " << r.rejoins
+        << ", \"lease_expirations\": " << r.lease_expirations
+        << ", \"answer_size\": " << r.answer_size << "}";
+  }
+  out << "\n  ]\n";
+  benchio::FinishBenchJson(out_path, "recovery", out.str());
+}
+
 }  // namespace most
 
 // Custom main: run the registered benchmarks, then emit the summary the
@@ -262,5 +423,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   most::EmitBenchJson("BENCH_dist.json");
+  most::EmitRecoveryJson("BENCH_recovery.json");
   return 0;
 }

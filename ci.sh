@@ -34,6 +34,17 @@ MOST_FAILPOINTS="ci/torture_probe=noop" ./build-asan/tests/crash_torture_test
 echo "=== partition-torture stage (env-armed failpoints, ASan) ==="
 MOST_FAILPOINTS="ci/dist_probe=noop" ./build-asan/tests/partition_torture_test
 
+# Crash/restart-torture stage: WAL-backed mobile nodes killed and
+# restarted on randomized schedules over a lossy network, differentially
+# checked byte-for-byte against a crash-free world, with the
+# never-kCertain-while-a-lease-is-expired invariant polled every tick
+# (docs/distributed.md "Crash, rejoin, and catch-up"). The armed probe
+# proves MOST_FAILPOINTS reaches the torture loop; the suite's summary
+# test fails if no crash or lease expiry ever happened, so this stage
+# cannot silently become a no-op.
+echo "=== crash-restart-torture stage (env-armed failpoints, ASan) ==="
+MOST_FAILPOINTS="ci/crash_probe=noop" ./build-asan/tests/crash_restart_torture_test
+
 # Overload-torture stage: resource governance under randomized update
 # storms with starvation-level budgets, plus the WAL ENOSPC and bounded-
 # channel storms (docs/robustness.md). The suite differentially checks a
@@ -103,6 +114,10 @@ for metric in \
   most_interval_cache_evictions_total \
   most_coord_deadline_expired_total \
   most_coord_requests_shed_total \
+  most_coord_lease_expirations_total \
+  most_coord_rejoins_total \
+  most_coord_catchup_bytes_total \
+  most_node_recoveries_total \
   most_failpoint_fired_total; do
   if ! grep -q "^${metric}" <<<"$PROM"; then
     echo "observability stage: missing required metric '${metric}'"

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "core/object_model.h"
 #include "ftl/nearest.h"
 #include "ftl/parser.h"
@@ -48,6 +49,8 @@ constexpr const char* kHelp = R"(Commands:
   metrics                        dump the engine metrics snapshot
   health                         governor limits, backpressure, storage
                                  health and recent degrade events
+  failpoints                     armed fault-injection sites (spec + fired
+                                 counts); docs/durability.md lists all sites
   nearest <from-class> <id> <target-class>
                                  nearest target object, now and over time
   demo                           load a small ready-made world
@@ -222,6 +225,8 @@ class Shell {
       obs::DumpMetrics(std::cout);
     } else if (cmd == "health") {
       PrintHealth();
+    } else if (cmd == "failpoints") {
+      PrintFailpoints();
     } else if (cmd == "cancel" && t.size() == 2) {
       Report(qm_.Cancel(std::stoull(t[1])));
     } else if (cmd == "nearest" && t.size() == 4) {
@@ -317,6 +322,33 @@ class Shell {
                   << DegradeReasonToString(e.reason);
         if (!e.detail.empty()) std::cout << " — " << e.detail;
         std::cout << "\n";
+      }
+    }
+  }
+
+  // Fault-injection visibility: what is armed right now (spec syntax as
+  // Arm() accepts it, budgets reflecting remaining triggers) and which
+  // sites have fired since process start. The full site inventory lives
+  // in docs/durability.md.
+  void PrintFailpoints() {
+    FailpointRegistry& reg = FailpointRegistry::Instance();
+    std::map<std::string, std::string> armed = reg.ArmedSpecs();
+    if (armed.empty()) {
+      std::cout << "failpoints: none armed (arm via MOST_FAILPOINTS, e.g. "
+                   "\"wal/append/write=truncate*1\")\n";
+    } else {
+      std::cout << "armed failpoints:\n";
+      for (const auto& [site, spec] : armed) {
+        std::cout << "  " << site << " = " << spec << "\n";
+      }
+    }
+    std::map<std::string, uint64_t> fired = reg.TriggeredCounts();
+    if (fired.empty()) {
+      std::cout << "fired: none\n";
+    } else {
+      std::cout << "fired (" << reg.total_triggered() << " total):\n";
+      for (const auto& [site, count] : fired) {
+        std::cout << "  " << site << " x" << count << "\n";
       }
     }
   }

@@ -207,4 +207,33 @@ std::vector<std::string> FailpointRegistry::ArmedSites() const {
   return out;
 }
 
+std::map<std::string, std::string> FailpointRegistry::ArmedSpecs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::string> out;
+  for (const auto& [site, fp] : points_) {
+    std::string spec;
+    switch (fp.action) {
+      case Failpoint::Action::kNoop:
+        spec = "noop";
+        break;
+      case Failpoint::Action::kError:
+        spec = "error";
+        break;
+      case Failpoint::Action::kAbort:
+        spec = "abort";
+        break;
+      case Failpoint::Action::kSleep:
+        spec = "sleep(" + std::to_string(fp.arg) + ")";
+        break;
+      case Failpoint::Action::kTruncate:
+        spec = "truncate";
+        if (fp.arg >= 0) spec += "(" + std::to_string(fp.arg) + ")";
+        break;
+    }
+    if (fp.remaining >= 0) spec += "*" + std::to_string(fp.remaining);
+    out[site] = spec;
+  }
+  return out;
+}
+
 }  // namespace most

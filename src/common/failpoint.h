@@ -80,6 +80,11 @@ class FailpointRegistry {
 
   std::vector<std::string> ArmedSites() const;
 
+  /// Armed sites with their current spec reconstructed in Arm() syntax
+  /// (e.g. "error*3", "sleep(10)", "truncate(4)") — remaining budgets, not
+  /// the originally armed ones. Powers most_shell's `failpoints` command.
+  std::map<std::string, std::string> ArmedSpecs() const;
+
  private:
   struct Failpoint {
     enum class Action { kNoop, kError, kAbort, kSleep, kTruncate };

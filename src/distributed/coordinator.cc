@@ -60,6 +60,7 @@ Coordinator::Coordinator(SimNetwork* network, Clock* clock,
       completion_lag_({1, 2, 4, 8, 16, 32, 64, 128, 256}) {
   channel_.SetHandler([this](const Message& m) { HandleMessage(m); });
   channel_.SetRawObserver([this](const Message& m) { ObserveTraffic(m); });
+  tick_hook_id_ = network_->AddTickHook([this] { OnTick(); });
   obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
   attach_ids_ = {
       r.AttachCounter("most_coord_queries_issued_total",
@@ -79,6 +80,22 @@ Coordinator::Coordinator(SimNetwork* network, Clock* clock,
                       "Queries that reached their deadline before every "
                       "expected node completed",
                       {}, &deadline_expired_),
+      r.AttachCounter("most_coord_lease_expirations_total",
+                      "Node leases that transitioned live to expired", {},
+                      &lease_expirations_),
+      r.AttachCounter("most_coord_rejoins_total",
+                      "JoinRequests accepted with a bumped incarnation", {},
+                      &rejoins_),
+      r.AttachCounter("most_coord_catchup_deltas_total",
+                      "Rejoin catch-up AnswerDeltas sent to recovered "
+                      "mirror anchors",
+                      {}, &catchup_deltas_),
+      r.AttachCounter("most_coord_catchup_bytes_total",
+                      "Estimated wire bytes of rejoin catch-up deltas", {},
+                      &catchup_bytes_),
+      r.AttachCounter("most_coord_mirror_deltas_total",
+                      "Steady-state Answer(CQ) mirror pushes", {},
+                      &mirror_deltas_),
       r.AttachHistogram("most_coord_completion_lag_ticks",
                         "Ticks from issue until every expected node's "
                         "QueryDone arrived",
@@ -86,12 +103,26 @@ Coordinator::Coordinator(SimNetwork* network, Clock* clock,
       r.AttachGauge("most_coord_missing_nodes",
                     "Expected-but-silent nodes over active queries", {},
                     &missing_nodes_gauge_),
+      r.AttachGauge("most_coord_leases_active",
+                    "Nodes currently holding a valid lease", {},
+                    &leases_active_gauge_),
   };
 }
 
 Coordinator::~Coordinator() {
+  network_->RemoveTickHook(tick_hook_id_);
   obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
   for (uint64_t id : attach_ids_) r.DetachMetric(id);
+}
+
+Coordinator::RecoveryStats Coordinator::recovery_stats() const {
+  RecoveryStats s;
+  s.rejoins = rejoins_.value();
+  s.lease_expirations = lease_expirations_.value();
+  s.catchup_deltas = catchup_deltas_.value();
+  s.catchup_bytes = catchup_bytes_.value();
+  s.mirror_deltas = mirror_deltas_.value();
+  return s;
 }
 
 void Coordinator::UpdateMissingGauge() {
@@ -232,7 +263,7 @@ Result<Coordinator::CollectedAnswer> Coordinator::EvaluateCollected(
       eval.EvaluateQuery(
           state->query,
           Interval(anchor, TickSaturatingAdd(anchor, state->horizon))));
-  answer.missing = state->MissingNodes();
+  answer.missing = EffectiveMissing(*state);
   answer.confidence =
       answer.missing.empty() ? Confidence::kCertain : Confidence::kStale;
   return answer;
@@ -243,10 +274,24 @@ Result<Coordinator::ReportedAnswer> Coordinator::ReportedMatches(
   MOST_ASSIGN_OR_RETURN(const QueryState* state, GetState(qid));
   ReportedAnswer answer;
   answer.matches = state->matches;
-  answer.missing = state->MissingNodes();
+  answer.missing = EffectiveMissing(*state);
   answer.confidence =
       answer.missing.empty() ? Confidence::kCertain : Confidence::kStale;
   return answer;
+}
+
+std::set<NodeId> Coordinator::EffectiveMissing(const QueryState& state) const {
+  std::set<NodeId> missing = state.MissingNodes();
+  if (!state.continuous || state.cancelled) return missing;
+  // A continuous answer is only vouched for while every contributing
+  // node's lease is valid: a node that answered and then went silent past
+  // the liveness horizon may have moved arbitrarily (or died), so its
+  // matches are dead reckoning — the answer degrades to kStale with the
+  // node listed missing until it is heard again.
+  for (NodeId id : state.expected) {
+    if (last_heard_.count(id) != 0 && !IsLive(id)) missing.insert(id);
+  }
+  return missing;
 }
 
 bool Coordinator::IsLive(NodeId node) const {
@@ -272,6 +317,9 @@ void Coordinator::ObserveTraffic(const Message& message) {
       !is_new &&
       now > TickSaturatingAdd(it->second, options_.liveness_timeout);
   last_heard_[message.from] = now;
+  // Any traffic renews the sender's lease; the next silence-past-horizon
+  // counts as a fresh expiry.
+  leases_[message.from].expired_counted = false;
   if (!is_new && !revived) return;
   // A node just (re)appeared: push every active continuous query to it so
   // its subscription — dropped by a partition, a reconnect, or simply
@@ -289,7 +337,173 @@ void Coordinator::ObserveTraffic(const Message& message) {
   UpdateMissingGauge();
 }
 
+std::set<NodeId> Coordinator::ExpiredLeases() const {
+  std::set<NodeId> expired;
+  for (const auto& [id, at] : last_heard_) {
+    if (!IsLive(id)) expired.insert(id);
+  }
+  return expired;
+}
+
+void Coordinator::OnTick() {
+  Tick now = clock_->Now();
+  // DeliverDue may run several times within one tick; sweep once.
+  if (now == last_sweep_tick_) return;
+  last_sweep_tick_ = now;
+  int64_t active = 0;
+  for (auto& [id, lease] : leases_) {
+    if (IsLive(id)) {
+      ++active;
+    } else if (!lease.expired_counted) {
+      lease.expired_counted = true;
+      lease_expirations_.Inc();
+    }
+  }
+  leases_active_gauge_.Set(active);
+  // Steady-state mirror pushes: one per-object delta per tick to each
+  // lease-valid subscriber whose mirror fell behind. Dead subscribers are
+  // skipped — their catch-up happens at rejoin, from the anchor they
+  // recover, which is the point of the exercise.
+  for (auto& [qid, state] : queries_) {
+    if (state.cancelled || state.mirror_subs.empty()) continue;
+    std::vector<NodeId> subs;
+    subs.reserve(state.mirror_subs.size());
+    for (const auto& [sub, synced] : state.mirror_subs) subs.push_back(sub);
+    for (NodeId sub : subs) {
+      if (!IsLive(sub)) continue;
+      FlushMirror(qid, &state, sub, /*full=*/false, /*rejoin_catchup=*/false);
+    }
+  }
+}
+
+void Coordinator::FlushMirror(uint64_t qid, QueryState* state,
+                              NodeId subscriber, bool full,
+                              bool rejoin_catchup) {
+  Tick now = clock_->Now();
+  Tick synced = state->mirror_subs[subscriber];
+  AnswerDelta delta;
+  delta.qid = qid;
+  delta.base = synced;
+  delta.anchor = now;
+  if (full) {
+    delta.full = true;
+    for (const auto& [id, when] : state->matches) {
+      delta.upserts.emplace_back(id, when);
+    }
+  } else {
+    for (const auto& [id, at] : state->dirty_at) {
+      if (at <= synced) continue;
+      auto mit = state->matches.find(id);
+      if (mit == state->matches.end()) {
+        delta.removals.push_back(id);
+      } else {
+        delta.upserts.emplace_back(id, mit->second);
+      }
+    }
+    if (delta.upserts.empty() && delta.removals.empty()) return;
+  }
+  // Claim synced only through now-1: reports delivered later this tick
+  // stamp dirty_at == now, which the next flush must still pick up.
+  // Re-sent objects are idempotent (full per-object interval sets).
+  state->mirror_subs[subscriber] = now > 0 ? now - 1 : 0;
+  size_t bytes = EstimateBytes(MessagePayload(delta));
+  if (rejoin_catchup) {
+    catchup_deltas_.Inc();
+    catchup_bytes_.Inc(static_cast<int64_t>(bytes));
+  } else {
+    mirror_deltas_.Inc();
+  }
+  channel_.SendReliable(subscriber, std::move(delta));
+}
+
+Status Coordinator::SubscribeAnswerMirror(uint64_t qid, NodeId subscriber) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(qid));
+  }
+  QueryState& state = it->second;
+  if (!state.continuous || state.strategy != DistStrategy::kBroadcastFilter) {
+    return Status::InvalidArgument(
+        "answer mirrors require a continuous broadcast-filter query");
+  }
+  state.mirror_subs[subscriber] = 0;
+  FlushMirror(qid, &state, subscriber, /*full=*/true, /*rejoin_catchup=*/false);
+  return Status::OK();
+}
+
+void Coordinator::OnJoin(const JoinRequest& join, NodeId from) {
+  Lease& lease = leases_[from];
+  bool new_incarnation = join.incarnation > lease.incarnation;
+  if (new_incarnation) {
+    lease.incarnation = join.incarnation;
+    // Fence the dead incarnation: restart our send stream under a higher
+    // epoch, re-enqueueing whatever was pending (queries issued while the
+    // node was down), so the reborn receiver adopts it instead of
+    // buffering old-epoch frames it can never complete.
+    channel_.RestartPeerStream(from);
+    rejoins_.Inc();
+  }
+  lease.expired_counted = false;
+  last_heard_[from] = clock_->Now();
+  std::set<uint64_t> claimed(join.subscribed_qids.begin(),
+                             join.subscribed_qids.end());
+  for (auto& [qid, state] : queries_) {
+    if (state.cancelled) continue;
+    if (state.continuous) {
+      state.expected.insert(from);
+      if (new_incarnation) {
+        // The reborn node owes a fresh QueryDone — it re-answers the
+        // subscriptions it recovered, and we re-send the ones it lost.
+        state.responded.erase(from);
+        state.completed = false;
+      }
+      if (claimed.count(qid) == 0) {
+        SendRequest(qid, state, from);
+        resyncs_.Inc();
+      }
+    } else if (!state.completed && state.expected.count(from) != 0 &&
+               state.responded.count(from) == 0) {
+      // An incomplete one-shot: the request may have been delivered but
+      // unanswered when the node died (nothing durable marks it), so
+      // re-send. Anchored at issued_at, the late answer computes the
+      // same window the issuer asked for.
+      SendRequest(qid, state, from);
+      resyncs_.Inc();
+    }
+  }
+  // Subscriptions the node recovered for queries that no longer exist (or
+  // were cancelled while it was dead) get a reliable cancel.
+  for (uint64_t qid : claimed) {
+    auto it = queries_.find(qid);
+    if (it == queries_.end() || it->second.cancelled) {
+      channel_.SendReliable(from, CancelQuery{qid});
+    }
+  }
+  // Mirror catch-up from the anchors the node recovered: per-object
+  // deltas since each anchor (or the full mirror when delta_catchup is
+  // off — the bench baseline). anchor-1 because a flush at tick T claims
+  // only T-1: changes stamped later within T must be re-sent.
+  for (const auto& [qid, anchor] : join.mirror_anchors) {
+    auto it = queries_.find(qid);
+    if (it == queries_.end() || it->second.cancelled) continue;
+    QueryState& state = it->second;
+    state.mirror_subs[from] = anchor > 0 ? anchor - 1 : 0;
+    FlushMirror(qid, &state, from, /*full=*/!options_.delta_catchup,
+                /*rejoin_catchup=*/true);
+  }
+  JoinAck ack;
+  ack.incarnation = join.incarnation;
+  ack.lease_until =
+      TickSaturatingAdd(clock_->Now(), options_.liveness_timeout);
+  channel_.SendReliable(from, ack);
+  UpdateMissingGauge();
+}
+
 void Coordinator::HandleMessage(const Message& message) {
+  if (const auto* join = std::get_if<JoinRequest>(&message.payload)) {
+    OnJoin(*join, message.from);
+    return;
+  }
   if (const auto* done = std::get_if<QueryDone>(&message.payload)) {
     auto it = queries_.find(done->qid);
     if (it != queries_.end()) {
@@ -316,9 +530,15 @@ void Coordinator::HandleMessage(const Message& message) {
   state.states[report->state.id] = report->state;
   if (state.strategy == DistStrategy::kBroadcastFilter) {
     if (report->when.empty()) {
-      state.matches.erase(report->state.id);
+      if (state.matches.erase(report->state.id) != 0) {
+        state.dirty_at[report->state.id] = clock_->Now();
+      }
     } else {
-      state.matches[report->state.id] = report->when;
+      IntervalSet& slot = state.matches[report->state.id];
+      if (!(slot == report->when)) {
+        slot = report->when;
+        state.dirty_at[report->state.id] = clock_->Now();
+      }
     }
   }
 }

@@ -32,6 +32,21 @@ enum class DistQueryClass {
 /// * relationship queries: collect every object at M (the paper's "most
 ///   efficient way") and evaluate the multi-variable query centrally.
 ///
+/// Epoch-leased membership (docs/distributed.md "Crash, rejoin, and
+/// catch-up"): every node heard from holds a lease renewed by any traffic
+/// (beacons double as heartbeats) and swept each tick. A lease expired
+/// past liveness_timeout degrades every active continuous query's answer
+/// to Confidence::kStale with the node in the missing set — even if the
+/// node completed earlier — because a dead node's matches are dead
+/// reckoning, not vouched-for state. A crashed node announces its rebirth
+/// with a JoinRequest carrying a bumped incarnation; the coordinator
+/// fences the dead incarnation's stream (RestartPeerStream re-enqueues
+/// in-flight requests under a higher epoch), re-installs whatever the
+/// node did not recover from its own WAL, cancels subscriptions it
+/// recovered for queries that no longer exist, and catches its Answer(CQ)
+/// mirrors up from their recovered anchors with per-object AnswerDeltas
+/// instead of full re-sends.
+///
 /// The coordinator is asynchronous: issue a query, advance the clock and
 /// call SimNetwork::DeliverDue(), then read results.
 ///
@@ -61,6 +76,11 @@ class Coordinator {
     /// overload shows up in metrics. With unbounded channel buffers the
     /// endpoint keeps retransmitting, so late answers still converge.
     Tick query_deadline = 64;
+    /// Rejoin catch-up mode: true sends a rejoining mirror subscriber
+    /// only the objects dirtied since its recovered anchor; false
+    /// re-sends the full answer mirror — the baseline the recovery
+    /// scenario of bench_distributed measures delta catch-up against.
+    bool delta_catchup = true;
     ReliableEndpoint::Options channel;
   };
 
@@ -120,6 +140,14 @@ class Coordinator {
     std::map<ObjectId, ObjectState> states;
     /// Matches reported by nodes (broadcast strategy).
     std::map<ObjectId, IntervalSet> matches;
+    /// Per-object tick of the last change to `matches` (set or erase):
+    /// the wire form of the QueryManager's dirty sets. A mirror anchored
+    /// at tick a is brought current by re-sending exactly the objects
+    /// with dirty_at > a.
+    std::map<ObjectId, Tick> dirty_at;
+    /// Answer-mirror subscribers: node id → tick through which that
+    /// node's mirror is known to reflect every change.
+    std::map<NodeId, Tick> mirror_subs;
 
     /// expected − responded: the nodes a partial answer is missing.
     std::set<NodeId> MissingNodes() const;
@@ -161,6 +189,28 @@ class Coordinator {
   bool IsLive(NodeId node) const;
   std::set<NodeId> LiveNodes() const;
 
+  /// Nodes that once held a lease (were heard from) but are currently
+  /// silent past liveness_timeout. While any expected node's lease is
+  /// expired, no active continuous query reads kCertain.
+  std::set<NodeId> ExpiredLeases() const;
+
+  /// Registers `subscriber` for Answer(CQ) mirror pushes of `qid` (a
+  /// continuous broadcast-filter query): an immediate full snapshot, then
+  /// a per-object AnswerDelta each tick the answer changed. A crashed
+  /// subscriber that rejoins resumes from the anchor it recovered from
+  /// its own WAL instead of a full re-send (Options::delta_catchup).
+  Status SubscribeAnswerMirror(uint64_t qid, NodeId subscriber);
+
+  /// Crash/rejoin bookkeeping, snapshotted from the most_coord_* series.
+  struct RecoveryStats {
+    uint64_t rejoins = 0;            ///< JoinRequests with a new incarnation.
+    uint64_t lease_expirations = 0;  ///< Live→expired lease transitions.
+    uint64_t catchup_deltas = 0;     ///< Rejoin catch-up AnswerDeltas sent.
+    uint64_t catchup_bytes = 0;      ///< Their estimated wire bytes.
+    uint64_t mirror_deltas = 0;      ///< Steady-state mirror pushes.
+  };
+  RecoveryStats recovery_stats() const;
+
  private:
   void HandleMessage(const Message& message);
   /// Raw-traffic observer: refreshes liveness and re-syncs continuous
@@ -172,6 +222,26 @@ class Coordinator {
   /// Recomputes most_coord_missing_nodes: expected-but-silent nodes summed
   /// over active (uncancelled, incomplete) queries.
   void UpdateMissingGauge();
+  /// Per-tick maintenance: lease sweep (counting live→expired
+  /// transitions) and steady-state mirror flushes to live subscribers.
+  void OnTick();
+  /// JoinRequest handler: fences the dead incarnation, re-syncs
+  /// subscriptions, and catches mirrors up from recovered anchors.
+  void OnJoin(const JoinRequest& join, NodeId from);
+  /// MissingNodes() with epoch-lease degradation folded in: an active
+  /// continuous query also misses every expected node whose lease has
+  /// expired, responded or not.
+  std::set<NodeId> EffectiveMissing(const QueryState& state) const;
+  /// Sends `subscriber` one AnswerDelta: the objects dirtied since its
+  /// synced-through tick (or the full mirror when `full`), advancing its
+  /// synced-through mark. Skipped when nothing changed (delta mode).
+  void FlushMirror(uint64_t qid, QueryState* state, NodeId subscriber,
+                   bool full, bool rejoin_catchup);
+
+  struct Lease {
+    uint64_t incarnation = 0;
+    bool expired_counted = false;  ///< Current expiry already counted.
+  };
 
   SimNetwork* network_;
   Clock* clock_;
@@ -179,8 +249,11 @@ class Coordinator {
   Options options_;
   ReliableEndpoint channel_;
   uint64_t next_qid_ = 1;
+  uint64_t tick_hook_id_ = 0;
+  Tick last_sweep_tick_ = -1;
   std::map<uint64_t, QueryState> queries_;
   std::map<NodeId, Tick> last_heard_;
+  std::map<NodeId, Lease> leases_;
   /// Queries whose deadline expiry has already been counted (DeadlinePassed
   /// is const and idempotent; the metric must fire once per query).
   mutable std::set<uint64_t> deadline_counted_;
@@ -193,8 +266,14 @@ class Coordinator {
   /// until the partition-heal re-sync reaches it.
   obs::Counter requests_shed_;
   mutable obs::Counter deadline_expired_;
+  obs::Counter lease_expirations_;
+  obs::Counter rejoins_;
+  obs::Counter catchup_deltas_;
+  obs::Counter catchup_bytes_;
+  obs::Counter mirror_deltas_;
   obs::Histogram completion_lag_;
   obs::Gauge missing_nodes_gauge_;
+  obs::Gauge leases_active_gauge_;
   std::vector<uint64_t> attach_ids_;
 };
 

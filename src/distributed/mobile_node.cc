@@ -1,6 +1,7 @@
 #include "distributed/mobile_node.h"
 
 #include "ftl/eval.h"
+#include "ftl/query_manager.h"
 
 namespace most {
 
@@ -46,25 +47,113 @@ MobileNode::MobileNode(SimNetwork* network, Clock* clock, ObjectState initial,
       clock_(clock),
       state_(std::move(initial)),
       regions_(std::move(regions)),
-      options_(options),
-      channel_(network, clock, options.channel),
-      home_(options.home) {
-  channel_.SetHandler([this](const Message& m) { HandleMessage(m); });
+      options_(std::move(options)),
+      home_(options_.home) {
+  ReliableEndpoint::Options channel_options = options_.channel;
+  RecoveredNodeState recovered;
+  if (!options_.wal_path.empty()) {
+    store_ = std::make_unique<NodeDurableState>(options_.wal_path);
+    if (store_->Open(&recovered).ok()) {
+      if (recovered.found) {
+        // A prior incarnation left its state behind: this construction is
+        // a restart, not a first boot. Resume its identity and bump the
+        // incarnation — the new send-stream epoch fences whatever frames
+        // the dead incarnation still has in flight.
+        recovered_ = true;
+        state_ = recovered.state;
+        if (recovered.home != kInvalidNodeId) home_ = recovered.home;
+        incarnation_ = recovered.incarnation + 1;
+        channel_options.reclaim_node_id = recovered.node_id;
+        channel_options.initial_epoch = incarnation_;
+      }
+    } else {
+      store_.reset();  // Unusable log: degrade to the in-memory node.
+    }
+  }
+  channel_ =
+      std::make_unique<ReliableEndpoint>(network_, clock_, channel_options);
+  channel_->SetHandler([this](const Message& m) { HandleMessage(m); });
   tick_hook_id_ = network_->AddTickHook([this] { OnTick(); });
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  attach_ids_ = {
+      r.AttachCounter("most_node_recoveries_total",
+                      "Node incarnations recovered from a WAL", {},
+                      &recoveries_),
+      r.AttachCounter("most_node_deltas_applied_total",
+                      "AnswerDelta catch-up messages applied to mirrors", {},
+                      &deltas_applied_counter_),
+  };
+  PersistIdentity();
+  PersistState();
+  if (recovered_) {
+    recoveries_.Inc();
+    for (const RecoveredNodeState::Subscription& sub :
+         recovered.subscriptions) {
+      subscriptions_[sub.request.qid] =
+          Subscription{sub.request, sub.issuer, false, {}};
+    }
+    for (auto& [qid, mirror] : recovered.mirrors) {
+      mirrors_[qid] = Mirror{mirror.anchor, std::move(mirror.rows)};
+    }
+    Rejoin();
+  }
 }
 
-MobileNode::~MobileNode() { network_->RemoveTickHook(tick_hook_id_); }
+MobileNode::~MobileNode() {
+  network_->RemoveTickHook(tick_hook_id_);
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  for (uint64_t id : attach_ids_) r.DetachMetric(id);
+}
+
+void MobileNode::PersistIdentity() {
+  if (!store_) return;
+  // Best-effort: an injected append failure (wal/append/enospc) leaves the
+  // previous durable identity standing, which a restart then recovers.
+  (void)store_->SaveIdentity(channel_->node_id(), home_, incarnation_);
+}
+
+void MobileNode::PersistState() {
+  if (!store_) return;
+  (void)store_->SaveState(state_);
+}
+
+void MobileNode::Rejoin() {
+  if (home_ == kInvalidNodeId) return;
+  JoinRequest join;
+  join.incarnation = incarnation_;
+  join.state = state_;
+  for (const auto& [qid, sub] : subscriptions_) {
+    join.subscribed_qids.push_back(qid);
+  }
+  for (const auto& [qid, mirror] : mirrors_) {
+    join.mirror_anchors.emplace_back(qid, mirror.anchor);
+  }
+  channel_->SendReliable(home_, join);
+  // Re-answer every recovered subscription. The issuer may also re-send
+  // the request on seeing the JoinRequest; both paths are idempotent, and
+  // together they make delivery across the crash boundary at-least-once.
+  std::vector<std::pair<QueryRequest, NodeId>> recovered_subs;
+  recovered_subs.reserve(subscriptions_.size());
+  for (const auto& [qid, sub] : subscriptions_) {
+    recovered_subs.emplace_back(sub.request, sub.issuer);
+  }
+  for (const auto& [request, issuer] : recovered_subs) {
+    AnswerRequest(request, issuer);
+  }
+}
 
 void MobileNode::UpdateMotion(Point2 position, Vec2 velocity) {
   state_.position = position;
   state_.velocity = velocity;
   state_.at = clock_->Now();
+  PersistState();
   ServiceSubscriptions();
 }
 
 void MobileNode::UpdateAttr(const std::string& name, double value) {
   state_.attrs[name] = value;
   state_.at = clock_->Now();
+  PersistState();
   ServiceSubscriptions();
 }
 
@@ -95,55 +184,117 @@ Result<IntervalSet> MobileNode::EvaluateAnchored(const FtlQuery& query,
   return it->second;
 }
 
+const std::map<ObjectId, IntervalSet>* MobileNode::AnswerMirror(
+    uint64_t qid) const {
+  auto it = mirrors_.find(qid);
+  return it == mirrors_.end() ? nullptr : &it->second.rows;
+}
+
+Tick MobileNode::MirrorAnchor(uint64_t qid) const {
+  auto it = mirrors_.find(qid);
+  return it == mirrors_.end() ? 0 : it->second.anchor;
+}
+
+void MobileNode::AnswerRequest(const QueryRequest& request, NodeId issuer) {
+  if (request.strategy == DistStrategy::kCollect) {
+    // Strategy 1: just ship the object to the issuer. A continuous
+    // collect-query keeps shipping on every change (see
+    // ServiceSubscriptions).
+    ObjectReport report;
+    report.qid = request.qid;
+    report.state = state_;
+    channel_->SendReliable(issuer, report);
+    if (request.continuous) {
+      subscriptions_[request.qid] = {request, issuer, false, {}};
+      if (store_) (void)store_->SaveSubscription(request, issuer);
+    }
+    channel_->SendReliable(issuer, QueryDone{request.qid});
+    return;
+  }
+  // Strategy 2: evaluate locally; reply only when satisfied. One-shot
+  // requests are anchored at their issue tick so a delayed
+  // (retransmitted) delivery computes the same answer.
+  Tick anchor = request.continuous ? clock_->Now() : request.issued_at;
+  Result<IntervalSet> when =
+      EvaluateAnchored(request.query, request.horizon, anchor);
+  if (!when.ok()) return;  // Malformed query: stay silent.
+  if (request.continuous) {
+    // A (re-)subscription always reports the current answer, even an
+    // empty one: after a partition heals, the re-synced report corrects
+    // whatever stale match the issuer may still hold for this node.
+    ObjectReport report;
+    report.qid = request.qid;
+    report.state = state_;
+    report.satisfies = !when->empty();
+    report.when = *when;
+    channel_->SendReliable(issuer, report);
+    subscriptions_[request.qid] = Subscription{request, issuer, true, *when};
+    if (store_) (void)store_->SaveSubscription(request, issuer);
+  } else if (!when->empty()) {
+    ObjectReport report;
+    report.qid = request.qid;
+    report.state = state_;
+    report.satisfies = true;
+    report.when = *when;
+    channel_->SendReliable(issuer, report);
+  }
+  channel_->SendReliable(issuer, QueryDone{request.qid});
+}
+
+void MobileNode::ApplyAnswerDelta(const AnswerDelta& delta) {
+  Mirror& mirror = mirrors_[delta.qid];
+  // A delta anchored at or before what the mirror already reflects is a
+  // duplicate (at-least-once across a crash boundary) or arrived out of
+  // band: skip it rather than regress the anchor.
+  if (mirror.anchor != 0 && delta.anchor <= mirror.anchor) return;
+  if (delta.full) {
+    mirror.rows.clear();
+    if (store_) (void)store_->ClearMirror(delta.qid);
+  }
+  SpliceAnswerDelta(&mirror.rows, delta.upserts, delta.removals);
+  if (store_) {
+    for (const auto& [obj, when] : delta.upserts) {
+      if (when.empty()) {
+        (void)store_->RemoveMirrorRow(delta.qid, obj);
+      } else {
+        (void)store_->UpsertMirrorRow(delta.qid, obj, when);
+      }
+    }
+    for (ObjectId obj : delta.removals) {
+      (void)store_->RemoveMirrorRow(delta.qid, obj);
+    }
+  }
+  mirror.anchor = delta.anchor;
+  if (store_) (void)store_->SaveMirrorAnchor(delta.qid, delta.anchor);
+  ++deltas_applied_;
+  deltas_applied_counter_.Inc();
+}
+
 void MobileNode::HandleMessage(const Message& message) {
   if (const auto* request = std::get_if<QueryRequest>(&message.payload)) {
-    if (home_ == kInvalidNodeId) home_ = message.from;
-    if (request->strategy == DistStrategy::kCollect) {
-      // Strategy 1: just ship the object to the issuer. A continuous
-      // collect-query keeps shipping on every change (see
-      // ServiceSubscriptions).
-      ObjectReport report;
-      report.qid = request->qid;
-      report.state = state_;
-      channel_.SendReliable(message.from, report);
-      if (request->continuous) {
-        subscriptions_[request->qid] = {*request, message.from, false, {}};
-      }
-      channel_.SendReliable(message.from, QueryDone{request->qid});
-      return;
+    if (home_ == kInvalidNodeId) {
+      home_ = message.from;
+      PersistIdentity();
     }
-    // Strategy 2: evaluate locally; reply only when satisfied. One-shot
-    // requests are anchored at their issue tick so a delayed
-    // (retransmitted) delivery computes the same answer.
-    Tick anchor = request->continuous ? clock_->Now() : request->issued_at;
-    Result<IntervalSet> when =
-        EvaluateAnchored(request->query, request->horizon, anchor);
-    if (!when.ok()) return;  // Malformed query: stay silent.
-    if (request->continuous) {
-      // A (re-)subscription always reports the current answer, even an
-      // empty one: after a partition heals, the re-synced report corrects
-      // whatever stale match the issuer may still hold for this node.
-      ObjectReport report;
-      report.qid = request->qid;
-      report.state = state_;
-      report.satisfies = !when->empty();
-      report.when = *when;
-      channel_.SendReliable(message.from, report);
-      subscriptions_[request->qid] =
-          Subscription{*request, message.from, true, *when};
-    } else if (!when->empty()) {
-      ObjectReport report;
-      report.qid = request->qid;
-      report.state = state_;
-      report.satisfies = true;
-      report.when = *when;
-      channel_.SendReliable(message.from, report);
-    }
-    channel_.SendReliable(message.from, QueryDone{request->qid});
+    AnswerRequest(*request, message.from);
     return;
   }
   if (const auto* cancel = std::get_if<CancelQuery>(&message.payload)) {
     subscriptions_.erase(cancel->qid);
+    mirrors_.erase(cancel->qid);
+    if (store_) {
+      (void)store_->RemoveSubscription(cancel->qid);
+      (void)store_->ClearMirror(cancel->qid);
+    }
+    return;
+  }
+  if (const auto* delta = std::get_if<AnswerDelta>(&message.payload)) {
+    ApplyAnswerDelta(*delta);
+    return;
+  }
+  if (std::get_if<JoinAck>(&message.payload) != nullptr) {
+    // The coordinator acknowledged the rejoin; nothing further to do —
+    // the lease is the coordinator's bookkeeping, renewed by beacons.
     return;
   }
 }
@@ -155,7 +306,7 @@ void MobileNode::ServiceSubscriptions() {
       ObjectReport report;
       report.qid = qid;
       report.state = state_;
-      channel_.SendReliable(sub.issuer, report);
+      channel_->SendReliable(sub.issuer, report);
       continue;
     }
     // Strategy 2 continuous: transmit only when the local answer changed.
@@ -170,7 +321,7 @@ void MobileNode::ServiceSubscriptions() {
     report.state = state_;
     report.satisfies = !when->empty();
     report.when = *when;
-    channel_.SendReliable(sub.issuer, report);
+    channel_->SendReliable(sub.issuer, report);
   }
 }
 
@@ -181,7 +332,7 @@ void MobileNode::OnTick() {
   // run several times within one).
   if (now % options_.beacon_interval != 0 || now == last_beacon_tick_) return;
   last_beacon_tick_ = now;
-  channel_.SendBestEffort(home_, state_);
+  channel_->SendBestEffort(home_, state_);
 }
 
 }  // namespace most

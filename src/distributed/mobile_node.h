@@ -7,6 +7,7 @@
 
 #include "core/object_model.h"
 #include "distributed/network.h"
+#include "distributed/node_store.h"
 #include "distributed/reliable_channel.h"
 
 namespace most {
@@ -40,6 +41,18 @@ Result<std::unique_ptr<MostDatabase>> BuildDatabaseFromStates(
 /// After answering a query request the node always sends QueryDone, which
 /// (being ordered after its reports on the same stream) tells the issuer
 /// this node's contribution is complete.
+///
+/// Crash/restart (docs/distributed.md "Crash, rejoin, and catch-up"): with
+/// Options::wal_path set, the node's identity, object state, continuous
+/// subscriptions, and Answer(CQ) mirrors are backed by a NodeDurableState
+/// WAL. Destroying the node models a process kill (the SimNetwork entry
+/// survives with a nulled handler); constructing a new node on the same
+/// wal_path recovers the pre-crash state, reclaims the network id, bumps
+/// the incarnation (which becomes the send-stream epoch fencing the dead
+/// stream), announces itself with a JoinRequest, and re-answers every
+/// recovered subscription. Delivery across the crash boundary is
+/// at-least-once — re-subscription and re-report are idempotent — while
+/// within one incarnation the channel's exactly-once ordering holds.
 class MobileNode {
  public:
   struct Options {
@@ -50,6 +63,9 @@ class MobileNode {
     /// The coordinator beacons are sent to. If unset, learned from the
     /// sender of the first QueryRequest.
     NodeId home = kInvalidNodeId;
+    /// Durable backing: path of this node's write-ahead log. Empty keeps
+    /// the legacy in-memory node (state dies with the process).
+    std::string wal_path;
     ReliableEndpoint::Options channel;
   };
 
@@ -61,10 +77,10 @@ class MobileNode {
              std::map<std::string, Polygon> regions, Options options);
   ~MobileNode();
 
-  NodeId node_id() const { return channel_.node_id(); }
+  NodeId node_id() const { return channel_->node_id(); }
   ObjectId object_id() const { return state_.id; }
   const ObjectState& state() const { return state_; }
-  const ReliableEndpoint& channel() const { return channel_; }
+  const ReliableEndpoint& channel() const { return *channel_; }
 
   /// Local sensor update: the vehicle changed speed or direction. Updates
   /// the onboard object and services continuous subscriptions.
@@ -81,6 +97,20 @@ class MobileNode {
   uint64_t predicate_evaluations() const { return predicate_evaluations_; }
   size_t active_subscriptions() const { return subscriptions_.size(); }
 
+  /// True when this incarnation was recovered from a prior one's WAL.
+  bool recovered_from_wal() const { return recovered_; }
+  /// Incarnation counter: 0 on first boot, prior + 1 after each recovery.
+  /// Doubles as the send-stream epoch, so a reborn node's frames outrank
+  /// its dead pre-crash stream.
+  uint64_t incarnation() const { return incarnation_; }
+  /// AnswerDelta messages applied to local mirrors (catch-up activity).
+  uint64_t deltas_applied() const { return deltas_applied_; }
+
+  /// This node's local mirror of Answer(CQ) for `qid` (nullptr when the
+  /// node holds no mirror), and the anchor tick it reflects.
+  const std::map<ObjectId, IntervalSet>* AnswerMirror(uint64_t qid) const;
+  Tick MirrorAnchor(uint64_t qid) const;
+
  private:
   void HandleMessage(const Message& message);
   void ServiceSubscriptions();
@@ -90,6 +120,16 @@ class MobileNode {
   /// the answer the issuer asked for).
   Result<IntervalSet> EvaluateAnchored(const FtlQuery& query, Tick horizon,
                                        Tick anchor) const;
+  /// Answers one query request (both strategies, one-shot or continuous)
+  /// and records the subscription; shared by fresh deliveries and the
+  /// rejoin re-answer pass.
+  void AnswerRequest(const QueryRequest& request, NodeId issuer);
+  void ApplyAnswerDelta(const AnswerDelta& delta);
+  /// Announces a recovered incarnation to the home coordinator and
+  /// re-answers every recovered subscription.
+  void Rejoin();
+  void PersistIdentity();
+  void PersistState();
 
   struct Subscription {
     QueryRequest request;
@@ -97,18 +137,30 @@ class MobileNode {
     bool has_last = false;
     IntervalSet last_sent;
   };
+  struct Mirror {
+    Tick anchor = 0;
+    std::map<ObjectId, IntervalSet> rows;
+  };
 
   SimNetwork* network_;
   Clock* clock_;
   ObjectState state_;
   std::map<std::string, Polygon> regions_;
   Options options_;
-  ReliableEndpoint channel_;
+  std::unique_ptr<NodeDurableState> store_;
+  std::unique_ptr<ReliableEndpoint> channel_;
   uint64_t tick_hook_id_ = 0;
   NodeId home_ = kInvalidNodeId;
   Tick last_beacon_tick_ = -1;
+  bool recovered_ = false;
+  uint64_t incarnation_ = 0;
+  uint64_t deltas_applied_ = 0;
   std::map<uint64_t, Subscription> subscriptions_;
+  std::map<uint64_t, Mirror> mirrors_;
   mutable uint64_t predicate_evaluations_ = 0;
+  obs::Counter recoveries_;
+  obs::Counter deltas_applied_counter_;
+  std::vector<uint64_t> attach_ids_;
 };
 
 }  // namespace most

@@ -100,6 +100,9 @@ const char* PayloadTypeName(const MessagePayload& payload) {
     const char* operator()(const AnswerBlock&) const { return "answer_block"; }
     const char* operator()(const CancelQuery&) const { return "cancel_query"; }
     const char* operator()(const QueryDone&) const { return "query_done"; }
+    const char* operator()(const JoinRequest&) const { return "join_request"; }
+    const char* operator()(const JoinAck&) const { return "join_ack"; }
+    const char* operator()(const AnswerDelta&) const { return "answer_delta"; }
     const char* operator()(const ReliableFrame& f) const {
       return std::visit(*this, f.inner);
     }
@@ -129,6 +132,19 @@ size_t EstimateBytes(const MessagePayload& payload) {
     }
     size_t operator()(const CancelQuery&) const { return 8; }
     size_t operator()(const QueryDone&) const { return 8; }
+    size_t operator()(const JoinRequest& j) const {
+      return 8 + (*this)(j.state) + j.subscribed_qids.size() * 8 +
+             j.mirror_anchors.size() * 16;
+    }
+    size_t operator()(const JoinAck&) const { return 16; }
+    size_t operator()(const AnswerDelta& d) const {
+      // qid + flags + base + anchor, then per-object payloads.
+      size_t total = 8 + 1 + 8 + 8 + d.removals.size() * 8;
+      for (const auto& [id, when] : d.upserts) {
+        total += 8 + when.size() * 16;
+      }
+      return total;
+    }
     size_t operator()(const ReliableFrame& f) const {
       // Sequence number + epoch on top of the inner payload.
       return 16 + std::visit(*this, f.inner);

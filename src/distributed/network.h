@@ -83,9 +83,52 @@ struct QueryDone {
   uint64_t qid = 0;
 };
 
+/// Rejoin handshake from a durable node that restarted from its WAL
+/// (docs/distributed.md, "Crash, rejoin, and catch-up"). `incarnation` is
+/// the node's restart counter — strictly increasing across crashes, it
+/// doubles as the initial stream epoch, so frames from the node's dead
+/// pre-crash incarnation are fenced by the reliable channel's epoch
+/// machinery. The request names what the node already recovered on its
+/// own (its subscriptions and Answer(CQ) mirror anchors), so the
+/// coordinator only has to ship what the node missed while dead.
+struct JoinRequest {
+  uint64_t incarnation = 0;
+  ObjectState state;
+  /// Continuous subscriptions recovered from the node's WAL; the node
+  /// re-reports these itself, so the coordinator must not re-send them.
+  std::vector<uint64_t> subscribed_qids;
+  /// qid -> anchor tick of each recovered Answer(CQ) mirror: the mirror
+  /// reflects every coordinator-side change stamped <= anchor, so the
+  /// catch-up delta starts right after it.
+  std::vector<std::pair<uint64_t, Tick>> mirror_anchors;
+};
+
+/// Coordinator's lease grant answering a JoinRequest: the node is a
+/// member until `lease_until` unless renewed by heartbeat traffic.
+struct JoinAck {
+  uint64_t incarnation = 0;
+  Tick lease_until = 0;
+};
+
+/// A slice of a continuous query's Answer(CQ), pushed coordinator->node
+/// so mirrors splice per-object deltas instead of re-requesting the full
+/// relation (ROADMAP item (b); the wire form of QueryManager::OnUpdate's
+/// dirty sets). `full` replaces the whole mirror (the legacy resync
+/// path, kept for the bench comparison); otherwise the delta covers
+/// exactly the objects whose answer changed in (base, anchor].
+struct AnswerDelta {
+  uint64_t qid = 0;
+  bool full = false;
+  Tick base = 0;
+  Tick anchor = 0;
+  std::vector<std::pair<ObjectId, IntervalSet>> upserts;
+  std::vector<ObjectId> removals;
+};
+
 /// Application-level payloads (what handlers see).
-using AppPayload = std::variant<ObjectState, QueryRequest, ObjectReport,
-                                AnswerBlock, CancelQuery, QueryDone>;
+using AppPayload =
+    std::variant<ObjectState, QueryRequest, ObjectReport, AnswerBlock,
+                 CancelQuery, QueryDone, JoinRequest, JoinAck, AnswerDelta>;
 
 /// A sequenced frame of the reliable channel (reliable_channel.h): the
 /// app payload plus its per-(src,dst) sequence number and stream epoch.
@@ -110,7 +153,8 @@ struct AckFrame {
 
 using MessagePayload =
     std::variant<ObjectState, QueryRequest, ObjectReport, AnswerBlock,
-                 CancelQuery, QueryDone, ReliableFrame, AckFrame>;
+                 CancelQuery, QueryDone, JoinRequest, JoinAck, AnswerDelta,
+                 ReliableFrame, AckFrame>;
 
 /// Short stable name of a payload's type ("query_request", "ack", ...).
 /// Reliable frames resolve to their inner payload's name, so failpoint
@@ -185,6 +229,10 @@ class SimNetwork {
 
   NodeId AddNode(Handler handler);
   void SetHandler(NodeId node, Handler handler);
+  /// True when `node` was ever added (its entry — and thus its id —
+  /// survives a crashed endpoint whose handler was nulled; restarting
+  /// endpoints reclaim the id via ReliableEndpoint::Options).
+  bool HasNode(NodeId node) const { return nodes_.count(node) > 0; }
   size_t num_nodes() const { return nodes_.size(); }
   std::vector<NodeId> NodeIds() const;
 

@@ -1,0 +1,324 @@
+#include "distributed/node_store.h"
+
+#include <cstdlib>
+
+#include "ftl/parser.h"
+
+namespace most {
+
+namespace {
+
+constexpr char kMetaTable[] = "meta";
+constexpr char kStateTable[] = "state";
+constexpr char kAttrsTable[] = "attrs";
+constexpr char kSubsTable[] = "subs";
+constexpr char kMirrorTable[] = "mirror";
+constexpr char kAnchorTable[] = "manchor";
+
+int64_t AsInt(const Value& v) {
+  return v.type() == ValueType::kInt ? v.int_value() : 0;
+}
+
+double AsReal(const Value& v) {
+  if (v.type() == ValueType::kDouble) return v.double_value();
+  if (v.type() == ValueType::kInt) return static_cast<double>(v.int_value());
+  return 0.0;
+}
+
+std::string AsText(const Value& v) {
+  return v.type() == ValueType::kString ? v.string_value() : std::string();
+}
+
+Result<ResultSet> SelectAll(const DurableDatabase& db,
+                            const std::string& table) {
+  SelectQuery q;
+  q.table = table;
+  return db.ExecuteSelect(q);
+}
+
+}  // namespace
+
+std::string EncodeIntervalSet(const IntervalSet& set) {
+  std::string out;
+  for (const Interval& iv : set.intervals()) {
+    if (!out.empty()) out += ';';
+    out += std::to_string(iv.begin) + ':' + std::to_string(iv.end);
+  }
+  return out;
+}
+
+IntervalSet DecodeIntervalSet(const std::string& text) {
+  std::vector<Interval> ivs;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t sep = text.find(';', pos);
+    if (sep == std::string::npos) sep = text.size();
+    std::string piece = text.substr(pos, sep - pos);
+    pos = sep + 1;
+    size_t colon = piece.find(':');
+    if (colon == std::string::npos) continue;
+    Tick begin = std::strtoll(piece.c_str(), nullptr, 10);
+    Tick end = std::strtoll(piece.c_str() + colon + 1, nullptr, 10);
+    ivs.emplace_back(begin, end);
+  }
+  return IntervalSet::FromIntervals(std::move(ivs));
+}
+
+Status NodeDurableState::EnsureTables() {
+  const Database& db = db_.database();
+  if (!db.HasTable(kMetaTable)) {
+    MOST_RETURN_IF_ERROR(
+        db_.CreateTable(kMetaTable, Schema({{"k", ValueType::kString},
+                                            {"v", ValueType::kString}}))
+            .status());
+  }
+  if (!db.HasTable(kStateTable)) {
+    MOST_RETURN_IF_ERROR(
+        db_.CreateTable(kStateTable, Schema({{"obj", ValueType::kInt},
+                                             {"at", ValueType::kInt},
+                                             {"x", ValueType::kDouble},
+                                             {"y", ValueType::kDouble},
+                                             {"vx", ValueType::kDouble},
+                                             {"vy", ValueType::kDouble}}))
+            .status());
+  }
+  if (!db.HasTable(kAttrsTable)) {
+    MOST_RETURN_IF_ERROR(
+        db_.CreateTable(kAttrsTable, Schema({{"name", ValueType::kString},
+                                             {"value", ValueType::kDouble}}))
+            .status());
+  }
+  if (!db.HasTable(kSubsTable)) {
+    MOST_RETURN_IF_ERROR(
+        db_.CreateTable(kSubsTable, Schema({{"qid", ValueType::kInt},
+                                            {"issuer", ValueType::kInt},
+                                            {"strategy", ValueType::kInt},
+                                            {"continuous", ValueType::kInt},
+                                            {"horizon", ValueType::kInt},
+                                            {"issued_at", ValueType::kInt},
+                                            {"query", ValueType::kString}}))
+            .status());
+  }
+  if (!db.HasTable(kMirrorTable)) {
+    MOST_RETURN_IF_ERROR(
+        db_.CreateTable(kMirrorTable, Schema({{"qid", ValueType::kInt},
+                                              {"obj", ValueType::kInt},
+                                              {"whn", ValueType::kString}}))
+            .status());
+  }
+  if (!db.HasTable(kAnchorTable)) {
+    MOST_RETURN_IF_ERROR(
+        db_.CreateTable(kAnchorTable, Schema({{"qid", ValueType::kInt},
+                                              {"anchor", ValueType::kInt}}))
+            .status());
+  }
+  return Status::OK();
+}
+
+void NodeDurableState::Decode(RecoveredNodeState* recovered) {
+  // meta: identity. The node_id key doubling as the "prior incarnation
+  // existed" witness.
+  if (auto rs = SelectAll(db_, kMetaTable); rs.ok()) {
+    for (size_t i = 0; i < rs->rows.size(); ++i) {
+      const Row& row = rs->rows[i];
+      if (row.size() < 2) continue;
+      std::string key = AsText(row[0]);
+      meta_rows_[key] = rs->row_ids[i];
+      std::string value = AsText(row[1]);
+      if (key == "node_id") {
+        recovered->found = true;
+        recovered->node_id =
+            static_cast<NodeId>(std::strtoull(value.c_str(), nullptr, 10));
+      } else if (key == "home") {
+        recovered->home =
+            static_cast<NodeId>(std::strtoull(value.c_str(), nullptr, 10));
+      } else if (key == "incarnation") {
+        recovered->incarnation = std::strtoull(value.c_str(), nullptr, 10);
+      }
+    }
+  }
+  if (auto rs = SelectAll(db_, kStateTable); rs.ok() && !rs->rows.empty()) {
+    const Row& row = rs->rows.back();
+    if (row.size() >= 6) {
+      has_state_row_ = true;
+      state_row_ = rs->row_ids.back();
+      recovered->state.id = static_cast<ObjectId>(AsInt(row[0]));
+      recovered->state.at = AsInt(row[1]);
+      recovered->state.position = {AsReal(row[2]), AsReal(row[3])};
+      recovered->state.velocity = {AsReal(row[4]), AsReal(row[5])};
+    }
+  }
+  if (auto rs = SelectAll(db_, kAttrsTable); rs.ok()) {
+    for (size_t i = 0; i < rs->rows.size(); ++i) {
+      const Row& row = rs->rows[i];
+      if (row.size() < 2) continue;
+      std::string name = AsText(row[0]);
+      attr_rows_[name] = rs->row_ids[i];
+      recovered->state.attrs[name] = AsReal(row[1]);
+    }
+  }
+  if (auto rs = SelectAll(db_, kSubsTable); rs.ok()) {
+    for (size_t i = 0; i < rs->rows.size(); ++i) {
+      const Row& row = rs->rows[i];
+      if (row.size() < 7) continue;
+      auto parsed = ParseQuery(AsText(row[6]));
+      if (!parsed.ok()) continue;  // Salvaged-around garbage: skip.
+      RecoveredNodeState::Subscription sub;
+      sub.request.qid = static_cast<uint64_t>(AsInt(row[0]));
+      sub.issuer = static_cast<NodeId>(AsInt(row[1]));
+      sub.request.strategy = AsInt(row[2]) == 0 ? DistStrategy::kCollect
+                                                : DistStrategy::kBroadcastFilter;
+      sub.request.continuous = AsInt(row[3]) != 0;
+      sub.request.horizon = AsInt(row[4]);
+      sub.request.issued_at = AsInt(row[5]);
+      sub.request.query = *parsed;
+      sub_rows_[sub.request.qid] = rs->row_ids[i];
+      recovered->subscriptions.push_back(std::move(sub));
+    }
+  }
+  if (auto rs = SelectAll(db_, kAnchorTable); rs.ok()) {
+    for (size_t i = 0; i < rs->rows.size(); ++i) {
+      const Row& row = rs->rows[i];
+      if (row.size() < 2) continue;
+      uint64_t qid = static_cast<uint64_t>(AsInt(row[0]));
+      anchor_rows_[qid] = rs->row_ids[i];
+      recovered->mirrors[qid].anchor = AsInt(row[1]);
+    }
+  }
+  if (auto rs = SelectAll(db_, kMirrorTable); rs.ok()) {
+    for (size_t i = 0; i < rs->rows.size(); ++i) {
+      const Row& row = rs->rows[i];
+      if (row.size() < 3) continue;
+      uint64_t qid = static_cast<uint64_t>(AsInt(row[0]));
+      ObjectId obj = static_cast<ObjectId>(AsInt(row[1]));
+      mirror_rows_[{qid, obj}] = rs->row_ids[i];
+      recovered->mirrors[qid].rows[obj] = DecodeIntervalSet(AsText(row[2]));
+    }
+  }
+}
+
+Status NodeDurableState::Open(RecoveredNodeState* recovered) {
+  *recovered = RecoveredNodeState();
+  MOST_RETURN_IF_ERROR(db_.Open(path_));
+  MOST_RETURN_IF_ERROR(EnsureTables());
+  Decode(recovered);
+  return Status::OK();
+}
+
+Status NodeDurableState::PutMeta(const std::string& key,
+                                 const std::string& value) {
+  Row row = {Value(key), Value(value)};
+  auto it = meta_rows_.find(key);
+  if (it != meta_rows_.end()) {
+    return db_.Update(kMetaTable, it->second, std::move(row));
+  }
+  MOST_ASSIGN_OR_RETURN(RowId rid, db_.Insert(kMetaTable, std::move(row)));
+  meta_rows_[key] = rid;
+  return Status::OK();
+}
+
+Status NodeDurableState::SaveIdentity(NodeId node_id, NodeId home,
+                                      uint64_t incarnation) {
+  MOST_RETURN_IF_ERROR(PutMeta("node_id", std::to_string(node_id)));
+  MOST_RETURN_IF_ERROR(PutMeta("home", std::to_string(home)));
+  return PutMeta("incarnation", std::to_string(incarnation));
+}
+
+Status NodeDurableState::SaveState(const ObjectState& state) {
+  Row row = {Value(static_cast<int64_t>(state.id)),
+             Value(static_cast<int64_t>(state.at)),
+             Value(state.position.x),
+             Value(state.position.y),
+             Value(state.velocity.x),
+             Value(state.velocity.y)};
+  if (has_state_row_) {
+    MOST_RETURN_IF_ERROR(db_.Update(kStateTable, state_row_, std::move(row)));
+  } else {
+    MOST_ASSIGN_OR_RETURN(state_row_, db_.Insert(kStateTable, std::move(row)));
+    has_state_row_ = true;
+  }
+  for (const auto& [name, value] : state.attrs) {
+    Row attr = {Value(name), Value(value)};
+    auto it = attr_rows_.find(name);
+    if (it != attr_rows_.end()) {
+      MOST_RETURN_IF_ERROR(db_.Update(kAttrsTable, it->second,
+                                      std::move(attr)));
+    } else {
+      MOST_ASSIGN_OR_RETURN(RowId rid,
+                            db_.Insert(kAttrsTable, std::move(attr)));
+      attr_rows_[name] = rid;
+    }
+  }
+  return Status::OK();
+}
+
+Status NodeDurableState::SaveSubscription(const QueryRequest& request,
+                                          NodeId issuer) {
+  Row row = {Value(static_cast<int64_t>(request.qid)),
+             Value(static_cast<int64_t>(issuer)),
+             Value(static_cast<int64_t>(
+                 request.strategy == DistStrategy::kCollect ? 0 : 1)),
+             Value(static_cast<int64_t>(request.continuous ? 1 : 0)),
+             Value(static_cast<int64_t>(request.horizon)),
+             Value(static_cast<int64_t>(request.issued_at)),
+             Value(request.query.ToString())};
+  auto it = sub_rows_.find(request.qid);
+  if (it != sub_rows_.end()) {
+    return db_.Update(kSubsTable, it->second, std::move(row));
+  }
+  MOST_ASSIGN_OR_RETURN(RowId rid, db_.Insert(kSubsTable, std::move(row)));
+  sub_rows_[request.qid] = rid;
+  return Status::OK();
+}
+
+Status NodeDurableState::RemoveSubscription(uint64_t qid) {
+  auto it = sub_rows_.find(qid);
+  if (it == sub_rows_.end()) return Status::OK();
+  MOST_RETURN_IF_ERROR(db_.Delete(kSubsTable, it->second));
+  sub_rows_.erase(it);
+  return Status::OK();
+}
+
+Status NodeDurableState::SaveMirrorAnchor(uint64_t qid, Tick anchor) {
+  Row row = {Value(static_cast<int64_t>(qid)),
+             Value(static_cast<int64_t>(anchor))};
+  auto it = anchor_rows_.find(qid);
+  if (it != anchor_rows_.end()) {
+    return db_.Update(kAnchorTable, it->second, std::move(row));
+  }
+  MOST_ASSIGN_OR_RETURN(RowId rid, db_.Insert(kAnchorTable, std::move(row)));
+  anchor_rows_[qid] = rid;
+  return Status::OK();
+}
+
+Status NodeDurableState::UpsertMirrorRow(uint64_t qid, ObjectId obj,
+                                         const IntervalSet& when) {
+  Row row = {Value(static_cast<int64_t>(qid)),
+             Value(static_cast<int64_t>(obj)), Value(EncodeIntervalSet(when))};
+  auto it = mirror_rows_.find({qid, obj});
+  if (it != mirror_rows_.end()) {
+    return db_.Update(kMirrorTable, it->second, std::move(row));
+  }
+  MOST_ASSIGN_OR_RETURN(RowId rid, db_.Insert(kMirrorTable, std::move(row)));
+  mirror_rows_[{qid, obj}] = rid;
+  return Status::OK();
+}
+
+Status NodeDurableState::RemoveMirrorRow(uint64_t qid, ObjectId obj) {
+  auto it = mirror_rows_.find({qid, obj});
+  if (it == mirror_rows_.end()) return Status::OK();
+  MOST_RETURN_IF_ERROR(db_.Delete(kMirrorTable, it->second));
+  mirror_rows_.erase(it);
+  return Status::OK();
+}
+
+Status NodeDurableState::ClearMirror(uint64_t qid) {
+  auto it = mirror_rows_.lower_bound({qid, 0});
+  while (it != mirror_rows_.end() && it->first.first == qid) {
+    MOST_RETURN_IF_ERROR(db_.Delete(kMirrorTable, it->second));
+    it = mirror_rows_.erase(it);
+  }
+  return Status::OK();
+}
+
+}  // namespace most

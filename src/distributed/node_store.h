@@ -1,0 +1,105 @@
+#ifndef MOST_DISTRIBUTED_NODE_STORE_H_
+#define MOST_DISTRIBUTED_NODE_STORE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "distributed/network.h"
+#include "storage/durable_database.h"
+
+namespace most {
+
+/// What a restarting node salvaged from its own WAL: its identity (network
+/// node id, home coordinator, incarnation counter), the last persisted
+/// object state, every continuous subscription it held, and its Answer(CQ)
+/// mirrors with the anchor tick each one reflects.
+struct RecoveredNodeState {
+  /// True when the log held a prior incarnation's identity — the restart
+  /// is a rejoin, not a first boot.
+  bool found = false;
+  NodeId node_id = kInvalidNodeId;
+  NodeId home = kInvalidNodeId;
+  uint64_t incarnation = 0;  ///< Incarnation of the crashed run.
+  ObjectState state;
+
+  struct Subscription {
+    QueryRequest request;
+    NodeId issuer = kInvalidNodeId;
+  };
+  std::vector<Subscription> subscriptions;
+
+  struct Mirror {
+    Tick anchor = 0;
+    std::map<ObjectId, IntervalSet> rows;
+  };
+  std::map<uint64_t, Mirror> mirrors;  ///< By query id.
+};
+
+/// A MobileNode's durable backing: one DurableDatabase (WAL v2, salvage
+/// recovery — docs/durability.md) holding small relational tables for
+/// identity, object state, subscriptions, and answer mirrors. Every
+/// mutator commits through the WAL before returning, so whatever this
+/// class acknowledged survives a process kill; recovery tolerates a torn
+/// final record (crash mid-append) and the PR 7 ENOSPC/EIO injections by
+/// construction — a failed append simply leaves the previous durable
+/// state as the one a restart recovers.
+///
+/// Row identity: recovery rebuilds the RowId maps from
+/// ResultSet::row_ids, so upserts keep updating the same rows across
+/// restarts instead of growing the log with duplicates.
+class NodeDurableState {
+ public:
+  explicit NodeDurableState(std::string path) : path_(std::move(path)) {}
+  NodeDurableState(const NodeDurableState&) = delete;
+  NodeDurableState& operator=(const NodeDurableState&) = delete;
+
+  /// Replays the log (creating the tables on first boot) and decodes the
+  /// recovered snapshot into `recovered`. Malformed rows (e.g. salvaged
+  /// around a torn write) are skipped, not fatal.
+  Status Open(RecoveredNodeState* recovered);
+
+  Status SaveIdentity(NodeId node_id, NodeId home, uint64_t incarnation);
+  Status SaveState(const ObjectState& state);
+  Status SaveSubscription(const QueryRequest& request, NodeId issuer);
+  Status RemoveSubscription(uint64_t qid);
+  Status SaveMirrorAnchor(uint64_t qid, Tick anchor);
+  Status UpsertMirrorRow(uint64_t qid, ObjectId obj, const IntervalSet& when);
+  Status RemoveMirrorRow(uint64_t qid, ObjectId obj);
+  /// Drops every mirror row of `qid` (a full-snapshot delta replaces the
+  /// mirror wholesale).
+  Status ClearMirror(uint64_t qid);
+
+  /// Compacts the log (DurableDatabase::Checkpoint).
+  Status Checkpoint() { return db_.Checkpoint(); }
+
+  const std::string& path() const { return path_; }
+  const DurableDatabase& database() const { return db_; }
+
+ private:
+  Status PutMeta(const std::string& key, const std::string& value);
+  Status EnsureTables();
+  void Decode(RecoveredNodeState* recovered);
+
+  std::string path_;
+  DurableDatabase db_{DurableDatabase::Options{
+      DurableDatabase::Options::Durability::kFlush, /*salvage=*/true,
+      kWalFormatVersion}};
+  std::map<std::string, RowId> meta_rows_;
+  bool has_state_row_ = false;
+  RowId state_row_ = 0;
+  std::map<std::string, RowId> attr_rows_;
+  std::map<uint64_t, RowId> sub_rows_;
+  std::map<uint64_t, RowId> anchor_rows_;
+  std::map<std::pair<uint64_t, ObjectId>, RowId> mirror_rows_;
+};
+
+/// Interval-set wire/storage codec shared by the mirror table and tests:
+/// "b:e;b:e;..." over the closed tick intervals.
+std::string EncodeIntervalSet(const IntervalSet& set);
+IntervalSet DecodeIntervalSet(const std::string& text);
+
+}  // namespace most
+
+#endif  // MOST_DISTRIBUTED_NODE_STORE_H_

@@ -13,8 +13,15 @@ ReliableEndpoint::ReliableEndpoint(SimNetwork* network, Clock* clock)
 ReliableEndpoint::ReliableEndpoint(SimNetwork* network, Clock* clock,
                                    Options options)
     : network_(network), clock_(clock), options_(options) {
-  node_id_ = network_->AddNode(
-      [this](const Message& m) { OnMessage(m); });
+  if (options_.reclaim_node_id != kInvalidNodeId &&
+      network_->HasNode(options_.reclaim_node_id)) {
+    // A restarted endpoint takes its dead predecessor's seat: same id,
+    // fresh sequence state (fenced by initial_epoch on the send side).
+    node_id_ = options_.reclaim_node_id;
+    network_->SetHandler(node_id_, [this](const Message& m) { OnMessage(m); });
+  } else {
+    node_id_ = network_->AddNode([this](const Message& m) { OnMessage(m); });
+  }
   tick_hook_id_ = network_->AddTickHook([this] { OnTick(); });
   obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
   attach_ids_ = {
@@ -41,6 +48,10 @@ ReliableEndpoint::ReliableEndpoint(SimNetwork* network, Clock* clock,
       r.AttachCounter("most_rc_peers_evicted_total",
                       "Peer send buffers evicted past the dead horizon", {},
                       &peers_evicted_),
+      r.AttachCounter("most_rc_streams_restarted_total",
+                      "Send streams restarted under a new epoch for a "
+                      "rejoining peer (pending frames re-enqueued)",
+                      {}, &streams_restarted_),
       r.AttachGauge("most_rc_unacked_frames",
                     "Frames sent but not yet cumulatively acknowledged", {},
                     &unacked_gauge_),
@@ -81,6 +92,7 @@ ReliableEndpoint::Stats ReliableEndpoint::stats() const {
   s.out_of_order_buffered = out_of_order_buffered_.value();
   s.frames_shed = frames_shed_.value();
   s.peers_evicted = peers_evicted_.value();
+  s.streams_restarted = streams_restarted_.value();
   return s;
 }
 
@@ -125,8 +137,44 @@ Backpressure ReliableEndpoint::PeerBackpressure(NodeId to) const {
   return GradePressure(it->second);
 }
 
+ReliableEndpoint::SendState& ReliableEndpoint::GetSendState(NodeId peer) {
+  auto it = send_.find(peer);
+  if (it == send_.end()) {
+    it = send_.emplace(peer, SendState{}).first;
+    it->second.epoch = options_.initial_epoch;
+  }
+  return it->second;
+}
+
+uint64_t ReliableEndpoint::SendEpoch(NodeId peer) const {
+  auto it = send_.find(peer);
+  return it == send_.end() ? options_.initial_epoch : it->second.epoch;
+}
+
+void ReliableEndpoint::RestartPeerStream(NodeId peer) {
+  auto it = send_.find(peer);
+  if (it == send_.end()) return;
+  SendState& state = it->second;
+  std::vector<AppPayload> carried;
+  carried.reserve(state.pending.size());
+  for (auto& [seq, pending] : state.pending) {
+    carried.push_back(std::move(pending.payload));
+  }
+  unacked_gauge_.Add(-static_cast<int64_t>(state.pending.size()));
+  pending_bytes_gauge_.Add(-static_cast<int64_t>(state.pending_bytes));
+  state.pending.clear();
+  state.pending_bytes = 0;
+  state.next_seq = 0;
+  state.epoch += 1;
+  state.last_heard = clock_->Now();
+  streams_restarted_.Inc();
+  for (AppPayload& payload : carried) {
+    SendReliable(peer, std::move(payload));
+  }
+}
+
 Backpressure ReliableEndpoint::SendReliable(NodeId to, AppPayload payload) {
-  SendState& state = send_[to];
+  SendState& state = GetSendState(to);
   if (state.pending.empty() && state.last_heard == 0) {
     // First contact: the dead horizon counts from when we start waiting.
     state.last_heard = clock_->Now();
@@ -247,7 +295,7 @@ void ReliableEndpoint::OnMessage(const Message& message) {
     return;
   }
   if (const auto* ack = std::get_if<AckFrame>(&message.payload)) {
-    SendState& state = send_[message.from];
+    SendState& state = GetSendState(message.from);
     if (ack->epoch != state.epoch) return;  // Ack for an evicted stream.
     auto it = state.pending.begin();
     while (it != state.pending.end() && it->first < ack->ack_through) {

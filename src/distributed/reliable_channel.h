@@ -72,6 +72,17 @@ class ReliableEndpoint {
     /// hearing any traffic from it while frames are pending; the stream
     /// restarts under a new epoch. 0 = governor fallback, then never.
     Tick peer_dead_horizon = 0;
+    /// Reclaim this existing network node id instead of registering a new
+    /// one — how a durable node restarting from its WAL keeps its
+    /// identity (the SimNetwork entry outlives the crashed endpoint,
+    /// whose destructor only nulls the handler). Ignored when the id is
+    /// unknown to the network.
+    NodeId reclaim_node_id = kInvalidNodeId;
+    /// Epoch newly created send streams start at. A restarted node sets
+    /// this to its bumped incarnation, so every frame it sends outranks
+    /// its dead pre-crash stream and receivers resynchronize instead of
+    /// waiting on sequence numbers that died with the old process.
+    uint64_t initial_epoch = 0;
   };
 
   ReliableEndpoint(SimNetwork* network, Clock* clock);
@@ -112,6 +123,20 @@ class ReliableEndpoint {
   /// peer never sent to).
   Backpressure PeerBackpressure(NodeId to) const;
 
+  /// Restarts the send stream to `peer` under a new epoch and re-enqueues
+  /// every pending payload, in sequence order, on the fresh stream. This
+  /// is the rejoin counterpart of dead-horizon eviction: eviction *drops*
+  /// the buffer (the peer is presumed gone for good), a restart *keeps*
+  /// it — queries issued while a node was dead go back on the wire under
+  /// the epoch its reborn receiver will adopt, instead of retransmitting
+  /// forever as (old-epoch, high-seq) frames a fresh receiver buffers but
+  /// can never complete. No-op for a peer never sent to.
+  void RestartPeerStream(NodeId peer);
+
+  /// Current epoch of the send stream to `peer` (initial_epoch for a peer
+  /// never sent to). Exposed for the epoch edge-case tests.
+  uint64_t SendEpoch(NodeId peer) const;
+
   /// Frames sent but not yet cumulatively acknowledged, across all peers.
   /// Zero means the channel is quiescent.
   size_t unacked() const;
@@ -129,6 +154,9 @@ class ReliableEndpoint {
     /// discarded when a dead peer's buffer was evicted.
     uint64_t frames_shed = 0;
     uint64_t peers_evicted = 0;
+    /// Send streams restarted for a rejoining peer (RestartPeerStream):
+    /// pending frames were re-enqueued, not dropped.
+    uint64_t streams_restarted = 0;
   };
   /// By-value snapshot over this endpoint's attached atomic counters
   /// (most_rc_* series; summed across endpoints by the registry).
@@ -165,6 +193,8 @@ class ReliableEndpoint {
   size_t EffectiveMaxUnackedBytes() const;
   Tick EffectivePeerDeadHorizon() const;
   Backpressure GradePressure(const SendState& state) const;
+  /// Lazy SendState creation honoring Options::initial_epoch.
+  SendState& GetSendState(NodeId peer);
 
   void OnMessage(const Message& message);
   void OnTick();
@@ -191,6 +221,7 @@ class ReliableEndpoint {
   obs::Counter out_of_order_buffered_;
   obs::Counter frames_shed_;
   obs::Counter peers_evicted_;
+  obs::Counter streams_restarted_;
   obs::Gauge unacked_gauge_;
   obs::Gauge pending_bytes_gauge_;
   std::vector<uint64_t> attach_ids_;

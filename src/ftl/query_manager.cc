@@ -75,6 +75,20 @@ size_t DirtyTotal(const std::map<std::string, std::set<ObjectId>>& dirty) {
 
 }  // namespace
 
+void SpliceAnswerDelta(
+    std::map<ObjectId, IntervalSet>* mirror,
+    const std::vector<std::pair<ObjectId, IntervalSet>>& upserts,
+    const std::vector<ObjectId>& removals) {
+  for (const auto& [id, when] : upserts) {
+    if (when.empty()) {
+      mirror->erase(id);
+    } else {
+      (*mirror)[id] = when;
+    }
+  }
+  for (ObjectId id : removals) mirror->erase(id);
+}
+
 QueryManager::QueryManager(MostDatabase* db, Options options)
     : db_(db), options_(options) {
   if (options_.thread_count > 1) {

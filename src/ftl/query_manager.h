@@ -42,6 +42,19 @@ struct AnswerTuple {
   bool operator==(const AnswerTuple& o) const = default;
 };
 
+/// Splices a wire-form Answer(CQ) delta into a per-object answer mirror.
+/// Each upsert replaces that object's whole satisfaction set (an empty set
+/// erases the entry — no-match is represented by absence, matching the
+/// coordinator's matches map); each removal erases outright. This is the
+/// per-object dirty-set splice the manager's OnUpdate performs locally,
+/// lifted to the wire (AnswerDelta in distributed/network.h): applying the
+/// deltas for every object dirtied since a mirror's anchor yields the same
+/// map a full re-send would.
+void SpliceAnswerDelta(
+    std::map<ObjectId, IntervalSet>* mirror,
+    const std::vector<std::pair<ObjectId, IntervalSet>>& upserts,
+    const std::vector<ObjectId>& removals);
+
 /// Runs MOST queries against a MostDatabase, implementing the paper's
 /// processing model:
 ///

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <thread>
 
 #include "common/failpoint.h"
@@ -970,6 +971,311 @@ TEST(AnswerTransmissionTest, ReliablePushSurvivesLoss) {
   EXPECT_EQ(client.blocks_received(), 1u);  // Exactly once despite loss.
   EXPECT_EQ(client.buffered(), 2u);
   EXPECT_GT(net.stats().dropped_loss, 0u) << "the link was never lossy";
+}
+
+// ---- Crash/restart: epochs, durable recovery, catch-up --------------------
+
+// A frame from a node's pre-crash incarnation that is still rattling
+// around the network must be rejected once the receiver has adopted the
+// reborn node's higher epoch — the fence that keeps a restarted node's
+// stream from being corrupted by its own ghost.
+TEST(ReliableChannelTest, StaleEpochStragglerRejectedAfterRejoin) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  auto sender = std::make_unique<ReliableEndpoint>(&net, &clock);
+  ReliableEndpoint receiver(&net, &clock);
+  std::vector<uint64_t> got;
+  receiver.SetHandler([&](const Message& m) {
+    got.push_back(std::get<CancelQuery>(m.payload).qid);
+  });
+  NodeId reborn_id = sender->node_id();
+  sender->SendReliable(receiver.node_id(), CancelQuery{1});
+  for (int t = 0; t < 10; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  ASSERT_EQ(got, (std::vector<uint64_t>{1}));
+
+  // Crash the sender and reincarnate it on the same network id under a
+  // bumped epoch — exactly what a WAL-recovered MobileNode does.
+  sender.reset();
+  ReliableEndpoint::Options opts;
+  opts.reclaim_node_id = reborn_id;
+  opts.initial_epoch = 1;
+  ReliableEndpoint reborn(&net, &clock, opts);
+  ASSERT_EQ(reborn.node_id(), reborn_id) << "network id not reclaimed";
+  EXPECT_EQ(reborn.SendEpoch(receiver.node_id()), 1u);
+  reborn.SendReliable(receiver.node_id(), CancelQuery{2});
+  for (int t = 0; t < 10; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  ASSERT_EQ(got, (std::vector<uint64_t>{1, 2}));
+
+  // A straggler from the dead epoch-0 stream arrives late (forged
+  // directly onto the wire; a delayed retransmission in real life).
+  uint64_t suppressed_before = receiver.stats().duplicates_suppressed;
+  net.Send(reborn_id, receiver.node_id(),
+           ReliableFrame{/*seq=*/5, /*epoch=*/0, CancelQuery{99}});
+  for (int t = 0; t < 5; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  EXPECT_EQ(got, (std::vector<uint64_t>{1, 2}))
+      << "a pre-crash straggler reached the application";
+  EXPECT_EQ(receiver.stats().duplicates_suppressed, suppressed_before + 1);
+}
+
+// RestartPeerStream while retransmissions are in flight: the pending
+// frames must come back under the new epoch, in order, exactly once —
+// the bump must not race the old-epoch retries into duplicate delivery.
+TEST(ReliableChannelTest, EpochBumpRacingInFlightRetransmission) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  ReliableEndpoint sender(&net, &clock);
+  ReliableEndpoint receiver(&net, &clock);
+  std::vector<uint64_t> got;
+  receiver.SetHandler([&](const Message& m) {
+    got.push_back(std::get<CancelQuery>(m.payload).qid);
+  });
+  NodeId to = receiver.node_id();
+  sender.SendReliable(to, CancelQuery{1});
+  for (int t = 0; t < 10; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  ASSERT_EQ(got, (std::vector<uint64_t>{1}));
+
+  // Cut the peer off with two frames pending; let retransmissions fire.
+  net.Partition("cut", {sender.node_id()}, {to});
+  sender.SendReliable(to, CancelQuery{2});
+  sender.SendReliable(to, CancelQuery{3});
+  for (int t = 0; t < 30; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  ASSERT_GT(sender.stats().retransmissions, 0u);
+  ASSERT_EQ(sender.unacked(), 2u);
+  ASSERT_EQ(sender.SendEpoch(to), 0u);
+
+  // Restart the stream mid-retry — the rejoin path the coordinator takes
+  // when a dead node announces a bumped incarnation.
+  sender.RestartPeerStream(to);
+  EXPECT_EQ(sender.SendEpoch(to), 1u);
+  EXPECT_EQ(sender.stats().streams_restarted, 1u);
+  EXPECT_EQ(sender.unacked(), 2u) << "pending frames dropped, not carried";
+
+  net.Heal("cut");
+  for (int t = 0; t < 200 && sender.unacked() > 0; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  EXPECT_EQ(sender.unacked(), 0u);
+  EXPECT_EQ(got, (std::vector<uint64_t>{1, 2, 3}))
+      << "carried frames must arrive exactly once, in order";
+}
+
+// Dead-peer eviction immediately followed by the peer coming back: the
+// very next frame re-synchronizes the receiver under the bumped epoch
+// with no dead time and no replay of the evicted frames.
+TEST(ReliableChannelTest, EvictionThenImmediateReconnectResynchronizes) {
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  ReliableEndpoint::Options opts;
+  opts.peer_dead_horizon = 15;
+  ReliableEndpoint sender(&net, &clock, opts);
+  ReliableEndpoint receiver(&net, &clock);
+  std::vector<uint64_t> got;
+  receiver.SetHandler([&](const Message& m) {
+    got.push_back(std::get<CancelQuery>(m.payload).qid);
+  });
+  NodeId to = receiver.node_id();
+  sender.SendReliable(to, CancelQuery{1});
+  for (int t = 0; t < 10; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  ASSERT_EQ(got, (std::vector<uint64_t>{1}));
+
+  net.Partition("cut", {sender.node_id()}, {to});
+  sender.SendReliable(to, CancelQuery{2});
+  for (int t = 0; sender.stats().peers_evicted == 0 && t < 60; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  ASSERT_EQ(sender.stats().peers_evicted, 1u);
+  ASSERT_EQ(sender.unacked(), 0u);
+  EXPECT_EQ(sender.SendEpoch(to), 1u) << "eviction must bump the epoch";
+
+  // Reconnect on the very next tick and send immediately.
+  net.Heal("cut");
+  sender.SendReliable(to, CancelQuery{3});
+  for (int t = 0; t < 50 && sender.unacked() > 0; ++t) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  EXPECT_EQ(sender.unacked(), 0u);
+  EXPECT_EQ(got, (std::vector<uint64_t>{1, 3}))
+      << "evicted frame replayed or new frame lost after reconnect";
+}
+
+// A killed durable node restarts from its own WAL: same network id, the
+// pre-crash motion state (not the boot-time state it was constructed
+// with), its continuous subscriptions, and a bumped incarnation.
+TEST(DurableNodeTest, RestartRecoversStateAndSubscriptionsFromWal) {
+  std::string wal = ::testing::TempDir() + "/durable_node_restart.wal";
+  std::remove(wal.c_str());
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  std::map<std::string, Polygon> regions{
+      {"P", Polygon::Rectangle({0, 0}, {100, 100})}};
+  Coordinator coordinator(&net, &clock, regions);
+  MobileNode::Options nopts;
+  nopts.beacon_interval = 4;
+  nopts.home = coordinator.node_id();
+  nopts.wal_path = wal;
+  auto node = std::make_unique<MobileNode>(
+      &net, &clock, MakeState(0, {-20, 50}, {0, 0}), regions, nopts);
+  ASSERT_FALSE(node->recovered_from_wal());
+  ASSERT_EQ(node->incarnation(), 0u);
+  NodeId id = node->node_id();
+
+  auto run_to = [&](Tick until) {
+    while (clock.Now() < until) {
+      clock.Advance();
+      net.DeliverDue();
+    }
+  };
+  run_to(8);
+  auto q = ParseQuery(
+      "RETRIEVE o FROM CARS o WHERE EVENTUALLY WITHIN 50 INSIDE(o, P)");
+  ASSERT_TRUE(q.ok());
+  uint64_t qid = coordinator.IssueObjectQuery(
+      *q, DistStrategy::kBroadcastFilter, /*continuous=*/true, 512);
+  run_to(16);
+  // Drive into P and persist that as the last pre-crash state.
+  node->UpdateMotion({50, 50}, {1, 0});
+  node->UpdateAttr("fuel", 42.0);
+  run_to(24);
+  ASSERT_TRUE(coordinator.ReportedMatches(qid)->matches.count(0));
+
+  node.reset();  // Kill -9.
+  node = std::make_unique<MobileNode>(
+      &net, &clock, MakeState(0, {-20, 50}, {0, 0}), regions, nopts);
+  EXPECT_TRUE(node->recovered_from_wal());
+  EXPECT_EQ(node->incarnation(), 1u);
+  EXPECT_EQ(node->node_id(), id) << "network identity not reclaimed";
+  EXPECT_EQ(node->state().position.x, 50.0)
+      << "boot-time state won over the WAL";
+  EXPECT_EQ(node->state().position.y, 50.0);
+
+  // The recovered subscription answers again without the coordinator
+  // re-sending the query.
+  run_to(60);
+  auto matches = coordinator.ReportedMatches(qid);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches->matches.count(0));
+  EXPECT_EQ(matches->confidence, Confidence::kCertain);
+  EXPECT_GE(coordinator.recovery_stats().rejoins, 1u);
+  std::remove(wal.c_str());
+}
+
+// ENOSPC on a WAL append must not poison recovery: the failed update is
+// lost (it never became durable), but the previous durable state is
+// intact and the node restarts from it.
+TEST(DurableNodeTest, EnospcDuringAppendPreservesPriorDurableState) {
+  std::string wal = ::testing::TempDir() + "/durable_node_enospc.wal";
+  std::remove(wal.c_str());
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  std::map<std::string, Polygon> regions{
+      {"P", Polygon::Rectangle({0, 0}, {100, 100})}};
+  MobileNode::Options nopts;
+  nopts.beacon_interval = 0;  // No background appends.
+  nopts.wal_path = wal;
+  auto node = std::make_unique<MobileNode>(
+      &net, &clock, MakeState(0, {10, 10}, {0, 0}), regions, nopts);
+  node->UpdateMotion({30, 30}, {0, 0});  // Durable.
+
+  auto& reg = FailpointRegistry::Instance();
+  ASSERT_TRUE(reg.Arm("wal/append/enospc", "error*1").ok());
+  node->UpdateMotion({90, 90}, {0, 0});  // Append fails: device full.
+  EXPECT_GE(reg.triggered("wal/append/enospc"), 1u);
+  reg.Disarm("wal/append/enospc");
+
+  node.reset();
+  node = std::make_unique<MobileNode>(
+      &net, &clock, MakeState(0, {10, 10}, {0, 0}), regions, nopts);
+  EXPECT_TRUE(node->recovered_from_wal());
+  EXPECT_EQ(node->state().position.x, 30.0)
+      << "recovered neither the last durable state nor survived the "
+         "injected device-full append";
+  EXPECT_EQ(node->state().position.y, 30.0);
+  std::remove(wal.c_str());
+}
+
+// Answer(CQ) mirror catch-up after a subscriber crash: the coordinator
+// keeps flushing deltas to live subscribers only, and a restarted
+// subscriber splices the missed changes from a catch-up delta instead of
+// a full re-send.
+TEST(DurableNodeTest, MirrorSubscriberCatchesUpWithDeltasAfterRestart) {
+  std::string wal = ::testing::TempDir() + "/durable_node_mirror.wal";
+  std::remove(wal.c_str());
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  std::map<std::string, Polygon> regions{
+      {"P", Polygon::Rectangle({0, 0}, {100, 100})}};
+  Coordinator coordinator(&net, &clock, regions);
+  MobileNode::Options nopts;
+  nopts.beacon_interval = 4;
+  nopts.home = coordinator.node_id();
+  MobileNode::Options durable_opts = nopts;
+  durable_opts.wal_path = wal;
+  auto subscriber = std::make_unique<MobileNode>(
+      &net, &clock, MakeState(0, {50, 50}, {0, 0}), regions, durable_opts);
+  MobileNode mover(&net, &clock, MakeState(1, {-30, 50}, {1, 0}), regions,
+                   nopts);
+
+  auto run_to = [&](Tick until) {
+    while (clock.Now() < until) {
+      clock.Advance();
+      net.DeliverDue();
+    }
+  };
+  run_to(8);
+  auto q = ParseQuery(
+      "RETRIEVE o FROM CARS o WHERE EVENTUALLY WITHIN 80 INSIDE(o, P)");
+  ASSERT_TRUE(q.ok());
+  uint64_t qid = coordinator.IssueObjectQuery(
+      *q, DistStrategy::kBroadcastFilter, /*continuous=*/true, 512);
+  run_to(12);
+  ASSERT_TRUE(
+      coordinator.SubscribeAnswerMirror(qid, subscriber->node_id()).ok());
+  run_to(20);
+  const auto* mirror = subscriber->AnswerMirror(qid);
+  ASSERT_NE(mirror, nullptr);
+  ASSERT_TRUE(mirror->count(0));
+
+  // Crash the subscriber; the answer changes while it is down.
+  subscriber.reset();
+  mover.UpdateMotion({50, 50}, {0, 0});  // Now firmly inside P.
+  run_to(40);
+  uint64_t full_flushes_before = coordinator.recovery_stats().catchup_deltas;
+
+  subscriber = std::make_unique<MobileNode>(
+      &net, &clock, MakeState(0, {50, 50}, {0, 0}), regions, durable_opts);
+  EXPECT_TRUE(subscriber->recovered_from_wal());
+  run_to(70);
+  mirror = subscriber->AnswerMirror(qid);
+  ASSERT_NE(mirror, nullptr);
+  auto answer = coordinator.ReportedMatches(qid);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(*mirror, answer->matches)
+      << "recovered mirror did not catch up to the coordinator's answer";
+  EXPECT_GT(coordinator.recovery_stats().catchup_deltas, full_flushes_before)
+      << "rejoin never used the delta catch-up path";
+  EXPECT_GT(subscriber->deltas_applied(), 0u);
+  std::remove(wal.c_str());
 }
 
 }  // namespace
