@@ -75,6 +75,21 @@ MOST_FAILPOINTS="ftl/delta/refresh=noop" ./build-asan/tests/differential_test \
 echo "=== layout-differential stage (MOST_EVAL_LAYOUT=legacy, ASan) ==="
 MOST_EVAL_LAYOUT=legacy ./build-asan/tests/differential_test
 
+# Shard-differential stage: the sharded engine's scatter-gather answers
+# against a twin unsharded oracle, pinned at every shard count the bench
+# sweeps (docs/sharding.md). MOST_SHARDS pins the corpus to one count per
+# run — a 4-count sweep of the full product would square the stage's
+# runtime for no added coverage per count. The unit suite then exercises
+# the edge cases (reshard migration, DIST straddling shards, empty-shard
+# gather, WAL round-trip, degraded-shard poisoning) under ASan.
+echo "=== shard-differential stage (MOST_SHARDS sweep, ASan) ==="
+for shards in 1 2 4 8; do
+  MOST_SHARDS="$shards" ./build-asan/tests/differential_test \
+    --gtest_filter='DifferentialTest.ShardedEngine*'
+done
+./build-asan/tests/sharded_engine_test
+./build-asan/tests/mpsc_queue_test
+
 # Fuzz-smoke stage: replay the checked-in parser/evaluator corpus and a
 # bounded deterministic mutation loop under ASan. Every input that parses
 # is evaluated in both layouts and must produce byte-identical relations;
@@ -112,6 +127,11 @@ for metric in \
   most_governor_storage_degraded \
   most_qm_shed_refreshes_total \
   most_interval_cache_evictions_total \
+  most_shard_updates_routed_total \
+  most_shard_updates_applied_total \
+  most_shard_queue_depth \
+  most_shard_refresh_latency_seconds_bucket \
+  most_shard_gather_merges_total \
   most_coord_deadline_expired_total \
   most_coord_requests_shed_total \
   most_coord_lease_expirations_total \
@@ -173,4 +193,12 @@ if [[ "${1:-}" == "tsan" ]]; then
   ./build-tsan/tests/query_manager_test
   ./build-tsan/tests/differential_test \
     --gtest_filter='DifferentialTest.DeltaRefresh*'
+  # The sharded engine's lock-free handoff queue and parallel
+  # drain/refresh phases are memory-ordering claims; TSan is the tool
+  # that checks them (docs/sharding.md).
+  echo "=== sharded-engine concurrency suite (TSan) ==="
+  ./build-tsan/tests/mpsc_queue_test
+  ./build-tsan/tests/sharded_engine_test
+  MOST_SHARDS=4 ./build-tsan/tests/differential_test \
+    --gtest_filter='DifferentialTest.ShardedEngine*'
 fi

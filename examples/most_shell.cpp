@@ -9,11 +9,14 @@
 //
 // Type `help` for the command list.
 
+#include <iomanip>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "common/failpoint.h"
 #include "core/object_model.h"
+#include "core/sharded_engine.h"
 #include "ftl/nearest.h"
 #include "ftl/parser.h"
 #include "ftl/query_manager.h"
@@ -49,6 +52,10 @@ constexpr const char* kHelp = R"(Commands:
   metrics                        dump the engine metrics snapshot
   health                         governor limits, backpressure, storage
                                  health and recent degrade events
+  shards [n]                     shard-per-core engine view: per-shard
+                                 object counts, queue depths, refresh
+                                 counts and latencies (docs/sharding.md);
+                                 n reshards (default: one per core)
   failpoints                     armed fault-injection sites (spec + fired
                                  counts); docs/durability.md lists all sites
   nearest <from-class> <id> <target-class>
@@ -227,6 +234,8 @@ class Shell {
       PrintHealth();
     } else if (cmd == "failpoints") {
       PrintFailpoints();
+    } else if (cmd == "shards") {
+      CmdShards(t.size() >= 2 ? std::stoull(t[1]) : 0);
     } else if (cmd == "cancel" && t.size() == 2) {
       Report(qm_.Cancel(std::stoull(t[1])));
     } else if (cmd == "nearest" && t.size() == 4) {
@@ -326,6 +335,42 @@ class Shell {
     }
   }
 
+  // Operator view of the shard-per-core engine (docs/sharding.md): lazily
+  // builds the engine over the shell's world (n == 0 sizes it to the
+  // machine), reshards on an explicit count change, and prints the
+  // per-shard ownership/queue/refresh table. The engine is a parallel
+  // view: it shares the shell's database but refreshes only queries
+  // registered through it, so the table's refresh columns stay zero until
+  // updates are routed through the engine's data plane.
+  void CmdShards(size_t n) {
+    if (engine_ == nullptr) {
+      ShardedEngine::Options opts;
+      opts.shard_count = n;  // 0 = one shard per hardware thread.
+      opts.query_options.horizon = 512;
+      engine_ = std::make_unique<ShardedEngine>(&db_, opts);
+    } else if (n != 0 && n != engine_->shard_count()) {
+      Status resharded = engine_->Reshard(n);
+      if (!resharded.ok()) {
+        Report(resharded);
+        return;
+      }
+    }
+    std::cout << "shards: " << engine_->shard_count() << "\n"
+              << "  shard   objects   queued   applied   dropped   "
+                 "delta/full   last refresh\n";
+    for (const ShardedEngine::ShardStats& s : engine_->Stats()) {
+      std::ostringstream refreshes;
+      refreshes << s.delta_refreshes << "/" << s.full_refreshes;
+      std::cout << "  " << std::setw(5) << s.shard << std::setw(10)
+                << s.objects << std::setw(9) << s.queue_depth << std::setw(10)
+                << s.updates_applied << std::setw(10) << s.updates_dropped
+                << std::setw(13) << refreshes.str() << std::setw(12)
+                << std::fixed << std::setprecision(3)
+                << s.last_refresh_seconds * 1e3 << " ms\n";
+      std::cout.unsetf(std::ios::fixed);
+    }
+  }
+
   // Fault-injection visibility: what is armed right now (spec syntax as
   // Arm() accepts it, budgets reflecting remaining triggers) and which
   // sites have fired since process start. The full site inventory lives
@@ -380,6 +425,7 @@ class Shell {
 
   MostDatabase db_;
   QueryManager qm_;
+  std::unique_ptr<ShardedEngine> engine_;  // Created by `shards`.
 };
 
 }  // namespace

@@ -1,0 +1,105 @@
+#ifndef MOST_COMMON_MPSC_QUEUE_H_
+#define MOST_COMMON_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace most {
+
+/// An unbounded lock-free multi-producer / single-consumer queue (the
+/// Vyukov intrusive MPSC shape, non-intrusive here: each Push allocates
+/// one node). This is the shard handoff queue of the sharded engine: any
+/// thread may Push an update destined for a shard; exactly one drain
+/// thread per shard consumes (docs/sharding.md).
+///
+/// Push is wait-free apart from the allocation: a relaxed node setup, one
+/// acquire-release exchange on the head, one release store linking the
+/// predecessor. PopAll is single-consumer only — two threads must never
+/// drain the same queue concurrently (the engine guarantees one drain
+/// thread per shard per tick).
+///
+/// Producer-order guarantee: items from one producer are consumed in the
+/// order that producer pushed them; items from different producers are
+/// interleaved in an arbitrary (but consistent) order. The sharded engine
+/// never relies on cross-producer order — updates are commutative per
+/// object because the last write per (object, attribute) wins within a
+/// tick and objects are written by at most one producer in the tests that
+/// assert determinism.
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node();
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Enqueues one item. Safe from any number of threads concurrently.
+  void Push(T value) {
+    Node* node = new Node(std::move(value));
+    // Publish the node as the new head, then link the old head to it. A
+    // consumer racing into the (head swapped, link pending) window sees
+    // next == nullptr on the old head and stops early — the item is not
+    // lost, just not visible until the producer's release store lands.
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+    depth_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Drains every item visible at the time of the call into `out`
+  /// (appended in consumption order). Single consumer only. Returns the
+  /// number of items drained.
+  size_t PopAll(std::vector<T>* out) {
+    size_t drained = 0;
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    while (next != nullptr) {
+      out->push_back(std::move(next->value));
+      delete tail;
+      tail = next;
+      next = tail->next.load(std::memory_order_acquire);
+      ++drained;
+    }
+    tail_ = tail;
+    depth_.fetch_sub(drained, std::memory_order_relaxed);
+    return drained;
+  }
+
+  /// Approximate number of queued items (relaxed; for metrics/backpressure
+  /// gauges, never for synchronization).
+  size_t ApproxDepth() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  /// Producers exchange head_; the consumer owns tail_ (a stub node whose
+  /// `next` chain holds the queued items).
+  std::atomic<Node*> head_;
+  Node* tail_;
+  std::atomic<size_t> depth_{0};
+};
+
+}  // namespace most
+
+#endif  // MOST_COMMON_MPSC_QUEUE_H_

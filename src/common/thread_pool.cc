@@ -71,8 +71,13 @@ void ParallelFor(ThreadPool* pool, size_t n,
   }
 
   // Chunked dynamic scheduling: helpers and the caller race on an atomic
-  // next-chunk cursor. Several chunks per thread smooth out uneven
-  // per-index cost (some objects have many motion segments, some few).
+  // next-chunk cursor. The chunk size targets several chunks per thread so
+  // uneven per-index cost (some objects have many motion segments, some
+  // few) rebalances dynamically, and is capped so a very large n cannot
+  // degenerate into one oversized chunk per thread — with only
+  // n / (threads * 4) a 100k-object extraction handed each worker one
+  // ~6k-index chunk and the slowest straggler gated the whole batch
+  // (docs/parallel_eval.md "Grain sizing").
   struct Shared {
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
@@ -84,7 +89,9 @@ void ParallelFor(ThreadPool* pool, size_t n,
   };
   auto shared = std::make_shared<Shared>();
   shared->n = n;
-  shared->chunk = std::max<size_t>(1, n / (threads * 4));
+  constexpr size_t kMaxChunk = 1024;
+  shared->chunk =
+      std::clamp<size_t>(n / (threads * 8), 1, kMaxChunk);
   shared->fn = &fn;
 
   auto drain = [](const std::shared_ptr<Shared>& s) {

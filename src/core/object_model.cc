@@ -162,7 +162,7 @@ Result<MostObject*> MostDatabase::RestoreObject(const std::string& class_name,
     }
   }
   auto [it, inserted] = cls->objects_.emplace(id, std::move(obj));
-  ++update_count_;
+  update_count_.fetch_add(1, std::memory_order_relaxed);
   NotifyUpdate(class_name, id);
   return &it->second;
 }
@@ -172,7 +172,7 @@ Status MostDatabase::DeleteObject(const std::string& class_name, ObjectId id) {
   if (cls->objects_.erase(id) == 0) {
     return Status::NotFound("object " + std::to_string(id));
   }
-  ++update_count_;
+  update_count_.fetch_add(1, std::memory_order_relaxed);
   NotifyUpdate(class_name, id);
   return Status::OK();
 }
@@ -187,7 +187,7 @@ Status MostDatabase::UpdateStatic(const std::string& class_name, ObjectId id,
   MOST_FAILPOINT("core/update_static");
   obj->SetStatic(attr, std::move(value));
   obj->set_last_update(Now());
-  ++update_count_;
+  update_count_.fetch_add(1, std::memory_order_relaxed);
   NotifyUpdate(class_name, id);
   return Status::OK();
 }
@@ -203,7 +203,7 @@ Status MostDatabase::UpdateDynamic(const std::string& class_name, ObjectId id,
   MOST_FAILPOINT("core/update_dynamic");
   obj->SetDynamic(attr, DynamicAttribute(value, Now(), std::move(function)));
   obj->set_last_update(Now());
-  ++update_count_;
+  update_count_.fetch_add(1, std::memory_order_relaxed);
   NotifyUpdate(class_name, id);
   return Status::OK();
 }

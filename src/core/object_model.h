@@ -1,6 +1,7 @@
 #ifndef MOST_CORE_OBJECT_MODEL_H_
 #define MOST_CORE_OBJECT_MODEL_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -213,8 +214,16 @@ class MostDatabase {
                   [id](const auto& entry) { return entry.first == id; });
   }
 
-  /// Total explicit updates performed (experiment E1 counts these).
-  uint64_t update_count() const { return update_count_; }
+  /// Total explicit updates performed (experiment E1 counts these). The
+  /// counter is a relaxed atomic so the sharded engine may apply updates
+  /// to *disjoint* objects from several drain threads concurrently
+  /// (docs/sharding.md): object state itself is still unsynchronized, so
+  /// concurrent mutation is only safe when no two threads touch the same
+  /// object, no structural create/delete runs, and every registered
+  /// update listener is itself thread-safe.
+  uint64_t update_count() const {
+    return update_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   void NotifyUpdate(const std::string& class_name, ObjectId id);
@@ -225,7 +234,7 @@ class MostDatabase {
   std::vector<std::pair<ListenerId, UpdateListener>> listeners_;
   ListenerId next_listener_id_ = 1;
   ObjectId next_id_ = 0;
-  uint64_t update_count_ = 0;
+  std::atomic<uint64_t> update_count_{0};
 };
 
 }  // namespace most

@@ -1,0 +1,46 @@
+#ifndef MOST_CORE_SHARD_ROUTER_H_
+#define MOST_CORE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace most {
+
+/// Finalizer of the splitmix64 generator: a cheap, well-mixed 64-bit hash.
+/// Object ids are small dense integers (the database hands them out
+/// sequentially), so hashing before the modulus is what makes the shard
+/// assignment independent of creation order — `id % shards` would put all
+/// of one class's early objects on low shards whenever creation batches
+/// correlate with classes.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stable hash assignment of objects to shards (docs/sharding.md). The
+/// assignment is a pure function of (id, shard_count): two processes with
+/// the same shard count agree on every owner without coordination, and a
+/// recovery replay routes each logged record to the shard that wrote it.
+class ShardRouter {
+ public:
+  explicit ShardRouter(size_t shard_count) : shard_count_(shard_count) {}
+
+  size_t shard_count() const { return shard_count_; }
+
+  size_t ShardOf(ObjectId id) const {
+    return static_cast<size_t>(SplitMix64(id) % shard_count_);
+  }
+
+ private:
+  size_t shard_count_;
+};
+
+}  // namespace most
+
+#endif  // MOST_CORE_SHARD_ROUTER_H_

@@ -91,7 +91,9 @@ void SpliceAnswerDelta(
 
 QueryManager::QueryManager(MostDatabase* db, Options options)
     : db_(db), options_(options) {
-  if (options_.thread_count > 1) {
+  // thread_count == 1 is the exact serial path (no pool); 0 delegates to
+  // ThreadPool's hardware_concurrency sizing (docs/parallel_eval.md).
+  if (options_.thread_count != 1) {
     pool_ = std::make_unique<ThreadPool>(options_.thread_count);
   }
   if (options_.enable_interval_cache) {
@@ -102,13 +104,17 @@ QueryManager::QueryManager(MostDatabase* db, Options options)
                                  .interval_cache_max_bytes;
     cache_ = std::make_unique<IntervalCache>(1u << 20, max_bytes);
   }
-  listener_id_ = db_->AddUpdateListener(
-      [this](const std::string& class_name, ObjectId id) {
-        OnUpdate(class_name, id);
-      });
+  if (options_.listen) {
+    listener_id_ = db_->AddUpdateListener(
+        [this](const std::string& class_name, ObjectId id) {
+          OnUpdate(class_name, id);
+        });
+  }
 }
 
-QueryManager::~QueryManager() { db_->RemoveUpdateListener(listener_id_); }
+QueryManager::~QueryManager() {
+  if (options_.listen) db_->RemoveUpdateListener(listener_id_);
+}
 
 FtlEvaluator::Options QueryManager::EvalOptions() const {
   FtlEvaluator::Options o;
@@ -189,16 +195,42 @@ void QueryManager::OnUpdate(const std::string& class_name, ObjectId id) {
   // re-evaluate against stale entries.
   if (cache_ != nullptr) cache_->Invalidate(id);
   std::lock_guard<std::mutex> lock(mu_);
+  NoteUpdateLocked(class_name, id, db_->Now());
+}
+
+void QueryManager::NoteUpdates(const std::string& class_name,
+                               const std::vector<ObjectId>& ids) {
+  if (ids.empty()) return;
+  if (cache_ != nullptr) {
+    for (ObjectId id : ids) cache_->Invalidate(id);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Tick now = db_->Now();
+  for (ObjectId id : ids) NoteUpdateLocked(class_name, id, now);
+}
+
+void QueryManager::NoteUpdateLocked(const std::string& class_name,
+                                    ObjectId id, Tick now) {
   // Continuous queries over the updated class must be re-evaluated
   // ("a continuous query CQ has to be reevaluated when an update occurs
   // that may change the set of tuples Answer(CQ)", Section 2.3) — but an
   // update to one object only disturbs the Answer rows that bind it, so
   // record *which* object went dirty and coalesce repeats; Refresh then
   // re-derives just those rows (docs/incremental_eval.md).
-  Tick now = db_->Now();
   for (auto& [qid, cq] : continuous_) {
     for (const FromBinding& fb : cq.query.from) {
       if (fb.class_name == class_name) {
+        // A partitioned manager's single-variable query binds only owned
+        // objects (its one object column is the partitioned first FROM
+        // variable), so a foreign object's update cannot change any of
+        // its rows — skipping the dirty mark keeps single-variable
+        // refresh cost truly per-shard. Multi-variable queries may bind
+        // the foreign object in a later column and stay dirty-marked.
+        if (options_.domain_partition != nullptr &&
+            cq.query.from.size() == 1 &&
+            options_.domain_partition->count(id) == 0) {
+          break;
+        }
         cq.dirty_objects[class_name].insert(id);
         // First staleness since the last completed refresh: admission
         // control refreshes longest-stale entries first.
@@ -229,9 +261,18 @@ void QueryManager::OnUpdate(const std::string& class_name, ObjectId id) {
   }
 }
 
+void QueryManager::ApplyPartition(FtlEvaluator::Options* opts,
+                                  const FtlQuery& query) const {
+  if (options_.domain_partition == nullptr || query.from.empty()) return;
+  opts->domain_restrictions[query.from.front().var] =
+      options_.domain_partition;
+}
+
 Result<TemporalRelation> QueryManager::Evaluate(const FtlQuery& query) {
   Tick now = db_->Now();
-  FtlEvaluator eval(*db_, EvalOptions());
+  FtlEvaluator::Options opts = EvalOptions();
+  ApplyPartition(&opts, query);
+  FtlEvaluator eval(*db_, opts);
   return eval.EvaluateQuery(
       query, Interval(now, TickSaturatingAdd(now, options_.horizon)));
 }
@@ -315,7 +356,16 @@ Status QueryManager::Refresh(Continuous* cq) {
     size_t domain_total = 0;
     for (const FromBinding& fb : cq->query.from) {
       auto cls = db_->GetClass(fb.class_name);
-      if (cls.ok()) domain_total += (*cls)->size();
+      if (!cls.ok()) continue;
+      size_t extent = (*cls)->size();
+      // A partitioned manager's first variable ranges over the owned ids
+      // only, so measure the dirty fraction against that (heuristic only;
+      // both paths stay byte-identical).
+      if (options_.domain_partition != nullptr &&
+          &fb == &cq->query.from.front()) {
+        extent = std::min(extent, options_.domain_partition->size());
+      }
+      domain_total += extent;
     }
     if (domain_total > 0 &&
         static_cast<double>(dirty_total) <=
@@ -352,6 +402,7 @@ Status QueryManager::RefreshFull(Continuous* cq, const char* reason) {
       options_.enable_profiling ? std::make_shared<obs::QueryProfile>()
                                 : nullptr;
   FtlEvaluator::Options opts = EvalOptions();
+  ApplyPartition(&opts, cq->query);
   if (profile != nullptr) {
     profile->query = cq->query.ToString();
     profile->window = RenderWindow(cq->window_begin, cq->expires_at);
@@ -462,12 +513,35 @@ Status QueryManager::RefreshDelta(Continuous* cq) {
   // 2. One restricted pass per dirty column: variable i pinned to the
   //    dirty ids, every other domain unrestricted. A row binding dirty
   //    objects in several columns is re-derived by each of their passes
-  //    with identical tick sets, so the splice dedupes by binding.
+  //    with identical tick sets, so the splice dedupes by binding. A
+  //    partitioned manager additionally pins the first FROM variable to
+  //    the owned partition in every pass (and intersects the pass's dirty
+  //    set with it when the dirty column *is* the partitioned variable),
+  //    so the passes re-derive exactly the evicted rows of the
+  //    partition-filtered relation (docs/sharding.md).
+  const std::string* part_var =
+      (options_.domain_partition != nullptr && !cq->query.from.empty())
+          ? &cq->query.from.front().var
+          : nullptr;
   for (size_t i = 0; i < vars.size(); ++i) {
     if (col_dirty[i] == nullptr) continue;
     FtlEvaluator::Options opts = EvalOptions();
-    opts.domain_restrictions[vars[i]] =
-        std::make_shared<const std::set<ObjectId>>(*col_dirty[i]);
+    ApplyPartition(&opts, cq->query);
+    if (part_var != nullptr && vars[i] == *part_var) {
+      auto owned_dirty = std::make_shared<std::set<ObjectId>>();
+      for (ObjectId id : *col_dirty[i]) {
+        if (options_.domain_partition->count(id) > 0) {
+          owned_dirty->insert(id);
+        }
+      }
+      // All dirty ids of this column are foreign: no owned row was
+      // evicted by this column, nothing to re-derive for it.
+      if (owned_dirty->empty()) continue;
+      opts.domain_restrictions[vars[i]] = std::move(owned_dirty);
+    } else {
+      opts.domain_restrictions[vars[i]] =
+          std::make_shared<const std::set<ObjectId>>(*col_dirty[i]);
+    }
     if (profile != nullptr) {
       obs::ProfileNode* pass = profile->root.AddChild(
           "RestrictedPass " + vars[i] + " (" +
@@ -538,6 +612,20 @@ Result<std::vector<AnswerTuple>> QueryManager::ContinuousAnswer(QueryId id) {
   return ContinuousAnswerLocked(id);
 }
 
+Result<QueryManager::AnswerSnapshot> QueryManager::SnapshotContinuousAnswer(
+    QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = continuous_.find(id);
+  if (it == continuous_.end()) {
+    return Status::NotFound("continuous query " + std::to_string(id));
+  }
+  Continuous& cq = it->second;
+  if (NeedsRefresh(cq, db_->Now())) {
+    MOST_RETURN_IF_ERROR(Refresh(&cq));
+  }
+  return AnswerSnapshot{cq.answer, cq.degrade, cq.evaluated_at};
+}
+
 QueryManager::ConfidenceColumns QueryManager::ResolveConfidenceColumns(
     const FtlQuery& query, const std::vector<std::string>& vars) const {
   // Resolved once per relation read; the per-row loop then only does
@@ -577,24 +665,13 @@ Confidence QueryManager::BindingConfidence(
   return Confidence::kCertain;
 }
 
-Result<std::vector<AnswerTuple>> QueryManager::ContinuousAnswerLocked(
-    QueryId id) {
-  auto it = continuous_.find(id);
-  if (it == continuous_.end()) {
-    return Status::NotFound("continuous query " + std::to_string(id));
-  }
-  Continuous& cq = it->second;
-  if (NeedsRefresh(cq, db_->Now())) {
-    MOST_RETURN_IF_ERROR(Refresh(&cq));
-  }
+std::vector<AnswerTuple> QueryManager::FlattenAnswer(
+    const FtlQuery& query, const TemporalRelation& relation,
+    bool force_stale) const {
   Tick now = db_->Now();
-  ConfidenceColumns cols = ResolveConfidenceColumns(cq.query, cq.answer.vars);
-  // While degraded the materialized relation is a previous or partial
-  // answer: the engine will not vouch for any of it, so every tuple is
-  // demoted to the may-answer regardless of per-object staleness.
-  const bool force_stale = cq.degrade != DegradeReason::kNone;
+  ConfidenceColumns cols = ResolveConfidenceColumns(query, relation.vars);
   std::vector<AnswerTuple> out;
-  for (const auto& [binding, when] : cq.answer.rows) {
+  for (const auto& [binding, when] : relation.rows) {
     // Confidence is re-derived at read time, not cached at evaluation
     // time: objects drift into staleness as the clock advances with no
     // update (and pop back to certain on a fresh one) without any
@@ -606,6 +683,29 @@ Result<std::vector<AnswerTuple>> QueryManager::ContinuousAnswerLocked(
     }
   }
   return out;
+}
+
+void QueryManager::SetDomainPartition(
+    std::shared_ptr<const std::set<ObjectId>> partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.domain_partition = std::move(partition);
+}
+
+Result<std::vector<AnswerTuple>> QueryManager::ContinuousAnswerLocked(
+    QueryId id) {
+  auto it = continuous_.find(id);
+  if (it == continuous_.end()) {
+    return Status::NotFound("continuous query " + std::to_string(id));
+  }
+  Continuous& cq = it->second;
+  if (NeedsRefresh(cq, db_->Now())) {
+    MOST_RETURN_IF_ERROR(Refresh(&cq));
+  }
+  // While degraded the materialized relation is a previous or partial
+  // answer: the engine will not vouch for any of it, so every tuple is
+  // demoted to the may-answer regardless of per-object staleness.
+  return FlattenAnswer(cq.query, cq.answer,
+                       /*force_stale=*/cq.degrade != DegradeReason::kNone);
 }
 
 Result<std::vector<std::vector<ObjectId>>> QueryManager::CurrentAnswer(

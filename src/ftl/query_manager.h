@@ -83,9 +83,28 @@ class QueryManager {
     /// owned; may be null).
     const MotionIndexManager* motion_indexes = nullptr;
     /// Worker threads for atomic-predicate extraction and for batch
-    /// re-evaluation (TickAll). 1 keeps the exact legacy serial path; any
-    /// value produces byte-identical answers (docs/parallel_eval.md).
+    /// re-evaluation (TickAll). 1 keeps the exact legacy serial path
+    /// (no pool at all); 0 sizes the pool to
+    /// std::thread::hardware_concurrency(); any value produces
+    /// byte-identical answers (docs/parallel_eval.md). Earlier releases
+    /// treated 0 as silently serial — ask for 1 explicitly if that is
+    /// what you want.
     size_t thread_count = 1;
+    /// Register an update listener on the database (the default). The
+    /// sharded engine turns this off and instead feeds each shard's
+    /// manager coalesced per-tick batches through NoteUpdates, so the
+    /// parallel queue drain never funnels every update through every
+    /// manager's listener serially (docs/sharding.md).
+    bool listen = true;
+    /// Standing partition of the object domain: when set, the FIRST FROM
+    /// variable of every query this manager runs is restricted to these
+    /// ids (composed into full and delta refreshes and instantaneous
+    /// evaluation alike). Because FTL relations are pointwise in their
+    /// bindings, the manager's answers are then exactly the unpartitioned
+    /// answers filtered to rows whose first-variable binding is owned —
+    /// which is what makes the sharded engine's union-over-shards gather
+    /// byte-identical to a single-shard oracle (docs/sharding.md).
+    std::shared_ptr<const std::set<ObjectId>> domain_partition;
     /// Caches atomic-predicate interval sets across re-evaluations,
     /// invalidated per object by database update listeners. Off by
     /// default; safe to combine with any thread_count.
@@ -181,6 +200,41 @@ class QueryManager {
   /// (kStale when a bound object is past the staleness horizon).
   Result<std::vector<AnswerTuple>> ContinuousAnswer(QueryId id);
 
+  /// The raw materialized projected relation behind ContinuousAnswer,
+  /// refreshed first if stale. This is the sharded engine's gather hook:
+  /// the per-shard *relations* must be merged (projection can collapse a
+  /// binding present in several shards, whose tick sets then union and
+  /// re-coalesce) before tuples are flattened, so handing out the tuple
+  /// list would lose the byte-identity contract (docs/sharding.md).
+  /// `degrade` is kNone while the relation is fully up to date; anything
+  /// else means this is a previous/partial answer the caller must not
+  /// vouch for.
+  struct AnswerSnapshot {
+    TemporalRelation answer;
+    DegradeReason degrade = DegradeReason::kNone;
+    Tick evaluated_at = 0;
+  };
+  Result<AnswerSnapshot> SnapshotContinuousAnswer(QueryId id);
+
+  /// Flattens a projected relation into the tuple form ContinuousAnswer
+  /// returns: rows in map order, intervals in order, confidence re-derived
+  /// per binding at the current tick (`force_stale` demotes every tuple,
+  /// as a degraded answer does). ContinuousAnswer itself goes through this
+  /// helper, so the sharded engine's gather — which merges per-shard
+  /// snapshot relations and then flattens the union — produces tuples byte
+  /// for byte as a single-shard manager would (docs/sharding.md).
+  std::vector<AnswerTuple> FlattenAnswer(const FtlQuery& query,
+                                         const TemporalRelation& relation,
+                                         bool force_stale) const;
+
+  /// Replaces the standing domain partition (Options::domain_partition).
+  /// The caller owns re-derivation: swap the partition, then mark every id
+  /// whose ownership changed dirty (NoteUpdates) so the delta path evicts
+  /// or re-derives exactly those rows — the sharded engine does this when
+  /// an object is created or deleted. Must not run concurrently with
+  /// refreshes.
+  void SetDomainPartition(std::shared_ptr<const std::set<ObjectId>> partition);
+
   /// What the user's display shows at the current tick: the *must*
   /// answer. Tuples binding stale objects are excluded — the database
   /// refuses to vouch for dead-reckoned fiction.
@@ -244,8 +298,17 @@ class QueryManager {
   /// The shared atomic-interval cache, or null when not enabled.
   IntervalCache* interval_cache() { return cache_.get(); }
 
-  /// The worker pool, or null when thread_count <= 1.
+  /// The worker pool, or null when thread_count == 1.
   ThreadPool* pool() { return pool_.get(); }
+
+  /// Batch form of the update listener, for managers created with
+  /// Options::listen == false: invalidates the ids' cached interval sets,
+  /// marks continuous-query dirty sets, and extends persistent-query
+  /// recordings — everything OnUpdate does, under one lock acquisition
+  /// for the whole batch. Safe to call concurrently from several threads
+  /// (the sharded engine calls it once per shard per drained tick).
+  void NoteUpdates(const std::string& class_name,
+                   const std::vector<ObjectId>& ids);
 
   // ---- Persistent queries ----------------------------------------------
 
@@ -382,7 +445,16 @@ class QueryManager {
                                const std::vector<ObjectId>& binding,
                                Tick now) const;
   FtlEvaluator::Options EvalOptions() const;
+  /// Composes Options::domain_partition into an evaluation: restricts the
+  /// query's first FROM variable to the partition (no-op when
+  /// unpartitioned or variable-free).
+  void ApplyPartition(FtlEvaluator::Options* opts,
+                      const FtlQuery& query) const;
   void OnUpdate(const std::string& class_name, ObjectId id);
+  /// One update's registry bookkeeping (dirty marking + persistent
+  /// recording), shared by OnUpdate and NoteUpdates. Caller holds mu_.
+  void NoteUpdateLocked(const std::string& class_name, ObjectId id,
+                        Tick now);
 
   /// Per-field resolution of the governance knobs: the Options value when
   /// non-zero, else the global governor's limit (zero-for-zero, so the

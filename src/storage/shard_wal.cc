@@ -1,0 +1,37 @@
+#include "storage/shard_wal.h"
+
+namespace most {
+
+std::string ShardWal::PathFor(const std::string& dir, size_t shard) {
+  return dir + "/shard-" + std::to_string(shard) + ".wal";
+}
+
+Status ShardWal::Open(const std::string& dir, size_t shard) {
+  path_ = PathFor(dir, shard);
+  return writer_.Open(path_);
+}
+
+Result<std::vector<WalRecord>> ReadShardWals(const std::string& dir,
+                                             size_t shard_count,
+                                             RecoveryReport* report) {
+  std::vector<WalRecord> all;
+  for (size_t shard = 0; shard < shard_count; ++shard) {
+    RecoveryReport shard_report;
+    MOST_ASSIGN_OR_RETURN(
+        std::vector<WalRecord> records,
+        RecoverWal(ShardWal::PathFor(dir, shard), &shard_report));
+    for (WalRecord& r : records) all.push_back(std::move(r));
+    if (report != nullptr) {
+      report->applied += shard_report.applied;
+      report->salvaged += shard_report.salvaged;
+      report->dropped += shard_report.dropped;
+      report->tail_truncated |= shard_report.tail_truncated;
+      if (report->first_error.empty()) {
+        report->first_error = shard_report.first_error;
+      }
+    }
+  }
+  return all;
+}
+
+}  // namespace most

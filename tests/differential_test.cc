@@ -31,6 +31,7 @@
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "core/sharded_engine.h"
 #include "ftl/query_manager.h"
 #include "test_seed.h"
 #include "workload/fleet.h"
@@ -650,6 +651,163 @@ TEST(DifferentialTest, DeltaRefreshEnvArmedProbeFires) {
       << "update-triggered refresh was not served by the delta path";
   EXPECT_GE(reg.triggered("ftl/delta/refresh"), 1u)
       << "environment-armed delta probe did not fire";
+}
+
+// Shard counts the sharded corpus sweeps. MOST_SHARDS pins the sweep to
+// one count (the CI sharded stage runs the suite once per count under
+// sanitizers instead of 4x in one process).
+std::vector<size_t> ShardCounts() {
+  if (const char* env = std::getenv("MOST_SHARDS")) {
+    int n = std::atoi(env);
+    if (n > 0) return {static_cast<size_t>(n)};
+  }
+  return {1, 2, 4, 8};
+}
+
+// Corpus 4: scatter-gather sharding. A sharded engine (twin database, all
+// updates routed through the per-shard handoff queues and drained in
+// parallel) must produce gathered continuous answers byte-identical to an
+// unsharded serial QueryManager at every shard count — across random
+// two-variable formulas (including DIST atoms whose join partners hash to
+// different shards), coalesced updates, creations, deletions and window
+// expiries. Instantaneous scatter evaluation is differenced the same way.
+TEST(DifferentialTest, ShardedEngineMatchesUnshardedOracle) {
+  int schedules = 0;
+  uint64_t sharded_delta_served = 0;
+  for (uint64_t seed : test::SuiteSeeds("DifferentialTest.Sharded",
+                                        {1, 2, 3, 5, 42, 1997, 2026})) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    for (size_t shards : ShardCounts()) {
+      SCOPED_TRACE("shards=" + std::to_string(shards));
+      Rng rng(seed * 2654435761u + shards);
+      for (int world = 0; world < 2; ++world) {
+        // Twin worlds: two identically-seeded generator streams produce
+        // identical objects (and identical ids — both databases hand out
+        // the same id counter).
+        const uint64_t world_seed = seed * 131 + static_cast<uint64_t>(world);
+        MostDatabase oracle_db;
+        MostDatabase engine_db;
+        {
+          Rng wrng(world_seed);
+          ASSERT_NO_FATAL_FAILURE(BuildGridWorld(&wrng, &oracle_db, 4));
+        }
+        {
+          Rng wrng(world_seed);
+          ASSERT_NO_FATAL_FAILURE(BuildGridWorld(&wrng, &engine_db, 4));
+        }
+
+        QueryManager::Options qm_opt;
+        qm_opt.horizon = 24;
+        qm_opt.delta_max_dirty_fraction = 1.0;
+        QueryManager oracle(&oracle_db, qm_opt);
+
+        ShardedEngine::Options eng_opt;
+        eng_opt.shard_count = shards;
+        eng_opt.query_options = qm_opt;
+        ShardedEngine engine(&engine_db, eng_opt);
+
+        for (int q = 0; q < 2; ++q) {
+          ++schedules;
+          FtlQuery query;
+          query.retrieve = {"o", "n"};
+          query.from = {{"M", "o"}, {"M", "n"}};
+          query.where = RandomFormula(&rng, 2);
+
+          auto oracle_id = oracle.RegisterContinuous(query);
+          auto engine_id = engine.RegisterContinuous(query);
+          ASSERT_TRUE(oracle_id.ok())
+              << oracle_id.status()
+              << "\nformula: " << query.where->ToString();
+          ASSERT_TRUE(engine_id.ok()) << engine_id.status();
+
+          for (int step = 0; step < 5; ++step) {
+            // Mutations decided once, applied directly to the oracle and
+            // enqueued to the engine.
+            std::vector<ObjectId> live;
+            auto cls = oracle_db.GetClass("M");
+            ASSERT_TRUE(cls.ok());
+            for (const auto& [id, obj] : (*cls)->objects()) {
+              live.push_back(id);
+            }
+            int mutations = static_cast<int>(rng.UniformInt(1, 3));
+            for (int m = 0; m < mutations && !live.empty(); ++m) {
+              ObjectId target = live[static_cast<size_t>(
+                  rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+              if (rng.Bernoulli(0.3)) {
+                double fuel = Grid(&rng, 0, 100);
+                TimeFunction fn = TimeFunction::Linear(Grid(&rng, -2, 2));
+                ASSERT_TRUE(oracle_db
+                                .UpdateDynamic("M", target, "FUEL", fuel, fn)
+                                .ok());
+                engine.EnqueueDynamic("M", target, "FUEL", fuel, fn);
+              } else {
+                Point2 pos{Grid(&rng, -20, 20), Grid(&rng, -20, 20)};
+                Vec2 vel{Grid(&rng, -2, 2), Grid(&rng, -2, 2)};
+                ASSERT_TRUE(oracle_db.SetMotion("M", target, pos, vel).ok());
+                engine.EnqueueMotion("M", target, pos, vel);
+              }
+            }
+            if (rng.Bernoulli(0.15) && live.size() > 2) {
+              ObjectId victim = live[static_cast<size_t>(
+                  rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+              ASSERT_TRUE(oracle_db.DeleteObject("M", victim).ok());
+              ASSERT_TRUE(engine.DeleteObject("M", victim).ok());
+            } else if (rng.Bernoulli(0.15)) {
+              auto o1 = oracle_db.CreateObject("M");
+              auto o2 = engine.CreateObject("M");
+              ASSERT_TRUE(o1.ok() && o2.ok());
+              ASSERT_EQ((*o1)->id(), (*o2)->id());
+              Point2 pos{Grid(&rng, -20, 20), Grid(&rng, -20, 20)};
+              Vec2 vel{Grid(&rng, -2, 2), Grid(&rng, -2, 2)};
+              ASSERT_TRUE(
+                  oracle_db.SetMotion("M", (*o1)->id(), pos, vel).ok());
+              engine.EnqueueMotion("M", (*o2)->id(), pos, vel);
+            }
+            // Apply the engine's queued batch at the current tick (as the
+            // oracle just did), then advance both clocks together.
+            ASSERT_TRUE(engine.DrainAndRefresh().ok());
+            Tick advance = rng.Bernoulli(0.15) ? 30 : rng.UniformInt(0, 3);
+            ASSERT_TRUE(engine.Advance(advance).ok());
+            oracle_db.clock().AdvanceTo(engine_db.Now());
+
+            auto want = oracle.ContinuousAnswer(*oracle_id);
+            auto got = engine.ContinuousAnswer(*engine_id);
+            ASSERT_TRUE(want.ok())
+                << want.status()
+                << "\nformula: " << query.where->ToString();
+            ASSERT_TRUE(got.ok()) << got.status();
+            EXPECT_TRUE(got->complete());
+            ASSERT_EQ(got->tuples, *want)
+                << "sharded gather diverged from oracle at step " << step
+                << " with " << shards << " shards\nformula: "
+                << query.where->ToString();
+          }
+
+          // Instantaneous scatter evaluation differenced on the final
+          // state.
+          auto want_rel = oracle.Evaluate(query);
+          auto got_rel = engine.Evaluate(query);
+          ASSERT_TRUE(want_rel.ok()) << want_rel.status();
+          ASSERT_TRUE(got_rel.ok()) << got_rel.status();
+          EXPECT_EQ(got_rel->vars, want_rel->vars);
+          ASSERT_EQ(got_rel->rows, want_rel->rows)
+              << "scatter Evaluate diverged with " << shards
+              << " shards\nformula: " << query.where->ToString();
+
+          ASSERT_TRUE(engine.Cancel(*engine_id).ok());
+          ASSERT_TRUE(oracle.Cancel(*oracle_id).ok());
+        }
+        sharded_delta_served +=
+            engine.TotalRefreshCounters().delta_evaluations;
+      }
+    }
+  }
+  if (!test::SeedOverridden() && ShardCounts().size() > 1) {
+    EXPECT_GE(schedules, 100) << "sharded differential corpus shrank";
+    // The partition-aware delta path must actually serve refreshes, or
+    // the corpus degenerates into full-vs-full.
+    EXPECT_GE(sharded_delta_served, 100u);
+  }
 }
 
 }  // namespace

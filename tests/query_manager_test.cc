@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/thread_pool.h"
 #include "ftl/parser.h"
 
 namespace most {
@@ -678,6 +680,28 @@ TEST_F(ParallelQueryManagerTest, ParallelAnswersMatchSerialManager) {
     EXPECT_EQ(again->rows, slow->rows) << text << " (cached)";
   }
   EXPECT_GT(qm_.interval_cache()->stats().hits, 0u);
+}
+
+// thread_count == 0 means "size the pool to the machine" (explicit 1 is
+// the serial no-pool path). Answers must be independent of that choice.
+TEST_F(ParallelQueryManagerTest, ThreadCountZeroSizesPoolToHardware) {
+  for (int i = 0; i < 8; ++i) {
+    AddCar({static_cast<double>(-4 * i - 4), 5.0}, {1, 0});
+  }
+  QueryManager hw(&db_, {.horizon = 200, .thread_count = 0});
+  QueryManager serial(&db_, {.horizon = 200, .thread_count = 1});
+  FtlQuery q = Parse("RETRIEVE o FROM CARS o WHERE EVENTUALLY INSIDE(o, P)");
+  auto a = hw.Evaluate(q);
+  auto b = serial.Evaluate(q);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(a->rows, b->rows);
+  // The delegation target: a zero-sized pool spawns hardware_concurrency
+  // workers (at least one), never zero.
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.thread_count(),
+            std::max(1u, std::thread::hardware_concurrency()));
 }
 
 TEST_F(ParallelQueryManagerTest, TickAllRefreshesEveryStaleQuery) {

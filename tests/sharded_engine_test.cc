@@ -1,0 +1,382 @@
+// Unit tests for the shard-per-core engine (docs/sharding.md): routing,
+// scatter-gather byte-identity against an unsharded oracle, cross-shard
+// edge cases (DIST atoms straddling shards, empty shards), resharding,
+// degradation, and per-shard WAL replay.
+
+#include "core/sharded_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/shard_router.h"
+#include "ftl/ast.h"
+#include "ftl/query_manager.h"
+#include "workload/fleet.h"
+
+namespace most {
+namespace {
+
+FleetGenerator::Options SmallFleet(size_t vehicles, uint64_t seed) {
+  FleetGenerator::Options opt;
+  opt.num_vehicles = vehicles;
+  opt.area = 100.0;
+  opt.change_probability = 0.2;
+  opt.seed = seed;
+  return opt;
+}
+
+FtlQuery InsideQuery() {
+  FtlQuery q;
+  q.retrieve = {"o"};
+  q.from = {{"V", "o"}};
+  q.where = FtlFormula::Eventually(FtlFormula::Inside("o", "R1"));
+  return q;
+}
+
+FtlQuery DistQuery(double radius) {
+  FtlQuery q;
+  q.retrieve = {"o", "n"};
+  q.from = {{"V", "o"}, {"V", "n"}};
+  q.where = FtlFormula::Compare(FtlFormula::CmpOp::kLt,
+                                FtlTerm::Dist("o", "n"),
+                                FtlTerm::Literal(Value(radius)));
+  return q;
+}
+
+// Builds identical fleet worlds in `oracle_db` and `engine_db` and defines
+// the region both query forms reference.
+void BuildTwinWorlds(const FleetGenerator::Options& fopt,
+                     MostDatabase* oracle_db, MostDatabase* engine_db) {
+  for (MostDatabase* db : {oracle_db, engine_db}) {
+    FleetGenerator fleet(fopt);
+    ASSERT_TRUE(fleet.Populate(db, "V").ok());
+    ASSERT_TRUE(
+        db->DefineRegion("R1", Polygon::Rectangle({10, 10}, {60, 60})).ok());
+  }
+}
+
+// Drives the same update schedule into the oracle database (direct
+// application) and the engine (enqueue + Advance), comparing the gathered
+// continuous answer against the oracle's after every tick.
+void RunScheduleAndCompare(const FleetGenerator::Options& fopt,
+                           size_t shard_count, Tick ticks,
+                           const FtlQuery& query) {
+  MostDatabase oracle_db;
+  MostDatabase engine_db;
+  ASSERT_NO_FATAL_FAILURE(BuildTwinWorlds(fopt, &oracle_db, &engine_db));
+
+  QueryManager::Options qm_opt;
+  qm_opt.horizon = 32;
+  qm_opt.delta_max_dirty_fraction = 1.0;
+  QueryManager oracle(&oracle_db, qm_opt);
+
+  ShardedEngine::Options eng_opt;
+  eng_opt.shard_count = shard_count;
+  eng_opt.query_options = qm_opt;
+  ShardedEngine engine(&engine_db, eng_opt);
+  ASSERT_EQ(engine.shard_count(), shard_count);
+
+  auto oracle_id = oracle.RegisterContinuous(query);
+  auto engine_id = engine.RegisterContinuous(query);
+  ASSERT_TRUE(oracle_id.ok()) << oracle_id.status();
+  ASSERT_TRUE(engine_id.ok()) << engine_id.status();
+
+  FleetGenerator fleet(fopt);
+  std::vector<MotionUpdate> updates = fleet.GenerateUpdates(ticks);
+  size_t next = 0;
+  for (Tick t = 1; t <= ticks; ++t) {
+    // Enqueue this tick's updates, then advance: the engine applies them
+    // at tick t, exactly when the oracle does.
+    size_t batch_begin = next;
+    while (next < updates.size() && updates[next].at == t) {
+      const MotionUpdate& u = updates[next];
+      engine.EnqueueMotion("V", u.id, u.position, u.velocity);
+      ++next;
+    }
+    ASSERT_TRUE(engine.Advance(1).ok());
+    oracle_db.clock().AdvanceTo(t);
+    for (size_t i = batch_begin; i < next; ++i) {
+      ASSERT_TRUE(
+          FleetGenerator::Apply(&oracle_db, "V", updates[i]).ok());
+    }
+
+    auto want = oracle.ContinuousAnswer(*oracle_id);
+    auto got = engine.ContinuousAnswer(*engine_id);
+    ASSERT_TRUE(want.ok()) << want.status();
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(got->complete());
+    ASSERT_EQ(got->tuples, *want)
+        << "sharded answer diverged from oracle at tick " << t << " with "
+        << shard_count << " shards";
+  }
+}
+
+TEST(ShardedEngineTest, ShardRouterIsStableAndCoversAllShards) {
+  ShardRouter router(8);
+  std::set<size_t> hit;
+  for (ObjectId id = 0; id < 1000; ++id) {
+    size_t k = router.ShardOf(id);
+    EXPECT_LT(k, 8u);
+    EXPECT_EQ(k, router.ShardOf(id));  // Pure function of (id, count).
+    hit.insert(k);
+  }
+  EXPECT_EQ(hit.size(), 8u) << "hash assignment left shards empty";
+}
+
+TEST(ShardedEngineTest, SingleShardMatchesUnshardedByteForByte) {
+  RunScheduleAndCompare(SmallFleet(12, 7), /*shard_count=*/1, /*ticks=*/10,
+                        InsideQuery());
+}
+
+TEST(ShardedEngineTest, FourShardsMatchOracleOnSingleVariableQuery) {
+  RunScheduleAndCompare(SmallFleet(16, 11), /*shard_count=*/4, /*ticks=*/10,
+                        InsideQuery());
+}
+
+// A DIST atom joins objects that hash to different shards: every shard
+// evaluates (o restricted to its partition, n unrestricted), so cross-
+// shard pairs must survive the gather.
+TEST(ShardedEngineTest, DistAtomStraddlingShardsMatchesOracle) {
+  RunScheduleAndCompare(SmallFleet(10, 13), /*shard_count=*/4, /*ticks=*/8,
+                        DistQuery(25.0));
+}
+
+// More shards than objects: some shards own nothing and contribute empty
+// relations; the gather must still be byte-identical and complete.
+TEST(ShardedEngineTest, EmptyShardsGatherCleanly) {
+  RunScheduleAndCompare(SmallFleet(2, 17), /*shard_count=*/8, /*ticks=*/6,
+                        DistQuery(40.0));
+}
+
+TEST(ShardedEngineTest, StatsPartitionTheObjectDomain) {
+  MostDatabase db;
+  FleetGenerator fleet(SmallFleet(40, 3));
+  ASSERT_TRUE(fleet.Populate(&db, "V").ok());
+  ShardedEngine::Options opt;
+  opt.shard_count = 4;
+  ShardedEngine engine(&db, opt);
+  size_t total = 0;
+  for (const ShardedEngine::ShardStats& s : engine.Stats()) {
+    total += s.objects;
+    EXPECT_EQ(s.queue_depth, 0u);
+  }
+  EXPECT_EQ(total, 40u);
+}
+
+// Reshard re-partitions ownership and re-anchors query windows: the
+// contract is equality with a *fresh* oracle registered at the same tick,
+// not with the pre-reshard state (docs/sharding.md).
+TEST(ShardedEngineTest, ReshardMatchesFreshOracleAndMovesOwnership) {
+  FleetGenerator::Options fopt = SmallFleet(20, 23);
+  MostDatabase oracle_db;
+  MostDatabase engine_db;
+  ASSERT_NO_FATAL_FAILURE(BuildTwinWorlds(fopt, &oracle_db, &engine_db));
+
+  QueryManager::Options qm_opt;
+  qm_opt.horizon = 32;
+  ShardedEngine::Options eng_opt;
+  eng_opt.shard_count = 2;
+  eng_opt.query_options = qm_opt;
+  ShardedEngine engine(&engine_db, eng_opt);
+  auto engine_id = engine.RegisterContinuous(InsideQuery());
+  ASSERT_TRUE(engine_id.ok());
+
+  // Some ownership must actually move between 2 and 5 shards.
+  std::vector<size_t> owner_before;
+  for (ObjectId id = 0; id < 20; ++id) {
+    owner_before.push_back(engine.ShardOf(id));
+  }
+  ASSERT_TRUE(engine.Advance(3).ok());
+  oracle_db.clock().AdvanceTo(3);
+
+  ASSERT_TRUE(engine.Reshard(5).ok());
+  EXPECT_EQ(engine.shard_count(), 5u);
+  bool moved = false;
+  size_t total = 0;
+  for (const ShardedEngine::ShardStats& s : engine.Stats()) total += s.objects;
+  EXPECT_EQ(total, 20u) << "reshard lost or duplicated objects";
+  for (ObjectId id = 0; id < 20; ++id) {
+    if (engine.ShardOf(id) != owner_before[id]) moved = true;
+  }
+  EXPECT_TRUE(moved) << "rehash moved no object between shards";
+
+  // The engine id survives the reshard; answers equal a fresh oracle.
+  QueryManager fresh_oracle(&oracle_db, qm_opt);
+  auto oracle_id = fresh_oracle.RegisterContinuous(InsideQuery());
+  ASSERT_TRUE(oracle_id.ok());
+  auto want = fresh_oracle.ContinuousAnswer(*oracle_id);
+  auto got = engine.ContinuousAnswer(*engine_id);
+  ASSERT_TRUE(want.ok()) << want.status();
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_TRUE(got->complete());
+  EXPECT_EQ(got->tuples, *want);
+}
+
+// Engine-mediated creations and deletions keep partitions, indexes and
+// answers consistent.
+TEST(ShardedEngineTest, StructuralOpsReassignOwnershipAndDirtyQueries) {
+  MostDatabase oracle_db;
+  MostDatabase engine_db;
+  ASSERT_NO_FATAL_FAILURE(
+      BuildTwinWorlds(SmallFleet(6, 29), &oracle_db, &engine_db));
+  QueryManager::Options qm_opt;
+  qm_opt.horizon = 32;
+  QueryManager oracle(&oracle_db, qm_opt);
+  ShardedEngine::Options eng_opt;
+  eng_opt.shard_count = 4;
+  eng_opt.query_options = qm_opt;
+  ShardedEngine engine(&engine_db, eng_opt);
+
+  auto oid = oracle.RegisterContinuous(DistQuery(30.0));
+  auto eid = engine.RegisterContinuous(DistQuery(30.0));
+  ASSERT_TRUE(oid.ok() && eid.ok());
+
+  // Create one object on both sides (same id: both databases hand out the
+  // same counter), give it motion, then delete another.
+  auto oracle_obj = oracle_db.CreateObject("V");
+  auto engine_obj = engine.CreateObject("V");
+  ASSERT_TRUE(oracle_obj.ok() && engine_obj.ok());
+  ASSERT_EQ((*oracle_obj)->id(), (*engine_obj)->id());
+  ObjectId new_id = (*engine_obj)->id();
+  ASSERT_TRUE(oracle_db.SetMotion("V", new_id, {20, 20}, {1, 0}).ok());
+  engine.EnqueueMotion("V", new_id, {20, 20}, {1, 0});
+  ASSERT_TRUE(engine.DrainAndRefresh().ok());
+
+  ASSERT_TRUE(oracle_db.DeleteObject("V", 0).ok());
+  ASSERT_TRUE(engine.DeleteObject("V", 0).ok());
+
+  ASSERT_TRUE(engine.Advance(2).ok());
+  oracle_db.clock().AdvanceTo(2);
+
+  auto want = oracle.ContinuousAnswer(*oid);
+  auto got = engine.ContinuousAnswer(*eid);
+  ASSERT_TRUE(want.ok()) << want.status();
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->tuples, *want);
+
+  size_t total = 0;
+  for (const ShardedEngine::ShardStats& s : engine.Stats()) total += s.objects;
+  EXPECT_EQ(total, 6u);  // 6 initial + 1 created - 1 deleted.
+}
+
+// A shard that blows its refresh budget degrades instead of blocking the
+// gather: the merged answer lists it in missing_shards and every tuple is
+// demoted to kStale (completeness marking, docs/sharding.md).
+TEST(ShardedEngineTest, DegradedShardPoisonsGatherAsStale) {
+  MostDatabase db;
+  FleetGenerator fleet(SmallFleet(12, 31));
+  ASSERT_TRUE(fleet.Populate(&db, "V").ok());
+  ASSERT_TRUE(
+      db.DefineRegion("R1", Polygon::Rectangle({0, 0}, {100, 100})).ok());
+
+  ShardedEngine::Options opt;
+  opt.shard_count = 4;
+  opt.query_options.horizon = 32;
+  // One arena byte: every shard's refresh trips the memory gate at its
+  // first budget checkpoint. (max_rows would need a join to materialize a
+  // row-counted relation; the arena knob sheds any evaluation shape.)
+  opt.query_options.refresh_budget.max_arena_bytes = 1;
+  ShardedEngine engine(&db, opt);
+  auto id = engine.RegisterContinuous(InsideQuery());
+  ASSERT_TRUE(id.ok());
+
+  auto got = engine.ContinuousAnswer(*id);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_FALSE(got->complete());
+  EXPECT_FALSE(got->missing_shards.empty());
+  for (const AnswerTuple& t : got->tuples) {
+    EXPECT_EQ(t.confidence, Confidence::kStale);
+  }
+}
+
+// Per-shard ownership-filtered motion indexes: the engine-level union of
+// candidate supersets equals an unfiltered manager's candidates.
+TEST(ShardedEngineTest, CandidatesNearObjectUnionsShardIndexes) {
+  MostDatabase db;
+  FleetGenerator fleet(SmallFleet(30, 37));
+  ASSERT_TRUE(fleet.Populate(&db, "V").ok());
+
+  ShardedEngine::Options opt;
+  opt.shard_count = 4;
+  opt.index_classes = {"V"};
+  ShardedEngine engine(&db, opt);
+
+  MotionIndexManager full(&db);
+  ASSERT_TRUE(full.IndexClass("V").ok());
+
+  auto cls = db.GetClass("V");
+  ASSERT_TRUE(cls.ok());
+  const MostObject* probe = *(*cls)->Get(3);
+  Interval window(0, 16);
+  auto want = full.CandidatesNearObject("V", *probe, 10.0, window);
+  auto got = engine.CandidatesNearObject("V", *probe, 10.0, window);
+  ASSERT_TRUE(want.has_value());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, *want);
+}
+
+// Durability: every drained update lands in its owner shard's WAL; replay
+// into a fresh database reconstructs the exact object state.
+TEST(ShardedEngineTest, ShardWalRoundTripReplaysExactState) {
+  const std::string dir = ::testing::TempDir() + "/shard_wal_roundtrip";
+  // Shard WALs open in append mode (a reopened engine must not truncate
+  // its own history), so a rerun against a dirty dir would replay twice.
+  std::filesystem::remove_all(dir);
+  const size_t kShards = 4;
+  MostDatabase db;
+  ASSERT_TRUE(db.CreateClass("V", {}, /*spatial=*/true).ok());
+
+  ShardedEngine::Options opt;
+  opt.shard_count = kShards;
+  opt.wal_dir = dir;
+  ShardedEngine engine(&db, opt);
+
+  // All structure and updates flow through the engine so the logs carry
+  // the full history.
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 10; ++i) {
+    auto obj = engine.CreateObject("V");
+    ASSERT_TRUE(obj.ok());
+    ids.push_back((*obj)->id());
+  }
+  for (Tick t = 1; t <= 5; ++t) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      engine.EnqueueMotion("V", ids[i],
+                           {static_cast<double>(i) + t, 2.0 * t},
+                           {0.5 * static_cast<double>(i % 3), 1.0});
+    }
+    ASSERT_TRUE(engine.Advance(1).ok());
+  }
+  ASSERT_TRUE(engine.DeleteObject("V", ids.back()).ok());
+
+  MostDatabase replayed;
+  ASSERT_TRUE(replayed.CreateClass("V", {}, /*spatial=*/true).ok());
+  auto report = ShardedEngine::ReplayShardWals(dir, kShards, &replayed);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->applied, 50u);  // 10 creates + 50 motions + 1 delete.
+  EXPECT_EQ(replayed.Now(), db.Now());
+
+  auto orig_cls = db.GetClass("V");
+  auto repl_cls = replayed.GetClass("V");
+  ASSERT_TRUE(orig_cls.ok() && repl_cls.ok());
+  ASSERT_EQ((*repl_cls)->size(), (*orig_cls)->size());
+  for (const auto& [id, obj] : (*orig_cls)->objects()) {
+    auto copy = (*repl_cls)->Get(id);
+    ASSERT_TRUE(copy.ok());
+    // Bit-exact reconstruction: the WAL stores the update's doubles and
+    // the replay re-applies them at the same tick.
+    Point2 want = obj.PositionAt(db.Now());
+    Point2 got = (*copy)->PositionAt(db.Now());
+    EXPECT_EQ(want.x, got.x);
+    EXPECT_EQ(want.y, got.y);
+    EXPECT_EQ(obj.last_update(), (*copy)->last_update());
+  }
+}
+
+}  // namespace
+}  // namespace most
