@@ -24,6 +24,8 @@
 #include "ftl/interval_cache.h"
 #include "ftl/naive_eval.h"
 #include "ftl/parser.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "workload/fleet.h"
 
 namespace most {
@@ -296,6 +298,40 @@ void EmitBenchJson(const char* path) {
   double overhead_pct =
       (instrumented_ns - uninstrumented_ns) / uninstrumented_ns * 100.0;
 
+  // Tracing + telemetry overhead, measured the same interleaved way on
+  // top of an armed registry: spans recording into the global ring plus
+  // one per-tick telemetry sample, vs both subsystems disabled. CI holds
+  // this delta under 5% too (the PR-10 acceptance bound).
+  obs::TraceSink& sink = obs::TraceSink::Global();
+  obs::TelemetryRecorder& telemetry = obs::TelemetryRecorder::Global();
+  const bool sink_was_enabled = sink.enabled();
+  const bool telemetry_was_enabled = telemetry.enabled();
+  telemetry.Track("most_ftl_eval_total");
+  Tick telemetry_tick = 1;
+  auto time_once_traced = [&] {
+    auto t0 = std::chrono::steady_clock::now();
+    eval_with(nullptr, nullptr);
+    telemetry.OnTick(telemetry_tick++);  // No-op when disabled.
+    auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+  };
+  double traced_ns = std::numeric_limits<double>::infinity();
+  double untraced_ns = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < 7; ++round) {
+    sink.set_enabled(true);
+    telemetry.set_enabled(true);
+    traced_ns = std::min(traced_ns, time_once_traced());
+    sink.set_enabled(false);
+    telemetry.set_enabled(false);
+    untraced_ns = std::min(untraced_ns, time_once_traced());
+  }
+  sink.set_enabled(sink_was_enabled);
+  telemetry.set_enabled(telemetry_was_enabled);
+  double trace_overhead_pct =
+      (traced_ns - untraced_ns) / untraced_ns * 100.0;
+
   std::ostringstream out;
   out << "{\n"
       << "  \"benchmark\": \"ftl_eval\",\n"
@@ -317,7 +353,10 @@ void EmitBenchJson(const char* path) {
       << "  \"cache_warm_ns_per_op\": " << warm_ns << ",\n"
       << "  \"metrics_on_ns_per_op\": " << instrumented_ns << ",\n"
       << "  \"metrics_off_ns_per_op\": " << uninstrumented_ns << ",\n"
-      << "  \"metrics_overhead_pct\": " << overhead_pct << "\n";
+      << "  \"metrics_overhead_pct\": " << overhead_pct << ",\n"
+      << "  \"trace_on_ns_per_op\": " << traced_ns << ",\n"
+      << "  \"trace_off_ns_per_op\": " << untraced_ns << ",\n"
+      << "  \"trace_overhead_pct\": " << trace_overhead_pct << "\n";
   benchio::FinishBenchJson(path, "ftl_eval", out.str());
 }
 

@@ -1,0 +1,191 @@
+// Observability micro-costs: what a span, a telemetry sample and a trace
+// export actually cost. Axes:
+//
+//   * spans: disabled (the always-paid fast path — one atomic load) vs
+//     enabled vs enabled-with-annotations;
+//   * telemetry: one OnTick() over a realistic tracked-series set,
+//     disabled vs enabled;
+//   * export: ChromeTraceJson over a full 4096-span ring, raw and masked.
+//
+// Emits BENCH_obs.json after the google-benchmark run; ci.sh appends it
+// to bench/trajectories/obs.json. docs/observability.md quotes these
+// numbers for the "tracing is cheap enough to leave compiled in" claim.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "bench_obs.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace most {
+namespace {
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::TraceSink sink;  // Disabled: the cost every call site always pays.
+  for (auto _ : state) {
+    obs::TraceSpan span("bench/span", "bench", obs::CurrentTraceContext(),
+                        &sink);
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::TraceSink sink;
+  sink.set_enabled(true);
+  for (auto _ : state) {
+    obs::TraceSpan span("bench/span", "bench", obs::CurrentTraceContext(),
+                        &sink);
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TelemetryOnTick(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("bench_events_total", "events")->Inc(7);
+  registry
+      .GetHistogram("bench_latency_seconds", "latency", {0.001, 0.01, 0.1})
+      ->Observe(0.004);
+  obs::TelemetryRecorder rec;
+  rec.set_enabled(true);
+  rec.Track("bench_events_total");
+  rec.Track("bench_latency_seconds");
+  Tick t = 0;
+  for (auto _ : state) {
+    rec.OnTick(++t, registry);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_SpanDisabled);
+BENCHMARK(BM_SpanEnabled);
+BENCHMARK(BM_TelemetryOnTick);
+
+// Best-of-N batch timing: these ops are nanosecond-scale, so each sample
+// times `batch` back-to-back ops and the per-op cost is the batch best
+// divided by the batch size.
+double MeasureBatchNsPerOp(const std::function<void()>& op, int batch,
+                           int rounds = 5) {
+  op();  // Warm-up.
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < rounds; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < batch; ++i) op();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, static_cast<double>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                      .count()) /
+                  batch);
+  }
+  return best;
+}
+
+void EmitBenchJson(const std::string& path) {
+  const int kBatch = 10000;
+
+  obs::TraceSink disabled_sink;
+  double span_disabled_ns = MeasureBatchNsPerOp(
+      [&] {
+        obs::TraceSpan span("bench/span", "bench", obs::CurrentTraceContext(),
+                            &disabled_sink);
+        benchmark::DoNotOptimize(&span);
+      },
+      kBatch);
+
+  obs::TraceSink enabled_sink;
+  enabled_sink.set_enabled(true);
+  double span_enabled_ns = MeasureBatchNsPerOp(
+      [&] {
+        obs::TraceSpan span("bench/span", "bench", obs::CurrentTraceContext(),
+                            &enabled_sink);
+        benchmark::DoNotOptimize(&span);
+      },
+      kBatch);
+
+  double span_annotated_ns = MeasureBatchNsPerOp(
+      [&] {
+        obs::TraceSpan span("bench/span", "bench", obs::CurrentTraceContext(),
+                            &enabled_sink);
+        span.AnnotateU64("tick", 42);
+        span.Annotate("reason", "bench");
+      },
+      kBatch);
+
+  obs::MetricsRegistry registry;
+  registry.GetCounter("bench_events_total", "events")->Inc(7);
+  registry
+      .GetHistogram("bench_latency_seconds", "latency", {0.001, 0.01, 0.1})
+      ->Observe(0.004);
+  obs::TelemetryRecorder rec;
+  rec.Track("bench_events_total");
+  rec.Track("bench_latency_seconds");
+  Tick t = 0;
+  double ontick_disabled_ns =
+      MeasureBatchNsPerOp([&] { rec.OnTick(++t, registry); }, kBatch);
+  rec.set_enabled(true);
+  double ontick_enabled_ns =
+      MeasureBatchNsPerOp([&] { rec.OnTick(++t, registry); }, kBatch);
+
+  // A full default-capacity ring for the export measurements.
+  obs::TraceSink ring;
+  ring.set_enabled(true);
+  for (int i = 0; i < 4096; ++i) {
+    obs::TraceSpan span("bench/fill", "bench", obs::CurrentTraceContext(),
+                        &ring);
+    span.AnnotateU64("i", static_cast<uint64_t>(i));
+  }
+  size_t export_bytes = 0;
+  double export_raw_ns = MeasureBatchNsPerOp(
+      [&] {
+        std::string json = obs::ChromeTraceJson(ring);
+        export_bytes = json.size();
+        benchmark::DoNotOptimize(json);
+      },
+      /*batch=*/3);
+  obs::ChromeTraceOptions masked;
+  masked.mask = true;
+  double export_masked_ns = MeasureBatchNsPerOp(
+      [&] {
+        std::string json = obs::ChromeTraceJson(ring, masked);
+        benchmark::DoNotOptimize(json);
+      },
+      /*batch=*/3);
+
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"benchmark\": \"obs\",\n"
+      << "  \"span_disabled_ns\": " << span_disabled_ns << ",\n"
+      << "  \"span_enabled_ns\": " << span_enabled_ns << ",\n"
+      << "  \"span_annotated_ns\": " << span_annotated_ns << ",\n"
+      << "  \"telemetry_ontick_disabled_ns\": " << ontick_disabled_ns << ",\n"
+      << "  \"telemetry_ontick_enabled_ns\": " << ontick_enabled_ns << ",\n"
+      << "  \"chrome_export_spans\": 4096,\n"
+      << "  \"chrome_export_bytes\": " << export_bytes << ",\n"
+      << "  \"chrome_export_ns\": " << export_raw_ns << ",\n"
+      << "  \"chrome_export_masked_ns\": " << export_masked_ns << "\n";
+  benchio::FinishBenchJson(path, "obs", out.str());
+}
+
+}  // namespace
+}  // namespace most
+
+// Custom main: run the registered benchmarks, then emit the summary
+// quoted by docs/observability.md.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  most::EmitBenchJson("BENCH_obs.json");
+  return 0;
+}

@@ -138,6 +138,11 @@ for metric in \
   most_coord_rejoins_total \
   most_coord_catchup_bytes_total \
   most_node_recoveries_total \
+  most_trace_spans_recorded_total \
+  most_trace_spans_dropped_total \
+  most_telemetry_samples_total \
+  most_telemetry_ticks_sampled_total \
+  most_telemetry_watchdog_adjustments_total \
   most_failpoint_fired_total; do
   if ! grep -q "^${metric}" <<<"$PROM"; then
     echo "observability stage: missing required metric '${metric}'"
@@ -145,9 +150,20 @@ for metric in \
   fi
 done
 
+# Trace-golden stage: the causal-tracing suite (span parenting, context
+# propagation across the network and the sharded scatter-gather, the
+# masked Perfetto/Chrome-trace golden, JSON escaping) and the telemetry
+# timeline suite (sampling semantics, watchdog arm/relax against the
+# governor) re-run explicitly so a ctest filter change can never drop
+# them (docs/observability.md).
+echo "=== trace-golden stage (causal tracing + telemetry, ASan) ==="
+./build-asan/tests/trace_test
+./build-asan/tests/telemetry_test
+
 # Metrics-overhead stage: bench_ftl_eval measures the same serial
-# evaluation with the registry armed vs. the kill switch; the delta must
-# stay under 5% (Release — sanitizer builds would distort the ratio).
+# evaluation with the registry armed vs. the kill switch, and again with
+# tracing + telemetry armed vs. disabled; each delta must stay under 5%
+# (Release — sanitizer builds would distort the ratio).
 echo "=== metrics-overhead stage (Release, < 5%) ==="
 (cd build-release && MOST_BENCH_VEHICLES=4096 \
   ./bench/bench_ftl_eval --benchmark_filter=OVERHEAD_ONLY >/dev/null)
@@ -157,6 +173,15 @@ awk -v o="$overhead" 'BEGIN {
   printf "metrics overhead: %s%%\n", o
   if (o >= 5.0) { print "metrics overhead exceeds the 5% budget"; exit 1 }
 }'
+trace_overhead="$(grep -o '"trace_overhead_pct": *[-0-9.eE+]*' \
+  build-release/BENCH_ftl_eval.json | awk '{print $2}')"
+awk -v o="$trace_overhead" 'BEGIN {
+  printf "trace+telemetry overhead: %s%%\n", o
+  if (o >= 5.0) { print "trace overhead exceeds the 5% budget"; exit 1 }
+}'
+# Observability micro-costs (span create/record, telemetry OnTick, Chrome
+# export): smoke-run the bench so its JSON emitter stays healthy.
+(cd build-release && ./bench/bench_obs --benchmark_min_time=0.01 >/dev/null)
 
 # Bench-regression stage: re-measure the serial FTL evaluation at the same
 # vehicle count as the last recorded bench/trajectories/ftl_eval.json

@@ -9,6 +9,7 @@
 //
 // Type `help` for the command list.
 
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <memory>
@@ -22,6 +23,8 @@
 #include "ftl/query_manager.h"
 #include "obs/exporters.h"
 #include "obs/governor.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 using namespace most;
 
@@ -58,6 +61,12 @@ constexpr const char* kHelp = R"(Commands:
                                  n reshards (default: one per core)
   failpoints                     armed fault-injection sites (spec + fired
                                  counts); docs/durability.md lists all sites
+  trace [file]                   dump recorded spans as Chrome trace-event
+                                 JSON (open in Perfetto / chrome://tracing);
+                                 writes to file if given, else stdout
+  telemetry                      per-tick telemetry timeline: tracked
+                                 series, recent samples, window rates and
+                                 watchdog state (docs/observability.md)
   nearest <from-class> <id> <target-class>
                                  nearest target object, now and over time
   demo                           load a small ready-made world
@@ -234,6 +243,10 @@ class Shell {
       PrintHealth();
     } else if (cmd == "failpoints") {
       PrintFailpoints();
+    } else if (cmd == "trace") {
+      CmdTrace(t.size() >= 2 ? t[1] : "");
+    } else if (cmd == "telemetry") {
+      PrintTelemetry();
     } else if (cmd == "shards") {
       CmdShards(t.size() >= 2 ? std::stoull(t[1]) : 0);
     } else if (cmd == "cancel" && t.size() == 2) {
@@ -396,6 +409,64 @@ class Shell {
         std::cout << "  " << site << " x" << count << "\n";
       }
     }
+  }
+
+  // Dump the global trace ring as Chrome trace-event JSON. The sink is
+  // off by default (MOST_TRACE=1 arms it at startup); when disabled we
+  // say so instead of emitting an empty envelope.
+  void CmdTrace(const std::string& path) {
+    obs::TraceSink& sink = obs::TraceSink::Global();
+    if (!sink.enabled()) {
+      std::cout << "trace: sink disabled (set MOST_TRACE=1 to record "
+                   "spans)\n";
+      return;
+    }
+    std::string json = obs::ChromeTraceJson(sink);
+    if (path.empty()) {
+      std::cout << json << "\n";
+    } else {
+      std::ofstream out(path, std::ios::trunc);
+      if (!out) {
+        std::cout << "error: cannot open " << path << "\n";
+        return;
+      }
+      out << json << "\n";
+      std::cout << "trace: wrote " << sink.Events().size() << " spans to "
+                << path << " (" << sink.dropped() << " dropped)\n";
+    }
+  }
+
+  // Per-tick telemetry timeline: what the recorder sampled recently and
+  // what the latency watchdog is doing with the governor.
+  void PrintTelemetry() {
+    obs::TelemetryRecorder& rec = obs::TelemetryRecorder::Global();
+    if (!rec.enabled()) {
+      std::cout << "telemetry: recorder disabled (set MOST_TELEMETRY=1 to "
+                   "sample per tick)\n";
+      return;
+    }
+    std::cout << "telemetry: " << rec.samples_total() << " samples over "
+              << rec.ticks_sampled() << " ticks (stride "
+              << rec.options().stride << ", retention "
+              << rec.options().retention << ")\n";
+    for (const std::string& key : rec.TrackedKeys()) {
+      std::vector<obs::TelemetryRecorder::Sample> recent = rec.Series(key, 5);
+      std::cout << "  " << key << ":";
+      if (recent.empty()) {
+        std::cout << " (no samples)\n";
+        continue;
+      }
+      for (const auto& s : recent) {
+        std::cout << " t" << s.tick << "=" << s.value;
+      }
+      std::cout << "  rate/tick=" << rec.WindowRate(key, 8).value_or(0.0)
+                << "\n";
+    }
+    std::cout << "  watchdog: "
+              << (rec.watchdog_armed() ? "ARMED (governor limits tightened)"
+                                       : "relaxed")
+              << ", arms=" << rec.watchdog_arms()
+              << ", relaxes=" << rec.watchdog_relaxes() << "\n";
   }
 
   void LoadDemo() {

@@ -22,6 +22,8 @@
 #include "ftl/query_manager.h"
 #include "obs/exporters.h"
 #include "obs/governor.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "storage/durable_database.h"
 
 using namespace most;
@@ -240,9 +242,66 @@ void DriveSharding() {
   if (cq.ok()) (void)engine.ContinuousAnswer(*cq);
 }
 
+// Telemetry: the per-tick recorder samples refresh throughput + latency
+// while a continuous query churns, the latency watchdog arms (tightening
+// the governor's queue limit and delta fallback), and a quiet stretch
+// relaxes it — so most_telemetry_samples_total and both
+// most_telemetry_watchdog_adjustments_total actions report nonzero
+// (docs/observability.md, "Telemetry timeline").
+void DriveTelemetry() {
+  obs::TelemetryRecorder& rec = obs::TelemetryRecorder::Global();
+  rec.set_enabled(true);
+  rec.Track("most_qm_refreshes_total");
+  rec.Track("most_qm_refresh_latency_seconds");
+  obs::TelemetryRecorder::WatchdogOptions wd;
+  wd.window = 4;
+  wd.arm_mean_seconds = 1e-12;  // Any real refresh latency arms.
+  wd.armed_queue_limit = 4;
+  wd.armed_delta_fraction = 0.9;
+  wd.min_hold_ticks = 2;
+  rec.ConfigureWatchdog(wd);
+
+  MostDatabase db;
+  (void)db.CreateClass("CARS", {}, /*spatial=*/true);
+  (void)db.DefineRegion("P", Polygon::Rectangle({0, 0}, {10, 10}));
+  QueryManager::Options opts;
+  opts.horizon = 64;
+  QueryManager qm(&db, opts);
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto obj = db.CreateObject("CARS");
+    if (!obj.ok()) continue;
+    ids.push_back((*obj)->id());
+    (void)db.SetMotion("CARS", ids.back(), {static_cast<double>(-4 * i), 5},
+                       {1, 0});
+  }
+  auto q = ParseQuery("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  auto cq = qm.RegisterContinuous(*q);
+  (void)qm.ContinuousAnswer(*cq);
+  // Busy stretch: motion every tick keeps the query stale, so every
+  // TickAll refreshes and the windowed latency mean arms the watchdog.
+  for (int t = 0; t < 6; ++t) {
+    for (ObjectId id : ids) {
+      (void)db.SetMotion("CARS", id, {static_cast<double>(t), 5}, {1, 0});
+    }
+    db.clock().Advance();
+    (void)qm.TickAll();
+  }
+  // Quiet stretch: no refreshes, the latency window drains, and after the
+  // hold the watchdog restores the saved governor limits.
+  for (int t = 0; t < 8; ++t) {
+    db.clock().Advance();
+    (void)qm.TickAll();
+  }
+  rec.DisarmWatchdog();
+}
+
 }  // namespace
 
 int main() {
+  // Record spans from every drive below: the trace ring feeds the
+  // most_trace_* collector rows and `most_shell trace`'s Perfetto dump.
+  obs::TraceSink::Global().set_enabled(true);
   DriveFtl();
   DriveStorage();
   DriveDistributed();
@@ -250,6 +309,7 @@ int main() {
   DriveCoordinator();
   DriveRecovery();
   DriveSharding();
+  DriveTelemetry();
   std::cout << "--- Prometheus exposition ---\n" << obs::PrometheusText();
   return 0;
 }

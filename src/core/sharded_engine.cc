@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "core/most_on_dbms.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace most {
 
@@ -79,6 +81,7 @@ Status ShardedEngine::BuildShards() {
     qm_opts.thread_count = 1;  // Parallelism is across shards, not within.
     qm_opts.listen = false;    // Fed by NoteUpdates batches in phase 2.
     qm_opts.domain_partition = shard->partition;
+    qm_opts.shard_id = static_cast<int64_t>(k);
     shard->qm = std::make_unique<QueryManager>(db_, qm_opts);
     if (!options_.index_classes.empty()) {
       shard->indexes = std::make_unique<MotionIndexManager>(db_);
@@ -347,6 +350,11 @@ Status ShardedEngine::DrainAndRefresh() {
   const size_t n = shards_.size();
   const bool metrics = obs::MetricsRegistry::Global().enabled();
   const Tick now = db_->Now();
+  // Root span for the whole tick; per-shard drain/refresh spans parent
+  // under it explicitly (pool threads have no ambient context).
+  obs::TraceSpan tick_span("shard/drain_and_refresh", "shard");
+  tick_span.AnnotateU64("tick", static_cast<uint64_t>(now));
+  const obs::TraceContext tick_ctx = tick_span.context();
 
   // Phase 1: parallel drain. Safe on the shared database because shards
   // own disjoint objects (no two threads mutate the same object), no
@@ -354,6 +362,8 @@ Status ShardedEngine::DrainAndRefresh() {
   std::vector<Status> drain_sts(n, Status::OK());
   ParallelFor(pool_.get(), n, [&](size_t k) {
     Shard& s = *shards_[k];
+    obs::TraceSpan span("shard/drain", "shard", tick_ctx);
+    span.AnnotateU64("shard", k);
     s.drained.clear();
     s.drained_ids.clear();
     s.queue.PopAll(&s.drained);
@@ -397,6 +407,8 @@ Status ShardedEngine::DrainAndRefresh() {
   std::vector<Status> refresh_sts(n, Status::OK());
   ParallelFor(pool_.get(), n, [&](size_t k) {
     Shard& s = *shards_[k];
+    obs::TraceSpan span("shard/refresh", "shard", tick_ctx);
+    span.AnnotateU64("shard", k);
     auto start = std::chrono::steady_clock::now();
     for (const auto& [cls, ids] : all_dirty) {
       s.qm->NoteUpdates(cls, ids);
@@ -407,6 +419,9 @@ Status ShardedEngine::DrainAndRefresh() {
       s.refresh_latency->Observe(static_cast<double>(s.last_refresh_ns) * 1e-9);
     }
   });
+  // Sample the telemetry timeline once per engine tick (idempotent: the
+  // per-shard TickAll calls above already tried under the same tick).
+  obs::TelemetryRecorder::Global().OnTick(now);
 
   for (const Status& s : drain_sts) {
     if (!s.ok()) return s;
@@ -425,11 +440,16 @@ Result<ShardedEngine::ShardedAnswer> ShardedEngine::ContinuousAnswer(
   }
   const EngineQuery& eq = it->second;
   const size_t n = shards_.size();
+  obs::TraceSpan gather_span("shard/gather", "shard");
+  gather_span.AnnotateU64("query_id", id);
+  const obs::TraceContext gather_ctx = gather_span.context();
   std::vector<QueryManager::AnswerSnapshot> snaps(n);
   std::vector<Status> sts(n, Status::OK());
   // Scatter: snapshot (refreshing lazily if stale) in parallel — the
   // database is read-only here by the control-plane discipline.
   ParallelFor(pool_.get(), n, [&](size_t k) {
+    obs::TraceSpan span("shard/scatter", "shard", gather_ctx);
+    span.AnnotateU64("shard", k);
     Result<QueryManager::AnswerSnapshot> r =
         shards_[k]->qm->SnapshotContinuousAnswer(eq.shard_ids[k]);
     if (r.ok()) {
@@ -471,9 +491,13 @@ Result<ShardedEngine::ShardedAnswer> ShardedEngine::ContinuousAnswer(
 
 Result<TemporalRelation> ShardedEngine::Evaluate(const FtlQuery& query) {
   const size_t n = shards_.size();
+  obs::TraceSpan gather_span("shard/gather", "shard");
+  const obs::TraceContext gather_ctx = gather_span.context();
   std::vector<TemporalRelation> parts(n);
   std::vector<Status> sts(n, Status::OK());
   ParallelFor(pool_.get(), n, [&](size_t k) {
+    obs::TraceSpan span("shard/scatter", "shard", gather_ctx);
+    span.AnnotateU64("shard", k);
     Result<TemporalRelation> r = shards_[k]->qm->Evaluate(query);
     if (r.ok()) {
       parts[k] = std::move(*r);

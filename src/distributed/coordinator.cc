@@ -171,6 +171,13 @@ void Coordinator::SendRequest(uint64_t qid, const QueryState& state,
 uint64_t Coordinator::Issue(const FtlQuery& query, DistStrategy strategy,
                             bool continuous, Tick horizon) {
   uint64_t qid = next_qid_++;
+  // Root of the distributed query's trace tree: the per-node request
+  // sends below stamp this context onto their frames, node-side answer
+  // spans parent under it across the (simulated) wire, and the answer
+  // handling back here joins the same tree.
+  obs::TraceSpan span("coord/issue", "dist");
+  span.AnnotateU64("qid", qid);
+  span.AnnotateU64("node", node_id());
   QueryState state;
   state.query = query;
   state.strategy = strategy;
@@ -524,6 +531,12 @@ void Coordinator::HandleMessage(const Message& message) {
   if (report == nullptr) return;  // Position beacons: liveness only.
   auto it = queries_.find(report->qid);
   if (it == queries_.end()) return;
+  // Runs under the delivery guard's ambient context (the node's answer
+  // span), so the report's ingestion closes the coordinator→node→
+  // coordinator loop inside one trace tree.
+  obs::TraceSpan span("coord/on_report", "dist");
+  span.AnnotateU64("qid", report->qid);
+  span.AnnotateU64("node", message.from);
   QueryState& state = it->second;
   state.replies += 1;
   reports_received_.Inc();

@@ -196,6 +196,11 @@ Tick MobileNode::MirrorAnchor(uint64_t qid) const {
 }
 
 void MobileNode::AnswerRequest(const QueryRequest& request, NodeId issuer) {
+  // Parents under the coordinator's coord/issue span via the delivered
+  // message's context; the reports sent below carry this span onward.
+  obs::TraceSpan span("node/answer_request", "dist");
+  span.AnnotateU64("qid", request.qid);
+  span.AnnotateU64("node", node_id());
   if (request.strategy == DistStrategy::kCollect) {
     // Strategy 1: just ship the object to the issuer. A continuous
     // collect-query keeps shipping on every change (see

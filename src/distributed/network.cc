@@ -211,6 +211,9 @@ void SimNetwork::Enqueue(NodeId from, NodeId to, const MessagePayload& payload,
                                    TickSaturatingAdd(options_.latency,
                                                      extra_delay));
   m.payload = payload;
+  // Stamp the sender's ambient context so the delivery handler can run
+  // under it; a duplicated message carries the same context (one cause).
+  m.trace = obs::CurrentTraceContext();
   in_flight_.push_back(std::move(m));
 }
 
@@ -310,6 +313,9 @@ void SimNetwork::DeliverDue() {
         continue;
       }
       messages_delivered_.Inc();
+      // Deliver under the sender's context: spans the handler opens (and
+      // any sends it makes) link into the originating trace tree.
+      obs::TraceContextGuard guard(m.trace);
       it->second.handler(m);
     }
   }

@@ -15,6 +15,7 @@
 #include "ftl/query_manager.h"
 #include "geometry/point.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "temporal/clock.h"
 
 namespace most {
@@ -172,6 +173,11 @@ struct Message {
   Tick sent_at = 0;
   Tick deliver_at = 0;
   MessagePayload payload;
+  /// Trace context of the send site, stamped by SimNetwork::Send and
+  /// installed as the receiver's ambient context around the delivery
+  /// handler — the wire half of causal tracing (docs/observability.md).
+  /// Invalid (all-zero) when tracing is disabled.
+  obs::TraceContext trace;
 };
 
 /// Discrete-event wireless network simulator. Nodes register handlers;

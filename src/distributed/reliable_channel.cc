@@ -155,10 +155,10 @@ void ReliableEndpoint::RestartPeerStream(NodeId peer) {
   auto it = send_.find(peer);
   if (it == send_.end()) return;
   SendState& state = it->second;
-  std::vector<AppPayload> carried;
+  std::vector<std::pair<AppPayload, obs::TraceContext>> carried;
   carried.reserve(state.pending.size());
   for (auto& [seq, pending] : state.pending) {
-    carried.push_back(std::move(pending.payload));
+    carried.emplace_back(std::move(pending.payload), pending.trace);
   }
   unacked_gauge_.Add(-static_cast<int64_t>(state.pending.size()));
   pending_bytes_gauge_.Add(-static_cast<int64_t>(state.pending_bytes));
@@ -168,7 +168,10 @@ void ReliableEndpoint::RestartPeerStream(NodeId peer) {
   state.epoch += 1;
   state.last_heard = clock_->Now();
   streams_restarted_.Inc();
-  for (AppPayload& payload : carried) {
+  for (auto& [payload, trace] : carried) {
+    // Re-send under the original context: the restarted frame still
+    // belongs to the trace that first queued it.
+    obs::TraceContextGuard guard(trace);
     SendReliable(peer, std::move(payload));
   }
 }
@@ -186,6 +189,7 @@ Backpressure ReliableEndpoint::SendReliable(NodeId to, AppPayload payload) {
   uint64_t seq = state.next_seq++;
   PendingFrame pending;
   pending.payload = std::move(payload);
+  pending.trace = obs::CurrentTraceContext();
   pending.rto = options_.rto_initial;
   pending.next_retry = TickSaturatingAdd(clock_->Now(), pending.rto);
   ReliableFrame frame{seq, state.epoch, pending.payload};
@@ -235,11 +239,16 @@ size_t ReliableEndpoint::unacked_bytes() const {
 }
 
 void ReliableEndpoint::DeliverToApp(const Message& envelope,
-                                    const AppPayload& payload) {
+                                    const AppPayload& payload,
+                                    const obs::TraceContext& trace) {
   delivered_.Inc();
   if (!handler_) return;
   Message m = envelope;
   std::visit([&](const auto& inner) { m.payload = inner; }, payload);
+  m.trace = trace;
+  // A buffered frame is delivered while a *later* frame's context is
+  // ambient; replay the context it originally arrived under.
+  obs::TraceContextGuard guard(trace);
   handler_(m);
 }
 
@@ -270,18 +279,20 @@ void ReliableEndpoint::OnMessage(const Message& message) {
       duplicates_suppressed_.Inc();
     } else if (frame->seq == state.next_expected) {
       state.next_expected += 1;
-      DeliverToApp(message, frame->inner);
+      DeliverToApp(message, frame->inner, message.trace);
       // Drain any buffered successors that are now in order.
       auto it = state.buffer.find(state.next_expected);
       while (it != state.buffer.end()) {
         state.next_expected += 1;
-        DeliverToApp(message, it->second);
+        DeliverToApp(message, it->second.payload, it->second.trace);
         state.buffer.erase(it);
         it = state.buffer.find(state.next_expected);
       }
     } else {
       // A gap: hold the frame until its predecessors arrive.
-      if (state.buffer.emplace(frame->seq, frame->inner).second) {
+      if (state.buffer
+              .emplace(frame->seq, BufferedFrame{frame->inner, message.trace})
+              .second) {
         out_of_order_buffered_.Inc();
       } else {
         duplicates_suppressed_.Inc();
@@ -335,6 +346,7 @@ void ReliableEndpoint::OnTick() {
     }
     for (auto& [seq, pending] : state.pending) {
       if (now < pending.next_retry) continue;
+      obs::TraceContextGuard guard(pending.trace);
       network_->Send(node_id_, peer,
                      ReliableFrame{seq, state.epoch, pending.payload});
       retransmissions_.Inc();

@@ -168,6 +168,10 @@ class ReliableEndpoint {
     Tick next_retry = 0;
     Tick rto = 0;
     size_t bytes = 0;  ///< EstimateBytes of the full frame, for the caps.
+    /// Context of the original SendReliable call: retransmissions (and
+    /// stream-restart re-sends) go out under it, so a frame that needed
+    /// five retries still belongs to the trace that caused it.
+    obs::TraceContext trace;
   };
   struct SendState {
     uint64_t next_seq = 0;
@@ -181,10 +185,16 @@ class ReliableEndpoint {
     Tick last_heard = 0;
     std::map<uint64_t, PendingFrame> pending;  ///< By sequence number.
   };
+  struct BufferedFrame {
+    AppPayload payload;
+    /// Context the frame arrived under, replayed when the gap closes and
+    /// the frame is finally handed to the application.
+    obs::TraceContext trace;
+  };
   struct RecvState {
     uint64_t epoch = 0;
     uint64_t next_expected = 0;
-    std::map<uint64_t, AppPayload> buffer;  ///< Out-of-order arrivals.
+    std::map<uint64_t, BufferedFrame> buffer;  ///< Out-of-order arrivals.
   };
 
   /// Per-field knob resolution: Options when non-zero, else the global
@@ -198,7 +208,8 @@ class ReliableEndpoint {
 
   void OnMessage(const Message& message);
   void OnTick();
-  void DeliverToApp(const Message& envelope, const AppPayload& payload);
+  void DeliverToApp(const Message& envelope, const AppPayload& payload,
+                    const obs::TraceContext& trace);
 
   SimNetwork* network_;
   Clock* clock_;

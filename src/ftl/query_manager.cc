@@ -7,6 +7,7 @@
 #include "obs/governor.h"
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace most {
@@ -151,6 +152,16 @@ Tick QueryManager::EffectiveCooldown() const {
   return ResourceGovernor::Global().limits().degrade_cooldown_ticks;
 }
 
+double QueryManager::EffectiveDeltaFraction() const {
+  // Unlike the other knobs (whose Options default is 0 = unset), the
+  // fraction has a meaningful default, so the governor's value *overrides*
+  // when set: the telemetry watchdog arms it engine-wide under pressure
+  // and a 0 governor value (the default) leaves Options untouched.
+  const double governed =
+      ResourceGovernor::Global().limits().delta_max_dirty_fraction;
+  return governed > 0.0 ? governed : options_.delta_max_dirty_fraction;
+}
+
 bool QueryManager::InCooldown(const Continuous& cq, Tick now) const {
   // Only evaluation-budget sheds cool down; a queue shed just waits for
   // the next admission round, and kNone means nothing was shed at all.
@@ -185,9 +196,16 @@ void QueryManager::NoteShed(Continuous* cq, DegradeReason reason, Tick now,
         ->Inc();
   }
   // Degrade entries bypass the latency threshold (see SlowQueryLog).
-  obs::SlowQueryLog::Global().MaybeRecord(
-      {cq->id, cq->query.ToString(), path, dur_ns, cq->evaluations,
-       std::string(DegradeReasonToString(reason))});
+  obs::SlowQueryLog::Entry entry;
+  entry.query_id = cq->id;
+  entry.query = cq->query.ToString();
+  entry.path = path;
+  entry.duration_ns = dur_ns;
+  entry.refresh_seq = cq->evaluations;
+  entry.degrade = std::string(DegradeReasonToString(reason));
+  entry.shard_id = options_.shard_id;
+  entry.trace_id = obs::CurrentTraceContext().trace_id;
+  obs::SlowQueryLog::Global().MaybeRecord(std::move(entry));
 }
 
 void QueryManager::OnUpdate(const std::string& class_name, ObjectId id) {
@@ -369,8 +387,7 @@ Status QueryManager::Refresh(Continuous* cq) {
     }
     if (domain_total > 0 &&
         static_cast<double>(dirty_total) <=
-            options_.delta_max_dirty_fraction *
-                static_cast<double>(domain_total)) {
+            EffectiveDeltaFraction() * static_cast<double>(domain_total)) {
       Status delta = RefreshDelta(cq);
       if (delta.ok()) return delta;
       // Delta failed (e.g. an injected fault): the relation may be
@@ -384,8 +401,14 @@ Status QueryManager::Refresh(Continuous* cq) {
 }
 
 Status QueryManager::RefreshFull(Continuous* cq, const char* reason) {
-  obs::TraceSpan span("qm/refresh_full");
+  obs::TraceSpan span("qm/refresh_full", "ftl");
   Tick now = db_->Now();
+  span.AnnotateU64("query_id", cq->id);
+  span.AnnotateU64("tick", static_cast<uint64_t>(now));
+  span.Annotate("reason", reason);
+  if (options_.shard_id >= 0) {
+    span.AnnotateU64("shard", static_cast<uint64_t>(options_.shard_id));
+  }
   if (cq->evaluations == 0 || now > cq->expires_at) {
     // Re-anchor the window only at registration and on expiry. Update-
     // triggered refreshes keep the window so delta and full paths stay
@@ -462,16 +485,28 @@ Status QueryManager::RefreshFull(Continuous* cq, const char* reason) {
   }
   obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Global();
   if (slow_log.enabled()) {
-    slow_log.MaybeRecord({cq->id, cq->query.ToString(), "full", dur_ns,
-                          cq->evaluations});
+    obs::SlowQueryLog::Entry entry;
+    entry.query_id = cq->id;
+    entry.query = cq->query.ToString();
+    entry.path = "full";
+    entry.duration_ns = dur_ns;
+    entry.refresh_seq = cq->evaluations;
+    entry.shard_id = options_.shard_id;
+    entry.trace_id = span.context().trace_id;
+    slow_log.MaybeRecord(std::move(entry));
   }
   return Status::OK();
 }
 
 Status QueryManager::RefreshDelta(Continuous* cq) {
   MOST_FAILPOINT("ftl/delta/refresh");
-  obs::TraceSpan span("qm/refresh_delta");
+  obs::TraceSpan span("qm/refresh_delta", "ftl");
   Tick now = db_->Now();
+  span.AnnotateU64("query_id", cq->id);
+  span.AnnotateU64("tick", static_cast<uint64_t>(now));
+  if (options_.shard_id >= 0) {
+    span.AnnotateU64("shard", static_cast<uint64_t>(options_.shard_id));
+  }
   Interval window(cq->window_begin, cq->expires_at);
   const size_t dirty_total = DirtyTotal(cq->dirty_objects);
   auto profile =
@@ -601,8 +636,15 @@ Status QueryManager::RefreshDelta(Continuous* cq) {
   }
   obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Global();
   if (slow_log.enabled()) {
-    slow_log.MaybeRecord({cq->id, cq->query.ToString(), "delta", dur_ns,
-                          cq->evaluations});
+    obs::SlowQueryLog::Entry entry;
+    entry.query_id = cq->id;
+    entry.query = cq->query.ToString();
+    entry.path = "delta";
+    entry.duration_ns = dur_ns;
+    entry.refresh_seq = cq->evaluations;
+    entry.shard_id = options_.shard_id;
+    entry.trace_id = span.context().trace_id;
+    slow_log.MaybeRecord(std::move(entry));
   }
   return Status::OK();
 }
@@ -797,6 +839,12 @@ Result<std::shared_ptr<const obs::QueryProfile>> QueryManager::Profile(
 Status QueryManager::TickAll() {
   std::lock_guard<std::mutex> lock(mu_);
   Tick now = db_->Now();
+  obs::TraceSpan span("qm/tick_all", "ftl");
+  span.AnnotateU64("tick", static_cast<uint64_t>(now));
+  if (options_.shard_id >= 0) {
+    span.AnnotateU64("shard", static_cast<uint64_t>(options_.shard_id));
+  }
+  obs::TelemetryRecorder::Global().OnTick(now);
   std::vector<Continuous*> stale;
   for (auto& [id, cq] : continuous_) {
     if (NeedsRefresh(cq, now)) stale.push_back(&cq);
@@ -832,8 +880,13 @@ Status QueryManager::TickAll() {
   // refresh may itself fan its atomic extraction out to the same pool
   // (ParallelFor callers participate, so nesting cannot deadlock).
   std::vector<Status> statuses(stale.size());
-  ParallelFor(pool_.get(), stale.size(),
-              [&](size_t i) { statuses[i] = Refresh(stale[i]); });
+  const obs::TraceContext batch_ctx = span.context();
+  ParallelFor(pool_.get(), stale.size(), [&](size_t i) {
+    // Pool threads have no ambient context; install the batch span's so
+    // each Refresh's span parents under qm/tick_all across threads.
+    obs::TraceContextGuard guard(batch_ctx);
+    statuses[i] = Refresh(stale[i]);
+  });
   for (const Status& s : statuses) {
     MOST_RETURN_IF_ERROR(s);
   }

@@ -159,6 +159,10 @@ class QueryManager {
     /// most_interval_cache_bytes gauge tracks the footprint either way).
     /// 0 = governor fallback, then unbounded.
     size_t interval_cache_max_bytes = 0;
+    /// Shard this manager serves inside a sharded engine (-1 standalone).
+    /// Purely observational: stamped onto trace spans and slow-query-log
+    /// entries so a slow line names the shard it ran on.
+    int64_t shard_id = -1;
   };
 
   explicit QueryManager(MostDatabase* db) : QueryManager(db, Options()) {}
@@ -462,6 +466,10 @@ class QueryManager {
   Budget EffectiveBudget() const;
   size_t EffectiveQueueLimit() const;
   Tick EffectiveCooldown() const;
+  /// Delta→full fallback threshold: the governor's value *overrides* the
+  /// Options default when set (> 0) — this is the knob the telemetry
+  /// watchdog tightens under observed refresh-latency pressure.
+  double EffectiveDeltaFraction() const;
   /// True while a budget-exhausted query must keep serving its stale
   /// answer instead of being re-attempted (queue sheds don't cool down —
   /// the entry just waits for the next TickAll round).

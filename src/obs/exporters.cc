@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <sstream>
 
 #include "obs/trace.h"
@@ -54,8 +55,24 @@ std::string EscapeJson(const std::string& s) {
       case '\t':
         out += "\\t";
         break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
       default:
-        out.push_back(c);
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
     }
   }
   return out;
@@ -164,6 +181,52 @@ std::string JsonSnapshot(const MetricsRegistry& registry,
   }
   os << i1 << "]\n" << indent << "}";
   return os.str();
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
+                            const ChromeTraceOptions& opts) {
+  // Masked mode replaces every nonzero id with its first-appearance
+  // ordinal (scanning events oldest-first, trace/span/parent in that
+  // order), so goldens survive the global id counter moving between runs.
+  std::map<uint64_t, uint64_t> ordinals;
+  auto mask_id = [&](uint64_t id) -> uint64_t {
+    if (!opts.mask || id == 0) return id;
+    auto [it, inserted] = ordinals.emplace(id, ordinals.size() + 1);
+    return it->second;
+  };
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    const uint64_t trace_id = mask_id(e.trace_id);
+    const uint64_t span_id = mask_id(e.span_id);
+    const uint64_t parent_id = mask_id(e.parent_span_id);
+    const double ts =
+        opts.mask ? static_cast<double>(i) : static_cast<double>(e.start_ns) / 1e3;
+    const double dur =
+        opts.mask ? 1.0 : static_cast<double>(e.duration_ns) / 1e3;
+    const uint32_t tid = opts.mask ? 0 : e.thread;
+    const char* cat =
+        (e.component != nullptr && e.component[0] != '\0') ? e.component
+                                                           : "most";
+    os << "  {\"name\": \"" << EscapeJson(e.name) << "\", \"cat\": \""
+       << EscapeJson(cat) << "\", \"ph\": \"X\", \"ts\": " << FormatNumber(ts)
+       << ", \"dur\": " << FormatNumber(dur) << ", \"pid\": 1, \"tid\": " << tid
+       << ", \"args\": {\"trace_id\": \"" << trace_id << "\", \"span_id\": \""
+       << span_id << "\", \"parent_span_id\": \"" << parent_id << "\"";
+    for (const TraceAnnotation& a : e.annotations) {
+      os << ", \"" << EscapeJson(a.key) << "\": \"" << EscapeJson(a.value)
+         << "\"";
+    }
+    os << "}}" << (i + 1 < events.size() ? "," : "") << "\n";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string ChromeTraceJson(const TraceSink& sink,
+                            const ChromeTraceOptions& opts) {
+  return ChromeTraceJson(sink.Events(), opts);
 }
 
 void DumpMetrics(std::ostream& os) {

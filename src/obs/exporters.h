@@ -3,8 +3,10 @@
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace most::obs {
 
@@ -25,6 +27,20 @@ std::string JsonSnapshot(const MetricsRegistry& registry,
 inline std::string JsonSnapshot() {
   return JsonSnapshot(MetricsRegistry::Global());
 }
+
+/// Chrome trace-event ("Perfetto legacy JSON") export of completed spans:
+/// {"traceEvents": [{"name","cat","ph":"X","ts","dur","pid","tid","args"}]}
+/// — loadable in chrome://tracing or ui.perfetto.dev. Timestamps are
+/// microseconds; args carry trace/span/parent ids plus annotations.
+/// `mask` rewrites ids to first-appearance ordinals, timestamps to the
+/// event index and tids to 0, producing byte-stable golden output.
+struct ChromeTraceOptions {
+  bool mask = false;
+};
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
+                            const ChromeTraceOptions& opts = {});
+std::string ChromeTraceJson(const TraceSink& sink,
+                            const ChromeTraceOptions& opts = {});
 
 /// Engine-state dump hook: writes the global registry's JSON snapshot
 /// (plus a short trace-sink summary) to `os`. Wired into examples and the

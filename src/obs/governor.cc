@@ -1,5 +1,7 @@
 #include "obs/governor.h"
 
+#include "obs/trace.h"
+
 namespace most {
 
 namespace {
@@ -52,6 +54,11 @@ void ResourceGovernor::set_limits(const Limits& limits) {
 void ResourceGovernor::NoteDegrade(DegradeReason reason, uint64_t query_id,
                                    Tick at, std::string detail) {
   CountDegrade(reason);
+  // Every shed decision tags the span it happened under (a refresh, a
+  // TickAll batch, a WAL append), so the trace tree shows *why* an
+  // operation degraded, not just that a counter moved.
+  obs::AnnotateActiveSpan("degrade_reason",
+                          std::string(DegradeReasonToString(reason)));
   std::lock_guard<std::mutex> lock(mu_);
   ++degrades_total_;
   degrades_gauge_.Set(static_cast<int64_t>(degrades_total_));

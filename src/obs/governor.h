@@ -56,6 +56,11 @@ class ResourceGovernor {
     size_t channel_max_unacked_bytes = 0;
     /// Fallback horizon after which a silent peer's send buffer is evicted.
     Tick channel_peer_dead_horizon = 0;
+    /// Fallback dirty-fraction threshold above which a delta refresh falls
+    /// back to a full re-evaluation, for query managers whose
+    /// Options::delta_max_dirty_fraction is unset. The telemetry
+    /// watchdog's arm/relax cycle drives this knob (docs/observability.md).
+    double delta_max_dirty_fraction = 0.0;
   };
 
   static ResourceGovernor& Global();

@@ -53,6 +53,12 @@ bool SlowQueryLog::MaybeRecord(Entry entry) {
                     << (entry.degrade.empty()
                             ? std::string()
                             : ", degraded: " + entry.degrade)
+                    << (entry.shard_id >= 0
+                            ? ", shard " + std::to_string(entry.shard_id)
+                            : std::string())
+                    << (entry.trace_id != 0
+                            ? ", trace " + std::to_string(entry.trace_id)
+                            : std::string())
                     << "): " << entry.duration_ns / 1000000.0 << "ms -- "
                     << entry.query;
   return true;

@@ -29,6 +29,12 @@ class SlowQueryLog {
     /// quickly the engine decided to degrade. `most_shell health` renders
     /// the last few of these.
     std::string degrade;
+    /// Shard that served the refresh (-1 when the query manager is not
+    /// embedded in a sharded engine).
+    int64_t shard_id = -1;
+    /// Trace id of the span tree the refresh ran under (0 when tracing
+    /// was disabled), so a slow line links directly to its trace.
+    uint64_t trace_id = 0;
   };
 
   static SlowQueryLog& Global();

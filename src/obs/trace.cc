@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.h"
 
 namespace most::obs {
 
@@ -12,6 +15,16 @@ uint32_t CurrentThreadId() {
   thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
+
+/// Ids come from one process-wide counter starting at 1, so 0 stays the
+/// reserved "invalid" value and ids never collide across threads.
+uint64_t NewId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+thread_local TraceContext g_active_context;
+thread_local TraceSpan* g_active_span = nullptr;
 
 }  // namespace
 
@@ -24,11 +37,37 @@ uint64_t MonotonicNowNs() {
           .count());
 }
 
+TraceContext CurrentTraceContext() { return g_active_context; }
+
 TraceSink& TraceSink::Global() {
   static TraceSink* global = [] {
     auto* sink = new TraceSink();
     const char* env = std::getenv("MOST_TRACE");
     if (env != nullptr && std::string(env) == "1") sink->set_enabled(true);
+    // Ring health is collected lazily, like the failpoint counts: the
+    // sink predates any scrape, so the exporter pulls the totals at
+    // Collect() time instead of Record() pushing them.
+    MetricsRegistry::Global().AddCollector(
+        [sink](std::vector<FamilySnapshot>* out) {
+          auto counter = [](std::string name, std::string help, double v) {
+            FamilySnapshot fam;
+            fam.name = std::move(name);
+            fam.help = std::move(help);
+            fam.type = MetricType::kCounter;
+            SeriesSnapshot s;
+            s.value = v;
+            fam.series.push_back(std::move(s));
+            return fam;
+          };
+          out->push_back(counter(
+              "most_trace_spans_recorded_total",
+              "Trace spans recorded into the global sink since start",
+              static_cast<double>(sink->total_recorded())));
+          out->push_back(counter(
+              "most_trace_spans_dropped_total",
+              "Trace spans overwritten by ring wrap before export",
+              static_cast<double>(sink->dropped())));
+        });
     return sink;
   }();
   return *global;
@@ -38,12 +77,18 @@ TraceSink::TraceSink(size_t capacity) : capacity_(capacity) {
   ring_.reserve(capacity_);
 }
 
-void TraceSink::Record(const TraceEvent& event) {
+void TraceSink::Record(TraceEvent event) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) {
+    ++recorded_;
+    ++dropped_;
+    return;
+  }
   if (ring_.size() < capacity_) {
-    ring_.push_back(event);
+    ring_.push_back(std::move(event));
   } else {
-    ring_[next_] = event;
+    ring_[next_] = std::move(event);
+    ++dropped_;
   }
   next_ = (next_ + 1) % capacity_;
   ++recorded_;
@@ -65,28 +110,74 @@ uint64_t TraceSink::total_recorded() const {
   return recorded_;
 }
 
+uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
 void TraceSink::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   next_ = 0;
 }
 
-TraceSpan::TraceSpan(const char* name, TraceSink* sink)
-    : sink_(sink), name_(name) {
-  if (sink_ != nullptr && sink_->enabled()) {
-    armed_ = true;
-    start_ns_ = MonotonicNowNs();
-  }
+TraceSpan::TraceSpan(const char* name, const char* component,
+                     const TraceContext& parent, TraceSink* sink)
+    : sink_(sink), name_(name), component_(component) {
+  if (sink_ == nullptr || !sink_->enabled()) return;
+  armed_ = true;
+  const TraceContext& p = parent.valid() ? parent : g_active_context;
+  trace_id_ = p.valid() ? p.trace_id : NewId();
+  parent_span_id_ = p.span_id;
+  span_id_ = NewId();
+  start_ns_ = MonotonicNowNs();
+  saved_context_ = g_active_context;
+  saved_span_ = g_active_span;
+  g_active_context = {trace_id_, span_id_};
+  g_active_span = this;
 }
 
 TraceSpan::~TraceSpan() {
   if (!armed_) return;
+  g_active_context = saved_context_;
+  g_active_span = saved_span_;
   TraceEvent e;
   e.name = name_;
+  e.component = component_;
+  e.trace_id = trace_id_;
+  e.span_id = span_id_;
+  e.parent_span_id = parent_span_id_;
   e.start_ns = start_ns_;
   e.duration_ns = MonotonicNowNs() - start_ns_;
   e.thread = CurrentThreadId();
-  sink_->Record(e);
+  e.annotations = std::move(annotations_);
+  sink_->Record(std::move(e));
+}
+
+void TraceSpan::Annotate(const char* key, std::string value) {
+  if (!armed_) return;
+  annotations_.push_back({key, std::move(value)});
+}
+
+void TraceSpan::AnnotateU64(const char* key, uint64_t value) {
+  if (!armed_) return;
+  annotations_.push_back({key, std::to_string(value)});
+}
+
+TraceContextGuard::TraceContextGuard(const TraceContext& ctx) {
+  saved_context_ = g_active_context;
+  saved_span_ = g_active_span;
+  g_active_context = ctx;
+  g_active_span = nullptr;
+}
+
+TraceContextGuard::~TraceContextGuard() {
+  g_active_context = saved_context_;
+  g_active_span = saved_span_;
+}
+
+void AnnotateActiveSpan(const char* key, std::string value) {
+  if (g_active_span != nullptr) g_active_span->Annotate(key, std::move(value));
 }
 
 }  // namespace most::obs

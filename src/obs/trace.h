@@ -10,13 +10,40 @@
 
 namespace most::obs {
 
-/// One completed span. `name` points at a string literal (span sites are
-/// static); wall times are steady-clock nanoseconds since process start.
+/// Causal identity of a span: the trace it belongs to plus its own span
+/// id. A zero trace id means "no trace" — the invalid/absent context.
+/// Contexts travel across boundaries (network payload headers, thread
+/// pool fan-out) so a child started elsewhere can still link its parent.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+  bool operator==(const TraceContext& o) const {
+    return trace_id == o.trace_id && span_id == o.span_id;
+  }
+};
+
+/// One key/value span annotation. `key` points at a string literal
+/// (annotation sites are static); the value is captured as a string.
+struct TraceAnnotation {
+  const char* key = "";
+  std::string value;
+};
+
+/// One completed span. `name`/`component` point at string literals (span
+/// sites are static); wall times are steady-clock nanoseconds since
+/// process start. `parent_span_id == 0` marks a root span.
 struct TraceEvent {
   const char* name = "";
+  const char* component = "";
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
   uint64_t start_ns = 0;
   uint64_t duration_ns = 0;
   uint32_t thread = 0;  ///< Small dense id, assigned per recording thread.
+  std::vector<TraceAnnotation> annotations;
 };
 
 /// Fixed-capacity in-memory ring buffer of completed spans. Disabled by
@@ -33,12 +60,15 @@ class TraceSink {
     enabled_.store(on, std::memory_order_relaxed);
   }
 
-  void Record(const TraceEvent& event);
+  void Record(TraceEvent event);
 
   /// Buffered events, oldest first (at most `capacity`).
   std::vector<TraceEvent> Events() const;
   /// Total spans recorded, including those the ring has overwritten.
   uint64_t total_recorded() const;
+  /// Spans the ring overwrote before they were ever read: recorded minus
+  /// buffered. Clear() empties the buffer but both counters persist.
+  uint64_t dropped() const;
   void Clear();
   size_t capacity() const { return capacity_; }
 
@@ -49,25 +79,78 @@ class TraceSink {
   std::vector<TraceEvent> ring_;
   size_t next_ = 0;          ///< Ring write position.
   uint64_t recorded_ = 0;
+  uint64_t dropped_ = 0;
 };
 
+/// The ambient trace context on this thread: the innermost live TraceSpan,
+/// or whatever a TraceContextGuard installed (a remote parent delivered in
+/// a message header). Invalid when nothing is active.
+TraceContext CurrentTraceContext();
+
 /// Scoped span: records [construction, destruction) into the sink when the
-/// sink is enabled. Cheap when disabled (no clock reads).
+/// sink is enabled. Cheap when disabled (no clock reads, no thread-local
+/// writes). An armed span becomes the thread's ambient context for its
+/// lifetime, so nested spans and AnnotateActiveSpan find it; its parent is
+/// the ambient context at construction unless an explicit parent is given.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) : TraceSpan(name, &TraceSink::Global()) {}
-  TraceSpan(const char* name, TraceSink* sink);
+  TraceSpan(const char* name, const char* component)
+      : TraceSpan(name, component, CurrentTraceContext(),
+                  &TraceSink::Global()) {}
+  TraceSpan(const char* name, TraceSink* sink)
+      : TraceSpan(name, "", CurrentTraceContext(), sink) {}
+  /// Explicit-parent form for cross-thread fan-out: the lambda running on
+  /// a pool thread passes the context captured on the spawning thread.
+  TraceSpan(const char* name, const char* component,
+            const TraceContext& parent, TraceSink* sink = &TraceSink::Global());
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  /// This span's context (invalid when the sink was disabled at
+  /// construction); pass it across boundaries to parent remote children.
+  TraceContext context() const { return {trace_id_, span_id_}; }
+
+  void Annotate(const char* key, std::string value);
+  void AnnotateU64(const char* key, uint64_t value);
+
  private:
   TraceSink* sink_;
   const char* name_;
+  const char* component_;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
   uint64_t start_ns_ = 0;
   bool armed_ = false;
+  TraceContext saved_context_;
+  TraceSpan* saved_span_ = nullptr;
+  std::vector<TraceAnnotation> annotations_;
 };
+
+/// Installs `ctx` as the thread's ambient trace context for the current
+/// scope — the receive-side half of context propagation. Spans opened
+/// underneath parent onto `ctx`; the previous ambient context is restored
+/// on destruction. Always cheap; safe to use with an invalid context.
+class TraceContextGuard {
+ public:
+  explicit TraceContextGuard(const TraceContext& ctx);
+  ~TraceContextGuard();
+
+  TraceContextGuard(const TraceContextGuard&) = delete;
+  TraceContextGuard& operator=(const TraceContextGuard&) = delete;
+
+ private:
+  TraceContext saved_context_;
+  TraceSpan* saved_span_ = nullptr;
+};
+
+/// Annotates the innermost live span on this thread, if any — lets deep
+/// helpers (e.g. the governor counting a shed) tag the operation that
+/// caused them without threading a span through every signature.
+void AnnotateActiveSpan(const char* key, std::string value);
 
 /// Steady-clock nanoseconds since an arbitrary process-local epoch: the
 /// time base spans, profiles and latency observations share.

@@ -373,6 +373,7 @@ Status WalWriter::Open(const std::string& path, Options options) {
 
 Status WalWriter::Append(const WalRecord& record) {
   if (file_ == nullptr) return Status::Internal("WAL is not open");
+  obs::TraceSpan span("wal/append", "storage");
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   const uint64_t t0 = registry.enabled() ? obs::MonotonicNowNs() : 0;
   Status status = AppendImpl(record);
@@ -417,6 +418,7 @@ Status WalWriter::Flush() {
 
 Status WalWriter::Sync() {
   if (file_ == nullptr) return Status::Internal("WAL is not open");
+  obs::TraceSpan span("wal/sync", "storage");
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   const uint64_t t0 = registry.enabled() ? obs::MonotonicNowNs() : 0;
   Status status = SyncImpl();
@@ -512,6 +514,7 @@ Result<std::vector<WalRecord>> ReadWal(const std::string& path,
 
 Result<std::vector<WalRecord>> RecoverWal(const std::string& path,
                                           RecoveryReport* report) {
+  obs::TraceSpan span("wal/recover", "storage");
   RecoveryReport local;
   RecoveryReport& rep = report != nullptr ? *report : local;
   rep = RecoveryReport();

@@ -30,6 +30,7 @@
 #include "ftl/naive_eval.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "core/sharded_engine.h"
 #include "ftl/query_manager.h"
@@ -280,7 +281,10 @@ TEST(DifferentialTest, SerialNaiveAndParallelAgreeOnGridWorlds) {
 TEST(DifferentialTest, InstrumentationOnAndOffAgreeByteForByte) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   obs::TraceSink& sink = obs::TraceSink::Global();
+  obs::TelemetryRecorder& telemetry = obs::TelemetryRecorder::Global();
   const bool sink_was_enabled = sink.enabled();
+  const bool telemetry_was_enabled = telemetry.enabled();
+  telemetry.Track("most_ftl_eval_total");
   int queries = 0;
   for (uint64_t seed : test::SuiteSeeds("DifferentialTest.Instrumentation",
                                         {1, 2, 3, 4, 5, 6, 42, 1997, 2026})) {
@@ -300,6 +304,7 @@ TEST(DifferentialTest, InstrumentationOnAndOffAgreeByteForByte) {
 
         registry.set_enabled(false);
         sink.set_enabled(false);
+        telemetry.set_enabled(false);
         FtlEvaluator plain(db);
         auto baseline = plain.EvaluateQuery(query, window);
         ASSERT_TRUE(baseline.ok())
@@ -307,6 +312,10 @@ TEST(DifferentialTest, InstrumentationOnAndOffAgreeByteForByte) {
 
         registry.set_enabled(true);
         sink.set_enabled(true);
+        // Telemetry on, sampling every evaluation round: the per-tick
+        // recorder must also stay off the semantic path.
+        telemetry.set_enabled(true);
+        telemetry.OnTick(static_cast<Tick>(queries));
         obs::QueryProfile profile;
         FtlEvaluator::Options opts;
         opts.profile = &profile.root;
@@ -322,6 +331,7 @@ TEST(DifferentialTest, InstrumentationOnAndOffAgreeByteForByte) {
   }
   registry.set_enabled(true);
   sink.set_enabled(sink_was_enabled);
+  telemetry.set_enabled(telemetry_was_enabled);
   if (!test::SeedOverridden()) {
     EXPECT_GE(queries, 200) << "instrumentation corpus shrank below spec";
   }

@@ -299,6 +299,9 @@ TEST(TraceSinkTest, RecordsSpansAndCapsTheRing) {
     TraceSpan span("obs/test", &sink);
   }
   EXPECT_EQ(sink.total_recorded(), 6u);
+  // 6 recorded into a 4-slot ring: the 2 overwritten spans are *dropped*,
+  // distinct from total_recorded (which counts every Record call).
+  EXPECT_EQ(sink.dropped(), 2u);
   std::vector<TraceEvent> events = sink.Events();
   ASSERT_EQ(events.size(), 4u);  // Ring capacity.
   for (size_t i = 1; i < events.size(); ++i) {
@@ -307,6 +310,9 @@ TEST(TraceSinkTest, RecordsSpansAndCapsTheRing) {
   }
   sink.Clear();
   EXPECT_TRUE(sink.Events().empty());
+  // Clear drops the buffer, not the history counters.
+  EXPECT_EQ(sink.total_recorded(), 6u);
+  EXPECT_EQ(sink.dropped(), 2u);
 }
 
 TEST(SlowQueryLogTest, ThresholdGatesRecording) {

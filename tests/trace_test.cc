@@ -1,0 +1,356 @@
+// Causal tracing: span parenting (ambient + explicit), context guards,
+// cross-boundary propagation through the distributed stack and the
+// sharded engine's scatter-gather, and the Chrome trace-event exporter
+// (docs/observability.md, "Distributed tracing").
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/sharded_engine.h"
+#include "distributed/coordinator.h"
+#include "distributed/mobile_node.h"
+#include "distributed/network.h"
+#include "ftl/parser.h"
+#include "obs/exporters.h"
+#include "obs/trace.h"
+
+namespace most {
+namespace {
+
+using obs::ChromeTraceJson;
+using obs::ChromeTraceOptions;
+using obs::TraceContext;
+using obs::TraceContextGuard;
+using obs::TraceEvent;
+using obs::TraceSink;
+using obs::TraceSpan;
+
+const TraceEvent* FindByName(const std::vector<TraceEvent>& events,
+                             const std::string& name) {
+  for (const TraceEvent& e : events) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+std::string AnnotationValue(const TraceEvent& e, const std::string& key) {
+  for (const obs::TraceAnnotation& a : e.annotations) {
+    if (key == a.key) return a.value;
+  }
+  return "";
+}
+
+// Every event of `trace_id` must hang off exactly one root: one event
+// with parent 0, and every other parent id resolving to a span *in the
+// same trace*. This is the "single connected span tree" acceptance check.
+void ExpectConnectedTree(const std::vector<TraceEvent>& events,
+                         uint64_t trace_id) {
+  std::set<uint64_t> span_ids;
+  size_t roots = 0;
+  size_t members = 0;
+  for (const TraceEvent& e : events) {
+    if (e.trace_id != trace_id) continue;
+    ++members;
+    span_ids.insert(e.span_id);
+    if (e.parent_span_id == 0) ++roots;
+  }
+  ASSERT_GT(members, 0u) << "no events recorded for trace " << trace_id;
+  EXPECT_EQ(roots, 1u) << "a trace must have exactly one root span";
+  for (const TraceEvent& e : events) {
+    if (e.trace_id != trace_id || e.parent_span_id == 0) continue;
+    EXPECT_TRUE(span_ids.count(e.parent_span_id))
+        << "span " << e.span_id << " (" << e.name << ") has parent "
+        << e.parent_span_id << " outside its own trace";
+  }
+}
+
+TEST(TraceSpanTest, NestedSpansParentUnderTheAmbientSpan) {
+  TraceSink sink;
+  sink.set_enabled(true);
+  TraceContext outer_ctx;
+  {
+    TraceSpan outer("outer", "test", obs::CurrentTraceContext(), &sink);
+    outer_ctx = outer.context();
+    ASSERT_TRUE(outer_ctx.valid());
+    EXPECT_EQ(obs::CurrentTraceContext(), outer_ctx);
+    {
+      TraceSpan inner("inner", "test", obs::CurrentTraceContext(), &sink);
+      EXPECT_EQ(inner.context().trace_id, outer_ctx.trace_id);
+    }
+    // Sibling after the inner span: ambient context restored to outer.
+    EXPECT_EQ(obs::CurrentTraceContext(), outer_ctx);
+  }
+  EXPECT_FALSE(obs::CurrentTraceContext().valid());
+
+  std::vector<TraceEvent> events = sink.Events();
+  ASSERT_EQ(events.size(), 2u);  // inner closed first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].trace_id, outer_ctx.trace_id);
+  EXPECT_EQ(events[0].parent_span_id, outer_ctx.span_id);
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].parent_span_id, 0u);
+  EXPECT_GT(events[1].span_id, 0u);
+}
+
+TEST(TraceSpanTest, ExplicitParentWinsOverAmbient) {
+  TraceSink sink;
+  sink.set_enabled(true);
+  TraceContext remote{777001, 777002};
+  {
+    TraceSpan ambient("ambient", "test", obs::CurrentTraceContext(), &sink);
+    TraceSpan child("child", "test", remote, &sink);
+    EXPECT_EQ(child.context().trace_id, 777001u);
+  }
+  std::vector<TraceEvent> events = sink.Events();
+  const TraceEvent* child = FindByName(events, "child");
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->trace_id, 777001u);
+  EXPECT_EQ(child->parent_span_id, 777002u);
+}
+
+TEST(TraceSpanTest, ContextGuardInstallsAndRestoresRemoteContext) {
+  TraceSink sink;
+  sink.set_enabled(true);
+  TraceContext remote{424242, 515151};
+  {
+    TraceContextGuard guard(remote);
+    EXPECT_EQ(obs::CurrentTraceContext(), remote);
+    TraceSpan span("handler", "test", obs::CurrentTraceContext(), &sink);
+    EXPECT_EQ(span.context().trace_id, 424242u);
+  }
+  EXPECT_FALSE(obs::CurrentTraceContext().valid());
+  std::vector<TraceEvent> events = sink.Events();
+  const TraceEvent* handler = FindByName(events, "handler");
+  ASSERT_NE(handler, nullptr);
+  EXPECT_EQ(handler->trace_id, 424242u);
+  EXPECT_EQ(handler->parent_span_id, 515151u);
+}
+
+TEST(TraceSpanTest, DisabledSinkMakesSpansFullyInert) {
+  TraceSink sink;  // Disabled.
+  TraceSpan span("inert", "test", obs::CurrentTraceContext(), &sink);
+  EXPECT_FALSE(span.context().valid());
+  EXPECT_FALSE(obs::CurrentTraceContext().valid());
+  span.Annotate("key", "value");  // Must not crash or allocate into sink.
+  EXPECT_EQ(sink.total_recorded(), 0u);
+}
+
+TEST(TraceSpanTest, AnnotationsLandOnTheRecordedEvent) {
+  TraceSink sink;
+  sink.set_enabled(true);
+  {
+    TraceSpan span("annotated", "test", obs::CurrentTraceContext(), &sink);
+    span.Annotate("reason", "stale");
+    span.AnnotateU64("tick", 42);
+    obs::AnnotateActiveSpan("degrade_reason", "refresh_shed");
+  }
+  std::vector<TraceEvent> events = sink.Events();
+  const TraceEvent* e = FindByName(events, "annotated");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(AnnotationValue(*e, "reason"), "stale");
+  EXPECT_EQ(AnnotationValue(*e, "tick"), "42");
+  EXPECT_EQ(AnnotationValue(*e, "degrade_reason"), "refresh_shed");
+}
+
+TEST(TraceSinkTest, OverflowCountsDroppedSeparatelyFromRecorded) {
+  TraceSink sink(/*capacity=*/2);
+  sink.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span("wrap", "test", obs::CurrentTraceContext(), &sink);
+  }
+  EXPECT_EQ(sink.total_recorded(), 5u);
+  EXPECT_EQ(sink.dropped(), 3u);
+  EXPECT_EQ(sink.Events().size(), 2u);
+}
+
+// The distributed acceptance check: a coordinator issuing a broadcast
+// query to mobile nodes over the simulated network yields ONE trace —
+// coord/issue roots it, each node's answer handler parents under it via
+// the propagated message context, and the coordinator's report handler
+// joins the same tree through the reply's context.
+TEST(TracePropagationTest, CoordinatorRoundTripFormsOneConnectedTree) {
+  TraceSink& sink = TraceSink::Global();
+  sink.Clear();
+  sink.set_enabled(true);
+
+  Clock clock;
+  SimNetwork net(&clock, {.latency = 1});
+  std::map<std::string, Polygon> regions{
+      {"P", Polygon::Rectangle({0, 0}, {100, 100})}};
+  Coordinator coordinator(&net, &clock, regions);
+  MobileNode::Options opts;
+  opts.beacon_interval = 0;
+  auto make_state = [](ObjectId id, Point2 pos) {
+    ObjectState s;
+    s.id = id;
+    s.position = pos;
+    return s;
+  };
+  MobileNode inside(&net, &clock, make_state(0, {50, 50}), regions, opts);
+  MobileNode outside(&net, &clock, make_state(1, {5000, 5000}), regions, opts);
+
+  auto q = ParseQuery("RETRIEVE o FROM CARS o WHERE INSIDE(o, P)");
+  ASSERT_TRUE(q.ok());
+  uint64_t qid = coordinator.IssueObjectQuery(
+      *q, DistStrategy::kBroadcastFilter, /*continuous=*/false, 256);
+  while (clock.Now() < 6) {
+    clock.Advance();
+    net.DeliverDue();
+  }
+  auto matches = coordinator.ReportedMatches(qid);
+  ASSERT_TRUE(matches.ok());
+  sink.set_enabled(false);
+
+  std::vector<TraceEvent> events = sink.Events();
+  const TraceEvent* issue = nullptr;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == "coord/issue" &&
+        AnnotationValue(e, "qid") == std::to_string(qid)) {
+      issue = &e;
+    }
+  }
+  ASSERT_NE(issue, nullptr) << "coord/issue span missing";
+  const uint64_t trace_id = issue->trace_id;
+
+  // Both nodes answered inside the issue's trace; the coordinator's
+  // report handler joined it too. All of it forms one connected tree.
+  size_t answers = 0, reports = 0;
+  for (const TraceEvent& e : events) {
+    if (e.trace_id != trace_id) continue;
+    if (std::string(e.name) == "node/answer_request") ++answers;
+    if (std::string(e.name) == "coord/on_report") ++reports;
+  }
+  EXPECT_EQ(answers, 2u);
+  EXPECT_GE(reports, 1u);  // Only matching nodes ship ObjectReports.
+  ExpectConnectedTree(events, trace_id);
+  sink.Clear();
+}
+
+// The sharded acceptance check: one DrainAndRefresh over 4 shards makes a
+// single trace — the engine's root span, with one shard/drain and one
+// shard/refresh child per shard linked via the explicit-parent handoff
+// into the worker pool (the per-shard qm/tick_all spans nest below).
+TEST(TracePropagationTest, ShardedDrainAndRefreshFormsOneConnectedTree) {
+  MostDatabase db;
+  ASSERT_TRUE(db.CreateClass("V", {}, /*spatial=*/true).ok());
+  ASSERT_TRUE(
+      db.DefineRegion("R1", Polygon::Rectangle({0, 0}, {50, 50})).ok());
+  for (int i = 0; i < 12; ++i) {
+    auto obj = db.CreateObject("V");
+    ASSERT_TRUE(obj.ok());
+    ASSERT_TRUE(db.SetMotion("V", (*obj)->id(),
+                             {static_cast<double>(-3 * i), 5}, {1, 0})
+                    .ok());
+  }
+  ShardedEngine::Options opt;
+  opt.shard_count = 4;
+  ShardedEngine engine(&db, opt);
+  auto q = ParseQuery("RETRIEVE o FROM V o WHERE EVENTUALLY INSIDE(o, R1)");
+  ASSERT_TRUE(q.ok());
+  auto cq = engine.RegisterContinuous(*q);
+  ASSERT_TRUE(cq.ok());
+
+  TraceSink& sink = TraceSink::Global();
+  sink.Clear();
+  sink.set_enabled(true);
+  for (ObjectId id = 0; id < 12; ++id) {
+    engine.EnqueueMotion("V", id, {static_cast<double>(id), 1}, {1, 0});
+  }
+  ASSERT_TRUE(engine.Advance(1).ok());
+  sink.set_enabled(false);
+
+  std::vector<TraceEvent> events = sink.Events();
+  const TraceEvent* root = FindByName(events, "shard/drain_and_refresh");
+  ASSERT_NE(root, nullptr);
+  const uint64_t trace_id = root->trace_id;
+
+  std::set<std::string> drained, refreshed;
+  for (const TraceEvent& e : events) {
+    if (e.trace_id != trace_id) continue;
+    if (std::string(e.name) == "shard/drain") {
+      EXPECT_EQ(e.parent_span_id, root->span_id);
+      drained.insert(AnnotationValue(e, "shard"));
+    }
+    if (std::string(e.name) == "shard/refresh") {
+      EXPECT_EQ(e.parent_span_id, root->span_id);
+      refreshed.insert(AnnotationValue(e, "shard"));
+    }
+  }
+  EXPECT_EQ(drained.size(), 4u) << "one shard/drain per shard";
+  EXPECT_EQ(refreshed.size(), 4u) << "one shard/refresh per shard";
+  ExpectConnectedTree(events, trace_id);
+  sink.Clear();
+}
+
+TEST(ChromeTraceJsonTest, MaskedExportIsDeterministic) {
+  std::vector<TraceEvent> events(2);
+  events[0].name = "root";
+  events[0].component = "ftl";
+  events[0].trace_id = 900;
+  events[0].span_id = 901;
+  events[0].parent_span_id = 0;
+  events[0].start_ns = 123456789;
+  events[0].duration_ns = 5000;
+  events[0].thread = 3;
+  events[0].annotations.push_back({"tick", "7"});
+  events[1].name = "child";
+  events[1].component = "";  // Falls back to the "most" category.
+  events[1].trace_id = 900;
+  events[1].span_id = 902;
+  events[1].parent_span_id = 901;
+  events[1].start_ns = 123460000;
+  events[1].duration_ns = 1000;
+  events[1].thread = 4;
+
+  ChromeTraceOptions opts;
+  opts.mask = true;
+  const std::string expected =
+      "{\"traceEvents\": [\n"
+      "  {\"name\": \"root\", \"cat\": \"ftl\", \"ph\": \"X\", \"ts\": 0, "
+      "\"dur\": 1, \"pid\": 1, \"tid\": 0, \"args\": {\"trace_id\": \"1\", "
+      "\"span_id\": \"2\", \"parent_span_id\": \"0\", \"tick\": \"7\"}},\n"
+      "  {\"name\": \"child\", \"cat\": \"most\", \"ph\": \"X\", \"ts\": 1, "
+      "\"dur\": 1, \"pid\": 1, \"tid\": 0, \"args\": {\"trace_id\": \"1\", "
+      "\"span_id\": \"3\", \"parent_span_id\": \"2\"}}\n"
+      "]}";
+  EXPECT_EQ(ChromeTraceJson(events, opts), expected);
+  // Masking is stable across repeated exports of the same buffer.
+  EXPECT_EQ(ChromeTraceJson(events, opts), expected);
+}
+
+TEST(ChromeTraceJsonTest, UnmaskedExportUsesRealIdsAndMicroseconds) {
+  std::vector<TraceEvent> events(1);
+  events[0].name = "span";
+  events[0].component = "test";
+  events[0].trace_id = 11;
+  events[0].span_id = 12;
+  events[0].parent_span_id = 0;
+  events[0].start_ns = 2500;   // 2.5 us.
+  events[0].duration_ns = 1000;
+  events[0].thread = 7;
+  std::string json = ChromeTraceJson(events);
+  EXPECT_NE(json.find("\"ts\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\": \"11\""), std::string::npos);
+}
+
+TEST(ChromeTraceJsonTest, EscapesAnnotationAndNameEdgeCases) {
+  std::vector<TraceEvent> events(1);
+  events[0].name = "weird\"name";
+  events[0].component = "c\\at";
+  events[0].annotations.push_back({"note", "a\"b\\c\nd\te\x01" "f"});
+  std::string json = ChromeTraceJson(events);
+  EXPECT_NE(json.find("\"weird\\\"name\""), std::string::npos);
+  EXPECT_NE(json.find("\"c\\\\at\""), std::string::npos);
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd\\te\\u0001f"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace most
